@@ -1,0 +1,177 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// components: local GMDJ evaluation (indexed vs naive), hash index build
+// and probe, serialization, and coordinator merge.
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/vector_eval.h"
+#include "common/random.h"
+#include "core/local_eval.h"
+#include "data/tpcr_gen.h"
+#include "dist/coordinator.h"
+#include "expr/builder.h"
+#include "net/serde.h"
+#include "relalg/operators.h"
+#include "storage/hash_index.h"
+
+namespace skalla {
+namespace {
+
+Table MakeDetail(size_t rows, int64_t groups) {
+  Random rng(7);
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"v", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked(
+        {Value(rng.UniformInt(0, groups - 1)), Value(rng.UniformInt(0, 999))});
+  }
+  return t;
+}
+
+GmdjOp SimpleOp() {
+  GmdjOp op;
+  op.detail_table = "d";
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c"}, {AggKind::kAvg, "v", "a"}},
+      Eq(RCol("g"), BCol("g"))});
+  return op;
+}
+
+void BM_GmdjIndexed(benchmark::State& state) {
+  Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 256);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = SimpleOp();
+  for (auto _ : state) {
+    Table out = EvalGmdj(base, detail, op).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GmdjIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GmdjColumnar(benchmark::State& state) {
+  Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 256);
+  ColumnTable columnar = ColumnTable::FromRowTable(detail).ValueOrDie();
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = SimpleOp();
+  for (auto _ : state) {
+    Table out = EvalGmdjColumnar(base, columnar, op).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GmdjColumnar)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ColumnTableConvert(benchmark::State& state) {
+  Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 256);
+  for (auto _ : state) {
+    ColumnTable columnar = ColumnTable::FromRowTable(detail).ValueOrDie();
+    benchmark::DoNotOptimize(columnar);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnTableConvert)->Arg(10000)->Arg(100000);
+
+void BM_GmdjNaive(benchmark::State& state) {
+  Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 64);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = SimpleOp();
+  GmdjEvalOptions options;
+  options.use_index = false;
+  for (auto _ : state) {
+    Table out = EvalGmdj(base, detail, op, options).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GmdjNaive)->Arg(1000)->Arg(4000);
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 1024);
+  for (auto _ : state) {
+    HashIndex index = HashIndex::Build(detail, {0});
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashIndexBuild)->Arg(10000)->Arg(100000);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  Table detail = MakeDetail(100000, 1024);
+  HashIndex index = HashIndex::Build(detail, {0});
+  Row probe = {Value(int64_t{0}), Value(int64_t{0})};
+  Random rng(3);
+  for (auto _ : state) {
+    probe[0] = Value(rng.UniformInt(0, 1023));
+    benchmark::DoNotOptimize(index.Lookup(probe, {0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexProbe);
+
+void BM_SerializeTable(benchmark::State& state) {
+  TpcrConfig config;
+  config.num_rows = state.range(0);
+  Table t = GenerateTpcr(config);
+  uint64_t bytes = SerializedTableSize(t);
+  for (auto _ : state) {
+    std::vector<uint8_t> buffer;
+    WriteTable(t, &buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SerializeTable)->Arg(1000)->Arg(10000);
+
+void BM_DeserializeTable(benchmark::State& state) {
+  TpcrConfig config;
+  config.num_rows = state.range(0);
+  Table t = GenerateTpcr(config);
+  std::vector<uint8_t> buffer;
+  WriteTable(t, &buffer);
+  for (auto _ : state) {
+    Table out = ReadTable(buffer.data(), buffer.size()).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buffer.size()));
+}
+BENCHMARK(BM_DeserializeTable)->Arg(1000)->Arg(10000);
+
+void BM_CoordinatorMerge(benchmark::State& state) {
+  // One fragment of partial aggregates merged into a seeded structure.
+  const int64_t kGroups = state.range(0);
+  SchemaPtr base_schema =
+      Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  Table base(base_schema);
+  for (int64_t g = 0; g < kGroups; ++g) base.AppendUnchecked({Value(g)});
+
+  Table detail = MakeDetail(static_cast<size_t>(kGroups) * 4,
+                            kGroups);
+  GmdjOp op = SimpleOp();
+  GmdjEvalOptions options;
+  options.sub_aggregates = true;
+  Table fragment = EvalGmdj(base, detail, op, options).ValueOrDie();
+
+  for (auto _ : state) {
+    Coordinator coordinator({"g"});
+    coordinator.SetResult(base);
+    coordinator
+        .BeginRound(op, *base_schema, *detail.schema(),
+                    /*from_scratch=*/false)
+        .Check();
+    coordinator.MergeFragment(fragment).Check();
+    coordinator.FinalizeRound().Check();
+    benchmark::DoNotOptimize(coordinator.result());
+  }
+  state.SetItemsProcessed(state.iterations() * kGroups);
+}
+BENCHMARK(BM_CoordinatorMerge)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace skalla
+
+BENCHMARK_MAIN();

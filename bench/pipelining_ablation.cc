@@ -1,0 +1,96 @@
+// Ablation: incremental (pipelined) synchronization. Sect. 3.2 notes the
+// coordinator "can synchronize H with those sub-results it has already
+// received ... rather than having to wait for all of H". The
+// AsyncExecutor implements exactly that: sites run concurrently and the
+// coordinator merges fragments in completion order. This bench compares
+// real wall-clock time of the sequential executor, the parallel-sites
+// executor (sites concurrent, merge after a barrier), and the async
+// executor (sites concurrent, merge overlapped), on a compute-heavy
+// unoptimized plan where per-site work dominates.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "dist/async_exec.h"
+
+namespace skalla {
+namespace {
+
+std::vector<Site> MakeSites(const std::vector<Table>& parts, size_t n) {
+  std::vector<Site> sites;
+  for (size_t i = 0; i < n; ++i) {
+    Catalog catalog;
+    catalog.Register("tpcr", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  return sites;
+}
+
+void Run() {
+  const size_t kSites = 8;
+  const int64_t kRows = 96000;
+  const int64_t kCustomers = 12000;
+  std::vector<Table> partitions =
+      bench::MakeTpcrPartitions(kRows, kCustomers, kSites);
+
+  DistributedWarehouse dw(kSites);
+  {
+    std::vector<Table> copy = partitions;
+    dw.AddPartitionedTable("tpcr", std::move(copy),
+                           bench::TrackedColumns())
+        .Check();
+  }
+  GmdjExpr query = bench::CorrelatedQuery("CustKey");
+  DistributedPlan plan =
+      dw.Plan(query, OptimizerOptions::None()).ValueOrDie();
+
+  std::printf("=== Pipelining ablation: real wall time per engine ===\n");
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u%s\n", cores,
+              cores <= 1 ? "  (single core: concurrent engines can only "
+                           "show their overhead here; gains need real "
+                           "parallel hardware)"
+                         : "");
+  std::printf("%-22s %12s\n", "engine", "wall_ms");
+
+  {
+    Stopwatch timer;
+    DistributedExecutor executor(MakeSites(partitions, kSites));
+    ExecStats stats;
+    executor.Execute(plan, &stats).ValueOrDie();
+    std::printf("%-22s %12.2f\n", "sequential", timer.ElapsedSeconds() * 1e3);
+  }
+  {
+    Stopwatch timer;
+    ExecutorOptions options;
+    options.parallel_sites = true;
+    DistributedExecutor executor(MakeSites(partitions, kSites),
+                                 NetworkConfig{}, options);
+    ExecStats stats;
+    executor.Execute(plan, &stats).ValueOrDie();
+    std::printf("%-22s %12.2f\n", "parallel-sites",
+                timer.ElapsedSeconds() * 1e3);
+  }
+  {
+    Stopwatch timer;
+    AsyncExecutor executor(MakeSites(partitions, kSites));
+    ExecStats stats;
+    executor.Execute(plan, &stats).ValueOrDie();
+    double wall = timer.ElapsedSeconds();
+    double round_walls = 0;
+    for (const RoundStats& r : stats.rounds) round_walls += r.wall_time;
+    std::printf("%-22s %12.2f  (merge overlapped with site compute)\n",
+                "async-pipelined", wall * 1e3);
+    std::printf("%-22s %12.2f\n", "  sum of round walls", round_walls * 1e3);
+  }
+}
+
+}  // namespace
+}  // namespace skalla
+
+int main() {
+  skalla::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: coordinator topology (the paper's Sect. 6 future-work
+// direction). Star (flat coordinator) versus balanced coordinator trees
+// of fanout 2 and 4, on the unoptimized correlated query whose root
+// traffic grows quadratically in the star. Intermediate coordinators
+// merge partials level by level, so the root link's traffic drops from
+// n fragments per round to `fanout` fragments per round.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include <algorithm>
+
+#include "dist/tree.h"
+
+namespace skalla {
+namespace {
+
+void Run() {
+  const int64_t kRows = 64000;
+  const int64_t kCustomers = 8000;
+
+  std::printf("=== Topology ablation: star vs coordinator trees ===\n");
+  std::printf("%5s %8s %7s %14s %14s %12s\n", "sites", "fanout", "depth",
+              "root_bytes", "total_bytes", "time_ms");
+
+  GmdjExpr query = bench::CorrelatedQuery("CustKey");
+
+  for (size_t n : {4u, 8u, 16u}) {
+    std::vector<Table> partitions =
+        bench::MakeTpcrPartitions(kRows, kCustomers, n);
+    DistributedWarehouse dw(n);
+    std::vector<Table> parts_copy = partitions;
+    dw.AddPartitionedTable("tpcr", std::move(parts_copy),
+                           bench::TrackedColumns())
+        .Check();
+    DistributedPlan plan =
+        dw.Plan(query, OptimizerOptions::None()).ValueOrDie();
+
+    size_t last_effective_fanout = 0;
+    for (size_t fanout : {n /* star */, size_t{4}, size_t{2}}) {
+      size_t effective = std::min(fanout, n);
+      if (effective == last_effective_fanout) continue;
+      last_effective_fanout = effective;
+      std::vector<Site> sites;
+      for (size_t i = 0; i < n; ++i) {
+        Catalog catalog;
+        catalog.Register("tpcr", partitions[i]);
+        sites.emplace_back(static_cast<int>(i), std::move(catalog));
+      }
+      CoordinatorTree tree = CoordinatorTree::Balanced(n, fanout);
+      size_t depth = tree.depth();
+      TreeExecutor executor(std::move(sites), std::move(tree));
+      TreeExecStats stats;
+      executor.Execute(plan, &stats).ValueOrDie();
+      std::printf("%5zu %8s %7zu %14llu %14llu %12.2f\n", n,
+                  fanout >= n ? "star" : StrCat(fanout).c_str(), depth,
+                  static_cast<unsigned long long>(stats.RootBytes()),
+                  static_cast<unsigned long long>(stats.TotalBytes()),
+                  stats.ResponseTime() * 1e3);
+    }
+    bench::PrintRule();
+  }
+  std::printf("\nIntermediate merging trades extra total traffic for a "
+              "lighter root link and\nparallel per-level transfers.\n");
+}
+
+}  // namespace
+}  // namespace skalla
+
+int main() {
+  skalla::Run();
+  return 0;
+}

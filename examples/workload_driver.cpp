@@ -1,0 +1,112 @@
+// Workload driver: runs a mixed OLAP workload against the distributed
+// warehouse under every optimizer configuration and emits a CSV of the
+// measurements — the tool you'd point a plotting script at to regenerate
+// paper-style charts from your own queries.
+//
+//   ./build/examples/workload_driver            # prints CSV to stdout
+
+#include <cstdio>
+
+#include "data/tpcr_gen.h"
+#include "dist/warehouse.h"
+#include "opt/cost_model.h"
+#include "sql/parser.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+struct WorkloadQuery {
+  const char* name;
+  const char* text;
+};
+
+const WorkloadQuery kWorkload[] = {
+    {"q1_customer_profile", R"(
+      BASE SELECT DISTINCT CustKey FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS lines, AVG(Quantity) AS avg_qty,
+                 STDDEV(Quantity) AS sd_qty
+         WHERE r.CustKey = b.CustKey;
+    )"},
+    {"q2_above_average", R"(
+      BASE SELECT DISTINCT CustKey FROM tpcr;
+      MD USING tpcr
+         COMPUTE AVG(ExtendedPrice) AS avg_price
+         WHERE r.CustKey = b.CustKey;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS pricey, SUM(ExtendedPrice) AS pricey_value
+         WHERE r.CustKey = b.CustKey AND r.ExtendedPrice >= b.avg_price;
+    )"},
+    {"q3_clerk_rollup", R"(
+      BASE SELECT DISTINCT Clerk FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS orders, SUM(Quantity) AS qty
+         WHERE r.Clerk = b.Clerk
+         COMPUTE COUNT(*) AS urgent
+         WHERE r.Clerk = b.Clerk AND r.OrderPriority = '1-URGENT';
+    )"},
+    {"q4_segment_matrix", R"(
+      BASE SELECT DISTINCT MktSegment, OrderPriority FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS n, AVG(Quantity) AS avg_qty
+         WHERE r.MktSegment = b.MktSegment
+           AND r.OrderPriority = b.OrderPriority;
+    )"},
+};
+
+void Run() {
+  const size_t kSites = 8;
+  TpcrConfig config;
+  config.num_rows = 48000;
+  config.num_customers = 6000;
+  Table tpcr = GenerateTpcr(config);
+
+  DistributedWarehouse dw(kSites);
+  std::vector<Table> partitions =
+      PartitionByModulo(tpcr, "NationKey", kSites).ValueOrDie();
+  dw.AddPartitionedTable("tpcr", std::move(partitions),
+                         {"NationKey", "CustKey", "Clerk", "MktSegment",
+                          "OrderPriority", "Quantity", "ExtendedPrice"})
+      .Check();
+
+  CostModel model(kSites);
+  model.SetPartitionInfo("tpcr", dw.partition_info("tpcr"));
+
+  std::printf("query,optimizations,rounds,groups,bytes,tuples,"
+              "estimate_tuples,estimate_exact,time_ms\n");
+  for (const WorkloadQuery& wq : kWorkload) {
+    GmdjExpr query = ParseQuery(wq.text).ValueOrDie();
+    for (int mask = 0; mask < 16; ++mask) {
+      OptimizerOptions opts;
+      opts.coalescing = mask & 1;
+      opts.indep_group_reduction = mask & 2;
+      opts.aware_group_reduction = mask & 4;
+      opts.sync_reduction = mask & 8;
+
+      DistributedPlan plan = dw.Plan(query, opts).ValueOrDie();
+      auto estimate = model.Estimate(plan);
+
+      ExecStats stats;
+      Table result = dw.ExecutePlan(plan, &stats).ValueOrDie();
+      std::printf(
+          "%s,%s,%zu,%zu,%llu,%llu,%s,%s,%.2f\n", wq.name,
+          opts.ToString().c_str(), stats.NumSyncRounds(), result.num_rows(),
+          static_cast<unsigned long long>(stats.TotalBytes()),
+          static_cast<unsigned long long>(stats.TotalTuplesTransferred()),
+          estimate.ok()
+              ? std::to_string(estimate->TotalTuples()).c_str()
+              : "n/a",
+          estimate.ok() ? (estimate->exact ? "yes" : "bound") : "n/a",
+          stats.ResponseTime() * 1e3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skalla
+
+int main() {
+  skalla::Run();
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "agg/accumulator.h"
+
+namespace skalla {
+
+void Accumulator::Update(const Value& v) {
+  switch (kind_) {
+    case AggKind::kCountStar:
+      ++count_;
+      return;
+    case AggKind::kCount:
+      if (!v.is_null()) ++count_;
+      return;
+    case AggKind::kSum:
+      if (v.is_null() || !v.is_numeric()) return;
+      any_ = true;
+      if (v.is_int64() && all_int_) {
+        isum_ += v.int64();
+      } else {
+        if (all_int_) {
+          dsum_ = static_cast<double>(isum_);
+          all_int_ = false;
+        }
+        dsum_ += v.AsDouble();
+      }
+      return;
+    case AggKind::kMin:
+      if (v.is_null()) return;
+      if (!any_ || v.Compare(extreme_) < 0) extreme_ = v;
+      any_ = true;
+      return;
+    case AggKind::kMax:
+      if (v.is_null()) return;
+      if (!any_ || v.Compare(extreme_) > 0) extreme_ = v;
+      any_ = true;
+      return;
+    case AggKind::kSumSq:
+      if (v.is_null() || !v.is_numeric()) return;
+      any_ = true;
+      if (all_int_) {
+        dsum_ = static_cast<double>(isum_);
+        all_int_ = false;
+      }
+      dsum_ += v.AsDouble() * v.AsDouble();
+      return;
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      // Algebraic aggregates never appear as sub-aggregates (Decompose
+      // splits them into SUM/SUMSQ/COUNT parts).
+      return;
+  }
+}
+
+void Accumulator::MergeFrom(const Accumulator& other) {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      count_ += other.count_;
+      return;
+    case AggKind::kSum:
+    case AggKind::kSumSq:
+      if (!other.any_) return;
+      if (other.all_int_ && all_int_) {
+        isum_ += other.isum_;
+      } else {
+        if (all_int_) {
+          dsum_ = static_cast<double>(isum_);
+          all_int_ = false;
+        }
+        dsum_ += other.all_int_ ? static_cast<double>(other.isum_)
+                                : other.dsum_;
+      }
+      any_ = true;
+      return;
+    case AggKind::kMin:
+      if (other.any_) Update(other.extreme_);
+      return;
+    case AggKind::kMax:
+      if (other.any_) Update(other.extreme_);
+      return;
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return;
+  }
+}
+
+Value Accumulator::Final() const {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value(count_);
+    case AggKind::kSum:
+    case AggKind::kSumSq:
+      if (!any_) return Value::Null();
+      return all_int_ ? Value(isum_) : Value(dsum_);
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return any_ ? extreme_ : Value::Null();
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace skalla

@@ -1,0 +1,47 @@
+// Streaming accumulators for local (site-side) aggregate evaluation.
+
+#ifndef SKALLA_AGG_ACCUMULATOR_H_
+#define SKALLA_AGG_ACCUMULATOR_H_
+
+#include <cstdint>
+
+#include "agg/aggregate.h"
+#include "types/value.h"
+
+namespace skalla {
+
+/// Accumulates one sub-aggregate over the detail tuples matched by one
+/// base tuple. Cheap to construct and copy; the GMDJ evaluator keeps a
+/// matrix of these (|B| rows x #parts).
+class Accumulator {
+ public:
+  Accumulator() = default;
+  explicit Accumulator(AggKind kind) : kind_(kind) {}
+
+  /// Folds one input value in. For COUNT(*) the value is ignored; for the
+  /// other kinds NULL inputs are skipped per SQL semantics.
+  void Update(const Value& v);
+
+  /// Folds a partial value produced by another accumulator of the same
+  /// kind (used by the pre-aggregation fast path).
+  void MergeFrom(const Accumulator& other);
+
+  /// The sub-aggregate value: COUNT over nothing is 0, SUM/MIN/MAX over
+  /// nothing is NULL.
+  Value Final() const;
+
+  AggKind kind() const { return kind_; }
+
+ private:
+  AggKind kind_ = AggKind::kCountStar;
+  int64_t count_ = 0;       // COUNT / non-null input count.
+  bool any_ = false;        // Any non-null input folded in.
+  bool all_int_ = true;     // SUM stays INT64 while true.
+  int64_t isum_ = 0;
+  double dsum_ = 0.0;
+  Value extreme_;           // MIN/MAX running value.
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_AGG_ACCUMULATOR_H_

@@ -1,0 +1,200 @@
+#include "agg/aggregate.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string_view AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "COUNT(*)";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kVarPop:
+      return "VAR";
+    case AggKind::kStdDevPop:
+      return "STDDEV";
+    case AggKind::kSumSq:
+      return "SUMSQ";
+  }
+  return "?";
+}
+
+std::string AggSpec::ToString() const {
+  if (kind == AggKind::kCountStar) {
+    return StrCat("COUNT(*) AS ", output);
+  }
+  return StrCat(AggKindToString(kind), "(", input, ") AS ", output);
+}
+
+std::vector<SubAggregate> Decompose(const AggSpec& spec) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+      return {{AggKind::kCountStar, "", spec.output, MergeKind::kSum}};
+    case AggKind::kCount:
+      return {{AggKind::kCount, spec.input, spec.output, MergeKind::kSum}};
+    case AggKind::kSum:
+      return {{AggKind::kSum, spec.input, spec.output, MergeKind::kSum}};
+    case AggKind::kMin:
+      return {{AggKind::kMin, spec.input, spec.output, MergeKind::kMin}};
+    case AggKind::kMax:
+      return {{AggKind::kMax, spec.input, spec.output, MergeKind::kMax}};
+    case AggKind::kAvg:
+      return {
+          {AggKind::kSum, spec.input, StrCat(spec.output, "__sum"),
+           MergeKind::kSum},
+          {AggKind::kCount, spec.input, StrCat(spec.output, "__cnt"),
+           MergeKind::kSum},
+      };
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return {
+          {AggKind::kSum, spec.input, StrCat(spec.output, "__sum"),
+           MergeKind::kSum},
+          {AggKind::kSumSq, spec.input, StrCat(spec.output, "__sumsq"),
+           MergeKind::kSum},
+          {AggKind::kCount, spec.input, StrCat(spec.output, "__cnt"),
+           MergeKind::kSum},
+      };
+    case AggKind::kSumSq:
+      return {{AggKind::kSumSq, spec.input, spec.output, MergeKind::kSum}};
+  }
+  return {};
+}
+
+Value MergePartial(const Value& cell, const Value& partial, MergeKind merge) {
+  if (partial.is_null()) return cell;
+  if (cell.is_null()) return partial;
+  switch (merge) {
+    case MergeKind::kSum:
+      if (cell.is_int64() && partial.is_int64()) {
+        return Value(cell.int64() + partial.int64());
+      }
+      return Value(cell.AsDouble() + partial.AsDouble());
+    case MergeKind::kMin:
+      return partial.Compare(cell) < 0 ? partial : cell;
+    case MergeKind::kMax:
+      return partial.Compare(cell) > 0 ? partial : cell;
+  }
+  return cell;
+}
+
+Value FinalizeAggregate(const AggSpec& spec,
+                        const std::vector<Value>& parts) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return parts[0].is_null() ? Value(int64_t{0}) : parts[0];
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return parts[0];
+    case AggKind::kAvg: {
+      const Value& sum = parts[0];
+      const Value& cnt = parts[1];
+      if (sum.is_null() || cnt.is_null() || cnt.AsDouble() == 0.0) {
+        return Value::Null();
+      }
+      return Value(sum.AsDouble() / cnt.AsDouble());
+    }
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop: {
+      const Value& sum = parts[0];
+      const Value& sumsq = parts[1];
+      const Value& cnt = parts[2];
+      if (sum.is_null() || sumsq.is_null() || cnt.is_null() ||
+          cnt.AsDouble() == 0.0) {
+        return Value::Null();
+      }
+      double n = cnt.AsDouble();
+      double mean = sum.AsDouble() / n;
+      double var = sumsq.AsDouble() / n - mean * mean;
+      if (var < 0.0) var = 0.0;  // Guard against rounding.
+      return Value(spec.kind == AggKind::kVarPop ? var : std::sqrt(var));
+    }
+    case AggKind::kSumSq:
+      return parts[0];
+  }
+  return Value::Null();
+}
+
+namespace {
+
+Result<ValueType> InputColumnType(const std::string& input,
+                                  const Schema& detail) {
+  SKALLA_ASSIGN_OR_RETURN(size_t idx, detail.RequireIndex(input));
+  ValueType t = detail.field(idx).type;
+  if (t != ValueType::kInt64 && t != ValueType::kFloat64) {
+    return Status::TypeError(
+        StrCat("aggregate input column '", input, "' must be numeric, got ",
+               ValueTypeToString(t)));
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<ValueType> AggOutputType(const AggSpec& spec, const Schema& detail) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+      return ValueType::kInt64;
+    case AggKind::kCount: {
+      SKALLA_RETURN_NOT_OK(detail.RequireIndex(spec.input).status());
+      return ValueType::kInt64;
+    }
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+    case AggKind::kSumSq:
+      SKALLA_RETURN_NOT_OK(InputColumnType(spec.input, detail).status());
+      return ValueType::kFloat64;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return InputColumnType(spec.input, detail);
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+Result<ValueType> PartOutputType(const SubAggregate& part,
+                                 const Schema& detail) {
+  switch (part.kind) {
+    case AggKind::kCountStar:
+      return ValueType::kInt64;
+    case AggKind::kCount:
+      SKALLA_RETURN_NOT_OK(detail.RequireIndex(part.input).status());
+      return ValueType::kInt64;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return InputColumnType(part.input, detail);
+    case AggKind::kSumSq:
+      SKALLA_RETURN_NOT_OK(InputColumnType(part.input, detail).status());
+      return ValueType::kFloat64;
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return Status::Internal("algebraic aggregates decompose into parts");
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+Value InitialPartValue(const SubAggregate& part) {
+  if (part.kind == AggKind::kCountStar || part.kind == AggKind::kCount) {
+    return Value(int64_t{0});
+  }
+  return Value::Null();
+}
+
+}  // namespace skalla

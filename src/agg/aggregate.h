@@ -1,0 +1,95 @@
+// Aggregate function specifications and their decomposition into
+// sub-aggregates (computed at Skalla sites) and super-aggregates (merged
+// at the coordinator), following Gray et al.'s distributive/algebraic
+// classification that Theorem 1 of the paper builds on:
+//
+//   COUNT   -> sub COUNT,            super SUM
+//   SUM     -> sub SUM,              super SUM
+//   MIN/MAX -> sub MIN/MAX,          super MIN/MAX
+//   AVG     -> sub (SUM, COUNT),     super (SUM, SUM), finalize SUM/COUNT
+//   VAR/STDDEV (population) -> sub (SUM, SUMSQ, COUNT), super sums,
+//                              finalize E[x^2] - E[x]^2 (and sqrt)
+
+#ifndef SKALLA_AGG_AGGREGATE_H_
+#define SKALLA_AGG_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace skalla {
+
+enum class AggKind : uint8_t {
+  kCountStar = 0,  // COUNT(*)
+  kCount = 1,      // COUNT(col): non-null count
+  kSum = 2,
+  kAvg = 3,
+  kMin = 4,
+  kMax = 5,
+  kVarPop = 6,     // Population variance.
+  kStdDevPop = 7,  // Population standard deviation.
+  kSumSq = 8,      // Internal: sum of squares (sub-aggregate of the two
+                   // above; not accepted as a user-facing aggregate).
+};
+
+std::string_view AggKindToString(AggKind kind);
+
+/// One aggregate of an l_i list: e.g. `sum(NumBytes) -> sum1`.
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  /// Input column in the detail relation; empty for COUNT(*).
+  std::string input;
+  /// Name of the produced column in the GMDJ output.
+  std::string output;
+
+  /// e.g. "SUM(NumBytes) AS sum1".
+  std::string ToString() const;
+};
+
+/// How partial (sub-aggregate) values combine at the coordinator.
+enum class MergeKind : uint8_t {
+  kSum = 0,
+  kMin = 1,
+  kMax = 2,
+};
+
+/// One column of the partial state a site ships for an aggregate.
+struct SubAggregate {
+  AggKind kind;           // What the site computes.
+  std::string input;      // Detail column (empty for COUNT-like parts).
+  std::string part_name;  // Column name in the shipped structure.
+  MergeKind merge;        // How the coordinator combines partials.
+};
+
+/// The sub-aggregates backing `spec`. Distributive aggregates decompose
+/// into one part named after the output; AVG into `<output>__sum` and
+/// `<output>__cnt`.
+std::vector<SubAggregate> Decompose(const AggSpec& spec);
+
+/// Merges a partial into an accumulated cell. A NULL partial leaves the
+/// cell unchanged; a NULL cell adopts the partial.
+Value MergePartial(const Value& cell, const Value& partial, MergeKind merge);
+
+/// Computes the declared output from its merged parts (in Decompose
+/// order). COUNT of an empty group is 0; SUM/MIN/MAX/AVG are NULL.
+Value FinalizeAggregate(const AggSpec& spec,
+                        const std::vector<Value>& parts);
+
+/// The declared output type of `spec` over `detail` (COUNT -> INT64,
+/// AVG -> FLOAT64, SUM/MIN/MAX -> input column type).
+Result<ValueType> AggOutputType(const AggSpec& spec, const Schema& detail);
+
+/// The type of one sub-aggregate part column.
+Result<ValueType> PartOutputType(const SubAggregate& part,
+                                 const Schema& detail);
+
+/// The neutral initial cell for a merged part column: 0 for COUNT parts,
+/// NULL otherwise.
+Value InitialPartValue(const SubAggregate& part);
+
+}  // namespace skalla
+
+#endif  // SKALLA_AGG_AGGREGATE_H_

@@ -1,0 +1,146 @@
+#include "columnar/column.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    valid_.push_back(0);
+    switch (type_) {
+      case ValueType::kInt64:
+        ints_.push_back(0);
+        break;
+      case ValueType::kFloat64:
+        doubles_.push_back(0.0);
+        break;
+      case ValueType::kString:
+        strings_.emplace_back();
+        break;
+      default:
+        break;
+    }
+    return Status::OK();
+  }
+  switch (type_) {
+    case ValueType::kInt64: {
+      if (!v.is_numeric()) {
+        return Status::TypeError(
+            StrCat("cannot store ", v.ToString(), " in an INT64 column"));
+      }
+      int64_t stored;
+      if (v.is_int64()) {
+        stored = v.int64();
+      } else {
+        // Only integral doubles may enter an INT64 column: silent
+        // truncation would diverge from the row engine's semantics.
+        double d = v.float64();
+        stored = static_cast<int64_t>(d);
+        if (static_cast<double>(stored) != d) {
+          return Status::TypeError(
+              StrCat("non-integral value ", v.ToString(),
+                     " cannot be stored in an INT64 column"));
+        }
+      }
+      valid_.push_back(1);
+      ints_.push_back(stored);
+      return Status::OK();
+    }
+    case ValueType::kFloat64:
+      if (!v.is_numeric()) {
+        return Status::TypeError(
+            StrCat("cannot store ", v.ToString(), " in a FLOAT64 column"));
+      }
+      valid_.push_back(1);
+      doubles_.push_back(v.AsDouble());
+      return Status::OK();
+    case ValueType::kString:
+      if (!v.is_string()) {
+        return Status::TypeError(
+            StrCat("cannot store ", v.ToString(), " in a STRING column"));
+      }
+      valid_.push_back(1);
+      strings_.push_back(v.str());
+      return Status::OK();
+    case ValueType::kNull:
+      return Status::TypeError("cannot store values in an untyped column");
+  }
+  return Status::Internal("unknown column type");
+}
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[i]);
+    case ValueType::kFloat64:
+      return Value(doubles_[i]);
+    case ValueType::kString:
+      return Value(strings_[i]);
+    default:
+      return Value::Null();
+  }
+}
+
+uint64_t Column::HashAt(size_t i) const {
+  if (IsNull(i)) return 0x6b7bull;  // Matches Value::Hash for NULL.
+  switch (type_) {
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(ints_[i]));
+    case ValueType::kFloat64: {
+      double d = doubles_[i];
+      if (d >= -9.2e18 && d <= 9.2e18 && d == std::floor(d)) {
+        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(strings_[i]);
+    default:
+      return 0;
+  }
+}
+
+bool Column::CellEquals(size_t i, const Column& other, size_t j) const {
+  bool null_i = IsNull(i);
+  bool null_j = other.IsNull(j);
+  if (null_i || null_j) return null_i && null_j;
+  if (type_ == other.type_) {
+    switch (type_) {
+      case ValueType::kInt64:
+        return ints_[i] == other.ints_[j];
+      case ValueType::kFloat64:
+        return doubles_[i] == other.doubles_[j];
+      case ValueType::kString:
+        return strings_[i] == other.strings_[j];
+      default:
+        return false;
+    }
+  }
+  // Cross-type numeric comparison mirrors Value::Equals.
+  return GetValue(i).Equals(other.GetValue(j));
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ValueType::kFloat64:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace skalla

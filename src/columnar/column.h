@@ -1,0 +1,61 @@
+// Typed column storage: the columnar counterpart of a Row's cell. Values
+// live in contiguous typed vectors with a separate validity vector, so
+// scans touch raw int64/double arrays instead of boxed Values.
+
+#ifndef SKALLA_COLUMNAR_COLUMN_H_
+#define SKALLA_COLUMNAR_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace skalla {
+
+/// One typed column. The declared type fixes which typed vector backs
+/// the column; NULLs are tracked in the validity vector.
+class Column {
+ public:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  /// Appends a cell. The value must be NULL or match the column type
+  /// (INT64 accepts integral FLOAT64 per the engine's numeric
+  /// compatibility and vice versa).
+  Status Append(const Value& v);
+
+  bool IsNull(size_t i) const { return valid_[i] == 0; }
+
+  /// Typed accessors; only meaningful when !IsNull(i) and the type
+  /// matches.
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double Float64At(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Boxes cell i back into a Value.
+  Value GetValue(size_t i) const;
+
+  /// Hash of cell i, consistent with Value::Hash of the boxed value.
+  uint64_t HashAt(size_t i) const;
+
+  /// Whether cells i (here) and j (in `other`) are equal under the
+  /// engine's grouping semantics (NULL == NULL).
+  bool CellEquals(size_t i, const Column& other, size_t j) const;
+
+  void Reserve(size_t n);
+
+ private:
+  ValueType type_;
+  std::vector<uint8_t> valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COLUMNAR_COLUMN_H_

@@ -1,0 +1,46 @@
+#include "columnar/column_table.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+Result<ColumnTable> ColumnTable::FromRowTable(const Table& table) {
+  ColumnTable out;
+  out.schema_ = table.schema();
+  out.num_rows_ = table.num_rows();
+  out.columns_.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    ValueType type = table.schema()->field(c).type;
+    if (type == ValueType::kNull) {
+      return Status::TypeError(
+          StrCat("column '", table.schema()->field(c).name,
+                 "' has no declared type; columnar storage needs one"));
+    }
+    out.columns_.emplace_back(type);
+    out.columns_.back().Reserve(table.num_rows());
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Row& row = table.row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      SKALLA_RETURN_NOT_OK(out.columns_[c].Append(row[c]));
+    }
+  }
+  return out;
+}
+
+Table ColumnTable::ToRowTable() const {
+  Table out(schema_);
+  out.Reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    Row row;
+    row.reserve(columns_.size());
+    for (const Column& column : columns_) {
+      row.push_back(column.GetValue(r));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace skalla

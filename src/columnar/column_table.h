@@ -1,0 +1,38 @@
+// ColumnTable: a columnar materialization of a relation, converted from
+// and to the row-oriented Table. Sites can keep their detail partitions
+// in this form to serve the vectorized GMDJ fast path.
+
+#ifndef SKALLA_COLUMNAR_COLUMN_TABLE_H_
+#define SKALLA_COLUMNAR_COLUMN_TABLE_H_
+
+#include <vector>
+
+#include "columnar/column.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+class ColumnTable {
+ public:
+  /// Converts a row table; every column must have a concrete declared
+  /// type (INT64/FLOAT64/STRING).
+  static Result<ColumnTable> FromRowTable(const Table& table);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Boxes everything back into a row table (for tests / interop).
+  Table ToRowTable() const;
+
+ private:
+  SchemaPtr schema_;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COLUMNAR_COLUMN_TABLE_H_

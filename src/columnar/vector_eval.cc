@@ -1,0 +1,341 @@
+#include "columnar/vector_eval.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "expr/analysis.h"
+#include "types/row.h"
+
+namespace skalla {
+
+bool ColumnarEligible(const GmdjOp& op) {
+  for (const GmdjBlock& block : op.blocks) {
+    if (block.theta == nullptr) return false;
+    ConditionAnalysis analysis = AnalyzeCondition(block.theta);
+    if (analysis.residual != nullptr || analysis.equi_atoms.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Dense group assignment over the detail key columns.
+struct GroupMap {
+  // group id per detail row.
+  std::vector<uint32_t> row_group;
+  // Representative detail row per group (defines the group's key).
+  std::vector<uint32_t> representatives;
+  // hash -> candidate group ids.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+};
+
+uint64_t DetailKeyHash(const ColumnTable& detail,
+                       const std::vector<size_t>& key_cols, size_t row) {
+  uint64_t h = 0x5ca11aULL;  // Must match HashRowKey's seed.
+  for (size_t c : key_cols) {
+    h = HashCombine(h, detail.column(c).HashAt(row));
+  }
+  return h;
+}
+
+bool DetailKeysEqual(const ColumnTable& detail,
+                     const std::vector<size_t>& key_cols, size_t a,
+                     size_t b) {
+  for (size_t c : key_cols) {
+    if (!detail.column(c).CellEquals(a, detail.column(c), b)) return false;
+  }
+  return true;
+}
+
+GroupMap BuildGroups(const ColumnTable& detail,
+                     const std::vector<size_t>& key_cols) {
+  GroupMap map;
+  map.row_group.resize(detail.num_rows());
+  for (size_t r = 0; r < detail.num_rows(); ++r) {
+    uint64_t h = DetailKeyHash(detail, key_cols, r);
+    std::vector<uint32_t>& bucket = map.buckets[h];
+    int64_t group = -1;
+    for (uint32_t g : bucket) {
+      if (DetailKeysEqual(detail, key_cols, r, map.representatives[g])) {
+        group = g;
+        break;
+      }
+    }
+    if (group < 0) {
+      group = static_cast<int64_t>(map.representatives.size());
+      bucket.push_back(static_cast<uint32_t>(group));
+      map.representatives.push_back(static_cast<uint32_t>(r));
+    }
+    map.row_group[r] = static_cast<uint32_t>(group);
+  }
+  return map;
+}
+
+// Typed accumulation state for one sub-aggregate over all groups.
+struct PartState {
+  SubAggregate spec;
+  int input_col = -1;
+  ValueType input_type = ValueType::kNull;
+  std::vector<int64_t> counts;   // kCountStar / kCount.
+  std::vector<int64_t> isums;    // kSum over INT64, or MIN/MAX holder.
+  std::vector<double> dsums;     // kSum/MIN/MAX over FLOAT64.
+  std::vector<uint8_t> any;      // Any non-null folded in.
+
+  Value Final(size_t g) const {
+    switch (spec.kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        return Value(counts[g]);
+      case AggKind::kSum:
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (!any[g]) return Value::Null();
+        return input_type == ValueType::kInt64 ? Value(isums[g])
+                                               : Value(dsums[g]);
+      case AggKind::kSumSq:
+        return any[g] ? Value(dsums[g]) : Value::Null();
+      case AggKind::kAvg:
+      case AggKind::kVarPop:
+      case AggKind::kStdDevPop:
+        return Value::Null();  // Never sub-aggregates.
+    }
+    return Value::Null();
+  }
+};
+
+// One tight pass folding a part's measure column into its group slots.
+void Accumulate(PartState* part, const ColumnTable& detail,
+                const std::vector<uint32_t>& row_group,
+                size_t num_groups) {
+  const size_t n = detail.num_rows();
+  switch (part->spec.kind) {
+    case AggKind::kCountStar:
+      part->counts.assign(num_groups, 0);
+      for (size_t r = 0; r < n; ++r) ++part->counts[row_group[r]];
+      return;
+    case AggKind::kCount: {
+      part->counts.assign(num_groups, 0);
+      const Column& in = detail.column(static_cast<size_t>(part->input_col));
+      for (size_t r = 0; r < n; ++r) {
+        if (!in.IsNull(r)) ++part->counts[row_group[r]];
+      }
+      return;
+    }
+    case AggKind::kSum: {
+      part->any.assign(num_groups, 0);
+      const Column& in = detail.column(static_cast<size_t>(part->input_col));
+      if (part->input_type == ValueType::kInt64) {
+        part->isums.assign(num_groups, 0);
+        for (size_t r = 0; r < n; ++r) {
+          if (in.IsNull(r)) continue;
+          part->isums[row_group[r]] += in.Int64At(r);
+          part->any[row_group[r]] = 1;
+        }
+      } else {
+        part->dsums.assign(num_groups, 0.0);
+        for (size_t r = 0; r < n; ++r) {
+          if (in.IsNull(r)) continue;
+          part->dsums[row_group[r]] += in.Float64At(r);
+          part->any[row_group[r]] = 1;
+        }
+      }
+      return;
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      part->any.assign(num_groups, 0);
+      const bool is_min = part->spec.kind == AggKind::kMin;
+      const Column& in = detail.column(static_cast<size_t>(part->input_col));
+      if (part->input_type == ValueType::kInt64) {
+        part->isums.assign(num_groups, 0);
+        for (size_t r = 0; r < n; ++r) {
+          if (in.IsNull(r)) continue;
+          uint32_t g = row_group[r];
+          int64_t v = in.Int64At(r);
+          if (!part->any[g] || (is_min ? v < part->isums[g]
+                                       : v > part->isums[g])) {
+            part->isums[g] = v;
+          }
+          part->any[g] = 1;
+        }
+      } else {
+        part->dsums.assign(num_groups, 0.0);
+        for (size_t r = 0; r < n; ++r) {
+          if (in.IsNull(r)) continue;
+          uint32_t g = row_group[r];
+          double v = in.Float64At(r);
+          if (!part->any[g] || (is_min ? v < part->dsums[g]
+                                       : v > part->dsums[g])) {
+            part->dsums[g] = v;
+          }
+          part->any[g] = 1;
+        }
+      }
+      return;
+    }
+    case AggKind::kSumSq: {
+      part->any.assign(num_groups, 0);
+      part->dsums.assign(num_groups, 0.0);
+      const Column& in = detail.column(static_cast<size_t>(part->input_col));
+      if (part->input_type == ValueType::kInt64) {
+        for (size_t r = 0; r < n; ++r) {
+          if (in.IsNull(r)) continue;
+          double v = static_cast<double>(in.Int64At(r));
+          part->dsums[row_group[r]] += v * v;
+          part->any[row_group[r]] = 1;
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          if (in.IsNull(r)) continue;
+          double v = in.Float64At(r);
+          part->dsums[row_group[r]] += v * v;
+          part->any[row_group[r]] = 1;
+        }
+      }
+      return;
+    }
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return;  // Decomposed before reaching here.
+  }
+}
+
+// Probes a block's group map with a base row.
+int64_t LookupGroup(const GroupMap& map, const ColumnTable& detail,
+                    const std::vector<size_t>& detail_cols,
+                    const Row& base_row,
+                    const std::vector<size_t>& base_cols) {
+  uint64_t h = HashRowKey(base_row, base_cols);
+  auto it = map.buckets.find(h);
+  if (it == map.buckets.end()) return -1;
+  for (uint32_t g : it->second) {
+    size_t repr = map.representatives[g];
+    bool equal = true;
+    for (size_t c = 0; c < detail_cols.size(); ++c) {
+      if (!base_row[base_cols[c]].Equals(
+              detail.column(detail_cols[c]).GetValue(repr))) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return g;
+  }
+  return -1;
+}
+
+// Per-block compiled state.
+struct BlockExec {
+  std::vector<size_t> base_cols;
+  std::vector<size_t> detail_cols;
+  GroupMap groups;
+  std::vector<PartState> parts;
+  std::vector<std::pair<size_t, size_t>> agg_part_ranges;
+};
+
+}  // namespace
+
+Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
+                               const GmdjOp& op,
+                               const GmdjEvalOptions& options) {
+  if (!ColumnarEligible(op)) {
+    return Status::InvalidArgument(
+        "operator has residual conditions; use the row evaluator");
+  }
+  const Schema& base_schema = *base.schema();
+  const Schema& detail_schema = *detail.schema();
+
+  SKALLA_ASSIGN_OR_RETURN(
+      SchemaPtr out_schema,
+      options.sub_aggregates
+          ? op.PartialSchema(base_schema, detail_schema, options.compute_rng)
+          : op.OutputSchema(base_schema, detail_schema));
+  if (!options.sub_aggregates && options.compute_rng) {
+    SKALLA_ASSIGN_OR_RETURN(
+        out_schema,
+        out_schema->AddField(Field{kRngCountColumn, ValueType::kInt64}));
+  }
+
+  std::vector<BlockExec> blocks(op.blocks.size());
+  for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
+    const GmdjBlock& block = op.blocks[bi];
+    BlockExec& exec = blocks[bi];
+    ConditionAnalysis analysis = AnalyzeCondition(block.theta);
+    for (const EquiAtom& atom : analysis.equi_atoms) {
+      SKALLA_ASSIGN_OR_RETURN(size_t b_idx,
+                              base_schema.RequireIndex(atom.base_col));
+      SKALLA_ASSIGN_OR_RETURN(size_t d_idx,
+                              detail_schema.RequireIndex(atom.detail_col));
+      exec.base_cols.push_back(b_idx);
+      exec.detail_cols.push_back(d_idx);
+    }
+    exec.groups = BuildGroups(detail, exec.detail_cols);
+    const size_t num_groups = exec.groups.representatives.size();
+    for (const AggSpec& spec : block.aggs) {
+      std::vector<SubAggregate> decomposed = Decompose(spec);
+      exec.agg_part_ranges.emplace_back(exec.parts.size(),
+                                        decomposed.size());
+      for (SubAggregate& sub : decomposed) {
+        PartState part;
+        part.spec = std::move(sub);
+        if (!part.spec.input.empty()) {
+          SKALLA_ASSIGN_OR_RETURN(
+              size_t idx, detail_schema.RequireIndex(part.spec.input));
+          part.input_col = static_cast<int>(idx);
+          part.input_type = detail_schema.field(idx).type;
+        }
+        Accumulate(&part, detail, exec.groups.row_group, num_groups);
+        exec.parts.push_back(std::move(part));
+      }
+    }
+  }
+
+  Table out(out_schema);
+  out.Reserve(base.num_rows());
+  for (size_t b = 0; b < base.num_rows(); ++b) {
+    const Row& base_row = base.row(b);
+    Row row = base_row;
+    row.reserve(out_schema->num_fields());
+    bool matched = false;
+    for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
+      BlockExec& exec = blocks[bi];
+      int64_t group = LookupGroup(exec.groups, detail, exec.detail_cols,
+                                  base_row, exec.base_cols);
+      if (group >= 0) matched = true;
+      if (options.sub_aggregates) {
+        for (const PartState& part : exec.parts) {
+          if (group >= 0) {
+            row.push_back(part.Final(static_cast<size_t>(group)));
+          } else {
+            row.push_back(InitialPartValue(part.spec));
+          }
+        }
+      } else {
+        for (size_t ai = 0; ai < op.blocks[bi].aggs.size(); ++ai) {
+          auto [start, len] = exec.agg_part_ranges[ai];
+          std::vector<Value> cell_parts;
+          cell_parts.reserve(len);
+          for (size_t p = 0; p < len; ++p) {
+            const PartState& part = exec.parts[start + p];
+            cell_parts.push_back(group >= 0
+                                     ? part.Final(static_cast<size_t>(group))
+                                     : InitialPartValue(part.spec));
+          }
+          row.push_back(
+              FinalizeAggregate(op.blocks[bi].aggs[ai], cell_parts));
+        }
+      }
+    }
+    if (options.compute_rng) {
+      row.push_back(Value(int64_t{matched ? 1 : 0}));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace skalla

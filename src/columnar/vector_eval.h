@@ -1,0 +1,35 @@
+// Vectorized GMDJ evaluation over columnar detail relations.
+//
+// Eligible conditions are pure conjunctions of equality atoms
+// b.X = r.Y (the dominant case in OLAP groupings). Evaluation is then
+// grouped aggregation: one pass assigns every detail row a dense group
+// id via typed hashing, one tight typed loop per sub-aggregate folds the
+// measure arrays, and one pass over the base rows probes the group map.
+// Semantics are identical to EvalGmdj (verified by tests); the win is
+// unboxed accumulation.
+
+#ifndef SKALLA_COLUMNAR_VECTOR_EVAL_H_
+#define SKALLA_COLUMNAR_VECTOR_EVAL_H_
+
+#include "columnar/column_table.h"
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "core/local_eval.h"
+
+namespace skalla {
+
+/// Whether every block of `op` is a pure conjunction of equality atoms
+/// (no residual predicate) — the precondition for EvalGmdjColumnar.
+bool ColumnarEligible(const GmdjOp& op);
+
+/// Vectorized counterpart of EvalGmdj. `options.use_index` is ignored
+/// (the group map plays that role); sub-aggregate and __rng semantics
+/// match the row engine exactly. Fails with InvalidArgument when the
+/// operator is not eligible.
+Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
+                               const GmdjOp& op,
+                               const GmdjEvalOptions& options = {});
+
+}  // namespace skalla
+
+#endif  // SKALLA_COLUMNAR_VECTOR_EVAL_H_

@@ -1,0 +1,47 @@
+// Hashing utilities: a 64-bit string/bytes hash and hash combining, used by
+// row hashing and the hash index.
+
+#ifndef SKALLA_COMMON_HASH_H_
+#define SKALLA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace skalla {
+
+/// 64-bit FNV-1a over a byte range. Deterministic across platforms.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Mixes a 64-bit value (finalizer from MurmurHash3).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines two hash values (order-sensitive).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_HASH_H_

@@ -1,0 +1,53 @@
+// Error-propagation and assertion macros shared across the code base.
+
+#ifndef SKALLA_COMMON_MACROS_H_
+#define SKALLA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/status.h"
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define SKALLA_RETURN_NOT_OK(expr)                   \
+  do {                                               \
+    ::skalla::Status _skalla_status = (expr);        \
+    if (!_skalla_status.ok()) return _skalla_status; \
+  } while (false)
+
+#define SKALLA_CONCAT_IMPL(x, y) x##y
+#define SKALLA_CONCAT(x, y) SKALLA_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define SKALLA_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  SKALLA_ASSIGN_OR_RETURN_IMPL(SKALLA_CONCAT(_skalla_result, __LINE__), \
+                               lhs, rexpr)
+
+#define SKALLA_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) return result_name.status();         \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// Internal invariant check: aborts with a message when violated. Used for
+/// conditions that indicate bugs (not user errors).
+#define SKALLA_CHECK(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "SKALLA_CHECK failed at %s:%d: %s (%s)\n",  \
+                   __FILE__, __LINE__, #cond, msg);                    \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#ifndef NDEBUG
+#define SKALLA_DCHECK(cond, msg) SKALLA_CHECK(cond, msg)
+#else
+#define SKALLA_DCHECK(cond, msg) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // SKALLA_COMMON_MACROS_H_

@@ -1,0 +1,105 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace skalla {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  SKALLA_DCHECK(n > 0, "Uniform(0) is undefined");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  SKALLA_DCHECK(lo <= hi, "UniformInt requires lo <= hi");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  SKALLA_DCHECK(n > 0, "Zipf(0) is undefined");
+  if (s <= 0.0 || n == 1) return Uniform(n);
+  // Approximate inversion of the Zipf CDF via the continuous analogue
+  // (bounded Pareto). Adequate for skewed workload generation.
+  double u = NextDouble();
+  double one_minus_s = 1.0 - s;
+  double nn = static_cast<double>(n);
+  double x;
+  if (std::fabs(one_minus_s) < 1e-9) {
+    x = std::exp(u * std::log(nn));
+  } else {
+    double h_n = (std::pow(nn, one_minus_s) - 1.0) / one_minus_s;
+    x = std::pow(u * h_n * one_minus_s + 1.0, 1.0 / one_minus_s);
+  }
+  uint64_t k = static_cast<uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+double Random::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+std::string Random::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (char& c : out) {
+    c = static_cast<char>('a' + Uniform(26));
+  }
+  return out;
+}
+
+}  // namespace skalla

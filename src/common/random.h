@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. All Skalla experiments are seeded so results are
+// reproducible run-to-run.
+
+#ifndef SKALLA_COMMON_RANDOM_H_
+#define SKALLA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skalla {
+
+/// xoshiro256** generator: fast, high-quality, fully deterministic given a
+/// seed. Not cryptographically secure (not needed here).
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed value in [0, n) with skew parameter `s` (s=0 is
+  /// uniform). Uses the rejection-inversion free CDF-table method for small
+  /// n and approximate inversion for large n.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  /// Shuffles the vector in place (Fisher–Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_RANDOM_H_

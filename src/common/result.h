@@ -1,0 +1,88 @@
+// Result<T>: value-or-Status, the return type of fallible functions that
+// produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef SKALLA_COMMON_RESULT_H_
+#define SKALLA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace skalla {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<Table> r = LoadTable(name);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+///
+/// or with the SKALLA_ASSIGN_OR_RETURN macro from common/macros.h.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {
+    if (std::get<Status>(data_).ok()) {
+      // Storing an OK status in a Result is a programming error: there is
+      // no value to return.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// The held value. Aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(data_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(data_));
+  }
+
+  /// Alias for ValueOrDie, matching arrow::Result spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::get<Status>(data_).Check();
+      std::abort();  // Unreachable; Check aborts on error.
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_RESULT_H_

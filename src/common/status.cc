@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skalla {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kTypeError:
+      return "Type error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  result += ": ";
+  result += message();
+  return result;
+}
+
+void Status::Check() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Status check failed: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace skalla

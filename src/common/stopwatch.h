@@ -1,0 +1,39 @@
+// Wall-clock stopwatch used by the distributed executor to attribute time
+// to site computation, coordinator computation, and communication.
+
+#ifndef SKALLA_COMMON_STOPWATCH_H_
+#define SKALLA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace skalla {
+
+/// Measures elapsed wall-clock time with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_STOPWATCH_H_

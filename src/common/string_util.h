@@ -1,0 +1,47 @@
+// Small string helpers (formatting, joining, splitting) used across the
+// code base. Kept dependency-free: gcc 12 lacks std::format.
+
+#ifndef SKALLA_COMMON_STRING_UTIL_H_
+#define SKALLA_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skalla {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Concatenates the string representations of all arguments using
+/// operator<<.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` at every occurrence of `sep`; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_STRING_UTIL_H_

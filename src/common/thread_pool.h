@@ -1,0 +1,51 @@
+// Fixed-size thread pool used to evaluate independent site computations in
+// parallel during distributed query execution.
+
+#ifndef SKALLA_COMMON_THREAD_POOL_H_
+#define SKALLA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skalla {
+
+/// A simple fixed-size pool of worker threads executing queued tasks.
+/// Destruction waits for all queued tasks to finish.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_THREAD_POOL_H_

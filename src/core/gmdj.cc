@@ -1,0 +1,82 @@
+#include "core/gmdj.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string GmdjBlock::ToString() const {
+  std::vector<std::string> agg_strings;
+  agg_strings.reserve(aggs.size());
+  for (const AggSpec& spec : aggs) agg_strings.push_back(spec.ToString());
+  return StrCat("(", Join(agg_strings, ", "), ") WHERE ",
+                theta == nullptr ? "true" : theta->ToString());
+}
+
+Result<SchemaPtr> GmdjOp::OutputSchema(const Schema& base,
+                                       const Schema& detail) const {
+  std::vector<Field> fields = base.fields();
+  for (const GmdjBlock& block : blocks) {
+    for (const AggSpec& spec : block.aggs) {
+      SKALLA_ASSIGN_OR_RETURN(ValueType type, AggOutputType(spec, detail));
+      fields.push_back(Field{spec.output, type});
+    }
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<SchemaPtr> GmdjOp::PartialSchema(const Schema& base,
+                                        const Schema& detail,
+                                        bool with_rng) const {
+  std::vector<Field> fields = base.fields();
+  for (const GmdjBlock& block : blocks) {
+    for (const AggSpec& spec : block.aggs) {
+      for (const SubAggregate& part : Decompose(spec)) {
+        SKALLA_ASSIGN_OR_RETURN(ValueType type,
+                                PartOutputType(part, detail));
+        fields.push_back(Field{part.part_name, type});
+      }
+    }
+  }
+  if (with_rng) fields.push_back(Field{kRngCountColumn, ValueType::kInt64});
+  return Schema::Make(std::move(fields));
+}
+
+std::vector<std::string> GmdjOp::OutputColumnNames() const {
+  std::vector<std::string> names;
+  for (const GmdjBlock& block : blocks) {
+    for (const AggSpec& spec : block.aggs) names.push_back(spec.output);
+  }
+  return names;
+}
+
+std::string GmdjOp::ToString() const {
+  std::vector<std::string> block_strings;
+  block_strings.reserve(blocks.size());
+  for (const GmdjBlock& block : blocks) {
+    block_strings.push_back(block.ToString());
+  }
+  return StrCat("MD[", detail_table, "]{", Join(block_strings, "; "), "}");
+}
+
+Result<SchemaPtr> GmdjExpr::OutputSchema(const Catalog& catalog) const {
+  SKALLA_ASSIGN_OR_RETURN(const Table* source, catalog.Get(base.table));
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr current,
+                          base.OutputSchema(*source->schema()));
+  for (const GmdjOp& op : ops) {
+    SKALLA_ASSIGN_OR_RETURN(const Table* detail, catalog.Get(op.detail_table));
+    SKALLA_ASSIGN_OR_RETURN(current,
+                            op.OutputSchema(*current, *detail->schema()));
+  }
+  return current;
+}
+
+std::string GmdjExpr::ToString() const {
+  std::string out = base.ToString();
+  for (const GmdjOp& op : ops) {
+    out = StrCat(op.ToString(), "(", out, ")");
+  }
+  return out;
+}
+
+}  // namespace skalla

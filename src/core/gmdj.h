@@ -1,0 +1,78 @@
+// The GMDJ operator (Definition 1 of the paper) and GMDJ expressions
+// (chains of GMDJ operators over a base-values query).
+//
+//   MD(B, R, (l_1, ..., l_m), (θ_1, ..., θ_m))
+//
+// extends each tuple b of the base-values relation B with, for every block
+// i, the aggregates l_i computed over RNG(b, R, θ_i) — the detail tuples
+// satisfying θ_i with respect to b.
+
+#ifndef SKALLA_CORE_GMDJ_H_
+#define SKALLA_CORE_GMDJ_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/result.h"
+#include "expr/expr.h"
+#include "relalg/operators.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// One (l_i, θ_i) pair of a GMDJ operator: a list of aggregates computed
+/// over the detail tuples matching condition θ_i.
+struct GmdjBlock {
+  std::vector<AggSpec> aggs;
+  ExprPtr theta;
+
+  std::string ToString() const;
+};
+
+/// One GMDJ operator: all blocks share the same detail relation.
+struct GmdjOp {
+  std::string detail_table;
+  std::vector<GmdjBlock> blocks;
+
+  /// Schema of the (full-aggregate) output: the base schema followed by
+  /// each block's declared aggregate columns. Fails on name collisions or
+  /// unknown aggregate inputs.
+  Result<SchemaPtr> OutputSchema(const Schema& base,
+                                 const Schema& detail) const;
+
+  /// Schema of the sub-aggregate (partial) output shipped by sites: the
+  /// base schema followed by each block's decomposed part columns, plus an
+  /// `__rng` indicator column when `with_rng` is set (used by
+  /// distribution-independent group reduction, Prop. 1).
+  Result<SchemaPtr> PartialSchema(const Schema& base, const Schema& detail,
+                                  bool with_rng) const;
+
+  /// Names of the columns this operator appends in full-aggregate mode.
+  std::vector<std::string> OutputColumnNames() const;
+
+  std::string ToString() const;
+};
+
+/// A complex GMDJ expression: the result of each (inner) GMDJ is the
+/// base-values relation of the next, as in Example 1 of the paper.
+struct GmdjExpr {
+  BaseQuery base;
+  std::vector<GmdjOp> ops;
+
+  /// Key attributes K of the base-values relation: its grouping columns.
+  const std::vector<std::string>& key_columns() const { return base.columns; }
+
+  /// Schema of the final result.
+  Result<SchemaPtr> OutputSchema(const Catalog& catalog) const;
+
+  std::string ToString() const;
+};
+
+/// Name of the |RNG| > 0 indicator column appended for Prop. 1.
+inline constexpr char kRngCountColumn[] = "__rng";
+
+}  // namespace skalla
+
+#endif  // SKALLA_CORE_GMDJ_H_

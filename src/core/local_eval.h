@@ -1,0 +1,49 @@
+// Local (single-site / centralized) evaluation of GMDJ operators.
+//
+// Conventional groupwise/hash aggregation does not directly apply to GMDJ
+// conditions because RNG(b1, R, θ) and RNG(b2, R, θ) may overlap
+// (Sect. 2.2). Following the centralized evaluation techniques of
+// [Akinde & Böhlen 2001; Chatziantoniou et al. 2001], the evaluator splits
+// each θ into hash-joinable equality atoms plus a residual predicate:
+// equality atoms key a hash index over the detail relation; candidates are
+// filtered by the residual. A naive nested-loop path (use_index = false)
+// serves as the test oracle.
+
+#ifndef SKALLA_CORE_LOCAL_EVAL_H_
+#define SKALLA_CORE_LOCAL_EVAL_H_
+
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+struct GmdjEvalOptions {
+  /// Produce decomposed sub-aggregate part columns (what a site ships)
+  /// instead of finalized aggregates.
+  bool sub_aggregates = false;
+
+  /// Append the `__rng` indicator column: 1 if RNG(b, R, θ_1 ∨ … ∨ θ_m) is
+  /// non-empty, else 0 (Prop. 1, distribution-independent group reduction).
+  bool compute_rng = false;
+
+  /// Use hash-index acceleration of equality atoms. Disable to get the
+  /// naive nested-loop oracle.
+  bool use_index = true;
+};
+
+/// Evaluates one GMDJ operator: one output row per base row, extended with
+/// the block aggregates (finalized or partial per `options`).
+Result<Table> EvalGmdj(const Table& base, const Table& detail,
+                       const GmdjOp& op, const GmdjEvalOptions& options = {});
+
+/// Reference semantics of a whole GMDJ expression against a centralized
+/// catalog: evaluates the base query, then each GMDJ in turn with full
+/// aggregates.
+Result<Table> EvalCentralized(const GmdjExpr& expr, const Catalog& catalog,
+                              bool use_index = true);
+
+}  // namespace skalla
+
+#endif  // SKALLA_CORE_LOCAL_EVAL_H_

@@ -1,0 +1,280 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+// One raw field: its text plus whether it was quoted (a quoted "NULL"
+// stays the string NULL; only bare tokens read as SQL NULL).
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Splits one CSV record honoring quotes; advances *pos past the record's
+// trailing newline.
+Result<std::vector<RawField>> ParseRecord(std::string_view text,
+                                          size_t* pos, char delimiter,
+                                          size_t line_number) {
+  std::vector<RawField> fields;
+  RawField current;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current.text.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.text.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      current.quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current = RawField();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch next iteration.
+    } else {
+      current.text.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError(
+        StrCat("unterminated quoted field at line ", line_number));
+  }
+  fields.push_back(std::move(current));
+  *pos = i;
+  return fields;
+}
+
+bool IsNullField(const RawField& field, const CsvOptions& options) {
+  return !field.quoted &&
+         (field.text.empty() || field.text == options.null_token);
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options) {
+  size_t pos = 0;
+  size_t line = 1;
+
+  std::vector<std::string> names;
+  std::vector<std::vector<RawField>> records;
+  bool first = true;
+  while (pos < text.size()) {
+    SKALLA_ASSIGN_OR_RETURN(
+        std::vector<RawField> fields,
+        ParseRecord(text, &pos, options.delimiter, line));
+    ++line;
+    if (fields.size() == 1 && !fields[0].quoted && fields[0].text.empty()) {
+      continue;  // Blank line.
+    }
+    if (first && options.header) {
+      for (RawField& f : fields) names.push_back(std::move(f.text));
+      first = false;
+      continue;
+    }
+    first = false;
+    records.push_back(std::move(fields));
+  }
+  size_t num_columns = options.header ? names.size()
+                       : (records.empty() ? 0 : records[0].size());
+  if (num_columns == 0) {
+    return Status::InvalidArgument("CSV input has no columns");
+  }
+  if (!options.header) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      names.push_back(StrCat("col", c));
+    }
+  }
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (records[r].size() != num_columns) {
+      return Status::ParseError(
+          StrCat("record ", r + 1, " has ", records[r].size(),
+                 " fields, expected ", num_columns));
+    }
+  }
+
+  // Infer types column by column.
+  std::vector<ValueType> types(num_columns, ValueType::kNull);
+  for (size_t c = 0; c < num_columns; ++c) {
+    bool all_int = true;
+    bool all_num = true;
+    bool any_value = false;
+    for (const std::vector<RawField>& record : records) {
+      const RawField& field = record[c];
+      if (IsNullField(field, options)) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      if (!ParseInt(field.text, &iv)) all_int = false;
+      if (!ParseDouble(field.text, &dv)) all_num = false;
+      if (!all_num) break;
+    }
+    if (!any_value) {
+      types[c] = ValueType::kString;  // All-null column: arbitrary.
+    } else if (all_int) {
+      types[c] = ValueType::kInt64;
+    } else if (all_num) {
+      types[c] = ValueType::kFloat64;
+    } else {
+      types[c] = ValueType::kString;
+    }
+  }
+
+  std::vector<Field> schema_fields;
+  for (size_t c = 0; c < num_columns; ++c) {
+    schema_fields.push_back(Field{names[c], types[c]});
+  }
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr schema,
+                          Schema::Make(std::move(schema_fields)));
+  Table table(schema);
+  table.Reserve(records.size());
+  for (std::vector<RawField>& record : records) {
+    Row row;
+    row.reserve(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      RawField& field = record[c];
+      if (IsNullField(field, options)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          ParseInt(field.text, &v);
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kFloat64: {
+          double v = 0;
+          ParseDouble(field.text, &v);
+          row.push_back(Value(v));
+          break;
+        }
+        default:
+          row.push_back(Value(std::move(field.text)));
+          break;
+      }
+    }
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrCat("cannot open '", path, "' for reading"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = *table.schema();
+  if (options.header) {
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += schema.field(c).name;
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      const Value& v = table.at(r, c);
+      switch (v.type()) {
+        case ValueType::kNull:
+          out += options.null_token;
+          break;
+        case ValueType::kInt64:
+          out += StrCat(v.int64());
+          break;
+        case ValueType::kFloat64:
+          out += StrPrintf("%.17g", v.float64());
+          break;
+        case ValueType::kString: {
+          const std::string& s = v.str();
+          if (NeedsQuoting(s, options.delimiter) ||
+              s == options.null_token) {
+            out.push_back('"');
+            for (char ch : s) {
+              if (ch == '"') out += "\"\"";
+              else out.push_back(ch);
+            }
+            out.push_back('"');
+          } else {
+            out += s;
+          }
+          break;
+        }
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out << WriteCsv(table, options);
+  if (!out) return Status::IOError(StrCat("failed writing '", path, "'"));
+  return Status::OK();
+}
+
+}  // namespace skalla

@@ -1,0 +1,45 @@
+// CSV import/export for Tables: the practical ingestion path for a
+// downstream user loading their own collection-point data into a Skalla
+// warehouse.
+
+#ifndef SKALLA_DATA_CSV_H_
+#define SKALLA_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names.
+  bool header = true;
+  /// Literal text (case-sensitive) read as NULL; empty fields are NULL
+  /// too.
+  std::string null_token = "NULL";
+};
+
+/// Parses CSV text into a table. Column types are inferred per column
+/// from the data: INT64 if every non-null value parses as an integer,
+/// FLOAT64 if every non-null value parses as a number, else STRING.
+/// Quoted fields ("a,b" with "" escapes) are supported.
+Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Renders a table as CSV (strings quoted when needed; NULLs as the
+/// null token).
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace skalla
+
+#endif  // SKALLA_DATA_CSV_H_

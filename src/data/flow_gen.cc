@@ -1,0 +1,66 @@
+#include "data/flow_gen.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace skalla {
+
+Table GenerateFlows(const FlowConfig& config) {
+  SchemaPtr schema = Schema::Make({{"RouterId", ValueType::kInt64},
+                                   {"SourceIP", ValueType::kInt64},
+                                   {"SourcePort", ValueType::kInt64},
+                                   {"SourceMask", ValueType::kInt64},
+                                   {"SourceAS", ValueType::kInt64},
+                                   {"DestIP", ValueType::kInt64},
+                                   {"DestPort", ValueType::kInt64},
+                                   {"DestMask", ValueType::kInt64},
+                                   {"DestAS", ValueType::kInt64},
+                                   {"StartTime", ValueType::kInt64},
+                                   {"EndTime", ValueType::kInt64},
+                                   {"NumPackets", ValueType::kInt64},
+                                   {"NumBytes", ValueType::kInt64}})
+                         .ValueOrDie();
+  Random rng(config.seed);
+  Table table(schema);
+  table.Reserve(static_cast<size_t>(config.num_flows));
+
+  for (int64_t i = 0; i < config.num_flows; ++i) {
+    // Zipf-skewed AS popularity: a few ASes originate most traffic.
+    int64_t source_as = static_cast<int64_t>(
+        rng.Zipf(static_cast<uint64_t>(config.num_as), 0.8));
+    int64_t dest_as =
+        static_cast<int64_t>(rng.Zipf(static_cast<uint64_t>(config.num_as),
+                                      0.6));
+    int64_t router = config.as_router_affinity
+                         ? RouterOfSourceAs(source_as, config.num_routers)
+                         : rng.UniformInt(0, config.num_routers - 1);
+
+    bool web = rng.Bernoulli(config.web_fraction);
+    int64_t dest_port = web ? (rng.Bernoulli(0.7) ? 80 : 443)
+                            : rng.UniformInt(1024, 65535);
+
+    int64_t start = rng.UniformInt(0, config.num_hours * 3600 - 1);
+    int64_t duration = std::max<int64_t>(
+        1, static_cast<int64_t>(rng.Exponential(30.0)));
+
+    // Heavy-tailed flow sizes: packets ~ Zipf over a wide range.
+    int64_t packets =
+        1 + static_cast<int64_t>(rng.Zipf(100000, 1.1));
+    int64_t bytes =
+        packets * rng.UniformInt(40, 1500);  // 40B ACKs to full MTU.
+
+    table.AppendUnchecked(
+        {Value(router),
+         Value(rng.UniformInt(0, (int64_t{1} << 32) - 1)),
+         Value(rng.UniformInt(1024, 65535)), Value(int64_t{24}),
+         Value(source_as),
+         Value(rng.UniformInt(0, (int64_t{1} << 32) - 1)),
+         Value(dest_port), Value(int64_t{24}), Value(dest_as),
+         Value(start), Value(start + duration), Value(packets),
+         Value(bytes)});
+  }
+  return table;
+}
+
+}  // namespace skalla

@@ -1,0 +1,47 @@
+// Deterministic IP-flow data generator for the paper's motivating
+// application (Sect. 2.1): NetFlow-style records collected at routers,
+// each router adjacent to a local warehouse (RouterId is the partition
+// attribute).
+//
+// The paper could rely on AT&T's production NetFlow feeds; we synthesize
+// the equivalent structure: heavy-tailed flow sizes, a configurable
+// fraction of web traffic, and source-AS -> router affinity (all packets
+// of a given SourceAS pass through one router, the premise of Example 2
+// and Example 5).
+
+#ifndef SKALLA_DATA_FLOW_GEN_H_
+#define SKALLA_DATA_FLOW_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace skalla {
+
+struct FlowConfig {
+  uint64_t seed = 1;
+  int64_t num_flows = 50000;
+  int64_t num_routers = 8;
+  int64_t num_as = 200;      // Autonomous systems.
+  int64_t num_hours = 24;    // StartTime spans this many hours.
+  double web_fraction = 0.6; // Flows with DestPort 80/443.
+
+  /// When true, SourceAS determines RouterId (AS -> router affinity): the
+  /// condition under which SourceAS is itself a partition attribute.
+  bool as_router_affinity = true;
+};
+
+/// Schema (per the paper's Flow relation, ports/masks/IPs as integers):
+///   (RouterId, SourceIP, SourcePort, SourceMask, SourceAS,
+///    DestIP, DestPort, DestMask, DestAS,
+///    StartTime, EndTime, NumPackets, NumBytes)
+Table GenerateFlows(const FlowConfig& config);
+
+/// The router a source AS is homed at under as_router_affinity.
+inline int64_t RouterOfSourceAs(int64_t source_as, int64_t num_routers) {
+  return source_as % num_routers;
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_DATA_FLOW_GEN_H_

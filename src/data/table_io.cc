@@ -1,0 +1,84 @@
+#include "data/table_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "net/serde.h"
+
+namespace skalla {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'A', 'L', 'L', 'A', 'T', '1'};
+
+std::string PartitionPath(const std::string& directory,
+                          const std::string& name, size_t index) {
+  return StrCat(directory, "/", name, ".part", index, ".skt");
+}
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::vector<uint8_t> payload;
+  WriteTable(table, &payload);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) return Status::IOError(StrCat("failed writing '", path, "'"));
+  return Status::OK();
+}
+
+Result<Table> ReadTableFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrCat("cannot open '", path, "' for reading"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string data = buffer.str();
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError(
+        StrCat("'", path, "' is not a Skalla table file"));
+  }
+  return ReadTable(
+      reinterpret_cast<const uint8_t*>(data.data()) + sizeof(kMagic),
+      data.size() - sizeof(kMagic));
+}
+
+Status SavePartitions(const std::vector<Table>& partitions,
+                      const std::string& directory,
+                      const std::string& name) {
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    SKALLA_RETURN_NOT_OK(
+        WriteTableFile(partitions[i], PartitionPath(directory, name, i)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Table>> LoadPartitions(const std::string& directory,
+                                          const std::string& name) {
+  std::vector<Table> partitions;
+  for (size_t i = 0;; ++i) {
+    std::string path = PartitionPath(directory, name, i);
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) break;
+    probe.close();
+    SKALLA_ASSIGN_OR_RETURN(Table table, ReadTableFile(path));
+    partitions.push_back(std::move(table));
+  }
+  if (partitions.empty()) {
+    return Status::NotFound(
+        StrCat("no partitions for '", name, "' under ", directory));
+  }
+  return partitions;
+}
+
+}  // namespace skalla

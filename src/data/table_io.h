@@ -1,0 +1,33 @@
+// Binary table files: persist Tables (and whole partitioned warehouses)
+// using the same wire format the network layer ships, so a saved file is
+// bit-identical to a transferred fragment.
+
+#ifndef SKALLA_DATA_TABLE_IO_H_
+#define SKALLA_DATA_TABLE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// File layout: 8-byte magic "SKALLAT1", then the serde table payload.
+Status WriteTableFile(const Table& table, const std::string& path);
+
+Result<Table> ReadTableFile(const std::string& path);
+
+/// Saves one file per partition: <dir>/<name>.partN.skt. The directory
+/// must exist.
+Status SavePartitions(const std::vector<Table>& partitions,
+                      const std::string& directory,
+                      const std::string& name);
+
+/// Loads <dir>/<name>.part0.skt .. consecutively until a file is missing.
+Result<std::vector<Table>> LoadPartitions(const std::string& directory,
+                                          const std::string& name);
+
+}  // namespace skalla
+
+#endif  // SKALLA_DATA_TABLE_IO_H_

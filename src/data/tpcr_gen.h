@@ -1,0 +1,58 @@
+// Deterministic TPC-R-style data generator.
+//
+// The paper derives its test database from the TPC(R) dbgen program as a
+// single denormalized relation (lineitem joined through orders, customer,
+// nation), 6M tuples / 900 MB, partitioned on NationKey — and therefore
+// also on CustKey, since each customer belongs to one nation. We generate
+// the same *structure* at configurable scale:
+//
+//  - NationKey / CustKey / CustName: partition-correlated attributes
+//    (each value occurs at exactly one site after partitioning by nation);
+//    CustName plays the paper's high-cardinality grouping role
+//    (100,000 unique values at full scale).
+//  - Clerk / OrderPriority / MktSegment: low-cardinality attributes spread
+//    across all sites (the paper's 2000-4000-value groupings).
+//  - Quantity / ExtendedPrice / Discount: measures.
+
+#ifndef SKALLA_DATA_TPCR_GEN_H_
+#define SKALLA_DATA_TPCR_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace skalla {
+
+struct TpcrConfig {
+  uint64_t seed = 42;
+
+  /// Distinct customers (CustKey in [1, num_customers]); CustName is
+  /// unique per customer. The paper uses 100,000.
+  int64_t num_customers = 10000;
+
+  /// Distinct nations; TPC uses 25.
+  int64_t num_nations = 25;
+
+  /// Distinct clerks: the low-cardinality grouping attribute (paper:
+  /// 2000-4000 unique values), uniform across nations.
+  int64_t num_clerks = 3000;
+
+  /// Total denormalized line rows to generate.
+  int64_t num_rows = 60000;
+};
+
+/// Schema:
+///   (CustKey, CustName, NationKey, RegionKey, MktSegment, OrderKey,
+///    OrderDate, OrderPriority, Clerk, PartKey, Quantity, ExtendedPrice,
+///    Discount, ShipDate)
+Table GenerateTpcr(const TpcrConfig& config);
+
+/// The nation a customer belongs to (used by tests to reason about
+/// partition correlation).
+inline int64_t NationOfCustomer(int64_t cust_key, int64_t num_nations) {
+  return cust_key % num_nations;
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_DATA_TPCR_GEN_H_

@@ -1,0 +1,316 @@
+#include "dist/async_exec.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "dist/coordinator.h"
+#include "net/channel.h"
+#include "net/serde.h"
+
+namespace skalla {
+
+namespace {
+
+// Message framing: payload[0] = 1 for success followed by the table
+// bytes, 0 for failure (the status is reported out of band).
+std::vector<uint8_t> FrameTable(const Table& table) {
+  std::vector<uint8_t> payload;
+  payload.push_back(1);
+  WriteTable(table, &payload);
+  return payload;
+}
+
+std::vector<uint8_t> FrameError() { return {0}; }
+
+// Applies the __rng > 0 filter and drops the indicator column.
+Result<Table> ApplyRngFilter(const Table& h) {
+  int rng_idx = h.schema()->IndexOf(kRngCountColumn);
+  if (rng_idx < 0) {
+    return Status::Internal("partial result lacks __rng column");
+  }
+  std::vector<size_t> keep;
+  for (size_t c = 0; c < h.num_columns(); ++c) {
+    if (c != static_cast<size_t>(rng_idx)) keep.push_back(c);
+  }
+  Table out(h.schema()->Project(keep));
+  for (size_t r = 0; r < h.num_rows(); ++r) {
+    const Value& flag = h.at(r, static_cast<size_t>(rng_idx));
+    if (!flag.is_null() && flag.AsDouble() > 0) {
+      out.AppendUnchecked(ProjectRow(h.row(r), keep));
+    }
+  }
+  return out;
+}
+
+Result<Table> FilterBase(const Table& table, const ExprPtr& predicate) {
+  SKALLA_ASSIGN_OR_RETURN(ExprPtr bound,
+                          predicate->Bind(table.schema().get(), nullptr));
+  Table out(table.schema());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (bound->EvalBool(&table.row(r), nullptr)) {
+      out.AppendUnchecked(table.row(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AsyncExecutor::AsyncExecutor(std::vector<Site> sites,
+                             NetworkConfig net_config, size_t num_threads)
+    : sites_(std::move(sites)),
+      network_(net_config),
+      num_threads_(num_threads) {}
+
+Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
+                                     ExecStats* stats) {
+  if (sites_.empty()) {
+    return Status::InvalidArgument("executor has no sites");
+  }
+  if (!plan.stages.empty() && !plan.stages.back().sync_after) {
+    return Status::InvalidArgument(
+        "the final plan stage must synchronize at the coordinator");
+  }
+  if (plan.stages.empty() && !plan.sync_base) {
+    return Status::InvalidArgument(
+        "a plan without GMDJ stages must synchronize its base query");
+  }
+  for (const PlanStage& stage : plan.stages) {
+    if (!stage.site_base_filters.empty() &&
+        stage.site_base_filters.size() != sites_.size()) {
+      return Status::InvalidArgument("site filter count mismatch");
+    }
+  }
+
+  const size_t n = sites_.size();
+  ExecStats local_stats;
+  ExecStats& st = stats == nullptr ? local_stats : *stats;
+  st.rounds.clear();
+
+  ThreadPool pool(num_threads_ == 0 ? n : num_threads_);
+  Coordinator coordinator(plan.key_columns);
+  std::vector<Table> local_base(n);
+  bool have_global = false;
+
+  std::mutex err_mu;
+  Status first_error;
+  auto record_error = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (first_error.ok()) first_error = s;
+  };
+  std::mutex time_mu;
+
+  SKALLA_ASSIGN_OR_RETURN(const Table* probe,
+                          sites_[0].catalog().Get(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
+                          plan.base.OutputSchema(*probe->schema()));
+
+  // ---- Base round ---------------------------------------------------------
+  {
+    RoundStats rs;
+    rs.label = "base";
+    rs.synchronized = plan.sync_base;
+    Stopwatch wall;
+    MessageChannel channel;
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&, i] {
+        Stopwatch timer;
+        Result<Table> b_i = sites_[i].ExecuteBaseQuery(plan.base);
+        double elapsed = timer.ElapsedSeconds();
+        {
+          std::lock_guard<std::mutex> lock(time_mu);
+          rs.site_time_max = std::max(rs.site_time_max, elapsed);
+          rs.site_time_sum += elapsed;
+        }
+        if (!b_i.ok()) {
+          record_error(b_i.status());
+          if (plan.sync_base) channel.Send(static_cast<int>(i), FrameError());
+          return;
+        }
+        if (plan.sync_base) {
+          channel.Send(static_cast<int>(i), FrameTable(*b_i));
+        } else {
+          local_base[i] = std::move(*b_i);
+        }
+      });
+    }
+    if (plan.sync_base) {
+      SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
+      for (size_t received = 0; received < n; ++received) {
+        ChannelMessage message = channel.Receive();
+        if (message.bytes.empty() || message.bytes[0] == 0) continue;
+        uint64_t table_bytes = message.bytes.size() - 1;
+        rs.bytes_to_coord += table_bytes;
+        rs.comm_time += network_.Transfer(message.from, kCoordinatorId,
+                                          table_bytes);
+        SKALLA_ASSIGN_OR_RETURN(
+            Table fragment,
+            ReadTable(message.bytes.data() + 1, table_bytes));
+        rs.tuples_to_coord += fragment.num_rows();
+        Stopwatch merge_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(fragment));
+        rs.coord_time += merge_timer.ElapsedSeconds();
+      }
+      have_global = true;
+    }
+    pool.Wait();
+    SKALLA_RETURN_NOT_OK(first_error);
+    rs.wall_time = wall.ElapsedSeconds();
+    st.rounds.push_back(std::move(rs));
+  }
+
+  // ---- GMDJ stages ---------------------------------------------------------
+  for (size_t k = 0; k < plan.stages.size(); ++k) {
+    const PlanStage& stage = plan.stages[k];
+    RoundStats rs;
+    rs.label = StrCat("md", k + 1);
+    rs.synchronized = stage.sync_after;
+    Stopwatch wall;
+
+    SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
+                            sites_[0].catalog().Get(stage.op.detail_table));
+    const Schema& detail_schema = *detail_probe->schema();
+
+    // Distribution: serialize per site at the coordinator; sites
+    // deserialize inside their own tasks (in parallel).
+    std::vector<std::vector<uint8_t>> downstream(n);
+    std::vector<uint8_t> active(n, 1);
+    if (have_global) {
+      const Table& x = coordinator.result();
+      for (size_t i = 0; i < n; ++i) {
+        const ExprPtr& filter = stage.site_base_filters.empty()
+                                    ? nullptr
+                                    : stage.site_base_filters[i];
+        Table to_send;
+        {
+          Stopwatch coord_timer;
+          if (filter != nullptr) {
+            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBase(x, filter));
+          } else {
+            to_send = x;
+          }
+          rs.coord_time += coord_timer.ElapsedSeconds();
+        }
+        if (filter != nullptr && to_send.empty() && stage.sync_after) {
+          active[i] = 0;
+          ++rs.sites_skipped;
+          continue;
+        }
+        WriteTable(to_send, &downstream[i]);
+        rs.bytes_to_sites += downstream[i].size();
+        rs.tuples_to_sites += to_send.num_rows();
+        rs.comm_time += network_.Transfer(kCoordinatorId, sites_[i].id(),
+                                          downstream[i].size());
+      }
+    }
+
+    GmdjEvalOptions eval_options;
+    eval_options.sub_aggregates = stage.sync_after;
+    eval_options.compute_rng =
+        stage.sync_after && stage.indep_group_reduction;
+
+    MessageChannel channel;
+    const bool distribute = have_global;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      pool.Submit([&, i, distribute] {
+        Stopwatch timer;
+        Status status = Status::OK();
+        Table base_in;
+        if (distribute) {
+          Result<Table> decoded =
+              ReadTable(downstream[i].data(), downstream[i].size());
+          if (!decoded.ok()) {
+            status = decoded.status();
+          } else {
+            base_in = std::move(*decoded);
+          }
+        } else {
+          base_in = std::move(local_base[i]);
+        }
+        Result<Table> result = Status::Internal("unset");
+        if (status.ok()) {
+          result = sites_[i].EvalGmdjRound(base_in, stage.op, eval_options);
+          if (result.ok() && eval_options.compute_rng) {
+            result = ApplyRngFilter(*result);
+          }
+          if (!result.ok()) status = result.status();
+        }
+        double elapsed = timer.ElapsedSeconds();
+        {
+          std::lock_guard<std::mutex> lock(time_mu);
+          rs.site_time_max = std::max(rs.site_time_max, elapsed);
+          rs.site_time_sum += elapsed;
+        }
+        if (!status.ok()) {
+          record_error(status);
+          if (stage.sync_after) {
+            channel.Send(static_cast<int>(i), FrameError());
+          }
+          return;
+        }
+        if (stage.sync_after) {
+          channel.Send(static_cast<int>(i), FrameTable(*result));
+        } else {
+          local_base[i] = std::move(*result);
+        }
+      });
+    }
+
+    if (stage.sync_after) {
+      // Incremental synchronization: merge fragments in completion order
+      // while slower sites are still working.
+      {
+        Stopwatch begin_timer;
+        SKALLA_RETURN_NOT_OK(
+            coordinator.BeginRound(stage.op, *upstream, detail_schema,
+                                   /*from_scratch=*/!have_global));
+        rs.coord_time += begin_timer.ElapsedSeconds();
+      }
+      size_t expected = 0;
+      for (size_t i = 0; i < n; ++i) expected += active[i] ? 1 : 0;
+      for (size_t received = 0; received < expected; ++received) {
+        ChannelMessage message = channel.Receive();
+        if (message.bytes.empty() || message.bytes[0] == 0) continue;
+        uint64_t table_bytes = message.bytes.size() - 1;
+        rs.bytes_to_coord += table_bytes;
+        rs.comm_time += network_.Transfer(message.from, kCoordinatorId,
+                                          table_bytes);
+        SKALLA_ASSIGN_OR_RETURN(
+            Table fragment,
+            ReadTable(message.bytes.data() + 1, table_bytes));
+        rs.tuples_to_coord += fragment.num_rows();
+        Stopwatch merge_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.MergeFragment(fragment));
+        rs.coord_time += merge_timer.ElapsedSeconds();
+      }
+      pool.Wait();
+      SKALLA_RETURN_NOT_OK(first_error);
+      Stopwatch finalize_timer;
+      SKALLA_RETURN_NOT_OK(coordinator.FinalizeRound());
+      rs.coord_time += finalize_timer.ElapsedSeconds();
+      have_global = true;
+      for (size_t i = 0; i < n; ++i) local_base[i] = Table();
+    } else {
+      pool.Wait();
+      SKALLA_RETURN_NOT_OK(first_error);
+      have_global = false;
+    }
+
+    SKALLA_ASSIGN_OR_RETURN(upstream,
+                            stage.op.OutputSchema(*upstream, detail_schema));
+    rs.wall_time = wall.ElapsedSeconds();
+    st.rounds.push_back(std::move(rs));
+  }
+
+  if (!have_global) {
+    return Status::Internal("plan finished without a global result");
+  }
+  return coordinator.result();
+}
+
+}  // namespace skalla

@@ -1,0 +1,236 @@
+#include "dist/coordinator.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "types/row.h"
+
+namespace skalla {
+
+Status Coordinator::InitBase(SchemaPtr base_schema) {
+  x_ = Table(std::move(base_schema));
+  base_row_map_.clear();
+  in_base_ = true;
+  in_round_ = false;
+  return Status::OK();
+}
+
+Status Coordinator::MergeBaseFragment(const Table& fragment) {
+  if (!in_base_) {
+    return Status::Internal("MergeBaseFragment outside a base round");
+  }
+  if (fragment.num_columns() != x_.num_columns()) {
+    return Status::InvalidArgument(
+        StrCat("base fragment arity ", fragment.num_columns(),
+               " does not match base schema arity ", x_.num_columns()));
+  }
+  for (size_t r = 0; r < fragment.num_rows(); ++r) {
+    const Row& row = fragment.row(r);
+    uint64_t h = HashRow(row);
+    std::vector<uint32_t>& bucket = base_row_map_[h];
+    bool duplicate = false;
+    for (uint32_t prev : bucket) {
+      if (RowEquals(x_.row(prev), row)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bucket.push_back(static_cast<uint32_t>(x_.num_rows()));
+      x_.AppendUnchecked(row);
+    }
+  }
+  return Status::OK();
+}
+
+int64_t Coordinator::LookupKey(const Row& key_row) const {
+  uint64_t h = HashRowKey(key_row, key_indices_);
+  auto it = key_map_.find(h);
+  if (it == key_map_.end()) return -1;
+  for (uint32_t row_id : it->second) {
+    if (RowKeyEquals(key_row, key_indices_, working_.row(row_id),
+                     key_indices_)) {
+      return row_id;
+    }
+  }
+  return -1;
+}
+
+void Coordinator::InsertKey(const Row& row, uint32_t row_id) {
+  key_map_[HashRowKey(row, key_indices_)].push_back(row_id);
+}
+
+Status Coordinator::BeginRound(const GmdjOp& op,
+                               const Schema& upstream_schema,
+                               const Schema& detail_schema,
+                               bool from_scratch) {
+  if (in_round_) {
+    return Status::Internal("BeginRound during an unfinished round");
+  }
+  in_base_ = false;
+  base_row_map_.clear();
+  in_round_ = true;
+  from_scratch_ = from_scratch;
+  round_op_ = op;
+  upstream_width_ = upstream_schema.num_fields();
+
+  parts_.clear();
+  agg_part_ranges_.clear();
+  agg_specs_.clear();
+  std::vector<Field> fields = upstream_schema.fields();
+  for (const GmdjBlock& block : round_op_.blocks) {
+    for (const AggSpec& spec : block.aggs) {
+      agg_specs_.push_back(&spec);
+      std::vector<SubAggregate> parts = Decompose(spec);
+      agg_part_ranges_.emplace_back(parts_.size(), parts.size());
+      for (SubAggregate& part : parts) {
+        SKALLA_ASSIGN_OR_RETURN(ValueType type,
+                                PartOutputType(part, detail_schema));
+        fields.push_back(Field{part.part_name, type});
+        parts_.push_back(std::move(part));
+      }
+    }
+  }
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr working_schema,
+                          Schema::Make(std::move(fields)));
+
+  key_indices_.clear();
+  for (const std::string& key : key_columns_) {
+    SKALLA_ASSIGN_OR_RETURN(size_t idx, upstream_schema.RequireIndex(key));
+    key_indices_.push_back(idx);
+  }
+
+  working_ = Table(std::move(working_schema));
+  key_map_.clear();
+
+  if (!from_scratch_) {
+    if (!x_.schema()->Equals(upstream_schema)) {
+      return Status::Internal(
+          StrCat("coordinator structure schema ", x_.schema()->ToString(),
+                 " does not match stage upstream schema ",
+                 upstream_schema.ToString()));
+    }
+    working_.Reserve(x_.num_rows());
+    for (size_t r = 0; r < x_.num_rows(); ++r) {
+      Row row = x_.row(r);
+      row.reserve(row.size() + parts_.size());
+      for (const SubAggregate& part : parts_) {
+        row.push_back(InitialPartValue(part));
+      }
+      InsertKey(row, static_cast<uint32_t>(working_.num_rows()));
+      working_.AppendUnchecked(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status Coordinator::MergeFragment(const Table& h) {
+  if (!in_round_) return Status::Internal("MergeFragment outside a round");
+  const size_t expected = upstream_width_ + parts_.size();
+  if (h.num_columns() != expected) {
+    return Status::InvalidArgument(
+        StrCat("partial result arity ", h.num_columns(), ", expected ",
+               expected));
+  }
+  for (size_t r = 0; r < h.num_rows(); ++r) {
+    const Row& incoming = h.row(r);
+    int64_t row_id = LookupKey(incoming);
+    if (row_id < 0) {
+      if (!from_scratch_) {
+        return Status::Internal(
+            StrCat("site shipped unknown group ", RowToString(incoming)));
+      }
+      Row fresh(incoming.begin(),
+                incoming.begin() + static_cast<int64_t>(upstream_width_));
+      fresh.reserve(expected);
+      for (const SubAggregate& part : parts_) {
+        fresh.push_back(InitialPartValue(part));
+      }
+      row_id = static_cast<int64_t>(working_.num_rows());
+      InsertKey(fresh, static_cast<uint32_t>(row_id));
+      working_.AppendUnchecked(std::move(fresh));
+    }
+    Row& target = working_.mutable_row(static_cast<size_t>(row_id));
+    for (size_t p = 0; p < parts_.size(); ++p) {
+      size_t col = upstream_width_ + p;
+      target[col] =
+          MergePartial(target[col], incoming[col], parts_[p].merge);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> Coordinator::TakeWorkingFragment() {
+  if (!in_round_) {
+    return Status::Internal("TakeWorkingFragment outside a round");
+  }
+  Table fragment = std::move(working_);
+  working_ = Table();
+  key_map_.clear();
+  in_round_ = false;
+  return fragment;
+}
+
+Result<Table> Coordinator::TakeBaseFragment() {
+  if (!in_base_) {
+    return Status::Internal("TakeBaseFragment outside a base round");
+  }
+  Table fragment = std::move(x_);
+  x_ = Table();
+  base_row_map_.clear();
+  in_base_ = false;
+  return fragment;
+}
+
+Status Coordinator::FinalizeRound() {
+  if (!in_round_) return Status::Internal("FinalizeRound outside a round");
+  std::vector<Field> fields;
+  fields.reserve(upstream_width_ + agg_specs_.size());
+  for (size_t i = 0; i < upstream_width_; ++i) {
+    fields.push_back(working_.schema()->field(i));
+  }
+  // Output types: algebraic aggregates finalize to FLOAT64; distributive
+  // (single-part) aggregates keep their part column type.
+  for (size_t ai = 0; ai < agg_specs_.size(); ++ai) {
+    auto [start, len] = agg_part_ranges_[ai];
+    ValueType type;
+    switch (agg_specs_[ai]->kind) {
+      case AggKind::kAvg:
+      case AggKind::kVarPop:
+      case AggKind::kStdDevPop:
+      case AggKind::kSumSq:
+        type = ValueType::kFloat64;
+        break;
+      default:
+        type = working_.schema()->field(upstream_width_ + start).type;
+        break;
+    }
+    fields.push_back(Field{agg_specs_[ai]->output, type});
+    (void)len;
+  }
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr out_schema,
+                          Schema::Make(std::move(fields)));
+  Table out(out_schema);
+  out.Reserve(working_.num_rows());
+  for (size_t r = 0; r < working_.num_rows(); ++r) {
+    const Row& w = working_.row(r);
+    Row row(w.begin(), w.begin() + static_cast<int64_t>(upstream_width_));
+    row.reserve(out_schema->num_fields());
+    for (size_t ai = 0; ai < agg_specs_.size(); ++ai) {
+      auto [start, len] = agg_part_ranges_[ai];
+      std::vector<Value> parts;
+      parts.reserve(len);
+      for (size_t p = 0; p < len; ++p) {
+        parts.push_back(w[upstream_width_ + start + p]);
+      }
+      row.push_back(FinalizeAggregate(*agg_specs_[ai], parts));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  x_ = std::move(out);
+  working_ = Table();
+  key_map_.clear();
+  in_round_ = false;
+  return Status::OK();
+}
+
+}  // namespace skalla

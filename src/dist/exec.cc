@@ -1,0 +1,424 @@
+#include "dist/exec.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "net/serde.h"
+#include "relalg/operators.h"
+
+namespace skalla {
+
+uint64_t ExecStats::TotalBytes() const {
+  return TotalBytesToSites() + TotalBytesToCoord();
+}
+uint64_t ExecStats::TotalBytesToSites() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.bytes_to_sites;
+  return n;
+}
+uint64_t ExecStats::TotalBytesToCoord() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.bytes_to_coord;
+  return n;
+}
+uint64_t ExecStats::TotalTuplesTransferred() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) {
+    n += r.tuples_to_sites + r.tuples_to_coord;
+  }
+  return n;
+}
+double ExecStats::TotalSiteTimeMax() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.site_time_max;
+  return t;
+}
+double ExecStats::TotalSiteTimeSum() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.site_time_sum;
+  return t;
+}
+double ExecStats::TotalCoordTime() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.coord_time;
+  return t;
+}
+double ExecStats::TotalCommTime() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.comm_time;
+  return t;
+}
+double ExecStats::ResponseTime() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.ResponseTime();
+  return t;
+}
+size_t ExecStats::NumSyncRounds() const {
+  size_t n = 0;
+  for (const RoundStats& r : rounds) {
+    if (r.synchronized) ++n;
+  }
+  return n;
+}
+
+std::string ExecStats::ToString() const {
+  std::string out = StrPrintf(
+      "%-8s %5s %12s %12s %10s %10s %10s %10s\n", "round", "sync",
+      "B->sites", "B->coord", "site_max", "coord", "comm", "resp");
+  for (const RoundStats& r : rounds) {
+    out += StrPrintf("%-8s %5s %12llu %12llu %9.3fms %9.3fms %9.3fms %9.3fms\n",
+                     r.label.c_str(), r.synchronized ? "yes" : "no",
+                     static_cast<unsigned long long>(r.bytes_to_sites),
+                     static_cast<unsigned long long>(r.bytes_to_coord),
+                     r.site_time_max * 1e3, r.coord_time * 1e3,
+                     r.comm_time * 1e3, r.ResponseTime() * 1e3);
+  }
+  out += StrPrintf(
+      "total: %llu bytes, %llu tuples, response %.3f ms (%zu sync rounds)\n",
+      static_cast<unsigned long long>(TotalBytes()),
+      static_cast<unsigned long long>(TotalTuplesTransferred()),
+      ResponseTime() * 1e3, NumSyncRounds());
+  return out;
+}
+
+DistributedExecutor::DistributedExecutor(std::vector<Site> sites,
+                                         NetworkConfig net_config,
+                                         ExecutorOptions options)
+    : sites_(std::move(sites)),
+      network_(net_config),
+      options_(options) {}
+
+Status DistributedExecutor::ForEachSite(
+    const std::function<Status(size_t)>& fn) {
+  if (!options_.parallel_sites || sites_.size() <= 1) {
+    for (size_t i = 0; i < sites_.size(); ++i) {
+      SKALLA_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+  size_t workers = options_.num_threads == 0 ? sites_.size()
+                                             : options_.num_threads;
+  ThreadPool pool(workers);
+  std::mutex mu;
+  Status first_error;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    pool.Submit([&, i] {
+      Status s = fn(i);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
+      }
+    });
+  }
+  pool.Wait();
+  return first_error;
+}
+
+namespace {
+
+// Ships `table` over the network with real serialization; returns the
+// deserialized copy on the receiving end, charging bytes/time to `stats`.
+// With `block_rows` > 0, the table travels as row blocks of at most that
+// many rows, each block its own message (receivers reassemble).
+Result<Table> Ship(SimulatedNetwork* network, const Table& table, int from,
+                   int to, size_t block_rows, uint64_t* bytes_acc,
+                   uint64_t* tuples_acc, double* comm_acc) {
+  *tuples_acc += table.num_rows();
+  if (block_rows == 0 || table.num_rows() <= block_rows) {
+    std::vector<uint8_t> buffer;
+    WriteTable(table, &buffer);
+    *bytes_acc += buffer.size();
+    *comm_acc += network->Transfer(from, to, buffer.size());
+    return ReadTable(buffer.data(), buffer.size());
+  }
+  Table assembled;
+  bool first = true;
+  for (size_t start = 0; start < table.num_rows(); start += block_rows) {
+    size_t end = std::min(start + block_rows, table.num_rows());
+    Table block(table.schema());
+    block.Reserve(end - start);
+    for (size_t r = start; r < end; ++r) {
+      block.AppendUnchecked(table.row(r));
+    }
+    std::vector<uint8_t> buffer;
+    WriteTable(block, &buffer);
+    *bytes_acc += buffer.size();
+    *comm_acc += network->Transfer(from, to, buffer.size());
+    SKALLA_ASSIGN_OR_RETURN(Table received,
+                            ReadTable(buffer.data(), buffer.size()));
+    if (first) {
+      assembled = std::move(received);
+      first = false;
+    } else {
+      SKALLA_ASSIGN_OR_RETURN(assembled,
+                              UnionAll(assembled, received));
+    }
+  }
+  return assembled;
+}
+
+// Applies a base-side predicate to the base-result structure.
+Result<Table> FilterBase(const Table& table, const ExprPtr& predicate) {
+  SKALLA_ASSIGN_OR_RETURN(ExprPtr bound,
+                          predicate->Bind(table.schema().get(), nullptr));
+  Table out(table.schema());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (bound->EvalBool(&table.row(r), nullptr)) {
+      out.AppendUnchecked(table.row(r));
+    }
+  }
+  return out;
+}
+
+// Drops rows with __rng = 0 and projects the __rng column away (Prop. 1
+// site-side group reduction).
+Result<Table> ApplyRngFilter(const Table& h) {
+  int rng_idx = h.schema()->IndexOf(kRngCountColumn);
+  if (rng_idx < 0) {
+    return Status::Internal("partial result lacks __rng column");
+  }
+  size_t rng = static_cast<size_t>(rng_idx);
+  std::vector<size_t> keep;
+  keep.reserve(h.num_columns() - 1);
+  for (size_t c = 0; c < h.num_columns(); ++c) {
+    if (c != rng) keep.push_back(c);
+  }
+  Table out(h.schema()->Project(keep));
+  for (size_t r = 0; r < h.num_rows(); ++r) {
+    const Value& flag = h.at(r, rng);
+    if (!flag.is_null() && flag.AsDouble() > 0) {
+      out.AppendUnchecked(ProjectRow(h.row(r), keep));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
+                                           ExecStats* stats) {
+  if (sites_.empty()) {
+    return Status::InvalidArgument("executor has no sites");
+  }
+  if (!plan.stages.empty() && !plan.stages.back().sync_after) {
+    return Status::InvalidArgument(
+        "the final plan stage must synchronize at the coordinator");
+  }
+  if (plan.stages.empty() && !plan.sync_base) {
+    return Status::InvalidArgument(
+        "a plan without GMDJ stages must synchronize its base query");
+  }
+  for (const PlanStage& stage : plan.stages) {
+    if (!stage.site_base_filters.empty() &&
+        stage.site_base_filters.size() != sites_.size()) {
+      return Status::InvalidArgument(
+          StrCat("stage has ", stage.site_base_filters.size(),
+                 " site filters for ", sites_.size(), " sites"));
+    }
+  }
+
+  const size_t n = sites_.size();
+  ExecStats local_stats;
+  ExecStats& st = stats == nullptr ? local_stats : *stats;
+  st.rounds.clear();
+
+  Coordinator coordinator(plan.key_columns);
+  std::vector<Table> local_base(n);
+  bool have_global = false;
+
+  // Schema inference chain: upstream schema entering each stage.
+  SKALLA_ASSIGN_OR_RETURN(const Table* probe,
+                          sites_[0].catalog().Get(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
+                          plan.base.OutputSchema(*probe->schema()));
+
+  // ---- Base-values stage -------------------------------------------------
+  {
+    RoundStats rs;
+    rs.label = "base";
+    rs.synchronized = plan.sync_base;
+    std::mutex mu;
+    Status status = ForEachSite([&](size_t i) -> Status {
+      Stopwatch timer;
+      Result<Table> b_i = Status::Internal("unset");
+      size_t retries = 0;
+      for (size_t attempt = 0;; ++attempt) {
+        Status injected =
+            options_.fault_injector == nullptr
+                ? Status::OK()
+                : options_.fault_injector->BeforeSiteRound(
+                      sites_[i].id(), rs.label);
+        b_i = injected.ok() ? sites_[i].ExecuteBaseQuery(plan.base)
+                            : Result<Table>(injected);
+        if (b_i.ok() || attempt >= options_.max_site_retries) break;
+        ++retries;
+      }
+      if (!b_i.ok()) return b_i.status();
+      double elapsed = timer.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(mu);
+      rs.site_time_max = std::max(rs.site_time_max, elapsed);
+      rs.site_time_sum += elapsed;
+      rs.site_retries += retries;
+      local_base[i] = std::move(*b_i);
+      return Status::OK();
+    });
+    SKALLA_RETURN_NOT_OK(status);
+
+    if (plan.sync_base) {
+      SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
+      for (size_t i = 0; i < n; ++i) {
+        SKALLA_ASSIGN_OR_RETURN(
+            Table received,
+            Ship(&network_, local_base[i], sites_[i].id(), kCoordinatorId,
+                 options_.ship_block_rows, &rs.bytes_to_coord,
+                 &rs.tuples_to_coord, &rs.comm_time));
+        Stopwatch merge_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(received));
+        rs.coord_time += merge_timer.ElapsedSeconds();
+        local_base[i] = Table();
+      }
+      have_global = true;
+    }
+    st.rounds.push_back(std::move(rs));
+  }
+
+  // ---- GMDJ stages ---------------------------------------------------------
+  for (size_t k = 0; k < plan.stages.size(); ++k) {
+    const PlanStage& stage = plan.stages[k];
+    RoundStats rs;
+    rs.label = StrCat("md", k + 1);
+    rs.synchronized = stage.sync_after;
+
+    SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
+                            sites_[0].catalog().Get(stage.op.detail_table));
+    const Schema& detail_schema = *detail_probe->schema();
+
+    // Distribute the global structure to the sites, applying
+    // distribution-aware group reduction where the optimizer derived
+    // per-site predicates. A site whose reduced structure is empty holds
+    // no group that could match: it sits the round out entirely
+    // (S_MD_k ⊂ S_B, Sect. 3.2).
+    std::vector<uint8_t> active(n, 1);
+    if (have_global) {
+      const Table& x = coordinator.result();
+      for (size_t i = 0; i < n; ++i) {
+        const ExprPtr& filter = stage.site_base_filters.empty()
+                                    ? nullptr
+                                    : stage.site_base_filters[i];
+        Table to_send;
+        {
+          Stopwatch coord_timer;
+          if (filter != nullptr) {
+            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBase(x, filter));
+          } else {
+            to_send = x;
+          }
+          rs.coord_time += coord_timer.ElapsedSeconds();
+        }
+        // Only synchronized stages may drop a site outright: a local
+        // continuation stage still needs the (empty, but schema-typed)
+        // structure to evaluate the next operator against.
+        if (filter != nullptr && to_send.empty() && stage.sync_after) {
+          active[i] = 0;
+          ++rs.sites_skipped;
+          local_base[i] = Table();
+          continue;
+        }
+        SKALLA_ASSIGN_OR_RETURN(
+            local_base[i],
+            Ship(&network_, to_send, kCoordinatorId, sites_[i].id(),
+                 options_.ship_block_rows, &rs.bytes_to_sites,
+                 &rs.tuples_to_sites, &rs.comm_time));
+      }
+    }
+
+    // Local GMDJ evaluation at every site.
+    GmdjEvalOptions eval_options;
+    eval_options.sub_aggregates = stage.sync_after;
+    eval_options.compute_rng =
+        stage.sync_after && stage.indep_group_reduction;
+    std::vector<Table> outputs(n);
+    std::mutex mu;
+    Status status = ForEachSite([&](size_t i) -> Status {
+      if (!active[i]) return Status::OK();
+      Stopwatch timer;
+      Result<Table> attempt_result = Status::Internal("unset");
+      size_t retries = 0;
+      for (size_t attempt = 0;; ++attempt) {
+        Status injected =
+            options_.fault_injector == nullptr
+                ? Status::OK()
+                : options_.fault_injector->BeforeSiteRound(
+                      sites_[i].id(), rs.label);
+        attempt_result =
+            injected.ok()
+                ? sites_[i].EvalGmdjRound(local_base[i], stage.op,
+                                          eval_options)
+                : Result<Table>(injected);
+        if (attempt_result.ok() || attempt >= options_.max_site_retries) {
+          break;
+        }
+        ++retries;
+      }
+      if (!attempt_result.ok()) return attempt_result.status();
+      Table result = std::move(*attempt_result);
+      if (eval_options.compute_rng) {
+        SKALLA_ASSIGN_OR_RETURN(result, ApplyRngFilter(result));
+      }
+      double elapsed = timer.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(mu);
+      rs.site_time_max = std::max(rs.site_time_max, elapsed);
+      rs.site_time_sum += elapsed;
+      rs.site_retries += retries;
+      outputs[i] = std::move(result);
+      return Status::OK();
+    });
+    SKALLA_RETURN_NOT_OK(status);
+
+    if (stage.sync_after) {
+      Stopwatch coord_timer;
+      SKALLA_RETURN_NOT_OK(coordinator.BeginRound(
+          stage.op, *upstream, detail_schema, /*from_scratch=*/!have_global));
+      double begin_time = coord_timer.ElapsedSeconds();
+      rs.coord_time += begin_time;
+      for (size_t i = 0; i < n; ++i) {
+        if (!active[i]) continue;
+        SKALLA_ASSIGN_OR_RETURN(
+            Table received,
+            Ship(&network_, outputs[i], sites_[i].id(), kCoordinatorId,
+                 options_.ship_block_rows, &rs.bytes_to_coord,
+                 &rs.tuples_to_coord, &rs.comm_time));
+        Stopwatch merge_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.MergeFragment(received));
+        rs.coord_time += merge_timer.ElapsedSeconds();
+        outputs[i] = Table();
+        local_base[i] = Table();
+      }
+      Stopwatch finalize_timer;
+      SKALLA_RETURN_NOT_OK(coordinator.FinalizeRound());
+      rs.coord_time += finalize_timer.ElapsedSeconds();
+      have_global = true;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        local_base[i] = std::move(outputs[i]);
+      }
+      have_global = false;
+    }
+
+    SKALLA_ASSIGN_OR_RETURN(
+        upstream, stage.op.OutputSchema(*upstream, detail_schema));
+    st.rounds.push_back(std::move(rs));
+  }
+
+  if (!have_global) {
+    return Status::Internal("plan finished without a global result");
+  }
+  return coordinator.result();
+}
+
+}  // namespace skalla

@@ -1,0 +1,32 @@
+#include "dist/fault.h"
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+Status TransientFaultInjector::BeforeSiteRound(int site,
+                                               const std::string& round) {
+  int attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[{site, round}]++;
+  }
+  if (attempt < failures_) {
+    injected_.fetch_add(1);
+    return Status::IOError(StrCat("injected transient failure at site ",
+                                  site, " round ", round, " (attempt ",
+                                  attempt + 1, ")"));
+  }
+  return Status::OK();
+}
+
+Status PermanentSiteFailure::BeforeSiteRound(int site,
+                                             const std::string& round) {
+  if (site == site_) {
+    return Status::IOError(
+        StrCat("site ", site, " is down (round ", round, ")"));
+  }
+  return Status::OK();
+}
+
+}  // namespace skalla

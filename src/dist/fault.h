@@ -1,0 +1,67 @@
+// Fault injection for the distributed executor: a chaos hook that makes
+// site-round evaluations fail on demand, plus the retry policy knobs in
+// ExecutorOptions that recover from such transient failures. A local
+// warehouse's data survives a site-process crash (it is the durable copy
+// adjacent to the collection point), so re-running the round at the
+// recovered site is the natural recovery strategy.
+
+#ifndef SKALLA_DIST_FAULT_H_
+#define SKALLA_DIST_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace skalla {
+
+/// Decides whether a site operation fails. Implementations must be
+/// thread-safe: parallel executors call concurrently.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called before site `site` evaluates round `round`. A non-OK status
+  /// simulates a site failure for this attempt.
+  virtual Status BeforeSiteRound(int site, const std::string& round) = 0;
+};
+
+/// Fails the first `failures` attempts of every (site, round) pair — the
+/// classic transient-crash model: the site comes back and the retry
+/// succeeds.
+class TransientFaultInjector : public FaultInjector {
+ public:
+  explicit TransientFaultInjector(int failures = 1)
+      : failures_(failures) {}
+
+  Status BeforeSiteRound(int site, const std::string& round) override;
+
+  /// Total failures injected so far.
+  int64_t injected() const { return injected_.load(); }
+
+ private:
+  int failures_;
+  std::atomic<int64_t> injected_{0};
+  std::mutex mu_;
+  std::map<std::pair<int, std::string>, int> attempts_;
+};
+
+/// Fails every attempt at one site — the permanent-loss model; execution
+/// must surface the error once retries are exhausted.
+class PermanentSiteFailure : public FaultInjector {
+ public:
+  explicit PermanentSiteFailure(int site) : site_(site) {}
+
+  Status BeforeSiteRound(int site, const std::string& round) override;
+
+ private:
+  int site_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_FAULT_H_

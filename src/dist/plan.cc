@@ -1,0 +1,45 @@
+#include "dist/plan.h"
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string PlanStage::ToString(size_t num_sites) const {
+  std::string out = op.ToString();
+  std::vector<std::string> flags;
+  if (!sync_after) flags.push_back("no-sync");
+  if (indep_group_reduction) flags.push_back("indep-GR");
+  if (!site_base_filters.empty()) {
+    size_t reduced = 0;
+    for (const ExprPtr& f : site_base_filters) {
+      if (f != nullptr) ++reduced;
+    }
+    flags.push_back(StrCat("aware-GR(", reduced, "/",
+                           num_sites == 0 ? site_base_filters.size()
+                                          : num_sites,
+                           " sites)"));
+  }
+  if (!flags.empty()) out += StrCat(" [", Join(flags, ", "), "]");
+  return out;
+}
+
+size_t DistributedPlan::NumSyncRounds() const {
+  size_t rounds = sync_base ? 1 : 0;
+  for (const PlanStage& stage : stages) {
+    if (stage.sync_after) ++rounds;
+  }
+  return rounds;
+}
+
+std::string DistributedPlan::ToString(size_t num_sites) const {
+  std::string out = StrCat("PLAN base: ", base.ToString(),
+                           sync_base ? " [sync]" : " [no-sync]", "\n");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    out += StrCat("  stage ", i + 1, ": ", stages[i].ToString(num_sites),
+                  "\n");
+  }
+  out += StrCat("  sync rounds: ", NumSyncRounds(), "\n");
+  return out;
+}
+
+}  // namespace skalla

@@ -1,0 +1,67 @@
+// DistributedPlan: the executable form of a GMDJ expression for the
+// coordinator/sites architecture — a sequence of stages, each evaluating
+// one GMDJ operator at the sites, with flags recording which of the
+// paper's optimizations apply.
+//
+// Plans are produced by the Egil optimizer (opt/optimizer.h); a
+// conservative plan (every optimization off) is always correct.
+
+#ifndef SKALLA_DIST_PLAN_H_
+#define SKALLA_DIST_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gmdj.h"
+#include "expr/expr.h"
+
+namespace skalla {
+
+/// One GMDJ stage of a plan.
+struct PlanStage {
+  GmdjOp op;
+
+  /// Ship partial results to the coordinator and synchronize after this
+  /// stage. When false (Theorem 5 / Corollary 1), sites carry their local
+  /// base-result structures straight into the next stage. The final stage
+  /// must always synchronize.
+  bool sync_after = true;
+
+  /// Distribution-independent group reduction (Prop. 1): sites ship only
+  /// base tuples with |RNG| > 0. Only meaningful when sync_after is set.
+  bool indep_group_reduction = false;
+
+  /// Distribution-aware group reduction (Theorem 4): per-site predicates
+  /// ¬ψ_i over the base-result structure; the coordinator sends site i
+  /// only the tuples satisfying site_base_filters[i]. Empty: no reduction.
+  /// A nullptr entry means "send everything" for that site.
+  std::vector<ExprPtr> site_base_filters;
+
+  std::string ToString(size_t num_sites) const;
+};
+
+/// A full plan: base-values stage plus GMDJ stages.
+struct DistributedPlan {
+  BaseQuery base;
+
+  /// Synchronize the base-values relation at the coordinator before the
+  /// first GMDJ stage. When false (Prop. 2), sites compute the base query
+  /// locally and proceed without synchronization.
+  bool sync_base = true;
+
+  std::vector<PlanStage> stages;
+
+  /// Key attributes K of the base-values relation (indexes the coordinator
+  /// structure; θ_K equality in Theorem 1).
+  std::vector<std::string> key_columns;
+
+  /// Number of synchronization rounds this plan performs (the paper counts
+  /// m + 1 rounds for an unoptimized m-operator expression).
+  size_t NumSyncRounds() const;
+
+  std::string ToString(size_t num_sites) const;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_PLAN_H_

@@ -1,0 +1,30 @@
+#include "dist/site.h"
+
+#include "columnar/vector_eval.h"
+#include "common/macros.h"
+
+namespace skalla {
+
+Result<Table> Site::EvalGmdjRound(const Table& base, const GmdjOp& op,
+                                  const GmdjEvalOptions& options) const {
+  if (!columnar_.empty() && ColumnarEligible(op)) {
+    auto it = columnar_.find(op.detail_table);
+    if (it != columnar_.end()) {
+      return EvalGmdjColumnar(base, it->second, op, options);
+    }
+  }
+  SKALLA_ASSIGN_OR_RETURN(const Table* detail, catalog_.Get(op.detail_table));
+  return EvalGmdj(base, *detail, op, options);
+}
+
+Status Site::EnableColumnarCache() {
+  for (const std::string& name : catalog_.TableNames()) {
+    SKALLA_ASSIGN_OR_RETURN(const Table* table, catalog_.Get(name));
+    SKALLA_ASSIGN_OR_RETURN(ColumnTable columnar,
+                            ColumnTable::FromRowTable(*table));
+    columnar_.emplace(name, std::move(columnar));
+  }
+  return Status::OK();
+}
+
+}  // namespace skalla

@@ -1,0 +1,60 @@
+// Site: a local data warehouse adjacent to a collection point. Each site
+// holds a partition of every fact relation (its local Catalog) and is
+// fully capable of evaluating GMDJ operators against its local data.
+
+#ifndef SKALLA_DIST_SITE_H_
+#define SKALLA_DIST_SITE_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "columnar/column_table.h"
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "core/local_eval.h"
+#include "relalg/operators.h"
+#include "storage/catalog.h"
+
+namespace skalla {
+
+/// One Skalla site. Stateless across rounds: the distributed executor
+/// owns the per-site base-result structures.
+class Site {
+ public:
+  Site(int id, Catalog catalog) : id_(id), catalog_(std::move(catalog)) {}
+
+  int id() const { return id_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Evaluates the base-values query against the local partition.
+  Result<Table> ExecuteBaseQuery(const BaseQuery& query) const {
+    return query.Execute(catalog_);
+  }
+
+  /// Evaluates one GMDJ operator against the local detail partition for
+  /// the given base-values relation.
+  Result<Table> EvalGmdjRound(const Table& base, const GmdjOp& op,
+                              const GmdjEvalOptions& options) const;
+
+  /// The local partition of the named detail relation.
+  Result<const Table*> DetailTable(std::string_view name) const {
+    return catalog_.Get(name);
+  }
+
+  /// Precomputes columnar copies of every local relation. Subsequent
+  /// GMDJ rounds whose conditions are pure equality conjunctions run on
+  /// the vectorized evaluator instead of the row engine.
+  Status EnableColumnarCache();
+
+  bool columnar_enabled() const { return !columnar_.empty(); }
+
+ private:
+  int id_;
+  Catalog catalog_;
+  std::unordered_map<std::string, ColumnTable> columnar_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_SITE_H_

@@ -1,0 +1,482 @@
+#include "dist/tree.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "dist/coordinator.h"
+#include "net/serde.h"
+
+namespace skalla {
+
+CoordinatorTree CoordinatorTree::Balanced(size_t num_sites, size_t fanout) {
+  if (fanout < 2) fanout = 2;
+  CoordinatorTree tree;
+  if (num_sites == 0) {
+    tree.nodes.push_back(Node{});
+    return tree;
+  }
+  // Creates the node covering sites [lo, hi); returns its index.
+  std::function<int(size_t, size_t, int, size_t)> build =
+      [&](size_t lo, size_t hi, int parent, size_t depth) -> int {
+    int idx = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(Node{parent, {}, {}, depth});
+    size_t count = hi - lo;
+    if (count <= fanout) {
+      for (size_t s = lo; s < hi; ++s) {
+        tree.nodes[static_cast<size_t>(idx)].child_sites.push_back(
+            static_cast<int>(s));
+      }
+      return idx;
+    }
+    size_t base = count / fanout;
+    size_t rem = count % fanout;
+    size_t start = lo;
+    for (size_t c = 0; c < fanout; ++c) {
+      size_t len = base + (c < rem ? 1 : 0);
+      if (len == 0) continue;
+      if (len == 1) {
+        tree.nodes[static_cast<size_t>(idx)].child_sites.push_back(
+            static_cast<int>(start));
+      } else {
+        int child = build(start, start + len, idx, depth + 1);
+        tree.nodes[static_cast<size_t>(idx)].child_nodes.push_back(child);
+      }
+      start += len;
+    }
+    return idx;
+  };
+  build(0, num_sites, -1, 0);
+  return tree;
+}
+
+size_t CoordinatorTree::depth() const {
+  size_t d = 0;
+  for (const Node& node : nodes) d = std::max(d, node.depth);
+  return d + 1;
+}
+
+std::string CoordinatorTree::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += StrCat(std::string(nodes[i].depth * 2, ' '), "coord", i, ": ");
+    std::vector<std::string> parts;
+    for (int c : nodes[i].child_nodes) parts.push_back(StrCat("coord", c));
+    for (int s : nodes[i].child_sites) parts.push_back(StrCat("site", s));
+    out += Join(parts, ", ");
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<int> CoordinatorTree::SitesUnder(int node) const {
+  std::vector<int> sites;
+  std::vector<int> stack{node};
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    const Node& current = nodes[static_cast<size_t>(n)];
+    sites.insert(sites.end(), current.child_sites.begin(),
+                 current.child_sites.end());
+    stack.insert(stack.end(), current.child_nodes.begin(),
+                 current.child_nodes.end());
+  }
+  return sites;
+}
+
+uint64_t TreeExecStats::TotalBytes() const {
+  uint64_t n = 0;
+  for (const TreeRoundStats& r : rounds) n += r.total_bytes;
+  return n;
+}
+uint64_t TreeExecStats::RootBytes() const {
+  uint64_t n = 0;
+  for (const TreeRoundStats& r : rounds) n += r.root_bytes;
+  return n;
+}
+double TreeExecStats::ResponseTime() const {
+  double t = 0;
+  for (const TreeRoundStats& r : rounds) t += r.ResponseTime();
+  return t;
+}
+std::string TreeExecStats::ToString() const {
+  std::string out =
+      StrPrintf("%-8s %5s %14s %14s %10s %10s %10s\n", "round", "sync",
+                "root_bytes", "total_bytes", "site_max", "coord", "comm");
+  for (const TreeRoundStats& r : rounds) {
+    out += StrPrintf("%-8s %5s %14llu %14llu %9.3fms %9.3fms %9.3fms\n",
+                     r.label.c_str(), r.synchronized ? "yes" : "no",
+                     static_cast<unsigned long long>(r.root_bytes),
+                     static_cast<unsigned long long>(r.total_bytes),
+                     r.site_time_max * 1e3, r.coord_time * 1e3,
+                     r.comm_time * 1e3);
+  }
+  out += StrPrintf("total: %llu bytes (%llu at root), response %.3f ms\n",
+                   static_cast<unsigned long long>(TotalBytes()),
+                   static_cast<unsigned long long>(RootBytes()),
+                   ResponseTime() * 1e3);
+  return out;
+}
+
+TreeExecutor::TreeExecutor(std::vector<Site> sites, CoordinatorTree tree,
+                           NetworkConfig net_config)
+    : sites_(std::move(sites)),
+      tree_(std::move(tree)),
+      network_(net_config) {}
+
+namespace {
+
+// Per-round accounting shared by the recursive phases.
+struct RoundAccum {
+  explicit RoundAccum(size_t num_nodes)
+      : link_time(num_nodes, 0.0), merge_time(num_nodes, 0.0) {}
+  std::vector<double> link_time;   // Transfer time charged per node.
+  std::vector<double> merge_time;  // Merge/filter compute per node.
+  uint64_t root_bytes = 0;
+  uint64_t total_bytes = 0;
+};
+
+// Network endpoint id of coordinator node i (sites use their own ids).
+int NodeEndpoint(int node) { return -(node + 1); }
+
+Result<Table> ShipOverLink(SimulatedNetwork* network, const Table& table,
+                           int from, int to, int charged_node,
+                           RoundAccum* accum) {
+  std::vector<uint8_t> buffer;
+  WriteTable(table, &buffer);
+  accum->total_bytes += buffer.size();
+  if (charged_node == 0) accum->root_bytes += buffer.size();
+  accum->link_time[static_cast<size_t>(charged_node)] +=
+      network->Transfer(from, to, buffer.size());
+  return ReadTable(buffer.data(), buffer.size());
+}
+
+// Folds per-node values into a response-time contribution: levels are
+// sequential, nodes within a level work in parallel.
+double SumOfLevelMaxima(const CoordinatorTree& tree,
+                        const std::vector<double>& per_node) {
+  std::vector<double> level_max(tree.depth(), 0.0);
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    level_max[tree.nodes[i].depth] =
+        std::max(level_max[tree.nodes[i].depth], per_node[i]);
+  }
+  double total = 0;
+  for (double v : level_max) total += v;
+  return total;
+}
+
+}  // namespace
+
+Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
+                                    TreeExecStats* stats) {
+  if (sites_.empty()) {
+    return Status::InvalidArgument("executor has no sites");
+  }
+  if (!plan.stages.empty() && !plan.stages.back().sync_after) {
+    return Status::InvalidArgument(
+        "the final plan stage must synchronize at the coordinator");
+  }
+  if (plan.stages.empty() && !plan.sync_base) {
+    return Status::InvalidArgument(
+        "a plan without GMDJ stages must synchronize its base query");
+  }
+  for (const PlanStage& stage : plan.stages) {
+    if (!stage.site_base_filters.empty() &&
+        stage.site_base_filters.size() != sites_.size()) {
+      return Status::InvalidArgument("site filter count mismatch");
+    }
+  }
+
+  TreeExecStats local_stats;
+  TreeExecStats& st = stats == nullptr ? local_stats : *stats;
+  st.rounds.clear();
+
+  const size_t n = sites_.size();
+  std::vector<Table> local_base(n);
+  bool have_global = false;
+  Coordinator root(plan.key_columns);
+
+  SKALLA_ASSIGN_OR_RETURN(const Table* probe,
+                          sites_[0].catalog().Get(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
+                          plan.base.OutputSchema(*probe->schema()));
+
+  // ---- Base round ---------------------------------------------------------
+  {
+    TreeRoundStats rs;
+    rs.label = "base";
+    rs.synchronized = plan.sync_base;
+    RoundAccum accum(tree_.nodes.size());
+    for (size_t i = 0; i < n; ++i) {
+      Stopwatch timer;
+      SKALLA_ASSIGN_OR_RETURN(local_base[i],
+                              sites_[i].ExecuteBaseQuery(plan.base));
+      rs.site_time_max = std::max(rs.site_time_max, timer.ElapsedSeconds());
+    }
+    if (plan.sync_base) {
+      // Post-order distinct-union up the tree.
+      std::function<Result<Table>(int)> merge_up =
+          [&](int node) -> Result<Table> {
+        Coordinator c({});
+        SKALLA_RETURN_NOT_OK(c.InitBase(upstream));
+        const CoordinatorTree::Node& current =
+            tree_.nodes[static_cast<size_t>(node)];
+        for (int s : current.child_sites) {
+          SKALLA_ASSIGN_OR_RETURN(
+              Table received,
+              ShipOverLink(&network_, local_base[static_cast<size_t>(s)], s,
+                           NodeEndpoint(node), node, &accum));
+          Stopwatch timer;
+          SKALLA_RETURN_NOT_OK(c.MergeBaseFragment(received));
+          accum.merge_time[static_cast<size_t>(node)] +=
+              timer.ElapsedSeconds();
+          local_base[static_cast<size_t>(s)] = Table();
+        }
+        for (int child : current.child_nodes) {
+          SKALLA_ASSIGN_OR_RETURN(Table fragment, merge_up(child));
+          SKALLA_ASSIGN_OR_RETURN(
+              Table received,
+              ShipOverLink(&network_, fragment, NodeEndpoint(child),
+                           NodeEndpoint(node), node, &accum));
+          Stopwatch timer;
+          SKALLA_RETURN_NOT_OK(c.MergeBaseFragment(received));
+          accum.merge_time[static_cast<size_t>(node)] +=
+              timer.ElapsedSeconds();
+        }
+        return c.TakeBaseFragment();
+      };
+      SKALLA_ASSIGN_OR_RETURN(Table global_base, merge_up(0));
+      root.SetResult(std::move(global_base));
+      have_global = true;
+    }
+    rs.root_bytes = accum.root_bytes;
+    rs.total_bytes = accum.total_bytes;
+    rs.comm_time = SumOfLevelMaxima(tree_, accum.link_time);
+    rs.coord_time = SumOfLevelMaxima(tree_, accum.merge_time);
+    st.rounds.push_back(std::move(rs));
+  }
+
+  // ---- GMDJ stages ---------------------------------------------------------
+  for (size_t k = 0; k < plan.stages.size(); ++k) {
+    const PlanStage& stage = plan.stages[k];
+    TreeRoundStats rs;
+    rs.label = StrCat("md", k + 1);
+    rs.synchronized = stage.sync_after;
+    RoundAccum accum(tree_.nodes.size());
+
+    SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
+                            sites_[0].catalog().Get(stage.op.detail_table));
+    const Schema& detail_schema = *detail_probe->schema();
+
+    // Bind the per-site aware-GR filters once against the upstream schema.
+    std::vector<ExprPtr> bound_filters(n);
+    bool any_filter = false;
+    if (!stage.site_base_filters.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (stage.site_base_filters[i] == nullptr) continue;
+        SKALLA_ASSIGN_OR_RETURN(
+            bound_filters[i],
+            stage.site_base_filters[i]->Bind(upstream.get(), nullptr));
+        any_filter = true;
+      }
+    }
+
+    if (have_global) {
+      // Relay the global structure down the tree, pruning each subtree
+      // link to the rows some descendant site can match.
+      std::function<Status(int, const Table&)> distribute =
+          [&](int node, const Table& table) -> Status {
+        const CoordinatorTree::Node& current =
+            tree_.nodes[static_cast<size_t>(node)];
+        for (int s : current.child_sites) {
+          Table to_send(table.schema());
+          {
+            Stopwatch timer;
+            if (any_filter && bound_filters[static_cast<size_t>(s)]) {
+              const ExprPtr& f = bound_filters[static_cast<size_t>(s)];
+              for (size_t r = 0; r < table.num_rows(); ++r) {
+                if (f->EvalBool(&table.row(r), nullptr)) {
+                  to_send.AppendUnchecked(table.row(r));
+                }
+              }
+            } else {
+              to_send = table;
+            }
+            accum.merge_time[static_cast<size_t>(node)] +=
+                timer.ElapsedSeconds();
+          }
+          SKALLA_ASSIGN_OR_RETURN(
+              local_base[static_cast<size_t>(s)],
+              ShipOverLink(&network_, to_send, NodeEndpoint(node), s, node,
+                           &accum));
+        }
+        for (int child : current.child_nodes) {
+          Table to_send(table.schema());
+          {
+            Stopwatch timer;
+            if (any_filter) {
+              std::vector<int> subtree = tree_.SitesUnder(child);
+              bool all_unfiltered = false;
+              for (int s : subtree) {
+                if (bound_filters[static_cast<size_t>(s)] == nullptr) {
+                  all_unfiltered = true;
+                  break;
+                }
+              }
+              if (all_unfiltered) {
+                to_send = table;
+              } else {
+                for (size_t r = 0; r < table.num_rows(); ++r) {
+                  for (int s : subtree) {
+                    if (bound_filters[static_cast<size_t>(s)]->EvalBool(
+                            &table.row(r), nullptr)) {
+                      to_send.AppendUnchecked(table.row(r));
+                      break;
+                    }
+                  }
+                }
+              }
+            } else {
+              to_send = table;
+            }
+            accum.merge_time[static_cast<size_t>(node)] +=
+                timer.ElapsedSeconds();
+          }
+          SKALLA_ASSIGN_OR_RETURN(
+              Table received,
+              ShipOverLink(&network_, to_send, NodeEndpoint(node),
+                           NodeEndpoint(child), node, &accum));
+          SKALLA_RETURN_NOT_OK(distribute(child, received));
+        }
+        return Status::OK();
+      };
+      SKALLA_RETURN_NOT_OK(distribute(0, root.result()));
+    }
+
+    // Local evaluation at every site.
+    GmdjEvalOptions eval_options;
+    eval_options.sub_aggregates = stage.sync_after;
+    eval_options.compute_rng =
+        stage.sync_after && stage.indep_group_reduction;
+    std::vector<Table> outputs(n);
+    for (size_t i = 0; i < n; ++i) {
+      Stopwatch timer;
+      SKALLA_ASSIGN_OR_RETURN(
+          Table result,
+          sites_[i].EvalGmdjRound(local_base[i], stage.op, eval_options));
+      if (eval_options.compute_rng) {
+        // Reuse the flat executor's filter semantics: keep |RNG| > 0 rows
+        // and drop the indicator column.
+        int rng_idx = result.schema()->IndexOf(kRngCountColumn);
+        if (rng_idx < 0) return Status::Internal("missing __rng column");
+        std::vector<size_t> keep;
+        for (size_t c = 0; c < result.num_columns(); ++c) {
+          if (c != static_cast<size_t>(rng_idx)) keep.push_back(c);
+        }
+        Table filtered(result.schema()->Project(keep));
+        for (size_t r = 0; r < result.num_rows(); ++r) {
+          const Value& flag = result.at(r, static_cast<size_t>(rng_idx));
+          if (!flag.is_null() && flag.AsDouble() > 0) {
+            filtered.AppendUnchecked(ProjectRow(result.row(r), keep));
+          }
+        }
+        result = std::move(filtered);
+      }
+      rs.site_time_max = std::max(rs.site_time_max, timer.ElapsedSeconds());
+      outputs[i] = std::move(result);
+    }
+
+    if (stage.sync_after) {
+      // Post-order partial merge up the tree; the root finalizes.
+      std::function<Result<Table>(int)> merge_up =
+          [&](int node) -> Result<Table> {
+        Coordinator c(plan.key_columns);
+        SKALLA_RETURN_NOT_OK(c.BeginRound(stage.op, *upstream,
+                                          detail_schema,
+                                          /*from_scratch=*/true));
+        const CoordinatorTree::Node& current =
+            tree_.nodes[static_cast<size_t>(node)];
+        for (int s : current.child_sites) {
+          SKALLA_ASSIGN_OR_RETURN(
+              Table received,
+              ShipOverLink(&network_, outputs[static_cast<size_t>(s)], s,
+                           NodeEndpoint(node), node, &accum));
+          Stopwatch timer;
+          SKALLA_RETURN_NOT_OK(c.MergeFragment(received));
+          accum.merge_time[static_cast<size_t>(node)] +=
+              timer.ElapsedSeconds();
+        }
+        for (int child : current.child_nodes) {
+          SKALLA_ASSIGN_OR_RETURN(Table fragment, merge_up(child));
+          SKALLA_ASSIGN_OR_RETURN(
+              Table received,
+              ShipOverLink(&network_, fragment, NodeEndpoint(child),
+                           NodeEndpoint(node), node, &accum));
+          Stopwatch timer;
+          SKALLA_RETURN_NOT_OK(c.MergeFragment(received));
+          accum.merge_time[static_cast<size_t>(node)] +=
+              timer.ElapsedSeconds();
+        }
+        return c.TakeWorkingFragment();
+      };
+
+      // The root merges like any node, but seeded from X when the global
+      // structure exists, and finalizing super-aggregates at the end.
+      SKALLA_RETURN_NOT_OK(root.BeginRound(stage.op, *upstream,
+                                           detail_schema,
+                                           /*from_scratch=*/!have_global));
+      const CoordinatorTree::Node& root_node = tree_.nodes[0];
+      for (int s : root_node.child_sites) {
+        SKALLA_ASSIGN_OR_RETURN(
+            Table received,
+            ShipOverLink(&network_, outputs[static_cast<size_t>(s)], s,
+                         NodeEndpoint(0), 0, &accum));
+        Stopwatch timer;
+        SKALLA_RETURN_NOT_OK(root.MergeFragment(received));
+        accum.merge_time[0] += timer.ElapsedSeconds();
+      }
+      for (int child : root_node.child_nodes) {
+        SKALLA_ASSIGN_OR_RETURN(Table fragment, merge_up(child));
+        SKALLA_ASSIGN_OR_RETURN(
+            Table received,
+            ShipOverLink(&network_, fragment, NodeEndpoint(child),
+                         NodeEndpoint(0), 0, &accum));
+        Stopwatch timer;
+        SKALLA_RETURN_NOT_OK(root.MergeFragment(received));
+        accum.merge_time[0] += timer.ElapsedSeconds();
+      }
+      {
+        Stopwatch timer;
+        SKALLA_RETURN_NOT_OK(root.FinalizeRound());
+        accum.merge_time[0] += timer.ElapsedSeconds();
+      }
+      have_global = true;
+      for (size_t i = 0; i < n; ++i) {
+        outputs[i] = Table();
+        local_base[i] = Table();
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        local_base[i] = std::move(outputs[i]);
+      }
+      have_global = false;
+    }
+
+    SKALLA_ASSIGN_OR_RETURN(upstream,
+                            stage.op.OutputSchema(*upstream, detail_schema));
+    rs.root_bytes = accum.root_bytes;
+    rs.total_bytes = accum.total_bytes;
+    rs.comm_time = SumOfLevelMaxima(tree_, accum.link_time);
+    rs.coord_time = SumOfLevelMaxima(tree_, accum.merge_time);
+    st.rounds.push_back(std::move(rs));
+  }
+
+  if (!have_global) {
+    return Status::Internal("plan finished without a global result");
+  }
+  return root.result();
+}
+
+}  // namespace skalla

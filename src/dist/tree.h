@@ -1,0 +1,105 @@
+// Multi-tier coordinator architecture — the first of the paper's "future
+// research topics" (Sect. 6): instead of every site talking to one
+// coordinator (a star), sites hang off a tree of coordinators. Because
+// super-aggregation is associative (Theorem 1 merges compose), each
+// internal coordinator merges its children's partial base-result
+// structures and forwards one merged partial upward; the root finalizes.
+// Downward, the global structure is relayed level by level, with
+// distribution-aware group reduction pushed down the tree: a fragment
+// travels into a subtree only if some descendant site's ¬ψ_i accepts it.
+//
+// The payoff is at the root: with n sites and fanout f, the root link
+// carries f partials per round instead of n — the star topology's
+// quadratic coordinator traffic becomes logarithmic in depth.
+
+#ifndef SKALLA_DIST_TREE_H_
+#define SKALLA_DIST_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/exec.h"
+#include "dist/plan.h"
+#include "dist/site.h"
+#include "net/network.h"
+
+namespace skalla {
+
+/// A tree of coordinators over the sites. Node 0 is the root; every site
+/// is attached to exactly one node.
+struct CoordinatorTree {
+  struct Node {
+    int parent = -1;                // -1 for the root.
+    std::vector<int> child_nodes;   // Indices into `nodes`.
+    std::vector<int> child_sites;   // Site indices (leaves).
+    size_t depth = 0;
+  };
+
+  std::vector<Node> nodes;
+
+  /// Builds a balanced tree with the given fanout: sites are grouped
+  /// `fanout` per leaf coordinator, leaf coordinators are grouped
+  /// `fanout` per parent, and so on up to a single root. fanout >= n
+  /// degenerates to the flat star topology.
+  static CoordinatorTree Balanced(size_t num_sites, size_t fanout);
+
+  size_t depth() const;
+  std::string ToString() const;
+
+  /// All site indices in the subtree rooted at `node`.
+  std::vector<int> SitesUnder(int node) const;
+};
+
+/// Per-round accounting for the tree executor.
+struct TreeRoundStats {
+  std::string label;
+  bool synchronized = false;
+  /// Bytes over the root's own links (the star topology's bottleneck).
+  uint64_t root_bytes = 0;
+  /// Bytes over every link of the tree.
+  uint64_t total_bytes = 0;
+  /// Max over sites of local compute.
+  double site_time_max = 0;
+  /// Merge/filter compute summed over coordinator nodes.
+  double coord_time = 0;
+  /// Modeled communication: per level, links transfer in parallel; the
+  /// slowest node per level gates the round.
+  double comm_time = 0;
+
+  double ResponseTime() const {
+    return comm_time + site_time_max + coord_time;
+  }
+};
+
+struct TreeExecStats {
+  std::vector<TreeRoundStats> rounds;
+
+  uint64_t TotalBytes() const;
+  uint64_t RootBytes() const;
+  double ResponseTime() const;
+  std::string ToString() const;
+};
+
+/// Executes DistributedPlans over a coordinator tree. Results are
+/// bit-identical to DistributedExecutor's; only the traffic pattern and
+/// cost change.
+class TreeExecutor {
+ public:
+  TreeExecutor(std::vector<Site> sites, CoordinatorTree tree,
+               NetworkConfig net_config = {});
+
+  Result<Table> Execute(const DistributedPlan& plan, TreeExecStats* stats);
+
+  size_t num_sites() const { return sites_.size(); }
+  const CoordinatorTree& tree() const { return tree_; }
+
+ private:
+  std::vector<Site> sites_;
+  CoordinatorTree tree_;
+  SimulatedNetwork network_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_TREE_H_

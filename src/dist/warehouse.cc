@@ -1,0 +1,173 @@
+#include "dist/warehouse.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "data/table_io.h"
+#include "relalg/operators.h"
+
+namespace skalla {
+
+DistributedWarehouse::DistributedWarehouse(size_t num_sites,
+                                           NetworkConfig net_config,
+                                           ExecutorOptions exec_options)
+    : num_sites_(num_sites == 0 ? 1 : num_sites),
+      net_config_(net_config),
+      exec_options_(exec_options),
+      site_catalogs_(num_sites_) {}
+
+Status DistributedWarehouse::AddPartitionedTable(
+    const std::string& name, std::vector<Table> partitions,
+    const std::vector<std::string>& tracked_columns) {
+  if (partitions.size() != num_sites_) {
+    return Status::InvalidArgument(
+        StrCat("got ", partitions.size(), " partitions for ", num_sites_,
+               " sites"));
+  }
+  if (!tracked_columns.empty()) {
+    SKALLA_ASSIGN_OR_RETURN(
+        PartitionInfo info,
+        PartitionInfo::ComputeFromPartitions(partitions, tracked_columns));
+    partition_info_[name] = std::move(info);
+  }
+  tracked_columns_[name] = tracked_columns;
+  Table whole(partitions[0].schema());
+  for (const Table& part : partitions) {
+    SKALLA_ASSIGN_OR_RETURN(whole, UnionAll(whole, part));
+  }
+  central_.Register(name, std::move(whole));
+  for (size_t i = 0; i < num_sites_; ++i) {
+    site_catalogs_[i].Register(name, std::move(partitions[i]));
+  }
+  return Status::OK();
+}
+
+Status DistributedWarehouse::AddTablePartitionedBy(
+    const std::string& name, const Table& table,
+    const std::string& partition_column,
+    std::vector<std::string> extra_tracked) {
+  SKALLA_ASSIGN_OR_RETURN(
+      std::vector<Table> partitions,
+      PartitionByValue(table, partition_column, num_sites_));
+  std::vector<std::string> tracked = std::move(extra_tracked);
+  tracked.push_back(partition_column);
+  return AddPartitionedTable(name, std::move(partitions), tracked);
+}
+
+Result<DistributedPlan> DistributedWarehouse::Plan(
+    const GmdjExpr& expr, const OptimizerOptions& options) const {
+  Egil optimizer(options, num_sites_);
+  for (const auto& [table, info] : partition_info_) {
+    optimizer.SetPartitionInfo(table, &info);
+  }
+  return optimizer.Optimize(expr);
+}
+
+Result<Table> DistributedWarehouse::Execute(const GmdjExpr& expr,
+                                            const OptimizerOptions& options,
+                                            ExecStats* stats) const {
+  SKALLA_ASSIGN_OR_RETURN(DistributedPlan plan, Plan(expr, options));
+  return ExecutePlan(plan, stats);
+}
+
+Result<Table> DistributedWarehouse::ExecutePlan(const DistributedPlan& plan,
+                                                ExecStats* stats) const {
+  std::vector<Site> sites;
+  sites.reserve(num_sites_);
+  for (size_t i = 0; i < num_sites_; ++i) {
+    sites.emplace_back(static_cast<int>(i), site_catalogs_[i]);
+    if (exec_options_.columnar_sites) {
+      SKALLA_RETURN_NOT_OK(sites.back().EnableColumnarCache());
+    }
+  }
+  DistributedExecutor executor(std::move(sites), net_config_, exec_options_);
+  return executor.Execute(plan, stats);
+}
+
+Result<Table> DistributedWarehouse::ExecuteCentralized(
+    const GmdjExpr& expr) const {
+  return EvalCentralized(expr, central_);
+}
+
+const PartitionInfo* DistributedWarehouse::partition_info(
+    const std::string& name) const {
+  auto it = partition_info_.find(name);
+  return it == partition_info_.end() ? nullptr : &it->second;
+}
+
+Status DistributedWarehouse::Save(const std::string& directory) const {
+  std::string manifest = StrCat("skalla-warehouse 1\nsites ", num_sites_,
+                                "\n");
+  for (const std::string& name : central_.TableNames()) {
+    std::vector<Table> partitions;
+    partitions.reserve(num_sites_);
+    for (size_t i = 0; i < num_sites_; ++i) {
+      SKALLA_ASSIGN_OR_RETURN(const Table* part, site_catalogs_[i].Get(name));
+      partitions.push_back(*part);
+    }
+    SKALLA_RETURN_NOT_OK(SavePartitions(partitions, directory, name));
+    auto tracked = tracked_columns_.find(name);
+    manifest += StrCat(
+        "table ", name, " tracked ",
+        tracked == tracked_columns_.end() ? "" : Join(tracked->second, ","),
+        "\n");
+  }
+  std::ofstream out(directory + "/MANIFEST", std::ios::binary);
+  if (!out) {
+    return Status::IOError(
+        StrCat("cannot write manifest under '", directory, "'"));
+  }
+  out << manifest;
+  if (!out) return Status::IOError("failed writing manifest");
+  return Status::OK();
+}
+
+Result<DistributedWarehouse> DistributedWarehouse::Load(
+    const std::string& directory, NetworkConfig net_config,
+    ExecutorOptions exec_options) {
+  std::ifstream in(directory + "/MANIFEST", std::ios::binary);
+  if (!in) {
+    return Status::IOError(
+        StrCat("no warehouse manifest under '", directory, "'"));
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "skalla-warehouse 1") {
+    return Status::IOError("unrecognized warehouse manifest header");
+  }
+  if (!std::getline(in, line) || line.rfind("sites ", 0) != 0) {
+    return Status::IOError("manifest missing site count");
+  }
+  size_t num_sites = static_cast<size_t>(
+      std::strtoull(line.c_str() + 6, nullptr, 10));
+  if (num_sites == 0) return Status::IOError("manifest has zero sites");
+
+  DistributedWarehouse dw(num_sites, net_config, exec_options);
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields = Split(std::string(stripped), ' ');
+    if (fields.size() < 3 || fields[0] != "table" ||
+        fields[2] != "tracked") {
+      return Status::IOError(StrCat("bad manifest line: ", line));
+    }
+    const std::string& name = fields[1];
+    std::vector<std::string> tracked;
+    if (fields.size() >= 4 && !fields[3].empty()) {
+      tracked = Split(fields[3], ',');
+    }
+    SKALLA_ASSIGN_OR_RETURN(std::vector<Table> partitions,
+                            LoadPartitions(directory, name));
+    if (partitions.size() != num_sites) {
+      return Status::IOError(
+          StrCat("table '", name, "' has ", partitions.size(),
+                 " partitions, manifest says ", num_sites, " sites"));
+    }
+    SKALLA_RETURN_NOT_OK(
+        dw.AddPartitionedTable(name, std::move(partitions), tracked));
+  }
+  return dw;
+}
+
+}  // namespace skalla

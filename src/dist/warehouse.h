@@ -1,0 +1,98 @@
+// DistributedWarehouse: the top-level Skalla API. Owns the partitioned
+// relations, the distribution knowledge, the optimizer, and the executor.
+//
+//   DistributedWarehouse dw(8);
+//   dw.AddPartitionedTable("flow", std::move(partitions), {"SourceAS"});
+//   ExecStats stats;
+//   Table result = dw.Execute(expr, OptimizerOptions::All(), &stats)
+//                      .ValueOrDie();
+
+#ifndef SKALLA_DIST_WAREHOUSE_H_
+#define SKALLA_DIST_WAREHOUSE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "core/local_eval.h"
+#include "dist/exec.h"
+#include "dist/plan.h"
+#include "net/network.h"
+#include "opt/optimizer.h"
+#include "storage/partition.h"
+
+namespace skalla {
+
+class DistributedWarehouse {
+ public:
+  explicit DistributedWarehouse(size_t num_sites,
+                                NetworkConfig net_config = {},
+                                ExecutorOptions exec_options = {});
+
+  size_t num_sites() const { return num_sites_; }
+
+  /// Registers a fact relation given one partition per site. Distribution
+  /// knowledge (exact per-site value sets and numeric ranges) is computed
+  /// for `tracked_columns` and made available to the optimizer. The union
+  /// of the partitions is kept for centralized reference evaluation.
+  Status AddPartitionedTable(const std::string& name,
+                             std::vector<Table> partitions,
+                             const std::vector<std::string>& tracked_columns);
+
+  /// Convenience: partitions `table` by value of `partition_column` and
+  /// registers it, tracking the partition column plus `extra_tracked`.
+  Status AddTablePartitionedBy(const std::string& name, const Table& table,
+                               const std::string& partition_column,
+                               std::vector<std::string> extra_tracked = {});
+
+  /// Builds the optimized distributed plan for `expr`.
+  Result<DistributedPlan> Plan(const GmdjExpr& expr,
+                               const OptimizerOptions& options) const;
+
+  /// Optimizes and executes `expr`; per-round cost accounting lands in
+  /// `stats` when non-null.
+  Result<Table> Execute(const GmdjExpr& expr,
+                        const OptimizerOptions& options,
+                        ExecStats* stats = nullptr) const;
+
+  /// Executes an already-built plan.
+  Result<Table> ExecutePlan(const DistributedPlan& plan,
+                            ExecStats* stats = nullptr) const;
+
+  /// Centralized reference evaluation against the unioned relations (the
+  /// semantics any plan must match).
+  Result<Table> ExecuteCentralized(const GmdjExpr& expr) const;
+
+  /// Distribution knowledge for a registered table; nullptr if untracked.
+  const PartitionInfo* partition_info(const std::string& name) const;
+
+  /// The centralized (union) catalog, for direct inspection.
+  const Catalog& central_catalog() const { return central_; }
+
+  /// Persists the warehouse (every table's partitions plus a manifest)
+  /// under `directory`, which must exist.
+  Status Save(const std::string& directory) const;
+
+  /// Restores a warehouse saved with Save. Network/executor options are
+  /// the caller's; distribution knowledge is recomputed from the loaded
+  /// partitions over the manifest's tracked columns.
+  static Result<DistributedWarehouse> Load(
+      const std::string& directory, NetworkConfig net_config = {},
+      ExecutorOptions exec_options = {});
+
+ private:
+  size_t num_sites_;
+  NetworkConfig net_config_;
+  ExecutorOptions exec_options_;
+  std::vector<Catalog> site_catalogs_;
+  Catalog central_;
+  std::map<std::string, PartitionInfo> partition_info_;
+  // Tracked columns per table, for Save/Load round trips.
+  std::map<std::string, std::vector<std::string>> tracked_columns_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_WAREHOUSE_H_

@@ -1,0 +1,183 @@
+#include "expr/analysis.h"
+
+#include <algorithm>
+
+namespace skalla {
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  std::vector<ExprPtr> stack{expr};
+  while (!stack.empty()) {
+    ExprPtr e = stack.back();
+    stack.pop_back();
+    if (e->kind() == ExprKind::kBinary &&
+        e->binary_op() == BinaryOp::kAnd) {
+      stack.push_back(e->right());
+      stack.push_back(e->left());
+    } else {
+      out.push_back(std::move(e));
+    }
+  }
+  // Left is pushed last, so it pops first: `out` is already in textual
+  // left-to-right order.
+  return out;
+}
+
+ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return Expr::Literal(Value(int64_t{1}));
+  ExprPtr acc = conjuncts.front();
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = Expr::Binary(BinaryOp::kAnd, std::move(acc),
+                       std::move(conjuncts[i]));
+  }
+  return acc;
+}
+
+ExprPtr MakeDisjunction(std::vector<ExprPtr> disjuncts) {
+  if (disjuncts.empty()) return Expr::Literal(Value(int64_t{0}));
+  ExprPtr acc = disjuncts.front();
+  for (size_t i = 1; i < disjuncts.size(); ++i) {
+    acc = Expr::Binary(BinaryOp::kOr, std::move(acc),
+                       std::move(disjuncts[i]));
+  }
+  return acc;
+}
+
+namespace {
+
+bool IsBareColumn(const ExprPtr& e, ExprSide side) {
+  return e->kind() == ExprKind::kColumnRef && e->side() == side;
+}
+
+// Recognizes `b.X = r.Y` in either operand order.
+std::optional<EquiAtom> MatchEquiAtom(const ExprPtr& conjunct) {
+  if (conjunct->kind() != ExprKind::kBinary ||
+      conjunct->binary_op() != BinaryOp::kEq) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = conjunct->left();
+  const ExprPtr& r = conjunct->right();
+  if (IsBareColumn(l, ExprSide::kBase) && IsBareColumn(r, ExprSide::kDetail)) {
+    return EquiAtom{l->column_name(), r->column_name()};
+  }
+  if (IsBareColumn(l, ExprSide::kDetail) && IsBareColumn(r, ExprSide::kBase)) {
+    return EquiAtom{r->column_name(), l->column_name()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ConditionAnalysis AnalyzeCondition(const ExprPtr& theta) {
+  ConditionAnalysis out;
+  std::vector<ExprPtr> residuals;
+  for (ExprPtr& conjunct : SplitConjuncts(theta)) {
+    if (std::optional<EquiAtom> atom = MatchEquiAtom(conjunct)) {
+      out.equi_atoms.push_back(std::move(*atom));
+    } else {
+      residuals.push_back(std::move(conjunct));
+    }
+  }
+  if (!residuals.empty()) out.residual = MakeConjunction(std::move(residuals));
+  return out;
+}
+
+std::optional<SeparableComparison> ExtractSeparableComparison(
+    const ExprPtr& conjunct) {
+  if (conjunct->kind() != ExprKind::kBinary ||
+      !IsComparisonOp(conjunct->binary_op())) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = conjunct->left();
+  const ExprPtr& r = conjunct->right();
+  bool l_base = l->ReferencesSide(ExprSide::kBase);
+  bool l_detail = l->ReferencesSide(ExprSide::kDetail);
+  bool r_base = r->ReferencesSide(ExprSide::kBase);
+  bool r_detail = r->ReferencesSide(ExprSide::kDetail);
+  // base-side operand may not reference detail and vice versa.
+  if (!l_detail && !r_base && (l_base || r_detail)) {
+    return SeparableComparison{l, conjunct->binary_op(), r};
+  }
+  if (!l_base && !r_detail && (r_base || l_detail)) {
+    return SeparableComparison{r, FlipComparison(conjunct->binary_op()), l};
+  }
+  return std::nullopt;
+}
+
+std::optional<Interval> EvalDetailInterval(
+    const ExprPtr& expr,
+    const std::function<std::optional<Interval>(const std::string&)>&
+        col_range) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = expr->literal();
+      if (!v.is_numeric()) return std::nullopt;
+      double d = v.AsDouble();
+      return Interval{d, d};
+    }
+    case ExprKind::kColumnRef: {
+      if (expr->side() != ExprSide::kDetail) return std::nullopt;
+      return col_range(expr->column_name());
+    }
+    case ExprKind::kUnary: {
+      if (expr->unary_op() != UnaryOp::kNeg) return std::nullopt;
+      auto inner = EvalDetailInterval(expr->operand(), col_range);
+      if (!inner) return std::nullopt;
+      return Interval{-inner->hi, -inner->lo};
+    }
+    case ExprKind::kBinary: {
+      auto l = EvalDetailInterval(expr->left(), col_range);
+      auto r = EvalDetailInterval(expr->right(), col_range);
+      if (!l || !r) return std::nullopt;
+      switch (expr->binary_op()) {
+        case BinaryOp::kAdd:
+          return Interval{l->lo + r->lo, l->hi + r->hi};
+        case BinaryOp::kSub:
+          return Interval{l->lo - r->hi, l->hi - r->lo};
+        case BinaryOp::kMul: {
+          double candidates[4] = {l->lo * r->lo, l->lo * r->hi,
+                                  l->hi * r->lo, l->hi * r->hi};
+          double lo = candidates[0];
+          double hi = candidates[0];
+          for (double c : candidates) {
+            lo = std::min(lo, c);
+            hi = std::max(hi, c);
+          }
+          return Interval{lo, hi};
+        }
+        case BinaryOp::kDiv: {
+          // Only division by a non-zero constant is supported.
+          if (r->lo != r->hi || r->lo == 0.0) return std::nullopt;
+          double a = l->lo / r->lo;
+          double b = l->hi / r->lo;
+          return Interval{std::min(a, b), std::max(a, b)};
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool EntailsEquality(const ExprPtr& theta, const std::string& base_col,
+                     const std::string& detail_col) {
+  for (const ExprPtr& conjunct : SplitConjuncts(theta)) {
+    if (std::optional<EquiAtom> atom = MatchEquiAtom(conjunct)) {
+      if (atom->base_col == base_col && atom->detail_col == detail_col) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool EntailsAllEqualities(const ExprPtr& theta,
+                          const std::vector<EquiAtom>& pairs) {
+  for (const EquiAtom& pair : pairs) {
+    if (!EntailsEquality(theta, pair.base_col, pair.detail_col)) return false;
+  }
+  return true;
+}
+
+}  // namespace skalla

@@ -1,0 +1,87 @@
+// Static analysis of GMDJ grouping conditions. These routines power:
+//  - hash-accelerated local GMDJ evaluation (equality atoms -> index keys),
+//  - Prop. 2 / Corollary 1 synchronization reduction (entailment tests),
+//  - Theorem 4 distribution-aware group reduction (separable comparisons
+//    plus interval arithmetic over per-site column ranges).
+
+#ifndef SKALLA_EXPR_ANALYSIS_H_
+#define SKALLA_EXPR_ANALYSIS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace skalla {
+
+/// An equality conjunct `b.base_col = r.detail_col`.
+struct EquiAtom {
+  std::string base_col;
+  std::string detail_col;
+};
+
+/// Flattens nested ANDs into a conjunct list.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// ANDs the conjuncts back together; an empty list yields literal true.
+ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts);
+
+/// ORs the disjuncts together; an empty list yields literal false.
+ExprPtr MakeDisjunction(std::vector<ExprPtr> disjuncts);
+
+/// Decomposition of a condition θ into hash-joinable equality atoms plus a
+/// residual predicate evaluated per candidate pair.
+struct ConditionAnalysis {
+  std::vector<EquiAtom> equi_atoms;
+  /// Remaining conjuncts ANDed together; nullptr when none (always true).
+  ExprPtr residual;
+};
+
+/// Splits θ's top-level conjuncts into equality atoms of the form
+/// `b.X = r.Y` (either operand order) and everything else.
+ConditionAnalysis AnalyzeCondition(const ExprPtr& theta);
+
+/// A comparison conjunct whose operands cleanly separate by side,
+/// normalized to `base_expr op detail_expr`.
+struct SeparableComparison {
+  ExprPtr base_expr;    // References only base columns (or constants).
+  BinaryOp op;          // A comparison operator.
+  ExprPtr detail_expr;  // References only detail columns (or constants).
+};
+
+/// Recognizes a separable comparison; nullopt otherwise. At least one side
+/// must reference its relation's columns (constant-vs-constant is not
+/// interesting to the optimizer and yields nullopt).
+std::optional<SeparableComparison> ExtractSeparableComparison(
+    const ExprPtr& conjunct);
+
+/// A closed numeric interval.
+struct Interval {
+  double lo;
+  double hi;
+};
+
+/// Interval arithmetic over a detail-side expression: computes bounds of
+/// the expression's value given per-column bounds supplied by `col_range`
+/// (returning nullopt when a column's range is unknown). Supports
+/// +, -, *, unary minus, literals, and division by a non-zero constant.
+std::optional<Interval> EvalDetailInterval(
+    const ExprPtr& expr,
+    const std::function<std::optional<Interval>(const std::string&)>&
+        col_range);
+
+/// Whether θ entails `b.base_col = r.detail_col`, i.e. contains that
+/// equality as a top-level conjunct.
+bool EntailsEquality(const ExprPtr& theta, const std::string& base_col,
+                     const std::string& detail_col);
+
+/// Whether θ entails, for every pair in `pairs`, the corresponding
+/// equality conjunct.
+bool EntailsAllEqualities(const ExprPtr& theta,
+                          const std::vector<EquiAtom>& pairs);
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_ANALYSIS_H_

@@ -1,0 +1,71 @@
+// Terse construction helpers for expression trees, used by tests,
+// examples, and the OLAP query helpers. Example 1 of the paper reads:
+//
+//   And(Eq(RCol("SourceAS"), BCol("SourceAS")),
+//       Eq(RCol("DestAS"), BCol("DestAS")))
+
+#ifndef SKALLA_EXPR_BUILDER_H_
+#define SKALLA_EXPR_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "expr/expr.h"
+
+namespace skalla {
+
+/// Reference to a base-relation column (b.name).
+inline ExprPtr BCol(std::string name) {
+  return Expr::ColumnRef(ExprSide::kBase, std::move(name));
+}
+
+/// Reference to a detail-relation column (r.name).
+inline ExprPtr RCol(std::string name) {
+  return Expr::ColumnRef(ExprSide::kDetail, std::move(name));
+}
+
+inline ExprPtr Lit(Value v) { return Expr::Literal(std::move(v)); }
+
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr Not(ExprPtr a) {
+  return Expr::Unary(UnaryOp::kNot, std::move(a));
+}
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_BUILDER_H_

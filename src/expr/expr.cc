@@ -1,0 +1,390 @@
+#include "expr/expr.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmeticOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // Eq/Ne are symmetric.
+  }
+}
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ColumnRef(ExprSide side, std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->side_ = side;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->unary_op_ = op;
+  e->left_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->binary_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::InSet(ExprPtr operand, std::shared_ptr<const ValueSet> set) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kInSet;
+  e->left_ = std::move(operand);
+  e->set_ = std::move(set);
+  return e;
+}
+
+bool Expr::is_bound() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef:
+      return index_ >= 0;
+    case ExprKind::kUnary:
+      return left_->is_bound();
+    case ExprKind::kBinary:
+      return left_->is_bound() && right_->is_bound();
+    case ExprKind::kInSet:
+      return left_->is_bound();
+  }
+  return false;
+}
+
+Result<ExprPtr> Expr::Bind(const Schema* base, const Schema* detail) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return Expr::Literal(literal_);
+    case ExprKind::kColumnRef: {
+      const Schema* schema = side_ == ExprSide::kBase ? base : detail;
+      const char* side_name = side_ == ExprSide::kBase ? "base" : "detail";
+      if (schema == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("column ", name_, " references the ", side_name,
+                   " side, but no ", side_name, " schema was provided"));
+      }
+      SKALLA_ASSIGN_OR_RETURN(size_t idx, schema->RequireIndex(name_));
+      auto e = std::shared_ptr<Expr>(new Expr());
+      e->kind_ = ExprKind::kColumnRef;
+      e->side_ = side_;
+      e->name_ = name_;
+      e->index_ = static_cast<int>(idx);
+      return ExprPtr(e);
+    }
+    case ExprKind::kUnary: {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr operand, left_->Bind(base, detail));
+      return Expr::Unary(unary_op_, std::move(operand));
+    }
+    case ExprKind::kBinary: {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr l, left_->Bind(base, detail));
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr r, right_->Bind(base, detail));
+      return Expr::Binary(binary_op_, std::move(l), std::move(r));
+    }
+    case ExprKind::kInSet: {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr operand, left_->Bind(base, detail));
+      return Expr::InSet(std::move(operand), set_);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+namespace {
+
+Value EvalArithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
+  if (op == BinaryOp::kDiv) {
+    double denom = b.AsDouble();
+    if (denom == 0.0) return Value::Null();
+    return Value(a.AsDouble() / denom);
+  }
+  if (a.is_int64() && b.is_int64()) {
+    int64_t x = a.int64();
+    int64_t y = b.int64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(x + y);
+      case BinaryOp::kSub:
+        return Value(x - y);
+      case BinaryOp::kMul:
+        return Value(x * y);
+      case BinaryOp::kMod:
+        return y == 0 ? Value::Null() : Value(x % y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value(x + y);
+    case BinaryOp::kSub:
+      return Value(x - y);
+    case BinaryOp::kMul:
+      return Value(x * y);
+    case BinaryOp::kMod:
+      return y == 0.0 ? Value::Null() : Value(std::fmod(x, y));
+    default:
+      break;
+  }
+  return Value::Null();
+}
+
+Value EvalComparison(BinaryOp op, const Value& a, const Value& b) {
+  // SQL semantics: comparisons with NULL are not true.
+  if (a.is_null() || b.is_null()) return Value::Null();
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      result = a.Equals(b);
+      break;
+    case BinaryOp::kNe:
+      result = !a.Equals(b);
+      break;
+    case BinaryOp::kLt:
+      result = a.Compare(b) < 0;
+      break;
+    case BinaryOp::kLe:
+      result = a.Compare(b) <= 0;
+      break;
+    case BinaryOp::kGt:
+      result = a.Compare(b) > 0;
+      break;
+    case BinaryOp::kGe:
+      result = a.Compare(b) >= 0;
+      break;
+    default:
+      break;
+  }
+  return Value(int64_t{result ? 1 : 0});
+}
+
+inline bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_int64()) return v.int64() != 0;
+  if (v.is_float64()) return v.float64() != 0.0;
+  return false;
+}
+
+}  // namespace
+
+Value Expr::Eval(const Row* base, const Row* detail) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kColumnRef: {
+      SKALLA_DCHECK(index_ >= 0, "evaluating unbound column reference");
+      const Row* row = side_ == ExprSide::kBase ? base : detail;
+      SKALLA_DCHECK(row != nullptr, "missing tuple for referenced side");
+      return (*row)[static_cast<size_t>(index_)];
+    }
+    case ExprKind::kUnary: {
+      Value v = left_->Eval(base, detail);
+      if (unary_op_ == UnaryOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value(int64_t{Truthy(v) ? 0 : 1});
+      }
+      // kNeg
+      if (v.is_null()) return Value::Null();
+      if (v.is_int64()) return Value(-v.int64());
+      if (v.is_float64()) return Value(-v.float64());
+      return Value::Null();
+    }
+    case ExprKind::kBinary: {
+      if (binary_op_ == BinaryOp::kAnd) {
+        // Short-circuit; NULL treated as false at predicate level.
+        Value l = left_->Eval(base, detail);
+        if (!Truthy(l)) return Value(int64_t{0});
+        Value r = right_->Eval(base, detail);
+        return Value(int64_t{Truthy(r) ? 1 : 0});
+      }
+      if (binary_op_ == BinaryOp::kOr) {
+        Value l = left_->Eval(base, detail);
+        if (Truthy(l)) return Value(int64_t{1});
+        Value r = right_->Eval(base, detail);
+        return Value(int64_t{Truthy(r) ? 1 : 0});
+      }
+      Value l = left_->Eval(base, detail);
+      Value r = right_->Eval(base, detail);
+      if (IsArithmeticOp(binary_op_)) return EvalArithmetic(binary_op_, l, r);
+      return EvalComparison(binary_op_, l, r);
+    }
+    case ExprKind::kInSet: {
+      Value v = left_->Eval(base, detail);
+      if (v.is_null()) return Value::Null();
+      return Value(int64_t{set_ != nullptr && set_->Contains(v) ? 1 : 0});
+    }
+  }
+  return Value::Null();
+}
+
+bool Expr::EvalBool(const Row* base, const Row* detail) const {
+  return Truthy(Eval(base, detail));
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_.Equals(other.literal_) &&
+             literal_.type() == other.literal_.type();
+    case ExprKind::kColumnRef:
+      return side_ == other.side_ && name_ == other.name_;
+    case ExprKind::kUnary:
+      return unary_op_ == other.unary_op_ && left_->Equals(*other.left_);
+    case ExprKind::kBinary:
+      return binary_op_ == other.binary_op_ && left_->Equals(*other.left_) &&
+             right_->Equals(*other.right_);
+    case ExprKind::kInSet:
+      return set_ == other.set_ && left_->Equals(*other.left_);
+  }
+  return false;
+}
+
+void Expr::CollectColumns(ExprSide side,
+                          std::vector<std::string>* out) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumnRef:
+      if (side_ == side) out->push_back(name_);
+      return;
+    case ExprKind::kUnary:
+      left_->CollectColumns(side, out);
+      return;
+    case ExprKind::kBinary:
+      left_->CollectColumns(side, out);
+      right_->CollectColumns(side, out);
+      return;
+    case ExprKind::kInSet:
+      left_->CollectColumns(side, out);
+      return;
+  }
+}
+
+bool Expr::ReferencesSide(ExprSide side) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return false;
+    case ExprKind::kColumnRef:
+      return side_ == side;
+    case ExprKind::kUnary:
+      return left_->ReferencesSide(side);
+    case ExprKind::kBinary:
+      return left_->ReferencesSide(side) || right_->ReferencesSide(side);
+    case ExprKind::kInSet:
+      return left_->ReferencesSide(side);
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kColumnRef:
+      return StrCat(side_ == ExprSide::kBase ? "b." : "r.", name_);
+    case ExprKind::kUnary:
+      // Parenthesized so the operand cannot re-associate with a
+      // following operator when the text is reparsed.
+      return StrCat("(", unary_op_ == UnaryOp::kNot ? "NOT " : "-",
+                    left_->ToString(), ")");
+    case ExprKind::kBinary:
+      return StrCat("(", left_->ToString(), " ",
+                    BinaryOpToString(binary_op_), " ", right_->ToString(),
+                    ")");
+    case ExprKind::kInSet:
+      return StrCat("(", left_->ToString(), " IN {",
+                    set_ == nullptr ? size_t{0} : set_->size(), " values})");
+  }
+  return "?";
+}
+
+}  // namespace skalla

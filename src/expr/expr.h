@@ -1,0 +1,159 @@
+// Scalar expressions over (base tuple b, detail tuple r) pairs: the GMDJ
+// grouping conditions θ_i of Definition 1, as well as single-relation
+// predicates and derived-column expressions.
+//
+// An Expr is an immutable AST whose column references carry a side marker
+// (base or detail) and a column name. Bind() resolves names against
+// concrete schemas, producing a new tree whose column references carry
+// positional indices; only bound trees can be evaluated.
+
+#ifndef SKALLA_EXPR_EXPR_H_
+#define SKALLA_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "types/value_set.h"
+
+namespace skalla {
+
+/// Which tuple a column reference reads from.
+enum class ExprSide : uint8_t {
+  kBase = 0,    // b.X — the base-values relation B.
+  kDetail = 1,  // r.Y — the detail relation R.
+};
+
+enum class ExprKind : uint8_t {
+  kLiteral = 0,
+  kColumnRef = 1,
+  kUnary = 2,
+  kBinary = 3,
+  kInSet = 4,  // operand IN {v1, v2, ...}
+};
+
+enum class UnaryOp : uint8_t {
+  kNot = 0,
+  kNeg = 1,
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kMul = 2,
+  kDiv = 3,   // Always real-valued division.
+  kMod = 4,
+  kEq = 5,
+  kNe = 6,
+  kLt = 7,
+  kLe = 8,
+  kGt = 9,
+  kGe = 10,
+  kAnd = 11,
+  kOr = 12,
+};
+
+/// Whether `op` is a comparison (=, <>, <, <=, >, >=).
+bool IsComparisonOp(BinaryOp op);
+
+/// Whether `op` is arithmetic (+, -, *, /, %).
+bool IsArithmeticOp(BinaryOp op);
+
+/// The comparison with operands swapped: a OP b == b OP' a.
+BinaryOp FlipComparison(BinaryOp op);
+
+std::string_view BinaryOpToString(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node.
+///
+/// Evaluation semantics (simplified SQL three-valued logic):
+///  - arithmetic with a NULL operand yields NULL;
+///  - comparisons involving NULL yield false;
+///  - AND/OR treat NULL operands as false;
+///  - kDiv yields FLOAT64; division by zero yields NULL;
+///  - other arithmetic preserves INT64 when both operands are INT64.
+class Expr {
+ public:
+  /// Factories.
+  static ExprPtr Literal(Value v);
+  static ExprPtr ColumnRef(ExprSide side, std::string name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
+  /// Set-membership predicate; the distribution-aware group reduction
+  /// filters of Theorem 4 are built from these.
+  static ExprPtr InSet(ExprPtr operand, std::shared_ptr<const ValueSet> set);
+
+  ExprKind kind() const { return kind_; }
+
+  // --- kLiteral ---
+  const Value& literal() const { return literal_; }
+
+  // --- kColumnRef ---
+  ExprSide side() const { return side_; }
+  const std::string& column_name() const { return name_; }
+  /// Resolved column index; -1 when unbound.
+  int column_index() const { return index_; }
+  bool is_bound() const;
+
+  // --- kUnary / kBinary / kInSet ---
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  const ExprPtr& operand() const { return left_; }
+  const std::shared_ptr<const ValueSet>& value_set() const { return set_; }
+
+  /// Resolves all column references against the given schemas. Detail-only
+  /// expressions may pass nullptr for `base` (and vice versa); referencing
+  /// a side with no schema is an error.
+  Result<ExprPtr> Bind(const Schema* base, const Schema* detail) const;
+
+  /// Evaluates a bound tree. `base`/`detail` may be nullptr if no column
+  /// of that side occurs.
+  Value Eval(const Row* base, const Row* detail) const;
+
+  /// Evaluates a bound predicate tree to a boolean (NULL -> false).
+  bool EvalBool(const Row* base, const Row* detail) const;
+
+  /// Structural equality (names, not resolved indices).
+  bool Equals(const Expr& other) const;
+
+  /// Collects the names of columns referenced on `side` into `out`
+  /// (duplicates possible).
+  void CollectColumns(ExprSide side, std::vector<std::string>* out) const;
+
+  /// Whether any column of `side` is referenced.
+  bool ReferencesSide(ExprSide side) const;
+
+  /// e.g. "(b.SourceAS = r.SourceAS AND r.NumBytes >= (b.sum1 / b.cnt1))".
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  // kLiteral:
+  Value literal_;
+  // kColumnRef:
+  ExprSide side_ = ExprSide::kBase;
+  std::string name_;
+  int index_ = -1;
+  // kUnary (left_ = operand) / kBinary:
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  BinaryOp binary_op_ = BinaryOp::kAnd;
+  ExprPtr left_;
+  ExprPtr right_;
+  // kInSet:
+  std::shared_ptr<const ValueSet> set_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_EXPR_EXPR_H_

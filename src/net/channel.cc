@@ -1,0 +1,26 @@
+#include "net/channel.h"
+
+namespace skalla {
+
+void MessageChannel::Send(int from, std::vector<uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(ChannelMessage{from, std::move(bytes)});
+  }
+  available_.notify_one();
+}
+
+ChannelMessage MessageChannel::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  available_.wait(lock, [this] { return !queue_.empty(); });
+  ChannelMessage message = std::move(queue_.front());
+  queue_.pop_front();
+  return message;
+}
+
+size_t MessageChannel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace skalla

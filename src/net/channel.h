@@ -1,0 +1,46 @@
+// MessageChannel: a multi-producer single-consumer queue of serialized
+// messages, used by the asynchronous executor to deliver site fragments
+// to the coordinator as they complete.
+
+#ifndef SKALLA_NET_CHANNEL_H_
+#define SKALLA_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace skalla {
+
+/// One in-flight message: the sender's endpoint id plus its payload.
+struct ChannelMessage {
+  int from = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// Thread-safe FIFO. Senders never block; Receive blocks until a message
+/// is available.
+class MessageChannel {
+ public:
+  MessageChannel() = default;
+  MessageChannel(const MessageChannel&) = delete;
+  MessageChannel& operator=(const MessageChannel&) = delete;
+
+  void Send(int from, std::vector<uint8_t> bytes);
+
+  /// Blocks until a message arrives and returns it.
+  ChannelMessage Receive();
+
+  /// Number of queued messages (racy; for tests/diagnostics).
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable available_;
+  std::deque<ChannelMessage> queue_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_NET_CHANNEL_H_

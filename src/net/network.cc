@@ -1,0 +1,25 @@
+#include "net/network.h"
+
+namespace skalla {
+
+double SimulatedNetwork::Transfer(int from, int to, uint64_t bytes) {
+  total_bytes_ += bytes;
+  total_messages_ += 1;
+  LinkStats& link = links_[{from, to}];
+  link.messages += 1;
+  link.bytes += bytes;
+  return TransferTime(bytes);
+}
+
+LinkStats SimulatedNetwork::Link(int from, int to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? LinkStats{} : it->second;
+}
+
+void SimulatedNetwork::Reset() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  links_.clear();
+}
+
+}  // namespace skalla

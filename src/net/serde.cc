@@ -1,0 +1,185 @@
+#include "net/serde.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+namespace {
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void PutValue(std::vector<uint8_t>* out, const Value& v) {
+  out->push_back(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      return;
+    case ValueType::kInt64:
+      PutVarint(out, ZigzagEncode(v.int64()));
+      return;
+    case ValueType::kFloat64: {
+      double d = v.float64();
+      uint8_t raw[8];
+      std::memcpy(raw, &d, 8);
+      out->insert(out->end(), raw, raw + 8);
+      return;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.str();
+      PutVarint(out, s.size());
+      out->insert(out->end(), s.begin(), s.end());
+      return;
+    }
+  }
+}
+
+uint64_t ValueSize(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+      return 1 + VarintSize(ZigzagEncode(v.int64()));
+    case ValueType::kFloat64:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + VarintSize(v.str().size()) + v.str().size();
+  }
+  return 1;
+}
+
+}  // namespace
+
+Result<uint64_t> ByteReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::IOError("truncated varint");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) return Status::IOError("varint too long");
+  }
+}
+
+Result<uint8_t> ByteReader::ReadByte() {
+  if (pos_ >= size_) return Status::IOError("truncated buffer");
+  return data_[pos_++];
+}
+
+Result<const uint8_t*> ByteReader::ReadBytes(size_t n) {
+  if (pos_ + n > size_) return Status::IOError("truncated buffer");
+  const uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+void WriteTable(const Table& table, std::vector<uint8_t>* out) {
+  const Schema& schema = *table.schema();
+  PutVarint(out, schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    PutVarint(out, f.name.size());
+    out->insert(out->end(), f.name.begin(), f.name.end());
+    out->push_back(static_cast<uint8_t>(f.type));
+  }
+  PutVarint(out, table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (const Value& v : table.row(r)) PutValue(out, v);
+  }
+}
+
+Result<Table> ReadTable(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_fields, reader.ReadVarint());
+  if (num_fields > 1u << 20) return Status::IOError("implausible field count");
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint64_t i = 0; i < num_fields; ++i) {
+    SKALLA_ASSIGN_OR_RETURN(uint64_t name_len, reader.ReadVarint());
+    SKALLA_ASSIGN_OR_RETURN(const uint8_t* name_bytes,
+                            reader.ReadBytes(name_len));
+    SKALLA_ASSIGN_OR_RETURN(uint8_t type, reader.ReadByte());
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::IOError(StrCat("bad field type tag ", int{type}));
+    }
+    fields.push_back(
+        Field{std::string(reinterpret_cast<const char*>(name_bytes),
+                          name_len),
+              static_cast<ValueType>(type)});
+  }
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadVarint());
+  Table table(schema);
+  table.Reserve(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.reserve(num_fields);
+    for (uint64_t c = 0; c < num_fields; ++c) {
+      SKALLA_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadByte());
+      switch (static_cast<ValueType>(tag)) {
+        case ValueType::kNull:
+          row.push_back(Value::Null());
+          break;
+        case ValueType::kInt64: {
+          SKALLA_ASSIGN_OR_RETURN(uint64_t raw, reader.ReadVarint());
+          row.push_back(Value(ZigzagDecode(raw)));
+          break;
+        }
+        case ValueType::kFloat64: {
+          SKALLA_ASSIGN_OR_RETURN(const uint8_t* raw, reader.ReadBytes(8));
+          double d;
+          std::memcpy(&d, raw, 8);
+          row.push_back(Value(d));
+          break;
+        }
+        case ValueType::kString: {
+          SKALLA_ASSIGN_OR_RETURN(uint64_t len, reader.ReadVarint());
+          SKALLA_ASSIGN_OR_RETURN(const uint8_t* bytes,
+                                  reader.ReadBytes(len));
+          row.push_back(
+              Value(std::string(reinterpret_cast<const char*>(bytes), len)));
+          break;
+        }
+        default:
+          return Status::IOError(StrCat("bad value type tag ", int{tag}));
+      }
+    }
+    table.AppendUnchecked(std::move(row));
+  }
+  if (reader.remaining() != 0) {
+    return Status::IOError("trailing bytes after table payload");
+  }
+  return table;
+}
+
+uint64_t SerializedTableSize(const Table& table) {
+  const Schema& schema = *table.schema();
+  uint64_t size = VarintSize(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    size += VarintSize(f.name.size()) + f.name.size() + 1;
+  }
+  size += VarintSize(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (const Value& v : table.row(r)) size += ValueSize(v);
+  }
+  return size;
+}
+
+}  // namespace skalla

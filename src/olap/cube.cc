@@ -1,0 +1,253 @@
+#include "olap/cube.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "expr/analysis.h"
+#include "expr/builder.h"
+
+namespace skalla {
+
+Result<GmdjExpr> CuboidExpr(const CubeSpec& spec, uint32_t dim_mask) {
+  if (spec.dims.size() > 20) {
+    return Status::InvalidArgument("cube with more than 20 dimensions");
+  }
+  if (dim_mask >= (1u << spec.dims.size())) {
+    return Status::InvalidArgument(
+        StrCat("dim_mask ", dim_mask, " out of range for ",
+               spec.dims.size(), " dimensions"));
+  }
+  GmdjExpr expr;
+  expr.base.table = spec.detail_table;
+  expr.base.distinct = true;
+  std::vector<ExprPtr> conjuncts;
+  for (size_t i = 0; i < spec.dims.size(); ++i) {
+    if (dim_mask & (1u << i)) {
+      expr.base.columns.push_back(spec.dims[i]);
+      conjuncts.push_back(Eq(RCol(spec.dims[i]), BCol(spec.dims[i])));
+    }
+  }
+  GmdjOp op;
+  op.detail_table = spec.detail_table;
+  op.blocks.push_back(
+      GmdjBlock{spec.aggs, MakeConjunction(std::move(conjuncts))});
+  expr.ops.push_back(std::move(op));
+  return expr;
+}
+
+namespace {
+
+// Expands a cuboid result to the full cube schema: every dimension column
+// present (NULL where rolled up), aggregates behind them.
+Result<Table> ExpandToCubeSchema(const Table& cuboid, const CubeSpec& spec,
+                                 uint32_t dim_mask, SchemaPtr cube_schema) {
+  Table out(cube_schema);
+  out.Reserve(cuboid.num_rows());
+  // Positions of selected dimensions within the cuboid result (which is
+  // dims-in-order followed by aggregates).
+  size_t num_selected = 0;
+  for (size_t i = 0; i < spec.dims.size(); ++i) {
+    if (dim_mask & (1u << i)) ++num_selected;
+  }
+  for (size_t r = 0; r < cuboid.num_rows(); ++r) {
+    const Row& in = cuboid.row(r);
+    Row row;
+    row.reserve(cube_schema->num_fields());
+    size_t next_selected = 0;
+    for (size_t i = 0; i < spec.dims.size(); ++i) {
+      if (dim_mask & (1u << i)) {
+        row.push_back(in[next_selected++]);
+      } else {
+        row.push_back(Value::Null());
+      }
+    }
+    for (size_t a = 0; a < spec.aggs.size(); ++a) {
+      row.push_back(in[num_selected + a]);
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<SchemaPtr> CubeSchema(const DistributedWarehouse& warehouse,
+                             const CubeSpec& spec) {
+  SKALLA_ASSIGN_OR_RETURN(const Table* detail,
+                          warehouse.central_catalog().Get(spec.detail_table));
+  std::vector<Field> fields;
+  for (const std::string& dim : spec.dims) {
+    SKALLA_ASSIGN_OR_RETURN(size_t idx,
+                            detail->schema()->RequireIndex(dim));
+    fields.push_back(detail->schema()->field(idx));
+  }
+  for (const AggSpec& agg : spec.aggs) {
+    SKALLA_ASSIGN_OR_RETURN(ValueType type,
+                            AggOutputType(agg, *detail->schema()));
+    fields.push_back(Field{agg.output, type});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+template <typename EvalOneCuboid>
+Result<Table> ComputeCube(const DistributedWarehouse& warehouse,
+                          const CubeSpec& spec,
+                          const EvalOneCuboid& eval_cuboid) {
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr cube_schema,
+                          CubeSchema(warehouse, spec));
+  Table cube(cube_schema);
+  const uint32_t num_cuboids = 1u << spec.dims.size();
+  for (uint32_t mask = 0; mask < num_cuboids; ++mask) {
+    SKALLA_ASSIGN_OR_RETURN(GmdjExpr expr, CuboidExpr(spec, mask));
+    SKALLA_ASSIGN_OR_RETURN(Table cuboid, eval_cuboid(expr, mask));
+    SKALLA_ASSIGN_OR_RETURN(
+        Table expanded, ExpandToCubeSchema(cuboid, spec, mask, cube_schema));
+    for (size_t r = 0; r < expanded.num_rows(); ++r) {
+      cube.AppendUnchecked(expanded.row(r));
+    }
+  }
+  return cube;
+}
+
+}  // namespace
+
+Result<Table> ComputeCubeDistributed(const DistributedWarehouse& warehouse,
+                                     const CubeSpec& spec,
+                                     const OptimizerOptions& options,
+                                     ExecStats* stats) {
+  return ComputeCube(
+      warehouse, spec,
+      [&](const GmdjExpr& expr, uint32_t) -> Result<Table> {
+        ExecStats cuboid_stats;
+        SKALLA_ASSIGN_OR_RETURN(
+            Table result, warehouse.Execute(expr, options, &cuboid_stats));
+        if (stats != nullptr) {
+          for (RoundStats& round : cuboid_stats.rounds) {
+            stats->rounds.push_back(std::move(round));
+          }
+        }
+        return result;
+      });
+}
+
+Result<Table> ComputeCubeCentralized(const DistributedWarehouse& warehouse,
+                                     const CubeSpec& spec) {
+  return ComputeCube(warehouse, spec,
+                     [&](const GmdjExpr& expr, uint32_t) -> Result<Table> {
+                       return warehouse.ExecuteCentralized(expr);
+                     });
+}
+
+namespace {
+
+// Roll-up plumbing: each user aggregate is carried through the finest
+// cuboid as one or two part columns with an associative merge.
+struct RollupPart {
+  MergeKind merge;
+};
+
+}  // namespace
+
+Result<Table> ComputeCubeByRollup(const DistributedWarehouse& warehouse,
+                                  const CubeSpec& spec,
+                                  const OptimizerOptions& options,
+                                  ExecStats* stats) {
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr cube_schema,
+                          CubeSchema(warehouse, spec));
+  const size_t k = spec.dims.size();
+  if (k > 20) {
+    return Status::InvalidArgument("cube with more than 20 dimensions");
+  }
+
+  // Rewrite the aggregate list into part columns (AVG -> SUM + COUNT).
+  CubeSpec part_spec = spec;
+  part_spec.aggs.clear();
+  std::vector<RollupPart> parts;
+  // Per user aggregate: (first part index, part count).
+  std::vector<std::pair<size_t, size_t>> agg_parts;
+  for (const AggSpec& agg : spec.aggs) {
+    agg_parts.emplace_back(parts.size(), agg.kind == AggKind::kAvg ? 2 : 1);
+    if (agg.kind == AggKind::kAvg) {
+      part_spec.aggs.push_back(
+          AggSpec{AggKind::kSum, agg.input, StrCat(agg.output, "__sum")});
+      part_spec.aggs.push_back(
+          AggSpec{AggKind::kCount, agg.input, StrCat(agg.output, "__cnt")});
+      parts.push_back(RollupPart{MergeKind::kSum});
+      parts.push_back(RollupPart{MergeKind::kSum});
+    } else {
+      part_spec.aggs.push_back(agg);
+      MergeKind merge = MergeKind::kSum;
+      if (agg.kind == AggKind::kMin) merge = MergeKind::kMin;
+      if (agg.kind == AggKind::kMax) merge = MergeKind::kMax;
+      parts.push_back(RollupPart{merge});
+    }
+  }
+
+  // One distributed query: the finest cuboid over the part aggregates.
+  const uint32_t finest_mask = (1u << k) - 1;
+  SKALLA_ASSIGN_OR_RETURN(GmdjExpr finest_expr,
+                          CuboidExpr(part_spec, finest_mask));
+  ExecStats finest_stats;
+  SKALLA_ASSIGN_OR_RETURN(
+      Table finest, warehouse.Execute(finest_expr, options, &finest_stats));
+  if (stats != nullptr) {
+    for (RoundStats& round : finest_stats.rounds) {
+      stats->rounds.push_back(std::move(round));
+    }
+  }
+
+  // Roll every cuboid up from the finest, locally.
+  Table cube(cube_schema);
+  for (uint32_t mask = 0; mask <= finest_mask; ++mask) {
+    std::vector<size_t> selected;  // Dim positions kept by this cuboid.
+    for (size_t d = 0; d < k; ++d) {
+      if (mask & (1u << d)) selected.push_back(d);
+    }
+    // Group the finest rows on the selected dims.
+    std::unordered_map<uint64_t, std::vector<size_t>> groups;
+    std::vector<Row> group_rows;  // Accumulated part rows per group.
+    for (size_t r = 0; r < finest.num_rows(); ++r) {
+      const Row& row = finest.row(r);
+      uint64_t h = HashRowKey(row, selected);
+      std::vector<size_t>& bucket = groups[h];
+      int64_t target = -1;
+      for (size_t g : bucket) {
+        if (RowKeyEquals(row, selected, group_rows[g], selected)) {
+          target = static_cast<int64_t>(g);
+          break;
+        }
+      }
+      if (target < 0) {
+        target = static_cast<int64_t>(group_rows.size());
+        bucket.push_back(group_rows.size());
+        Row fresh(k + parts.size(), Value::Null());
+        for (size_t d = 0; d < k; ++d) fresh[d] = row[d];
+        group_rows.push_back(std::move(fresh));
+      }
+      Row& acc = group_rows[static_cast<size_t>(target)];
+      for (size_t p = 0; p < parts.size(); ++p) {
+        acc[k + p] =
+            MergePartial(acc[k + p], row[k + p], parts[p].merge);
+      }
+    }
+    // Emit cube rows: NULL out rolled dims, finalize aggregates.
+    for (Row& acc : group_rows) {
+      Row out;
+      out.reserve(cube_schema->num_fields());
+      for (size_t d = 0; d < k; ++d) {
+        out.push_back((mask & (1u << d)) ? acc[d] : Value::Null());
+      }
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        auto [start, len] = agg_parts[a];
+        std::vector<Value> cell_parts;
+        for (size_t p = 0; p < len; ++p) {
+          cell_parts.push_back(acc[k + start + p]);
+        }
+        out.push_back(FinalizeAggregate(spec.aggs[a], cell_parts));
+      }
+      cube.AppendUnchecked(std::move(out));
+    }
+  }
+  return cube;
+}
+
+}  // namespace skalla

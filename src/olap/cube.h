@@ -1,0 +1,58 @@
+// Data cube (Gray et al. [12]) on top of distributed GMDJ evaluation.
+//
+// CUBE BY(d_1..d_k) computes aggregates for every subset of the grouping
+// dimensions. Each cuboid is one GMDJ expression (distinct projection of
+// its dimensions as the base-values query, equality conditions on those
+// dimensions), evaluated through the ordinary Skalla machinery — so every
+// optimization of Sect. 4 applies per cuboid. Rolled-up dimensions are
+// NULL in the result, as in SQL's CUBE.
+
+#ifndef SKALLA_OLAP_CUBE_H_
+#define SKALLA_OLAP_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "dist/warehouse.h"
+
+namespace skalla {
+
+struct CubeSpec {
+  std::string detail_table;
+  std::vector<std::string> dims;
+  std::vector<AggSpec> aggs;
+};
+
+/// The GMDJ expression computing one cuboid: the subset of `spec.dims`
+/// selected by `dim_mask` (bit i selects dims[i]).
+Result<GmdjExpr> CuboidExpr(const CubeSpec& spec, uint32_t dim_mask);
+
+/// Computes the full cube (all 2^k cuboids) over the distributed
+/// warehouse. Result schema: all dimensions (NULL where rolled up)
+/// followed by the aggregates. When `stats` is non-null, the per-cuboid
+/// execution stats are accumulated into it.
+Result<Table> ComputeCubeDistributed(const DistributedWarehouse& warehouse,
+                                     const CubeSpec& spec,
+                                     const OptimizerOptions& options,
+                                     ExecStats* stats = nullptr);
+
+/// Centralized reference implementation (same result, no distribution).
+Result<Table> ComputeCubeCentralized(const DistributedWarehouse& warehouse,
+                                     const CubeSpec& spec);
+
+/// Computes the cube by evaluating only the finest cuboid distributed and
+/// rolling every coarser cuboid up from it at the client — the classic
+/// cube optimization of Agarwal et al. [1] adapted to the distributed
+/// setting: one distributed round-trip instead of 2^k. AVG is carried as
+/// (SUM, COUNT) parts through the roll-up and finalized at the end, so
+/// results are identical to ComputeCubeDistributed.
+Result<Table> ComputeCubeByRollup(const DistributedWarehouse& warehouse,
+                                  const CubeSpec& spec,
+                                  const OptimizerOptions& options,
+                                  ExecStats* stats = nullptr);
+
+}  // namespace skalla
+
+#endif  // SKALLA_OLAP_CUBE_H_

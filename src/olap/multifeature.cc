@@ -1,0 +1,46 @@
+#include "olap/multifeature.h"
+
+#include "expr/analysis.h"
+#include "expr/builder.h"
+
+namespace skalla {
+
+Result<GmdjExpr> BuildMultiFeatureQuery(const MultiFeatureSpec& spec) {
+  if (spec.group_columns.empty()) {
+    return Status::InvalidArgument(
+        "multi-feature query needs grouping columns");
+  }
+  if (spec.outer.empty()) {
+    return Status::InvalidArgument(
+        "multi-feature query needs outer aggregates");
+  }
+  if (!IsComparisonOp(spec.compare_op)) {
+    return Status::InvalidArgument("compare_op must be a comparison");
+  }
+
+  GmdjExpr expr;
+  expr.base = BaseQuery{spec.detail_table, spec.group_columns, true,
+                        nullptr};
+
+  std::vector<ExprPtr> group_conjuncts;
+  for (const std::string& column : spec.group_columns) {
+    group_conjuncts.push_back(Eq(RCol(column), BCol(column)));
+  }
+  ExprPtr group = MakeConjunction(group_conjuncts);
+
+  GmdjOp inner_op;
+  inner_op.detail_table = spec.detail_table;
+  inner_op.blocks.push_back(GmdjBlock{{spec.inner}, group});
+
+  GmdjOp outer_op;
+  outer_op.detail_table = spec.detail_table;
+  outer_op.blocks.push_back(GmdjBlock{
+      spec.outer,
+      And(group, Expr::Binary(spec.compare_op, RCol(spec.compare_column),
+                              BCol(spec.inner.output)))});
+
+  expr.ops = {std::move(inner_op), std::move(outer_op)};
+  return expr;
+}
+
+}  // namespace skalla

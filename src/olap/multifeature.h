@@ -1,0 +1,45 @@
+// Multi-feature queries (Ross, Srivastava & Chatziantoniou [18]):
+// queries that relate detail tuples to group-level aggregates, e.g.
+// "for each group, the number of rows whose value equals the group
+// minimum" or "the average of values above the group average". These are
+// exactly the correlated-aggregate chains GMDJ expressions express; this
+// helper builds the canonical two-operator pattern.
+
+#ifndef SKALLA_OLAP_MULTIFEATURE_H_
+#define SKALLA_OLAP_MULTIFEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "expr/expr.h"
+
+namespace skalla {
+
+struct MultiFeatureSpec {
+  std::string detail_table;
+  /// Grouping columns (shared by both operators' conditions).
+  std::vector<std::string> group_columns;
+
+  /// The group-level feature, e.g. MIN(Quantity) AS min_q.
+  AggSpec inner;
+
+  /// The relation between a detail column and the inner feature, e.g.
+  /// r.<compare_column> = b.<inner.output>.
+  std::string compare_column;
+  BinaryOp compare_op = BinaryOp::kEq;
+
+  /// Aggregates over the detail tuples selected by the comparison, e.g.
+  /// COUNT(*) AS at_min.
+  std::vector<AggSpec> outer;
+};
+
+/// Builds the two-operator GMDJ expression for `spec`. The result is a
+/// regular GmdjExpr: evaluate it centralized or hand it to a
+/// DistributedWarehouse with any optimizer options.
+Result<GmdjExpr> BuildMultiFeatureQuery(const MultiFeatureSpec& spec);
+
+}  // namespace skalla
+
+#endif  // SKALLA_OLAP_MULTIFEATURE_H_

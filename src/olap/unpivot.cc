@@ -1,0 +1,117 @@
+#include "olap/unpivot.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "expr/builder.h"
+
+namespace skalla {
+
+Result<Table> Unpivot(const Table& in,
+                      const std::vector<std::string>& value_columns,
+                      const std::string& attr_column,
+                      const std::string& value_column) {
+  if (value_columns.empty()) {
+    return Status::InvalidArgument("unpivot needs at least one column");
+  }
+  std::vector<size_t> value_indices;
+  ValueType common_type = ValueType::kNull;
+  for (const std::string& name : value_columns) {
+    SKALLA_ASSIGN_OR_RETURN(size_t idx, in.schema()->RequireIndex(name));
+    value_indices.push_back(idx);
+    ValueType t = in.schema()->field(idx).type;
+    if (common_type == ValueType::kNull) {
+      common_type = t;
+    } else if (common_type != t) {
+      // Mixed numeric types widen to FLOAT64; anything else is an error.
+      bool both_numeric = (common_type == ValueType::kInt64 ||
+                           common_type == ValueType::kFloat64) &&
+                          (t == ValueType::kInt64 ||
+                           t == ValueType::kFloat64);
+      if (!both_numeric) {
+        return Status::TypeError(
+            StrCat("unpivot columns have incompatible types: ",
+                   ValueTypeToString(common_type), " vs ",
+                   ValueTypeToString(t)));
+      }
+      common_type = ValueType::kFloat64;
+    }
+  }
+
+  std::vector<size_t> passthrough;
+  std::vector<Field> fields;
+  for (size_t i = 0; i < in.schema()->num_fields(); ++i) {
+    bool is_value_col = false;
+    for (size_t v : value_indices) {
+      if (v == i) {
+        is_value_col = true;
+        break;
+      }
+    }
+    if (!is_value_col) {
+      passthrough.push_back(i);
+      fields.push_back(in.schema()->field(i));
+    }
+  }
+  fields.push_back(Field{attr_column, ValueType::kString});
+  fields.push_back(Field{value_column, common_type});
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+
+  Table out(schema);
+  out.Reserve(in.num_rows() * value_columns.size());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    const Row& row = in.row(r);
+    for (size_t v = 0; v < value_indices.size(); ++v) {
+      const Value& value = row[value_indices[v]];
+      if (value.is_null()) continue;  // Unpivot drops NULLs.
+      Row o = ProjectRow(row, passthrough);
+      o.push_back(Value(value_columns[v]));
+      o.push_back(value);
+      out.AppendUnchecked(std::move(o));
+    }
+  }
+  return out;
+}
+
+Result<Table> ComputeMarginalsDistributed(
+    const DistributedWarehouse& warehouse, const std::string& detail_table,
+    const std::vector<std::string>& attributes,
+    const OptimizerOptions& options, ExecStats* stats) {
+  SchemaPtr out_schema = nullptr;
+  Table out;
+  for (const std::string& attribute : attributes) {
+    GmdjExpr expr;
+    expr.base = BaseQuery{detail_table, {attribute}, true, nullptr};
+    GmdjOp op;
+    op.detail_table = detail_table;
+    op.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "Count"}},
+                                  Eq(RCol(attribute), BCol(attribute))});
+    expr.ops.push_back(std::move(op));
+
+    ExecStats attr_stats;
+    SKALLA_ASSIGN_OR_RETURN(Table result,
+                            warehouse.Execute(expr, options, &attr_stats));
+    if (stats != nullptr) {
+      for (RoundStats& round : attr_stats.rounds) {
+        stats->rounds.push_back(std::move(round));
+      }
+    }
+    if (out_schema == nullptr) {
+      SKALLA_ASSIGN_OR_RETURN(
+          out_schema, Schema::Make({{"Attribute", ValueType::kString},
+                                    {"Value", ValueType::kString},
+                                    {"Count", ValueType::kInt64}}));
+      out = Table(out_schema);
+    }
+    for (size_t r = 0; r < result.num_rows(); ++r) {
+      out.AppendUnchecked({Value(attribute),
+                           Value(result.at(r, 0).ToString()),
+                           result.at(r, 1)});
+    }
+  }
+  if (out_schema == nullptr) {
+    return Status::InvalidArgument("no attributes given");
+  }
+  return out;
+}
+
+}  // namespace skalla

@@ -1,0 +1,41 @@
+// Unpivot and marginal distributions (Graefe, Fayyad & Chaudhuri [11]).
+//
+// Unpivot turns a set of value columns into (attribute, value) rows; the
+// marginal-distribution helper computes, for each listed attribute, the
+// count of detail tuples per attribute value — one GMDJ expression per
+// attribute, evaluated through the distributed machinery.
+
+#ifndef SKALLA_OLAP_UNPIVOT_H_
+#define SKALLA_OLAP_UNPIVOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/warehouse.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// Local unpivot operator. For every input row and every column in
+/// `value_columns`, emits one row: the untouched passthrough columns
+/// (those not listed), then `attr_column` (the unpivoted column's name as
+/// a string) and `value_column` (its value). NULL values are skipped, per
+/// the classic operator definition.
+Result<Table> Unpivot(const Table& in,
+                      const std::vector<std::string>& value_columns,
+                      const std::string& attr_column,
+                      const std::string& value_column);
+
+/// One row per (attribute, value): the number of detail tuples holding
+/// `value` in `attribute`, for each attribute listed. Schema:
+/// (Attribute STRING, Value <col type>, Count INT64) — the sufficient
+/// statistics ("marginals") of [11], computed distributed.
+Result<Table> ComputeMarginalsDistributed(
+    const DistributedWarehouse& warehouse, const std::string& detail_table,
+    const std::vector<std::string>& attributes,
+    const OptimizerOptions& options, ExecStats* stats = nullptr);
+
+}  // namespace skalla
+
+#endif  // SKALLA_OLAP_UNPIVOT_H_

@@ -1,0 +1,188 @@
+#include "opt/cost_model.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "expr/analysis.h"
+
+namespace skalla {
+
+uint64_t TransferEstimate::TotalTuples() const {
+  uint64_t total = 0;
+  for (const RoundEstimate& r : rounds) {
+    total += r.tuples_to_sites + r.tuples_to_coord;
+  }
+  return total;
+}
+
+std::string TransferEstimate::ToString() const {
+  std::string out = StrPrintf("%-8s %14s %14s %7s\n", "round", "->sites",
+                              "->coord", "exact");
+  for (const RoundEstimate& r : rounds) {
+    out += StrPrintf("%-8s %14llu %14llu %7s\n", r.label.c_str(),
+                     static_cast<unsigned long long>(r.tuples_to_sites),
+                     static_cast<unsigned long long>(r.tuples_to_coord),
+                     r.exact ? "yes" : "<=");
+  }
+  out += StrPrintf("total: %llu tuples (%s)\n",
+                   static_cast<unsigned long long>(TotalTuples()),
+                   exact ? "exact" : "upper bound");
+  return out;
+}
+
+const PartitionInfo* CostModel::InfoFor(const std::string& table) const {
+  auto it = partition_info_.find(table);
+  return it == partition_info_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+// Whether `filter` is exactly the single-column IN-set predicate the
+// optimizer derives for pure key-equality conditions (the case the model
+// can price exactly).
+bool IsPlainInSetFilter(const ExprPtr& filter, const std::string& key) {
+  return filter != nullptr && filter->kind() == ExprKind::kInSet &&
+         filter->operand()->kind() == ExprKind::kColumnRef &&
+         filter->operand()->side() == ExprSide::kBase &&
+         filter->operand()->column_name() == key;
+}
+
+// Whether every block of `op` is a pure equality condition on exactly
+// the key columns (no residual, no extra atoms).
+bool PureKeyEquality(const GmdjOp& op,
+                     const std::vector<std::string>& keys) {
+  for (const GmdjBlock& block : op.blocks) {
+    if (block.theta == nullptr) return false;
+    ConditionAnalysis analysis = AnalyzeCondition(block.theta);
+    if (analysis.residual != nullptr) return false;
+    if (analysis.equi_atoms.size() != keys.size()) return false;
+    for (const std::string& key : keys) {
+      bool found = false;
+      for (const EquiAtom& atom : analysis.equi_atoms) {
+        if (atom.base_col == key && atom.detail_col == key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TransferEstimate> CostModel::Estimate(
+    const DistributedPlan& plan) const {
+  const PartitionInfo* info = InfoFor(plan.base.table);
+  if (info == nullptr) {
+    return Status::NotImplemented(
+        StrCat("no distribution knowledge for '", plan.base.table, "'"));
+  }
+  const std::vector<std::string>& keys = plan.key_columns;
+  if (keys.empty()) {
+    return Status::NotImplemented(
+        "cannot estimate a plan without key columns");
+  }
+
+  TransferEstimate estimate;
+  bool groups_exact = keys.size() == 1 && plan.base.where == nullptr;
+
+  // Per-site group counts and the global distinct count.
+  std::vector<uint64_t> site_groups(num_sites_, 1);
+  for (const std::string& key : keys) {
+    for (size_t i = 0; i < num_sites_; ++i) {
+      const ColumnDistribution* dist = info->GetDistribution(i, key);
+      if (dist == nullptr || !dist->values.has_value()) {
+        return Status::NotImplemented(
+            StrCat("no per-site value sets for grouping column '", key,
+                   "'"));
+      }
+      // Multi-column joint distincts: product is an upper bound.
+      site_groups[i] *= dist->values->size();
+    }
+  }
+  uint64_t global_groups = 0;
+  if (keys.size() == 1) {
+    ValueSet global_set;
+    for (size_t i = 0; i < num_sites_; ++i) {
+      const ColumnDistribution* dist = info->GetDistribution(i, keys[0]);
+      dist->values->ForEach([&](const Value& v) { global_set.Insert(v); });
+    }
+    global_groups = global_set.size();
+  } else {
+    for (uint64_t g : site_groups) global_groups += g;
+    groups_exact = false;
+  }
+
+  bool have_global = false;
+  if (plan.sync_base) {
+    RoundEstimate round;
+    round.label = "base";
+    round.exact = groups_exact;
+    for (uint64_t g : site_groups) round.tuples_to_coord += g;
+    have_global = true;
+    estimate.rounds.push_back(round);
+  }
+
+  for (size_t k = 0; k < plan.stages.size(); ++k) {
+    const PlanStage& stage = plan.stages[k];
+    if (!stage.sync_after && !have_global) continue;  // Fully local.
+
+    RoundEstimate round;
+    round.label = StrCat("md", k + 1);
+    round.exact = groups_exact;
+
+    std::vector<uint64_t> sent(num_sites_, 0);
+    if (have_global) {
+      for (size_t i = 0; i < num_sites_; ++i) {
+        const ExprPtr& filter = stage.site_base_filters.empty()
+                                    ? nullptr
+                                    : stage.site_base_filters[i];
+        if (filter == nullptr) {
+          sent[i] = global_groups;
+        } else if (keys.size() == 1 &&
+                   IsPlainInSetFilter(filter, keys[0])) {
+          sent[i] = site_groups[i];
+        } else {
+          // Some further restriction we cannot price: bound by the
+          // unfiltered size.
+          sent[i] = global_groups;
+          round.exact = false;
+        }
+        round.tuples_to_sites += sent[i];
+      }
+    } else {
+      // Local continuation: each site holds exactly its own groups.
+      for (size_t i = 0; i < num_sites_; ++i) sent[i] = site_groups[i];
+    }
+
+    if (stage.sync_after) {
+      bool pure = PureKeyEquality(stage.op, keys);
+      for (size_t i = 0; i < num_sites_; ++i) {
+        uint64_t returned;
+        if (stage.indep_group_reduction) {
+          // Site i returns the groups it actually holds (among those it
+          // received); with residual conditions this is an upper bound.
+          returned = std::min(sent[i], site_groups[i]);
+          if (!pure) round.exact = false;
+        } else {
+          returned = sent[i];
+        }
+        round.tuples_to_coord += returned;
+      }
+      have_global = true;
+    } else {
+      have_global = false;
+      // The downward distribution still happened this round.
+    }
+    estimate.rounds.push_back(round);
+  }
+
+  estimate.exact = true;
+  for (const RoundEstimate& r : estimate.rounds) {
+    estimate.exact = estimate.exact && r.exact;
+  }
+  return estimate;
+}
+
+}  // namespace skalla

@@ -1,0 +1,68 @@
+// Transfer cost model: predicts, before execution, how many tuples a
+// DistributedPlan will move per synchronization round, from distribution
+// knowledge alone (per-site distinct counts of the grouping columns).
+//
+// For single-attribute, pure-equality groupings with exact value-set
+// knowledge the prediction is exact; otherwise it is an upper bound and
+// flagged as such. The paper's Sect. 5.2 byte analysis — ng groups up,
+// n·G down, c·G back per round — is this model's closed form; the bench
+// validates model vs measurement the same way the paper does.
+
+#ifndef SKALLA_OPT_COST_MODEL_H_
+#define SKALLA_OPT_COST_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/plan.h"
+#include "storage/partition.h"
+
+namespace skalla {
+
+/// Predicted transfer for one synchronized round.
+struct RoundEstimate {
+  std::string label;
+  uint64_t tuples_to_sites = 0;
+  uint64_t tuples_to_coord = 0;
+  /// False when any approximation forced an upper bound.
+  bool exact = true;
+};
+
+struct TransferEstimate {
+  std::vector<RoundEstimate> rounds;
+  /// All rounds exact?
+  bool exact = true;
+
+  uint64_t TotalTuples() const;
+  std::string ToString() const;
+};
+
+/// Estimates plan transfers. Register the same PartitionInfo the
+/// optimizer used.
+class CostModel {
+ public:
+  explicit CostModel(size_t num_sites) : num_sites_(num_sites) {}
+
+  void SetPartitionInfo(const std::string& table,
+                        const PartitionInfo* info) {
+    partition_info_[table] = info;
+  }
+
+  /// Predicts per-round tuple transfers for `plan`. Exact predictions
+  /// require: single grouping column, no base WHERE, exact per-site value
+  /// sets for it, and conditions that are pure key equality (residual
+  /// conjuncts make site-side group reduction counts upper bounds).
+  Result<TransferEstimate> Estimate(const DistributedPlan& plan) const;
+
+ private:
+  const PartitionInfo* InfoFor(const std::string& table) const;
+
+  size_t num_sites_;
+  std::unordered_map<std::string, const PartitionInfo*> partition_info_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_OPT_COST_MODEL_H_

@@ -1,0 +1,26 @@
+// EXPLAIN: a human-readable report for a planned query — the optimized
+// plan, which optimizations fired and why, and the cost model's
+// transfer prediction when distribution knowledge allows one.
+
+#ifndef SKALLA_OPT_EXPLAIN_H_
+#define SKALLA_OPT_EXPLAIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "dist/plan.h"
+#include "opt/cost_model.h"
+#include "opt/options.h"
+
+namespace skalla {
+
+/// Renders the full EXPLAIN text for `plan`. `model` may be null (no
+/// distribution knowledge); the prediction section is then omitted.
+std::string ExplainPlan(const GmdjExpr& expr, const DistributedPlan& plan,
+                        size_t num_sites, const OptimizerOptions& options,
+                        const CostModel* model);
+
+}  // namespace skalla
+
+#endif  // SKALLA_OPT_EXPLAIN_H_

@@ -1,0 +1,237 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "expr/analysis.h"
+#include "expr/builder.h"
+
+namespace skalla {
+
+void Egil::SetPartitionInfo(const std::string& table,
+                            const PartitionInfo* info) {
+  partition_info_[table] = info;
+}
+
+const PartitionInfo* Egil::InfoFor(const std::string& table) const {
+  auto it = partition_info_.find(table);
+  return it == partition_info_.end() ? nullptr : it->second;
+}
+
+bool Egil::CanCoalesce(const GmdjOp& earlier, const GmdjOp& later) {
+  if (earlier.detail_table != later.detail_table) return false;
+  std::vector<std::string> generated = earlier.OutputColumnNames();
+  for (const GmdjBlock& block : later.blocks) {
+    if (block.theta == nullptr) continue;
+    std::vector<std::string> referenced;
+    block.theta->CollectColumns(ExprSide::kBase, &referenced);
+    for (const std::string& name : referenced) {
+      if (std::find(generated.begin(), generated.end(), name) !=
+          generated.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Egil::BaseSyncSkippable(const BaseQuery& base, const GmdjOp& first) {
+  // Prop. 2 preconditions: B is a plain distinct projection of the detail
+  // relation, so every detail tuple's key lands in the local base result,
+  // and every block condition entails equality on all base columns.
+  if (!base.distinct || base.where != nullptr) return false;
+  if (first.detail_table != base.table) return false;
+  if (base.columns.empty()) return false;
+  for (const GmdjBlock& block : first.blocks) {
+    if (block.theta == nullptr) return false;
+    for (const std::string& column : base.columns) {
+      if (!EntailsEquality(block.theta, column, column)) return false;
+    }
+  }
+  return true;
+}
+
+bool Egil::HasPartitionEntailment(
+    const GmdjOp& op, const std::vector<std::string>& key_columns) const {
+  const PartitionInfo* info = InfoFor(op.detail_table);
+  if (info == nullptr) return false;
+  for (const std::string& attr : key_columns) {
+    if (!info->IsPartitionAttribute(attr)) continue;
+    bool all_blocks = true;
+    for (const GmdjBlock& block : op.blocks) {
+      if (block.theta == nullptr ||
+          !EntailsEquality(block.theta, attr, attr)) {
+        all_blocks = false;
+        break;
+      }
+    }
+    if (all_blocks) return true;
+  }
+  return false;
+}
+
+ExprPtr Egil::DeriveSiteFilter(const GmdjOp& op, size_t site) const {
+  const PartitionInfo* info = InfoFor(op.detail_table);
+  if (info == nullptr || site >= info->num_sites()) return nullptr;
+
+  auto col_range = [&](const std::string& column) -> std::optional<Interval> {
+    const ColumnDistribution* dist = info->GetDistribution(site, column);
+    if (dist == nullptr || !dist->min.has_value() || !dist->max.has_value()) {
+      return std::nullopt;
+    }
+    return Interval{*dist->min, *dist->max};
+  };
+
+  std::vector<ExprPtr> block_preds;
+  for (const GmdjBlock& block : op.blocks) {
+    if (block.theta == nullptr) return nullptr;
+    std::vector<ExprPtr> preds;
+    for (const ExprPtr& conjunct : SplitConjuncts(block.theta)) {
+      std::optional<SeparableComparison> sep =
+          ExtractSeparableComparison(conjunct);
+      if (!sep.has_value()) continue;
+      if (sep->op == BinaryOp::kNe) continue;
+
+      // Plan-time pruning for constant-vs-detail conjuncts like
+      // `r.C = 5`: if the value provably cannot occur at the site (value
+      // set, histogram, or range all consulted), the whole block is dead
+      // there.
+      if (sep->op == BinaryOp::kEq &&
+          !sep->base_expr->ReferencesSide(ExprSide::kBase) &&
+          sep->detail_expr->kind() == ExprKind::kColumnRef) {
+        const ColumnDistribution* dist = info->GetDistribution(
+            site, sep->detail_expr->column_name());
+        if (dist != nullptr) {
+          Value constant = sep->base_expr->Eval(nullptr, nullptr);
+          preds.push_back(Expr::Literal(
+              Value(int64_t{dist->MayContain(constant) ? 1 : 0})));
+          continue;
+        }
+      }
+
+      // Exact value-set reduction for `base_expr = r.C` where the site's
+      // values of C are known precisely.
+      if (sep->op == BinaryOp::kEq &&
+          sep->detail_expr->kind() == ExprKind::kColumnRef) {
+        const ColumnDistribution* dist = info->GetDistribution(
+            site, sep->detail_expr->column_name());
+        if (dist != nullptr && dist->values.has_value()) {
+          // The set is copied so the plan stays valid independently of the
+          // PartitionInfo's lifetime.
+          preds.push_back(Expr::InSet(
+              sep->base_expr, std::make_shared<ValueSet>(*dist->values)));
+          continue;
+        }
+      }
+
+      // Interval reduction: bound the detail side over the site's column
+      // ranges; b may match only if base_expr lands against that interval.
+      std::optional<Interval> interval =
+          EvalDetailInterval(sep->detail_expr, col_range);
+      if (!interval.has_value()) continue;
+      switch (sep->op) {
+        case BinaryOp::kEq:
+          preds.push_back(And(Ge(sep->base_expr, Lit(Value(interval->lo))),
+                              Le(sep->base_expr, Lit(Value(interval->hi)))));
+          break;
+        case BinaryOp::kLt:
+          preds.push_back(Lt(sep->base_expr, Lit(Value(interval->hi))));
+          break;
+        case BinaryOp::kLe:
+          preds.push_back(Le(sep->base_expr, Lit(Value(interval->hi))));
+          break;
+        case BinaryOp::kGt:
+          preds.push_back(Gt(sep->base_expr, Lit(Value(interval->lo))));
+          break;
+        case BinaryOp::kGe:
+          preds.push_back(Ge(sep->base_expr, Lit(Value(interval->lo))));
+          break;
+        default:
+          break;
+      }
+    }
+    if (preds.empty()) {
+      // This block imposes no restriction: ¬ψ_i is identically true.
+      return nullptr;
+    }
+    block_preds.push_back(MakeConjunction(std::move(preds)));
+  }
+  if (block_preds.empty()) return nullptr;
+  return MakeDisjunction(std::move(block_preds));
+}
+
+Result<DistributedPlan> Egil::Optimize(const GmdjExpr& expr) const {
+  DistributedPlan plan;
+  plan.base = expr.base;
+  plan.key_columns = expr.base.columns;
+
+  std::vector<GmdjOp> ops = expr.ops;
+
+  // --- Coalescing (Sect. 4.3) --------------------------------------------
+  if (options_.coalescing) {
+    for (size_t k = 0; k + 1 < ops.size();) {
+      if (CanCoalesce(ops[k], ops[k + 1])) {
+        for (GmdjBlock& block : ops[k + 1].blocks) {
+          ops[k].blocks.push_back(std::move(block));
+        }
+        ops.erase(ops.begin() + static_cast<int64_t>(k) + 1);
+      } else {
+        ++k;
+      }
+    }
+  }
+
+  // --- Synchronization reduction (Prop. 2, Theorem 5 / Cor. 1) ------------
+  bool base_skip = options_.sync_reduction && !ops.empty() &&
+                   BaseSyncSkippable(plan.base, ops[0]);
+  plan.sync_base = !base_skip;
+
+  plan.stages.clear();
+  plan.stages.reserve(ops.size());
+  for (GmdjOp& op : ops) {
+    PlanStage stage;
+    stage.op = std::move(op);
+    plan.stages.push_back(std::move(stage));
+  }
+
+  if (base_skip && plan.stages.size() >= 2) {
+    // Longest prefix of operators with partition entailment; stage k may
+    // skip its synchronization when both ops k and k+1 entail equality on
+    // a partition attribute (Theorem 5), and all earlier stages were
+    // skipped too (site-locality of the running structure).
+    size_t entailed_prefix = 0;
+    while (entailed_prefix < plan.stages.size() &&
+           HasPartitionEntailment(plan.stages[entailed_prefix].op,
+                                  plan.key_columns)) {
+      ++entailed_prefix;
+    }
+    for (size_t k = 0; k + 1 < entailed_prefix; ++k) {
+      plan.stages[k].sync_after = false;
+    }
+  }
+
+  // --- Group reductions (Prop. 1, Theorem 4) -------------------------------
+  bool have_global = plan.sync_base;
+  for (PlanStage& stage : plan.stages) {
+    if (options_.indep_group_reduction && stage.sync_after && have_global) {
+      // When the merge starts from the global structure, dropping
+      // zero-|RNG| groups is safe: their rows are already present at the
+      // coordinator with neutral aggregate values.
+      stage.indep_group_reduction = true;
+    }
+    if (options_.aware_group_reduction && have_global) {
+      std::vector<ExprPtr> filters(num_sites_);
+      bool any = false;
+      for (size_t site = 0; site < num_sites_; ++site) {
+        filters[site] = DeriveSiteFilter(stage.op, site);
+        if (filters[site] != nullptr) any = true;
+      }
+      if (any) stage.site_base_filters = std::move(filters);
+    }
+    have_global = stage.sync_after;
+  }
+
+  return plan;
+}
+
+}  // namespace skalla

@@ -1,0 +1,19 @@
+#include "opt/options.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string OptimizerOptions::ToString() const {
+  std::vector<std::string> on;
+  if (coalescing) on.push_back("coalescing");
+  if (indep_group_reduction) on.push_back("indep-GR");
+  if (aware_group_reduction) on.push_back("aware-GR");
+  if (sync_reduction) on.push_back("sync-reduction");
+  if (on.empty()) return "none";
+  return Join(on, "+");
+}
+
+}  // namespace skalla

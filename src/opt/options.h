@@ -1,0 +1,38 @@
+// Toggles for the distributed-evaluation optimizations of Sect. 4. Every
+// combination produces a correct plan; the benches sweep these to
+// reproduce the paper's ablations.
+
+#ifndef SKALLA_OPT_OPTIONS_H_
+#define SKALLA_OPT_OPTIONS_H_
+
+#include <string>
+
+namespace skalla {
+
+struct OptimizerOptions {
+  /// Sect. 4.3: merge adjacent GMDJs whose outer conditions do not
+  /// reference inner-generated attributes.
+  bool coalescing = false;
+
+  /// Prop. 1: sites ship only groups with |RNG| > 0.
+  bool indep_group_reduction = false;
+
+  /// Theorem 4: the coordinator sends each site only the groups that can
+  /// match there, derived from distribution knowledge.
+  bool aware_group_reduction = false;
+
+  /// Prop. 2 + Theorem 5 / Corollary 1: skip base-values synchronization
+  /// and inter-GMDJ synchronizations when entailment analysis allows.
+  bool sync_reduction = false;
+
+  static OptimizerOptions None() { return OptimizerOptions{}; }
+  static OptimizerOptions All() {
+    return OptimizerOptions{true, true, true, true};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_OPT_OPTIONS_H_

@@ -1,0 +1,244 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& KeywordMap() {
+  static const auto* map = new std::unordered_map<std::string, TokenKind>{
+      {"base", TokenKind::kBase},       {"select", TokenKind::kSelect},
+      {"distinct", TokenKind::kDistinct}, {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},     {"md", TokenKind::kMd},
+      {"using", TokenKind::kUsing},     {"compute", TokenKind::kCompute},
+      {"as", TokenKind::kAs},           {"count", TokenKind::kCount},
+      {"sum", TokenKind::kSum},         {"avg", TokenKind::kAvg},
+      {"min", TokenKind::kMin},         {"max", TokenKind::kMax},
+      {"var", TokenKind::kVar},         {"stddev", TokenKind::kStdDev},
+      {"and", TokenKind::kAnd},         {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+  };
+  return *map;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEnd;
+        tokens.push_back(std::move(token));
+        return tokens;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexIdentifier(&token);
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        SKALLA_RETURN_NOT_OK(LexNumber(&token));
+      } else if (c == '\'') {
+        SKALLA_RETURN_NOT_OK(LexString(&token));
+      } else {
+        SKALLA_RETURN_NOT_OK(LexOperator(&token));
+      }
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekNext() const {
+    return pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && PeekNext() == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void LexIdentifier(Token* token) {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '#')) {
+      Advance();
+    }
+    token->text = std::string(text_.substr(start, pos_ - start));
+    auto it = KeywordMap().find(ToLower(token->text));
+    token->kind =
+        it == KeywordMap().end() ? TokenKind::kIdentifier : it->second;
+  }
+
+  Status LexNumber(Token* token) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(PeekNext()))) {
+      is_float = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    std::string spelled(text_.substr(start, pos_ - start));
+    if (is_float) {
+      token->kind = TokenKind::kFloat;
+      token->float_value = std::strtod(spelled.c_str(), nullptr);
+    } else {
+      token->kind = TokenKind::kInteger;
+      errno = 0;
+      token->int_value = std::strtoll(spelled.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Status::ParseError(
+            StrCat("integer literal out of range at line ", token->line,
+                   ": ", spelled));
+      }
+    }
+    token->text = std::move(spelled);
+    return Status::OK();
+  }
+
+  Status LexString(Token* token) {
+    Advance();  // Opening quote.
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at line ", token->line));
+      }
+      char c = Peek();
+      if (c == '\'') {
+        Advance();
+        if (!AtEnd() && Peek() == '\'') {  // Doubled quote escape.
+          out.push_back('\'');
+          Advance();
+          continue;
+        }
+        break;
+      }
+      out.push_back(c);
+      Advance();
+    }
+    token->kind = TokenKind::kString;
+    token->text = std::move(out);
+    return Status::OK();
+  }
+
+  Status LexOperator(Token* token) {
+    char c = Peek();
+    Advance();
+    switch (c) {
+      case ',':
+        token->kind = TokenKind::kComma;
+        return Status::OK();
+      case ';':
+        token->kind = TokenKind::kSemicolon;
+        return Status::OK();
+      case '.':
+        token->kind = TokenKind::kDot;
+        return Status::OK();
+      case '(':
+        token->kind = TokenKind::kLParen;
+        return Status::OK();
+      case ')':
+        token->kind = TokenKind::kRParen;
+        return Status::OK();
+      case '*':
+        token->kind = TokenKind::kStar;
+        return Status::OK();
+      case '+':
+        token->kind = TokenKind::kPlus;
+        return Status::OK();
+      case '-':
+        token->kind = TokenKind::kMinus;
+        return Status::OK();
+      case '/':
+        token->kind = TokenKind::kSlash;
+        return Status::OK();
+      case '%':
+        token->kind = TokenKind::kPercent;
+        return Status::OK();
+      case '=':
+        token->kind = TokenKind::kEq;
+        return Status::OK();
+      case '<':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kLe;
+        } else if (!AtEnd() && Peek() == '>') {
+          Advance();
+          token->kind = TokenKind::kNe;
+        } else {
+          token->kind = TokenKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kGe;
+        } else {
+          token->kind = TokenKind::kGt;
+        }
+        return Status::OK();
+      case '!':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kNe;
+          return Status::OK();
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::ParseError(StrCat("unexpected character '", c,
+                                     "' at line ", token->line, " column ",
+                                     token->column));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  return LexerImpl(text).Run();
+}
+
+}  // namespace skalla

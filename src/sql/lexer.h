@@ -1,0 +1,21 @@
+// Lexer for the Skalla OLAP query language.
+
+#ifndef SKALLA_SQL_LEXER_H_
+#define SKALLA_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace skalla {
+
+/// Tokenizes `text`. Keywords are case-insensitive; identifiers keep their
+/// spelling. `--` starts a comment running to end of line. The returned
+/// vector always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace skalla
+
+#endif  // SKALLA_SQL_LEXER_H_

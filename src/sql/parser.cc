@@ -1,0 +1,347 @@
+#include "sql/parser.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace skalla {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens, bool allow_unqualified_refs)
+      : tokens_(std::move(tokens)),
+        allow_unqualified_refs_(allow_unqualified_refs) {}
+
+  Result<GmdjExpr> ParseQuery() {
+    GmdjExpr expr;
+    SKALLA_ASSIGN_OR_RETURN(expr.base, ParseBaseClause());
+    while (!Check(TokenKind::kEnd)) {
+      SKALLA_ASSIGN_OR_RETURN(GmdjOp op, ParseMdClause());
+      expr.ops.push_back(std::move(op));
+    }
+    if (expr.ops.empty()) {
+      return Error(Current(), "query needs at least one MD clause");
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseBareExpression() {
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kEnd).status());
+    return e;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Previous() const { return tokens_[pos_ - 1]; }
+
+  bool Check(TokenKind kind) const { return Current().kind == kind; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const Token& at, std::string_view message) const {
+    return Status::ParseError(StrCat("line ", at.line, " column ", at.column,
+                                     ": ", message, " (found ",
+                                     at.Describe(), ")"));
+  }
+
+  Result<Token> Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return Error(Current(),
+                   StrCat("expected ", TokenKindToString(kind)));
+    }
+    Token token = Current();
+    ++pos_;
+    return token;
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error(Current(), StrCat("expected ", what));
+    }
+    std::string name = Current().text;
+    ++pos_;
+    return name;
+  }
+
+  // base_clause := BASE SELECT [DISTINCT] cols FROM table [WHERE expr] ';'
+  Result<BaseQuery> ParseBaseClause() {
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kBase).status());
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kSelect).status());
+    BaseQuery base;
+    base.distinct = Match(TokenKind::kDistinct);
+    do {
+      SKALLA_ASSIGN_OR_RETURN(std::string column,
+                              ExpectIdentifier("a column name"));
+      base.columns.push_back(std::move(column));
+    } while (Match(TokenKind::kComma));
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kFrom).status());
+    SKALLA_ASSIGN_OR_RETURN(base.table, ExpectIdentifier("a table name"));
+    if (Match(TokenKind::kWhere)) {
+      // Base WHERE is over the detail relation: unqualified columns and
+      // r.<col> both resolve to the detail side.
+      bool saved = allow_unqualified_refs_;
+      allow_unqualified_refs_ = true;
+      auto where = ParseExpr();
+      allow_unqualified_refs_ = saved;
+      SKALLA_RETURN_NOT_OK(where.status());
+      ExprPtr where_expr = std::move(where).ValueOrDie();
+      if (where_expr->ReferencesSide(ExprSide::kBase)) {
+        return Error(Previous(),
+                     "the base WHERE clause may not reference b.<col>");
+      }
+      base.where = std::move(where_expr);
+    }
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kSemicolon).status());
+    return base;
+  }
+
+  // md_clause := MD USING table block+ ';'
+  Result<GmdjOp> ParseMdClause() {
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kMd).status());
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kUsing).status());
+    GmdjOp op;
+    SKALLA_ASSIGN_OR_RETURN(op.detail_table,
+                            ExpectIdentifier("a table name"));
+    if (!Check(TokenKind::kCompute)) {
+      return Error(Current(), "expected COMPUTE");
+    }
+    while (Check(TokenKind::kCompute)) {
+      SKALLA_ASSIGN_OR_RETURN(GmdjBlock block, ParseBlock());
+      op.blocks.push_back(std::move(block));
+    }
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kSemicolon).status());
+    return op;
+  }
+
+  // block := COMPUTE agg (',' agg)* WHERE expr
+  Result<GmdjBlock> ParseBlock() {
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kCompute).status());
+    GmdjBlock block;
+    do {
+      SKALLA_ASSIGN_OR_RETURN(AggSpec spec, ParseAgg());
+      block.aggs.push_back(std::move(spec));
+    } while (Match(TokenKind::kComma));
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kWhere).status());
+    SKALLA_ASSIGN_OR_RETURN(block.theta, ParseExpr());
+    return block;
+  }
+
+  // agg := COUNT '(' ('*'|ident) ')' AS ident
+  //      | (SUM|AVG|MIN|MAX) '(' ident ')' AS ident
+  Result<AggSpec> ParseAgg() {
+    AggSpec spec;
+    if (Match(TokenKind::kCount)) {
+      SKALLA_RETURN_NOT_OK(Expect(TokenKind::kLParen).status());
+      if (Match(TokenKind::kStar)) {
+        spec.kind = AggKind::kCountStar;
+      } else {
+        spec.kind = AggKind::kCount;
+        SKALLA_ASSIGN_OR_RETURN(spec.input,
+                                ExpectIdentifier("a column or '*'"));
+      }
+      SKALLA_RETURN_NOT_OK(Expect(TokenKind::kRParen).status());
+    } else if (Match(TokenKind::kSum) || Match(TokenKind::kAvg) ||
+               Match(TokenKind::kMin) || Match(TokenKind::kMax) ||
+               Match(TokenKind::kVar) || Match(TokenKind::kStdDev)) {
+      switch (Previous().kind) {
+        case TokenKind::kSum:
+          spec.kind = AggKind::kSum;
+          break;
+        case TokenKind::kAvg:
+          spec.kind = AggKind::kAvg;
+          break;
+        case TokenKind::kMin:
+          spec.kind = AggKind::kMin;
+          break;
+        case TokenKind::kVar:
+          spec.kind = AggKind::kVarPop;
+          break;
+        case TokenKind::kStdDev:
+          spec.kind = AggKind::kStdDevPop;
+          break;
+        default:
+          spec.kind = AggKind::kMax;
+          break;
+      }
+      SKALLA_RETURN_NOT_OK(Expect(TokenKind::kLParen).status());
+      SKALLA_ASSIGN_OR_RETURN(spec.input, ExpectIdentifier("a column name"));
+      SKALLA_RETURN_NOT_OK(Expect(TokenKind::kRParen).status());
+    } else {
+      return Error(Current(),
+                   "expected an aggregate "
+                   "(COUNT/SUM/AVG/MIN/MAX/VAR/STDDEV)");
+    }
+    SKALLA_RETURN_NOT_OK(Expect(TokenKind::kAs).status());
+    SKALLA_ASSIGN_OR_RETURN(spec.output,
+                            ExpectIdentifier("an output column name"));
+    return spec;
+  }
+
+  // --- Expressions, usual precedence climbing ----------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Match(TokenKind::kOr)) {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Match(TokenKind::kAnd)) {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Match(TokenKind::kNot)) {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    BinaryOp op;
+    if (Match(TokenKind::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenKind::kNe)) {
+      op = BinaryOp::kNe;
+    } else if (Match(TokenKind::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenKind::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenKind::kGe)) {
+      op = BinaryOp::kGe;
+    } else if (Match(TokenKind::kGt)) {
+      op = BinaryOp::kGt;
+    } else {
+      return left;
+    }
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return Expr::Binary(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SKALLA_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Match(TokenKind::kInteger)) {
+      return Expr::Literal(Value(Previous().int_value));
+    }
+    if (Match(TokenKind::kFloat)) {
+      return Expr::Literal(Value(Previous().float_value));
+    }
+    if (Match(TokenKind::kString)) {
+      return Expr::Literal(Value(Previous().text));
+    }
+    if (Match(TokenKind::kLParen)) {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      SKALLA_RETURN_NOT_OK(Expect(TokenKind::kRParen).status());
+      return inner;
+    }
+    if (Check(TokenKind::kIdentifier)) {
+      Token ident = Current();
+      ++pos_;
+      // Qualified reference: b.<col> or r.<col>.
+      if ((ident.text == "b" || ident.text == "B" || ident.text == "r" ||
+           ident.text == "R") &&
+          Match(TokenKind::kDot)) {
+        SKALLA_ASSIGN_OR_RETURN(std::string column,
+                                ExpectIdentifier("a column name"));
+        ExprSide side = (ident.text == "b" || ident.text == "B")
+                            ? ExprSide::kBase
+                            : ExprSide::kDetail;
+        return Expr::ColumnRef(side, std::move(column));
+      }
+      if (Check(TokenKind::kDot)) {
+        return Error(Current(),
+                     StrCat("unknown tuple qualifier '", ident.text,
+                            "'; use b.<col> or r.<col>"));
+      }
+      if (!allow_unqualified_refs_) {
+        return Error(ident,
+                     StrCat("unqualified column '", ident.text,
+                            "' — in MD conditions write b.", ident.text,
+                            " (base) or r.", ident.text, " (detail)"));
+      }
+      return Expr::ColumnRef(ExprSide::kDetail, ident.text);
+    }
+    return Error(Current(), "expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool allow_unqualified_refs_;
+};
+
+}  // namespace
+
+Result<GmdjExpr> ParseQuery(std::string_view text) {
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens), /*allow_unqualified_refs=*/false)
+      .ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens), /*allow_unqualified_refs=*/false)
+      .ParseBareExpression();
+}
+
+}  // namespace skalla

@@ -1,0 +1,50 @@
+// Parser for the Skalla OLAP query language: the textual front end of the
+// Egil query generator. A query defines a base-values projection followed
+// by a chain of GMDJ operators. The paper's Example 1 reads:
+//
+//   BASE SELECT DISTINCT SourceAS, DestAS FROM flow;
+//   MD USING flow
+//      COMPUTE COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+//      WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS;
+//   MD USING flow
+//      COMPUTE COUNT(*) AS cnt2
+//      WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS
+//        AND r.NumBytes >= b.sum1 / b.cnt1;
+//
+// Grammar (keywords case-insensitive, `--` comments):
+//
+//   query       := base_clause md_clause* EOF
+//   base_clause := BASE SELECT [DISTINCT] ident (',' ident)* FROM ident
+//                  [WHERE expr] ';'
+//   md_clause   := MD USING ident block+ ';'
+//   block       := COMPUTE agg (',' agg)* WHERE expr
+//   agg         := COUNT '(' ('*' | ident) ')' AS ident
+//                | (SUM|AVG|MIN|MAX) '(' ident ')' AS ident
+//   expr        := or | ...   (usual precedence: OR < AND < NOT <
+//                  comparison < additive < multiplicative < unary)
+//   primary     := number | 'string' | ref | '(' expr ')'
+//   ref         := ('b'|'B') '.' ident   -- base-values column
+//                | ('r'|'R') '.' ident   -- detail column
+//                | ident                 -- detail column (base WHERE only)
+
+#ifndef SKALLA_SQL_PARSER_H_
+#define SKALLA_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+
+namespace skalla {
+
+/// Parses a full query into a GMDJ expression. Errors carry line/column
+/// positions.
+Result<GmdjExpr> ParseQuery(std::string_view text);
+
+/// Parses just a condition/scalar expression (b./r. qualified refs), for
+/// tests and tools.
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace skalla
+
+#endif  // SKALLA_SQL_PARSER_H_

@@ -1,0 +1,134 @@
+#include "sql/to_sql.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+Result<std::string> RenderValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return std::string("NULL");
+    case ValueType::kInt64:
+      return StrCat(v.int64());
+    case ValueType::kFloat64:
+      return StrPrintf("%.17g", v.float64());
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.str()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return Status::Internal("unknown value type");
+}
+
+Result<std::string> RenderExpr(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      return RenderValue(e->literal());
+    case ExprKind::kColumnRef:
+      return StrCat(e->side() == ExprSide::kBase ? "b." : "r.",
+                    e->column_name());
+    case ExprKind::kUnary: {
+      SKALLA_ASSIGN_OR_RETURN(std::string inner, RenderExpr(e->operand()));
+      if (e->unary_op() == UnaryOp::kNot) {
+        return StrCat("(NOT ", inner, ")");
+      }
+      return StrCat("(-", inner, ")");
+    }
+    case ExprKind::kBinary: {
+      SKALLA_ASSIGN_OR_RETURN(std::string left, RenderExpr(e->left()));
+      SKALLA_ASSIGN_OR_RETURN(std::string right, RenderExpr(e->right()));
+      // % needs MOD() in portable SQL.
+      if (e->binary_op() == BinaryOp::kMod) {
+        return StrCat("MOD(", left, ", ", right, ")");
+      }
+      return StrCat("(", left, " ", BinaryOpToString(e->binary_op()), " ",
+                    right, ")");
+    }
+    case ExprKind::kInSet:
+      return Status::NotImplemented(
+          "optimizer-internal IN-set predicates have no SQL rendering");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<std::string> RenderAgg(const AggSpec& spec) {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+      return std::string("COUNT(*)");
+    case AggKind::kCount:
+      return StrCat("COUNT(r.", spec.input, ")");
+    case AggKind::kSum:
+      return StrCat("SUM(r.", spec.input, ")");
+    case AggKind::kAvg:
+      return StrCat("AVG(r.", spec.input, ")");
+    case AggKind::kMin:
+      return StrCat("MIN(r.", spec.input, ")");
+    case AggKind::kMax:
+      return StrCat("MAX(r.", spec.input, ")");
+    case AggKind::kVarPop:
+      return StrCat("VAR_POP(r.", spec.input, ")");
+    case AggKind::kStdDevPop:
+      return StrCat("STDDEV_POP(r.", spec.input, ")");
+    case AggKind::kSumSq:
+      return StrCat("SUM(r.", spec.input, " * r.", spec.input, ")");
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+}  // namespace
+
+Result<std::string> ExprToSql(const ExprPtr& expr) {
+  return RenderExpr(expr);
+}
+
+Result<std::string> GmdjToSql(const GmdjExpr& expr) {
+  if (expr.base.columns.empty()) {
+    return Status::InvalidArgument(
+        "SQL reduction requires at least one base column");
+  }
+  // Innermost: the base-values query over the detail relation (alias r,
+  // so a WHERE clause's detail references render consistently).
+  std::vector<std::string> base_cols;
+  for (const std::string& column : expr.base.columns) {
+    base_cols.push_back(StrCat("r.", column, " AS ", column));
+  }
+  std::string sql = StrCat("SELECT ", expr.base.distinct ? "DISTINCT " : "",
+                           Join(base_cols, ", "), " FROM ", expr.base.table,
+                           " r");
+  if (expr.base.where != nullptr) {
+    SKALLA_ASSIGN_OR_RETURN(std::string where,
+                            RenderExpr(expr.base.where));
+    sql += StrCat(" WHERE ", where);
+  }
+
+  // Each GMDJ operator wraps the previous SELECT as relation b and adds
+  // one correlated scalar subquery per aggregate.
+  for (const GmdjOp& op : expr.ops) {
+    std::vector<std::string> projections{"b.*"};
+    for (const GmdjBlock& block : op.blocks) {
+      if (block.theta == nullptr) {
+        return Status::InvalidArgument("GMDJ block has no condition");
+      }
+      SKALLA_ASSIGN_OR_RETURN(std::string theta, RenderExpr(block.theta));
+      for (const AggSpec& spec : block.aggs) {
+        SKALLA_ASSIGN_OR_RETURN(std::string agg, RenderAgg(spec));
+        projections.push_back(StrCat("(SELECT ", agg, " FROM ",
+                                     op.detail_table, " r WHERE ", theta,
+                                     ") AS ", spec.output));
+      }
+    }
+    sql = StrCat("SELECT ", Join(projections, ",\n       "), "\nFROM (",
+                 sql, ") b");
+  }
+  return sql;
+}
+
+}  // namespace skalla

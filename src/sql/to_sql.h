@@ -1,0 +1,29 @@
+// Reduction of GMDJ expressions to standard SQL (Akinde & Böhlen,
+// "Generalized MD-joins: Evaluation and reduction to SQL" — the paper's
+// reference [2]). Each GMDJ operator becomes a SELECT over the previous
+// base-values relation (aliased b) extended with one correlated scalar
+// subquery per aggregate (detail relation aliased r). Useful for
+// interoperating with ordinary SQL warehouses and for documenting what a
+// GMDJ expression means.
+
+#ifndef SKALLA_SQL_TO_SQL_H_
+#define SKALLA_SQL_TO_SQL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+
+namespace skalla {
+
+/// Renders `expr` as a single standard-SQL statement. Fails for
+/// constructs without a SQL spelling at this reduction level (e.g.
+/// optimizer-internal IN-set predicates).
+Result<std::string> GmdjToSql(const GmdjExpr& expr);
+
+/// Renders a condition/scalar expression in SQL syntax with b/r aliases.
+Result<std::string> ExprToSql(const ExprPtr& expr);
+
+}  // namespace skalla
+
+#endif  // SKALLA_SQL_TO_SQL_H_

@@ -1,0 +1,102 @@
+#include "sql/token.h"
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kBase:
+      return "BASE";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kDistinct:
+      return "DISTINCT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kMd:
+      return "MD";
+    case TokenKind::kUsing:
+      return "USING";
+    case TokenKind::kCompute:
+      return "COMPUTE";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kCount:
+      return "COUNT";
+    case TokenKind::kSum:
+      return "SUM";
+    case TokenKind::kAvg:
+      return "AVG";
+    case TokenKind::kMin:
+      return "MIN";
+    case TokenKind::kMax:
+      return "MAX";
+    case TokenKind::kVar:
+      return "VAR";
+    case TokenKind::kStdDev:
+      return "STDDEV";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kString) {
+    return StrCat(TokenKindToString(kind), " '", text, "'");
+  }
+  if (kind == TokenKind::kInteger) return StrCat("integer ", int_value);
+  if (kind == TokenKind::kFloat) return StrCat("float ", float_value);
+  return std::string(TokenKindToString(kind));
+}
+
+}  // namespace skalla

@@ -1,0 +1,73 @@
+// Tokens of the Skalla OLAP query language (see sql/parser.h for the
+// grammar).
+
+#ifndef SKALLA_SQL_TOKEN_H_
+#define SKALLA_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace skalla {
+
+enum class TokenKind : uint8_t {
+  kEnd = 0,
+  kIdentifier,   // foo, Flow, NumBytes
+  kInteger,      // 42
+  kFloat,        // 2.5
+  kString,       // 'text'
+  // Punctuation / operators.
+  kComma,        // ,
+  kSemicolon,    // ;
+  kDot,          // .
+  kLParen,       // (
+  kRParen,       // )
+  kStar,         // *
+  kPlus,         // +
+  kMinus,        // -
+  kSlash,        // /
+  kPercent,      // %
+  kEq,           // =
+  kNe,           // <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  // Keywords (case-insensitive).
+  kBase,
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kMd,
+  kUsing,
+  kCompute,
+  kAs,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVar,
+  kStdDev,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // Raw text (identifier spelling, string contents).
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t line = 1;
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_SQL_TOKEN_H_

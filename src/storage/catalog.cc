@@ -1,0 +1,30 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+void Catalog::Register(std::string name, Table table) {
+  tables_[std::move(name)] = std::make_shared<const Table>(std::move(table));
+}
+
+Result<const Table*> Catalog::Get(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table named '", name, "'"));
+  }
+  return it->second.get();
+}
+
+bool Catalog::Contains(std::string_view name) const {
+  return tables_.find(std::string(name)) != tables_.end();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace skalla

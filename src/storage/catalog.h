@@ -1,0 +1,41 @@
+// Catalog: name -> relation mapping. Each Skalla site owns a catalog of
+// its local partitions; a centralized catalog backs the reference
+// evaluator used as the test oracle.
+
+#ifndef SKALLA_STORAGE_CATALOG_H_
+#define SKALLA_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// Maps table names to immutable tables.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers `table` under `name`, replacing any previous registration.
+  void Register(std::string name, Table table);
+
+  /// Looks up a table. The pointer stays valid while the catalog lives and
+  /// the name is not re-registered.
+  Result<const Table*> Get(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_CATALOG_H_

@@ -1,0 +1,110 @@
+// Partitioning metadata and horizontal partitioning of relations across
+// Skalla sites.
+//
+// PartitionInfo is the "distribution knowledge" of Sect. 4 of the paper:
+// per site and per column, the set of values (and/or numeric range) that
+// can occur there. The optimizer uses it to derive the ¬ψ_i predicates of
+// Theorem 4 (distribution-aware group reduction) and to detect partition
+// attributes (Definition 2) for synchronization reduction (Corollary 1).
+
+#ifndef SKALLA_STORAGE_PARTITION_H_
+#define SKALLA_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "types/value.h"
+#include "types/value_set.h"
+
+namespace skalla {
+
+/// What is known about one column of one site's local partition.
+struct ColumnDistribution {
+  /// Exact set of values present at the site, if known.
+  std::optional<ValueSet> values;
+
+  /// Numeric [min, max] range of the column at the site, if known.
+  std::optional<double> min;
+  std::optional<double> max;
+
+  /// Equi-width histogram over [min, max]: bucket i covers
+  /// [min + i*w, min + (i+1)*w) with w = (max-min)/buckets (the last
+  /// bucket is closed). Empty vector = no histogram. A zero bucket count
+  /// proves a value's absence even when it falls inside the range.
+  std::vector<uint32_t> histogram;
+
+  /// Whether value `v` may occur at the site. Conservative: returns true
+  /// when nothing is known; consults (in order of precision) the exact
+  /// value set, the histogram, then the range.
+  bool MayContain(const Value& v) const;
+};
+
+/// Distribution knowledge for one partitioned relation across all sites.
+class PartitionInfo {
+ public:
+  PartitionInfo() = default;
+  explicit PartitionInfo(size_t num_sites) : num_sites_(num_sites) {}
+
+  size_t num_sites() const { return num_sites_; }
+
+  /// Records what is known about `column` at `site`.
+  void SetDistribution(size_t site, const std::string& column,
+                       ColumnDistribution dist);
+
+  /// What is known about `column` at `site`; nullptr if nothing.
+  const ColumnDistribution* GetDistribution(size_t site,
+                                            std::string_view column) const;
+
+  /// Definition 2: `column` is a partition attribute iff the per-site value
+  /// sets are all known and pairwise disjoint.
+  bool IsPartitionAttribute(std::string_view column) const;
+
+  /// Names of all columns with recorded distribution knowledge.
+  std::vector<std::string> TrackedColumns() const;
+
+  /// Builds exact distribution knowledge by scanning actual partitions:
+  /// for each listed column, per-site value sets, numeric ranges, and —
+  /// when `histogram_buckets` > 0 — equi-width histograms are computed.
+  /// When a column's per-site distinct count exceeds
+  /// `max_value_set_size` (0 = unlimited), the exact set is dropped and
+  /// the optimizer falls back to range/histogram knowledge — the
+  /// realistic trade-off for high-cardinality columns.
+  static Result<PartitionInfo> ComputeFromPartitions(
+      const std::vector<Table>& partitions,
+      const std::vector<std::string>& columns,
+      size_t histogram_buckets = 0, size_t max_value_set_size = 0);
+
+ private:
+  size_t num_sites_ = 0;
+  // column -> one ColumnDistribution per site.
+  std::unordered_map<std::string, std::vector<ColumnDistribution>> columns_;
+};
+
+/// Horizontally partitions `table` into `num_sites` pieces such that all
+/// rows sharing a value of `column` land on the same site (site chosen by
+/// value hash). This makes `column` a partition attribute of the result.
+Result<std::vector<Table>> PartitionByValue(const Table& table,
+                                            std::string_view column,
+                                            size_t num_sites);
+
+/// Partitions `table` into `num_sites` pieces round-robin (no partition
+/// attribute; used as the "no distribution knowledge" baseline).
+Result<std::vector<Table>> PartitionRoundRobin(const Table& table,
+                                               size_t num_sites);
+
+/// Partitions by `column % num_sites` (the column must be integral).
+/// Spreads consecutive key values evenly — the paper's "divided equally"
+/// layout for NationKey — while keeping `column` a partition attribute.
+Result<std::vector<Table>> PartitionByModulo(const Table& table,
+                                             std::string_view column,
+                                             size_t num_sites);
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_PARTITION_H_

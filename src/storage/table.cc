@@ -1,0 +1,123 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+bool TypeCompatible(ValueType declared, const Value& v) {
+  if (v.is_null()) return true;
+  switch (declared) {
+    case ValueType::kNull:
+      return true;  // Untyped column accepts anything.
+    case ValueType::kInt64:
+    case ValueType::kFloat64:
+      return v.is_numeric();
+    case ValueType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_->num_fields()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", row.size(), " does not match schema arity ",
+               schema_->num_fields()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!TypeCompatible(schema_->field(i).type, row[i])) {
+      return Status::TypeError(
+          StrCat("value ", row[i].ToString(), " not compatible with column ",
+                 schema_->field(i).ToString()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::SortRows() {
+  std::vector<size_t> all(schema_->num_fields());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  SortRowsBy(all);
+}
+
+void Table::SortRowsBy(const std::vector<size_t>& key_indices) {
+  std::sort(rows_.begin(), rows_.end(), [&](const Row& a, const Row& b) {
+    return CompareRowKey(a, b, key_indices) < 0;
+  });
+}
+
+bool Table::SameRows(const Table& other) const {
+  if (num_rows() != other.num_rows()) return false;
+  if (num_columns() != other.num_columns()) return false;
+  Table a = *this;
+  Table b = other;
+  a.SortRows();
+  b.SortRows();
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    if (!RowEquals(a.row(i), b.row(i))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool ApproxValueEquals(const Value& x, const Value& y, double rel_tol) {
+  if (x.is_numeric() && y.is_numeric()) {
+    double a = x.AsDouble();
+    double b = y.AsDouble();
+    double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= rel_tol * scale;
+  }
+  return x.Equals(y);
+}
+
+}  // namespace
+
+bool Table::ApproxSameRows(const Table& other, double rel_tol) const {
+  if (num_rows() != other.num_rows()) return false;
+  if (num_columns() != other.num_columns()) return false;
+  Table a = *this;
+  Table b = other;
+  a.SortRows();
+  b.SortRows();
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    const Row& ra = a.row(i);
+    const Row& rb = b.row(i);
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (!ApproxValueEquals(ra[c], rb[c], rel_tol)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::string> header;
+  header.reserve(schema_->num_fields());
+  for (const Field& f : schema_->fields()) header.push_back(f.name);
+  std::string out = Join(header, " | ");
+  out += "\n";
+  out += std::string(out.size() - 1, '-');
+  out += "\n";
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows_[i].size());
+    for (const Value& v : rows_[i]) cells.push_back(v.ToString());
+    out += Join(cells, " | ");
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += StrCat("... (", rows_.size() - shown, " more rows)\n");
+  }
+  return out;
+}
+
+}  // namespace skalla

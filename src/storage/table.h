@@ -1,0 +1,79 @@
+// Table: the in-memory relation of the local-warehouse engine. Skalla
+// sites, the coordinator's base-result structure, and all intermediate
+// results are Tables.
+
+#ifndef SKALLA_STORAGE_TABLE_H_
+#define SKALLA_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace skalla {
+
+/// A row-oriented, in-memory relation with a fixed schema.
+class Table {
+ public:
+  /// An empty table with an empty schema.
+  Table() : schema_(std::make_shared<const Schema>()) {}
+
+  explicit Table(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  Table(SchemaPtr schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_->num_fields(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row after checking arity and type compatibility (NULL is
+  /// accepted in any column; INT64/FLOAT64 are mutually compatible).
+  Status Append(Row row);
+
+  /// Appends without validation; used on hot paths where the producer
+  /// guarantees conformance.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Cell accessor (no bounds checking in release builds).
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Sorts rows lexicographically over all columns; canonicalizes the
+  /// table for order-insensitive comparison in tests.
+  void SortRows();
+
+  /// Sorts rows by the given key columns.
+  void SortRowsBy(const std::vector<size_t>& key_indices);
+
+  /// Order-insensitive multiset equality with `other` (schemas must have
+  /// equal field counts; field names are not compared so renamed outputs
+  /// still compare equal by position).
+  bool SameRows(const Table& other) const;
+
+  /// Like SameRows, but numeric cells compare within a relative tolerance
+  /// — needed when floating-point aggregates are summed in different
+  /// association orders (distributed vs centralized evaluation).
+  bool ApproxSameRows(const Table& other, double rel_tol) const;
+
+  /// A pretty-printed table with header, at most `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_TABLE_H_

@@ -1,0 +1,64 @@
+#include "types/row.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+uint64_t HashRowKey(const Row& row, const std::vector<size_t>& key_indices) {
+  uint64_t h = 0x5ca11aULL;
+  for (size_t i : key_indices) {
+    h = HashCombine(h, row[i].Hash());
+  }
+  return h;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0x5ca11aULL;
+  for (const Value& v : row) {
+    h = HashCombine(h, v.Hash());
+  }
+  return h;
+}
+
+bool RowKeyEquals(const Row& a, const std::vector<size_t>& a_indices,
+                  const Row& b, const std::vector<size_t>& b_indices) {
+  if (a_indices.size() != b_indices.size()) return false;
+  for (size_t i = 0; i < a_indices.size(); ++i) {
+    if (!a[a_indices[i]].Equals(b[b_indices[i]])) return false;
+  }
+  return true;
+}
+
+bool RowEquals(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+int CompareRowKey(const Row& a, const Row& b,
+                  const std::vector<size_t>& key_indices) {
+  for (size_t i : key_indices) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Row ProjectRow(const Row& row, const std::vector<size_t>& indices) {
+  Row out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(row[i]);
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::vector<std::string> parts;
+  parts.reserve(row.size());
+  for (const Value& v : row) parts.push_back(v.ToString());
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace skalla

@@ -1,0 +1,45 @@
+// Row: one tuple, plus helpers for key extraction, hashing, and equality
+// that back the hash index and coordinator synchronization.
+
+#ifndef SKALLA_TYPES_ROW_H_
+#define SKALLA_TYPES_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace skalla {
+
+/// One tuple. Cell i corresponds to schema field i.
+using Row = std::vector<Value>;
+
+/// Hash of the projection of `row` onto `key_indices`, consistent with
+/// RowKeyEquals.
+uint64_t HashRowKey(const Row& row, const std::vector<size_t>& key_indices);
+
+/// Hash of the full row.
+uint64_t HashRow(const Row& row);
+
+/// Whether `a` projected on `a_indices` equals `b` projected on
+/// `b_indices` (SQL GROUP BY semantics: NULLs compare equal).
+bool RowKeyEquals(const Row& a, const std::vector<size_t>& a_indices,
+                  const Row& b, const std::vector<size_t>& b_indices);
+
+/// Full-row equality.
+bool RowEquals(const Row& a, const Row& b);
+
+/// Lexicographic three-way comparison of the projections.
+int CompareRowKey(const Row& a, const Row& b,
+                  const std::vector<size_t>& key_indices);
+
+/// The projection of `row` onto `indices`, as a new row.
+Row ProjectRow(const Row& row, const std::vector<size_t>& indices);
+
+/// "(v1, v2, ...)" rendering for debugging and golden tests.
+std::string RowToString(const Row& row);
+
+}  // namespace skalla
+
+#endif  // SKALLA_TYPES_ROW_H_

@@ -1,0 +1,67 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string Field::ToString() const {
+  return StrCat(name, " ", ValueTypeToString(type));
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<SchemaPtr> Schema::Make(std::vector<Field> fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    for (size_t j = i + 1; j < fields.size(); ++j) {
+      if (fields[i].name == fields[j].name) {
+        return Status::InvalidArgument(
+            StrCat("duplicate field name: ", fields[i].name));
+      }
+    }
+  }
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+Result<size_t> Schema::RequireIndex(std::string_view name) const {
+  int idx = IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound(StrCat("no field named '", name, "' in schema ",
+                                   ToString()));
+  }
+  return static_cast<size_t>(idx);
+}
+
+Result<SchemaPtr> Schema::AddField(Field field) const {
+  if (Contains(field.name)) {
+    return Status::AlreadyExists(
+        StrCat("field '", field.name, "' already exists"));
+  }
+  std::vector<Field> fields = fields_;
+  fields.push_back(std::move(field));
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+SchemaPtr Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Field> fields;
+  fields.reserve(indices.size());
+  for (size_t i : indices) fields.push_back(fields_[i]);
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) parts.push_back(f.ToString());
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace skalla

@@ -1,0 +1,72 @@
+// Schema: ordered, named, typed fields describing the columns of a table
+// or of the base-result structure maintained by the Skalla coordinator.
+
+#ifndef SKALLA_TYPES_SCHEMA_H_
+#define SKALLA_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace skalla {
+
+/// One column: a name plus a declared type.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+
+  std::string ToString() const;
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Immutable column layout. Field names are unique (case sensitive).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Builds a schema, failing on duplicate field names.
+  static Result<SchemaPtr> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Index of the named field, or a NotFound error naming the field.
+  Result<size_t> RequireIndex(std::string_view name) const;
+
+  bool Contains(std::string_view name) const { return IndexOf(name) >= 0; }
+
+  /// A new schema with `field` appended. Fails if the name already exists.
+  Result<SchemaPtr> AddField(Field field) const;
+
+  /// A new schema holding the listed fields (by index), in order.
+  SchemaPtr Project(const std::vector<size_t>& indices) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// e.g. "(SourceAS INT64, DestAS INT64, cnt1 INT64)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_TYPES_SCHEMA_H_

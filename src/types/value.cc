@@ -1,0 +1,109 @@
+#include "types/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kFloat64:
+      return "FLOAT64";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(int64());
+    case ValueType::kFloat64:
+      return float64();
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int64() && other.is_int64()) return int64() == other.int64();
+    return AsDouble() == other.AsDouble();
+  }
+  if (is_string() && other.is_string()) return str() == other.str();
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  // Total order: NULL < numeric < string.
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this);
+  int rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // Both NULL.
+  if (ra == 1) {
+    if (is_int64() && other.is_int64()) {
+      int64_t a = int64();
+      int64_t b = other.int64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int c = str().compare(other.str());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6b7bull;
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(int64()));
+    case ValueType::kFloat64: {
+      double d = float64();
+      // Hash integral doubles as their integer value so that Equals and
+      // Hash agree across INT64/FLOAT64 representations.
+      if (d >= -9.2e18 && d <= 9.2e18 && d == std::floor(d)) {
+        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(str());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return StrCat(int64());
+    case ValueType::kFloat64: {
+      std::string s = StrPrintf("%.6g", float64());
+      return s;
+    }
+    case ValueType::kString:
+      return StrCat("'", str(), "'");
+  }
+  return "?";
+}
+
+}  // namespace skalla

@@ -1,0 +1,102 @@
+// Value: the dynamically-typed cell of a Skalla row. Supports NULL, 64-bit
+// integers, 64-bit floats, and strings — sufficient for the TPC-R style and
+// IP-flow schemas the paper evaluates on.
+
+#ifndef SKALLA_TYPES_VALUE_H_
+#define SKALLA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace skalla {
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,
+};
+
+/// Returns "NULL", "INT64", "FLOAT64", or "STRING".
+std::string_view ValueTypeToString(ValueType type);
+
+/// A single dynamically-typed value.
+///
+/// Values of different representations are deliberately interchangeable in
+/// numeric contexts (an INT64 compares equal to the same FLOAT64), which is
+/// why the converting constructors are implicit: rows are routinely written
+/// as brace lists such as `{1, "web", 2.5}`.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() = default;
+
+  Value(int64_t v) : data_(v) {}               // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}          // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v)                         // NOLINT(runtime/explicit)
+      : data_(std::move(v)) {}
+  Value(const char* v)                         // NOLINT(runtime/explicit)
+      : data_(std::string(v)) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_float64() const { return type() == ValueType::kFloat64; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int64() || is_float64(); }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (checked in debug builds via std::get).
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double float64() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: INT64 and FLOAT64 convert to double; NULL and
+  /// strings yield 0.0 (callers should test is_numeric first when the
+  /// distinction matters).
+  double AsDouble() const;
+
+  /// Strict equality: types must be numeric-compatible or identical;
+  /// NULL equals NULL (needed for grouping semantics, matching SQL
+  /// GROUP BY rather than SQL =).
+  bool Equals(const Value& other) const;
+
+  /// Three-way ordering for sorting: NULL < numerics < strings; numerics
+  /// compare by value across INT64/FLOAT64.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (INT64 and FLOAT64 holding the same
+  /// integral value hash identically).
+  uint64_t Hash() const;
+
+  /// SQL-ish rendering: NULL, 42, 2.5, 'text'.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+inline bool operator!=(const Value& a, const Value& b) {
+  return !a.Equals(b);
+}
+
+}  // namespace skalla
+
+#endif  // SKALLA_TYPES_VALUE_H_

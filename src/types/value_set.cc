@@ -1,0 +1,33 @@
+#include "types/value_set.h"
+
+namespace skalla {
+
+void ValueSet::Insert(const Value& v) {
+  std::vector<Value>& bucket = buckets_[v.Hash()];
+  for (const Value& existing : bucket) {
+    if (existing.Equals(v)) return;
+  }
+  bucket.push_back(v);
+  ++size_;
+}
+
+bool ValueSet::Contains(const Value& v) const {
+  auto it = buckets_.find(v.Hash());
+  if (it == buckets_.end()) return false;
+  for (const Value& existing : it->second) {
+    if (existing.Equals(v)) return true;
+  }
+  return false;
+}
+
+bool ValueSet::Intersects(const ValueSet& other) const {
+  const ValueSet& small = size_ <= other.size_ ? *this : other;
+  const ValueSet& large = size_ <= other.size_ ? other : *this;
+  bool found = false;
+  small.ForEach([&](const Value& v) {
+    if (!found && large.Contains(v)) found = true;
+  });
+  return found;
+}
+
+}  // namespace skalla

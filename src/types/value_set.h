@@ -1,0 +1,45 @@
+// ValueSet: a set of Values with O(1) membership testing. Used for
+// distribution knowledge (per-site column value sets) and for the IN-set
+// predicates that distribution-aware group reduction synthesizes.
+
+#ifndef SKALLA_TYPES_VALUE_SET_H_
+#define SKALLA_TYPES_VALUE_SET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "types/value.h"
+
+namespace skalla {
+
+/// Hash-bucketed set of Values (full equality verified within a bucket).
+class ValueSet {
+ public:
+  /// Inserts `v`; duplicates are ignored.
+  void Insert(const Value& v);
+
+  bool Contains(const Value& v) const;
+
+  /// Whether this set shares at least one value with `other`.
+  bool Intersects(const ValueSet& other) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Iterates all values (order unspecified).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [hash, vals] : buckets_) {
+      for (const Value& v : vals) fn(v);
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Value>> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_TYPES_VALUE_SET_H_

@@ -1,0 +1,230 @@
+// Aggregate decomposition (Theorem 1's l'/l'' machinery) and accumulator
+// semantics, including the merge-equals-direct property on random splits.
+
+#include <gtest/gtest.h>
+
+#include "agg/accumulator.h"
+#include "agg/aggregate.h"
+#include "common/random.h"
+
+namespace skalla {
+namespace {
+
+TEST(AggregateTest, DecomposeDistributive) {
+  AggSpec count{AggKind::kCountStar, "", "c"};
+  auto parts = Decompose(count);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].kind, AggKind::kCountStar);
+  EXPECT_EQ(parts[0].part_name, "c");
+  EXPECT_EQ(parts[0].merge, MergeKind::kSum);
+
+  AggSpec min{AggKind::kMin, "v", "lo"};
+  parts = Decompose(min);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].merge, MergeKind::kMin);
+}
+
+TEST(AggregateTest, DecomposeAvgIntoSumAndCount) {
+  AggSpec avg{AggKind::kAvg, "v", "a"};
+  auto parts = Decompose(avg);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].kind, AggKind::kSum);
+  EXPECT_EQ(parts[0].part_name, "a__sum");
+  EXPECT_EQ(parts[1].kind, AggKind::kCount);
+  EXPECT_EQ(parts[1].part_name, "a__cnt");
+}
+
+TEST(AggregateTest, MergePartialRespectsNulls) {
+  EXPECT_EQ(MergePartial(Value(3), Value(4), MergeKind::kSum).int64(), 7);
+  EXPECT_EQ(MergePartial(Value::Null(), Value(4), MergeKind::kSum).int64(),
+            4);
+  EXPECT_EQ(MergePartial(Value(3), Value::Null(), MergeKind::kSum).int64(),
+            3);
+  EXPECT_TRUE(
+      MergePartial(Value::Null(), Value::Null(), MergeKind::kMin).is_null());
+  EXPECT_EQ(MergePartial(Value(3), Value(4), MergeKind::kMin).int64(), 3);
+  EXPECT_EQ(MergePartial(Value(3), Value(4), MergeKind::kMax).int64(), 4);
+}
+
+TEST(AggregateTest, MergeSumPromotesToDouble) {
+  Value merged = MergePartial(Value(3), Value(0.5), MergeKind::kSum);
+  ASSERT_TRUE(merged.is_float64());
+  EXPECT_DOUBLE_EQ(merged.float64(), 3.5);
+}
+
+TEST(AggregateTest, FinalizeCountOfNothingIsZero) {
+  AggSpec count{AggKind::kCountStar, "", "c"};
+  EXPECT_EQ(FinalizeAggregate(count, {Value::Null()}).int64(), 0);
+  AggSpec sum{AggKind::kSum, "v", "s"};
+  EXPECT_TRUE(FinalizeAggregate(sum, {Value::Null()}).is_null());
+}
+
+TEST(AggregateTest, FinalizeAvg) {
+  AggSpec avg{AggKind::kAvg, "v", "a"};
+  EXPECT_DOUBLE_EQ(
+      FinalizeAggregate(avg, {Value(10), Value(4)}).float64(), 2.5);
+  EXPECT_TRUE(
+      FinalizeAggregate(avg, {Value::Null(), Value(int64_t{0})}).is_null());
+  EXPECT_TRUE(
+      FinalizeAggregate(avg, {Value(10), Value(int64_t{0})}).is_null());
+}
+
+TEST(AggregateTest, DecomposeVariance) {
+  AggSpec var{AggKind::kVarPop, "v", "vv"};
+  auto parts = Decompose(var);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].kind, AggKind::kSum);
+  EXPECT_EQ(parts[1].kind, AggKind::kSumSq);
+  EXPECT_EQ(parts[1].part_name, "vv__sumsq");
+  EXPECT_EQ(parts[2].kind, AggKind::kCount);
+  for (const SubAggregate& p : parts) {
+    EXPECT_EQ(p.merge, MergeKind::kSum);
+  }
+}
+
+TEST(AggregateTest, FinalizeVarianceAndStdDev) {
+  // Values {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, variance 4, stddev 2.
+  AggSpec var{AggKind::kVarPop, "v", "vv"};
+  AggSpec sd{AggKind::kStdDevPop, "v", "sd"};
+  Value sum(int64_t{40});
+  Value sumsq(232.0);
+  Value cnt(int64_t{8});
+  EXPECT_DOUBLE_EQ(FinalizeAggregate(var, {sum, sumsq, cnt}).float64(), 4.0);
+  EXPECT_DOUBLE_EQ(FinalizeAggregate(sd, {sum, sumsq, cnt}).float64(), 2.0);
+  // Empty group: NULL.
+  EXPECT_TRUE(FinalizeAggregate(
+                  var, {Value::Null(), Value::Null(), Value(int64_t{0})})
+                  .is_null());
+  // Single value: variance 0.
+  EXPECT_DOUBLE_EQ(
+      FinalizeAggregate(var, {Value(3), Value(9.0), Value(1)}).float64(),
+      0.0);
+}
+
+TEST(AccumulatorTest, SumSqAccumulation) {
+  Accumulator acc(AggKind::kSumSq);
+  acc.Update(Value(3));
+  acc.Update(Value::Null());
+  acc.Update(Value(4));
+  EXPECT_DOUBLE_EQ(acc.Final().AsDouble(), 25.0);
+  Accumulator empty(AggKind::kSumSq);
+  EXPECT_TRUE(empty.Final().is_null());
+  // Merge path.
+  Accumulator other(AggKind::kSumSq);
+  other.Update(Value(2.0));
+  acc.MergeFrom(other);
+  EXPECT_DOUBLE_EQ(acc.Final().AsDouble(), 29.0);
+}
+
+TEST(AggregateTest, OutputTypes) {
+  SchemaPtr detail = Schema::Make({{"i", ValueType::kInt64},
+                                   {"f", ValueType::kFloat64},
+                                   {"s", ValueType::kString}})
+                         .ValueOrDie();
+  EXPECT_EQ(*AggOutputType({AggKind::kCountStar, "", "c"}, *detail),
+            ValueType::kInt64);
+  EXPECT_EQ(*AggOutputType({AggKind::kSum, "i", "x"}, *detail),
+            ValueType::kInt64);
+  EXPECT_EQ(*AggOutputType({AggKind::kSum, "f", "x"}, *detail),
+            ValueType::kFloat64);
+  EXPECT_EQ(*AggOutputType({AggKind::kAvg, "i", "x"}, *detail),
+            ValueType::kFloat64);
+  EXPECT_TRUE(
+      AggOutputType({AggKind::kSum, "s", "x"}, *detail).status().IsTypeError());
+  EXPECT_TRUE(AggOutputType({AggKind::kSum, "nope", "x"}, *detail)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(AccumulatorTest, CountVariants) {
+  Accumulator star(AggKind::kCountStar);
+  Accumulator col(AggKind::kCount);
+  star.Update(Value::Null());
+  star.Update(Value(1));
+  col.Update(Value::Null());
+  col.Update(Value(1));
+  EXPECT_EQ(star.Final().int64(), 2);  // COUNT(*) counts NULL rows.
+  EXPECT_EQ(col.Final().int64(), 1);   // COUNT(col) skips NULLs.
+}
+
+TEST(AccumulatorTest, SumStaysIntUntilDoubleArrives) {
+  Accumulator sum(AggKind::kSum);
+  sum.Update(Value(2));
+  sum.Update(Value(3));
+  EXPECT_TRUE(sum.Final().is_int64());
+  EXPECT_EQ(sum.Final().int64(), 5);
+  sum.Update(Value(0.5));
+  EXPECT_TRUE(sum.Final().is_float64());
+  EXPECT_DOUBLE_EQ(sum.Final().float64(), 5.5);
+}
+
+TEST(AccumulatorTest, EmptySumIsNull) {
+  Accumulator sum(AggKind::kSum);
+  EXPECT_TRUE(sum.Final().is_null());
+  sum.Update(Value::Null());
+  EXPECT_TRUE(sum.Final().is_null());
+}
+
+TEST(AccumulatorTest, MinMax) {
+  Accumulator lo(AggKind::kMin);
+  Accumulator hi(AggKind::kMax);
+  for (int v : {5, -2, 9, 0}) {
+    lo.Update(Value(v));
+    hi.Update(Value(v));
+  }
+  EXPECT_EQ(lo.Final().int64(), -2);
+  EXPECT_EQ(hi.Final().int64(), 9);
+}
+
+// Property: splitting a value stream arbitrarily, accumulating the pieces
+// separately, and merging the partials (site/coordinator split) gives the
+// same result as one accumulator — for every aggregate kind.
+class MergeEqualsDirectTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeEqualsDirectTest, RandomSplits) {
+  Random rng(GetParam());
+  std::vector<Value> stream;
+  size_t n = 1 + rng.Uniform(200);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.1)) {
+      stream.push_back(Value::Null());
+    } else if (rng.Bernoulli(0.3)) {
+      stream.push_back(Value(rng.NextDouble() * 100 - 50));
+    } else {
+      stream.push_back(Value(rng.UniformInt(-1000, 1000)));
+    }
+  }
+
+  for (AggKind kind : {AggKind::kCountStar, AggKind::kCount, AggKind::kSum,
+                       AggKind::kMin, AggKind::kMax}) {
+    Accumulator direct(kind);
+    for (const Value& v : stream) direct.Update(v);
+
+    // Split into 1..5 pieces.
+    size_t pieces = 1 + rng.Uniform(5);
+    std::vector<Accumulator> partial(pieces, Accumulator(kind));
+    for (size_t i = 0; i < stream.size(); ++i) {
+      partial[i % pieces].Update(stream[i]);
+    }
+    Accumulator merged(kind);
+    for (const Accumulator& p : partial) merged.MergeFrom(p);
+
+    Value a = direct.Final();
+    Value b = merged.Final();
+    if (a.is_null() || b.is_null()) {
+      EXPECT_EQ(a.is_null(), b.is_null()) << AggKindToString(kind);
+    } else if (a.is_float64() || b.is_float64()) {
+      EXPECT_NEAR(a.AsDouble(), b.AsDouble(), 1e-9 * (1 + std::abs(a.AsDouble())))
+          << AggKindToString(kind);
+    } else {
+      EXPECT_TRUE(a.Equals(b)) << AggKindToString(kind) << " "
+                               << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeEqualsDirectTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,152 @@
+// Condition analysis: conjunct splitting, equi-atom extraction,
+// separability, interval arithmetic, entailment — the static machinery
+// behind the Sect. 4 optimizations.
+
+#include "expr/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.h"
+
+namespace skalla {
+namespace {
+
+TEST(AnalysisTest, SplitConjunctsFlattensNestedAnds) {
+  ExprPtr e = And(And(Eq(BCol("a"), RCol("a")), Eq(BCol("b"), RCol("b"))),
+                  Gt(RCol("v"), Lit(Value(5))));
+  auto conjuncts = SplitConjuncts(e);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->ToString(), "(b.a = r.a)");
+  EXPECT_EQ(conjuncts[2]->ToString(), "(r.v > 5)");
+}
+
+TEST(AnalysisTest, SplitConjunctsDoesNotCrossOr) {
+  ExprPtr e = Or(Eq(BCol("a"), RCol("a")), Eq(BCol("b"), RCol("b")));
+  auto conjuncts = SplitConjuncts(e);
+  ASSERT_EQ(conjuncts.size(), 1u);
+}
+
+TEST(AnalysisTest, MakeConjunctionEmptyIsTrue) {
+  ExprPtr e = MakeConjunction({});
+  EXPECT_TRUE(e->EvalBool(nullptr, nullptr));
+  ExprPtr f = MakeDisjunction({});
+  EXPECT_FALSE(f->EvalBool(nullptr, nullptr));
+}
+
+TEST(AnalysisTest, AnalyzeConditionSeparatesEquiAtoms) {
+  ExprPtr theta = And(And(Eq(RCol("SAS"), BCol("SAS")),
+                          Eq(BCol("DAS"), RCol("DAS"))),
+                      Ge(RCol("NB"), Div(BCol("sum1"), BCol("cnt1"))));
+  ConditionAnalysis analysis = AnalyzeCondition(theta);
+  ASSERT_EQ(analysis.equi_atoms.size(), 2u);
+  EXPECT_EQ(analysis.equi_atoms[0].base_col, "SAS");
+  EXPECT_EQ(analysis.equi_atoms[0].detail_col, "SAS");
+  EXPECT_EQ(analysis.equi_atoms[1].base_col, "DAS");
+  ASSERT_NE(analysis.residual, nullptr);
+  EXPECT_EQ(analysis.residual->ToString(),
+            "(r.NB >= (b.sum1 / b.cnt1))");
+}
+
+TEST(AnalysisTest, AnalyzeConditionAllEquiMeansNoResidual) {
+  ExprPtr theta = Eq(RCol("g"), BCol("g"));
+  ConditionAnalysis analysis = AnalyzeCondition(theta);
+  EXPECT_EQ(analysis.equi_atoms.size(), 1u);
+  EXPECT_EQ(analysis.residual, nullptr);
+}
+
+TEST(AnalysisTest, EqualityWithExpressionIsNotAnEquiAtom) {
+  // b.a = r.b + 1 is not hash-joinable as-is.
+  ExprPtr theta = Eq(BCol("a"), Add(RCol("b"), Lit(Value(1))));
+  ConditionAnalysis analysis = AnalyzeCondition(theta);
+  EXPECT_TRUE(analysis.equi_atoms.empty());
+  ASSERT_NE(analysis.residual, nullptr);
+}
+
+TEST(AnalysisTest, ExtractSeparableComparisonNormalizesOrientation) {
+  // r.C * 2 > b.X + b.Y  becomes  (b.X + b.Y) < (r.C * 2).
+  ExprPtr conjunct =
+      Gt(Mul(RCol("C"), Lit(Value(2))), Add(BCol("X"), BCol("Y")));
+  auto sep = ExtractSeparableComparison(conjunct);
+  ASSERT_TRUE(sep.has_value());
+  EXPECT_EQ(sep->op, BinaryOp::kLt);
+  EXPECT_FALSE(sep->base_expr->ReferencesSide(ExprSide::kDetail));
+  EXPECT_FALSE(sep->detail_expr->ReferencesSide(ExprSide::kBase));
+}
+
+TEST(AnalysisTest, MixedSidesNotSeparable) {
+  ExprPtr conjunct = Lt(Add(BCol("X"), RCol("C")), Lit(Value(10)));
+  EXPECT_FALSE(ExtractSeparableComparison(conjunct).has_value());
+}
+
+TEST(AnalysisTest, ConstantVsConstantNotInteresting) {
+  ExprPtr conjunct = Lt(Lit(Value(1)), Lit(Value(2)));
+  EXPECT_FALSE(ExtractSeparableComparison(conjunct).has_value());
+}
+
+TEST(AnalysisTest, IntervalArithmetic) {
+  auto range = [](const std::string& name) -> std::optional<Interval> {
+    if (name == "C") return Interval{1, 25};
+    if (name == "D") return Interval{-10, 10};
+    return std::nullopt;
+  };
+  // C * 2: [2, 50] — the paper's Sect. 4.1 example.
+  auto i = EvalDetailInterval(Mul(RCol("C"), Lit(Value(2))), range);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->lo, 2);
+  EXPECT_DOUBLE_EQ(i->hi, 50);
+
+  // C - D: [1-10, 25+10].
+  i = EvalDetailInterval(Sub(RCol("C"), RCol("D")), range);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->lo, -9);
+  EXPECT_DOUBLE_EQ(i->hi, 35);
+
+  // D * D crosses zero: [-100, 100].
+  i = EvalDetailInterval(Mul(RCol("D"), RCol("D")), range);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->lo, -100);
+  EXPECT_DOUBLE_EQ(i->hi, 100);
+
+  // -C: [-25, -1].
+  i = EvalDetailInterval(Expr::Unary(UnaryOp::kNeg, RCol("C")), range);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->lo, -25);
+  EXPECT_DOUBLE_EQ(i->hi, -1);
+
+  // Division by a constant.
+  i = EvalDetailInterval(Div(RCol("C"), Lit(Value(-2))), range);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_DOUBLE_EQ(i->lo, -12.5);
+  EXPECT_DOUBLE_EQ(i->hi, -0.5);
+
+  // Unknown column, or division by a range: no interval.
+  EXPECT_FALSE(EvalDetailInterval(RCol("unknown"), range).has_value());
+  EXPECT_FALSE(
+      EvalDetailInterval(Div(RCol("C"), RCol("D")), range).has_value());
+  // Base-side columns have no detail interval.
+  EXPECT_FALSE(EvalDetailInterval(BCol("X"), range).has_value());
+}
+
+TEST(AnalysisTest, Entailment) {
+  ExprPtr theta = And(And(Eq(RCol("SAS"), BCol("SAS")),
+                          Eq(RCol("DAS"), BCol("DAS"))),
+                      Gt(RCol("NB"), Lit(Value(0))));
+  EXPECT_TRUE(EntailsEquality(theta, "SAS", "SAS"));
+  EXPECT_TRUE(EntailsEquality(theta, "DAS", "DAS"));
+  EXPECT_FALSE(EntailsEquality(theta, "NB", "NB"));
+  EXPECT_FALSE(EntailsEquality(theta, "SAS", "DAS"));
+  EXPECT_TRUE(EntailsAllEqualities(
+      theta, {{"SAS", "SAS"}, {"DAS", "DAS"}}));
+  EXPECT_FALSE(EntailsAllEqualities(
+      theta, {{"SAS", "SAS"}, {"NB", "NB"}}));
+}
+
+TEST(AnalysisTest, DisjunctionDoesNotEntail) {
+  // (a-eq OR b-eq) entails neither individually.
+  ExprPtr theta = Or(Eq(RCol("a"), BCol("a")), Eq(RCol("b"), BCol("b")));
+  EXPECT_FALSE(EntailsEquality(theta, "a", "a"));
+  EXPECT_FALSE(EntailsEquality(theta, "b", "b"));
+}
+
+}  // namespace
+}  // namespace skalla

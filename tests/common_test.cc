@@ -1,0 +1,166 @@
+// Common runtime: random, hashing, string utilities, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace skalla {
+namespace {
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(1);
+  Random b(1);
+  Random c(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Random a2(1);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, ZipfSkewsLow) {
+  Random rng(5);
+  size_t low = 0;
+  const int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = rng.Zipf(1000, 1.1);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // With heavy skew, the first 1% of values should get far more than 1%
+  // of the mass.
+  EXPECT_GT(low, kSamples / 10);
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  Random rng(6);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) heads += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / 2000.0, 0.25, 0.05);
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  Random rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(HashTest, BasicProperties) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));  // Order sensitive.
+  EXPECT_NE(Mix64(0), Mix64(1));
+}
+
+TEST(StringUtilTest, StrPrintfAndStrCat) {
+  EXPECT_EQ(StrPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrPrintf("%s", std::string(500, 'y').c_str()).size(), 500u);
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "sELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("Select", "Selec"));
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // Reusable after Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double t1 = timer.ElapsedSeconds();
+  EXPECT_GT(t1, 0.0);
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedSeconds(), t1 + 1.0);
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,216 @@
+// Coordinator synchronization per Theorem 1: merging site fragments of
+// sub-aggregates reproduces the direct evaluation, incrementally and in
+// any arrival order.
+
+#include "dist/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/local_eval.h"
+#include "expr/builder.h"
+#include "relalg/operators.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+Table MakeDetail(uint64_t seed, size_t rows) {
+  Random rng(seed);
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"v", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked(
+        {Value(rng.UniformInt(0, 9)), Value(rng.UniformInt(-50, 50))});
+  }
+  return t;
+}
+
+GmdjOp TestOp() {
+  GmdjOp op;
+  op.detail_table = "d";
+  op.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "c"},
+                                 {AggKind::kSum, "v", "s"},
+                                 {AggKind::kAvg, "v", "a"},
+                                 {AggKind::kMin, "v", "lo"},
+                                 {AggKind::kMax, "v", "hi"}},
+                                Eq(RCol("g"), BCol("g"))});
+  return op;
+}
+
+// Theorem 1, end to end at the coordinator level: partition R, compute
+// sub-aggregate fragments per partition, merge in random order, compare
+// with direct full evaluation.
+class Theorem1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1Test, MergedFragmentsEqualDirectEvaluation) {
+  Random rng(GetParam());
+  Table detail = MakeDetail(GetParam() * 977 + 1, 150 + rng.Uniform(200));
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = TestOp();
+
+  Table expected = EvalGmdj(base, detail, op).ValueOrDie();
+
+  size_t n = 1 + rng.Uniform(5);
+  std::vector<Table> partitions =
+      PartitionRoundRobin(detail, n).ValueOrDie();
+
+  GmdjEvalOptions sub;
+  sub.sub_aggregates = true;
+  std::vector<Table> fragments;
+  for (const Table& part : partitions) {
+    fragments.push_back(EvalGmdj(base, part, op, sub).ValueOrDie());
+  }
+  rng.Shuffle(&fragments);
+
+  Coordinator coordinator({"g"});
+  coordinator.SetResult(base);
+  coordinator
+      .BeginRound(op, *base.schema(), *detail.schema(),
+                  /*from_scratch=*/false)
+      .Check();
+  for (const Table& fragment : fragments) {
+    coordinator.MergeFragment(fragment).Check();
+  }
+  coordinator.FinalizeRound().Check();
+
+  EXPECT_TRUE(coordinator.result().SameRows(expected))
+      << "merged:\n"
+      << coordinator.result().ToString(30) << "direct:\n"
+      << expected.ToString(30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test,
+                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+TEST(CoordinatorTest, BaseFragmentsDeduplicate) {
+  Coordinator coordinator({"g"});
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  coordinator.InitBase(schema).Check();
+  Table f1(schema);
+  f1.AppendUnchecked({Value(1)});
+  f1.AppendUnchecked({Value(2)});
+  Table f2(schema);
+  f2.AppendUnchecked({Value(2)});
+  f2.AppendUnchecked({Value(3)});
+  coordinator.MergeBaseFragment(f1).Check();
+  coordinator.MergeBaseFragment(f2).Check();
+  EXPECT_EQ(coordinator.result().num_rows(), 3u);
+}
+
+TEST(CoordinatorTest, BaseFragmentArityMismatchFails) {
+  Coordinator coordinator({"g"});
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  coordinator.InitBase(schema).Check();
+  SchemaPtr wide = Schema::Make({{"g", ValueType::kInt64},
+                                 {"x", ValueType::kInt64}})
+                       .ValueOrDie();
+  Table f(wide);
+  f.AppendUnchecked({Value(1), Value(2)});
+  EXPECT_TRUE(coordinator.MergeBaseFragment(f).IsInvalidArgument());
+}
+
+TEST(CoordinatorTest, UnknownGroupRejectedWhenSeeded) {
+  Table detail = MakeDetail(1, 50);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = TestOp();
+
+  Coordinator coordinator({"g"});
+  coordinator.SetResult(base);
+  coordinator
+      .BeginRound(op, *base.schema(), *detail.schema(), false)
+      .Check();
+
+  // A fragment carrying a group that is not in the global structure.
+  SchemaPtr foreign_base =
+      Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  Table foreign(foreign_base);
+  foreign.AppendUnchecked({Value(int64_t{12345})});
+  GmdjEvalOptions sub;
+  sub.sub_aggregates = true;
+  Table fragment = EvalGmdj(foreign, detail, op, sub).ValueOrDie();
+  Status s = coordinator.MergeFragment(fragment);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInternal());
+}
+
+TEST(CoordinatorTest, FromScratchInsertsAndMergesOverlaps) {
+  Table detail = MakeDetail(3, 100);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = TestOp();
+  Table expected = EvalGmdj(base, detail, op).ValueOrDie();
+
+  // Two overlapping partitions... actually a plain 2-way split; both
+  // fragments computed against the full base (all groups), so every group
+  // arrives twice and must merge, not duplicate.
+  std::vector<Table> partitions =
+      PartitionRoundRobin(detail, 2).ValueOrDie();
+  GmdjEvalOptions sub;
+  sub.sub_aggregates = true;
+
+  Coordinator coordinator({"g"});
+  coordinator
+      .BeginRound(op, *base.schema(), *detail.schema(),
+                  /*from_scratch=*/true)
+      .Check();
+  for (const Table& part : partitions) {
+    Table fragment = EvalGmdj(base, part, op, sub).ValueOrDie();
+    coordinator.MergeFragment(fragment).Check();
+  }
+  coordinator.FinalizeRound().Check();
+  EXPECT_TRUE(coordinator.result().SameRows(expected));
+}
+
+TEST(CoordinatorTest, RoundProtocolViolations) {
+  Coordinator coordinator({"g"});
+  EXPECT_TRUE(coordinator.FinalizeRound().IsInternal());
+  Table t;
+  EXPECT_TRUE(coordinator.MergeFragment(t).IsInternal());
+  EXPECT_TRUE(coordinator.MergeBaseFragment(t).IsInternal());
+
+  Table detail = MakeDetail(1, 10);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  coordinator.SetResult(base);
+  GmdjOp op = TestOp();
+  coordinator
+      .BeginRound(op, *base.schema(), *detail.schema(), false)
+      .Check();
+  // Starting a second round mid-flight is a protocol violation.
+  EXPECT_TRUE(coordinator
+                  .BeginRound(op, *base.schema(), *detail.schema(), false)
+                  .IsInternal());
+}
+
+TEST(CoordinatorTest, SchemaMismatchDetected) {
+  Coordinator coordinator({"g"});
+  Table detail = MakeDetail(1, 10);
+  SchemaPtr other = Schema::Make({{"g", ValueType::kInt64},
+                                  {"stale", ValueType::kInt64}})
+                        .ValueOrDie();
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  coordinator.SetResult(base);
+  GmdjOp op = TestOp();
+  // Upstream schema says two columns, X has one: must be flagged.
+  Status s = coordinator.BeginRound(op, *other, *detail.schema(), false);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInternal());
+}
+
+TEST(CoordinatorTest, FragmentArityChecked) {
+  Coordinator coordinator({"g"});
+  Table detail = MakeDetail(1, 10);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  coordinator.SetResult(base);
+  GmdjOp op = TestOp();
+  coordinator
+      .BeginRound(op, *base.schema(), *detail.schema(), false)
+      .Check();
+  Table bogus(base.schema());
+  bogus.AppendUnchecked({Value(1)});
+  EXPECT_TRUE(coordinator.MergeFragment(bogus).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skalla

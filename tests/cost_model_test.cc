@@ -1,0 +1,179 @@
+// Transfer cost model: exact predictions match measured transfers
+// tuple-for-tuple on pure key-equality queries; approximate predictions
+// are valid upper bounds.
+
+#include "opt/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dist/warehouse.h"
+#include "expr/builder.h"
+
+namespace skalla {
+namespace {
+
+Table MakeDetail(uint64_t seed, size_t rows, int64_t groups) {
+  Random rng(seed);
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"v", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked({Value(rng.UniformInt(0, groups - 1)),
+                       Value(rng.UniformInt(0, 100))});
+  }
+  return t;
+}
+
+GmdjExpr PureEqualityQuery() {
+  GmdjExpr expr;
+  expr.base = BaseQuery{"d", {"g"}, true, nullptr};
+  GmdjOp md1;
+  md1.detail_table = "d";
+  md1.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c1"}, {AggKind::kSum, "v", "s1"}},
+      Eq(RCol("g"), BCol("g"))});
+  GmdjOp md2;
+  md2.detail_table = "d";
+  md2.blocks.push_back(GmdjBlock{{{AggKind::kMax, "v", "m2"}},
+                                 Eq(RCol("g"), BCol("g"))});
+  expr.ops = {md1, md2};
+  return expr;
+}
+
+struct Fixture {
+  explicit Fixture(size_t sites) : dw(sites) {
+    Table detail = MakeDetail(5, 900, 60);
+    dw.AddTablePartitionedBy("d", detail, "g", {"v"}).Check();
+  }
+  CostModel Model(size_t sites) const {
+    CostModel model(sites);
+    model.SetPartitionInfo("d", dw.partition_info("d"));
+    return model;
+  }
+  DistributedWarehouse dw;
+};
+
+void CheckEstimate(const Fixture& fixture, size_t sites,
+                   const GmdjExpr& expr, const OptimizerOptions& opts,
+                   bool expect_exact) {
+  DistributedPlan plan = fixture.dw.Plan(expr, opts).ValueOrDie();
+  CostModel model = fixture.Model(sites);
+  TransferEstimate estimate = model.Estimate(plan).ValueOrDie();
+
+  ExecStats stats;
+  fixture.dw.ExecutePlan(plan, &stats).ValueOrDie();
+  uint64_t measured = 0;
+  for (const RoundStats& r : stats.rounds) {
+    measured += r.tuples_to_sites + r.tuples_to_coord;
+  }
+  if (expect_exact) {
+    EXPECT_TRUE(estimate.exact) << estimate.ToString();
+    EXPECT_EQ(estimate.TotalTuples(), measured)
+        << "opts=" << opts.ToString() << "\n"
+        << estimate.ToString() << stats.ToString();
+  } else {
+    EXPECT_GE(estimate.TotalTuples(), measured)
+        << "opts=" << opts.ToString() << "\n"
+        << estimate.ToString() << stats.ToString();
+  }
+}
+
+TEST(CostModelTest, ExactForPureEqualityAcrossOptimizations) {
+  const size_t kSites = 5;
+  Fixture fixture(kSites);
+  GmdjExpr expr = PureEqualityQuery();
+  OptimizerOptions indep;
+  indep.indep_group_reduction = true;
+  OptimizerOptions aware = indep;
+  aware.aware_group_reduction = true;
+  CheckEstimate(fixture, kSites, expr, OptimizerOptions::None(), true);
+  CheckEstimate(fixture, kSites, expr, indep, true);
+  CheckEstimate(fixture, kSites, expr, aware, true);
+  CheckEstimate(fixture, kSites, expr, OptimizerOptions::All(), true);
+}
+
+TEST(CostModelTest, UpperBoundWithResidualConditions) {
+  const size_t kSites = 4;
+  Fixture fixture(kSites);
+  GmdjExpr expr = PureEqualityQuery();
+  // Add a residual to md2: site-side reduction counts become bounds.
+  expr.ops[1].blocks[0].theta =
+      And(Eq(RCol("g"), BCol("g")), Ge(RCol("v"), Lit(Value(90))));
+  OptimizerOptions opts;
+  opts.indep_group_reduction = true;
+  DistributedPlan plan = fixture.dw.Plan(expr, opts).ValueOrDie();
+  CostModel model = fixture.Model(kSites);
+  TransferEstimate estimate = model.Estimate(plan).ValueOrDie();
+  EXPECT_FALSE(estimate.exact);
+  CheckEstimate(fixture, kSites, expr, opts, false);
+}
+
+TEST(CostModelTest, SyncReducedPlanIsCheapestAndExact) {
+  const size_t kSites = 6;
+  Fixture fixture(kSites);
+  GmdjExpr expr = PureEqualityQuery();
+  CostModel model = fixture.Model(kSites);
+
+  DistributedPlan naive =
+      fixture.dw.Plan(expr, OptimizerOptions::None()).ValueOrDie();
+  DistributedPlan reduced =
+      fixture.dw.Plan(expr, OptimizerOptions::All()).ValueOrDie();
+  TransferEstimate naive_estimate = model.Estimate(naive).ValueOrDie();
+  TransferEstimate reduced_estimate =
+      model.Estimate(reduced).ValueOrDie();
+  EXPECT_LT(reduced_estimate.TotalTuples(), naive_estimate.TotalTuples());
+  CheckEstimate(fixture, kSites, expr, OptimizerOptions::All(), true);
+}
+
+TEST(CostModelTest, RefusesWithoutKnowledge) {
+  CostModel model(3);
+  DistributedPlan plan;
+  plan.base = BaseQuery{"unknown", {"g"}, true, nullptr};
+  plan.key_columns = {"g"};
+  EXPECT_TRUE(model.Estimate(plan).status().IsNotImplemented());
+}
+
+TEST(CostModelTest, MultiColumnKeysGiveBounds) {
+  Random rng(9);
+  SchemaPtr schema = Schema::Make({{"a", ValueType::kInt64},
+                                   {"b", ValueType::kInt64},
+                                   {"v", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (int i = 0; i < 500; ++i) {
+    t.AppendUnchecked({Value(rng.UniformInt(0, 9)),
+                       Value(rng.UniformInt(0, 4)),
+                       Value(rng.UniformInt(0, 50))});
+  }
+  DistributedWarehouse dw(3);
+  dw.AddTablePartitionedBy("d", t, "a", {"b", "v"}).Check();
+
+  GmdjExpr expr;
+  expr.base = BaseQuery{"d", {"a", "b"}, true, nullptr};
+  GmdjOp op;
+  op.detail_table = "d";
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c"}},
+      And(Eq(RCol("a"), BCol("a")), Eq(RCol("b"), BCol("b")))});
+  expr.ops.push_back(op);
+
+  DistributedPlan plan =
+      dw.Plan(expr, OptimizerOptions::None()).ValueOrDie();
+  CostModel model(3);
+  model.SetPartitionInfo("d", dw.partition_info("d"));
+  TransferEstimate estimate = model.Estimate(plan).ValueOrDie();
+  EXPECT_FALSE(estimate.exact);
+
+  ExecStats stats;
+  dw.ExecutePlan(plan, &stats).ValueOrDie();
+  uint64_t measured = 0;
+  for (const RoundStats& r : stats.rounds) {
+    measured += r.tuples_to_sites + r.tuples_to_coord;
+  }
+  EXPECT_GE(estimate.TotalTuples(), measured);
+}
+
+}  // namespace
+}  // namespace skalla

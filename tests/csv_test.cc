@@ -1,0 +1,105 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/tpcr_gen.h"
+
+namespace skalla {
+namespace {
+
+TEST(CsvTest, BasicParseWithTypeInference) {
+  Table t = ReadCsv("id,name,score\n1,alpha,1.5\n2,beta,2\n").ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema()->field(0).type, ValueType::kInt64);
+  EXPECT_EQ(t.schema()->field(1).type, ValueType::kString);
+  // Column "score" holds 1.5 and 2: floats.
+  EXPECT_EQ(t.schema()->field(2).type, ValueType::kFloat64);
+  EXPECT_EQ(t.at(0, 1).str(), "alpha");
+  EXPECT_DOUBLE_EQ(t.at(1, 2).float64(), 2.0);
+}
+
+TEST(CsvTest, NullsEmptyAndToken) {
+  Table t = ReadCsv("a,b\n1,NULL\n,2\n").ValueOrDie();
+  EXPECT_TRUE(t.at(0, 1).is_null());
+  EXPECT_TRUE(t.at(1, 0).is_null());
+  EXPECT_EQ(t.at(1, 1).int64(), 2);
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  Table t =
+      ReadCsv("x,y\n\"a,b\",\"say \"\"hi\"\"\"\nplain,\"multi\nline\"\n")
+          .ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0).str(), "a,b");
+  EXPECT_EQ(t.at(0, 1).str(), "say \"hi\"");
+  EXPECT_EQ(t.at(1, 1).str(), "multi\nline");
+}
+
+TEST(CsvTest, HeaderlessAndCustomDelimiter) {
+  CsvOptions options;
+  options.header = false;
+  options.delimiter = ';';
+  Table t = ReadCsv("1;2\n3;4\n", options).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema()->field(0).name, "col0");
+  EXPECT_EQ(t.at(1, 1).int64(), 4);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_TRUE(ReadCsv("").status().IsInvalidArgument());
+  EXPECT_TRUE(ReadCsv("a,b\n1\n").status().IsParseError());
+  EXPECT_TRUE(ReadCsv("a\n\"oops\n").status().IsParseError());
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/file.csv").status().IsIOError());
+}
+
+TEST(CsvTest, NegativeAndMixedNumbers) {
+  Table t = ReadCsv("v\n-5\n12\n").ValueOrDie();
+  EXPECT_EQ(t.schema()->field(0).type, ValueType::kInt64);
+  EXPECT_EQ(t.at(0, 0).int64(), -5);
+  // "1e3" forces float; "x" forces string.
+  Table f = ReadCsv("v\n1e3\n2\n").ValueOrDie();
+  EXPECT_EQ(f.schema()->field(0).type, ValueType::kFloat64);
+  Table s = ReadCsv("v\n1\nx\n").ValueOrDie();
+  EXPECT_EQ(s.schema()->field(0).type, ValueType::kString);
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  TpcrConfig config;
+  config.num_rows = 200;
+  Table original = GenerateTpcr(config);
+  std::string csv = WriteCsv(original);
+  Table decoded = ReadCsv(csv).ValueOrDie();
+  ASSERT_EQ(decoded.num_rows(), original.num_rows());
+  EXPECT_TRUE(decoded.SameRows(original));
+  EXPECT_TRUE(decoded.schema()->Equals(*original.schema()));
+}
+
+TEST(CsvTest, WriteQuotesWhenNeeded) {
+  SchemaPtr schema = Schema::Make({{"s", ValueType::kString}}).ValueOrDie();
+  Table t(schema);
+  t.AppendUnchecked({Value("a,b")});
+  t.AppendUnchecked({Value("NULL")});  // Collides with null token.
+  t.AppendUnchecked({Value::Null()});
+  std::string csv = WriteCsv(t);
+  EXPECT_EQ(csv, "s\n\"a,b\"\n\"NULL\"\nNULL\n");
+  Table back = ReadCsv(csv).ValueOrDie();
+  EXPECT_TRUE(back.SameRows(t));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  SchemaPtr schema = Schema::Make({{"a", ValueType::kInt64},
+                                   {"b", ValueType::kString}})
+                         .ValueOrDie();
+  Table t(schema);
+  t.AppendUnchecked({Value(1), Value("x")});
+  std::string path = "/tmp/skalla_csv_test.csv";
+  WriteCsvFile(t, path).Check();
+  Table back = ReadCsvFile(path).ValueOrDie();
+  EXPECT_TRUE(back.SameRows(t));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skalla

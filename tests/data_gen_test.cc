@@ -1,0 +1,150 @@
+// Data generators: determinism, schema shape, and the structural
+// properties the benches rely on (partition correlations, cardinalities).
+
+#include <gtest/gtest.h>
+
+#include "data/flow_gen.h"
+#include "data/tpcr_gen.h"
+#include "storage/partition.h"
+#include "types/value_set.h"
+
+namespace skalla {
+namespace {
+
+TEST(TpcrGenTest, DeterministicForSameSeed) {
+  TpcrConfig config;
+  config.num_rows = 500;
+  Table a = GenerateTpcr(config);
+  Table b = GenerateTpcr(config);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_TRUE(RowEquals(a.row(r), b.row(r))) << "row " << r;
+  }
+  config.seed = 43;
+  Table c = GenerateTpcr(config);
+  bool any_diff = false;
+  for (size_t r = 0; r < std::min(a.num_rows(), c.num_rows()); ++r) {
+    if (!RowEquals(a.row(r), c.row(r))) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpcrGenTest, SchemaAndRanges) {
+  TpcrConfig config;
+  config.num_rows = 2000;
+  config.num_customers = 100;
+  config.num_nations = 25;
+  config.num_clerks = 10;
+  Table t = GenerateTpcr(config);
+  EXPECT_EQ(t.num_rows(), 2000u);
+  ASSERT_TRUE(t.schema()->Contains("CustKey"));
+  ASSERT_TRUE(t.schema()->Contains("NationKey"));
+  ASSERT_TRUE(t.schema()->Contains("Clerk"));
+
+  size_t cust = static_cast<size_t>(t.schema()->IndexOf("CustKey"));
+  size_t nation = static_cast<size_t>(t.schema()->IndexOf("NationKey"));
+  size_t qty = static_cast<size_t>(t.schema()->IndexOf("Quantity"));
+  ValueSet clerks;
+  size_t clerk = static_cast<size_t>(t.schema()->IndexOf("Clerk"));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    int64_t ck = t.at(r, cust).int64();
+    EXPECT_GE(ck, 1);
+    EXPECT_LE(ck, 100);
+    // NationKey is functionally determined by CustKey.
+    EXPECT_EQ(t.at(r, nation).int64(), NationOfCustomer(ck, 25));
+    EXPECT_GE(t.at(r, qty).int64(), 1);
+    EXPECT_LE(t.at(r, qty).int64(), 50);
+    clerks.Insert(t.at(r, clerk));
+  }
+  EXPECT_LE(clerks.size(), 10u);
+  EXPECT_GE(clerks.size(), 5u);
+}
+
+TEST(TpcrGenTest, CustKeyIsPartitionCorrelatedWithNationKey) {
+  TpcrConfig config;
+  config.num_rows = 4000;
+  config.num_customers = 300;
+  Table t = GenerateTpcr(config);
+  auto parts = PartitionByModulo(t, "NationKey", 8).ValueOrDie();
+  PartitionInfo info = PartitionInfo::ComputeFromPartitions(
+                           parts, {"NationKey", "CustKey", "CustName",
+                                   "Clerk"})
+                           .ValueOrDie();
+  EXPECT_TRUE(info.IsPartitionAttribute("NationKey"));
+  EXPECT_TRUE(info.IsPartitionAttribute("CustKey"));
+  EXPECT_TRUE(info.IsPartitionAttribute("CustName"));
+  // Clerks are uniform across sites — NOT a partition attribute.
+  EXPECT_FALSE(info.IsPartitionAttribute("Clerk"));
+}
+
+TEST(FlowGenTest, DeterministicAndSchema) {
+  FlowConfig config;
+  config.num_flows = 300;
+  Table a = GenerateFlows(config);
+  Table b = GenerateFlows(config);
+  ASSERT_EQ(a.num_rows(), 300u);
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_TRUE(RowEquals(a.row(r), b.row(r)));
+  }
+  EXPECT_EQ(a.num_columns(), 13u);  // The paper's Flow schema.
+  EXPECT_TRUE(a.schema()->Contains("RouterId"));
+  EXPECT_TRUE(a.schema()->Contains("NumBytes"));
+}
+
+TEST(FlowGenTest, AsRouterAffinityMakesSourceAsPartitionAttribute) {
+  FlowConfig config;
+  config.num_flows = 3000;
+  config.num_routers = 4;
+  Table flow = GenerateFlows(config);
+  auto parts = PartitionByValue(flow, "RouterId", 4).ValueOrDie();
+  PartitionInfo info = PartitionInfo::ComputeFromPartitions(
+                           parts, {"RouterId", "SourceAS", "DestAS"})
+                           .ValueOrDie();
+  EXPECT_TRUE(info.IsPartitionAttribute("SourceAS"));
+  EXPECT_FALSE(info.IsPartitionAttribute("DestAS"));
+
+  config.as_router_affinity = false;
+  Table spread = GenerateFlows(config);
+  auto parts2 = PartitionByValue(spread, "RouterId", 4).ValueOrDie();
+  PartitionInfo info2 =
+      PartitionInfo::ComputeFromPartitions(parts2, {"SourceAS"})
+          .ValueOrDie();
+  EXPECT_FALSE(info2.IsPartitionAttribute("SourceAS"));
+}
+
+TEST(FlowGenTest, StructuralInvariants) {
+  FlowConfig config;
+  config.num_flows = 2000;
+  config.num_routers = 8;
+  config.num_hours = 12;
+  config.web_fraction = 0.5;
+  Table flow = GenerateFlows(config);
+  size_t start = static_cast<size_t>(flow.schema()->IndexOf("StartTime"));
+  size_t end = static_cast<size_t>(flow.schema()->IndexOf("EndTime"));
+  size_t packets =
+      static_cast<size_t>(flow.schema()->IndexOf("NumPackets"));
+  size_t bytes = static_cast<size_t>(flow.schema()->IndexOf("NumBytes"));
+  size_t port = static_cast<size_t>(flow.schema()->IndexOf("DestPort"));
+  size_t web = 0;
+  for (size_t r = 0; r < flow.num_rows(); ++r) {
+    EXPECT_LT(flow.at(r, start).int64(), flow.at(r, end).int64());
+    EXPECT_LT(flow.at(r, start).int64(), 12 * 3600);
+    EXPECT_GE(flow.at(r, packets).int64(), 1);
+    // Bytes consistent with packet sizes of 40..1500.
+    EXPECT_GE(flow.at(r, bytes).int64(), flow.at(r, packets).int64() * 40);
+    EXPECT_LE(flow.at(r, bytes).int64(),
+              flow.at(r, packets).int64() * 1500);
+    int64_t p = flow.at(r, port).int64();
+    if (p == 80 || p == 443) ++web;
+  }
+  // Web fraction should be near the configured 50%.
+  double fraction = static_cast<double>(web) /
+                    static_cast<double>(flow.num_rows());
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace skalla

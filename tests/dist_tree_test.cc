@@ -1,0 +1,171 @@
+// Multi-tier coordinator (spanning-tree) executor: identical results to
+// the flat star executor across optimizer configs and fanouts, with
+// reduced root-link traffic.
+
+#include "dist/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dist/warehouse.h"
+#include "expr/builder.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+Table MakeFlow(uint64_t seed, size_t rows, int64_t num_sas) {
+  Random rng(seed);
+  SchemaPtr schema = Schema::Make({{"SAS", ValueType::kInt64},
+                                   {"DAS", ValueType::kInt64},
+                                   {"NB", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked({Value(rng.UniformInt(0, num_sas - 1)),
+                       Value(rng.UniformInt(0, 4)),
+                       Value(rng.UniformInt(1, 500))});
+  }
+  return t;
+}
+
+GmdjExpr Example1() {
+  GmdjExpr expr;
+  expr.base = BaseQuery{"flow", {"SAS", "DAS"}, true, nullptr};
+  ExprPtr group = And(Eq(RCol("SAS"), BCol("SAS")),
+                      Eq(RCol("DAS"), BCol("DAS")));
+  GmdjOp md1;
+  md1.detail_table = "flow";
+  md1.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "cnt1"}, {AggKind::kAvg, "NB", "avg1"}},
+      group});
+  GmdjOp md2;
+  md2.detail_table = "flow";
+  md2.blocks.push_back(
+      GmdjBlock{{{AggKind::kCountStar, "", "cnt2"}},
+                And(group, Ge(RCol("NB"), BCol("avg1")))});
+  expr.ops = {md1, md2};
+  return expr;
+}
+
+TEST(CoordinatorTreeTest, BalancedShapes) {
+  // fanout >= n degenerates to a star.
+  CoordinatorTree star = CoordinatorTree::Balanced(4, 8);
+  ASSERT_EQ(star.nodes.size(), 1u);
+  EXPECT_EQ(star.nodes[0].child_sites.size(), 4u);
+  EXPECT_EQ(star.depth(), 1u);
+
+  // 8 sites, fanout 2: root with 2 children, each covering 4 sites.
+  CoordinatorTree tree = CoordinatorTree::Balanced(8, 2);
+  EXPECT_GE(tree.depth(), 3u);
+  std::vector<int> all = tree.SitesUnder(0);
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(all[static_cast<size_t>(i)], i);
+
+  // Every site appears under exactly one child of the root.
+  size_t covered = 0;
+  for (int child : tree.nodes[0].child_nodes) {
+    covered += tree.SitesUnder(child).size();
+  }
+  covered += tree.nodes[0].child_sites.size();
+  EXPECT_EQ(covered, 8u);
+}
+
+class TreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(TreeEquivalenceTest, MatchesFlatExecutorAndCentralized) {
+  auto [fanout, opt_mask] = GetParam();
+  OptimizerOptions opts;
+  opts.coalescing = opt_mask & 1;
+  opts.indep_group_reduction = opt_mask & 2;
+  opts.aware_group_reduction = opt_mask & 4;
+  opts.sync_reduction = opt_mask & 8;
+
+  const size_t kSites = 6;
+  Table flow = MakeFlow(41, 500, 18);
+  DistributedWarehouse dw(kSites);
+  dw.AddTablePartitionedBy("flow", flow, "SAS", {"DAS", "NB"}).Check();
+
+  GmdjExpr expr = Example1();
+  Table expected = dw.ExecuteCentralized(expr).ValueOrDie();
+  DistributedPlan plan = dw.Plan(expr, opts).ValueOrDie();
+
+  std::vector<Table> parts = PartitionByValue(flow, "SAS", kSites)
+                                 .ValueOrDie();
+  std::vector<Site> sites;
+  for (size_t i = 0; i < kSites; ++i) {
+    Catalog catalog;
+    catalog.Register("flow", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  TreeExecutor executor(std::move(sites),
+                        CoordinatorTree::Balanced(kSites, fanout));
+  TreeExecStats stats;
+  Table result = executor.Execute(plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected))
+      << "fanout " << fanout << " opts " << opt_mask << "\n"
+      << executor.tree().ToString();
+  EXPECT_EQ(stats.rounds.size(), plan.stages.size() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndOpts, TreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{3}, size_t{8}),
+                       ::testing::Values(0, 2, 6, 8, 15)));
+
+TEST(TreeExecutorTest, RootTrafficShrinksVersusStar) {
+  const size_t kSites = 8;
+  Table flow = MakeFlow(43, 1200, 64);
+  std::vector<Table> parts =
+      PartitionByValue(flow, "SAS", kSites).ValueOrDie();
+
+  DistributedWarehouse dw(kSites);
+  dw.AddPartitionedTable("flow", parts, {"SAS", "DAS", "NB"}).Check();
+  // Unoptimized plan: every round synchronizes, so the root is the
+  // bottleneck in the star.
+  DistributedPlan plan =
+      dw.Plan(Example1(), OptimizerOptions::None()).ValueOrDie();
+
+  auto run = [&](size_t fanout) {
+    std::vector<Site> sites;
+    for (size_t i = 0; i < kSites; ++i) {
+      Catalog catalog;
+      catalog.Register("flow", parts[i]);
+      sites.emplace_back(static_cast<int>(i), std::move(catalog));
+    }
+    TreeExecutor executor(std::move(sites),
+                          CoordinatorTree::Balanced(kSites, fanout));
+    TreeExecStats stats;
+    Table result = executor.Execute(plan, &stats).ValueOrDie();
+    return std::make_pair(result, stats);
+  };
+
+  auto [star_result, star_stats] = run(8);
+  auto [tree_result, tree_stats] = run(2);
+  EXPECT_TRUE(star_result.SameRows(tree_result));
+  // The star's root carries all traffic; the binary tree's root carries
+  // only its two children's links.
+  EXPECT_EQ(star_stats.RootBytes(), star_stats.TotalBytes());
+  EXPECT_LT(tree_stats.RootBytes(), star_stats.RootBytes());
+}
+
+TEST(TreeExecutorTest, ValidatesPlans) {
+  std::vector<Site> sites;
+  Catalog catalog;
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  catalog.Register("t", Table(schema));
+  sites.emplace_back(0, catalog);
+  TreeExecutor executor(std::move(sites), CoordinatorTree::Balanced(1, 2));
+
+  DistributedPlan bad;
+  bad.base = BaseQuery{"t", {"g"}, true, nullptr};
+  bad.sync_base = false;
+  auto result = executor.Execute(bad, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,139 @@
+// Cross-executor consistency matrix: the same optimized plan executed by
+// every engine variant — synchronous star, parallel sites, row-blocked,
+// columnar sites, asynchronous/pipelined, and coordinator trees of two
+// fanouts — produces identical results; where byte accounting is defined
+// the same way (all but the tree), identical transfer counts too.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dist/async_exec.h"
+#include "dist/tree.h"
+#include "dist/warehouse.h"
+#include "sql/parser.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+constexpr size_t kSites = 6;
+
+Table MakeData() {
+  Random rng(97);
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"h", ValueType::kInt64},
+                                   {"v", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (int i = 0; i < 1500; ++i) {
+    t.AppendUnchecked({Value(rng.UniformInt(0, 39)),
+                       Value(rng.UniformInt(0, 7)),
+                       Value(rng.UniformInt(0, 999))});
+  }
+  return t;
+}
+
+std::vector<Site> MakeSites(const std::vector<Table>& parts) {
+  std::vector<Site> sites;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    Catalog catalog;
+    catalog.Register("d", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  return sites;
+}
+
+TEST(ExecutorMatrixTest, AllEnginesAgree) {
+  Table data = MakeData();
+  std::vector<Table> parts = PartitionByValue(data, "g", kSites).ValueOrDie();
+
+  DistributedWarehouse dw(kSites);
+  {
+    std::vector<Table> copy = parts;
+    dw.AddPartitionedTable("d", std::move(copy), {"g", "h", "v"}).Check();
+  }
+
+  GmdjExpr query = ParseQuery(R"(
+    BASE SELECT DISTINCT g FROM d;
+    MD USING d
+       COMPUTE COUNT(*) AS c1, SUM(v) AS s1, MAX(v) AS m1
+       WHERE r.g = b.g;
+    MD USING d
+       COMPUTE COUNT(*) AS c2
+       WHERE r.g = b.g AND r.v * 2 >= b.m1;
+  )").ValueOrDie();
+
+  for (int opt_mask : {0, 15}) {
+    OptimizerOptions opts;
+    opts.coalescing = opt_mask & 1;
+    opts.indep_group_reduction = opt_mask & 2;
+    opts.aware_group_reduction = opt_mask & 4;
+    opts.sync_reduction = opt_mask & 8;
+    DistributedPlan plan = dw.Plan(query, opts).ValueOrDie();
+
+    Table reference = dw.ExecuteCentralized(query).ValueOrDie();
+
+    // 1. Synchronous star (baseline for byte accounting).
+    ExecStats star_stats;
+    DistributedExecutor star(MakeSites(parts));
+    Table star_result = star.Execute(plan, &star_stats).ValueOrDie();
+    ASSERT_TRUE(star_result.SameRows(reference)) << "star, opts " << opt_mask;
+
+    struct Variant {
+      const char* name;
+      ExecutorOptions options;
+    };
+    ExecutorOptions parallel;
+    parallel.parallel_sites = true;
+    ExecutorOptions blocked;
+    blocked.ship_block_rows = 11;
+    ExecutorOptions columnar;
+    columnar.columnar_sites = true;
+    const Variant variants[] = {
+        {"parallel", parallel},
+        {"blocked", blocked},
+        {"columnar", columnar},
+    };
+    for (const Variant& variant : variants) {
+      std::vector<Site> sites = MakeSites(parts);
+      if (variant.options.columnar_sites) {
+        for (Site& site : sites) site.EnableColumnarCache().Check();
+      }
+      DistributedExecutor executor(std::move(sites), NetworkConfig{},
+                                   variant.options);
+      ExecStats stats;
+      Table result = executor.Execute(plan, &stats).ValueOrDie();
+      EXPECT_TRUE(result.SameRows(reference))
+          << variant.name << ", opts " << opt_mask;
+      EXPECT_EQ(stats.TotalTuplesTransferred(),
+                star_stats.TotalTuplesTransferred())
+          << variant.name << ", opts " << opt_mask;
+      if (variant.options.ship_block_rows == 0) {
+        EXPECT_EQ(stats.TotalBytes(), star_stats.TotalBytes())
+            << variant.name << ", opts " << opt_mask;
+      }
+    }
+
+    // 2. Asynchronous pipelined executor.
+    AsyncExecutor async(MakeSites(parts));
+    ExecStats async_stats;
+    Table async_result = async.Execute(plan, &async_stats).ValueOrDie();
+    EXPECT_TRUE(async_result.SameRows(reference)) << "async, opts "
+                                                  << opt_mask;
+    EXPECT_EQ(async_stats.TotalBytes(), star_stats.TotalBytes())
+        << "async, opts " << opt_mask;
+
+    // 3. Coordinator trees.
+    for (size_t fanout : {size_t{2}, size_t{3}}) {
+      TreeExecutor tree(MakeSites(parts),
+                        CoordinatorTree::Balanced(kSites, fanout));
+      TreeExecStats tree_stats;
+      Table tree_result = tree.Execute(plan, &tree_stats).ValueOrDie();
+      EXPECT_TRUE(tree_result.SameRows(reference))
+          << "tree fanout " << fanout << ", opts " << opt_mask;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skalla

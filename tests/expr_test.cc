@@ -1,0 +1,185 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.h"
+#include "types/schema.h"
+
+namespace skalla {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = Schema::Make({{"gk", ValueType::kInt64},
+                          {"avg1", ValueType::kFloat64}})
+                .ValueOrDie();
+    detail_ = Schema::Make({{"gk", ValueType::kInt64},
+                            {"v", ValueType::kInt64},
+                            {"name", ValueType::kString}})
+                  .ValueOrDie();
+  }
+
+  Value EvalOn(const ExprPtr& e, const Row& b, const Row& r) {
+    ExprPtr bound = e->Bind(base_.get(), detail_.get()).ValueOrDie();
+    return bound->Eval(&b, &r);
+  }
+
+  SchemaPtr base_;
+  SchemaPtr detail_;
+};
+
+TEST_F(ExprTest, LiteralEval) {
+  EXPECT_EQ(EvalOn(Lit(Value(7)), {}, {}).int64(), 7);
+}
+
+TEST_F(ExprTest, ColumnRefBothSides) {
+  Row b = {Value(10), Value(2.5)};
+  Row r = {Value(10), Value(99), Value("x")};
+  EXPECT_EQ(EvalOn(BCol("gk"), b, r).int64(), 10);
+  EXPECT_EQ(EvalOn(RCol("v"), b, r).int64(), 99);
+  EXPECT_DOUBLE_EQ(EvalOn(BCol("avg1"), b, r).float64(), 2.5);
+}
+
+TEST_F(ExprTest, BindFailsOnUnknownColumn) {
+  auto r = BCol("missing")->Bind(base_.get(), detail_.get());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(ExprTest, BindFailsOnMissingSideSchema) {
+  auto r = RCol("v")->Bind(base_.get(), nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(ExprTest, IntArithmeticStaysInt) {
+  Row b = {Value(10), Value(0.0)};
+  Row r = {Value(3), Value(4), Value("")};
+  Value sum = EvalOn(Add(RCol("gk"), RCol("v")), b, r);
+  EXPECT_TRUE(sum.is_int64());
+  EXPECT_EQ(sum.int64(), 7);
+  Value prod = EvalOn(Mul(RCol("gk"), RCol("v")), b, r);
+  EXPECT_EQ(prod.int64(), 12);
+}
+
+TEST_F(ExprTest, DivisionAlwaysReal) {
+  Row b = {Value(10), Value(0.0)};
+  Row r = {Value(7), Value(2), Value("")};
+  Value q = EvalOn(Div(RCol("gk"), RCol("v")), b, r);
+  ASSERT_TRUE(q.is_float64());
+  EXPECT_DOUBLE_EQ(q.float64(), 3.5);
+}
+
+TEST_F(ExprTest, DivisionByZeroIsNull) {
+  Row b = {Value(10), Value(0.0)};
+  Row r = {Value(7), Value(0), Value("")};
+  EXPECT_TRUE(EvalOn(Div(RCol("gk"), RCol("v")), b, r).is_null());
+}
+
+TEST_F(ExprTest, NullPropagationInArithmetic) {
+  Row b = {Value::Null(), Value(0.0)};
+  Row r = {Value(7), Value(2), Value("")};
+  EXPECT_TRUE(EvalOn(Add(BCol("gk"), RCol("v")), b, r).is_null());
+}
+
+TEST_F(ExprTest, ComparisonWithNullIsFalse) {
+  Row b = {Value::Null(), Value(0.0)};
+  Row r = {Value(7), Value(2), Value("")};
+  ExprPtr cmp = Eq(BCol("gk"), RCol("gk"));
+  ExprPtr bound = cmp->Bind(base_.get(), detail_.get()).ValueOrDie();
+  EXPECT_FALSE(bound->EvalBool(&b, &r));
+  // And NOT(null-comparison) is also not true under 3VL-lite: Eval gives
+  // NULL, which EvalBool maps to false; NOT(NULL) stays NULL.
+  ExprPtr neg = Not(cmp)->Bind(base_.get(), detail_.get()).ValueOrDie();
+  EXPECT_FALSE(neg->EvalBool(&b, &r));
+}
+
+TEST_F(ExprTest, ComparisonOperators) {
+  Row b = {Value(5), Value(0.0)};
+  Row r = {Value(5), Value(9), Value("abc")};
+  EXPECT_TRUE(EvalOn(Eq(BCol("gk"), RCol("gk")), b, r).int64());
+  EXPECT_TRUE(EvalOn(Le(BCol("gk"), RCol("v")), b, r).int64());
+  EXPECT_FALSE(EvalOn(Gt(BCol("gk"), RCol("v")), b, r).int64());
+  EXPECT_TRUE(EvalOn(Ne(RCol("name"), Lit(Value("abd"))), b, r).int64());
+  EXPECT_TRUE(EvalOn(Lt(RCol("name"), Lit(Value("abd"))), b, r).int64());
+}
+
+TEST_F(ExprTest, CrossTypeNumericComparison) {
+  Row b = {Value(5), Value(5.0)};
+  Row r = {Value(5), Value(9), Value("")};
+  EXPECT_TRUE(EvalOn(Eq(BCol("avg1"), RCol("gk")), b, r).int64());
+  EXPECT_TRUE(EvalOn(Ge(RCol("v"), BCol("avg1")), b, r).int64());
+}
+
+TEST_F(ExprTest, BooleanConnectives) {
+  Row b = {Value(5), Value(0.0)};
+  Row r = {Value(5), Value(9), Value("")};
+  ExprPtr t = Eq(BCol("gk"), RCol("gk"));
+  ExprPtr f = Gt(BCol("gk"), RCol("v"));
+  EXPECT_TRUE(EvalOn(And(t, t), b, r).int64());
+  EXPECT_FALSE(EvalOn(And(t, f), b, r).int64());
+  EXPECT_TRUE(EvalOn(Or(f, t), b, r).int64());
+  EXPECT_FALSE(EvalOn(Or(f, f), b, r).int64());
+  EXPECT_TRUE(EvalOn(Not(f), b, r).int64());
+}
+
+TEST_F(ExprTest, UnaryNeg) {
+  Row b = {Value(5), Value(2.5)};
+  Row r = {Value(0), Value(0), Value("")};
+  EXPECT_EQ(EvalOn(Expr::Unary(UnaryOp::kNeg, BCol("gk")), b, r).int64(), -5);
+  EXPECT_DOUBLE_EQ(
+      EvalOn(Expr::Unary(UnaryOp::kNeg, BCol("avg1")), b, r).float64(), -2.5);
+}
+
+TEST_F(ExprTest, Example1CorrelatedCondition) {
+  // F1.NB >= sum1/cnt1 from the paper's Example 1.
+  SchemaPtr b_schema = Schema::Make({{"SAS", ValueType::kInt64},
+                                     {"DAS", ValueType::kInt64},
+                                     {"cnt1", ValueType::kInt64},
+                                     {"sum1", ValueType::kInt64}})
+                           .ValueOrDie();
+  SchemaPtr r_schema = Schema::Make({{"SAS", ValueType::kInt64},
+                                     {"DAS", ValueType::kInt64},
+                                     {"NB", ValueType::kInt64}})
+                           .ValueOrDie();
+  ExprPtr theta = And(And(Eq(RCol("SAS"), BCol("SAS")),
+                          Eq(RCol("DAS"), BCol("DAS"))),
+                      Ge(RCol("NB"), Div(BCol("sum1"), BCol("cnt1"))));
+  ExprPtr bound = theta->Bind(b_schema.get(), r_schema.get()).ValueOrDie();
+  Row b = {Value(1), Value(2), Value(4), Value(100)};  // avg = 25.
+  Row r_hi = {Value(1), Value(2), Value(30)};
+  Row r_lo = {Value(1), Value(2), Value(20)};
+  Row r_other = {Value(9), Value(2), Value(30)};
+  EXPECT_TRUE(bound->EvalBool(&b, &r_hi));
+  EXPECT_FALSE(bound->EvalBool(&b, &r_lo));
+  EXPECT_FALSE(bound->EvalBool(&b, &r_other));
+}
+
+TEST_F(ExprTest, StructuralEquality) {
+  ExprPtr a = And(Eq(BCol("gk"), RCol("gk")), Lt(RCol("v"), Lit(Value(5))));
+  ExprPtr b = And(Eq(BCol("gk"), RCol("gk")), Lt(RCol("v"), Lit(Value(5))));
+  ExprPtr c = And(Eq(BCol("gk"), RCol("gk")), Lt(RCol("v"), Lit(Value(6))));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST_F(ExprTest, CollectColumnsAndReferencesSide) {
+  ExprPtr e = And(Eq(BCol("gk"), RCol("gk")),
+                  Ge(RCol("v"), Div(BCol("avg1"), Lit(Value(2)))));
+  std::vector<std::string> base_cols;
+  e->CollectColumns(ExprSide::kBase, &base_cols);
+  ASSERT_EQ(base_cols.size(), 2u);
+  EXPECT_EQ(base_cols[0], "gk");
+  EXPECT_EQ(base_cols[1], "avg1");
+  EXPECT_TRUE(e->ReferencesSide(ExprSide::kDetail));
+  EXPECT_FALSE(Lit(Value(1))->ReferencesSide(ExprSide::kBase));
+}
+
+TEST_F(ExprTest, ToStringRendering) {
+  ExprPtr e = Eq(BCol("x"), RCol("y"));
+  EXPECT_EQ(e->ToString(), "(b.x = r.y)");
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,123 @@
+// Fault injection and site-retry recovery in the distributed executor.
+
+#include "dist/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dist/warehouse.h"
+#include "expr/builder.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+Table MakeFlow(size_t rows) {
+  Random rng(61);
+  SchemaPtr schema = Schema::Make({{"SAS", ValueType::kInt64},
+                                   {"NB", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked(
+        {Value(rng.UniformInt(0, 11)), Value(rng.UniformInt(1, 300))});
+  }
+  return t;
+}
+
+GmdjExpr SimpleQuery() {
+  GmdjExpr expr;
+  expr.base = BaseQuery{"flow", {"SAS"}, true, nullptr};
+  GmdjOp md1;
+  md1.detail_table = "flow";
+  md1.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c"}, {AggKind::kAvg, "NB", "a"}},
+      Eq(RCol("SAS"), BCol("SAS"))});
+  GmdjOp md2;
+  md2.detail_table = "flow";
+  md2.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c2"}},
+      And(Eq(RCol("SAS"), BCol("SAS")), Ge(RCol("NB"), BCol("a")))});
+  expr.ops = {md1, md2};
+  return expr;
+}
+
+Result<Table> RunWithFaults(const Table& flow, FaultInjector* injector,
+                            size_t retries, ExecStats* stats,
+                            const OptimizerOptions& opts) {
+  ExecutorOptions exec_options;
+  exec_options.fault_injector = injector;
+  exec_options.max_site_retries = retries;
+  DistributedWarehouse dw(4, NetworkConfig{}, exec_options);
+  Status s = dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"});
+  if (!s.ok()) return s;
+  return dw.Execute(SimpleQuery(), opts, stats);
+}
+
+TEST(FaultTest, TransientFailuresRecoverWithRetry) {
+  Table flow = MakeFlow(600);
+  DistributedWarehouse reference_dw(4);
+  reference_dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}).Check();
+  Table expected =
+      reference_dw.ExecuteCentralized(SimpleQuery()).ValueOrDie();
+
+  TransientFaultInjector injector(/*failures=*/1);
+  ExecStats stats;
+  Table result = RunWithFaults(flow, &injector, /*retries=*/2, &stats,
+                               OptimizerOptions::None())
+                     .ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  EXPECT_GT(injector.injected(), 0);
+  size_t total_retries = 0;
+  for (const RoundStats& r : stats.rounds) total_retries += r.site_retries;
+  // Every (site, round) pair failed once: 4 sites x 3 rounds.
+  EXPECT_EQ(total_retries, 12u);
+}
+
+TEST(FaultTest, ExhaustedRetriesSurfaceTheFailure) {
+  Table flow = MakeFlow(200);
+  TransientFaultInjector injector(/*failures=*/3);
+  ExecStats stats;
+  auto result = RunWithFaults(flow, &injector, /*retries=*/1, &stats,
+                              OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(FaultTest, PermanentSiteFailureAborts) {
+  Table flow = MakeFlow(200);
+  PermanentSiteFailure injector(/*site=*/2);
+  auto result = RunWithFaults(flow, &injector, /*retries=*/5, nullptr,
+                              OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("site 2"), std::string::npos);
+}
+
+TEST(FaultTest, RecoveryWorksUnderAllOptimizations) {
+  Table flow = MakeFlow(600);
+  DistributedWarehouse reference_dw(4);
+  reference_dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}).Check();
+  Table expected =
+      reference_dw.ExecuteCentralized(SimpleQuery()).ValueOrDie();
+
+  TransientFaultInjector injector(/*failures=*/1);
+  Table result = RunWithFaults(flow, &injector, /*retries=*/1, nullptr,
+                               OptimizerOptions::All())
+                     .ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+}
+
+TEST(FaultTest, NoInjectorMeansNoRetries) {
+  Table flow = MakeFlow(200);
+  ExecStats stats;
+  Table result = RunWithFaults(flow, nullptr, /*retries=*/3, &stats,
+                               OptimizerOptions::None())
+                     .ValueOrDie();
+  for (const RoundStats& r : stats.rounds) {
+    EXPECT_EQ(r.site_retries, 0u);
+  }
+  EXPECT_GT(result.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace skalla

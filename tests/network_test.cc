@@ -1,0 +1,52 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace skalla {
+namespace {
+
+TEST(NetworkTest, TransferTimeModel) {
+  NetworkConfig config;
+  config.latency_s = 0.002;
+  config.bandwidth_bytes_per_s = 1000.0;
+  SimulatedNetwork net(config);
+  // 500 bytes at 1000 B/s = 0.5s plus 2ms latency.
+  EXPECT_DOUBLE_EQ(net.TransferTime(500), 0.502);
+  EXPECT_DOUBLE_EQ(net.TransferTime(0), 0.002);
+}
+
+TEST(NetworkTest, AccountingPerLinkAndTotal) {
+  SimulatedNetwork net;
+  net.Transfer(0, kCoordinatorId, 100);
+  net.Transfer(0, kCoordinatorId, 50);
+  net.Transfer(kCoordinatorId, 1, 10);
+  EXPECT_EQ(net.total_bytes(), 160u);
+  EXPECT_EQ(net.total_messages(), 3u);
+  LinkStats up = net.Link(0, kCoordinatorId);
+  EXPECT_EQ(up.messages, 2u);
+  EXPECT_EQ(up.bytes, 150u);
+  LinkStats down = net.Link(kCoordinatorId, 1);
+  EXPECT_EQ(down.bytes, 10u);
+  // Unused link reads as zero.
+  EXPECT_EQ(net.Link(5, 6).messages, 0u);
+}
+
+TEST(NetworkTest, ResetClears) {
+  SimulatedNetwork net;
+  net.Transfer(0, 1, 100);
+  net.Reset();
+  EXPECT_EQ(net.total_bytes(), 0u);
+  EXPECT_EQ(net.Link(0, 1).bytes, 0u);
+}
+
+TEST(NetworkTest, TransferReturnsModeledTime) {
+  NetworkConfig config;
+  config.latency_s = 0.001;
+  config.bandwidth_bytes_per_s = 1e6;
+  SimulatedNetwork net(config);
+  double t = net.Transfer(2, kCoordinatorId, 1000000);
+  EXPECT_DOUBLE_EQ(t, 1.001);
+}
+
+}  // namespace
+}  // namespace skalla

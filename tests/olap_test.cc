@@ -1,0 +1,270 @@
+// OLAP extensions: data cube, unpivot/marginals, multi-feature queries.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "olap/cube.h"
+#include "olap/multifeature.h"
+#include "olap/unpivot.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+Table SalesTable(uint64_t seed, size_t rows) {
+  Random rng(seed);
+  SchemaPtr schema = Schema::Make({{"region", ValueType::kInt64},
+                                   {"product", ValueType::kString},
+                                   {"qty", ValueType::kInt64}})
+                         .ValueOrDie();
+  const char* products[] = {"ink", "pen", "paper"};
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked({Value(rng.UniformInt(0, 3)),
+                       Value(std::string(products[rng.Uniform(3)])),
+                       Value(rng.UniformInt(1, 10))});
+  }
+  return t;
+}
+
+DistributedWarehouse MakeWarehouse(const Table& sales, size_t sites) {
+  DistributedWarehouse dw(sites);
+  dw.AddTablePartitionedBy("sales", sales, "region", {"product", "qty"})
+      .Check();
+  return dw;
+}
+
+TEST(CubeTest, CuboidExprShapes) {
+  CubeSpec spec;
+  spec.detail_table = "sales";
+  spec.dims = {"region", "product"};
+  spec.aggs = {{AggKind::kCountStar, "", "n"}};
+
+  GmdjExpr both = CuboidExpr(spec, 0b11).ValueOrDie();
+  EXPECT_EQ(both.base.columns.size(), 2u);
+  GmdjExpr region_only = CuboidExpr(spec, 0b01).ValueOrDie();
+  ASSERT_EQ(region_only.base.columns.size(), 1u);
+  EXPECT_EQ(region_only.base.columns[0], "region");
+  GmdjExpr grand = CuboidExpr(spec, 0).ValueOrDie();
+  EXPECT_TRUE(grand.base.columns.empty());
+
+  EXPECT_TRUE(CuboidExpr(spec, 4).status().IsInvalidArgument());
+}
+
+TEST(CubeTest, DistributedMatchesCentralizedAndManualChecks) {
+  Table sales = SalesTable(3, 500);
+  DistributedWarehouse dw = MakeWarehouse(sales, 3);
+
+  CubeSpec spec;
+  spec.detail_table = "sales";
+  spec.dims = {"region", "product"};
+  spec.aggs = {{AggKind::kCountStar, "", "n"},
+               {AggKind::kSum, "qty", "total"}};
+
+  Table cube = ComputeCubeDistributed(dw, spec, OptimizerOptions::All())
+                   .ValueOrDie();
+  Table reference = ComputeCubeCentralized(dw, spec).ValueOrDie();
+  EXPECT_TRUE(cube.SameRows(reference));
+
+  // Cardinality: 4 regions x 3 products (full cuboid) + 4 + 3 + 1.
+  EXPECT_EQ(cube.num_rows(), 4u * 3 + 4 + 3 + 1);
+
+  // The grand total row counts everything.
+  int64_t grand_n = -1;
+  int64_t grand_total = -1;
+  int64_t sum_region_n = 0;
+  for (size_t r = 0; r < cube.num_rows(); ++r) {
+    bool region_null = cube.at(r, 0).is_null();
+    bool product_null = cube.at(r, 1).is_null();
+    if (region_null && product_null) {
+      grand_n = cube.at(r, 2).int64();
+      grand_total = cube.at(r, 3).int64();
+    } else if (!region_null && product_null) {
+      sum_region_n += cube.at(r, 2).int64();
+    }
+  }
+  EXPECT_EQ(grand_n, 500);
+  EXPECT_GT(grand_total, 0);
+  // Region marginals partition all rows.
+  EXPECT_EQ(sum_region_n, 500);
+}
+
+TEST(CubeTest, EveryOptimizerConfigAgrees) {
+  Table sales = SalesTable(11, 300);
+  DistributedWarehouse dw = MakeWarehouse(sales, 4);
+  CubeSpec spec;
+  spec.detail_table = "sales";
+  spec.dims = {"region", "product"};
+  spec.aggs = {{AggKind::kAvg, "qty", "avg_qty"}};
+  Table reference = ComputeCubeCentralized(dw, spec).ValueOrDie();
+  for (int mask = 0; mask < 16; ++mask) {
+    OptimizerOptions o;
+    o.coalescing = mask & 1;
+    o.indep_group_reduction = mask & 2;
+    o.aware_group_reduction = mask & 4;
+    o.sync_reduction = mask & 8;
+    Table cube = ComputeCubeDistributed(dw, spec, o).ValueOrDie();
+    EXPECT_TRUE(cube.SameRows(reference)) << "mask " << mask;
+  }
+}
+
+TEST(CubeTest, RollupMatchesDirectComputation) {
+  Table sales = SalesTable(29, 600);
+  DistributedWarehouse dw = MakeWarehouse(sales, 4);
+  CubeSpec spec;
+  spec.detail_table = "sales";
+  spec.dims = {"region", "product"};
+  spec.aggs = {{AggKind::kCountStar, "", "n"},
+               {AggKind::kSum, "qty", "total"},
+               {AggKind::kAvg, "qty", "avg_qty"},
+               {AggKind::kMin, "qty", "lo"},
+               {AggKind::kMax, "qty", "hi"}};
+
+  Table reference = ComputeCubeCentralized(dw, spec).ValueOrDie();
+  ExecStats direct_stats;
+  Table direct = ComputeCubeDistributed(dw, spec, OptimizerOptions::All(),
+                                        &direct_stats)
+                     .ValueOrDie();
+  ExecStats rollup_stats;
+  Table rollup =
+      ComputeCubeByRollup(dw, spec, OptimizerOptions::All(), &rollup_stats)
+          .ValueOrDie();
+
+  EXPECT_TRUE(direct.SameRows(reference));
+  EXPECT_TRUE(rollup.SameRows(reference))
+      << "rollup:\n"
+      << rollup.ToString(40) << "reference:\n"
+      << reference.ToString(40);
+  // One distributed query instead of 2^k: far fewer rounds and bytes.
+  EXPECT_LT(rollup_stats.rounds.size(), direct_stats.rounds.size());
+  EXPECT_LT(rollup_stats.TotalBytes(), direct_stats.TotalBytes());
+}
+
+TEST(UnpivotTest, BasicReshape) {
+  SchemaPtr schema = Schema::Make({{"id", ValueType::kInt64},
+                                   {"a", ValueType::kInt64},
+                                   {"b", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  t.AppendUnchecked({Value(1), Value(10), Value(20)});
+  t.AppendUnchecked({Value(2), Value(30), Value::Null()});
+  Table u = Unpivot(t, {"a", "b"}, "attr", "val").ValueOrDie();
+  // Row 1 yields two rows; row 2 yields one (NULL dropped).
+  ASSERT_EQ(u.num_rows(), 3u);
+  ASSERT_EQ(u.num_columns(), 3u);  // id, attr, val.
+  EXPECT_EQ(u.schema()->field(1).name, "attr");
+  u.SortRows();
+  EXPECT_EQ(u.at(0, 0).int64(), 1);
+  EXPECT_EQ(u.at(0, 1).str(), "a");
+  EXPECT_EQ(u.at(0, 2).int64(), 10);
+}
+
+TEST(UnpivotTest, MixedNumericTypesWiden) {
+  SchemaPtr schema = Schema::Make({{"i", ValueType::kInt64},
+                                   {"f", ValueType::kFloat64}})
+                         .ValueOrDie();
+  Table t(schema);
+  t.AppendUnchecked({Value(1), Value(2.5)});
+  Table u = Unpivot(t, {"i", "f"}, "attr", "val").ValueOrDie();
+  EXPECT_EQ(u.schema()->field(1).type, ValueType::kFloat64);
+}
+
+TEST(UnpivotTest, IncompatibleTypesFail) {
+  SchemaPtr schema = Schema::Make({{"i", ValueType::kInt64},
+                                   {"s", ValueType::kString}})
+                         .ValueOrDie();
+  Table t(schema);
+  EXPECT_TRUE(
+      Unpivot(t, {"i", "s"}, "attr", "val").status().IsTypeError());
+  EXPECT_TRUE(Unpivot(t, {}, "attr", "val").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Unpivot(t, {"missing"}, "attr", "val").status().IsNotFound());
+}
+
+TEST(MarginalsTest, CountsMatchDirectScan) {
+  Table sales = SalesTable(17, 400);
+  DistributedWarehouse dw = MakeWarehouse(sales, 2);
+  Table marginals = ComputeMarginalsDistributed(
+                        dw, "sales", {"region", "product"},
+                        OptimizerOptions::All())
+                        .ValueOrDie();
+  // Every count matches a direct scan of the whole relation.
+  for (size_t r = 0; r < marginals.num_rows(); ++r) {
+    const std::string& attr = marginals.at(r, 0).str();
+    const std::string& rendered = marginals.at(r, 1).str();
+    int64_t count = marginals.at(r, 2).int64();
+    size_t col = static_cast<size_t>(sales.schema()->IndexOf(attr));
+    int64_t expected = 0;
+    for (size_t i = 0; i < sales.num_rows(); ++i) {
+      if (sales.at(i, col).ToString() == rendered) ++expected;
+    }
+    EXPECT_EQ(count, expected) << attr << "=" << rendered;
+  }
+  // Per attribute, counts add up to the table size.
+  int64_t region_total = 0;
+  for (size_t r = 0; r < marginals.num_rows(); ++r) {
+    if (marginals.at(r, 0).str() == "region") {
+      region_total += marginals.at(r, 2).int64();
+    }
+  }
+  EXPECT_EQ(region_total, 400);
+}
+
+TEST(MultiFeatureTest, CountAtMinMatchesManualComputation) {
+  Table sales = SalesTable(23, 300);
+  DistributedWarehouse dw = MakeWarehouse(sales, 3);
+
+  MultiFeatureSpec spec;
+  spec.detail_table = "sales";
+  spec.group_columns = {"region"};
+  spec.inner = {AggKind::kMin, "qty", "min_qty"};
+  spec.compare_column = "qty";
+  spec.compare_op = BinaryOp::kEq;
+  spec.outer = {{AggKind::kCountStar, "", "at_min"}};
+
+  GmdjExpr query = BuildMultiFeatureQuery(spec).ValueOrDie();
+  Table result = dw.Execute(query, OptimizerOptions::All()).ValueOrDie();
+  Table reference = dw.ExecuteCentralized(query).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(reference));
+
+  result.SortRowsBy({0});
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    int64_t region = result.at(r, 0).int64();
+    int64_t min_qty = result.at(r, 1).int64();
+    int64_t at_min = result.at(r, 2).int64();
+    int64_t expect_min = INT64_MAX;
+    for (size_t i = 0; i < sales.num_rows(); ++i) {
+      if (sales.at(i, 0).int64() == region) {
+        expect_min = std::min(expect_min, sales.at(i, 2).int64());
+      }
+    }
+    int64_t expect_count = 0;
+    for (size_t i = 0; i < sales.num_rows(); ++i) {
+      if (sales.at(i, 0).int64() == region &&
+          sales.at(i, 2).int64() == expect_min) {
+        ++expect_count;
+      }
+    }
+    EXPECT_EQ(min_qty, expect_min);
+    EXPECT_EQ(at_min, expect_count);
+  }
+}
+
+TEST(MultiFeatureTest, ValidationErrors) {
+  MultiFeatureSpec spec;
+  spec.detail_table = "sales";
+  spec.inner = {AggKind::kMin, "qty", "m"};
+  spec.compare_column = "qty";
+  spec.outer = {{AggKind::kCountStar, "", "c"}};
+  // Missing group columns.
+  EXPECT_TRUE(BuildMultiFeatureQuery(spec).status().IsInvalidArgument());
+  spec.group_columns = {"region"};
+  spec.outer.clear();
+  EXPECT_TRUE(BuildMultiFeatureQuery(spec).status().IsInvalidArgument());
+  spec.outer = {{AggKind::kCountStar, "", "c"}};
+  spec.compare_op = BinaryOp::kAdd;
+  EXPECT_TRUE(BuildMultiFeatureQuery(spec).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skalla

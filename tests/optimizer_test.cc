@@ -1,0 +1,273 @@
+// Egil optimizer analyses: coalescing legality, Prop. 2 / Corollary 1
+// eligibility, and Theorem 4 site-filter derivation (value sets and
+// interval bounds, including the paper's arithmetic example).
+
+#include "opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "expr/builder.h"
+
+namespace skalla {
+namespace {
+
+GmdjOp MakeOp(std::string detail, std::vector<GmdjBlock> blocks) {
+  GmdjOp op;
+  op.detail_table = std::move(detail);
+  op.blocks = std::move(blocks);
+  return op;
+}
+
+ExprPtr KeyEq() { return Eq(RCol("g"), BCol("g")); }
+
+TEST(CoalescingTest, IndependentOpsCoalesce) {
+  GmdjOp first = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c1"}}, KeyEq()}});
+  GmdjOp second = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c2"}},
+                      And(KeyEq(), Gt(RCol("v"), Lit(Value(5))))}});
+  EXPECT_TRUE(Egil::CanCoalesce(first, second));
+}
+
+TEST(CoalescingTest, CorrelatedOpsDoNotCoalesce) {
+  GmdjOp first = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kAvg, "v", "a1"}}, KeyEq()}});
+  GmdjOp second = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c2"}},
+                      And(KeyEq(), Ge(RCol("v"), BCol("a1")))}});
+  EXPECT_FALSE(Egil::CanCoalesce(first, second));
+}
+
+TEST(CoalescingTest, DifferentDetailTablesDoNotCoalesce) {
+  GmdjOp first = MakeOp(
+      "t1", {GmdjBlock{{{AggKind::kCountStar, "", "c1"}}, KeyEq()}});
+  GmdjOp second = MakeOp(
+      "t2", {GmdjBlock{{{AggKind::kCountStar, "", "c2"}}, KeyEq()}});
+  EXPECT_FALSE(Egil::CanCoalesce(first, second));
+}
+
+TEST(CoalescingTest, ChainOfThreeCollapsesToOne) {
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {"g"}, true, nullptr};
+  for (int i = 0; i < 3; ++i) {
+    expr.ops.push_back(MakeOp(
+        "t", {GmdjBlock{{{AggKind::kCountStar, "", StrCat("c", i)}},
+                        KeyEq()}}));
+  }
+  Egil egil(OptimizerOptions{true, false, false, false}, 2);
+  DistributedPlan plan = egil.Optimize(expr).ValueOrDie();
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].op.blocks.size(), 3u);
+}
+
+TEST(Prop2Test, Eligibility) {
+  GmdjOp good = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}}, KeyEq()}});
+  BaseQuery base{"t", {"g"}, true, nullptr};
+  EXPECT_TRUE(Egil::BaseSyncSkippable(base, good));
+
+  // WHERE on the base query breaks the premise.
+  BaseQuery filtered{"t", {"g"}, true, Gt(RCol("v"), Lit(Value(0)))};
+  EXPECT_FALSE(Egil::BaseSyncSkippable(filtered, good));
+
+  // Non-distinct projection breaks it.
+  BaseQuery dup{"t", {"g"}, false, nullptr};
+  EXPECT_FALSE(Egil::BaseSyncSkippable(dup, good));
+
+  // Different detail relation breaks it.
+  BaseQuery other{"other", {"g"}, true, nullptr};
+  EXPECT_FALSE(Egil::BaseSyncSkippable(other, good));
+
+  // A block that does not entail key equality breaks it.
+  GmdjOp weak = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}}, KeyEq()},
+            GmdjBlock{{{AggKind::kCountStar, "", "c2"}},
+                      Gt(RCol("v"), Lit(Value(0)))}});
+  EXPECT_FALSE(Egil::BaseSyncSkippable(base, weak));
+
+  // Multi-column keys need every column entailed.
+  BaseQuery two{"t", {"g", "h"}, true, nullptr};
+  EXPECT_FALSE(Egil::BaseSyncSkippable(two, good));
+  GmdjOp both = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                      And(KeyEq(), Eq(RCol("h"), BCol("h")))}});
+  EXPECT_TRUE(Egil::BaseSyncSkippable(two, both));
+}
+
+class FilterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two sites; site 0 holds g in {1, 2} with v range [0, 10]; site 1
+    // holds g in {3} with v range [100, 200].
+    info_ = PartitionInfo(2);
+    ColumnDistribution g0;
+    g0.values.emplace();
+    g0.values->Insert(Value(1));
+    g0.values->Insert(Value(2));
+    g0.min = 1;
+    g0.max = 2;
+    ColumnDistribution g1;
+    g1.values.emplace();
+    g1.values->Insert(Value(3));
+    g1.min = 3;
+    g1.max = 3;
+    info_.SetDistribution(0, "g", std::move(g0));
+    info_.SetDistribution(1, "g", std::move(g1));
+    ColumnDistribution v0;
+    v0.min = 0;
+    v0.max = 10;
+    ColumnDistribution v1;
+    v1.min = 100;
+    v1.max = 200;
+    info_.SetDistribution(0, "v", std::move(v0));
+    info_.SetDistribution(1, "v", std::move(v1));
+  }
+
+  PartitionInfo info_;
+};
+
+TEST_F(FilterFixture, PartitionAttributeDetection) {
+  EXPECT_TRUE(info_.IsPartitionAttribute("g"));
+  EXPECT_FALSE(info_.IsPartitionAttribute("v"));  // Only ranges known...
+}
+
+TEST_F(FilterFixture, PartitionEntailment) {
+  Egil egil(OptimizerOptions::All(), 2);
+  egil.SetPartitionInfo("t", &info_);
+  GmdjOp op = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}}, KeyEq()}});
+  EXPECT_TRUE(egil.HasPartitionEntailment(op, {"g"}));
+  EXPECT_FALSE(egil.HasPartitionEntailment(op, {"v"}));
+  GmdjOp non_entailing = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                      Gt(RCol("v"), BCol("g"))}});
+  EXPECT_FALSE(egil.HasPartitionEntailment(non_entailing, {"g"}));
+}
+
+TEST_F(FilterFixture, DerivedFiltersRestrictCorrectly) {
+  // Sync reduction off, so the base synchronizes and the GMDJ stage gets
+  // per-site aware-GR filters.
+  OptimizerOptions aware_only;
+  aware_only.aware_group_reduction = true;
+  Egil egil(aware_only, 2);
+  egil.SetPartitionInfo("t", &info_);
+
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {"g"}, true, nullptr};
+  expr.ops.push_back(MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}}, KeyEq()},
+            GmdjBlock{{{AggKind::kCountStar, "", "c2"}},
+                      And(KeyEq(), Gt(RCol("v"), Lit(Value(50))))}}));
+
+  DistributedPlan plan = egil.Optimize(expr).ValueOrDie();
+  ASSERT_EQ(plan.stages.size(), 1u);
+  ASSERT_EQ(plan.stages[0].site_base_filters.size(), 2u);
+
+  SchemaPtr base_schema =
+      Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  for (size_t site = 0; site < 2; ++site) {
+    const ExprPtr& filter = plan.stages[0].site_base_filters[site];
+    ASSERT_NE(filter, nullptr) << "site " << site;
+    ExprPtr bound = filter->Bind(base_schema.get(), nullptr).ValueOrDie();
+    Row g1 = {Value(1)};
+    Row g3 = {Value(3)};
+    if (site == 0) {
+      EXPECT_TRUE(bound->EvalBool(&g1, nullptr));
+      EXPECT_FALSE(bound->EvalBool(&g3, nullptr));
+    } else {
+      EXPECT_FALSE(bound->EvalBool(&g1, nullptr));
+      EXPECT_TRUE(bound->EvalBool(&g3, nullptr));
+    }
+  }
+}
+
+TEST_F(FilterFixture, PaperArithmeticExample) {
+  // Sect. 4.1: θ revised to b.X + b.Y < r.v * 2. At site 0, v in [0,10]
+  // so ¬ψ_0 is b.X + b.Y < 20; at site 1, v in [100,200] so < 400.
+  Egil egil(OptimizerOptions::All(), 2);
+  egil.SetPartitionInfo("t", &info_);
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {"X", "Y"}, true, nullptr};
+  expr.ops.push_back(MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                      Lt(Add(BCol("X"), BCol("Y")),
+                         Mul(RCol("v"), Lit(Value(2))))}}));
+  DistributedPlan plan = egil.Optimize(expr).ValueOrDie();
+  ASSERT_EQ(plan.stages[0].site_base_filters.size(), 2u);
+
+  SchemaPtr base_schema = Schema::Make({{"X", ValueType::kInt64},
+                                        {"Y", ValueType::kInt64}})
+                              .ValueOrDie();
+  ExprPtr f0 = plan.stages[0].site_base_filters[0]
+                   ->Bind(base_schema.get(), nullptr)
+                   .ValueOrDie();
+  ExprPtr f1 = plan.stages[0].site_base_filters[1]
+                   ->Bind(base_schema.get(), nullptr)
+                   .ValueOrDie();
+  Row sum15 = {Value(10), Value(5)};   // X+Y = 15.
+  Row sum30 = {Value(20), Value(10)};  // X+Y = 30.
+  Row sum500 = {Value(400), Value(100)};
+  EXPECT_TRUE(f0->EvalBool(&sum15, nullptr));    // 15 < 20.
+  EXPECT_FALSE(f0->EvalBool(&sum30, nullptr));   // 30 >= 20.
+  EXPECT_TRUE(f1->EvalBool(&sum30, nullptr));    // 30 < 400.
+  EXPECT_FALSE(f1->EvalBool(&sum500, nullptr));  // 500 >= 400.
+}
+
+TEST_F(FilterFixture, NoRestrictionMeansNullFilter) {
+  Egil egil(OptimizerOptions::All(), 2);
+  egil.SetPartitionInfo("t", &info_);
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {"g"}, true, nullptr};
+  // Condition over an untracked column: no filter derivable. Also not
+  // Prop2-eligible, so the base syncs and the stage would otherwise get
+  // filters.
+  expr.ops.push_back(MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                      Gt(RCol("untracked"), BCol("g"))}}));
+  DistributedPlan plan = egil.Optimize(expr).ValueOrDie();
+  EXPECT_TRUE(plan.stages[0].site_base_filters.empty());
+}
+
+TEST(OptimizerTest, NoPartitionInfoDisablesDistributionAwareParts) {
+  Egil egil(OptimizerOptions::All(), 4);
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {"g"}, true, nullptr};
+  GmdjOp op1 = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kAvg, "v", "a"}}, KeyEq()}});
+  GmdjOp op2 = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                      And(KeyEq(), Ge(RCol("v"), BCol("a")))}});
+  expr.ops = {op1, op2};
+  DistributedPlan plan = egil.Optimize(expr).ValueOrDie();
+  // Prop. 2 still applies (purely syntactic), but Cor. 1 cannot without
+  // partition knowledge: stage 1 must synchronize, and no site filters.
+  EXPECT_FALSE(plan.sync_base);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_TRUE(plan.stages[0].sync_after);
+  EXPECT_TRUE(plan.stages[0].site_base_filters.empty());
+  EXPECT_TRUE(plan.stages[1].site_base_filters.empty());
+}
+
+TEST(OptimizerTest, IndepGrOnlyWhenCoordinatorKnowsGroups) {
+  // With sync_reduction skipping the base sync, the first synchronized
+  // round is from-scratch: indep-GR must NOT be applied there (dropping a
+  // zero-|RNG| group would lose it entirely), but IS applied afterwards.
+  Egil egil(OptimizerOptions::All(), 2);
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {"g"}, true, nullptr};
+  GmdjOp op1 = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kAvg, "v", "a"}}, KeyEq()}});
+  GmdjOp op2 = MakeOp(
+      "t", {GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                      And(KeyEq(), Ge(RCol("v"), BCol("a")))}});
+  expr.ops = {op1, op2};
+  DistributedPlan plan = egil.Optimize(expr).ValueOrDie();
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_FALSE(plan.sync_base);
+  EXPECT_FALSE(plan.stages[0].indep_group_reduction);
+  EXPECT_TRUE(plan.stages[1].indep_group_reduction);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,115 @@
+// Plan rendering, round counting, and the EXPLAIN report.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dist/warehouse.h"
+#include "opt/explain.h"
+#include "sql/parser.h"
+
+namespace skalla {
+namespace {
+
+Table MakeData() {
+  Random rng(101);
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"v", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (int i = 0; i < 400; ++i) {
+    t.AppendUnchecked(
+        {Value(rng.UniformInt(0, 19)), Value(rng.UniformInt(0, 99))});
+  }
+  return t;
+}
+
+GmdjExpr CorrelatedQuery() {
+  return ParseQuery(R"(
+    BASE SELECT DISTINCT g FROM d;
+    MD USING d COMPUTE COUNT(*) AS c, AVG(v) AS a WHERE r.g = b.g;
+    MD USING d COMPUTE COUNT(*) AS c2
+       WHERE r.g = b.g AND r.v >= b.a;
+  )").ValueOrDie();
+}
+
+class PlanExplainTest : public ::testing::Test {
+ protected:
+  PlanExplainTest() : dw_(4) {
+    dw_.AddTablePartitionedBy("d", MakeData(), "g", {"v"}).Check();
+  }
+  DistributedWarehouse dw_;
+};
+
+TEST_F(PlanExplainTest, PlanToStringShowsFlags) {
+  DistributedPlan plan =
+      dw_.Plan(CorrelatedQuery(), OptimizerOptions::All()).ValueOrDie();
+  std::string text = plan.ToString(4);
+  EXPECT_NE(text.find("[no-sync]"), std::string::npos);
+  EXPECT_NE(text.find("sync rounds: 1"), std::string::npos);
+
+  OptimizerOptions gr;
+  gr.indep_group_reduction = true;
+  gr.aware_group_reduction = true;
+  DistributedPlan gr_plan = dw_.Plan(CorrelatedQuery(), gr).ValueOrDie();
+  std::string gr_text = gr_plan.ToString(4);
+  EXPECT_NE(gr_text.find("indep-GR"), std::string::npos);
+  EXPECT_NE(gr_text.find("aware-GR(4/4 sites)"), std::string::npos);
+  EXPECT_EQ(gr_plan.NumSyncRounds(), 3u);
+}
+
+TEST_F(PlanExplainTest, ExplainNarratesOptimizations) {
+  GmdjExpr expr = CorrelatedQuery();
+  OptimizerOptions opts = OptimizerOptions::All();
+  DistributedPlan plan = dw_.Plan(expr, opts).ValueOrDie();
+  CostModel model(4);
+  model.SetPartitionInfo("d", dw_.partition_info("d"));
+
+  std::string text = ExplainPlan(expr, plan, 4, opts, &model);
+  EXPECT_NE(text.find("Prop. 2"), std::string::npos);
+  EXPECT_NE(text.find("Cor. 1"), std::string::npos);
+  EXPECT_NE(text.find("PREDICTED TRANSFER"), std::string::npos);
+  EXPECT_NE(text.find("OPTIMIZATIONS REQUESTED"), std::string::npos);
+}
+
+TEST_F(PlanExplainTest, ExplainNaivePlanSaysSo) {
+  GmdjExpr expr = CorrelatedQuery();
+  DistributedPlan plan =
+      dw_.Plan(expr, OptimizerOptions::None()).ValueOrDie();
+  std::string text =
+      ExplainPlan(expr, plan, 4, OptimizerOptions::None(), nullptr);
+  EXPECT_NE(text.find("no distributed optimizations applied"),
+            std::string::npos);
+  EXPECT_EQ(text.find("PREDICTED TRANSFER"), std::string::npos);
+}
+
+TEST_F(PlanExplainTest, ExplainWithoutKnowledgeDegradesGracefully) {
+  GmdjExpr expr = CorrelatedQuery();
+  OptimizerOptions opts = OptimizerOptions::All();
+  DistributedPlan plan = dw_.Plan(expr, opts).ValueOrDie();
+  CostModel empty_model(4);  // No partition info registered.
+  std::string text = ExplainPlan(expr, plan, 4, opts, &empty_model);
+  EXPECT_NE(text.find("unavailable"), std::string::npos);
+}
+
+TEST_F(PlanExplainTest, PredictionMatchesExecutionInExplain) {
+  // The exact case: prediction printed by EXPLAIN equals what execution
+  // then measures.
+  GmdjExpr expr = ParseQuery(R"(
+    BASE SELECT DISTINCT g FROM d;
+    MD USING d COMPUTE COUNT(*) AS c WHERE r.g = b.g;
+  )").ValueOrDie();
+  OptimizerOptions opts;
+  opts.indep_group_reduction = true;
+  DistributedPlan plan = dw_.Plan(expr, opts).ValueOrDie();
+  CostModel model(4);
+  model.SetPartitionInfo("d", dw_.partition_info("d"));
+  TransferEstimate estimate = model.Estimate(plan).ValueOrDie();
+  ASSERT_TRUE(estimate.exact);
+
+  ExecStats stats;
+  dw_.ExecutePlan(plan, &stats).ValueOrDie();
+  EXPECT_EQ(estimate.TotalTuples(), stats.TotalTuplesTransferred());
+}
+
+}  // namespace
+}  // namespace skalla

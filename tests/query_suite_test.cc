@@ -1,0 +1,263 @@
+// Integration suite: a battery of parsed OLAP queries over the two
+// generated data sets, each executed distributed under both extreme
+// optimizer configurations and checked against centralized evaluation.
+
+#include <gtest/gtest.h>
+
+#include "data/flow_gen.h"
+#include "data/tpcr_gen.h"
+#include "dist/warehouse.h"
+#include "sql/parser.h"
+
+namespace skalla {
+namespace {
+
+struct QueryCase {
+  const char* name;
+  const char* text;
+};
+
+const QueryCase kFlowQueries[] = {
+    {"per_source_totals", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS flows, SUM(NumBytes) AS bytes,
+                 MAX(NumPackets) AS max_pkts
+         WHERE r.SourceAS = b.SourceAS;
+    )"},
+    {"above_average_pairs", R"(
+      BASE SELECT DISTINCT SourceAS, DestAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+         WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS;
+      MD USING flow
+         COMPUTE COUNT(*) AS cnt2
+         WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS
+           AND r.NumBytes >= b.sum1 / b.cnt1;
+    )"},
+    {"web_vs_total_blocks", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS web
+         WHERE r.SourceAS = b.SourceAS
+           AND (r.DestPort = 80 OR r.DestPort = 443)
+         COMPUTE COUNT(*) AS total, AVG(NumBytes) AS avg_bytes
+         WHERE r.SourceAS = b.SourceAS;
+    )"},
+    {"filtered_base", R"(
+      BASE SELECT DISTINCT DestAS FROM flow WHERE NumPackets > 100;
+      MD USING flow
+         COMPUTE COUNT(*) AS big_flows, MIN(NumBytes) AS smallest
+         WHERE r.DestAS = b.DestAS AND r.NumPackets > 100;
+    )"},
+    {"three_round_chain", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE MAX(NumBytes) AS biggest
+         WHERE r.SourceAS = b.SourceAS;
+      MD USING flow
+         COMPUTE COUNT(*) AS at_max
+         WHERE r.SourceAS = b.SourceAS AND r.NumBytes = b.biggest;
+      MD USING flow
+         COMPUTE SUM(NumPackets) AS pkts_at_max
+         WHERE r.SourceAS = b.SourceAS AND r.NumBytes = b.biggest;
+    )"},
+    {"empty_result", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow WHERE SourceAS < 0;
+      MD USING flow
+         COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS;
+    )"},
+    {"non_equi_only", R"(
+      BASE SELECT DISTINCT SourcePort FROM flow WHERE SourcePort < 1100;
+      MD USING flow
+         COMPUTE COUNT(*) AS lower_ports
+         WHERE r.SourcePort < b.SourcePort;
+    )"},
+};
+
+const QueryCase kTpcrQueries[] = {
+    {"clerk_low_cardinality", R"(
+      BASE SELECT DISTINCT Clerk FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS lines, AVG(ExtendedPrice) AS avg_price
+         WHERE r.Clerk = b.Clerk;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS pricey
+         WHERE r.Clerk = b.Clerk AND r.ExtendedPrice >= b.avg_price;
+    )"},
+    {"customer_quantities", R"(
+      BASE SELECT DISTINCT CustKey FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(Quantity) AS big_qty_lines, SUM(Quantity) AS total_qty
+         WHERE r.CustKey = b.CustKey AND r.Quantity > 10
+         COMPUTE MIN(ShipDate) AS first_ship
+         WHERE r.CustKey = b.CustKey;
+    )"},
+    {"segment_rollup", R"(
+      BASE SELECT DISTINCT MktSegment, OrderPriority FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS orders, AVG(Quantity) AS avg_qty
+         WHERE r.MktSegment = b.MktSegment
+           AND r.OrderPriority = b.OrderPriority;
+    )"},
+};
+
+class QuerySuiteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FlowConfig flow_config;
+    flow_config.num_flows = 4000;
+    flow_config.num_routers = 5;
+    flow_config.num_as = 30;
+    TpcrConfig tpcr_config;
+    tpcr_config.num_rows = 6000;
+    tpcr_config.num_customers = 500;
+    tpcr_config.num_clerks = 40;
+
+    warehouse_ = new DistributedWarehouse(5);
+    warehouse_
+        ->AddTablePartitionedBy(
+            "flow", GenerateFlows(flow_config), "RouterId",
+            {"SourceAS", "DestAS", "DestPort", "SourcePort", "NumBytes",
+             "NumPackets"})
+        .Check();
+    warehouse_
+        ->AddTablePartitionedBy(
+            "tpcr", GenerateTpcr(tpcr_config), "NationKey",
+            {"CustKey", "CustName", "Clerk", "MktSegment", "OrderPriority",
+             "Quantity", "ExtendedPrice"})
+        .Check();
+
+    // A second flow relation (a different collection window, say), used
+    // to exercise queries whose detail relation changes across rounds —
+    // Sect. 3.2 notes R_k may differ per GMDJ operator.
+    FlowConfig recent_config = flow_config;
+    recent_config.seed = 99;
+    recent_config.num_flows = 2500;
+    warehouse_
+        ->AddTablePartitionedBy("flow_recent", GenerateFlows(recent_config),
+                                "RouterId", {"SourceAS", "NumBytes"})
+        .Check();
+  }
+
+  static void TearDownTestSuite() {
+    delete warehouse_;
+    warehouse_ = nullptr;
+  }
+
+  void CheckQuery(const QueryCase& q) {
+    SCOPED_TRACE(q.name);
+    auto parsed = ParseQuery(q.text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Table expected = warehouse_->ExecuteCentralized(*parsed).ValueOrDie();
+    for (const OptimizerOptions& opts :
+         {OptimizerOptions::None(), OptimizerOptions::All()}) {
+      ExecStats stats;
+      auto result = warehouse_->Execute(*parsed, opts, &stats);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      // Relative tolerance covers float-sum association-order effects of
+      // distributing AVG/SUM over double-typed measures.
+      EXPECT_TRUE(result->ApproxSameRows(expected, 1e-9))
+          << "opts=" << opts.ToString() << "\nexpected:\n"
+          << expected.ToString(30) << "actual:\n"
+          << result->ToString(30);
+    }
+  }
+
+  static DistributedWarehouse* warehouse_;
+};
+
+DistributedWarehouse* QuerySuiteTest::warehouse_ = nullptr;
+
+TEST_F(QuerySuiteTest, FlowQueries) {
+  for (const QueryCase& q : kFlowQueries) CheckQuery(q);
+}
+
+TEST_F(QuerySuiteTest, TpcrQueries) {
+  for (const QueryCase& q : kTpcrQueries) CheckQuery(q);
+}
+
+TEST_F(QuerySuiteTest, VarianceAndStdDevDistributeCorrectly) {
+  // VAR/STDDEV decompose into (SUM, SUMSQ, COUNT) parts per Gray et
+  // al.'s algebraic classification; the distributed merge must reproduce
+  // centralized results, and centralized results the textbook formula.
+  CheckQuery(QueryCase{"variance", R"(
+    BASE SELECT DISTINCT SourceAS FROM flow;
+    MD USING flow
+       COMPUTE VAR(NumPackets) AS var_pkts,
+               STDDEV(NumPackets) AS sd_pkts,
+               AVG(NumPackets) AS avg_pkts,
+               COUNT(*) AS n
+       WHERE r.SourceAS = b.SourceAS;
+  )"});
+
+  // Spot-check the formula on one group against a manual pass.
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow;
+    MD USING flow
+       COMPUTE VAR(NumPackets) AS v WHERE r.SourceAS = b.SourceAS;
+  )");
+  Table result = warehouse_->Execute(*parsed, OptimizerOptions::All())
+                     .ValueOrDie();
+  const Table* flow =
+      warehouse_->central_catalog().Get("flow").ValueOrDie();
+  size_t sas = static_cast<size_t>(flow->schema()->IndexOf("SourceAS"));
+  size_t pkts =
+      static_cast<size_t>(flow->schema()->IndexOf("NumPackets"));
+  result.SortRowsBy({0});
+  int64_t group = result.at(0, 0).int64();
+  double sum = 0;
+  double sumsq = 0;
+  double n = 0;
+  for (size_t r = 0; r < flow->num_rows(); ++r) {
+    if (flow->at(r, sas).int64() != group) continue;
+    double v = flow->at(r, pkts).AsDouble();
+    sum += v;
+    sumsq += v * v;
+    n += 1;
+  }
+  double expected = sumsq / n - (sum / n) * (sum / n);
+  EXPECT_NEAR(result.at(0, 1).float64(), expected,
+              1e-6 * std::max(1.0, expected));
+}
+
+TEST_F(QuerySuiteTest, DetailRelationMayChangeAcrossRounds) {
+  // MD_1 aggregates over `flow`, MD_2 over `flow_recent`: per source AS,
+  // the historical average and how many recent flows exceed it.
+  CheckQuery(QueryCase{"cross_relation_chain", R"(
+    BASE SELECT DISTINCT SourceAS FROM flow;
+    MD USING flow
+       COMPUTE COUNT(*) AS hist_flows, AVG(NumBytes) AS hist_avg
+       WHERE r.SourceAS = b.SourceAS;
+    MD USING flow_recent
+       COMPUTE COUNT(*) AS recent_above
+       WHERE r.SourceAS = b.SourceAS AND r.NumBytes >= b.hist_avg;
+  )"});
+}
+
+TEST_F(QuerySuiteTest, QueryAgainstMissingColumnFailsCleanly) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT NoSuchColumn FROM flow;
+    MD USING flow COMPUTE COUNT(*) AS c
+       WHERE r.NoSuchColumn = b.NoSuchColumn;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto result = warehouse_->Execute(*parsed, OptimizerOptions::All());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(QuerySuiteTest, DuplicateOutputNameFailsCleanly) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow;
+    MD USING flow
+       COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS
+       COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS;
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto result = warehouse_->Execute(*parsed, OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace skalla {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({{"a", ValueType::kInt64},
+                       {"b", ValueType::kString},
+                       {"c", ValueType::kFloat64}})
+      .ValueOrDie();
+}
+
+TEST(SchemaTest, BasicLookup) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(s->num_fields(), 3u);
+  EXPECT_EQ(s->IndexOf("a"), 0);
+  EXPECT_EQ(s->IndexOf("c"), 2);
+  EXPECT_EQ(s->IndexOf("missing"), -1);
+  EXPECT_TRUE(s->Contains("b"));
+  EXPECT_FALSE(s->Contains("B"));  // Case sensitive.
+}
+
+TEST(SchemaTest, RequireIndexError) {
+  SchemaPtr s = TestSchema();
+  auto r = s->RequireIndex("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_NE(r.status().message().find("nope"), std::string::npos);
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  auto r = Schema::Make({{"x", ValueType::kInt64}, {"x", ValueType::kInt64}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  SchemaPtr s = TestSchema();
+  auto ok = s->AddField({"d", ValueType::kInt64});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->num_fields(), 4u);
+  auto bad = s->AddField({"a", ValueType::kInt64});
+  EXPECT_TRUE(bad.status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, Project) {
+  SchemaPtr s = TestSchema();
+  SchemaPtr p = s->Project({2, 0});
+  ASSERT_EQ(p->num_fields(), 2u);
+  EXPECT_EQ(p->field(0).name, "c");
+  EXPECT_EQ(p->field(1).name, "a");
+}
+
+TEST(RowTest, KeyHashAndEquality) {
+  Row r1 = {Value(1), Value("x"), Value(2.0)};
+  Row r2 = {Value(9), Value("x"), Value(2)};
+  // Keys on columns {1,2} agree (cross-type numeric equality).
+  EXPECT_TRUE(RowKeyEquals(r1, {1, 2}, r2, {1, 2}));
+  EXPECT_EQ(HashRowKey(r1, {1, 2}), HashRowKey(r2, {1, 2}));
+  EXPECT_FALSE(RowKeyEquals(r1, {0}, r2, {0}));
+}
+
+TEST(RowTest, KeyEqualityAcrossDifferentPositions) {
+  Row a = {Value(5), Value("k")};
+  Row b = {Value("k"), Value(5)};
+  EXPECT_TRUE(RowKeyEquals(a, {0, 1}, b, {1, 0}));
+}
+
+TEST(RowTest, CompareRowKeyLexicographic) {
+  Row a = {Value(1), Value(5)};
+  Row b = {Value(1), Value(7)};
+  EXPECT_LT(CompareRowKey(a, b, {0, 1}), 0);
+  EXPECT_EQ(CompareRowKey(a, b, {0}), 0);
+  EXPECT_GT(CompareRowKey(b, a, {1}), 0);
+}
+
+TEST(RowTest, ProjectRow) {
+  Row r = {Value(1), Value(2), Value(3)};
+  Row p = ProjectRow(r, {2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].int64(), 3);
+  EXPECT_EQ(p[1].int64(), 1);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,314 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/local_eval.h"
+#include "data/flow_gen.h"
+#include "expr/builder.h"
+#include "sql/lexer.h"
+
+namespace skalla {
+namespace {
+
+constexpr char kExample1[] = R"(
+  -- The paper's Example 1.
+  BASE SELECT DISTINCT SourceAS, DestAS FROM flow;
+  MD USING flow
+     COMPUTE COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+     WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS;
+  MD USING flow
+     COMPUTE COUNT(*) AS cnt2
+     WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS
+       AND r.NumBytes >= b.sum1 / b.cnt1;
+)";
+
+TEST(LexerTest, TokenizesOperatorsAndKeywords) {
+  auto tokens = Tokenize("SELECT <= <> >= ( ) 3.5 42 'it''s' foo");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = *tokens;
+  ASSERT_EQ(t.size(), 11u);  // Including kEnd.
+  EXPECT_EQ(t[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(t[1].kind, TokenKind::kLe);
+  EXPECT_EQ(t[2].kind, TokenKind::kNe);
+  EXPECT_EQ(t[3].kind, TokenKind::kGe);
+  EXPECT_EQ(t[4].kind, TokenKind::kLParen);
+  EXPECT_EQ(t[5].kind, TokenKind::kRParen);
+  EXPECT_EQ(t[6].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[6].float_value, 3.5);
+  EXPECT_EQ(t[7].kind, TokenKind::kInteger);
+  EXPECT_EQ(t[7].int_value, 42);
+  EXPECT_EQ(t[8].kind, TokenKind::kString);
+  EXPECT_EQ(t[8].text, "it's");
+  EXPECT_EQ(t[9].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[10].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, CommentsAndLineTracking) {
+  auto tokens = Tokenize("a -- comment\n  b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select SeLeCt SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kSelect);
+  }
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("'oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+}
+
+TEST(LexerTest, BadCharacterFails) {
+  auto tokens = Tokenize("a @ b");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(ParserTest, ParsesExample1Structure) {
+  auto parsed = ParseQuery(kExample1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const GmdjExpr& expr = *parsed;
+  EXPECT_EQ(expr.base.table, "flow");
+  ASSERT_EQ(expr.base.columns.size(), 2u);
+  EXPECT_EQ(expr.base.columns[0], "SourceAS");
+  EXPECT_TRUE(expr.base.distinct);
+  ASSERT_EQ(expr.ops.size(), 2u);
+  ASSERT_EQ(expr.ops[0].blocks.size(), 1u);
+  ASSERT_EQ(expr.ops[0].blocks[0].aggs.size(), 2u);
+  EXPECT_EQ(expr.ops[0].blocks[0].aggs[0].kind, AggKind::kCountStar);
+  EXPECT_EQ(expr.ops[0].blocks[0].aggs[1].kind, AggKind::kSum);
+  EXPECT_EQ(expr.ops[0].blocks[0].aggs[1].input, "NumBytes");
+  EXPECT_EQ(expr.ops[0].blocks[0].aggs[1].output, "sum1");
+  ASSERT_EQ(expr.ops[1].blocks.size(), 1u);
+  EXPECT_EQ(expr.ops[1].blocks[0].aggs[0].output, "cnt2");
+}
+
+TEST(ParserTest, ParsedQueryEvaluatesLikeHandBuilt) {
+  FlowConfig config;
+  config.num_flows = 2000;
+  config.num_as = 20;
+  Table flow = GenerateFlows(config);
+  Catalog catalog;
+  catalog.Register("flow", flow);
+
+  GmdjExpr parsed = ParseQuery(kExample1).ValueOrDie();
+
+  GmdjExpr built;
+  built.base = BaseQuery{"flow", {"SourceAS", "DestAS"}, true, nullptr};
+  ExprPtr group = And(Eq(RCol("SourceAS"), BCol("SourceAS")),
+                      Eq(RCol("DestAS"), BCol("DestAS")));
+  GmdjOp md1;
+  md1.detail_table = "flow";
+  md1.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "cnt1"},
+                                  {AggKind::kSum, "NumBytes", "sum1"}},
+                                 group});
+  GmdjOp md2;
+  md2.detail_table = "flow";
+  md2.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "cnt2"}},
+      And(group, Ge(RCol("NumBytes"), Div(BCol("sum1"), BCol("cnt1"))))});
+  built.ops = {md1, md2};
+
+  Table from_parsed = EvalCentralized(parsed, catalog).ValueOrDie();
+  Table from_built = EvalCentralized(built, catalog).ValueOrDie();
+  EXPECT_TRUE(from_parsed.SameRows(from_built));
+}
+
+TEST(ParserTest, MultipleComputeBlocksPerMd) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow;
+    MD USING flow
+       COMPUTE COUNT(*) AS web WHERE r.SourceAS = b.SourceAS
+                                 AND r.DestPort = 80
+       COMPUTE COUNT(*) AS total WHERE r.SourceAS = b.SourceAS;
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->ops.size(), 1u);
+  ASSERT_EQ(parsed->ops[0].blocks.size(), 2u);
+  EXPECT_EQ(parsed->ops[0].blocks[0].aggs[0].output, "web");
+  EXPECT_EQ(parsed->ops[0].blocks[1].aggs[0].output, "total");
+}
+
+TEST(ParserTest, BaseWhereUsesDetailSide) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow WHERE DestPort = 80;
+    MD USING flow COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS;
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_NE(parsed->base.where, nullptr);
+  EXPECT_TRUE(parsed->base.where->ReferencesSide(ExprSide::kDetail));
+  EXPECT_FALSE(parsed->base.where->ReferencesSide(ExprSide::kBase));
+}
+
+TEST(ParserTest, BaseWhereRejectsBaseRefs) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow WHERE b.SourceAS = 1;
+    MD USING flow COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS;
+  )");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, UnqualifiedRefInMdConditionFails) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow;
+    MD USING flow COMPUTE COUNT(*) AS c WHERE SourceAS = b.SourceAS;
+  )");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unqualified"),
+            std::string::npos);
+}
+
+TEST(ParserTest, PrecedenceAndParentheses) {
+  ExprPtr e = ParseExpression("b.x + 2 * r.y >= 10").ValueOrDie();
+  // Expect: (b.x + (2 * r.y)) >= 10.
+  ExprPtr want = Ge(Add(BCol("x"), Mul(Lit(Value(2)), RCol("y"))),
+                    Lit(Value(10)));
+  EXPECT_TRUE(e->Equals(*want)) << e->ToString();
+
+  ExprPtr p = ParseExpression("(b.x + 2) * r.y = 10").ValueOrDie();
+  ExprPtr want_p =
+      Eq(Mul(Add(BCol("x"), Lit(Value(2))), RCol("y")), Lit(Value(10)));
+  EXPECT_TRUE(p->Equals(*want_p)) << p->ToString();
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  ExprPtr e = ParseExpression(
+                  "b.x = 1 OR b.y = 2 AND NOT r.z = 3")
+                  .ValueOrDie();
+  ExprPtr want = Or(Eq(BCol("x"), Lit(Value(1))),
+                    And(Eq(BCol("y"), Lit(Value(2))),
+                        Not(Eq(RCol("z"), Lit(Value(3))))));
+  EXPECT_TRUE(e->Equals(*want)) << e->ToString();
+}
+
+TEST(ParserTest, UnaryMinusAndStrings) {
+  ExprPtr e = ParseExpression("r.v > -5 AND r.name = 'web'").ValueOrDie();
+  ExprPtr want = And(Gt(RCol("v"), Expr::Unary(UnaryOp::kNeg,
+                                               Lit(Value(5)))),
+                     Eq(RCol("name"), Lit(Value("web"))));
+  EXPECT_TRUE(e->Equals(*want)) << e->ToString();
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto parsed = ParseQuery("BASE SELECT FROM flow;");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, MissingSemicolonFails) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS FROM flow
+    MD USING flow COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS;
+  )");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, QueryWithoutMdFails) {
+  auto parsed = ParseQuery("BASE SELECT DISTINCT a FROM t;");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("MD clause"), std::string::npos);
+}
+
+// Property: Expr::ToString emits exactly the parser's expression syntax,
+// so printing and reparsing a random expression is the identity.
+class ExprRoundTripTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ExprPtr RandomExpr(Random* rng, int depth) {
+    if (depth <= 0 || rng->Bernoulli(0.3)) {
+      switch (rng->Uniform(4)) {
+        case 0:
+          return BCol(std::string(1, static_cast<char>('a' + rng->Uniform(4))));
+        case 1:
+          return RCol(std::string(1, static_cast<char>('x' + rng->Uniform(3))));
+        case 2:
+          // Non-negative: a negative literal's canonical parse is unary
+          // minus applied to the magnitude, not a negative literal node.
+          return Lit(Value(rng->UniformInt(0, 100)));
+        default:
+          return Lit(Value(rng->NextString(3)));
+      }
+    }
+    switch (rng->Uniform(6)) {
+      case 0:
+        return And(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+      case 1:
+        return Or(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+      case 2:
+        return Not(RandomExpr(rng, depth - 1));
+      case 3: {
+        BinaryOp cmp[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                          BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+        return Expr::Binary(cmp[rng->Uniform(6)], RandomExpr(rng, depth - 1),
+                            RandomExpr(rng, depth - 1));
+      }
+      case 4: {
+        BinaryOp arith[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                            BinaryOp::kDiv, BinaryOp::kMod};
+        return Expr::Binary(arith[rng->Uniform(5)],
+                            RandomExpr(rng, depth - 1),
+                            RandomExpr(rng, depth - 1));
+      }
+      default:
+        return Expr::Unary(UnaryOp::kNeg, RandomExpr(rng, depth - 1));
+    }
+  }
+};
+
+TEST_P(ExprRoundTripTest, PrintThenParseIsIdentity) {
+  Random rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    ExprPtr original = RandomExpr(&rng, 1 + static_cast<int>(rng.Uniform(4)));
+    std::string text = original->ToString();
+    auto reparsed = ParseExpression(text);
+    ASSERT_TRUE(reparsed.ok()) << text << "\n"
+                               << reparsed.status().ToString();
+    EXPECT_TRUE((*reparsed)->Equals(*original))
+        << "original: " << text
+        << "\nreparsed: " << (*reparsed)->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTripTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+TEST(ParserTest, VarianceAggregates) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT g FROM t;
+    MD USING t
+       COMPUTE VAR(v) AS vv, STDDEV(v) AS sd WHERE r.g = b.g;
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<AggSpec>& aggs = parsed->ops[0].blocks[0].aggs;
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].kind, AggKind::kVarPop);
+  EXPECT_EQ(aggs[1].kind, AggKind::kStdDevPop);
+}
+
+TEST(ParserTest, CountColumnAndAllAggKinds) {
+  auto parsed = ParseQuery(R"(
+    BASE SELECT DISTINCT g FROM t;
+    MD USING t
+       COMPUTE COUNT(v) AS c, SUM(v) AS s, AVG(v) AS a,
+               MIN(v) AS lo, MAX(v) AS hi
+       WHERE r.g = b.g;
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<AggSpec>& aggs = parsed->ops[0].blocks[0].aggs;
+  ASSERT_EQ(aggs.size(), 5u);
+  EXPECT_EQ(aggs[0].kind, AggKind::kCount);
+  EXPECT_EQ(aggs[1].kind, AggKind::kSum);
+  EXPECT_EQ(aggs[2].kind, AggKind::kAvg);
+  EXPECT_EQ(aggs[3].kind, AggKind::kMin);
+  EXPECT_EQ(aggs[4].kind, AggKind::kMax);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace skalla {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "bad column");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad column");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+}
+
+TEST(StatusTest, CopyAndMoveSemantics) {
+  Status original = Status::Internal("boom");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsInternal());
+  EXPECT_TRUE(original.IsInternal());
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsInternal());
+  copy = moved;
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+namespace helpers {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  SKALLA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  SKALLA_RETURN_NOT_OK(Status::OK());
+  *out = v * 2;
+  return Status::OK();
+}
+
+}  // namespace helpers
+
+TEST(MacroTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status s = helpers::UseMacros(-1, &out);
+  EXPECT_TRUE(s.IsOutOfRange());
+  EXPECT_EQ(out, 0);
+}
+
+TEST(MacroTest, AssignOrReturnBindsValue) {
+  int out = 0;
+  Status s = helpers::UseMacros(21, &out);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(out, 42);
+}
+
+}  // namespace
+}  // namespace skalla

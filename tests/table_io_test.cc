@@ -1,0 +1,64 @@
+#include "data/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "data/tpcr_gen.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+class TableIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/skalla_table_io_test";
+    mkdir(dir_.c_str(), 0755);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TableIoTest, RoundTrip) {
+  TpcrConfig config;
+  config.num_rows = 300;
+  Table original = GenerateTpcr(config);
+  std::string path = dir_ + "/t.skt";
+  WriteTableFile(original, path).Check();
+  Table loaded = ReadTableFile(path).ValueOrDie();
+  EXPECT_TRUE(loaded.SameRows(original));
+  EXPECT_TRUE(loaded.schema()->Equals(*original.schema()));
+  std::remove(path.c_str());
+}
+
+TEST_F(TableIoTest, RejectsNonSkallaFiles) {
+  std::string path = dir_ + "/bogus.skt";
+  std::ofstream(path) << "definitely not a table";
+  auto loaded = ReadTableFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadTableFile(dir_ + "/missing.skt").status().IsIOError());
+}
+
+TEST_F(TableIoTest, PartitionSaveLoad) {
+  TpcrConfig config;
+  config.num_rows = 400;
+  Table t = GenerateTpcr(config);
+  std::vector<Table> partitions =
+      PartitionByModulo(t, "NationKey", 3).ValueOrDie();
+  SavePartitions(partitions, dir_, "tpcr").Check();
+  std::vector<Table> loaded = LoadPartitions(dir_, "tpcr").ValueOrDie();
+  ASSERT_EQ(loaded.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(loaded[i].SameRows(partitions[i])) << "partition " << i;
+    std::remove((dir_ + "/tpcr.part" + std::to_string(i) + ".skt").c_str());
+  }
+  EXPECT_TRUE(LoadPartitions(dir_, "tpcr").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,89 @@
+#include "sql/to_sql.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.h"
+#include "sql/parser.h"
+
+namespace skalla {
+namespace {
+
+TEST(ToSqlTest, ExprRendering) {
+  EXPECT_EQ(*ExprToSql(Eq(BCol("a"), RCol("b"))), "(b.a = r.b)");
+  EXPECT_EQ(*ExprToSql(And(Lt(RCol("x"), Lit(Value(5))),
+                           Ne(RCol("s"), Lit(Value("o'k"))))),
+            "((r.x < 5) AND (r.s <> 'o''k'))");
+  EXPECT_EQ(*ExprToSql(Not(Gt(RCol("x"), Lit(Value(1.5))))),
+            "(NOT (r.x > 1.5))");
+  EXPECT_EQ(*ExprToSql(Expr::Binary(BinaryOp::kMod, RCol("x"),
+                                    Lit(Value(2)))),
+            "MOD(r.x, 2)");
+  EXPECT_EQ(*ExprToSql(Expr::Unary(UnaryOp::kNeg, RCol("x"))), "(-r.x)");
+  EXPECT_EQ(*ExprToSql(Lit(Value::Null())), "NULL");
+}
+
+TEST(ToSqlTest, InSetHasNoSqlRendering) {
+  auto set = std::make_shared<ValueSet>();
+  set->Insert(Value(1));
+  auto result = ExprToSql(Expr::InSet(BCol("a"), set));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotImplemented());
+}
+
+TEST(ToSqlTest, Example1Reduction) {
+  GmdjExpr expr = ParseQuery(R"(
+    BASE SELECT DISTINCT SourceAS, DestAS FROM flow;
+    MD USING flow
+       COMPUTE COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+       WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS;
+    MD USING flow
+       COMPUTE COUNT(*) AS cnt2
+       WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS
+         AND r.NumBytes >= b.sum1 / b.cnt1;
+  )").ValueOrDie();
+
+  std::string sql = GmdjToSql(expr).ValueOrDie();
+  // Innermost base projection.
+  EXPECT_NE(sql.find("SELECT DISTINCT r.SourceAS AS SourceAS, "
+                     "r.DestAS AS DestAS FROM flow r"),
+            std::string::npos);
+  // Scalar subqueries for the first operator's aggregates.
+  EXPECT_NE(sql.find("(SELECT COUNT(*) FROM flow r WHERE "
+                     "((r.SourceAS = b.SourceAS) AND "
+                     "(r.DestAS = b.DestAS))) AS cnt1"),
+            std::string::npos);
+  EXPECT_NE(sql.find("AS sum1"), std::string::npos);
+  // The outer operator's correlated condition references the inner
+  // aggregates through the b alias.
+  EXPECT_NE(sql.find("(r.NumBytes >= (b.sum1 / b.cnt1)))) AS cnt2"),
+            std::string::npos);
+  // Two levels of nesting: the inner SELECT appears as FROM (...) b.
+  EXPECT_EQ(static_cast<int>(std::string::npos) != 0, true);
+  size_t first = sql.find("FROM (");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(sql.find("FROM (", first + 1), std::string::npos);
+}
+
+TEST(ToSqlTest, BaseWhereAndAggregateSpellings) {
+  GmdjExpr expr = ParseQuery(R"(
+    BASE SELECT DISTINCT g FROM t WHERE v > 3;
+    MD USING t
+       COMPUTE COUNT(v) AS c, AVG(v) AS a, MIN(v) AS lo, MAX(v) AS hi
+       WHERE r.g = b.g;
+  )").ValueOrDie();
+  std::string sql = GmdjToSql(expr).ValueOrDie();
+  EXPECT_NE(sql.find("FROM t r WHERE (r.v > 3)"), std::string::npos);
+  EXPECT_NE(sql.find("COUNT(r.v)"), std::string::npos);
+  EXPECT_NE(sql.find("AVG(r.v)"), std::string::npos);
+  EXPECT_NE(sql.find("MIN(r.v)"), std::string::npos);
+  EXPECT_NE(sql.find("MAX(r.v)"), std::string::npos);
+}
+
+TEST(ToSqlTest, RequiresBaseColumns) {
+  GmdjExpr expr;
+  expr.base = BaseQuery{"t", {}, true, nullptr};
+  EXPECT_TRUE(GmdjToSql(expr).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skalla

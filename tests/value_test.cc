@@ -1,0 +1,83 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace skalla {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntConstruction) {
+  Value v(42);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, DoubleConstruction) {
+  Value v(2.5);
+  EXPECT_TRUE(v.is_float64());
+  EXPECT_DOUBLE_EQ(v.float64(), 2.5);
+}
+
+TEST(ValueTest, StringConstruction) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.str(), "hello");
+  EXPECT_EQ(v.ToString(), "'hello'");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(3).Equals(Value(3.0)));
+  EXPECT_FALSE(Value(3).Equals(Value(3.5)));
+  EXPECT_TRUE(Value(3).Equals(Value(3)));
+}
+
+TEST(ValueTest, NullEqualsNullForGrouping) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value(0)));
+  EXPECT_FALSE(Value("x").Equals(Value::Null()));
+}
+
+TEST(ValueTest, StringVsNumberNeverEqual) {
+  EXPECT_FALSE(Value("3").Equals(Value(3)));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // NULL < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{-100})), 0);
+  EXPECT_LT(Value(int64_t{1} << 40).Compare(Value("a")), 0);
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2)), 0);
+  EXPECT_EQ(Value(2.0).Compare(Value(2)), 0);
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithCrossTypeEquality) {
+  EXPECT_EQ(Value(7).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_NE(Value(7).Hash(), Value(8).Hash());
+}
+
+TEST(ValueTest, AsDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(Value(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Null().AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value("x").AsDouble(), 0.0);
+}
+
+TEST(ValueTest, LargeIntegersExact) {
+  int64_t big = (int64_t{1} << 62) + 12345;
+  Value v(big);
+  EXPECT_EQ(v.int64(), big);
+  EXPECT_TRUE(v.Equals(Value(big)));
+  EXPECT_FALSE(v.Equals(Value(big + 1)));
+}
+
+}  // namespace
+}  // namespace skalla
