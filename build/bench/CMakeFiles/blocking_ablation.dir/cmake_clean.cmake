@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_ablation.dir/blocking_ablation.cc.o"
+  "CMakeFiles/blocking_ablation.dir/blocking_ablation.cc.o.d"
+  "blocking_ablation"
+  "blocking_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_strategies.dir/cube_strategies.cc.o"
+  "CMakeFiles/cube_strategies.dir/cube_strategies.cc.o.d"
+  "cube_strategies"
+  "cube_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

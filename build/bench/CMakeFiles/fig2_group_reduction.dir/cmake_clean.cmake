@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_group_reduction.dir/fig2_group_reduction.cc.o"
+  "CMakeFiles/fig2_group_reduction.dir/fig2_group_reduction.cc.o.d"
+  "fig2_group_reduction"
+  "fig2_group_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_group_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

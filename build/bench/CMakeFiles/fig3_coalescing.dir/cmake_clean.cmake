@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_coalescing.dir/fig3_coalescing.cc.o"
+  "CMakeFiles/fig3_coalescing.dir/fig3_coalescing.cc.o.d"
+  "fig3_coalescing"
+  "fig3_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

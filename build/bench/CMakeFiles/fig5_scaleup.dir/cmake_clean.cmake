@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scaleup.dir/fig5_scaleup.cc.o"
+  "CMakeFiles/fig5_scaleup.dir/fig5_scaleup.cc.o.d"
+  "fig5_scaleup"
+  "fig5_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelining_ablation.dir/pipelining_ablation.cc.o"
+  "CMakeFiles/pipelining_ablation.dir/pipelining_ablation.cc.o.d"
+  "pipelining_ablation"
+  "pipelining_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelining_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem2_bounds.dir/theorem2_bounds.cc.o"
+  "CMakeFiles/theorem2_bounds.dir/theorem2_bounds.cc.o.d"
+  "theorem2_bounds"
+  "theorem2_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem2_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

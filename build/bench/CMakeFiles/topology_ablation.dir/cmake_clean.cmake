@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_ablation.dir/topology_ablation.cc.o"
+  "CMakeFiles/topology_ablation.dir/topology_ablation.cc.o.d"
+  "topology_ablation"
+  "topology_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

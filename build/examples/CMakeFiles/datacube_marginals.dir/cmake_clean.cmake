@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_marginals.dir/datacube_marginals.cpp.o"
+  "CMakeFiles/datacube_marginals.dir/datacube_marginals.cpp.o.d"
+  "datacube_marginals"
+  "datacube_marginals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_marginals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_flow_analysis.dir/ip_flow_analysis.cpp.o"
+  "CMakeFiles/ip_flow_analysis.dir/ip_flow_analysis.cpp.o.d"
+  "ip_flow_analysis"
+  "ip_flow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_flow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ip_flow_analysis.
+# This may be replaced when dependencies are built.

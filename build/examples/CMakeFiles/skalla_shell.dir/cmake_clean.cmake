@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skalla_shell.dir/skalla_shell.cpp.o"
+  "CMakeFiles/skalla_shell.dir/skalla_shell.cpp.o.d"
+  "skalla_shell"
+  "skalla_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skalla_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

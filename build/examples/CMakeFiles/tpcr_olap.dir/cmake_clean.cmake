@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcr_olap.dir/tpcr_olap.cpp.o"
+  "CMakeFiles/tpcr_olap.dir/tpcr_olap.cpp.o.d"
+  "tpcr_olap"
+  "tpcr_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcr_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

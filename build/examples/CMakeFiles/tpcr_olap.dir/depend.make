@@ -1,0 +1,2 @@
+# Empty dependencies file for tpcr_olap.
+# This may be replaced when dependencies are built.

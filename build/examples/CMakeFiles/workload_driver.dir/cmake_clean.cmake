@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_driver.dir/workload_driver.cpp.o"
+  "CMakeFiles/workload_driver.dir/workload_driver.cpp.o.d"
+  "workload_driver"
+  "workload_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

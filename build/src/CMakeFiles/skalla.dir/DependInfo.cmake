@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/accumulator.cc" "src/CMakeFiles/skalla.dir/agg/accumulator.cc.o" "gcc" "src/CMakeFiles/skalla.dir/agg/accumulator.cc.o.d"
+  "/root/repo/src/agg/aggregate.cc" "src/CMakeFiles/skalla.dir/agg/aggregate.cc.o" "gcc" "src/CMakeFiles/skalla.dir/agg/aggregate.cc.o.d"
+  "/root/repo/src/columnar/column.cc" "src/CMakeFiles/skalla.dir/columnar/column.cc.o" "gcc" "src/CMakeFiles/skalla.dir/columnar/column.cc.o.d"
+  "/root/repo/src/columnar/column_table.cc" "src/CMakeFiles/skalla.dir/columnar/column_table.cc.o" "gcc" "src/CMakeFiles/skalla.dir/columnar/column_table.cc.o.d"
+  "/root/repo/src/columnar/vector_eval.cc" "src/CMakeFiles/skalla.dir/columnar/vector_eval.cc.o" "gcc" "src/CMakeFiles/skalla.dir/columnar/vector_eval.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/skalla.dir/common/random.cc.o" "gcc" "src/CMakeFiles/skalla.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/skalla.dir/common/status.cc.o" "gcc" "src/CMakeFiles/skalla.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/skalla.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/skalla.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/skalla.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/skalla.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/gmdj.cc" "src/CMakeFiles/skalla.dir/core/gmdj.cc.o" "gcc" "src/CMakeFiles/skalla.dir/core/gmdj.cc.o.d"
+  "/root/repo/src/core/local_eval.cc" "src/CMakeFiles/skalla.dir/core/local_eval.cc.o" "gcc" "src/CMakeFiles/skalla.dir/core/local_eval.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/skalla.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/skalla.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/flow_gen.cc" "src/CMakeFiles/skalla.dir/data/flow_gen.cc.o" "gcc" "src/CMakeFiles/skalla.dir/data/flow_gen.cc.o.d"
+  "/root/repo/src/data/table_io.cc" "src/CMakeFiles/skalla.dir/data/table_io.cc.o" "gcc" "src/CMakeFiles/skalla.dir/data/table_io.cc.o.d"
+  "/root/repo/src/data/tpcr_gen.cc" "src/CMakeFiles/skalla.dir/data/tpcr_gen.cc.o" "gcc" "src/CMakeFiles/skalla.dir/data/tpcr_gen.cc.o.d"
+  "/root/repo/src/dist/async_exec.cc" "src/CMakeFiles/skalla.dir/dist/async_exec.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/async_exec.cc.o.d"
+  "/root/repo/src/dist/coordinator.cc" "src/CMakeFiles/skalla.dir/dist/coordinator.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/coordinator.cc.o.d"
+  "/root/repo/src/dist/exec.cc" "src/CMakeFiles/skalla.dir/dist/exec.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/exec.cc.o.d"
+  "/root/repo/src/dist/fault.cc" "src/CMakeFiles/skalla.dir/dist/fault.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/fault.cc.o.d"
+  "/root/repo/src/dist/plan.cc" "src/CMakeFiles/skalla.dir/dist/plan.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/plan.cc.o.d"
+  "/root/repo/src/dist/site.cc" "src/CMakeFiles/skalla.dir/dist/site.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/site.cc.o.d"
+  "/root/repo/src/dist/tree.cc" "src/CMakeFiles/skalla.dir/dist/tree.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/tree.cc.o.d"
+  "/root/repo/src/dist/warehouse.cc" "src/CMakeFiles/skalla.dir/dist/warehouse.cc.o" "gcc" "src/CMakeFiles/skalla.dir/dist/warehouse.cc.o.d"
+  "/root/repo/src/expr/analysis.cc" "src/CMakeFiles/skalla.dir/expr/analysis.cc.o" "gcc" "src/CMakeFiles/skalla.dir/expr/analysis.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/skalla.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/skalla.dir/expr/expr.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/skalla.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/skalla.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/skalla.dir/net/network.cc.o" "gcc" "src/CMakeFiles/skalla.dir/net/network.cc.o.d"
+  "/root/repo/src/net/serde.cc" "src/CMakeFiles/skalla.dir/net/serde.cc.o" "gcc" "src/CMakeFiles/skalla.dir/net/serde.cc.o.d"
+  "/root/repo/src/olap/cube.cc" "src/CMakeFiles/skalla.dir/olap/cube.cc.o" "gcc" "src/CMakeFiles/skalla.dir/olap/cube.cc.o.d"
+  "/root/repo/src/olap/multifeature.cc" "src/CMakeFiles/skalla.dir/olap/multifeature.cc.o" "gcc" "src/CMakeFiles/skalla.dir/olap/multifeature.cc.o.d"
+  "/root/repo/src/olap/unpivot.cc" "src/CMakeFiles/skalla.dir/olap/unpivot.cc.o" "gcc" "src/CMakeFiles/skalla.dir/olap/unpivot.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/CMakeFiles/skalla.dir/opt/cost_model.cc.o" "gcc" "src/CMakeFiles/skalla.dir/opt/cost_model.cc.o.d"
+  "/root/repo/src/opt/explain.cc" "src/CMakeFiles/skalla.dir/opt/explain.cc.o" "gcc" "src/CMakeFiles/skalla.dir/opt/explain.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/skalla.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/skalla.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/opt/options.cc" "src/CMakeFiles/skalla.dir/opt/options.cc.o" "gcc" "src/CMakeFiles/skalla.dir/opt/options.cc.o.d"
+  "/root/repo/src/relalg/operators.cc" "src/CMakeFiles/skalla.dir/relalg/operators.cc.o" "gcc" "src/CMakeFiles/skalla.dir/relalg/operators.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/skalla.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/skalla.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/skalla.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/skalla.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/to_sql.cc" "src/CMakeFiles/skalla.dir/sql/to_sql.cc.o" "gcc" "src/CMakeFiles/skalla.dir/sql/to_sql.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/skalla.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/skalla.dir/sql/token.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/skalla.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/skalla.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/CMakeFiles/skalla.dir/storage/hash_index.cc.o" "gcc" "src/CMakeFiles/skalla.dir/storage/hash_index.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/skalla.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/skalla.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/skalla.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/skalla.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/row.cc" "src/CMakeFiles/skalla.dir/types/row.cc.o" "gcc" "src/CMakeFiles/skalla.dir/types/row.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/skalla.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/skalla.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/skalla.dir/types/value.cc.o" "gcc" "src/CMakeFiles/skalla.dir/types/value.cc.o.d"
+  "/root/repo/src/types/value_set.cc" "src/CMakeFiles/skalla.dir/types/value_set.cc.o" "gcc" "src/CMakeFiles/skalla.dir/types/value_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

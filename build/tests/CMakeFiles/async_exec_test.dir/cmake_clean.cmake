@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_exec_test.dir/async_exec_test.cc.o"
+  "CMakeFiles/async_exec_test.dir/async_exec_test.cc.o.d"
+  "async_exec_test"
+  "async_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_exec_test.dir/dist_exec_test.cc.o"
+  "CMakeFiles/dist_exec_test.dir/dist_exec_test.cc.o.d"
+  "dist_exec_test"
+  "dist_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

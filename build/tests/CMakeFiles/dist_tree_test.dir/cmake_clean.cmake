@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_tree_test.dir/dist_tree_test.cc.o"
+  "CMakeFiles/dist_tree_test.dir/dist_tree_test.cc.o.d"
+  "dist_tree_test"
+  "dist_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

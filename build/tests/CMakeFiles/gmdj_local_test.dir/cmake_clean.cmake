@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmdj_local_test.dir/gmdj_local_test.cc.o"
+  "CMakeFiles/gmdj_local_test.dir/gmdj_local_test.cc.o.d"
+  "gmdj_local_test"
+  "gmdj_local_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmdj_local_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

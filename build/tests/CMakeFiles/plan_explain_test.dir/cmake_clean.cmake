@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_explain_test.dir/plan_explain_test.cc.o"
+  "CMakeFiles/plan_explain_test.dir/plan_explain_test.cc.o.d"
+  "plan_explain_test"
+  "plan_explain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_suite_test.dir/query_suite_test.cc.o"
+  "CMakeFiles/query_suite_test.dir/query_suite_test.cc.o.d"
+  "query_suite_test"
+  "query_suite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

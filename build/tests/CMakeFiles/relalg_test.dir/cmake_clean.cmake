@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relalg_test.dir/relalg_test.cc.o"
+  "CMakeFiles/relalg_test.dir/relalg_test.cc.o.d"
+  "relalg_test"
+  "relalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_persistence_test.dir/warehouse_persistence_test.cc.o"
+  "CMakeFiles/warehouse_persistence_test.dir/warehouse_persistence_test.cc.o.d"
+  "warehouse_persistence_test"
+  "warehouse_persistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
