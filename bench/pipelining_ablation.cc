@@ -90,7 +90,8 @@ void Run() {
 }  // namespace
 }  // namespace skalla
 
-int main() {
+int main(int argc, char** argv) {
+  skalla::bench::ObsSession obs(argc, argv);
   skalla::Run();
   return 0;
 }

@@ -15,6 +15,12 @@
 //   .opt all|none          optimizer configuration
 //   .opt +coal +igr +agr +sync   enable individual optimizations
 //   .explain on|off        print plans before executing (default on)
+//   .analyze on|off        print EXPLAIN ANALYZE after executing: the
+//                          plan tree annotated with the measured
+//                          per-stage bytes/tuples/timings (default off)
+//   .trace <path>|off      enable tracing; after every query, write the
+//                          accumulated Chrome trace-event JSON to <path>
+//                          (open in chrome://tracing or ui.perfetto.dev)
 //   .load <file.csv> <name> <partition_column>
 //   .save <directory>      persist the warehouse (binary partitions)
 //   .quit
@@ -28,6 +34,8 @@
 #include "data/flow_gen.h"
 #include "data/tpcr_gen.h"
 #include "dist/warehouse.h"
+#include "obs/obs.h"
+#include "obs/stats_report.h"
 #include "opt/cost_model.h"
 #include "opt/explain.h"
 #include "sql/parser.h"
@@ -104,8 +112,8 @@ class Shell {
     if (name == ".help") {
       std::printf(
           ".tables | .schema <t> | .opt all|none|+coal|+igr|+agr|+sync | "
-          ".explain on|off | .load <csv> <name> <col> | .save <dir> | "
-          ".quit\n");
+          ".explain on|off | .analyze on|off | .trace <path>|off | "
+          ".load <csv> <name> <col> | .save <dir> | .quit\n");
     } else if (name == ".tables") {
       for (const std::string& t :
            warehouse_.central_catalog().TableNames()) {
@@ -136,6 +144,22 @@ class Shell {
     } else if (name == ".explain" && args.size() >= 2) {
       explain_ = args[1] == "on";
       std::printf("explain %s\n", explain_ ? "on" : "off");
+    } else if (name == ".analyze" && args.size() >= 2) {
+      analyze_ = args[1] == "on";
+      std::printf("analyze %s\n", analyze_ ? "on" : "off");
+    } else if (name == ".trace" && args.size() >= 2) {
+      if (args[1] == "off") {
+        obs::Tracer::Global().set_enabled(false);
+        trace_path_.clear();
+        std::printf("trace off\n");
+      } else if (!obs::TracingCompiledIn()) {
+        std::printf("tracing unavailable: built with SKALLA_TRACING=OFF\n");
+      } else {
+        trace_path_ = args[1];
+        obs::Tracer::Global().set_enabled(true);
+        std::printf("tracing to %s (written after every query)\n",
+                    trace_path_.c_str());
+      }
     } else if (name == ".load" && args.size() >= 4) {
       LoadCsv(args[1], args[2], args[3]);
     } else if (name == ".save" && args.size() >= 2) {
@@ -205,13 +229,29 @@ class Shell {
     Table table = std::move(*result);
     table.SortRows();
     std::printf("%s", table.ToString(20).c_str());
-    std::printf("(%zu rows)\n%s\n", table.num_rows(),
-                stats.ToString().c_str());
+    if (analyze_) {
+      obs::StatsReportOptions report_options;
+      report_options.include_trace_tree = !trace_path_.empty();
+      std::printf("(%zu rows)\n%s\n", table.num_rows(),
+                  obs::FormatStatsReport(*plan, stats, kSites,
+                                         report_options)
+                      .c_str());
+    } else {
+      std::printf("(%zu rows)\n%s\n", table.num_rows(),
+                  stats.ToString().c_str());
+    }
+    if (!trace_path_.empty()) {
+      if (!obs::Tracer::Global().WriteChromeJson(trace_path_)) {
+        std::printf("failed to write trace to %s\n", trace_path_.c_str());
+      }
+    }
   }
 
   DistributedWarehouse warehouse_;
   OptimizerOptions options_;
   bool explain_ = true;
+  bool analyze_ = false;
+  std::string trace_path_;
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "dist/coordinator.h"
 #include "net/channel.h"
 #include "net/serde.h"
+#include "obs/obs.h"
 
 namespace skalla {
 
@@ -91,6 +92,13 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
+  SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
+  SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
+  SKALLA_SPAN_ATTR(exec_span, "stages",
+                   static_cast<uint64_t>(plan.stages.size()));
+  SKALLA_SPAN_ATTR(exec_span, "mode", "async");
+  SKALLA_COUNTER_ADD("skalla.exec.plans", 1);
+
   ThreadPool pool(num_threads_ == 0 ? n : num_threads_);
   Coordinator coordinator(plan.key_columns);
   std::vector<Table> local_base(n);
@@ -114,13 +122,21 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     RoundStats rs;
     rs.label = "base";
     rs.synchronized = plan.sync_base;
+    SKALLA_TRACE_SPAN(round_span, "round:base", "executor");
+    SKALLA_SPAN_ATTR(round_span, "sync",
+                     plan.sync_base ? "true" : "false");
     Stopwatch wall;
     MessageChannel channel;
     for (size_t i = 0; i < n; ++i) {
       pool.Submit([&, i] {
+        SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
+        SKALLA_SPAN_ATTR(site_span, "site",
+                         static_cast<int64_t>(sites_[i].id()));
+        SKALLA_SPAN_ATTR(site_span, "round", "base");
         Stopwatch timer;
         Result<Table> b_i = sites_[i].ExecuteBaseQuery(plan.base);
         double elapsed = timer.ElapsedSeconds();
+        SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
         {
           std::lock_guard<std::mutex> lock(time_mu);
           rs.site_time_max = std::max(rs.site_time_max, elapsed);
@@ -160,6 +176,8 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     pool.Wait();
     SKALLA_RETURN_NOT_OK(first_error);
     rs.wall_time = wall.ElapsedSeconds();
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
     st.rounds.push_back(std::move(rs));
   }
 
@@ -169,6 +187,9 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     RoundStats rs;
     rs.label = StrCat("md", k + 1);
     rs.synchronized = stage.sync_after;
+    SKALLA_TRACE_SPAN(round_span, StrCat("round:", rs.label), "executor");
+    SKALLA_SPAN_ATTR(round_span, "sync",
+                     stage.sync_after ? "true" : "false");
     Stopwatch wall;
 
     SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
@@ -218,6 +239,10 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     for (size_t i = 0; i < n; ++i) {
       if (!active[i]) continue;
       pool.Submit([&, i, distribute] {
+        SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
+        SKALLA_SPAN_ATTR(site_span, "site",
+                         static_cast<int64_t>(sites_[i].id()));
+        SKALLA_SPAN_ATTR(site_span, "round", rs.label);
         Stopwatch timer;
         Status status = Status::OK();
         Table base_in;
@@ -241,6 +266,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           if (!result.ok()) status = result.status();
         }
         double elapsed = timer.ElapsedSeconds();
+        SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
         {
           std::lock_guard<std::mutex> lock(time_mu);
           rs.site_time_max = std::max(rs.site_time_max, elapsed);
@@ -304,6 +330,10 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     SKALLA_ASSIGN_OR_RETURN(upstream,
                             stage.op.OutputSchema(*upstream, detail_schema));
     rs.wall_time = wall.ElapsedSeconds();
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_sites", rs.tuples_to_sites);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
     st.rounds.push_back(std::move(rs));
   }
 

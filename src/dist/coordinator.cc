@@ -1,7 +1,9 @@
 #include "dist/coordinator.h"
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/obs.h"
 #include "types/row.h"
 
 namespace skalla {
@@ -23,6 +25,10 @@ Status Coordinator::MergeBaseFragment(const Table& fragment) {
         StrCat("base fragment arity ", fragment.num_columns(),
                " does not match base schema arity ", x_.num_columns()));
   }
+  SKALLA_TRACE_SPAN(merge_span, "coord.merge_base", "coordinator");
+  SKALLA_SPAN_ATTR(merge_span, "rows",
+                   static_cast<uint64_t>(fragment.num_rows()));
+  SKALLA_OBS_ONLY(Stopwatch merge_timer;)
   for (size_t r = 0; r < fragment.num_rows(); ++r) {
     const Row& row = fragment.row(r);
     uint64_t h = HashRow(row);
@@ -39,6 +45,8 @@ Status Coordinator::MergeBaseFragment(const Table& fragment) {
       x_.AppendUnchecked(row);
     }
   }
+  SKALLA_HISTOGRAM_RECORD("skalla.coord.merge_us",
+                          static_cast<double>(merge_timer.ElapsedMicros()));
   return Status::OK();
 }
 
@@ -131,6 +139,9 @@ Status Coordinator::MergeFragment(const Table& h) {
         StrCat("partial result arity ", h.num_columns(), ", expected ",
                expected));
   }
+  SKALLA_TRACE_SPAN(merge_span, "coord.merge", "coordinator");
+  SKALLA_SPAN_ATTR(merge_span, "rows", static_cast<uint64_t>(h.num_rows()));
+  SKALLA_OBS_ONLY(Stopwatch merge_timer;)
   for (size_t r = 0; r < h.num_rows(); ++r) {
     const Row& incoming = h.row(r);
     int64_t row_id = LookupKey(incoming);
@@ -156,6 +167,8 @@ Status Coordinator::MergeFragment(const Table& h) {
           MergePartial(target[col], incoming[col], parts_[p].merge);
     }
   }
+  SKALLA_HISTOGRAM_RECORD("skalla.coord.merge_us",
+                          static_cast<double>(merge_timer.ElapsedMicros()));
   return Status::OK();
 }
 
@@ -183,6 +196,9 @@ Result<Table> Coordinator::TakeBaseFragment() {
 
 Status Coordinator::FinalizeRound() {
   if (!in_round_) return Status::Internal("FinalizeRound outside a round");
+  SKALLA_TRACE_SPAN(finalize_span, "coord.finalize", "coordinator");
+  SKALLA_SPAN_ATTR(finalize_span, "groups",
+                   static_cast<uint64_t>(working_.num_rows()));
   std::vector<Field> fields;
   fields.reserve(upstream_width_ + agg_specs_.size());
   for (size_t i = 0; i < upstream_width_; ++i) {

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "net/serde.h"
+#include "obs/obs.h"
 #include "relalg/operators.h"
 
 namespace skalla {
@@ -227,6 +228,12 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
+  SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
+  SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
+  SKALLA_SPAN_ATTR(exec_span, "stages",
+                   static_cast<uint64_t>(plan.stages.size()));
+  SKALLA_COUNTER_ADD("skalla.exec.plans", 1);
+
   Coordinator coordinator(plan.key_columns);
   std::vector<Table> local_base(n);
   bool have_global = false;
@@ -242,8 +249,15 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     RoundStats rs;
     rs.label = "base";
     rs.synchronized = plan.sync_base;
+    SKALLA_TRACE_SPAN(round_span, "round:base", "executor");
+    SKALLA_SPAN_ATTR(round_span, "sync",
+                     plan.sync_base ? "true" : "false");
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
+      SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
+      SKALLA_SPAN_ATTR(site_span, "site",
+                       static_cast<int64_t>(sites_[i].id()));
+      SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
       Result<Table> b_i = Status::Internal("unset");
       size_t retries = 0;
@@ -257,9 +271,11 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                             : Result<Table>(injected);
         if (b_i.ok() || attempt >= options_.max_site_retries) break;
         ++retries;
+        SKALLA_COUNTER_ADD("skalla.net.retries", 1);
       }
       if (!b_i.ok()) return b_i.status();
       double elapsed = timer.ElapsedSeconds();
+      SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
       std::lock_guard<std::mutex> lock(mu);
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
@@ -284,6 +300,8 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
       }
       have_global = true;
     }
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
     st.rounds.push_back(std::move(rs));
   }
 
@@ -293,6 +311,9 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     RoundStats rs;
     rs.label = StrCat("md", k + 1);
     rs.synchronized = stage.sync_after;
+    SKALLA_TRACE_SPAN(round_span, StrCat("round:", rs.label), "executor");
+    SKALLA_SPAN_ATTR(round_span, "sync",
+                     stage.sync_after ? "true" : "false");
 
     SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
                             sites_[0].catalog().Get(stage.op.detail_table));
@@ -346,6 +367,10 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
       if (!active[i]) return Status::OK();
+      SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
+      SKALLA_SPAN_ATTR(site_span, "site",
+                       static_cast<int64_t>(sites_[i].id()));
+      SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
       Result<Table> attempt_result = Status::Internal("unset");
       size_t retries = 0;
@@ -364,6 +389,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
           break;
         }
         ++retries;
+        SKALLA_COUNTER_ADD("skalla.net.retries", 1);
       }
       if (!attempt_result.ok()) return attempt_result.status();
       Table result = std::move(*attempt_result);
@@ -371,6 +397,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
         SKALLA_ASSIGN_OR_RETURN(result, ApplyRngFilter(result));
       }
       double elapsed = timer.ElapsedSeconds();
+      SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
       std::lock_guard<std::mutex> lock(mu);
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
@@ -412,6 +439,10 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
 
     SKALLA_ASSIGN_OR_RETURN(
         upstream, stage.op.OutputSchema(*upstream, detail_schema));
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_sites", rs.tuples_to_sites);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
     st.rounds.push_back(std::move(rs));
   }
 

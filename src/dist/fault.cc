@@ -1,6 +1,7 @@
 #include "dist/fault.h"
 
 #include "common/string_util.h"
+#include "obs/obs.h"
 
 namespace skalla {
 
@@ -13,6 +14,11 @@ Status TransientFaultInjector::BeforeSiteRound(int site,
   }
   if (attempt < failures_) {
     injected_.fetch_add(1);
+    SKALLA_TRACE_INSTANT_ATTRS("fault.injected", "fault",
+                               {{"site", StrCat(site)},
+                                {"round", round},
+                                {"kind", "transient"}});
+    SKALLA_COUNTER_ADD("skalla.fault.injected", 1);
     return Status::IOError(StrCat("injected transient failure at site ",
                                   site, " round ", round, " (attempt ",
                                   attempt + 1, ")"));
@@ -23,6 +29,11 @@ Status TransientFaultInjector::BeforeSiteRound(int site,
 Status PermanentSiteFailure::BeforeSiteRound(int site,
                                              const std::string& round) {
   if (site == site_) {
+    SKALLA_TRACE_INSTANT_ATTRS("fault.injected", "fault",
+                               {{"site", StrCat(site)},
+                                {"round", round},
+                                {"kind", "permanent"}});
+    SKALLA_COUNTER_ADD("skalla.fault.injected", 1);
     return Status::IOError(
         StrCat("site ", site, " is down (round ", round, ")"));
   }

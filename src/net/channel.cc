@@ -1,8 +1,15 @@
 #include "net/channel.h"
 
+#include "common/string_util.h"
+#include "obs/obs.h"
+
 namespace skalla {
 
 void MessageChannel::Send(int from, std::vector<uint8_t> bytes) {
+  SKALLA_TRACE_INSTANT_ATTRS(
+      "channel.send", "network",
+      {{"from", StrCat(from)}, {"bytes", StrCat(bytes.size())}});
+  SKALLA_COUNTER_ADD("skalla.net.channel.sends", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(ChannelMessage{from, std::move(bytes)});
@@ -11,10 +18,17 @@ void MessageChannel::Send(int from, std::vector<uint8_t> bytes) {
 }
 
 ChannelMessage MessageChannel::Receive() {
+  // The span covers the blocking wait: in the async executor this is the
+  // coordinator idling for the next site fragment.
+  SKALLA_TRACE_SPAN(recv_span, "channel.recv", "network");
   std::unique_lock<std::mutex> lock(mu_);
   available_.wait(lock, [this] { return !queue_.empty(); });
   ChannelMessage message = std::move(queue_.front());
   queue_.pop_front();
+  SKALLA_SPAN_ATTR(recv_span, "from", static_cast<int64_t>(message.from));
+  SKALLA_SPAN_ATTR(recv_span, "bytes",
+                   static_cast<uint64_t>(message.bytes.size()));
+  SKALLA_COUNTER_ADD("skalla.net.channel.recvs", 1);
   return message;
 }
 

@@ -1,14 +1,25 @@
 #include "net/network.h"
 
+#include "common/string_util.h"
+#include "obs/obs.h"
+
 namespace skalla {
 
 double SimulatedNetwork::Transfer(int from, int to, uint64_t bytes) {
+  SKALLA_TRACE_SPAN(send_span, "net.send", "network");
+  SKALLA_SPAN_ATTR(send_span, "from", static_cast<int64_t>(from));
+  SKALLA_SPAN_ATTR(send_span, "to", static_cast<int64_t>(to));
+  SKALLA_SPAN_ATTR(send_span, "bytes", bytes);
+  SKALLA_COUNTER_ADD("skalla.net.messages", 1);
+  SKALLA_COUNTER_ADD("skalla.net.bytes", bytes);
   total_bytes_ += bytes;
   total_messages_ += 1;
   LinkStats& link = links_[{from, to}];
   link.messages += 1;
   link.bytes += bytes;
-  return TransferTime(bytes);
+  double modeled = TransferTime(bytes);
+  SKALLA_SPAN_ATTR(send_span, "modeled_ms", modeled * 1e3);
+  return modeled;
 }
 
 LinkStats SimulatedNetwork::Link(int from, int to) const {

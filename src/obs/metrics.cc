@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+namespace obs {
+
+// --- Histogram -----------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  SKALLA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bucket bounds must be sorted ascending");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(double value) {
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1e7);  // 10 s.
+  return bounds;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& instrument = instruments_[name];
+  SKALLA_CHECK(instrument.gauge == nullptr && instrument.histogram == nullptr,
+               name.c_str());
+  if (instrument.counter == nullptr) {
+    instrument.counter = std::make_unique<Counter>();
+  }
+  return *instrument.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& instrument = instruments_[name];
+  SKALLA_CHECK(instrument.counter == nullptr &&
+                   instrument.histogram == nullptr,
+               name.c_str());
+  if (instrument.gauge == nullptr) {
+    instrument.gauge = std::make_unique<Gauge>();
+  }
+  return *instrument.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& instrument = instruments_[name];
+  SKALLA_CHECK(instrument.counter == nullptr && instrument.gauge == nullptr,
+               name.c_str());
+  if (instrument.histogram == nullptr) {
+    if (bounds.empty()) bounds = Histogram::LatencyBucketsUs();
+    instrument.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *instrument.histogram;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, instrument] : instruments_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrPrintf("  \"%s\": ", name.c_str());
+    if (instrument.counter != nullptr) {
+      out += StrPrintf("%llu", static_cast<unsigned long long>(
+                                   instrument.counter->value()));
+    } else if (instrument.gauge != nullptr) {
+      out += StrPrintf("%.6g", instrument.gauge->value());
+    } else {
+      const Histogram& h = *instrument.histogram;
+      out += StrPrintf("{\"count\":%llu,\"sum\":%.6g,\"mean\":%.6g,"
+                       "\"buckets\":[",
+                       static_cast<unsigned long long>(h.count()), h.sum(),
+                       h.mean());
+      for (size_t i = 0; i <= h.bounds().size(); ++i) {
+        if (i > 0) out += ",";
+        if (i < h.bounds().size()) {
+          out += StrPrintf("{\"le\":%.6g,\"n\":%llu}", h.bounds()[i],
+                           static_cast<unsigned long long>(
+                               h.bucket_count(i)));
+        } else {
+          out += StrPrintf("{\"le\":\"inf\",\"n\":%llu}",
+                           static_cast<unsigned long long>(
+                               h.bucket_count(i)));
+        }
+      }
+      out += "]}";
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, instrument] : instruments_) {
+    (void)name;
+    if (instrument.counter != nullptr) {
+      instrument.counter->Reset();
+    } else if (instrument.gauge != nullptr) {
+      instrument.gauge->Set(0.0);
+    } else if (instrument.histogram != nullptr) {
+      instrument.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace skalla

@@ -1,0 +1,113 @@
+// Instrumentation macros: the only way production code should touch the
+// tracing/metrics layer.
+//
+// Compile-time gate: when the build defines SKALLA_TRACING=1 (the CMake
+// option of the same name, ON by default), the macros emit spans into
+// obs::Tracer::Global() and updates into obs::MetricsRegistry::Global().
+// When it is off, every macro expands to a no-op statement — zero code
+// in the hot path, and argument expressions are never evaluated.
+//
+// Run-time gate: even when compiled in, spans record nothing until
+// obs::Tracer::Global().set_enabled(true); disabled-tracer spans cost a
+// single relaxed atomic load. Metric updates are always live when
+// compiled in (a relaxed fetch_add).
+//
+//   {
+//     SKALLA_TRACE_SPAN(span, "round:md1", "executor");
+//     SKALLA_SPAN_ATTR(span, "sites", num_sites);
+//     ...
+//   }                         // span ends here
+//   SKALLA_TRACE_INSTANT("fault.injected", "fault");
+//   SKALLA_COUNTER_ADD("skalla.net.retries", 1);
+//   SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed_us);
+
+#ifndef SKALLA_OBS_OBS_H_
+#define SKALLA_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace skalla {
+namespace obs {
+
+/// True when the build compiled the instrumentation macros in.
+constexpr bool TracingCompiledIn() {
+#if defined(SKALLA_TRACING) && SKALLA_TRACING
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace obs
+}  // namespace skalla
+
+#if defined(SKALLA_TRACING) && SKALLA_TRACING
+
+/// Declares a RAII span named `var` covering the rest of the scope.
+#define SKALLA_TRACE_SPAN(var, name, category) \
+  ::skalla::obs::Span var =                    \
+      ::skalla::obs::Tracer::Global().StartSpan((name), (category))
+
+/// Attaches an attribute to a span declared with SKALLA_TRACE_SPAN.
+#define SKALLA_SPAN_ATTR(var, key, value) var.AddAttr((key), (value))
+
+/// Ends a span declared with SKALLA_TRACE_SPAN before scope exit.
+#define SKALLA_SPAN_END(var) var.End()
+
+/// Records an instant event (a zero-duration mark on the timeline).
+#define SKALLA_TRACE_INSTANT(name, category) \
+  ::skalla::obs::Tracer::Global().Instant((name), (category))
+
+/// Instant event with attributes: pass a braced initializer list of
+/// {"key", "value"} string pairs as the third argument.
+#define SKALLA_TRACE_INSTANT_ATTRS(name, category, ...) \
+  ::skalla::obs::Tracer::Global().Instant((name), (category), __VA_ARGS__)
+
+/// Adds `delta` to the named global counter.
+#define SKALLA_COUNTER_ADD(name, delta) \
+  ::skalla::obs::MetricsRegistry::Global().GetCounter(name).Add(delta)
+
+/// Sets the named global gauge.
+#define SKALLA_GAUGE_SET(name, value) \
+  ::skalla::obs::MetricsRegistry::Global().GetGauge(name).Set(value)
+
+/// Records a sample into the named global histogram (latency buckets).
+#define SKALLA_HISTOGRAM_RECORD(name, value) \
+  ::skalla::obs::MetricsRegistry::Global().GetHistogram(name).Record(value)
+
+/// Emits the enclosed statements only in tracing builds — for setup code
+/// (timers, locals) that exists solely to feed the other macros.
+#define SKALLA_OBS_ONLY(...) __VA_ARGS__
+
+#else  // !SKALLA_TRACING: everything expands to a no-op statement.
+
+#define SKALLA_TRACE_SPAN(var, name, category) \
+  do {                                         \
+  } while (false)
+#define SKALLA_SPAN_ATTR(var, key, value) \
+  do {                                    \
+  } while (false)
+#define SKALLA_SPAN_END(var) \
+  do {                       \
+  } while (false)
+#define SKALLA_TRACE_INSTANT(name, category) \
+  do {                                       \
+  } while (false)
+#define SKALLA_TRACE_INSTANT_ATTRS(name, category, ...) \
+  do {                                                  \
+  } while (false)
+#define SKALLA_COUNTER_ADD(name, delta) \
+  do {                                  \
+  } while (false)
+#define SKALLA_GAUGE_SET(name, value) \
+  do {                                \
+  } while (false)
+#define SKALLA_HISTOGRAM_RECORD(name, value) \
+  do {                                       \
+  } while (false)
+#define SKALLA_OBS_ONLY(...)
+
+#endif  // SKALLA_TRACING
+
+#endif  // SKALLA_OBS_OBS_H_

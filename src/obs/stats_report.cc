@@ -1,0 +1,93 @@
+#include "obs/stats_report.h"
+
+#include "common/string_util.h"
+#include "obs/obs.h"
+
+namespace skalla {
+namespace obs {
+
+namespace {
+
+// One annotated stage line: the measured RoundStats columns.
+std::string RoundLine(const RoundStats& r) {
+  std::string out;
+  out += StrPrintf(
+      "    analyzed: %llu bytes / %llu tuples down, %llu bytes / %llu "
+      "tuples up\n",
+      static_cast<unsigned long long>(r.bytes_to_sites),
+      static_cast<unsigned long long>(r.tuples_to_sites),
+      static_cast<unsigned long long>(r.bytes_to_coord),
+      static_cast<unsigned long long>(r.tuples_to_coord));
+  out += StrPrintf(
+      "              site max %.3f ms (sum %.3f ms), coord %.3f ms, comm "
+      "%.3f ms -> response %.3f ms\n",
+      r.site_time_max * 1e3, r.site_time_sum * 1e3, r.coord_time * 1e3,
+      r.comm_time * 1e3, r.ResponseTime() * 1e3);
+  if (r.sites_skipped > 0 || r.site_retries > 0) {
+    out += StrPrintf("              sites skipped %zu, retries %zu\n",
+                     r.sites_skipped, r.site_retries);
+  }
+  if (r.wall_time > 0) {
+    out += StrPrintf("              wall (overlapped) %.3f ms\n",
+                     r.wall_time * 1e3);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatStatsReport(const DistributedPlan& plan,
+                              const ExecStats& stats, size_t num_sites,
+                              const StatsReportOptions& options) {
+  std::string out = "EXPLAIN ANALYZE\n";
+
+  if (stats.rounds.size() != plan.stages.size() + 1) {
+    out += StrPrintf(
+        "  (stats have %zu rounds for a plan with %zu stages + base; "
+        "was this ExecStats produced by this plan?)\n",
+        stats.rounds.size(), plan.stages.size());
+    out += stats.ToString();
+    return out;
+  }
+
+  out += StrCat("  base: ", plan.base.ToString(),
+                plan.sync_base ? " [sync]" : " [no-sync]", "\n");
+  out += RoundLine(stats.rounds[0]);
+  for (size_t k = 0; k < plan.stages.size(); ++k) {
+    out += StrCat("  stage ", k + 1, ": ",
+                  plan.stages[k].ToString(num_sites), "\n");
+    out += RoundLine(stats.rounds[k + 1]);
+  }
+
+  out += StrPrintf(
+      "  total: %llu bytes (%llu down, %llu up), %llu tuples, %zu sync "
+      "rounds, response %.3f ms\n",
+      static_cast<unsigned long long>(stats.TotalBytes()),
+      static_cast<unsigned long long>(stats.TotalBytesToSites()),
+      static_cast<unsigned long long>(stats.TotalBytesToCoord()),
+      static_cast<unsigned long long>(stats.TotalTuplesTransferred()),
+      stats.NumSyncRounds(), stats.ResponseTime() * 1e3);
+
+  if (options.include_trace_tree) {
+    if (TracingCompiledIn() && Tracer::Global().enabled()) {
+      out += "  trace:\n";
+      std::string tree = Tracer::Global().ToTreeString();
+      // Indent the tree under the report.
+      size_t start = 0;
+      while (start < tree.size()) {
+        size_t end = tree.find('\n', start);
+        if (end == std::string::npos) end = tree.size();
+        out += "    " + tree.substr(start, end - start) + "\n";
+        start = end + 1;
+      }
+    } else {
+      out += TracingCompiledIn()
+                 ? "  trace: (tracer disabled; enable with .trace)\n"
+                 : "  trace: (built with SKALLA_TRACING=OFF)\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace skalla

@@ -1,0 +1,39 @@
+// EXPLAIN ANALYZE: joins the distributed plan tree with the per-round
+// ExecStats the executor measured (and, when tracing is enabled, the
+// recorded span tree) into one annotated report — what EXPLAIN predicts,
+// ANALYZE confirms.
+//
+// Every per-stage number is taken from the same RoundStats the executor
+// filled in, so the report's byte/tuple columns sum exactly to the
+// ExecStats totals (tested in tests/exec_stats_test.cc).
+
+#ifndef SKALLA_OBS_STATS_REPORT_H_
+#define SKALLA_OBS_STATS_REPORT_H_
+
+#include <string>
+
+#include "dist/exec.h"
+#include "dist/plan.h"
+
+namespace skalla {
+namespace obs {
+
+struct StatsReportOptions {
+  /// Append the recorded span tree (Tracer::Global().ToTreeString())
+  /// under the per-stage table. Only meaningful when the build has
+  /// SKALLA_TRACING and the global tracer is enabled.
+  bool include_trace_tree = false;
+};
+
+/// Renders the EXPLAIN ANALYZE report for an executed plan. `stats` must
+/// come from executing `plan` (rounds[0] is the base stage; rounds[k+1]
+/// annotates plan.stages[k]); a mismatched pair yields a diagnostic
+/// header instead of per-stage rows.
+std::string FormatStatsReport(const DistributedPlan& plan,
+                              const ExecStats& stats, size_t num_sites,
+                              const StatsReportOptions& options = {});
+
+}  // namespace obs
+}  // namespace skalla
+
+#endif  // SKALLA_OBS_STATS_REPORT_H_

@@ -1,0 +1,285 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace skalla {
+namespace obs {
+
+namespace {
+
+// Tracer identity for the per-thread buffer cache. Serial numbers are
+// never reused, so a died-and-reallocated Tracer cannot alias a stale
+// cache entry.
+std::atomic<uint64_t> g_tracer_serial{0};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Span --------------------------------------------------------------
+
+Span::Span(Tracer* tracer, std::string name, std::string category)
+    : tracer_(tracer) {
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.ts_us = tracer_->NowMicros();
+  event_.id = tracer_->NextSpanId();
+  Tracer::ThreadBuffer* buffer = tracer_->LocalBuffer();
+  event_.tid = buffer->tid;
+  event_.parent_id =
+      buffer->open_spans.empty() ? 0 : buffer->open_spans.back();
+  buffer->open_spans.push_back(event_.id);
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  End();
+  tracer_ = other.tracer_;
+  event_ = std::move(other.event_);
+  other.tracer_ = nullptr;
+  return *this;
+}
+
+void Span::AddAttr(const std::string& key, std::string value) {
+  if (tracer_ == nullptr) return;
+  event_.attrs.emplace_back(key, std::move(value));
+}
+void Span::AddAttr(const std::string& key, const char* value) {
+  AddAttr(key, std::string(value));
+}
+void Span::AddAttr(const std::string& key, int64_t value) {
+  AddAttr(key, StrCat(value));
+}
+void Span::AddAttr(const std::string& key, uint64_t value) {
+  AddAttr(key, StrCat(value));
+}
+void Span::AddAttr(const std::string& key, double value) {
+  AddAttr(key, StrPrintf("%.6g", value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  event_.dur_us = tracer_->NowMicros() - event_.ts_us;
+  Tracer::ThreadBuffer* buffer = tracer_->LocalBuffer();
+  // Pop this span from the open stack (normally the top; search backwards
+  // to stay correct if a caller ends spans out of scope order).
+  for (size_t i = buffer->open_spans.size(); i > 0; --i) {
+    if (buffer->open_spans[i - 1] == event_.id) {
+      buffer->open_spans.erase(buffer->open_spans.begin() +
+                               static_cast<int64_t>(i - 1));
+      break;
+    }
+  }
+  tracer_->Commit(std::move(event_));
+  tracer_ = nullptr;
+}
+
+// --- Tracer --------------------------------------------------------------
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      serial_(g_tracer_serial.fetch_add(1) + 1) {}
+
+Tracer::~Tracer() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (ThreadBuffer* buffer : buffers_) delete buffer;
+  buffers_.clear();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // Leaked: outlives static dtors.
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() const {
+  // Per-thread cache keyed by tracer serial (never reused, so a stale
+  // entry for a destroyed tracer can never alias a live one); one map
+  // lookup per call, no global lock after first use.
+  thread_local std::unordered_map<uint64_t, ThreadBuffer*> cache;
+  auto it = cache.find(serial_);
+  if (it != cache.end()) return it->second;
+  ThreadBuffer* buffer = new ThreadBuffer();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffer->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  cache.emplace(serial_, buffer);
+  return buffer;
+}
+
+void Tracer::Commit(TraceEvent event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+void Tracer::Instant(
+    std::string name, std::string category,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.ts_us = NowMicros();
+  event.dur_us = -1;
+  ThreadBuffer* buffer = LocalBuffer();
+  event.tid = buffer->tid;
+  event.parent_id =
+      buffer->open_spans.empty() ? 0 : buffer->open_spans.back();
+  event.attrs = std::move(attrs);
+  Commit(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+size_t Tracer::NumEvents() const {
+  size_t n = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrPrintf(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%lld,",
+        JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+        e.dur_us < 0 ? "i" : "X", static_cast<long long>(e.ts_us));
+    if (e.dur_us >= 0) {
+      out += StrPrintf("\"dur\":%lld,", static_cast<long long>(e.dur_us));
+    } else {
+      out += "\"s\":\"t\",";
+    }
+    out += StrPrintf("\"pid\":1,\"tid\":%u,\"args\":{",
+                     static_cast<unsigned>(e.tid));
+    bool first_attr = true;
+    if (e.parent_id != 0) {
+      out += StrPrintf("\"parent\":\"%llu\"",
+                       static_cast<unsigned long long>(e.parent_id));
+      first_attr = false;
+    }
+    for (const auto& [key, value] : e.attrs) {
+      if (!first_attr) out += ",";
+      first_attr = false;
+      out += StrPrintf("\"%s\":\"%s\"", JsonEscape(key).c_str(),
+                       JsonEscape(value).c_str());
+    }
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::string Tracer::ToTreeString() const {
+  std::vector<TraceEvent> events = Snapshot();
+
+  // Children of each span id (0 = per-thread roots), in timestamp order
+  // (Snapshot already sorted).
+  std::map<uint64_t, std::vector<const TraceEvent*>> children;
+  std::map<uint32_t, std::vector<const TraceEvent*>> roots_by_tid;
+  for (const TraceEvent& e : events) {
+    if (e.parent_id == 0) {
+      roots_by_tid[e.tid].push_back(&e);
+    } else {
+      children[e.parent_id].push_back(&e);
+    }
+  }
+
+  std::string out;
+  auto render = [&](const TraceEvent* e, size_t depth,
+                    const auto& self) -> void {
+    out.append(2 * depth, ' ');
+    if (e->dur_us < 0) {
+      out += StrPrintf("* %s", e->name.c_str());
+    } else {
+      out += StrPrintf("%s  %.3f ms", e->name.c_str(),
+                       static_cast<double>(e->dur_us) / 1e3);
+    }
+    if (!e->attrs.empty()) {
+      out += "  [";
+      for (size_t i = 0; i < e->attrs.size(); ++i) {
+        if (i > 0) out += " ";
+        out += e->attrs[i].first + "=" + e->attrs[i].second;
+      }
+      out += "]";
+    }
+    out += "\n";
+    auto it = children.find(e->id);
+    if (e->id != 0 && it != children.end()) {
+      for (const TraceEvent* child : it->second) {
+        self(child, depth + 1, self);
+      }
+    }
+  };
+
+  for (const auto& [tid, roots] : roots_by_tid) {
+    out += StrPrintf("thread %u\n", static_cast<unsigned>(tid));
+    for (const TraceEvent* root : roots) render(root, 1, render);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace skalla

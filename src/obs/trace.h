@@ -1,0 +1,167 @@
+// Tracer: low-overhead execution tracing for the distributed executor.
+//
+// RAII Span objects record name, category, start/end timestamps, the
+// enclosing span (per-thread nesting) and arbitrary key/value attributes
+// into per-thread buffers — no locking on the hot path; the global mutex
+// is taken only when a thread registers its buffer (once per thread) and
+// when the trace is drained for export.
+//
+// Two export formats:
+//   * Chrome trace-event JSON ("X" complete events and "i" instants),
+//     loadable in chrome://tracing and https://ui.perfetto.dev;
+//   * a human-readable span tree, for terminal inspection.
+//
+// The tracer is doubly gated: compile-time via the SKALLA_TRACING macro
+// (the SKALLA_TRACE_* / SKALLA_METRIC_* macros in obs/obs.h expand to
+// nothing when it is off, so instrumented hot paths carry zero code) and
+// run-time via Tracer::set_enabled (spans created while disabled record
+// nothing and cost one relaxed atomic load).
+
+#ifndef SKALLA_OBS_TRACE_H_
+#define SKALLA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace skalla {
+namespace obs {
+
+/// One recorded trace event. `dur_us` < 0 marks an instant event.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t ts_us = 0;   // Start, microseconds since the tracer epoch.
+  int64_t dur_us = 0;  // Duration in microseconds; -1 for instants.
+  uint64_t id = 0;     // Span id (0 = none assigned).
+  uint64_t parent_id = 0;  // Enclosing span on the same thread, 0 = root.
+  uint32_t tid = 0;        // Tracer-assigned dense thread id.
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer;
+
+/// RAII span: records a complete ("X") event covering its lifetime.
+/// Movable so helpers can return spans; not copyable.
+class Span {
+ public:
+  /// A disarmed span (records nothing). Used when tracing is disabled.
+  Span() = default;
+
+  Span(Tracer* tracer, std::string name, std::string category);
+  ~Span() { End(); }
+
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value attribute (exported under "args").
+  void AddAttr(const std::string& key, std::string value);
+  void AddAttr(const std::string& key, const char* value);
+  void AddAttr(const std::string& key, int64_t value);
+  void AddAttr(const std::string& key, uint64_t value);
+  void AddAttr(const std::string& key, double value);
+
+  /// Ends the span early (idempotent; the destructor is then a no-op).
+  void End();
+
+  bool armed() const { return tracer_ != nullptr; }
+  uint64_t id() const { return event_.id; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // nullptr = disarmed.
+  TraceEvent event_;
+};
+
+/// Collects events from any number of threads. One global instance
+/// (Tracer::Global()) serves the whole process; tests may construct
+/// private tracers.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  /// The process-wide tracer used by the SKALLA_TRACE_* macros.
+  static Tracer& Global();
+
+  /// Run-time switch. Disabled tracers hand out disarmed spans.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts a span (disarmed when the tracer is disabled).
+  Span StartSpan(std::string name, std::string category) {
+    if (!enabled()) return Span();
+    return Span(this, std::move(name), std::move(category));
+  }
+
+  /// Records an instant event ("i" phase) on the calling thread.
+  void Instant(std::string name, std::string category,
+               std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  /// Microseconds since this tracer's epoch (its construction).
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Snapshots every event recorded so far (all threads), ordered by
+  /// start timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Number of events recorded so far.
+  size_t NumEvents() const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void Clear();
+
+  /// Serializes the trace as Chrome trace-event JSON: an array of
+  /// {"name","cat","ph","ts","dur","pid","tid","args"} objects.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`. Returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  /// Renders the span forest as an indented tree with durations,
+  /// grouped by thread.
+  std::string ToTreeString() const;
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    // Stack of open span ids on this thread, for parent links.
+    std::vector<uint64_t> open_spans;
+    std::mutex mu;  // Guards `events` against concurrent Snapshot().
+  };
+
+  // The calling thread's buffer for this tracer (registered on first use).
+  ThreadBuffer* LocalBuffer() const;
+
+  void Commit(TraceEvent event);
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  const uint64_t serial_;  // Process-unique; keys the per-thread cache.
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{0};
+
+  mutable std::mutex registry_mu_;  // Guards `buffers_`.
+  // Owned; never freed until the tracer dies (threads may outlive their
+  // first use and re-register cheaply via the thread-local cache).
+  mutable std::vector<ThreadBuffer*> buffers_;
+};
+
+}  // namespace obs
+}  // namespace skalla
+
+#endif  // SKALLA_OBS_TRACE_H_

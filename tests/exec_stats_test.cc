@@ -1,0 +1,219 @@
+// ExecStats / RoundStats accounting invariants — on hand-built stats and
+// on stats produced by really executing plans on both executors — plus
+// the EXPLAIN ANALYZE report's consistency with the stats it renders.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "dist/async_exec.h"
+#include "dist/warehouse.h"
+#include "expr/builder.h"
+#include "obs/stats_report.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+RoundStats MakeRound(const char* label, bool sync, uint64_t down_bytes,
+                     uint64_t up_bytes, double site_max, double coord,
+                     double comm) {
+  RoundStats r;
+  r.label = label;
+  r.synchronized = sync;
+  r.bytes_to_sites = down_bytes;
+  r.bytes_to_coord = up_bytes;
+  r.tuples_to_sites = down_bytes / 10;
+  r.tuples_to_coord = up_bytes / 10;
+  r.site_time_max = site_max;
+  r.site_time_sum = site_max * 2;
+  r.coord_time = coord;
+  r.comm_time = comm;
+  return r;
+}
+
+TEST(ExecStatsTest, TotalsAreSumsOverRounds) {
+  ExecStats stats;
+  stats.rounds.push_back(MakeRound("base", true, 0, 1000, 0.5, 0.1, 0.2));
+  stats.rounds.push_back(MakeRound("md1", false, 0, 0, 0.3, 0.0, 0.0));
+  stats.rounds.push_back(MakeRound("md2", true, 400, 2000, 0.7, 0.2, 0.4));
+
+  EXPECT_EQ(stats.TotalBytesToSites(), 400u);
+  EXPECT_EQ(stats.TotalBytesToCoord(), 3000u);
+  EXPECT_EQ(stats.TotalBytes(),
+            stats.TotalBytesToSites() + stats.TotalBytesToCoord());
+  EXPECT_EQ(stats.TotalTuplesTransferred(), 40u + 300u);
+
+  double per_round = 0;
+  for (const RoundStats& r : stats.rounds) per_round += r.ResponseTime();
+  EXPECT_DOUBLE_EQ(stats.ResponseTime(), per_round);
+
+  size_t sync_rounds = 0;
+  for (const RoundStats& r : stats.rounds) {
+    if (r.synchronized) ++sync_rounds;
+  }
+  EXPECT_EQ(stats.NumSyncRounds(), sync_rounds);
+  EXPECT_EQ(stats.NumSyncRounds(), 2u);
+}
+
+TEST(ExecStatsTest, RoundResponseTimeCombinesCommSiteAndCoord) {
+  RoundStats r = MakeRound("base", true, 0, 0, 0.25, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(r.ResponseTime(), 1.0 + 0.25 + 0.5);
+}
+
+TEST(ExecStatsTest, EmptyStatsAreAllZero) {
+  ExecStats stats;
+  EXPECT_EQ(stats.TotalBytes(), 0u);
+  EXPECT_EQ(stats.TotalTuplesTransferred(), 0u);
+  EXPECT_DOUBLE_EQ(stats.ResponseTime(), 0.0);
+  EXPECT_EQ(stats.NumSyncRounds(), 0u);
+}
+
+// --- Invariants on really-executed plans -----------------------------------
+
+Table MakeFlowTable(uint64_t seed, size_t rows) {
+  Random rng(seed);
+  SchemaPtr schema = Schema::Make({{"SAS", ValueType::kInt64},
+                                   {"DAS", ValueType::kInt64},
+                                   {"NB", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked({Value(rng.UniformInt(0, 7)),
+                       Value(rng.UniformInt(0, 5)),
+                       Value(rng.UniformInt(1, 1000))});
+  }
+  return t;
+}
+
+GmdjExpr CorrelatedExpr() {
+  GmdjExpr expr;
+  expr.base = BaseQuery{"flow", {"SAS"}, true, nullptr};
+  ExprPtr group = Eq(RCol("SAS"), BCol("SAS"));
+  GmdjOp md1;
+  md1.detail_table = "flow";
+  md1.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "cnt1"}, {AggKind::kSum, "NB", "sum1"}},
+      group});
+  GmdjOp md2;
+  md2.detail_table = "flow";
+  md2.blocks.push_back(
+      GmdjBlock{{{AggKind::kCountStar, "", "cnt2"}},
+                And(group, Ge(RCol("NB"), Div(BCol("sum1"), BCol("cnt1"))))});
+  expr.ops = {md1, md2};
+  return expr;
+}
+
+void CheckInvariants(const DistributedPlan& plan, const ExecStats& stats) {
+  // One RoundStats per stage plus the base round.
+  ASSERT_EQ(stats.rounds.size(), plan.stages.size() + 1);
+
+  uint64_t down = 0, up = 0, tuples = 0;
+  double response = 0;
+  size_t sync_rounds = 0;
+  for (const RoundStats& r : stats.rounds) {
+    down += r.bytes_to_sites;
+    up += r.bytes_to_coord;
+    tuples += r.tuples_to_sites + r.tuples_to_coord;
+    response += r.ResponseTime();
+    if (r.synchronized) ++sync_rounds;
+  }
+  EXPECT_EQ(stats.TotalBytesToSites(), down);
+  EXPECT_EQ(stats.TotalBytesToCoord(), up);
+  EXPECT_EQ(stats.TotalBytes(),
+            stats.TotalBytesToSites() + stats.TotalBytesToCoord());
+  EXPECT_EQ(stats.TotalTuplesTransferred(), tuples);
+  EXPECT_DOUBLE_EQ(stats.ResponseTime(), response);
+  EXPECT_EQ(stats.NumSyncRounds(), sync_rounds);
+  // The plan promised exactly this many synchronization rounds.
+  EXPECT_EQ(stats.NumSyncRounds(), plan.NumSyncRounds());
+}
+
+TEST(ExecStatsTest, ExecutedPlanSatisfiesInvariants) {
+  Table flow = MakeFlowTable(7, 600);
+  for (int mask = 0; mask < 4; ++mask) {
+    OptimizerOptions opts;
+    opts.indep_group_reduction = mask & 1;
+    opts.sync_reduction = mask & 2;
+    DistributedWarehouse dw(3);
+    dw.AddTablePartitionedBy("flow", flow, "SAS", {"DAS", "NB"}).Check();
+    DistributedPlan plan = dw.Plan(CorrelatedExpr(), opts).ValueOrDie();
+    ExecStats stats;
+    ASSERT_TRUE(dw.ExecutePlan(plan, &stats).ok());
+    CheckInvariants(plan, stats);
+  }
+}
+
+TEST(ExecStatsTest, AsyncExecutorSatisfiesInvariants) {
+  Table flow = MakeFlowTable(11, 600);
+  DistributedWarehouse dw(3);
+  dw.AddTablePartitionedBy("flow", flow, "SAS", {"DAS", "NB"}).Check();
+  DistributedPlan plan =
+      dw.Plan(CorrelatedExpr(), OptimizerOptions::All()).ValueOrDie();
+
+  std::vector<Table> parts =
+      PartitionByModulo(flow, "SAS", 3).ValueOrDie();
+  std::vector<Site> sites;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    Catalog catalog;
+    catalog.Register("flow", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  AsyncExecutor executor(std::move(sites));
+  ExecStats stats;
+  ASSERT_TRUE(executor.Execute(plan, &stats).ok());
+  CheckInvariants(plan, stats);
+}
+
+// --- EXPLAIN ANALYZE consistency --------------------------------------------
+
+TEST(ExecStatsTest, StatsReportRendersPerStageAndTotalCounts) {
+  Table flow = MakeFlowTable(13, 500);
+  DistributedWarehouse dw(3);
+  dw.AddTablePartitionedBy("flow", flow, "SAS", {"DAS", "NB"}).Check();
+  DistributedPlan plan =
+      dw.Plan(CorrelatedExpr(), OptimizerOptions::None()).ValueOrDie();
+  ExecStats stats;
+  ASSERT_TRUE(dw.ExecutePlan(plan, &stats).ok());
+
+  std::string report = obs::FormatStatsReport(plan, stats, 3);
+  // One "analyzed:" line per round (base + each stage).
+  size_t lines = 0;
+  for (size_t pos = report.find("analyzed:"); pos != std::string::npos;
+       pos = report.find("analyzed:", pos + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, stats.rounds.size());
+  // Every per-round byte/tuple figure appears verbatim.
+  for (const RoundStats& r : stats.rounds) {
+    EXPECT_NE(report.find(StrCat(r.bytes_to_coord, " bytes")),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find(StrCat(r.tuples_to_coord, " tuples")),
+              std::string::npos)
+        << report;
+  }
+  // And the totals line matches the ExecStats accessors.
+  EXPECT_NE(report.find(StrCat("total: ", stats.TotalBytes(), " bytes (",
+                               stats.TotalBytesToSites(), " down, ",
+                               stats.TotalBytesToCoord(), " up)")),
+            std::string::npos)
+      << report;
+  EXPECT_NE(
+      report.find(StrCat(stats.NumSyncRounds(), " sync rounds")),
+      std::string::npos)
+      << report;
+}
+
+TEST(ExecStatsTest, StatsReportFlagsMismatchedStats) {
+  DistributedPlan plan;
+  plan.base = BaseQuery{"flow", {"SAS"}, true, nullptr};
+  ExecStats stats;  // No rounds: cannot belong to any executed plan.
+  std::string report = obs::FormatStatsReport(plan, stats, 3);
+  EXPECT_NE(report.find("was this ExecStats produced by this plan?"),
+            std::string::npos)
+      << report;
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,78 @@
+// Verifies the SKALLA_TRACING=OFF contract of obs/obs.h: every
+// instrumentation macro expands to a no-op statement and never evaluates
+// its argument expressions — the disabled hot path carries zero
+// observability work regardless of how the rest of the build was
+// configured.
+//
+// This translation unit force-disables the macro layer before the first
+// include of obs/obs.h, so the test is meaningful in both CI
+// configurations (-DSKALLA_TRACING=ON and OFF).
+
+#undef SKALLA_TRACING
+#define SKALLA_TRACING 0
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+namespace skalla {
+namespace {
+
+static_assert(!obs::TracingCompiledIn(),
+              "obs.h must report tracing compiled out in this TU");
+
+// Each call bumps the counter: the disabled macros must never run these.
+int g_evaluations = 0;
+
+// [[maybe_unused]]: proof of the contract — the disabled macros discard
+// these calls entirely, so the compiler sees no use of either function.
+[[maybe_unused]] const char* EvalName() {
+  ++g_evaluations;
+  return "skalla.test.should_never_exist";
+}
+
+[[maybe_unused]] int64_t EvalValue() {
+  ++g_evaluations;
+  return 1;
+}
+
+TEST(ObsDisabledTest, MacrosDoNotEvaluateTheirArguments) {
+  {
+    SKALLA_TRACE_SPAN(span, EvalName(), EvalName());
+    SKALLA_SPAN_ATTR(span, EvalName(), EvalValue());
+    SKALLA_SPAN_END(span);
+  }
+  SKALLA_TRACE_INSTANT(EvalName(), EvalName());
+  SKALLA_TRACE_INSTANT_ATTRS(EvalName(), EvalName(),
+                             {{EvalName(), EvalName()}});
+  SKALLA_COUNTER_ADD(EvalName(), EvalValue());
+  SKALLA_GAUGE_SET(EvalName(), EvalValue());
+  SKALLA_HISTOGRAM_RECORD(EvalName(), EvalValue());
+  EXPECT_EQ(g_evaluations, 0);
+}
+
+TEST(ObsDisabledTest, ObsOnlyBlockDisappears) {
+  SKALLA_OBS_ONLY(g_evaluations = 100;)
+  EXPECT_EQ(g_evaluations, 0);
+}
+
+TEST(ObsDisabledTest, NothingReachesTheGlobalTracerOrRegistry) {
+  // The macros above must not have touched the process-wide sinks: the
+  // registry never saw the instrument name the argument would have built.
+  EXPECT_EQ(obs::MetricsRegistry::Global().ToJson().find(
+                "skalla.test.should_never_exist"),
+            std::string::npos);
+}
+
+TEST(ObsDisabledTest, MacrosAreStatementsNotDeclarations) {
+  // The disabled forms must still parse as single statements so they can
+  // sit in un-braced control flow exactly like the enabled forms.
+  if (g_evaluations == 0)
+    SKALLA_TRACE_INSTANT(EvalName(), EvalName());
+  else
+    SKALLA_COUNTER_ADD(EvalName(), EvalValue());
+  for (int i = 0; i < 2; ++i) SKALLA_HISTOGRAM_RECORD(EvalName(), i);
+  EXPECT_EQ(g_evaluations, 0);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,151 @@
+// MetricsRegistry unit tests: counter/gauge semantics, histogram
+// bucketing (boundary placement, overflow, default latency buckets),
+// concurrent updates, JSON shape, and Reset.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace skalla {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("skalla.test.counter");
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.value(), 6u);
+  // Lookups by the same name return the same instrument.
+  EXPECT_EQ(&registry.GetCounter("skalla.test.counter"), &c);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeIsLastValueWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("skalla.test.gauge");
+  g.Set(2.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(MetricsTest, HistogramPlacesSamplesInClosedUpperBoundBuckets) {
+  Histogram h({10.0, 100.0, 1000.0});
+  // Bucket i counts samples <= bounds[i]; index 3 is overflow.
+  h.Record(0.0);     // <= 10        -> bucket 0
+  h.Record(10.0);    // == bound     -> bucket 0 (closed upper bound)
+  h.Record(10.5);    // <= 100       -> bucket 1
+  h.Record(100.0);   // == bound     -> bucket 1
+  h.Record(999.9);   // <= 1000      -> bucket 2
+  h.Record(1000.1);  // > last bound -> overflow
+  h.Record(1e9);     //              -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 10.0 + 10.5 + 100.0 + 999.9 + 1000.1 + 1e9);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 7.0);
+}
+
+TEST(MetricsTest, EmptyHistogramHasZeroMean) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsTest, DefaultLatencyBucketsAre125SpacedAndSorted) {
+  std::vector<double> bounds = Histogram::LatencyBucketsUs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e7);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  // The 1-2-5 pattern: each decade contributes 1x, 2x, 5x.
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 5.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 10.0);
+}
+
+TEST(MetricsTest, RegistryHistogramUsesDefaultBucketsWhenUnspecified) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("skalla.test.latency");
+  EXPECT_EQ(h.bounds(), Histogram::LatencyBucketsUs());
+  // Custom bounds apply only on first creation.
+  Histogram& again = registry.GetHistogram("skalla.test.latency", {1.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bounds().size(), Histogram::LatencyBucketsUs().size());
+}
+
+TEST(MetricsTest, ConcurrentUpdatesAreNotLost) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 10000;
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& c = registry.GetCounter("skalla.test.mt_counter");
+      Histogram& h = registry.GetHistogram("skalla.test.mt_hist", {0.5});
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        c.Add(1);
+        h.Record(static_cast<double>(i % 2));  // Half bucket 0, half overflow.
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("skalla.test.mt_counter").value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  Histogram& h = registry.GetHistogram("skalla.test.mt_hist");
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(h.bucket_count(0), h.count() / 2);
+  EXPECT_EQ(h.bucket_count(1), h.count() / 2);
+}
+
+TEST(MetricsTest, ToJsonRendersEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("skalla.test.c").Add(7);
+  registry.GetGauge("skalla.test.g").Set(1.5);
+  Histogram& h = registry.GetHistogram("skalla.test.h", {10.0});
+  h.Record(3.0);
+  h.Record(30.0);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"skalla.test.c\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"skalla.test.g\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\":10,\"n\":1}"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\":\"inf\",\"n\":1}"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, ResetZeroesEverythingButKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("skalla.test.c");
+  Gauge& g = registry.GetGauge("skalla.test.g");
+  Histogram& h = registry.GetHistogram("skalla.test.h", {1.0});
+  c.Add(3);
+  g.Set(9.0);
+  h.Record(0.5);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  // The pre-Reset reference is still the live instrument (Reset works in
+  // place; it never replaces instrument objects).
+  EXPECT_EQ(&registry.GetHistogram("skalla.test.h"), &h);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bounds(), std::vector<double>{1.0});
+  c.Add(1);  // Pre-Reset references still feed the registry's instruments.
+  EXPECT_NE(registry.ToJson().find("\"skalla.test.c\": 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace skalla

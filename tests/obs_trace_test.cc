@@ -1,0 +1,221 @@
+// Tracer unit tests: span lifecycle, nesting/parent links, attributes,
+// instants, thread-safety of concurrent recording, Chrome-JSON export
+// shape, and the run-time enable gate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace skalla {
+namespace obs {
+namespace {
+
+TEST(TracerTest, DisabledTracerHandsOutDisarmedSpans) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  Span span = tracer.StartSpan("noop", "test");
+  EXPECT_FALSE(span.armed());
+  span.AddAttr("key", "value");  // Must be a safe no-op.
+  span.End();
+  tracer.Instant("noop", "test");
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+}
+
+TEST(TracerTest, SpanRecordsOnEndNotOnStart) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span = tracer.StartSpan("work", "test");
+    EXPECT_TRUE(span.armed());
+    EXPECT_EQ(tracer.NumEvents(), 0u);  // Open spans are not yet events.
+  }
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_GE(events[0].dur_us, 0);
+  EXPECT_EQ(events[0].parent_id, 0u);
+}
+
+TEST(TracerTest, EndIsIdempotent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Span span = tracer.StartSpan("once", "test");
+  span.End();
+  span.End();          // Second End is a no-op...
+  span.End();          // ...and so is the destructor later.
+  EXPECT_FALSE(span.armed());
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+}
+
+TEST(TracerTest, NestedSpansLinkToTheirParents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  uint64_t outer_id, inner_id;
+  {
+    Span outer = tracer.StartSpan("outer", "test");
+    outer_id = outer.id();
+    {
+      Span inner = tracer.StartSpan("inner", "test");
+      inner_id = inner.id();
+      tracer.Instant("mark", "test");
+    }
+    Span sibling = tracer.StartSpan("sibling", "test");
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "outer") {
+      EXPECT_EQ(e.parent_id, 0u);
+    } else if (e.name == "inner") {
+      EXPECT_EQ(e.parent_id, outer_id);
+    } else if (e.name == "mark") {
+      // The instant fired while `inner` was the innermost open span.
+      EXPECT_EQ(e.parent_id, inner_id);
+      EXPECT_EQ(e.dur_us, -1);
+    } else if (e.name == "sibling") {
+      // `inner` had closed; `outer` was on top of the stack again.
+      EXPECT_EQ(e.parent_id, outer_id);
+    } else {
+      FAIL() << "unexpected event " << e.name;
+    }
+  }
+}
+
+TEST(TracerTest, MovedFromSpanDoesNotDoubleRecord) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer = tracer.StartSpan("outer", "test");
+    Span moved = std::move(outer);
+    EXPECT_FALSE(outer.armed());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(moved.armed());
+  }
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+}
+
+TEST(TracerTest, AttributesSurviveToTheSnapshot) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span = tracer.StartSpan("attrs", "test");
+    span.AddAttr("str", "value");
+    span.AddAttr("int", static_cast<int64_t>(-7));
+    span.AddAttr("uint", static_cast<uint64_t>(42));
+    span.AddAttr("dbl", 0.5);
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].attrs.size(), 4u);
+  EXPECT_EQ(events[0].attrs[0], (std::pair<std::string, std::string>{
+                                    "str", "value"}));
+  EXPECT_EQ(events[0].attrs[1].second, "-7");
+  EXPECT_EQ(events[0].attrs[2].second, "42");
+  EXPECT_EQ(events[0].attrs[3].second, "0.5");
+}
+
+TEST(TracerTest, ConcurrentThreadsRecordWithoutLossAndWithOwnTids) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer = tracer.StartSpan("outer", "mt");
+        Span inner = tracer.StartSpan("inner", "mt");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread * 2);
+  // Every thread got its own dense tid, and nesting never crossed
+  // threads: each inner's parent is an outer recorded on the same tid.
+  std::set<uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  for (const TraceEvent& e : events) {
+    if (e.name == "inner") EXPECT_NE(e.parent_id, 0u);
+  }
+}
+
+TEST(TracerTest, SnapshotIsSortedAndClearDropsEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) tracer.Instant("tick", "test");
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  tracer.Clear();
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  tracer.Instant("after", "test");  // Buffers stay usable after Clear.
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+}
+
+TEST(TracerTest, ChromeJsonHasRequiredEventFields) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span = tracer.StartSpan("phase \"x\"", "exec");  // Needs escaping.
+    span.AddAttr("bytes", static_cast<uint64_t>(123));
+    tracer.Instant("fault", "fault");
+  }
+  std::string json = tracer.ToChromeJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"phase \\\"x\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bytes\":\"123\""), std::string::npos) << json;
+}
+
+TEST(TracerTest, TreeStringIndentsChildrenUnderParents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer = tracer.StartSpan("round:md1", "exec");
+    Span inner = tracer.StartSpan("site.eval", "site");
+  }
+  std::string tree = tracer.ToTreeString();
+  size_t outer_pos = tree.find("round:md1");
+  size_t inner_pos = tree.find("site.eval");
+  ASSERT_NE(outer_pos, std::string::npos) << tree;
+  ASSERT_NE(inner_pos, std::string::npos) << tree;
+  EXPECT_LT(outer_pos, inner_pos);
+  // The child is indented two spaces deeper than its parent.
+  size_t outer_indent = outer_pos - (tree.rfind('\n', outer_pos) + 1);
+  size_t inner_indent = inner_pos - (tree.rfind('\n', inner_pos) + 1);
+  EXPECT_EQ(inner_indent, outer_indent + 2);
+}
+
+TEST(TracerTest, RuntimeDisableStopsRecordingImmediately) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Instant("recorded", "test");
+  tracer.set_enabled(false);
+  tracer.Instant("dropped", "test");
+  Span span = tracer.StartSpan("dropped", "test");
+  span.End();
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace skalla
