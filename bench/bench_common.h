@@ -117,8 +117,8 @@ inline std::vector<Table> MakeTpcrPartitions(int64_t total_rows,
 // the number of participating sites).
 inline DistributedWarehouse MakeWarehouse(
     const std::vector<Table>& partitions, size_t n,
-    NetworkConfig net = {}) {
-  DistributedWarehouse dw(n, net);
+    NetworkConfig net = {}, ExecutorOptions exec_options = {}) {
+  DistributedWarehouse dw(n, net, exec_options);
   std::vector<Table> subset(partitions.begin(),
                             partitions.begin() + static_cast<int64_t>(n));
   dw.AddPartitionedTable("tpcr", std::move(subset), TrackedColumns())

@@ -10,8 +10,19 @@
 // computation, and communication overhead — all growing linearly. A
 // second series keeps the number of groups constant while the database
 // grows, as in the paper's final experiment.
+//
+// A third series stresses the coordinator: eight sites, every round
+// synchronized, so the merge of eight sub-aggregate fragments per round
+// dominates coordinator time. `--shards=N` shards that merge structure
+// (0 = one shard per hardware thread, the default is 1 = sequential);
+// byte/tuple counts and results are invariant under the shard count, so
+// running the bench twice with --metrics-out and different --shards
+// isolates the coordinator merge wall time (`skalla.coord.merge_us`).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "bench_common.h"
 
@@ -21,6 +32,15 @@ namespace {
 constexpr size_t kSites = 4;
 constexpr int64_t kBaseRows = 32000;
 constexpr int64_t kBaseCustomers = 4000;
+
+// Coordinator shard count for every executor in this bench (--shards=N).
+size_t g_shards = 1;
+
+ExecutorOptions ExecOptions() {
+  ExecutorOptions options;
+  options.coordinator_shards = g_shards;
+  return options;
+}
 
 void RunSeries(const char* title, bool scale_groups) {
   std::printf("--- %s ---\n", title);
@@ -32,7 +52,8 @@ void RunSeries(const char* title, bool scale_groups) {
     std::vector<Table> partitions = bench::MakeTpcrPartitions(
         kBaseRows * scale,
         scale_groups ? kBaseCustomers * scale : kBaseCustomers, kSites);
-    DistributedWarehouse dw = bench::MakeWarehouse(partitions, kSites);
+    DistributedWarehouse dw =
+        bench::MakeWarehouse(partitions, kSites, {}, ExecOptions());
 
     ExecStats none_stats;
     ExecStats all_stats;
@@ -57,18 +78,58 @@ void RunSeries(const char* title, bool scale_groups) {
   std::printf("\n");
 }
 
+// Coordinator-bound configuration: 8 sites, unoptimized plan (every
+// round synchronizes), so the root merges 8 fragments per round. This is
+// the series where coordinator sharding pays off.
+void RunCoordinatorSeries() {
+  const size_t kShardSites = 8;
+  std::printf("--- coordinator-bound (8 sites, no reductions, shards=%zu) "
+              "---\n",
+              ResolveCoordinatorShards(g_shards));
+  GmdjExpr query = bench::CombinedQuery("CustName");
+  std::printf("%5s %14s %14s %14s %14s %12s\n", "scale", "coord_ms",
+              "site_ms", "total_ms", "bytes", "tuples");
+  for (int64_t scale = 1; scale <= 4; ++scale) {
+    std::vector<Table> partitions = bench::MakeTpcrPartitions(
+        kBaseRows * scale, kBaseCustomers * scale, kShardSites);
+    DistributedWarehouse dw =
+        bench::MakeWarehouse(partitions, kShardSites, {}, ExecOptions());
+    ExecStats stats;
+    dw.Execute(query, OptimizerOptions::None(), &stats).ValueOrDie();
+    std::printf("%5zu %14.2f %14.2f %14.2f %14llu %12llu\n",
+                static_cast<size_t>(scale), stats.TotalCoordTime() * 1e3,
+                stats.TotalSiteTimeMax() * 1e3, stats.ResponseTime() * 1e3,
+                static_cast<unsigned long long>(stats.TotalBytes()),
+                static_cast<unsigned long long>(
+                    stats.TotalTuplesTransferred()));
+  }
+  std::printf("\nBytes/tuples are invariant under --shards; compare "
+              "coord_ms (or skalla.coord.merge_us\nin --metrics-out) "
+              "across runs with different shard counts.\n\n");
+}
+
 void Run() {
   std::printf(
       "=== Figure 5: combined reductions query (scale-up, 4 sites, x1..x4 "
-      "data) ===\n\n");
+      "data) ===\n");
+  std::printf("coordinator shards: %zu (of %u hardware threads)\n\n",
+              ResolveCoordinatorShards(g_shards),
+              std::thread::hardware_concurrency());
   RunSeries("groups scale with data (customers x1..x4)", true);
   RunSeries("constant group count (customers fixed)", false);
+  RunCoordinatorSeries();
 }
 
 }  // namespace
 }  // namespace skalla
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      skalla::g_shards =
+          static_cast<size_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    }
+  }
   skalla::bench::ObsSession obs(argc, argv);
   skalla::Run();
   return 0;

@@ -50,7 +50,7 @@ void Run() {
       CoordinatorTree tree = CoordinatorTree::Balanced(n, fanout);
       size_t depth = tree.depth();
       TreeExecutor executor(std::move(sites), std::move(tree));
-      TreeExecStats stats;
+      ExecStats stats;
       executor.Execute(plan, &stats).ValueOrDie();
       std::printf("%5zu %8s %7zu %14llu %14llu %12.2f\n", n,
                   fanout >= n ? "star" : StrCat(fanout).c_str(), depth,

@@ -27,6 +27,27 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  std::mutex latch_mu;
+  std::condition_variable latch_cv;
+  size_t remaining = n - 1;
+  for (size_t i = 1; i < n; ++i) {
+    Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch_mu);
+      if (--remaining == 0) latch_cv.notify_one();
+    });
+  }
+  fn(0);
+  std::unique_lock<std::mutex> lock(latch_mu);
+  latch_cv.wait(lock, [&] { return remaining == 0; });
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });

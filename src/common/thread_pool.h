@@ -32,6 +32,13 @@ class ThreadPool {
   /// Blocks until every task submitted so far has completed.
   void Wait();
 
+  /// Runs fn(0), ..., fn(n - 1) across the pool and returns when all of
+  /// them have finished. Unlike Submit + Wait, completion is tracked with
+  /// a private latch, so concurrent ParallelFor calls (or a pool that is
+  /// simultaneously running unrelated Submit work) do not wait on each
+  /// other's tasks. fn(0) runs inline on the calling thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
   size_t num_threads() const { return threads_.size(); }
 
  private:

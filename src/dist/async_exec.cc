@@ -62,10 +62,11 @@ Result<Table> FilterBase(const Table& table, const ExprPtr& predicate) {
 }  // namespace
 
 AsyncExecutor::AsyncExecutor(std::vector<Site> sites,
-                             NetworkConfig net_config, size_t num_threads)
+                             NetworkConfig net_config,
+                             ExecutorOptions options)
     : sites_(std::move(sites)),
       network_(net_config),
-      num_threads_(num_threads) {}
+      options_(options) {}
 
 Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                                      ExecStats* stats) {
@@ -86,6 +87,13 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
       return Status::InvalidArgument("site filter count mismatch");
     }
   }
+  if (options_.columnar_sites) {
+    for (Site& site : sites_) {
+      if (!site.columnar_enabled()) {
+        SKALLA_RETURN_NOT_OK(site.EnableColumnarCache());
+      }
+    }
+  }
 
   const size_t n = sites_.size();
   ExecStats local_stats;
@@ -99,8 +107,13 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
   SKALLA_SPAN_ATTR(exec_span, "mode", "async");
   SKALLA_COUNTER_ADD("skalla.exec.plans", 1);
 
-  ThreadPool pool(num_threads_ == 0 ? n : num_threads_);
-  Coordinator coordinator(plan.key_columns);
+  ThreadPool pool(options_.num_threads == 0 ? n : options_.num_threads);
+  // The coordinator owns a separate merge pool when sharded, so shard
+  // merges never contend with the site tasks for workers — an arriving
+  // fragment merges shard-parallel while slower sites keep computing.
+  Coordinator coordinator(plan.key_columns,
+                          ResolveCoordinatorShards(
+                              options_.coordinator_shards));
   std::vector<Table> local_base(n);
   bool have_global = false;
 
@@ -134,13 +147,17 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                          static_cast<int64_t>(sites_[i].id()));
         SKALLA_SPAN_ATTR(site_span, "round", "base");
         Stopwatch timer;
-        Result<Table> b_i = sites_[i].ExecuteBaseQuery(plan.base);
+        size_t retries = 0;
+        Result<Table> b_i = ExecuteSiteRound(
+            options_, sites_[i].id(), "base",
+            [&] { return sites_[i].ExecuteBaseQuery(plan.base); }, &retries);
         double elapsed = timer.ElapsedSeconds();
         SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
         {
           std::lock_guard<std::mutex> lock(time_mu);
           rs.site_time_max = std::max(rs.site_time_max, elapsed);
           rs.site_time_sum += elapsed;
+          rs.site_retries += retries;
         }
         if (!b_i.ok()) {
           record_error(b_i.status());
@@ -170,6 +187,11 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(fragment));
         rs.coord_time += merge_timer.ElapsedSeconds();
+      }
+      {
+        Stopwatch finalize_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.FinalizeBase());
+        rs.coord_time += finalize_timer.ElapsedSeconds();
       }
       have_global = true;
     }
@@ -258,8 +280,15 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           base_in = std::move(local_base[i]);
         }
         Result<Table> result = Status::Internal("unset");
+        size_t retries = 0;
         if (status.ok()) {
-          result = sites_[i].EvalGmdjRound(base_in, stage.op, eval_options);
+          result = ExecuteSiteRound(
+              options_, sites_[i].id(), rs.label,
+              [&] {
+                return sites_[i].EvalGmdjRound(base_in, stage.op,
+                                               eval_options);
+              },
+              &retries);
           if (result.ok() && eval_options.compute_rng) {
             result = ApplyRngFilter(*result);
           }
@@ -271,6 +300,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           std::lock_guard<std::mutex> lock(time_mu);
           rs.site_time_max = std::max(rs.site_time_max, elapsed);
           rs.site_time_sum += elapsed;
+          rs.site_retries += retries;
         }
         if (!status.ok()) {
           record_error(status);

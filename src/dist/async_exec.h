@@ -5,10 +5,14 @@
 // computation — the incremental-synchronization property Sect. 3.2
 // highlights ("the coordinator can synchronize H with those sub-results
 // it has already received ... rather than having to wait for all of H").
+// With coordinator_shards > 1 the overlap is two-level: each arriving
+// fragment is itself merged shard-parallel (on the coordinator's own
+// merge pool, separate from the site pool) while later fragments are
+// still being produced.
 //
 // Produces byte-for-byte the same results and transfer counts as
 // DistributedExecutor; wall-clock time additionally reflects the real
-// overlap.
+// overlap. Implements the unified skalla::Executor interface.
 
 #ifndef SKALLA_DIST_ASYNC_EXEC_H_
 #define SKALLA_DIST_ASYNC_EXEC_H_
@@ -16,31 +20,35 @@
 #include <vector>
 
 #include "common/result.h"
-#include "dist/exec.h"
+#include "dist/executor.h"
 #include "dist/plan.h"
 #include "dist/site.h"
 #include "net/network.h"
 
 namespace skalla {
 
-class AsyncExecutor {
+/// Pipelined executor. Always evaluates sites concurrently
+/// (options.parallel_sites is ignored; options.num_threads sizes the site
+/// pool, 0 = one worker per site). Fragments ship whole —
+/// options.ship_block_rows does not apply.
+class AsyncExecutor : public Executor {
  public:
-  /// `num_threads` = 0 uses one worker per site.
   explicit AsyncExecutor(std::vector<Site> sites,
                          NetworkConfig net_config = {},
-                         size_t num_threads = 0);
+                         ExecutorOptions options = {});
 
-  /// Runs the plan. Reuses ExecStats; in addition to the modeled
-  /// communication time, each round's `wall_time` captures the real
-  /// overlapped duration.
-  Result<Table> Execute(const DistributedPlan& plan, ExecStats* stats);
+  /// Runs the plan. In addition to the modeled communication time, each
+  /// round's `wall_time` captures the real overlapped duration.
+  Result<Table> Execute(const DistributedPlan& plan,
+                        ExecStats* stats) override;
 
-  size_t num_sites() const { return sites_.size(); }
+  const char* name() const override { return "async"; }
+  size_t num_sites() const override { return sites_.size(); }
 
  private:
   std::vector<Site> sites_;
   SimulatedNetwork network_;
-  size_t num_threads_;
+  ExecutorOptions options_;
 };
 
 }  // namespace skalla

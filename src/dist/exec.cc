@@ -14,79 +14,6 @@
 
 namespace skalla {
 
-uint64_t ExecStats::TotalBytes() const {
-  return TotalBytesToSites() + TotalBytesToCoord();
-}
-uint64_t ExecStats::TotalBytesToSites() const {
-  uint64_t n = 0;
-  for (const RoundStats& r : rounds) n += r.bytes_to_sites;
-  return n;
-}
-uint64_t ExecStats::TotalBytesToCoord() const {
-  uint64_t n = 0;
-  for (const RoundStats& r : rounds) n += r.bytes_to_coord;
-  return n;
-}
-uint64_t ExecStats::TotalTuplesTransferred() const {
-  uint64_t n = 0;
-  for (const RoundStats& r : rounds) {
-    n += r.tuples_to_sites + r.tuples_to_coord;
-  }
-  return n;
-}
-double ExecStats::TotalSiteTimeMax() const {
-  double t = 0;
-  for (const RoundStats& r : rounds) t += r.site_time_max;
-  return t;
-}
-double ExecStats::TotalSiteTimeSum() const {
-  double t = 0;
-  for (const RoundStats& r : rounds) t += r.site_time_sum;
-  return t;
-}
-double ExecStats::TotalCoordTime() const {
-  double t = 0;
-  for (const RoundStats& r : rounds) t += r.coord_time;
-  return t;
-}
-double ExecStats::TotalCommTime() const {
-  double t = 0;
-  for (const RoundStats& r : rounds) t += r.comm_time;
-  return t;
-}
-double ExecStats::ResponseTime() const {
-  double t = 0;
-  for (const RoundStats& r : rounds) t += r.ResponseTime();
-  return t;
-}
-size_t ExecStats::NumSyncRounds() const {
-  size_t n = 0;
-  for (const RoundStats& r : rounds) {
-    if (r.synchronized) ++n;
-  }
-  return n;
-}
-
-std::string ExecStats::ToString() const {
-  std::string out = StrPrintf(
-      "%-8s %5s %12s %12s %10s %10s %10s %10s\n", "round", "sync",
-      "B->sites", "B->coord", "site_max", "coord", "comm", "resp");
-  for (const RoundStats& r : rounds) {
-    out += StrPrintf("%-8s %5s %12llu %12llu %9.3fms %9.3fms %9.3fms %9.3fms\n",
-                     r.label.c_str(), r.synchronized ? "yes" : "no",
-                     static_cast<unsigned long long>(r.bytes_to_sites),
-                     static_cast<unsigned long long>(r.bytes_to_coord),
-                     r.site_time_max * 1e3, r.coord_time * 1e3,
-                     r.comm_time * 1e3, r.ResponseTime() * 1e3);
-  }
-  out += StrPrintf(
-      "total: %llu bytes, %llu tuples, response %.3f ms (%zu sync rounds)\n",
-      static_cast<unsigned long long>(TotalBytes()),
-      static_cast<unsigned long long>(TotalTuplesTransferred()),
-      ResponseTime() * 1e3, NumSyncRounds());
-  return out;
-}
-
 DistributedExecutor::DistributedExecutor(std::vector<Site> sites,
                                          NetworkConfig net_config,
                                          ExecutorOptions options)
@@ -222,6 +149,13 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                  " site filters for ", sites_.size(), " sites"));
     }
   }
+  if (options_.columnar_sites) {
+    for (Site& site : sites_) {
+      if (!site.columnar_enabled()) {
+        SKALLA_RETURN_NOT_OK(site.EnableColumnarCache());
+      }
+    }
+  }
 
   const size_t n = sites_.size();
   ExecStats local_stats;
@@ -234,7 +168,9 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                    static_cast<uint64_t>(plan.stages.size()));
   SKALLA_COUNTER_ADD("skalla.exec.plans", 1);
 
-  Coordinator coordinator(plan.key_columns);
+  Coordinator coordinator(plan.key_columns,
+                          ResolveCoordinatorShards(
+                              options_.coordinator_shards));
   std::vector<Table> local_base(n);
   bool have_global = false;
 
@@ -259,20 +195,10 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                        static_cast<int64_t>(sites_[i].id()));
       SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
-      Result<Table> b_i = Status::Internal("unset");
       size_t retries = 0;
-      for (size_t attempt = 0;; ++attempt) {
-        Status injected =
-            options_.fault_injector == nullptr
-                ? Status::OK()
-                : options_.fault_injector->BeforeSiteRound(
-                      sites_[i].id(), rs.label);
-        b_i = injected.ok() ? sites_[i].ExecuteBaseQuery(plan.base)
-                            : Result<Table>(injected);
-        if (b_i.ok() || attempt >= options_.max_site_retries) break;
-        ++retries;
-        SKALLA_COUNTER_ADD("skalla.net.retries", 1);
-      }
+      Result<Table> b_i = ExecuteSiteRound(
+          options_, sites_[i].id(), rs.label,
+          [&] { return sites_[i].ExecuteBaseQuery(plan.base); }, &retries);
       if (!b_i.ok()) return b_i.status();
       double elapsed = timer.ElapsedSeconds();
       SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
@@ -297,6 +223,11 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
         SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(received));
         rs.coord_time += merge_timer.ElapsedSeconds();
         local_base[i] = Table();
+      }
+      {
+        Stopwatch finalize_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.FinalizeBase());
+        rs.coord_time += finalize_timer.ElapsedSeconds();
       }
       have_global = true;
     }
@@ -372,25 +303,14 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                        static_cast<int64_t>(sites_[i].id()));
       SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
-      Result<Table> attempt_result = Status::Internal("unset");
       size_t retries = 0;
-      for (size_t attempt = 0;; ++attempt) {
-        Status injected =
-            options_.fault_injector == nullptr
-                ? Status::OK()
-                : options_.fault_injector->BeforeSiteRound(
-                      sites_[i].id(), rs.label);
-        attempt_result =
-            injected.ok()
-                ? sites_[i].EvalGmdjRound(local_base[i], stage.op,
-                                          eval_options)
-                : Result<Table>(injected);
-        if (attempt_result.ok() || attempt >= options_.max_site_retries) {
-          break;
-        }
-        ++retries;
-        SKALLA_COUNTER_ADD("skalla.net.retries", 1);
-      }
+      Result<Table> attempt_result = ExecuteSiteRound(
+          options_, sites_[i].id(), rs.label,
+          [&] {
+            return sites_[i].EvalGmdjRound(local_base[i], stage.op,
+                                           eval_options);
+          },
+          &retries);
       if (!attempt_result.ok()) return attempt_result.status();
       Table result = std::move(*attempt_result);
       if (eval_options.compute_rng) {

@@ -2,121 +2,36 @@
 // DistributedPlan against a set of Skalla sites and a coordinator over a
 // simulated network, producing the query result plus detailed per-round
 // cost accounting (bytes, tuples, site/coordinator compute time, modeled
-// communication time).
+// communication time). Implements the unified skalla::Executor interface
+// (dist/executor.h).
 
 #ifndef SKALLA_DIST_EXEC_H_
 #define SKALLA_DIST_EXEC_H_
 
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "dist/coordinator.h"
-#include "dist/fault.h"
+#include "dist/executor.h"
 #include "dist/plan.h"
 #include "dist/site.h"
 #include "net/network.h"
 
 namespace skalla {
 
-/// Cost accounting for one round (base stage or one GMDJ stage).
-struct RoundStats {
-  std::string label;
-  bool synchronized = false;
-
-  uint64_t bytes_to_sites = 0;
-  uint64_t bytes_to_coord = 0;
-  uint64_t tuples_to_sites = 0;
-  uint64_t tuples_to_coord = 0;
-
-  /// Sites that sat this round out: distribution-aware analysis proved
-  /// they hold no group that could match (the paper's S_MD ⊂ S_B case).
-  size_t sites_skipped = 0;
-
-  /// Site-round attempts that failed and were retried.
-  size_t site_retries = 0;
-
-  /// Site compute: max over sites (parallel response time) and total work.
-  double site_time_max = 0;
-  double site_time_sum = 0;
-  /// Coordinator compute (filtering, merging, finalizing).
-  double coord_time = 0;
-  /// Modeled communication time (coordinator link serialized).
-  double comm_time = 0;
-  /// Real elapsed duration of the round (only the AsyncExecutor fills
-  /// this in; it reflects actual site/merge overlap).
-  double wall_time = 0;
-
-  /// Contribution of this round to plan response time.
-  double ResponseTime() const {
-    return comm_time + site_time_max + coord_time;
-  }
-};
-
-/// Cost accounting for a whole plan execution.
-struct ExecStats {
-  std::vector<RoundStats> rounds;
-
-  uint64_t TotalBytes() const;
-  uint64_t TotalBytesToSites() const;
-  uint64_t TotalBytesToCoord() const;
-  uint64_t TotalTuplesTransferred() const;
-  double TotalSiteTimeMax() const;
-  double TotalSiteTimeSum() const;
-  double TotalCoordTime() const;
-  double TotalCommTime() const;
-
-  /// Modeled end-to-end response time: per round, communication plus the
-  /// slowest site plus coordinator work.
-  double ResponseTime() const;
-
-  /// Number of synchronization rounds performed.
-  size_t NumSyncRounds() const;
-
-  std::string ToString() const;
-};
-
-struct ExecutorOptions {
-  /// Evaluate sites concurrently on a thread pool. Off by default: byte
-  /// counts are identical either way, and sequential execution gives
-  /// stable compute timings.
-  bool parallel_sites = false;
-  /// Worker count when parallel_sites is set; 0 = one per site.
-  size_t num_threads = 0;
-
-  /// Row blocking (one of the classical distributed optimizations the
-  /// paper notes carries over, Sect. 4): tables ship in blocks of at most
-  /// this many rows, each block its own message, merged incrementally as
-  /// it arrives. Bounds coordinator buffering at the cost of per-message
-  /// latency and repeated headers. 0 = one message per table.
-  size_t ship_block_rows = 0;
-
-  /// Sites keep columnar copies of their partitions and use the
-  /// vectorized evaluator for pure-equality GMDJ rounds.
-  bool columnar_sites = false;
-
-  /// Fault hook (dist/fault.h); nullptr = no injection. Not owned.
-  FaultInjector* fault_injector = nullptr;
-
-  /// How many times a failed site round is re-attempted before the
-  /// failure surfaces. Recovery re-runs the round against the site's
-  /// durable local partition.
-  size_t max_site_retries = 0;
-};
-
-/// Executes distributed plans. Owns the sites and the simulated network.
-class DistributedExecutor {
+/// Synchronous star executor. Owns the sites and the simulated network.
+class DistributedExecutor : public Executor {
  public:
   explicit DistributedExecutor(std::vector<Site> sites,
                                NetworkConfig net_config = {},
                                ExecutorOptions options = {});
 
-  /// Runs the plan; returns the final base-result structure. `stats` (may
-  /// be nullptr) receives per-round accounting.
-  Result<Table> Execute(const DistributedPlan& plan, ExecStats* stats);
+  Result<Table> Execute(const DistributedPlan& plan,
+                        ExecStats* stats) override;
 
-  size_t num_sites() const { return sites_.size(); }
+  const char* name() const override { return "star"; }
+  size_t num_sites() const override { return sites_.size(); }
   const std::vector<Site>& sites() const { return sites_; }
   SimulatedNetwork& network() { return network_; }
 

@@ -1,0 +1,112 @@
+#include "dist/executor.h"
+
+#include <thread>
+
+#include "common/string_util.h"
+#include "obs/obs.h"
+
+namespace skalla {
+
+size_t ResolveCoordinatorShards(size_t configured) {
+  if (configured != 0) return configured;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+uint64_t ExecStats::TotalBytes() const {
+  return TotalBytesToSites() + TotalBytesToCoord();
+}
+uint64_t ExecStats::TotalBytesToSites() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.bytes_to_sites;
+  return n;
+}
+uint64_t ExecStats::TotalBytesToCoord() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.bytes_to_coord;
+  return n;
+}
+uint64_t ExecStats::TotalTuplesTransferred() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) {
+    n += r.tuples_to_sites + r.tuples_to_coord;
+  }
+  return n;
+}
+uint64_t ExecStats::RootBytes() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.root_bytes;
+  return n;
+}
+double ExecStats::TotalSiteTimeMax() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.site_time_max;
+  return t;
+}
+double ExecStats::TotalSiteTimeSum() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.site_time_sum;
+  return t;
+}
+double ExecStats::TotalCoordTime() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.coord_time;
+  return t;
+}
+double ExecStats::TotalCommTime() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.comm_time;
+  return t;
+}
+double ExecStats::ResponseTime() const {
+  double t = 0;
+  for (const RoundStats& r : rounds) t += r.ResponseTime();
+  return t;
+}
+size_t ExecStats::NumSyncRounds() const {
+  size_t n = 0;
+  for (const RoundStats& r : rounds) {
+    if (r.synchronized) ++n;
+  }
+  return n;
+}
+
+std::string ExecStats::ToString() const {
+  std::string out = StrPrintf(
+      "%-8s %5s %12s %12s %10s %10s %10s %10s\n", "round", "sync",
+      "B->sites", "B->coord", "site_max", "coord", "comm", "resp");
+  for (const RoundStats& r : rounds) {
+    out += StrPrintf("%-8s %5s %12llu %12llu %9.3fms %9.3fms %9.3fms %9.3fms\n",
+                     r.label.c_str(), r.synchronized ? "yes" : "no",
+                     static_cast<unsigned long long>(r.bytes_to_sites),
+                     static_cast<unsigned long long>(r.bytes_to_coord),
+                     r.site_time_max * 1e3, r.coord_time * 1e3,
+                     r.comm_time * 1e3, r.ResponseTime() * 1e3);
+  }
+  out += StrPrintf(
+      "total: %llu bytes, %llu tuples, response %.3f ms (%zu sync rounds)\n",
+      static_cast<unsigned long long>(TotalBytes()),
+      static_cast<unsigned long long>(TotalTuplesTransferred()),
+      ResponseTime() * 1e3, NumSyncRounds());
+  return out;
+}
+
+Result<Table> ExecuteSiteRound(const ExecutorOptions& options, int site_id,
+                               const std::string& round,
+                               const std::function<Result<Table>()>& attempt,
+                               size_t* retries_out) {
+  Result<Table> result = Status::Internal("unset");
+  for (size_t tries = 0;; ++tries) {
+    Status injected = options.fault_injector == nullptr
+                          ? Status::OK()
+                          : options.fault_injector->BeforeSiteRound(site_id,
+                                                                    round);
+    result = injected.ok() ? attempt() : Result<Table>(injected);
+    if (result.ok() || tries >= options.max_site_retries) break;
+    if (retries_out != nullptr) ++*retries_out;
+    SKALLA_COUNTER_ADD("skalla.net.retries", 1);
+  }
+  return result;
+}
+
+}  // namespace skalla

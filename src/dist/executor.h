@@ -1,0 +1,176 @@
+// The unified executor API. Every engine — synchronous star
+// (DistributedExecutor), pipelined (AsyncExecutor), multi-tier
+// (TreeExecutor) — implements skalla::Executor, is configured through the
+// one shared ExecutorOptions struct, and reports per-round accounting
+// into the one shared ExecStats. Engines differ only in *how* they move
+// fragments; results are bit-identical across all of them, and byte
+// counts are identical wherever the accounting is defined the same way.
+//
+// See docs/EXECUTORS.md for the option-by-option semantics per engine.
+
+#ifndef SKALLA_DIST_EXECUTOR_H_
+#define SKALLA_DIST_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/fault.h"
+#include "dist/plan.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+/// Options shared by every executor. Each engine honors the subset that
+/// is meaningful for it (documented per field and in docs/EXECUTORS.md);
+/// none of the knobs changes query results or transfer byte counts.
+struct ExecutorOptions {
+  /// Evaluate sites concurrently on a thread pool. Off by default: byte
+  /// counts are identical either way, and sequential execution gives
+  /// stable compute timings. AsyncExecutor is inherently concurrent and
+  /// ignores the flag; TreeExecutor evaluates sites sequentially (its
+  /// cost model already charges the per-level maximum).
+  bool parallel_sites = false;
+  /// Worker count for site evaluation when it is concurrent
+  /// (parallel_sites here, always in AsyncExecutor); 0 = one per site.
+  size_t num_threads = 0;
+
+  /// Row blocking (one of the classical distributed optimizations the
+  /// paper notes carries over, Sect. 4): tables ship in blocks of at most
+  /// this many rows, each block its own message, merged incrementally as
+  /// it arrives. Bounds coordinator buffering at the cost of per-message
+  /// latency and repeated headers. 0 = one message per table. Only the
+  /// DistributedExecutor blocks shipments; the other engines send one
+  /// message per fragment.
+  size_t ship_block_rows = 0;
+
+  /// Sites keep columnar copies of their partitions and use the
+  /// vectorized evaluator for pure-equality GMDJ rounds. Honored by all
+  /// engines (caches are built lazily on first Execute).
+  bool columnar_sites = false;
+
+  /// Fault hook (dist/fault.h); nullptr = no injection. Not owned.
+  /// Honored by all engines.
+  FaultInjector* fault_injector = nullptr;
+
+  /// How many times a failed site round is re-attempted before the
+  /// failure surfaces. Recovery re-runs the round against the site's
+  /// durable local partition. Honored by all engines.
+  size_t max_site_retries = 0;
+
+  /// Number of hash shards the coordinator's merge structures split
+  /// into. Arriving fragments are split once by hash of the group-by key
+  /// and merged shard-parallel on a thread pool; super-aggregation
+  /// finalizes shard-parallel too. 1 (default) = the sequential merge;
+  /// 0 = one shard per hardware thread. Results and transfer byte counts
+  /// are identical for every value (sub-aggregate merging is associative
+  /// and key-disjoint across shards). In TreeExecutor every tier's
+  /// coordinator shards.
+  size_t coordinator_shards = 1;
+};
+
+/// Resolves the coordinator_shards option: 0 means one shard per
+/// hardware thread (at least 1).
+size_t ResolveCoordinatorShards(size_t configured);
+
+/// Cost accounting for one round (base stage or one GMDJ stage).
+struct RoundStats {
+  std::string label;
+  bool synchronized = false;
+
+  uint64_t bytes_to_sites = 0;
+  uint64_t bytes_to_coord = 0;
+  uint64_t tuples_to_sites = 0;
+  uint64_t tuples_to_coord = 0;
+
+  /// Sites that sat this round out: distribution-aware analysis proved
+  /// they hold no group that could match (the paper's S_MD ⊂ S_B case).
+  size_t sites_skipped = 0;
+
+  /// Site-round attempts that failed and were retried.
+  size_t site_retries = 0;
+
+  /// Site compute: max over sites (parallel response time) and total work.
+  double site_time_max = 0;
+  double site_time_sum = 0;
+  /// Coordinator compute (filtering, merging, finalizing). For the tree
+  /// executor this is the per-level maximum summed over levels.
+  double coord_time = 0;
+  /// Modeled communication time (coordinator link serialized; per-level
+  /// maxima for the tree executor).
+  double comm_time = 0;
+  /// Real elapsed duration of the round (only the AsyncExecutor fills
+  /// this in; it reflects actual site/merge overlap).
+  double wall_time = 0;
+
+  /// Bytes over the root coordinator's own links. Only the TreeExecutor
+  /// distinguishes the root from the rest of the topology; for it,
+  /// root_bytes <= bytes_to_sites + bytes_to_coord, with equality in the
+  /// degenerate star tree. The flat executors leave it 0.
+  uint64_t root_bytes = 0;
+
+  /// Contribution of this round to plan response time.
+  double ResponseTime() const {
+    return comm_time + site_time_max + coord_time;
+  }
+};
+
+/// Cost accounting for a whole plan execution.
+struct ExecStats {
+  std::vector<RoundStats> rounds;
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalBytesToSites() const;
+  uint64_t TotalBytesToCoord() const;
+  uint64_t TotalTuplesTransferred() const;
+  /// Tree executor only: bytes over the root's own links (its star-vs-tree
+  /// bottleneck figure). Zero for the flat executors.
+  uint64_t RootBytes() const;
+  double TotalSiteTimeMax() const;
+  double TotalSiteTimeSum() const;
+  double TotalCoordTime() const;
+  double TotalCommTime() const;
+
+  /// Modeled end-to-end response time: per round, communication plus the
+  /// slowest site plus coordinator work.
+  double ResponseTime() const;
+
+  /// Number of synchronization rounds performed.
+  size_t NumSyncRounds() const;
+
+  std::string ToString() const;
+};
+
+/// The one interface every engine implements. Call sites that do not care
+/// about engine-specific accessors (the tree shape, the network) should
+/// depend on this, not on a concrete executor.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs the plan; returns the final base-result structure. `stats`
+  /// (may be nullptr) receives per-round accounting.
+  virtual Result<Table> Execute(const DistributedPlan& plan,
+                                ExecStats* stats) = 0;
+
+  /// Engine name, for logs and test labels.
+  virtual const char* name() const = 0;
+
+  virtual size_t num_sites() const = 0;
+};
+
+/// Shared retry policy: runs `attempt` for site `site_id` in round
+/// `round`, consulting options.fault_injector before each try and
+/// re-attempting up to options.max_site_retries times. Adds the number of
+/// retries performed to *retries_out (may be nullptr). Thread-safe as
+/// long as the injector is (the FaultInjector contract).
+Result<Table> ExecuteSiteRound(const ExecutorOptions& options, int site_id,
+                               const std::string& round,
+                               const std::function<Result<Table>()>& attempt,
+                               size_t* retries_out);
+
+}  // namespace skalla
+
+#endif  // SKALLA_DIST_EXECUTOR_H_

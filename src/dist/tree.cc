@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "dist/coordinator.h"
 #include "net/serde.h"
 
@@ -86,45 +88,12 @@ std::vector<int> CoordinatorTree::SitesUnder(int node) const {
   return sites;
 }
 
-uint64_t TreeExecStats::TotalBytes() const {
-  uint64_t n = 0;
-  for (const TreeRoundStats& r : rounds) n += r.total_bytes;
-  return n;
-}
-uint64_t TreeExecStats::RootBytes() const {
-  uint64_t n = 0;
-  for (const TreeRoundStats& r : rounds) n += r.root_bytes;
-  return n;
-}
-double TreeExecStats::ResponseTime() const {
-  double t = 0;
-  for (const TreeRoundStats& r : rounds) t += r.ResponseTime();
-  return t;
-}
-std::string TreeExecStats::ToString() const {
-  std::string out =
-      StrPrintf("%-8s %5s %14s %14s %10s %10s %10s\n", "round", "sync",
-                "root_bytes", "total_bytes", "site_max", "coord", "comm");
-  for (const TreeRoundStats& r : rounds) {
-    out += StrPrintf("%-8s %5s %14llu %14llu %9.3fms %9.3fms %9.3fms\n",
-                     r.label.c_str(), r.synchronized ? "yes" : "no",
-                     static_cast<unsigned long long>(r.root_bytes),
-                     static_cast<unsigned long long>(r.total_bytes),
-                     r.site_time_max * 1e3, r.coord_time * 1e3,
-                     r.comm_time * 1e3);
-  }
-  out += StrPrintf("total: %llu bytes (%llu at root), response %.3f ms\n",
-                   static_cast<unsigned long long>(TotalBytes()),
-                   static_cast<unsigned long long>(RootBytes()),
-                   ResponseTime() * 1e3);
-  return out;
-}
-
 TreeExecutor::TreeExecutor(std::vector<Site> sites, CoordinatorTree tree,
-                           NetworkConfig net_config)
+                           NetworkConfig net_config, ExecutorOptions options)
     : sites_(std::move(sites)),
       tree_(std::move(tree)),
-      network_(net_config) {}
+      network_(net_config),
+      options_(options) {}
 
 namespace {
 
@@ -135,18 +104,28 @@ struct RoundAccum {
   std::vector<double> link_time;   // Transfer time charged per node.
   std::vector<double> merge_time;  // Merge/filter compute per node.
   uint64_t root_bytes = 0;
-  uint64_t total_bytes = 0;
+  // Split by direction: down = toward the sites, up = toward the root.
+  uint64_t bytes_down = 0;
+  uint64_t bytes_up = 0;
+  uint64_t tuples_down = 0;
+  uint64_t tuples_up = 0;
 };
 
 // Network endpoint id of coordinator node i (sites use their own ids).
 int NodeEndpoint(int node) { return -(node + 1); }
 
 Result<Table> ShipOverLink(SimulatedNetwork* network, const Table& table,
-                           int from, int to, int charged_node,
+                           int from, int to, int charged_node, bool downward,
                            RoundAccum* accum) {
   std::vector<uint8_t> buffer;
   WriteTable(table, &buffer);
-  accum->total_bytes += buffer.size();
+  if (downward) {
+    accum->bytes_down += buffer.size();
+    accum->tuples_down += table.num_rows();
+  } else {
+    accum->bytes_up += buffer.size();
+    accum->tuples_up += table.num_rows();
+  }
   if (charged_node == 0) accum->root_bytes += buffer.size();
   accum->link_time[static_cast<size_t>(charged_node)] +=
       network->Transfer(from, to, buffer.size());
@@ -167,10 +146,22 @@ double SumOfLevelMaxima(const CoordinatorTree& tree,
   return total;
 }
 
+// Copies the direction-split accumulators into the round's stats.
+void FoldAccum(const CoordinatorTree& tree, const RoundAccum& accum,
+               RoundStats* rs) {
+  rs->bytes_to_sites = accum.bytes_down;
+  rs->bytes_to_coord = accum.bytes_up;
+  rs->tuples_to_sites = accum.tuples_down;
+  rs->tuples_to_coord = accum.tuples_up;
+  rs->root_bytes = accum.root_bytes;
+  rs->comm_time = SumOfLevelMaxima(tree, accum.link_time);
+  rs->coord_time = SumOfLevelMaxima(tree, accum.merge_time);
+}
+
 }  // namespace
 
 Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
-                                    TreeExecStats* stats) {
+                                    ExecStats* stats) {
   if (sites_.empty()) {
     return Status::InvalidArgument("executor has no sites");
   }
@@ -188,15 +179,28 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
       return Status::InvalidArgument("site filter count mismatch");
     }
   }
+  if (options_.columnar_sites) {
+    for (Site& site : sites_) {
+      if (!site.columnar_enabled()) {
+        SKALLA_RETURN_NOT_OK(site.EnableColumnarCache());
+      }
+    }
+  }
 
-  TreeExecStats local_stats;
-  TreeExecStats& st = stats == nullptr ? local_stats : *stats;
+  ExecStats local_stats;
+  ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
   const size_t n = sites_.size();
   std::vector<Table> local_base(n);
   bool have_global = false;
-  Coordinator root(plan.key_columns);
+
+  // One merge pool shared by every tier's coordinator (safe: dispatch is
+  // ThreadPool::ParallelFor, which never waits on other clients' tasks).
+  const size_t shards = ResolveCoordinatorShards(options_.coordinator_shards);
+  std::unique_ptr<ThreadPool> merge_pool;
+  if (shards > 1) merge_pool = std::make_unique<ThreadPool>(shards - 1);
+  Coordinator root(plan.key_columns, shards, merge_pool.get());
 
   SKALLA_ASSIGN_OR_RETURN(const Table* probe,
                           sites_[0].catalog().Get(plan.base.table));
@@ -205,21 +209,28 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
 
   // ---- Base round ---------------------------------------------------------
   {
-    TreeRoundStats rs;
+    RoundStats rs;
     rs.label = "base";
     rs.synchronized = plan.sync_base;
     RoundAccum accum(tree_.nodes.size());
     for (size_t i = 0; i < n; ++i) {
       Stopwatch timer;
-      SKALLA_ASSIGN_OR_RETURN(local_base[i],
-                              sites_[i].ExecuteBaseQuery(plan.base));
-      rs.site_time_max = std::max(rs.site_time_max, timer.ElapsedSeconds());
+      size_t retries = 0;
+      Result<Table> b_i = ExecuteSiteRound(
+          options_, sites_[i].id(), rs.label,
+          [&] { return sites_[i].ExecuteBaseQuery(plan.base); }, &retries);
+      if (!b_i.ok()) return b_i.status();
+      local_base[i] = std::move(*b_i);
+      double elapsed = timer.ElapsedSeconds();
+      rs.site_time_max = std::max(rs.site_time_max, elapsed);
+      rs.site_time_sum += elapsed;
+      rs.site_retries += retries;
     }
     if (plan.sync_base) {
       // Post-order distinct-union up the tree.
       std::function<Result<Table>(int)> merge_up =
           [&](int node) -> Result<Table> {
-        Coordinator c({});
+        Coordinator c({}, shards, merge_pool.get());
         SKALLA_RETURN_NOT_OK(c.InitBase(upstream));
         const CoordinatorTree::Node& current =
             tree_.nodes[static_cast<size_t>(node)];
@@ -227,7 +238,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, local_base[static_cast<size_t>(s)], s,
-                           NodeEndpoint(node), node, &accum));
+                           NodeEndpoint(node), node, /*downward=*/false,
+                           &accum));
           Stopwatch timer;
           SKALLA_RETURN_NOT_OK(c.MergeBaseFragment(received));
           accum.merge_time[static_cast<size_t>(node)] +=
@@ -239,7 +251,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, fragment, NodeEndpoint(child),
-                           NodeEndpoint(node), node, &accum));
+                           NodeEndpoint(node), node, /*downward=*/false,
+                           &accum));
           Stopwatch timer;
           SKALLA_RETURN_NOT_OK(c.MergeBaseFragment(received));
           accum.merge_time[static_cast<size_t>(node)] +=
@@ -251,17 +264,14 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
       root.SetResult(std::move(global_base));
       have_global = true;
     }
-    rs.root_bytes = accum.root_bytes;
-    rs.total_bytes = accum.total_bytes;
-    rs.comm_time = SumOfLevelMaxima(tree_, accum.link_time);
-    rs.coord_time = SumOfLevelMaxima(tree_, accum.merge_time);
+    FoldAccum(tree_, accum, &rs);
     st.rounds.push_back(std::move(rs));
   }
 
   // ---- GMDJ stages ---------------------------------------------------------
   for (size_t k = 0; k < plan.stages.size(); ++k) {
     const PlanStage& stage = plan.stages[k];
-    TreeRoundStats rs;
+    RoundStats rs;
     rs.label = StrCat("md", k + 1);
     rs.synchronized = stage.sync_after;
     RoundAccum accum(tree_.nodes.size());
@@ -310,7 +320,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           SKALLA_ASSIGN_OR_RETURN(
               local_base[static_cast<size_t>(s)],
               ShipOverLink(&network_, to_send, NodeEndpoint(node), s, node,
-                           &accum));
+                           /*downward=*/true, &accum));
         }
         for (int child : current.child_nodes) {
           Table to_send(table.schema());
@@ -347,7 +357,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, to_send, NodeEndpoint(node),
-                           NodeEndpoint(child), node, &accum));
+                           NodeEndpoint(child), node, /*downward=*/true,
+                           &accum));
           SKALLA_RETURN_NOT_OK(distribute(child, received));
         }
         return Status::OK();
@@ -363,9 +374,16 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     std::vector<Table> outputs(n);
     for (size_t i = 0; i < n; ++i) {
       Stopwatch timer;
-      SKALLA_ASSIGN_OR_RETURN(
-          Table result,
-          sites_[i].EvalGmdjRound(local_base[i], stage.op, eval_options));
+      size_t retries = 0;
+      Result<Table> attempt_result = ExecuteSiteRound(
+          options_, sites_[i].id(), rs.label,
+          [&] {
+            return sites_[i].EvalGmdjRound(local_base[i], stage.op,
+                                           eval_options);
+          },
+          &retries);
+      if (!attempt_result.ok()) return attempt_result.status();
+      Table result = std::move(*attempt_result);
       if (eval_options.compute_rng) {
         // Reuse the flat executor's filter semantics: keep |RNG| > 0 rows
         // and drop the indicator column.
@@ -384,7 +402,10 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
         }
         result = std::move(filtered);
       }
-      rs.site_time_max = std::max(rs.site_time_max, timer.ElapsedSeconds());
+      double elapsed = timer.ElapsedSeconds();
+      rs.site_time_max = std::max(rs.site_time_max, elapsed);
+      rs.site_time_sum += elapsed;
+      rs.site_retries += retries;
       outputs[i] = std::move(result);
     }
 
@@ -392,7 +413,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
       // Post-order partial merge up the tree; the root finalizes.
       std::function<Result<Table>(int)> merge_up =
           [&](int node) -> Result<Table> {
-        Coordinator c(plan.key_columns);
+        Coordinator c(plan.key_columns, shards, merge_pool.get());
         SKALLA_RETURN_NOT_OK(c.BeginRound(stage.op, *upstream,
                                           detail_schema,
                                           /*from_scratch=*/true));
@@ -402,7 +423,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, outputs[static_cast<size_t>(s)], s,
-                           NodeEndpoint(node), node, &accum));
+                           NodeEndpoint(node), node, /*downward=*/false,
+                           &accum));
           Stopwatch timer;
           SKALLA_RETURN_NOT_OK(c.MergeFragment(received));
           accum.merge_time[static_cast<size_t>(node)] +=
@@ -413,7 +435,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, fragment, NodeEndpoint(child),
-                           NodeEndpoint(node), node, &accum));
+                           NodeEndpoint(node), node, /*downward=*/false,
+                           &accum));
           Stopwatch timer;
           SKALLA_RETURN_NOT_OK(c.MergeFragment(received));
           accum.merge_time[static_cast<size_t>(node)] +=
@@ -432,7 +455,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             ShipOverLink(&network_, outputs[static_cast<size_t>(s)], s,
-                         NodeEndpoint(0), 0, &accum));
+                         NodeEndpoint(0), 0, /*downward=*/false, &accum));
         Stopwatch timer;
         SKALLA_RETURN_NOT_OK(root.MergeFragment(received));
         accum.merge_time[0] += timer.ElapsedSeconds();
@@ -442,7 +465,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             ShipOverLink(&network_, fragment, NodeEndpoint(child),
-                         NodeEndpoint(0), 0, &accum));
+                         NodeEndpoint(0), 0, /*downward=*/false, &accum));
         Stopwatch timer;
         SKALLA_RETURN_NOT_OK(root.MergeFragment(received));
         accum.merge_time[0] += timer.ElapsedSeconds();
@@ -466,10 +489,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
 
     SKALLA_ASSIGN_OR_RETURN(upstream,
                             stage.op.OutputSchema(*upstream, detail_schema));
-    rs.root_bytes = accum.root_bytes;
-    rs.total_bytes = accum.total_bytes;
-    rs.comm_time = SumOfLevelMaxima(tree_, accum.link_time);
-    rs.coord_time = SumOfLevelMaxima(tree_, accum.merge_time);
+    FoldAccum(tree_, accum, &rs);
     st.rounds.push_back(std::move(rs));
   }
 

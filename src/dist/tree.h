@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "dist/exec.h"
+#include "dist/executor.h"
 #include "dist/plan.h"
 #include "dist/site.h"
 #include "net/network.h"
@@ -51,53 +51,39 @@ struct CoordinatorTree {
   std::vector<int> SitesUnder(int node) const;
 };
 
-/// Per-round accounting for the tree executor.
-struct TreeRoundStats {
-  std::string label;
-  bool synchronized = false;
-  /// Bytes over the root's own links (the star topology's bottleneck).
-  uint64_t root_bytes = 0;
-  /// Bytes over every link of the tree.
-  uint64_t total_bytes = 0;
-  /// Max over sites of local compute.
-  double site_time_max = 0;
-  /// Merge/filter compute summed over coordinator nodes.
-  double coord_time = 0;
-  /// Modeled communication: per level, links transfer in parallel; the
-  /// slowest node per level gates the round.
-  double comm_time = 0;
-
-  double ResponseTime() const {
-    return comm_time + site_time_max + coord_time;
-  }
-};
-
-struct TreeExecStats {
-  std::vector<TreeRoundStats> rounds;
-
-  uint64_t TotalBytes() const;
-  uint64_t RootBytes() const;
-  double ResponseTime() const;
-  std::string ToString() const;
-};
-
 /// Executes DistributedPlans over a coordinator tree. Results are
 /// bit-identical to DistributedExecutor's; only the traffic pattern and
-/// cost change.
-class TreeExecutor {
+/// cost change. Implements the unified skalla::Executor interface.
+///
+/// Accounting: ExecStats byte/tuple fields split by direction — shipments
+/// down the tree (toward the sites) count as *_to_sites, shipments up
+/// (toward the root) as *_to_coord, over every link. RoundStats.root_bytes
+/// isolates the root's own links (the star topology's bottleneck).
+/// coord_time and comm_time fold per-node costs as the sum over levels of
+/// the per-level maximum (levels are sequential, nodes within a level work
+/// in parallel).
+///
+/// With coordinator_shards > 1, every tier's coordinator shards its merge
+/// structure; one merge pool is shared across all tiers. Sites evaluate
+/// sequentially (parallel_sites is ignored; the cost model already
+/// charges the per-level maximum); ship_block_rows does not apply.
+class TreeExecutor : public Executor {
  public:
   TreeExecutor(std::vector<Site> sites, CoordinatorTree tree,
-               NetworkConfig net_config = {});
+               NetworkConfig net_config = {}, ExecutorOptions options = {});
 
-  Result<Table> Execute(const DistributedPlan& plan, TreeExecStats* stats);
+  Result<Table> Execute(const DistributedPlan& plan,
+                        ExecStats* stats) override;
 
-  size_t num_sites() const { return sites_.size(); }
+  const char* name() const override { return "tree"; }
+  size_t num_sites() const override { return sites_.size(); }
   const CoordinatorTree& tree() const { return tree_; }
 
  private:
   std::vector<Site> sites_;
   CoordinatorTree tree_;
   SimulatedNetwork network_;
+  ExecutorOptions options_;
 };
 
 }  // namespace skalla

@@ -76,11 +76,9 @@ Result<Table> DistributedWarehouse::ExecutePlan(const DistributedPlan& plan,
                                                 ExecStats* stats) const {
   std::vector<Site> sites;
   sites.reserve(num_sites_);
+  // Columnar caches are built by the executor itself (columnar_sites).
   for (size_t i = 0; i < num_sites_; ++i) {
     sites.emplace_back(static_cast<int>(i), site_catalogs_[i]);
-    if (exec_options_.columnar_sites) {
-      SKALLA_RETURN_NOT_OK(sites.back().EnableColumnarCache());
-    }
   }
   DistributedExecutor executor(std::move(sites), net_config_, exec_options_);
   return executor.Execute(plan, stats);

@@ -175,8 +175,9 @@ TEST(AsyncExecutorTest, SingleThreadStillCorrect) {
       dw.Plan(expr, OptimizerOptions::All()).ValueOrDie();
   Table expected = dw.ExecuteCentralized(expr).ValueOrDie();
 
-  AsyncExecutor async(MakeSites(parts), NetworkConfig{},
-                      /*num_threads=*/1);
+  ExecutorOptions options;
+  options.num_threads = 1;
+  AsyncExecutor async(MakeSites(parts), NetworkConfig{}, options);
   Table result = async.Execute(plan, nullptr).ValueOrDie();
   EXPECT_TRUE(result.SameRows(expected));
 }

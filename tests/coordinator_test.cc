@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "common/random.h"
 #include "core/local_eval.h"
 #include "expr/builder.h"
 #include "relalg/operators.h"
 #include "storage/partition.h"
+#include "types/row.h"
 
 namespace skalla {
 namespace {
@@ -40,14 +43,28 @@ GmdjOp TestOp() {
   return op;
 }
 
+// Row-for-row equality including order.
+bool ExactlyEqual(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (!RowEquals(a.row(r), b.row(r))) return false;
+  }
+  return true;
+}
+
 // Theorem 1, end to end at the coordinator level: partition R, compute
-// sub-aggregate fragments per partition, merge in random order, compare
-// with direct full evaluation.
-class Theorem1Test : public ::testing::TestWithParam<uint64_t> {};
+// sub-aggregate fragments per partition, merge in random order (with a
+// sequential and a sharded coordinator), compare with direct full
+// evaluation.
+class Theorem1Test
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
 
 TEST_P(Theorem1Test, MergedFragmentsEqualDirectEvaluation) {
-  Random rng(GetParam());
-  Table detail = MakeDetail(GetParam() * 977 + 1, 150 + rng.Uniform(200));
+  auto [seed, num_shards] = GetParam();
+  Random rng(seed);
+  Table detail = MakeDetail(seed * 977 + 1, 150 + rng.Uniform(200));
   Table base = Project(detail, {"g"}, true).ValueOrDie();
   GmdjOp op = TestOp();
 
@@ -65,7 +82,7 @@ TEST_P(Theorem1Test, MergedFragmentsEqualDirectEvaluation) {
   }
   rng.Shuffle(&fragments);
 
-  Coordinator coordinator({"g"});
+  Coordinator coordinator({"g"}, num_shards);
   coordinator.SetResult(base);
   coordinator
       .BeginRound(op, *base.schema(), *detail.schema(),
@@ -80,10 +97,28 @@ TEST_P(Theorem1Test, MergedFragmentsEqualDirectEvaluation) {
       << "merged:\n"
       << coordinator.result().ToString(30) << "direct:\n"
       << expected.ToString(30);
+
+  if (num_shards > 1) {
+    // The sharded merge must reproduce the sequential merge exactly,
+    // including row order.
+    Coordinator sequential({"g"});
+    sequential.SetResult(base);
+    sequential
+        .BeginRound(op, *base.schema(), *detail.schema(),
+                    /*from_scratch=*/false)
+        .Check();
+    for (const Table& fragment : fragments) {
+      sequential.MergeFragment(fragment).Check();
+    }
+    sequential.FinalizeRound().Check();
+    EXPECT_TRUE(ExactlyEqual(coordinator.result(), sequential.result()));
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test,
-                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShards, Theorem1Test,
+    ::testing::Combine(::testing::Range(uint64_t{0}, uint64_t{15}),
+                       ::testing::Values(size_t{1}, size_t{4})));
 
 TEST(CoordinatorTest, BaseFragmentsDeduplicate) {
   Coordinator coordinator({"g"});
@@ -97,7 +132,64 @@ TEST(CoordinatorTest, BaseFragmentsDeduplicate) {
   f2.AppendUnchecked({Value(3)});
   coordinator.MergeBaseFragment(f1).Check();
   coordinator.MergeBaseFragment(f2).Check();
+  coordinator.FinalizeBase().Check();
   EXPECT_EQ(coordinator.result().num_rows(), 3u);
+  // The base round is over; a second finalize is a protocol violation.
+  EXPECT_TRUE(coordinator.FinalizeBase().IsInternal());
+}
+
+TEST(CoordinatorTest, ShardedBaseDedupMatchesSequential) {
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"h", ValueType::kInt64}})
+                         .ValueOrDie();
+  Random rng(7);
+  std::vector<Table> fragments;
+  for (int f = 0; f < 4; ++f) {
+    Table t(schema);
+    for (int r = 0; r < 40; ++r) {
+      t.AppendUnchecked(
+          {Value(rng.UniformInt(0, 9)), Value(rng.UniformInt(0, 4))});
+    }
+    fragments.push_back(std::move(t));
+  }
+  auto run = [&](size_t shards) {
+    Coordinator c({"g"}, shards);
+    c.InitBase(schema).Check();
+    for (const Table& f : fragments) c.MergeBaseFragment(f).Check();
+    c.FinalizeBase().Check();
+    return c.result();
+  };
+  Table sequential = run(1);
+  Table sharded = run(4);
+  EXPECT_GT(sequential.num_rows(), 0u);
+  EXPECT_TRUE(ExactlyEqual(sharded, sequential));
+}
+
+TEST(CoordinatorTest, ShardedWorkingFragmentMatchesSequential) {
+  // The tree executor's upward path: merge from scratch, then take the
+  // unfinalized working fragment. Sharding must not change it.
+  Table detail = MakeDetail(11, 200);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op = TestOp();
+  std::vector<Table> partitions =
+      PartitionRoundRobin(detail, 3).ValueOrDie();
+  GmdjEvalOptions sub;
+  sub.sub_aggregates = true;
+  std::vector<Table> fragments;
+  for (const Table& part : partitions) {
+    fragments.push_back(EvalGmdj(base, part, op, sub).ValueOrDie());
+  }
+  auto run = [&](size_t shards) {
+    Coordinator c({"g"}, shards);
+    c.BeginRound(op, *base.schema(), *detail.schema(), /*from_scratch=*/true)
+        .Check();
+    for (const Table& f : fragments) c.MergeFragment(f).Check();
+    return c.TakeWorkingFragment().ValueOrDie();
+  };
+  Table sequential = run(1);
+  Table sharded = run(4);
+  EXPECT_GT(sequential.num_rows(), 0u);
+  EXPECT_TRUE(ExactlyEqual(sharded, sequential));
 }
 
 TEST(CoordinatorTest, BaseFragmentArityMismatchFails) {

@@ -102,7 +102,7 @@ TEST_P(TreeEquivalenceTest, MatchesFlatExecutorAndCentralized) {
   }
   TreeExecutor executor(std::move(sites),
                         CoordinatorTree::Balanced(kSites, fanout));
-  TreeExecStats stats;
+  ExecStats stats;
   Table result = executor.Execute(plan, &stats).ValueOrDie();
   EXPECT_TRUE(result.SameRows(expected))
       << "fanout " << fanout << " opts " << opt_mask << "\n"
@@ -137,7 +137,7 @@ TEST(TreeExecutorTest, RootTrafficShrinksVersusStar) {
     }
     TreeExecutor executor(std::move(sites),
                           CoordinatorTree::Balanced(kSites, fanout));
-    TreeExecStats stats;
+    ExecStats stats;
     Table result = executor.Execute(plan, &stats).ValueOrDie();
     return std::make_pair(result, stats);
   };

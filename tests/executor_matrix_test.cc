@@ -1,10 +1,18 @@
 // Cross-executor consistency matrix: the same optimized plan executed by
 // every engine variant — synchronous star, parallel sites, row-blocked,
 // columnar sites, asynchronous/pipelined, and coordinator trees of two
-// fanouts — produces identical results; where byte accounting is defined
-// the same way (all but the tree), identical transfer counts too.
+// fanouts — through the unified skalla::Executor interface, crossed with
+// coordinator_shards ∈ {1, 4}. Every combination must produce results
+// identical to the centralized evaluator; sharding must leave results
+// (including row order, for the engines with deterministic fragment
+// arrival), transfer bytes, and tuple counts exactly as the sequential
+// merge produced them; where byte accounting is defined the same way as
+// the star's (all variants but the tree), byte counts match the star
+// baseline too.
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "common/random.h"
 #include "dist/async_exec.h"
@@ -12,6 +20,7 @@
 #include "dist/warehouse.h"
 #include "sql/parser.h"
 #include "storage/partition.h"
+#include "types/row.h"
 
 namespace skalla {
 namespace {
@@ -43,7 +52,46 @@ std::vector<Site> MakeSites(const std::vector<Table>& parts) {
   return sites;
 }
 
-TEST(ExecutorMatrixTest, AllEnginesAgree) {
+// Row-for-row equality including order — pins that sharded merging
+// reproduces the sequential merge's output exactly, not just as a set.
+bool ExactlyEqual(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (!RowEquals(a.row(r), b.row(r))) return false;
+  }
+  return true;
+}
+
+struct Variant {
+  const char* name;
+  ExecutorOptions options;
+  // How byte accounting relates to the star baseline: "exact" variants
+  // ship identical messages; "blocked" splits them (more headers);
+  // "tree" adds inter-coordinator links.
+  bool bytes_match_star;
+};
+
+// Builds the variant's engine behind the unified interface.
+std::unique_ptr<Executor> MakeExecutor(const std::string& name,
+                                       const std::vector<Table>& parts,
+                                       const ExecutorOptions& options) {
+  if (name == "async") {
+    return std::make_unique<AsyncExecutor>(MakeSites(parts), NetworkConfig{},
+                                           options);
+  }
+  if (name == "tree2" || name == "tree3") {
+    size_t fanout = name == "tree2" ? 2 : 3;
+    return std::make_unique<TreeExecutor>(
+        MakeSites(parts), CoordinatorTree::Balanced(kSites, fanout),
+        NetworkConfig{}, options);
+  }
+  return std::make_unique<DistributedExecutor>(MakeSites(parts),
+                                               NetworkConfig{}, options);
+}
+
+TEST(ExecutorMatrixTest, AllEnginesAgreeAcrossShardCounts) {
   Table data = MakeData();
   std::vector<Table> parts = PartitionByValue(data, "g", kSites).ValueOrDie();
 
@@ -63,6 +111,19 @@ TEST(ExecutorMatrixTest, AllEnginesAgree) {
        WHERE r.g = b.g AND r.v * 2 >= b.m1;
   )").ValueOrDie();
 
+  ExecutorOptions parallel;
+  parallel.parallel_sites = true;
+  ExecutorOptions blocked;
+  blocked.ship_block_rows = 11;
+  ExecutorOptions columnar;
+  columnar.columnar_sites = true;
+  const Variant variants[] = {
+      {"star", {}, true},        {"parallel", parallel, true},
+      {"blocked", blocked, false}, {"columnar", columnar, true},
+      {"async", {}, true},       {"tree2", {}, false},
+      {"tree3", {}, false},
+  };
+
   for (int opt_mask : {0, 15}) {
     OptimizerOptions opts;
     opts.coalescing = opt_mask & 1;
@@ -73,64 +134,73 @@ TEST(ExecutorMatrixTest, AllEnginesAgree) {
 
     Table reference = dw.ExecuteCentralized(query).ValueOrDie();
 
-    // 1. Synchronous star (baseline for byte accounting).
+    // Star baseline for cross-variant byte accounting.
     ExecStats star_stats;
-    DistributedExecutor star(MakeSites(parts));
-    Table star_result = star.Execute(plan, &star_stats).ValueOrDie();
-    ASSERT_TRUE(star_result.SameRows(reference)) << "star, opts " << opt_mask;
-
-    struct Variant {
-      const char* name;
-      ExecutorOptions options;
-    };
-    ExecutorOptions parallel;
-    parallel.parallel_sites = true;
-    ExecutorOptions blocked;
-    blocked.ship_block_rows = 11;
-    ExecutorOptions columnar;
-    columnar.columnar_sites = true;
-    const Variant variants[] = {
-        {"parallel", parallel},
-        {"blocked", blocked},
-        {"columnar", columnar},
-    };
-    for (const Variant& variant : variants) {
-      std::vector<Site> sites = MakeSites(parts);
-      if (variant.options.columnar_sites) {
-        for (Site& site : sites) site.EnableColumnarCache().Check();
-      }
-      DistributedExecutor executor(std::move(sites), NetworkConfig{},
-                                   variant.options);
-      ExecStats stats;
-      Table result = executor.Execute(plan, &stats).ValueOrDie();
-      EXPECT_TRUE(result.SameRows(reference))
-          << variant.name << ", opts " << opt_mask;
-      EXPECT_EQ(stats.TotalTuplesTransferred(),
-                star_stats.TotalTuplesTransferred())
-          << variant.name << ", opts " << opt_mask;
-      if (variant.options.ship_block_rows == 0) {
-        EXPECT_EQ(stats.TotalBytes(), star_stats.TotalBytes())
-            << variant.name << ", opts " << opt_mask;
-      }
+    {
+      std::unique_ptr<Executor> star = MakeExecutor("star", parts, {});
+      Table star_result = star->Execute(plan, &star_stats).ValueOrDie();
+      ASSERT_TRUE(star_result.SameRows(reference))
+          << "star, opts " << opt_mask;
     }
 
-    // 2. Asynchronous pipelined executor.
-    AsyncExecutor async(MakeSites(parts));
-    ExecStats async_stats;
-    Table async_result = async.Execute(plan, &async_stats).ValueOrDie();
-    EXPECT_TRUE(async_result.SameRows(reference)) << "async, opts "
-                                                  << opt_mask;
-    EXPECT_EQ(async_stats.TotalBytes(), star_stats.TotalBytes())
-        << "async, opts " << opt_mask;
+    for (const Variant& variant : variants) {
+      // Sequential-merge run: the pinned baseline for this variant.
+      ExecutorOptions seq_options = variant.options;
+      seq_options.coordinator_shards = 1;
+      std::unique_ptr<Executor> seq_exec =
+          MakeExecutor(variant.name, parts, seq_options);
+      ExecStats seq_stats;
+      Table seq_result = seq_exec->Execute(plan, &seq_stats).ValueOrDie();
+      EXPECT_TRUE(seq_result.SameRows(reference))
+          << variant.name << ", opts " << opt_mask;
+      EXPECT_EQ(seq_stats.rounds.size(), plan.stages.size() + 1)
+          << variant.name << ", opts " << opt_mask;
 
-    // 3. Coordinator trees.
-    for (size_t fanout : {size_t{2}, size_t{3}}) {
-      TreeExecutor tree(MakeSites(parts),
-                        CoordinatorTree::Balanced(kSites, fanout));
-      TreeExecStats tree_stats;
-      Table tree_result = tree.Execute(plan, &tree_stats).ValueOrDie();
-      EXPECT_TRUE(tree_result.SameRows(reference))
-          << "tree fanout " << fanout << ", opts " << opt_mask;
+      if (variant.bytes_match_star) {
+        EXPECT_EQ(seq_stats.TotalBytes(), star_stats.TotalBytes())
+            << variant.name << ", opts " << opt_mask;
+      }
+      if (std::string(variant.name).rfind("tree", 0) != 0) {
+        EXPECT_EQ(seq_stats.TotalTuplesTransferred(),
+                  star_stats.TotalTuplesTransferred())
+            << variant.name << ", opts " << opt_mask;
+      }
+
+      // Sharded-merge run: results (row for row), bytes, and tuples must
+      // be exactly what the sequential merge produced. The async engine
+      // is the one exception to row-order pinning: its output order
+      // follows fragment *arrival* order, which varies between two
+      // executions regardless of the shard count (the sharded merge
+      // reproduces the sequential merge for a given arrival stream —
+      // pinned at the coordinator level in coordinator_test.cc — but two
+      // async runs see different streams).
+      ExecutorOptions sharded_options = variant.options;
+      sharded_options.coordinator_shards = 4;
+      std::unique_ptr<Executor> sharded_exec =
+          MakeExecutor(variant.name, parts, sharded_options);
+      ExecStats sharded_stats;
+      Table sharded_result =
+          sharded_exec->Execute(plan, &sharded_stats).ValueOrDie();
+      if (std::string(variant.name) == "async") {
+        EXPECT_TRUE(sharded_result.SameRows(seq_result))
+            << variant.name << " shards=4, opts " << opt_mask;
+      } else {
+        EXPECT_TRUE(ExactlyEqual(sharded_result, seq_result))
+            << variant.name << " shards=4, opts " << opt_mask;
+      }
+      EXPECT_EQ(sharded_stats.TotalBytes(), seq_stats.TotalBytes())
+          << variant.name << " shards=4, opts " << opt_mask;
+      EXPECT_EQ(sharded_stats.TotalBytesToSites(),
+                seq_stats.TotalBytesToSites())
+          << variant.name << " shards=4, opts " << opt_mask;
+      EXPECT_EQ(sharded_stats.TotalBytesToCoord(),
+                seq_stats.TotalBytesToCoord())
+          << variant.name << " shards=4, opts " << opt_mask;
+      EXPECT_EQ(sharded_stats.TotalTuplesTransferred(),
+                seq_stats.TotalTuplesTransferred())
+          << variant.name << " shards=4, opts " << opt_mask;
+      EXPECT_EQ(sharded_stats.RootBytes(), seq_stats.RootBytes())
+          << variant.name << " shards=4, opts " << opt_mask;
     }
   }
 }

@@ -1,10 +1,14 @@
-// Fault injection and site-retry recovery in the distributed executor.
+// Fault injection and site-retry recovery, in the synchronous executor
+// and in the pipelined AsyncExecutor (which shares the retry policy via
+// ExecutorOptions).
 
 #include "dist/fault.h"
 
 #include <gtest/gtest.h>
 
+#include "common/macros.h"
 #include "common/random.h"
+#include "dist/async_exec.h"
 #include "dist/warehouse.h"
 #include "expr/builder.h"
 #include "storage/partition.h"
@@ -105,6 +109,69 @@ TEST(FaultTest, RecoveryWorksUnderAllOptimizations) {
                                OptimizerOptions::All())
                      .ValueOrDie();
   EXPECT_TRUE(result.SameRows(expected));
+}
+
+// Same scenario through the AsyncExecutor: plans built by the warehouse,
+// sites constructed directly so the executor choice is explicit.
+Result<Table> RunAsyncWithFaults(const Table& flow, FaultInjector* injector,
+                                 size_t retries, ExecStats* stats,
+                                 const OptimizerOptions& opts) {
+  const size_t kSites = 4;
+  DistributedWarehouse dw(kSites);
+  Status s = dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"});
+  if (!s.ok()) return s;
+  SKALLA_ASSIGN_OR_RETURN(DistributedPlan plan, dw.Plan(SimpleQuery(), opts));
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Table> parts,
+                          PartitionByValue(flow, "SAS", kSites));
+  std::vector<Site> sites;
+  for (size_t i = 0; i < kSites; ++i) {
+    Catalog catalog;
+    catalog.Register("flow", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  ExecutorOptions exec_options;
+  exec_options.fault_injector = injector;
+  exec_options.max_site_retries = retries;
+  AsyncExecutor executor(std::move(sites), NetworkConfig{}, exec_options);
+  return executor.Execute(plan, stats);
+}
+
+TEST(FaultTest, AsyncTransientFailuresRecoverWithRetry) {
+  Table flow = MakeFlow(600);
+  DistributedWarehouse reference_dw(4);
+  reference_dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}).Check();
+  Table expected =
+      reference_dw.ExecuteCentralized(SimpleQuery()).ValueOrDie();
+
+  TransientFaultInjector injector(/*failures=*/1);
+  ExecStats stats;
+  Table result = RunAsyncWithFaults(flow, &injector, /*retries=*/2, &stats,
+                                    OptimizerOptions::None())
+                     .ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  EXPECT_GT(injector.injected(), 0);
+  size_t total_retries = 0;
+  for (const RoundStats& r : stats.rounds) total_retries += r.site_retries;
+  // Every (site, round) pair failed once: 4 sites x 3 rounds.
+  EXPECT_EQ(total_retries, 12u);
+}
+
+TEST(FaultTest, AsyncExhaustedRetriesSurfaceTheFailure) {
+  Table flow = MakeFlow(200);
+  TransientFaultInjector injector(/*failures=*/3);
+  auto result = RunAsyncWithFaults(flow, &injector, /*retries=*/1, nullptr,
+                                   OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(FaultTest, AsyncPermanentSiteFailureAborts) {
+  Table flow = MakeFlow(200);
+  PermanentSiteFailure injector(/*site=*/2);
+  auto result = RunAsyncWithFaults(flow, &injector, /*retries=*/5, nullptr,
+                                   OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("site 2"), std::string::npos);
 }
 
 TEST(FaultTest, NoInjectorMeansNoRetries) {
