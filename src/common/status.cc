@@ -27,6 +27,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kTypeError:
       return "Type error";
+    case StatusCode::kVersionMismatch:
+      return "Version mismatch";
   }
   return "Unknown";
 }

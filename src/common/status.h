@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kIOError = 7,
   kParseError = 8,
   kTypeError = 9,
+  kVersionMismatch = 10,
 };
 
 /// Returns a stable, human-readable name for a status code ("Invalid
@@ -85,6 +86,9 @@ class Status {
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -111,6 +115,9 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsVersionMismatch() const {
+    return code() == StatusCode::kVersionMismatch;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

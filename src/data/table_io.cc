@@ -81,4 +81,9 @@ Result<std::vector<Table>> LoadPartitions(const std::string& directory,
   return partitions;
 }
 
+Result<Table> LoadPartition(const std::string& directory,
+                            const std::string& name, size_t index) {
+  return ReadTableFile(PartitionPath(directory, name, index));
+}
+
 }  // namespace skalla

@@ -28,6 +28,11 @@ Status SavePartitions(const std::vector<Table>& partitions,
 Result<std::vector<Table>> LoadPartitions(const std::string& directory,
                                           const std::string& name);
 
+/// Loads the single partition <dir>/<name>.part<index>.skt — what a site
+/// process loads at startup, without touching its peers' partitions.
+Result<Table> LoadPartition(const std::string& directory,
+                            const std::string& name, size_t index);
+
 }  // namespace skalla
 
 #endif  // SKALLA_DATA_TABLE_IO_H_

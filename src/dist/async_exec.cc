@@ -11,53 +11,44 @@
 #include "net/channel.h"
 #include "net/serde.h"
 #include "obs/obs.h"
+#include "rpc/frame.h"
 
 namespace skalla {
 
 namespace {
 
-// Message framing: payload[0] = 1 for success followed by the table
-// bytes, 0 for failure (the status is reported out of band).
+// Fragments travel through the in-process channel inside the same
+// versioned wire frame the TCP transport uses (rpc/frame.h): a success is
+// a kTableResult frame around the serde table bytes, a failure a kError
+// frame (the status itself is reported out of band through first_error).
 std::vector<uint8_t> FrameTable(const Table& table) {
   std::vector<uint8_t> payload;
-  payload.push_back(1);
   WriteTable(table, &payload);
-  return payload;
+  return rpc::EncodeFrame(rpc::MessageType::kTableResult, payload);
 }
 
-std::vector<uint8_t> FrameError() { return {0}; }
-
-// Applies the __rng > 0 filter and drops the indicator column.
-Result<Table> ApplyRngFilter(const Table& h) {
-  int rng_idx = h.schema()->IndexOf(kRngCountColumn);
-  if (rng_idx < 0) {
-    return Status::Internal("partial result lacks __rng column");
-  }
-  std::vector<size_t> keep;
-  for (size_t c = 0; c < h.num_columns(); ++c) {
-    if (c != static_cast<size_t>(rng_idx)) keep.push_back(c);
-  }
-  Table out(h.schema()->Project(keep));
-  for (size_t r = 0; r < h.num_rows(); ++r) {
-    const Value& flag = h.at(r, static_cast<size_t>(rng_idx));
-    if (!flag.is_null() && flag.AsDouble() > 0) {
-      out.AppendUnchecked(ProjectRow(h.row(r), keep));
-    }
-  }
-  return out;
+std::vector<uint8_t> FrameError() {
+  return rpc::EncodeFrame(rpc::MessageType::kError, {});
 }
 
-Result<Table> FilterBase(const Table& table, const ExprPtr& predicate) {
-  SKALLA_ASSIGN_OR_RETURN(ExprPtr bound,
-                          predicate->Bind(table.schema().get(), nullptr));
-  Table out(table.schema());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (bound->EvalBool(&table.row(r), nullptr)) {
-      out.AppendUnchecked(table.row(r));
-    }
+// Teardown guard for one round's fragment channel: on every exit path —
+// including early error returns while site tasks are still running —
+// closes the channel (late fragments are dropped, a blocked Receive
+// wakes) and waits for the tasks, so no task can touch a destroyed
+// channel.
+class ChannelDrain {
+ public:
+  ChannelDrain(MessageChannel* channel, ThreadPool* pool)
+      : channel_(channel), pool_(pool) {}
+  ~ChannelDrain() {
+    channel_->Close();
+    pool_->Wait();
   }
-  return out;
-}
+
+ private:
+  MessageChannel* channel_;
+  ThreadPool* pool_;
+};
 
 }  // namespace
 
@@ -140,6 +131,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                      plan.sync_base ? "true" : "false");
     Stopwatch wall;
     MessageChannel channel;
+    ChannelDrain drain(&channel, &pool);
     for (size_t i = 0; i < n; ++i) {
       pool.Submit([&, i] {
         SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
@@ -174,15 +166,20 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     if (plan.sync_base) {
       SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
       for (size_t received = 0; received < n; ++received) {
-        ChannelMessage message = channel.Receive();
-        if (message.bytes.empty() || message.bytes[0] == 0) continue;
-        uint64_t table_bytes = message.bytes.size() - 1;
+        std::optional<ChannelMessage> message = channel.Receive();
+        if (!message.has_value()) {
+          return Status::Internal(
+              "fragment channel closed before all base fragments arrived");
+        }
+        SKALLA_ASSIGN_OR_RETURN(rpc::Frame frame,
+                                rpc::DecodeFrame(message->bytes));
+        if (frame.type != rpc::MessageType::kTableResult) continue;
+        uint64_t table_bytes = frame.payload.size();
         rs.bytes_to_coord += table_bytes;
-        rs.comm_time += network_.Transfer(message.from, kCoordinatorId,
+        rs.comm_time += network_.Transfer(message->from, kCoordinatorId,
                                           table_bytes);
         SKALLA_ASSIGN_OR_RETURN(
-            Table fragment,
-            ReadTable(message.bytes.data() + 1, table_bytes));
+            Table fragment, ReadTable(frame.payload.data(), table_bytes));
         rs.tuples_to_coord += fragment.num_rows();
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(fragment));
@@ -232,7 +229,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         {
           Stopwatch coord_timer;
           if (filter != nullptr) {
-            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBase(x, filter));
+            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBaseRows(x, filter));
           } else {
             to_send = x;
           }
@@ -243,11 +240,16 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           ++rs.sites_skipped;
           continue;
         }
-        WriteTable(to_send, &downstream[i]);
-        rs.bytes_to_sites += downstream[i].size();
+        // Byte accounting counts the table payload only; the constant
+        // frame header is transport overhead, not shipped data.
+        std::vector<uint8_t> payload;
+        WriteTable(to_send, &payload);
+        rs.bytes_to_sites += payload.size();
         rs.tuples_to_sites += to_send.num_rows();
         rs.comm_time += network_.Transfer(kCoordinatorId, sites_[i].id(),
-                                          downstream[i].size());
+                                          payload.size());
+        downstream[i] =
+            rpc::EncodeFrame(rpc::MessageType::kTableResult, payload);
       }
     }
 
@@ -257,6 +259,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         stage.sync_after && stage.indep_group_reduction;
 
     MessageChannel channel;
+    ChannelDrain drain(&channel, &pool);
     const bool distribute = have_global;
     for (size_t i = 0; i < n; ++i) {
       if (!active[i]) continue;
@@ -269,8 +272,11 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         Status status = Status::OK();
         Table base_in;
         if (distribute) {
+          Result<rpc::Frame> frame = rpc::DecodeFrame(downstream[i]);
           Result<Table> decoded =
-              ReadTable(downstream[i].data(), downstream[i].size());
+              frame.ok()
+                  ? ReadTable(frame->payload.data(), frame->payload.size())
+                  : Result<Table>(frame.status());
           if (!decoded.ok()) {
             status = decoded.status();
           } else {
@@ -330,15 +336,20 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
       size_t expected = 0;
       for (size_t i = 0; i < n; ++i) expected += active[i] ? 1 : 0;
       for (size_t received = 0; received < expected; ++received) {
-        ChannelMessage message = channel.Receive();
-        if (message.bytes.empty() || message.bytes[0] == 0) continue;
-        uint64_t table_bytes = message.bytes.size() - 1;
+        std::optional<ChannelMessage> message = channel.Receive();
+        if (!message.has_value()) {
+          return Status::Internal(
+              "fragment channel closed before all round fragments arrived");
+        }
+        SKALLA_ASSIGN_OR_RETURN(rpc::Frame frame,
+                                rpc::DecodeFrame(message->bytes));
+        if (frame.type != rpc::MessageType::kTableResult) continue;
+        uint64_t table_bytes = frame.payload.size();
         rs.bytes_to_coord += table_bytes;
-        rs.comm_time += network_.Transfer(message.from, kCoordinatorId,
+        rs.comm_time += network_.Transfer(message->from, kCoordinatorId,
                                           table_bytes);
         SKALLA_ASSIGN_OR_RETURN(
-            Table fragment,
-            ReadTable(message.bytes.data() + 1, table_bytes));
+            Table fragment, ReadTable(frame.payload.data(), table_bytes));
         rs.tuples_to_coord += fragment.num_rows();
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeFragment(fragment));

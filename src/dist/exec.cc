@@ -11,6 +11,7 @@
 #include "net/serde.h"
 #include "obs/obs.h"
 #include "relalg/operators.h"
+#include "rpc/frame.h"
 
 namespace skalla {
 
@@ -49,6 +50,25 @@ Status DistributedExecutor::ForEachSite(
 
 namespace {
 
+// One framed transfer: serializes `table`, wraps it in the versioned
+// wire frame (rpc/frame.h) exactly as the TCP transport would, and
+// decodes it on the receiving end. Accounting counts the table payload
+// only — the constant per-message frame header is transport overhead,
+// excluded so byte counts stay comparable across transports and with the
+// paper's bounds.
+Result<Table> ShipFramed(SimulatedNetwork* network, const Table& table,
+                         int from, int to, uint64_t* bytes_acc,
+                         double* comm_acc) {
+  std::vector<uint8_t> payload;
+  WriteTable(table, &payload);
+  *bytes_acc += payload.size();
+  *comm_acc += network->Transfer(from, to, payload.size());
+  std::vector<uint8_t> wire =
+      rpc::EncodeFrame(rpc::MessageType::kTableResult, payload);
+  SKALLA_ASSIGN_OR_RETURN(rpc::Frame frame, rpc::DecodeFrame(wire));
+  return ReadTable(frame.payload.data(), frame.payload.size());
+}
+
 // Ships `table` over the network with real serialization; returns the
 // deserialized copy on the receiving end, charging bytes/time to `stats`.
 // With `block_rows` > 0, the table travels as row blocks of at most that
@@ -58,11 +78,7 @@ Result<Table> Ship(SimulatedNetwork* network, const Table& table, int from,
                    uint64_t* tuples_acc, double* comm_acc) {
   *tuples_acc += table.num_rows();
   if (block_rows == 0 || table.num_rows() <= block_rows) {
-    std::vector<uint8_t> buffer;
-    WriteTable(table, &buffer);
-    *bytes_acc += buffer.size();
-    *comm_acc += network->Transfer(from, to, buffer.size());
-    return ReadTable(buffer.data(), buffer.size());
+    return ShipFramed(network, table, from, to, bytes_acc, comm_acc);
   }
   Table assembled;
   bool first = true;
@@ -73,12 +89,9 @@ Result<Table> Ship(SimulatedNetwork* network, const Table& table, int from,
     for (size_t r = start; r < end; ++r) {
       block.AppendUnchecked(table.row(r));
     }
-    std::vector<uint8_t> buffer;
-    WriteTable(block, &buffer);
-    *bytes_acc += buffer.size();
-    *comm_acc += network->Transfer(from, to, buffer.size());
-    SKALLA_ASSIGN_OR_RETURN(Table received,
-                            ReadTable(buffer.data(), buffer.size()));
+    SKALLA_ASSIGN_OR_RETURN(
+        Table received,
+        ShipFramed(network, block, from, to, bytes_acc, comm_acc));
     if (first) {
       assembled = std::move(received);
       first = false;
@@ -88,42 +101,6 @@ Result<Table> Ship(SimulatedNetwork* network, const Table& table, int from,
     }
   }
   return assembled;
-}
-
-// Applies a base-side predicate to the base-result structure.
-Result<Table> FilterBase(const Table& table, const ExprPtr& predicate) {
-  SKALLA_ASSIGN_OR_RETURN(ExprPtr bound,
-                          predicate->Bind(table.schema().get(), nullptr));
-  Table out(table.schema());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (bound->EvalBool(&table.row(r), nullptr)) {
-      out.AppendUnchecked(table.row(r));
-    }
-  }
-  return out;
-}
-
-// Drops rows with __rng = 0 and projects the __rng column away (Prop. 1
-// site-side group reduction).
-Result<Table> ApplyRngFilter(const Table& h) {
-  int rng_idx = h.schema()->IndexOf(kRngCountColumn);
-  if (rng_idx < 0) {
-    return Status::Internal("partial result lacks __rng column");
-  }
-  size_t rng = static_cast<size_t>(rng_idx);
-  std::vector<size_t> keep;
-  keep.reserve(h.num_columns() - 1);
-  for (size_t c = 0; c < h.num_columns(); ++c) {
-    if (c != rng) keep.push_back(c);
-  }
-  Table out(h.schema()->Project(keep));
-  for (size_t r = 0; r < h.num_rows(); ++r) {
-    const Value& flag = h.at(r, rng);
-    if (!flag.is_null() && flag.AsDouble() > 0) {
-      out.AppendUnchecked(ProjectRow(h.row(r), keep));
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -266,7 +243,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
         {
           Stopwatch coord_timer;
           if (filter != nullptr) {
-            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBase(x, filter));
+            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBaseRows(x, filter));
           } else {
             to_send = x;
           }

@@ -2,8 +2,10 @@
 
 #include <thread>
 
+#include "common/macros.h"
 #include "common/string_util.h"
 #include "obs/obs.h"
+#include "relalg/operators.h"
 
 namespace skalla {
 
@@ -107,6 +109,39 @@ Result<Table> ExecuteSiteRound(const ExecutorOptions& options, int site_id,
     SKALLA_COUNTER_ADD("skalla.net.retries", 1);
   }
   return result;
+}
+
+Result<Table> FilterBaseRows(const Table& table, const ExprPtr& predicate) {
+  SKALLA_ASSIGN_OR_RETURN(ExprPtr bound,
+                          predicate->Bind(table.schema().get(), nullptr));
+  Table out(table.schema());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (bound->EvalBool(&table.row(r), nullptr)) {
+      out.AppendUnchecked(table.row(r));
+    }
+  }
+  return out;
+}
+
+Result<Table> ApplyRngFilter(const Table& h) {
+  int rng_idx = h.schema()->IndexOf(kRngCountColumn);
+  if (rng_idx < 0) {
+    return Status::Internal("partial result lacks __rng column");
+  }
+  size_t rng = static_cast<size_t>(rng_idx);
+  std::vector<size_t> keep;
+  keep.reserve(h.num_columns() - 1);
+  for (size_t c = 0; c < h.num_columns(); ++c) {
+    if (c != rng) keep.push_back(c);
+  }
+  Table out(h.schema()->Project(keep));
+  for (size_t r = 0; r < h.num_rows(); ++r) {
+    const Value& flag = h.at(r, rng);
+    if (!flag.is_null() && flag.AsDouble() > 0) {
+      out.AppendUnchecked(ProjectRow(h.row(r), keep));
+    }
+  }
+  return out;
 }
 
 }  // namespace skalla

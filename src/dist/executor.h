@@ -171,6 +171,15 @@ Result<Table> ExecuteSiteRound(const ExecutorOptions& options, int site_id,
                                const std::function<Result<Table>()>& attempt,
                                size_t* retries_out);
 
+/// Rows of `table` satisfying `predicate`, a base-side expression (the
+/// coordinator's distribution-aware reduction filter, Theorem 4).
+Result<Table> FilterBaseRows(const Table& table, const ExprPtr& predicate);
+
+/// Drops rows whose `__rng` indicator is 0 and projects the indicator
+/// column away (Prop. 1 site-side group reduction). Shared by every
+/// engine and by the rpc site service, so the shipped bytes agree.
+Result<Table> ApplyRngFilter(const Table& h);
+
 }  // namespace skalla
 
 #endif  // SKALLA_DIST_EXECUTOR_H_

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "dist/coordinator.h"
 #include "net/serde.h"
+#include "rpc/frame.h"
 
 namespace skalla {
 
@@ -117,19 +118,25 @@ int NodeEndpoint(int node) { return -(node + 1); }
 Result<Table> ShipOverLink(SimulatedNetwork* network, const Table& table,
                            int from, int to, int charged_node, bool downward,
                            RoundAccum* accum) {
-  std::vector<uint8_t> buffer;
-  WriteTable(table, &buffer);
+  // Every hop travels inside the versioned wire frame (rpc/frame.h), the
+  // same envelope the TCP transport uses. Byte accounting counts the
+  // table payload only; the constant frame header is transport overhead.
+  std::vector<uint8_t> payload;
+  WriteTable(table, &payload);
   if (downward) {
-    accum->bytes_down += buffer.size();
+    accum->bytes_down += payload.size();
     accum->tuples_down += table.num_rows();
   } else {
-    accum->bytes_up += buffer.size();
+    accum->bytes_up += payload.size();
     accum->tuples_up += table.num_rows();
   }
-  if (charged_node == 0) accum->root_bytes += buffer.size();
+  if (charged_node == 0) accum->root_bytes += payload.size();
   accum->link_time[static_cast<size_t>(charged_node)] +=
-      network->Transfer(from, to, buffer.size());
-  return ReadTable(buffer.data(), buffer.size());
+      network->Transfer(from, to, payload.size());
+  std::vector<uint8_t> wire =
+      rpc::EncodeFrame(rpc::MessageType::kTableResult, payload);
+  SKALLA_ASSIGN_OR_RETURN(rpc::Frame frame, rpc::DecodeFrame(wire));
+  return ReadTable(frame.payload.data(), frame.payload.size());
 }
 
 // Folds per-node values into a response-time contribution: levels are

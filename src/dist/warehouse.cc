@@ -122,9 +122,8 @@ Status DistributedWarehouse::Save(const std::string& directory) const {
   return Status::OK();
 }
 
-Result<DistributedWarehouse> DistributedWarehouse::Load(
-    const std::string& directory, NetworkConfig net_config,
-    ExecutorOptions exec_options) {
+Result<WarehouseManifest> ReadWarehouseManifest(
+    const std::string& directory) {
   std::ifstream in(directory + "/MANIFEST", std::ios::binary);
   if (!in) {
     return Status::IOError(
@@ -137,11 +136,12 @@ Result<DistributedWarehouse> DistributedWarehouse::Load(
   if (!std::getline(in, line) || line.rfind("sites ", 0) != 0) {
     return Status::IOError("manifest missing site count");
   }
-  size_t num_sites = static_cast<size_t>(
+  WarehouseManifest manifest;
+  manifest.num_sites = static_cast<size_t>(
       std::strtoull(line.c_str() + 6, nullptr, 10));
-  if (num_sites == 0) return Status::IOError("manifest has zero sites");
-
-  DistributedWarehouse dw(num_sites, net_config, exec_options);
+  if (manifest.num_sites == 0) {
+    return Status::IOError("manifest has zero sites");
+  }
   while (std::getline(in, line)) {
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty()) continue;
@@ -150,20 +150,51 @@ Result<DistributedWarehouse> DistributedWarehouse::Load(
         fields[2] != "tracked") {
       return Status::IOError(StrCat("bad manifest line: ", line));
     }
-    const std::string& name = fields[1];
-    std::vector<std::string> tracked;
+    WarehouseManifest::TableEntry entry;
+    entry.name = fields[1];
     if (fields.size() >= 4 && !fields[3].empty()) {
-      tracked = Split(fields[3], ',');
+      entry.tracked = Split(fields[3], ',');
     }
+    manifest.tables.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+Result<Catalog> LoadSiteCatalog(const std::string& directory,
+                                size_t site_index) {
+  SKALLA_ASSIGN_OR_RETURN(WarehouseManifest manifest,
+                          ReadWarehouseManifest(directory));
+  if (site_index >= manifest.num_sites) {
+    return Status::InvalidArgument(
+        StrCat("site ", site_index, " out of range: warehouse has ",
+               manifest.num_sites, " sites"));
+  }
+  Catalog catalog;
+  for (const WarehouseManifest::TableEntry& entry : manifest.tables) {
+    SKALLA_ASSIGN_OR_RETURN(
+        Table partition, LoadPartition(directory, entry.name, site_index));
+    catalog.Register(entry.name, std::move(partition));
+  }
+  return catalog;
+}
+
+Result<DistributedWarehouse> DistributedWarehouse::Load(
+    const std::string& directory, NetworkConfig net_config,
+    ExecutorOptions exec_options) {
+  SKALLA_ASSIGN_OR_RETURN(WarehouseManifest manifest,
+                          ReadWarehouseManifest(directory));
+  DistributedWarehouse dw(manifest.num_sites, net_config, exec_options);
+  for (const WarehouseManifest::TableEntry& entry : manifest.tables) {
     SKALLA_ASSIGN_OR_RETURN(std::vector<Table> partitions,
-                            LoadPartitions(directory, name));
-    if (partitions.size() != num_sites) {
+                            LoadPartitions(directory, entry.name));
+    if (partitions.size() != manifest.num_sites) {
       return Status::IOError(
-          StrCat("table '", name, "' has ", partitions.size(),
-                 " partitions, manifest says ", num_sites, " sites"));
+          StrCat("table '", entry.name, "' has ", partitions.size(),
+                 " partitions, manifest says ", manifest.num_sites,
+                 " sites"));
     }
-    SKALLA_RETURN_NOT_OK(
-        dw.AddPartitionedTable(name, std::move(partitions), tracked));
+    SKALLA_RETURN_NOT_OK(dw.AddPartitionedTable(
+        entry.name, std::move(partitions), entry.tracked));
   }
   return dw;
 }

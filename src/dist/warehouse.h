@@ -25,6 +25,24 @@
 
 namespace skalla {
 
+/// Parsed MANIFEST of a warehouse saved with DistributedWarehouse::Save.
+struct WarehouseManifest {
+  size_t num_sites = 0;
+  struct TableEntry {
+    std::string name;
+    std::vector<std::string> tracked;
+  };
+  std::vector<TableEntry> tables;
+};
+
+Result<WarehouseManifest> ReadWarehouseManifest(const std::string& directory);
+
+/// Loads site `site_index`'s partition of every manifest table — what a
+/// skalla-site process loads at startup. Unlike DistributedWarehouse::
+/// Load it reads only that site's files, never the peers' partitions.
+Result<Catalog> LoadSiteCatalog(const std::string& directory,
+                                size_t site_index);
+
 class DistributedWarehouse {
  public:
   explicit DistributedWarehouse(size_t num_sites,

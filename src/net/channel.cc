@@ -12,17 +12,19 @@ void MessageChannel::Send(int from, std::vector<uint8_t> bytes) {
   SKALLA_COUNTER_ADD("skalla.net.channel.sends", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
     queue_.push_back(ChannelMessage{from, std::move(bytes)});
   }
   available_.notify_one();
 }
 
-ChannelMessage MessageChannel::Receive() {
+std::optional<ChannelMessage> MessageChannel::Receive() {
   // The span covers the blocking wait: in the async executor this is the
   // coordinator idling for the next site fragment.
   SKALLA_TRACE_SPAN(recv_span, "channel.recv", "network");
   std::unique_lock<std::mutex> lock(mu_);
-  available_.wait(lock, [this] { return !queue_.empty(); });
+  available_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
   ChannelMessage message = std::move(queue_.front());
   queue_.pop_front();
   SKALLA_SPAN_ATTR(recv_span, "from", static_cast<int64_t>(message.from));
@@ -30,6 +32,19 @@ ChannelMessage MessageChannel::Receive() {
                    static_cast<uint64_t>(message.bytes.size()));
   SKALLA_COUNTER_ADD("skalla.net.channel.recvs", 1);
   return message;
+}
+
+void MessageChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  available_.notify_all();
+}
+
+bool MessageChannel::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
 }
 
 size_t MessageChannel::size() const {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace skalla {
@@ -20,17 +21,30 @@ struct ChannelMessage {
 };
 
 /// Thread-safe FIFO. Senders never block; Receive blocks until a message
-/// is available.
+/// is available or the channel is closed.
 class MessageChannel {
  public:
   MessageChannel() = default;
   MessageChannel(const MessageChannel&) = delete;
   MessageChannel& operator=(const MessageChannel&) = delete;
 
+  /// Enqueues a message. Sends after Close are dropped (the consumer has
+  /// declared it will not read further).
   void Send(int from, std::vector<uint8_t> bytes);
 
-  /// Blocks until a message arrives and returns it.
-  ChannelMessage Receive();
+  /// Blocks until a message arrives and returns it. Returns nullopt once
+  /// the channel is closed *and* drained: messages queued before Close
+  /// are still delivered (drain-then-fail), so a producer can flush its
+  /// final fragments and then close. Without Close, a Receive against a
+  /// dead producer would block forever — teardown paths must Close.
+  std::optional<ChannelMessage> Receive();
+
+  /// Closes the channel: wakes any blocked Receive, lets queued messages
+  /// drain, and makes every subsequent Receive after the drain return
+  /// nullopt. Idempotent; callable from any thread.
+  void Close();
+
+  bool closed() const;
 
   /// Number of queued messages (racy; for tests/diagnostics).
   size_t size() const;
@@ -39,6 +53,7 @@ class MessageChannel {
   mutable std::mutex mu_;
   std::condition_variable available_;
   std::deque<ChannelMessage> queue_;
+  bool closed_ = false;
 };
 
 }  // namespace skalla

@@ -26,7 +26,23 @@ size_t VarintSize(uint64_t v) {
   return n;
 }
 
-void PutValue(std::vector<uint8_t>* out, const Value& v) {
+uint64_t ValueSize(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+      return 1 + VarintSize(ZigzagEncode(v.int64()));
+    case ValueType::kFloat64:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + VarintSize(v.str().size()) + v.str().size();
+  }
+  return 1;
+}
+
+}  // namespace
+
+void WriteValue(std::vector<uint8_t>* out, const Value& v) {
   out->push_back(static_cast<uint8_t>(v.type()));
   switch (v.type()) {
     case ValueType::kNull:
@@ -50,21 +66,30 @@ void PutValue(std::vector<uint8_t>* out, const Value& v) {
   }
 }
 
-uint64_t ValueSize(const Value& v) {
-  switch (v.type()) {
+Result<Value> ReadValue(ByteReader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadByte());
+  switch (static_cast<ValueType>(tag)) {
     case ValueType::kNull:
-      return 1;
-    case ValueType::kInt64:
-      return 1 + VarintSize(ZigzagEncode(v.int64()));
-    case ValueType::kFloat64:
-      return 1 + 8;
-    case ValueType::kString:
-      return 1 + VarintSize(v.str().size()) + v.str().size();
+      return Value::Null();
+    case ValueType::kInt64: {
+      SKALLA_ASSIGN_OR_RETURN(uint64_t raw, reader->ReadVarint());
+      return Value(ZigzagDecode(raw));
+    }
+    case ValueType::kFloat64: {
+      SKALLA_ASSIGN_OR_RETURN(const uint8_t* raw, reader->ReadBytes(8));
+      double d;
+      std::memcpy(&d, raw, 8);
+      return Value(d);
+    }
+    case ValueType::kString: {
+      SKALLA_ASSIGN_OR_RETURN(uint64_t len, reader->ReadVarint());
+      SKALLA_ASSIGN_OR_RETURN(const uint8_t* bytes, reader->ReadBytes(len));
+      return Value(std::string(reinterpret_cast<const char*>(bytes), len));
+    }
+    default:
+      return Status::IOError(StrCat("bad value type tag ", int{tag}));
   }
-  return 1;
 }
-
-}  // namespace
 
 Result<uint64_t> ByteReader::ReadVarint() {
   uint64_t v = 0;
@@ -101,7 +126,7 @@ void WriteTable(const Table& table, std::vector<uint8_t>* out) {
   }
   PutVarint(out, table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (const Value& v : table.row(r)) PutValue(out, v);
+    for (const Value& v : table.row(r)) WriteValue(out, v);
   }
 }
 
@@ -132,34 +157,8 @@ Result<Table> ReadTable(const uint8_t* data, size_t size) {
     Row row;
     row.reserve(num_fields);
     for (uint64_t c = 0; c < num_fields; ++c) {
-      SKALLA_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadByte());
-      switch (static_cast<ValueType>(tag)) {
-        case ValueType::kNull:
-          row.push_back(Value::Null());
-          break;
-        case ValueType::kInt64: {
-          SKALLA_ASSIGN_OR_RETURN(uint64_t raw, reader.ReadVarint());
-          row.push_back(Value(ZigzagDecode(raw)));
-          break;
-        }
-        case ValueType::kFloat64: {
-          SKALLA_ASSIGN_OR_RETURN(const uint8_t* raw, reader.ReadBytes(8));
-          double d;
-          std::memcpy(&d, raw, 8);
-          row.push_back(Value(d));
-          break;
-        }
-        case ValueType::kString: {
-          SKALLA_ASSIGN_OR_RETURN(uint64_t len, reader.ReadVarint());
-          SKALLA_ASSIGN_OR_RETURN(const uint8_t* bytes,
-                                  reader.ReadBytes(len));
-          row.push_back(
-              Value(std::string(reinterpret_cast<const char*>(bytes), len)));
-          break;
-        }
-        default:
-          return Status::IOError(StrCat("bad value type tag ", int{tag}));
-      }
+      SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+      row.push_back(std::move(v));
     }
     table.AppendUnchecked(std::move(row));
   }

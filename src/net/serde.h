@@ -51,6 +51,12 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+/// Appends one value (type tag + payload per the cell format above).
+void WriteValue(std::vector<uint8_t>* out, const Value& v);
+
+/// Reads one value written by WriteValue.
+Result<Value> ReadValue(ByteReader* reader);
+
 /// Serializes a full table (schema + rows).
 void WriteTable(const Table& table, std::vector<uint8_t>* out);
 

@@ -1,0 +1,119 @@
+#include "rpc/frame.h"
+
+#include <array>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+namespace rpc {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutLe32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrame(MessageType type, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kFrameHeaderSize + payload.size());
+  PutLe32(out, kFrameMagic);
+  out->push_back(kProtocolVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  out->push_back(0);
+  out->push_back(0);
+  PutLe32(out, static_cast<uint32_t>(payload.size()));
+  PutLe32(out, Crc32(payload.data(), payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  EncodeFrame(type, payload, &out);
+  return out;
+}
+
+Result<uint32_t> DecodeFrameHeader(const uint8_t* header, size_t size,
+                                   MessageType* type_out, uint32_t* crc_out) {
+  if (size < kFrameHeaderSize) {
+    return Status::IOError(
+        StrCat("truncated frame header: ", size, " of ", kFrameHeaderSize,
+               " bytes"));
+  }
+  if (GetLe32(header) != kFrameMagic) {
+    return Status::IOError("bad frame magic (not a Skalla rpc stream)");
+  }
+  if (header[4] != kProtocolVersion) {
+    return Status::VersionMismatch(
+        StrCat("peer speaks rpc protocol version ", int{header[4]},
+               ", this build speaks ", int{kProtocolVersion}));
+  }
+  if (header[5] > kMaxMessageType) {
+    return Status::IOError(StrCat("unknown message type ", int{header[5]}));
+  }
+  if (header[6] != 0 || header[7] != 0) {
+    return Status::IOError("reserved frame header bytes are non-zero");
+  }
+  if (type_out != nullptr) {
+    *type_out = static_cast<MessageType>(header[5]);
+  }
+  if (crc_out != nullptr) *crc_out = GetLe32(header + 12);
+  return GetLe32(header + 8);
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size) {
+  Frame frame;
+  uint32_t expected_crc = 0;
+  SKALLA_ASSIGN_OR_RETURN(
+      uint32_t payload_len,
+      DecodeFrameHeader(data, size, &frame.type, &expected_crc));
+  if (size != kFrameHeaderSize + payload_len) {
+    return Status::IOError(
+        StrCat("frame length mismatch: header announces ", payload_len,
+               " payload bytes, buffer holds ", size - kFrameHeaderSize));
+  }
+  const uint8_t* payload = data + kFrameHeaderSize;
+  uint32_t actual_crc = Crc32(payload, payload_len);
+  if (actual_crc != expected_crc) {
+    return Status::IOError(
+        StrPrintf("frame checksum mismatch: expected %08x, computed %08x",
+                  expected_crc, actual_crc));
+  }
+  frame.payload.assign(payload, payload + payload_len);
+  return frame;
+}
+
+}  // namespace rpc
+}  // namespace skalla

@@ -1,0 +1,90 @@
+// The Skalla wire frame: every message between a coordinator and a site
+// — over TCP, over an in-process channel, or through the simulated
+// network — travels inside one of these.
+//
+// Layout (little-endian, fixed 16-byte header):
+//
+//   offset  size  field
+//        0     4  magic            "SKLA" (0x414C4B53)
+//        4     1  protocol version (kProtocolVersion)
+//        5     1  message type     (MessageType)
+//        6     2  reserved         (zero)
+//        8     4  payload length   (bytes following the header)
+//       12     4  CRC32 of the payload (ISO-HDLC polynomial)
+//
+// The header is deliberately free of varints: a receiver reads exactly
+// kFrameHeaderSize bytes, validates magic/version/type, then knows how
+// many payload bytes follow. A version byte other than kProtocolVersion
+// is rejected with Status::VersionMismatch so mixed deployments fail
+// loudly instead of misparsing payloads.
+
+#ifndef SKALLA_RPC_FRAME_H_
+#define SKALLA_RPC_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace skalla {
+namespace rpc {
+
+inline constexpr uint32_t kFrameMagic = 0x414C4B53;  // "SKLA"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+
+/// What a frame carries. Requests flow coordinator -> site; responses
+/// site -> coordinator; kTableResult doubles as the payload type for
+/// fragments on the in-process channel transport.
+enum class MessageType : uint8_t {
+  kError = 0,        // response: encoded Status (rpc/plan_serde.h)
+  kAck = 1,          // response: empty payload
+  kHello = 2,        // both ways: varint site id (connection handshake)
+  kCatalogRequest = 3,   // request: empty payload
+  kCatalogResponse = 4,  // response: table names + schemas
+  kBeginPlan = 5,    // request: per-plan flags; resets site round state
+  kBaseRound = 6,    // request: BaseRoundRequest
+  kGmdjRound = 7,    // request: GmdjRoundRequest
+  kTableResult = 8,  // response: net/serde table payload
+  kShutdown = 9,     // request: site server stops after acknowledging
+};
+
+inline constexpr uint8_t kMaxMessageType =
+    static_cast<uint8_t>(MessageType::kShutdown);
+
+/// One decoded message.
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// CRC-32 (ISO-HDLC / zlib polynomial, reflected). Crc32("123456789")
+/// == 0xCBF43926.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Appends the 16-byte header followed by the payload to `out`.
+void EncodeFrame(MessageType type, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out);
+
+/// Convenience: a freshly encoded frame buffer.
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload);
+
+/// Validates a 16-byte header. On success returns the payload length;
+/// `type_out` (may be nullptr) receives the message type and `crc_out`
+/// (may be nullptr) the expected payload CRC. Wrong magic/garbled headers
+/// are IOError; a foreign protocol version is VersionMismatch.
+Result<uint32_t> DecodeFrameHeader(const uint8_t* header, size_t size,
+                                   MessageType* type_out, uint32_t* crc_out);
+
+/// Decodes a whole buffer (header + payload, nothing trailing),
+/// verifying the payload checksum.
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size);
+inline Result<Frame> DecodeFrame(const std::vector<uint8_t>& buffer) {
+  return DecodeFrame(buffer.data(), buffer.size());
+}
+
+}  // namespace rpc
+}  // namespace skalla
+
+#endif  // SKALLA_RPC_FRAME_H_

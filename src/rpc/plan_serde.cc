@@ -1,0 +1,367 @@
+#include "rpc/plan_serde.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "types/value_set.h"
+
+namespace skalla {
+namespace rpc {
+
+namespace {
+
+// Deep-but-degenerate expression trees (a parser can nest thousands of
+// parentheses) must not overflow the decoder's stack.
+constexpr int kMaxExprDepth = 512;
+
+constexpr uint8_t kAbsent = 0;
+constexpr uint8_t kPresent = 1;
+
+Result<ExprPtr> ReadExprImpl(ByteReader* reader, int depth);
+
+void WriteExprImpl(std::vector<uint8_t>* out, const Expr& expr) {
+  out->push_back(static_cast<uint8_t>(expr.kind()));
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      WriteValue(out, expr.literal());
+      return;
+    case ExprKind::kColumnRef:
+      out->push_back(static_cast<uint8_t>(expr.side()));
+      WriteString(out, expr.column_name());
+      return;
+    case ExprKind::kUnary:
+      out->push_back(static_cast<uint8_t>(expr.unary_op()));
+      WriteExprImpl(out, *expr.operand());
+      return;
+    case ExprKind::kBinary:
+      out->push_back(static_cast<uint8_t>(expr.binary_op()));
+      WriteExprImpl(out, *expr.left());
+      WriteExprImpl(out, *expr.right());
+      return;
+    case ExprKind::kInSet: {
+      WriteExprImpl(out, *expr.operand());
+      const auto& set = expr.value_set();
+      PutVarint(out, set == nullptr ? 0 : set->size());
+      if (set != nullptr) {
+        set->ForEach([out](const Value& v) { WriteValue(out, v); });
+      }
+      return;
+    }
+  }
+}
+
+Result<ExprPtr> ReadExprImpl(ByteReader* reader, int depth) {
+  if (depth > kMaxExprDepth) {
+    return Status::IOError("expression tree too deep");
+  }
+  SKALLA_ASSIGN_OR_RETURN(uint8_t kind_tag, reader->ReadByte());
+  switch (static_cast<ExprKind>(kind_tag)) {
+    case ExprKind::kLiteral: {
+      SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(reader));
+      return Expr::Literal(std::move(v));
+    }
+    case ExprKind::kColumnRef: {
+      SKALLA_ASSIGN_OR_RETURN(uint8_t side, reader->ReadByte());
+      if (side > static_cast<uint8_t>(ExprSide::kDetail)) {
+        return Status::IOError(StrCat("bad expr side tag ", int{side}));
+      }
+      SKALLA_ASSIGN_OR_RETURN(std::string name, ReadString(reader));
+      return Expr::ColumnRef(static_cast<ExprSide>(side), std::move(name));
+    }
+    case ExprKind::kUnary: {
+      SKALLA_ASSIGN_OR_RETURN(uint8_t op, reader->ReadByte());
+      if (op > static_cast<uint8_t>(UnaryOp::kNeg)) {
+        return Status::IOError(StrCat("bad unary op tag ", int{op}));
+      }
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr operand,
+                              ReadExprImpl(reader, depth + 1));
+      return Expr::Unary(static_cast<UnaryOp>(op), std::move(operand));
+    }
+    case ExprKind::kBinary: {
+      SKALLA_ASSIGN_OR_RETURN(uint8_t op, reader->ReadByte());
+      if (op > static_cast<uint8_t>(BinaryOp::kOr)) {
+        return Status::IOError(StrCat("bad binary op tag ", int{op}));
+      }
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr left, ReadExprImpl(reader, depth + 1));
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr right, ReadExprImpl(reader, depth + 1));
+      return Expr::Binary(static_cast<BinaryOp>(op), std::move(left),
+                          std::move(right));
+    }
+    case ExprKind::kInSet: {
+      SKALLA_ASSIGN_OR_RETURN(ExprPtr operand,
+                              ReadExprImpl(reader, depth + 1));
+      SKALLA_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint());
+      auto set = std::make_shared<ValueSet>();
+      for (uint64_t i = 0; i < count; ++i) {
+        SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(reader));
+        set->Insert(v);
+      }
+      return Expr::InSet(std::move(operand), std::move(set));
+    }
+    default:
+      return Status::IOError(StrCat("bad expr kind tag ", int{kind_tag}));
+  }
+}
+
+Result<uint8_t> ReadFlags(ByteReader* reader) { return reader->ReadByte(); }
+
+}  // namespace
+
+void WriteString(std::vector<uint8_t>* out, std::string_view s) {
+  PutVarint(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Result<std::string> ReadString(ByteReader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(uint64_t len, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(const uint8_t* bytes, reader->ReadBytes(len));
+  return std::string(reinterpret_cast<const char*>(bytes), len);
+}
+
+void WriteExpr(std::vector<uint8_t>* out, const ExprPtr& expr) {
+  if (expr == nullptr) {
+    out->push_back(kAbsent);
+    return;
+  }
+  out->push_back(kPresent);
+  WriteExprImpl(out, *expr);
+}
+
+Result<ExprPtr> ReadExpr(ByteReader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(uint8_t marker, reader->ReadByte());
+  if (marker == kAbsent) return ExprPtr(nullptr);
+  if (marker != kPresent) {
+    return Status::IOError(StrCat("bad expr presence marker ", int{marker}));
+  }
+  return ReadExprImpl(reader, 0);
+}
+
+void WriteSchema(std::vector<uint8_t>* out, const Schema& schema) {
+  PutVarint(out, schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    WriteString(out, f.name);
+    out->push_back(static_cast<uint8_t>(f.type));
+  }
+}
+
+Result<SchemaPtr> ReadSchema(ByteReader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_fields, reader->ReadVarint());
+  if (num_fields > 1u << 20) {
+    return Status::IOError("implausible field count");
+  }
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint64_t i = 0; i < num_fields; ++i) {
+    SKALLA_ASSIGN_OR_RETURN(std::string name, ReadString(reader));
+    SKALLA_ASSIGN_OR_RETURN(uint8_t type, reader->ReadByte());
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::IOError(StrCat("bad field type tag ", int{type}));
+    }
+    fields.push_back(Field{std::move(name), static_cast<ValueType>(type)});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+void WriteStatusPayload(std::vector<uint8_t>* out, const Status& status) {
+  out->push_back(static_cast<uint8_t>(status.code()));
+  WriteString(out, status.message());
+}
+
+Status ReadStatusPayload(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  Result<uint8_t> code = reader.ReadByte();
+  if (!code.ok()) {
+    return Status::IOError("truncated status payload");
+  }
+  if (*code > static_cast<uint8_t>(StatusCode::kVersionMismatch)) {
+    return Status::IOError(StrCat("bad status code tag ", int{*code}));
+  }
+  Result<std::string> message = ReadString(&reader);
+  if (!message.ok()) {
+    return Status::IOError("truncated status payload");
+  }
+  return Status(static_cast<StatusCode>(*code), std::move(*message));
+}
+
+void WriteBaseQuery(std::vector<uint8_t>* out, const BaseQuery& query) {
+  WriteString(out, query.table);
+  PutVarint(out, query.columns.size());
+  for (const std::string& column : query.columns) WriteString(out, column);
+  out->push_back(query.distinct ? 1 : 0);
+  WriteExpr(out, query.where);
+}
+
+Result<BaseQuery> ReadBaseQuery(ByteReader* reader) {
+  BaseQuery query;
+  SKALLA_ASSIGN_OR_RETURN(query.table, ReadString(reader));
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_columns, reader->ReadVarint());
+  query.columns.reserve(num_columns);
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    SKALLA_ASSIGN_OR_RETURN(std::string column, ReadString(reader));
+    query.columns.push_back(std::move(column));
+  }
+  SKALLA_ASSIGN_OR_RETURN(uint8_t distinct, reader->ReadByte());
+  query.distinct = distinct != 0;
+  SKALLA_ASSIGN_OR_RETURN(query.where, ReadExpr(reader));
+  return query;
+}
+
+void WriteGmdjOp(std::vector<uint8_t>* out, const GmdjOp& op) {
+  WriteString(out, op.detail_table);
+  PutVarint(out, op.blocks.size());
+  for (const GmdjBlock& block : op.blocks) {
+    PutVarint(out, block.aggs.size());
+    for (const AggSpec& agg : block.aggs) {
+      out->push_back(static_cast<uint8_t>(agg.kind));
+      WriteString(out, agg.input);
+      WriteString(out, agg.output);
+    }
+    WriteExpr(out, block.theta);
+  }
+}
+
+Result<GmdjOp> ReadGmdjOp(ByteReader* reader) {
+  GmdjOp op;
+  SKALLA_ASSIGN_OR_RETURN(op.detail_table, ReadString(reader));
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_blocks, reader->ReadVarint());
+  op.blocks.reserve(num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    GmdjBlock block;
+    SKALLA_ASSIGN_OR_RETURN(uint64_t num_aggs, reader->ReadVarint());
+    block.aggs.reserve(num_aggs);
+    for (uint64_t a = 0; a < num_aggs; ++a) {
+      AggSpec spec;
+      SKALLA_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadByte());
+      if (kind > static_cast<uint8_t>(AggKind::kSumSq)) {
+        return Status::IOError(StrCat("bad aggregate kind tag ", int{kind}));
+      }
+      spec.kind = static_cast<AggKind>(kind);
+      SKALLA_ASSIGN_OR_RETURN(spec.input, ReadString(reader));
+      SKALLA_ASSIGN_OR_RETURN(spec.output, ReadString(reader));
+      block.aggs.push_back(std::move(spec));
+    }
+    SKALLA_ASSIGN_OR_RETURN(block.theta, ReadExpr(reader));
+    op.blocks.push_back(std::move(block));
+  }
+  return op;
+}
+
+std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req) {
+  std::vector<uint8_t> out;
+  out.push_back(req.columnar_sites ? 1 : 0);
+  return out;
+}
+
+Result<BeginPlanRequest> DecodeBeginPlanRequest(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint8_t flags, ReadFlags(&reader));
+  BeginPlanRequest req;
+  req.columnar_sites = (flags & 1) != 0;
+  return req;
+}
+
+std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req) {
+  std::vector<uint8_t> out;
+  out.push_back(req.ship_result ? 1 : 0);
+  WriteBaseQuery(&out, req.query);
+  return out;
+}
+
+Result<BaseRoundRequest> DecodeBaseRoundRequest(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint8_t flags, ReadFlags(&reader));
+  BaseRoundRequest req;
+  req.ship_result = (flags & 1) != 0;
+  SKALLA_ASSIGN_OR_RETURN(req.query, ReadBaseQuery(&reader));
+  if (reader.remaining() != 0) {
+    return Status::IOError("trailing bytes after base-round request");
+  }
+  return req;
+}
+
+std::vector<uint8_t> EncodeGmdjRoundRequest(
+    const GmdjRoundRequest& req,
+    const std::vector<uint8_t>& base_table_bytes) {
+  std::vector<uint8_t> out;
+  uint8_t flags = 0;
+  if (req.sub_aggregates) flags |= 1;
+  if (req.apply_rng) flags |= 2;
+  if (req.ship_result) flags |= 4;
+  if (req.has_base) flags |= 8;
+  out.push_back(flags);
+  WriteString(&out, req.label);
+  WriteGmdjOp(&out, req.op);
+  if (req.has_base) {
+    out.insert(out.end(), base_table_bytes.begin(), base_table_bytes.end());
+  }
+  return out;
+}
+
+Result<GmdjRoundRequest> DecodeGmdjRoundRequest(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint8_t flags, ReadFlags(&reader));
+  GmdjRoundRequest req;
+  req.sub_aggregates = (flags & 1) != 0;
+  req.apply_rng = (flags & 2) != 0;
+  req.ship_result = (flags & 4) != 0;
+  req.has_base = (flags & 8) != 0;
+  SKALLA_ASSIGN_OR_RETURN(req.label, ReadString(&reader));
+  SKALLA_ASSIGN_OR_RETURN(req.op, ReadGmdjOp(&reader));
+  size_t table_offset = payload.size() - reader.remaining();
+  if (req.has_base) {
+    SKALLA_ASSIGN_OR_RETURN(
+        req.base, ReadTable(payload.data() + table_offset,
+                            payload.size() - table_offset));
+  } else if (reader.remaining() != 0) {
+    return Status::IOError("trailing bytes after gmdj-round request");
+  }
+  return req;
+}
+
+std::vector<uint8_t> EncodeCatalogResponse(
+    const std::vector<CatalogEntry>& entries) {
+  std::vector<uint8_t> out;
+  PutVarint(&out, entries.size());
+  for (const CatalogEntry& entry : entries) {
+    WriteString(&out, entry.name);
+    WriteSchema(&out, *entry.schema);
+  }
+  return out;
+}
+
+Result<std::vector<CatalogEntry>> DecodeCatalogResponse(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  std::vector<CatalogEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CatalogEntry entry;
+    SKALLA_ASSIGN_OR_RETURN(entry.name, ReadString(&reader));
+    SKALLA_ASSIGN_OR_RETURN(entry.schema, ReadSchema(&reader));
+    entries.push_back(std::move(entry));
+  }
+  if (reader.remaining() != 0) {
+    return Status::IOError("trailing bytes after catalog response");
+  }
+  return entries;
+}
+
+std::vector<uint8_t> EncodeHello(int site_id) {
+  std::vector<uint8_t> out;
+  PutVarint(&out, ZigzagEncode(site_id));
+  return out;
+}
+
+Result<int> DecodeHello(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint64_t raw, reader.ReadVarint());
+  return static_cast<int>(ZigzagDecode(raw));
+}
+
+}  // namespace rpc
+}  // namespace skalla

@@ -1,0 +1,121 @@
+// Binary encoding of the query-shaped halves of the rpc protocol:
+// expressions, base queries, GMDJ operators, schemas, and statuses. Table
+// payloads reuse net/serde (the same bytes the simulated network has
+// always shipped); this module covers everything else a site must decode
+// to evaluate a round it has never seen.
+//
+// All encodings are varint/tag based, little-endian, and carry no frame
+// header — framing (magic, version, checksum) is rpc/frame.h's job.
+
+#ifndef SKALLA_RPC_PLAN_SERDE_H_
+#define SKALLA_RPC_PLAN_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gmdj.h"
+#include "expr/expr.h"
+#include "net/serde.h"
+#include "relalg/operators.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace skalla {
+namespace rpc {
+
+// --- Primitives ----------------------------------------------------------
+
+void WriteString(std::vector<uint8_t>* out, std::string_view s);
+Result<std::string> ReadString(ByteReader* reader);
+
+/// Expression trees (named column references; resolved indices are not
+/// shipped — sites Bind against their local schemas). A null ExprPtr
+/// encodes as an absence marker and decodes back to nullptr.
+void WriteExpr(std::vector<uint8_t>* out, const ExprPtr& expr);
+Result<ExprPtr> ReadExpr(ByteReader* reader);
+
+void WriteSchema(std::vector<uint8_t>* out, const Schema& schema);
+Result<SchemaPtr> ReadSchema(ByteReader* reader);
+
+/// Status <-> kError payload. Decoding reproduces the original code, so a
+/// site-side NotFound surfaces at the coordinator as NotFound — not as a
+/// generic transport error. A malformed payload decodes to an IOError
+/// (an error either way; the caller just propagates it).
+void WriteStatusPayload(std::vector<uint8_t>* out, const Status& status);
+Status ReadStatusPayload(const std::vector<uint8_t>& payload);
+
+// --- Plan pieces ---------------------------------------------------------
+
+void WriteBaseQuery(std::vector<uint8_t>* out, const BaseQuery& query);
+Result<BaseQuery> ReadBaseQuery(ByteReader* reader);
+
+void WriteGmdjOp(std::vector<uint8_t>* out, const GmdjOp& op);
+Result<GmdjOp> ReadGmdjOp(ByteReader* reader);
+
+// --- Request/response payloads -------------------------------------------
+
+/// kBeginPlan: resets the site's round state and applies per-plan knobs.
+struct BeginPlanRequest {
+  bool columnar_sites = false;
+};
+std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req);
+Result<BeginPlanRequest> DecodeBeginPlanRequest(
+    const std::vector<uint8_t>& payload);
+
+/// kBaseRound: evaluate the base-values query. With ship_result the
+/// response is the table (kTableResult); without, the site keeps the
+/// result as its carried-over base structure and responds kAck (the
+/// Prop. 2 unsynchronized base round — no bytes travel back).
+struct BaseRoundRequest {
+  BaseQuery query;
+  bool ship_result = true;
+};
+std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req);
+Result<BaseRoundRequest> DecodeBaseRoundRequest(
+    const std::vector<uint8_t>& payload);
+
+/// kGmdjRound: evaluate one GMDJ operator. When has_base, the request
+/// tail carries the (coordinator-filtered) base structure, encoded with
+/// net/serde exactly as the simulated transports ship it; otherwise the
+/// site evaluates against its carried-over local structure (Theorem 5
+/// unsynchronized continuation). apply_rng mirrors Prop. 1: the site
+/// drops |RNG| = 0 groups before shipping.
+struct GmdjRoundRequest {
+  GmdjOp op;
+  std::string label;  // round label, e.g. "md2" (diagnostics)
+  bool sub_aggregates = false;
+  bool apply_rng = false;
+  bool ship_result = true;
+  bool has_base = false;
+  Table base;  // meaningful when has_base
+};
+
+/// `base_table_bytes` must be WriteTable output (ignored unless
+/// req.has_base); the caller serializes the table itself so it can
+/// account those exact bytes.
+std::vector<uint8_t> EncodeGmdjRoundRequest(
+    const GmdjRoundRequest& req, const std::vector<uint8_t>& base_table_bytes);
+Result<GmdjRoundRequest> DecodeGmdjRoundRequest(
+    const std::vector<uint8_t>& payload);
+
+/// kCatalogResponse: the site's table names and schemas, so the
+/// coordinator can run schema inference without local partitions.
+struct CatalogEntry {
+  std::string name;
+  SchemaPtr schema;
+};
+std::vector<uint8_t> EncodeCatalogResponse(
+    const std::vector<CatalogEntry>& entries);
+Result<std::vector<CatalogEntry>> DecodeCatalogResponse(
+    const std::vector<uint8_t>& payload);
+
+/// kHello: site id handshake.
+std::vector<uint8_t> EncodeHello(int site_id);
+Result<int> DecodeHello(const std::vector<uint8_t>& payload);
+
+}  // namespace rpc
+}  // namespace skalla
+
+#endif  // SKALLA_RPC_PLAN_SERDE_H_

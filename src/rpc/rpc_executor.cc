@@ -1,0 +1,358 @@
+#include "rpc/rpc_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "dist/coordinator.h"
+#include "net/serde.h"
+#include "obs/obs.h"
+#include "rpc/plan_serde.h"
+
+namespace skalla {
+namespace rpc {
+
+RpcExecutor::RpcExecutor(std::unique_ptr<Transport> transport,
+                         ExecutorOptions options)
+    : transport_(std::move(transport)), options_(options) {}
+
+Status RpcExecutor::Connect() {
+  const size_t n = transport_->num_sites();
+  if (n == 0) return Status::InvalidArgument("transport has no sites");
+  if (connections_.empty()) {
+    connections_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      SKALLA_ASSIGN_OR_RETURN(connections_[i], transport_->Connect(i));
+    }
+  }
+  if (!schemas_.empty()) return Status::OK();
+  // The catalog request doubles as the liveness probe: it forces the
+  // handshake on every connection before the first round. Sites hold
+  // partitions of the same relations, so any site's schemas serve for
+  // coordinator-side schema inference; take site 0's.
+  for (size_t i = 0; i < n; ++i) {
+    SKALLA_ASSIGN_OR_RETURN(Frame response, connections_[i]->Call(
+                                                MessageType::kCatalogRequest,
+                                                {}));
+    if (response.type == MessageType::kError) {
+      return ReadStatusPayload(response.payload);
+    }
+    if (response.type != MessageType::kCatalogResponse) {
+      return Status::IOError("unexpected catalog response type");
+    }
+    if (i == 0) {
+      SKALLA_ASSIGN_OR_RETURN(std::vector<CatalogEntry> entries,
+                              DecodeCatalogResponse(response.payload));
+      for (CatalogEntry& entry : entries) {
+        schemas_[entry.name] = std::move(entry.schema);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<SchemaPtr> RpcExecutor::TableSchema(const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return Status::NotFound(StrCat("no site table named '", name, "'"));
+  }
+  return it->second;
+}
+
+uint64_t RpcExecutor::wire_bytes() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Connection>& connection : connections_) {
+    if (connection != nullptr) total += connection->wire_bytes();
+  }
+  return total;
+}
+
+Result<Table> RpcExecutor::CallRound(size_t i, MessageType type,
+                                     const std::vector<uint8_t>& payload,
+                                     uint64_t* table_payload_bytes) {
+  SKALLA_TRACE_SPAN(span, "rpc.round", "rpc");
+  SKALLA_SPAN_ATTR(span, "site", static_cast<int64_t>(i));
+  Stopwatch timer;
+  uint64_t wire_before = connections_[i]->wire_bytes();
+  Result<Frame> response = connections_[i]->Call(type, payload);
+  SKALLA_COUNTER_ADD("skalla.rpc.bytes",
+                     connections_[i]->wire_bytes() - wire_before);
+  SKALLA_HISTOGRAM_RECORD("skalla.rpc.round_us",
+                          timer.ElapsedSeconds() * 1e6);
+  SKALLA_RETURN_NOT_OK(response.status());
+  switch (response->type) {
+    case MessageType::kError:
+      // Decode the site's own status so its error code survives the
+      // wire (a site-side NotFound surfaces as NotFound).
+      return ReadStatusPayload(response->payload);
+    case MessageType::kAck:
+      if (table_payload_bytes != nullptr) *table_payload_bytes = 0;
+      return Table();
+    case MessageType::kTableResult:
+      if (table_payload_bytes != nullptr) {
+        *table_payload_bytes = response->payload.size();
+      }
+      return ReadTable(response->payload.data(), response->payload.size());
+    default:
+      return Status::IOError(
+          StrCat("unexpected response type ",
+                 static_cast<int>(response->type)));
+  }
+}
+
+Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
+                                   ExecStats* stats) {
+  const size_t n = transport_->num_sites();
+  if (n == 0) return Status::InvalidArgument("executor has no sites");
+  if (!plan.stages.empty() && !plan.stages.back().sync_after) {
+    return Status::InvalidArgument(
+        "the final plan stage must synchronize at the coordinator");
+  }
+  if (plan.stages.empty() && !plan.sync_base) {
+    return Status::InvalidArgument(
+        "a plan without GMDJ stages must synchronize its base query");
+  }
+  for (const PlanStage& stage : plan.stages) {
+    if (!stage.site_base_filters.empty() &&
+        stage.site_base_filters.size() != n) {
+      return Status::InvalidArgument(
+          StrCat("stage has ", stage.site_base_filters.size(),
+                 " site filters for ", n, " sites"));
+    }
+  }
+  SKALLA_RETURN_NOT_OK(Connect());
+
+  ExecStats local_stats;
+  ExecStats& st = stats == nullptr ? local_stats : *stats;
+  st.rounds.clear();
+
+  SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
+  SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
+  SKALLA_SPAN_ATTR(exec_span, "stages",
+                   static_cast<uint64_t>(plan.stages.size()));
+  SKALLA_SPAN_ATTR(exec_span, "mode", "rpc");
+  SKALLA_COUNTER_ADD("skalla.exec.plans", 1);
+
+  // Reset every site's round state (and forward the columnar knob).
+  // Not routed through the retry loop: BeginPlan is not a site round,
+  // and it is idempotent anyway.
+  {
+    BeginPlanRequest begin;
+    begin.columnar_sites = options_.columnar_sites;
+    std::vector<uint8_t> payload = EncodeBeginPlanRequest(begin);
+    for (size_t i = 0; i < n; ++i) {
+      SKALLA_RETURN_NOT_OK(
+          CallRound(i, MessageType::kBeginPlan, payload, nullptr).status());
+    }
+  }
+
+  Coordinator coordinator(plan.key_columns,
+                          ResolveCoordinatorShards(
+                              options_.coordinator_shards));
+  bool have_global = false;
+
+  // Schema inference chain, driven from the catalog schemas fetched at
+  // Connect (the coordinator holds no partitions of its own).
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr base_schema,
+                          TableSchema(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
+                          plan.base.OutputSchema(*base_schema));
+
+  // ---- Base-values stage -------------------------------------------------
+  {
+    RoundStats rs;
+    rs.label = "base";
+    rs.synchronized = plan.sync_base;
+    SKALLA_TRACE_SPAN(round_span, "round:base", "executor");
+    SKALLA_SPAN_ATTR(round_span, "sync", plan.sync_base ? "true" : "false");
+    Stopwatch wall;
+
+    BaseRoundRequest request;
+    request.query = plan.base;
+    request.ship_result = plan.sync_base;
+    std::vector<uint8_t> payload = EncodeBaseRoundRequest(request);
+
+    if (plan.sync_base) SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
+    for (size_t i = 0; i < n; ++i) {
+      Stopwatch timer;
+      size_t retries = 0;
+      uint64_t fragment_bytes = 0;
+      Result<Table> fragment = ExecuteSiteRound(
+          options_, static_cast<int>(i), rs.label,
+          [&] {
+            return CallRound(i, MessageType::kBaseRound, payload,
+                             &fragment_bytes);
+          },
+          &retries);
+      if (!fragment.ok()) return fragment.status();
+      double elapsed = timer.ElapsedSeconds();
+      rs.site_time_max = std::max(rs.site_time_max, elapsed);
+      rs.site_time_sum += elapsed;
+      rs.site_retries += retries;
+      if (plan.sync_base) {
+        rs.bytes_to_coord += fragment_bytes;
+        rs.tuples_to_coord += fragment->num_rows();
+        Stopwatch merge_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(*fragment));
+        rs.coord_time += merge_timer.ElapsedSeconds();
+      }
+    }
+    if (plan.sync_base) {
+      Stopwatch finalize_timer;
+      SKALLA_RETURN_NOT_OK(coordinator.FinalizeBase());
+      rs.coord_time += finalize_timer.ElapsedSeconds();
+      have_global = true;
+    }
+    rs.wall_time = wall.ElapsedSeconds();
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
+    st.rounds.push_back(std::move(rs));
+  }
+
+  // ---- GMDJ stages ---------------------------------------------------------
+  for (size_t k = 0; k < plan.stages.size(); ++k) {
+    const PlanStage& stage = plan.stages[k];
+    RoundStats rs;
+    rs.label = StrCat("md", k + 1);
+    rs.synchronized = stage.sync_after;
+    SKALLA_TRACE_SPAN(round_span, StrCat("round:", rs.label), "executor");
+    SKALLA_SPAN_ATTR(round_span, "sync", stage.sync_after ? "true" : "false");
+    Stopwatch wall;
+
+    SKALLA_ASSIGN_OR_RETURN(SchemaPtr detail_schema,
+                            TableSchema(stage.op.detail_table));
+
+    GmdjRoundRequest request;
+    request.op = stage.op;
+    request.label = rs.label;
+    request.sub_aggregates = stage.sync_after;
+    request.apply_rng = stage.sync_after && stage.indep_group_reduction;
+    request.ship_result = stage.sync_after;
+
+    // Distribution: with a global structure, each site gets its
+    // (possibly reduction-filtered) copy inside the round request; a
+    // site whose filtered structure is empty sits a synchronized round
+    // out entirely, exactly like DistributedExecutor.
+    std::vector<uint8_t> active(n, 1);
+    std::vector<std::vector<uint8_t>> payloads(n);
+    if (have_global) {
+      request.has_base = true;
+      const Table& x = coordinator.result();
+      for (size_t i = 0; i < n; ++i) {
+        const ExprPtr& filter = stage.site_base_filters.empty()
+                                    ? nullptr
+                                    : stage.site_base_filters[i];
+        Table to_send;
+        {
+          Stopwatch coord_timer;
+          if (filter != nullptr) {
+            SKALLA_ASSIGN_OR_RETURN(to_send, FilterBaseRows(x, filter));
+          } else {
+            to_send = x;
+          }
+          rs.coord_time += coord_timer.ElapsedSeconds();
+        }
+        if (filter != nullptr && to_send.empty() && stage.sync_after) {
+          active[i] = 0;
+          ++rs.sites_skipped;
+          continue;
+        }
+        std::vector<uint8_t> base_bytes;
+        WriteTable(to_send, &base_bytes);
+        rs.bytes_to_sites += base_bytes.size();
+        rs.tuples_to_sites += to_send.num_rows();
+        payloads[i] = EncodeGmdjRoundRequest(request, base_bytes);
+      }
+    } else {
+      request.has_base = false;
+      std::vector<uint8_t> shared = EncodeGmdjRoundRequest(request, {});
+      for (size_t i = 0; i < n; ++i) payloads[i] = shared;
+    }
+
+    // Site evaluation (and, for synchronized stages, fragment return).
+    std::vector<Table> outputs(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      Stopwatch timer;
+      size_t retries = 0;
+      uint64_t fragment_bytes = 0;
+      Result<Table> fragment = ExecuteSiteRound(
+          options_, static_cast<int>(i), rs.label,
+          [&] {
+            return CallRound(i, MessageType::kGmdjRound, payloads[i],
+                             &fragment_bytes);
+          },
+          &retries);
+      if (!fragment.ok()) return fragment.status();
+      double elapsed = timer.ElapsedSeconds();
+      rs.site_time_max = std::max(rs.site_time_max, elapsed);
+      rs.site_time_sum += elapsed;
+      rs.site_retries += retries;
+      if (stage.sync_after) {
+        rs.bytes_to_coord += fragment_bytes;
+        rs.tuples_to_coord += fragment->num_rows();
+        outputs[i] = std::move(*fragment);
+      }
+    }
+
+    if (stage.sync_after) {
+      Stopwatch begin_timer;
+      SKALLA_RETURN_NOT_OK(coordinator.BeginRound(
+          stage.op, *upstream, *detail_schema,
+          /*from_scratch=*/!have_global));
+      rs.coord_time += begin_timer.ElapsedSeconds();
+      for (size_t i = 0; i < n; ++i) {
+        if (!active[i]) continue;
+        Stopwatch merge_timer;
+        SKALLA_RETURN_NOT_OK(coordinator.MergeFragment(outputs[i]));
+        rs.coord_time += merge_timer.ElapsedSeconds();
+        outputs[i] = Table();
+      }
+      Stopwatch finalize_timer;
+      SKALLA_RETURN_NOT_OK(coordinator.FinalizeRound());
+      rs.coord_time += finalize_timer.ElapsedSeconds();
+      have_global = true;
+    } else {
+      // Outputs stay at the sites (their carried-over structures).
+      have_global = false;
+    }
+
+    SKALLA_ASSIGN_OR_RETURN(upstream,
+                            stage.op.OutputSchema(*upstream, *detail_schema));
+    rs.wall_time = wall.ElapsedSeconds();
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
+    SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_sites", rs.tuples_to_sites);
+    SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
+    st.rounds.push_back(std::move(rs));
+  }
+
+  if (!have_global) {
+    return Status::Internal("plan finished without a global result");
+  }
+  return coordinator.result();
+}
+
+Status RpcExecutor::Shutdown() {
+  if (connections_.empty()) {
+    const size_t n = transport_->num_sites();
+    connections_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      Result<std::unique_ptr<Connection>> connection =
+          transport_->Connect(i);
+      if (connection.ok()) connections_[i] = std::move(*connection);
+    }
+  }
+  Status first_error;
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i] == nullptr) continue;
+    Status s = CallRound(i, MessageType::kShutdown, {}, nullptr).status();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+}  // namespace rpc
+}  // namespace skalla

@@ -1,0 +1,89 @@
+#include "rpc/server.h"
+
+#include <poll.h>
+
+#include "common/macros.h"
+#include "obs/obs.h"
+
+namespace skalla {
+namespace rpc {
+
+Status SiteServer::Start() {
+  SKALLA_ASSIGN_OR_RETURN(listener_,
+                          TcpListener::Bind(options_.host, options_.port));
+  return Status::OK();
+}
+
+Status SiteServer::Serve() {
+  if (!listener_.valid()) SKALLA_RETURN_NOT_OK(Start());
+  while (!stop_.load()) {
+    SKALLA_ASSIGN_OR_RETURN(std::optional<TcpSocket> accepted,
+                            listener_.Accept(options_.accept_timeout_s));
+    if (!accepted.has_value()) continue;  // poll the stop flag
+    SKALLA_COUNTER_ADD("skalla.rpc.server.connections", 1);
+    // Per-connection errors (peer vanished, garbled frame) end the
+    // connection, not the server; the coordinator reconnects.
+    Status connection_status = ServeConnection(&*accepted);
+    (void)connection_status;
+    if (service_->shutdown_requested()) stop_.store(true);
+  }
+  return Status::OK();
+}
+
+Status SiteServer::ServeConnection(TcpSocket* connection) {
+  while (!stop_.load()) {
+    // Idle-wait for the next request in small slices so Stop() and
+    // shutdown are noticed; only a started frame is held to io_timeout.
+    struct pollfd pfd;
+    pfd.fd = connection->fd();
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1,
+                    static_cast<int>(options_.accept_timeout_s * 1e3));
+    if (rc == 0) continue;
+    if (rc < 0) return Status::IOError("poll on connection failed");
+
+    Result<Frame> received =
+        RecvFrame(connection, options_.io_timeout_s, nullptr);
+    if (!received.ok()) {
+      // A frame from a foreign protocol version gets the typed status
+      // back before the hangup, so a mixed deployment fails loudly with
+      // kVersionMismatch instead of a silent dropped connection. (The
+      // header parsed fine; only the payload is unread, and we drop the
+      // connection right after, so the stream never desyncs.)
+      if (received.status().IsVersionMismatch()) {
+        Frame error = ErrorFrame(received.status());
+        (void)SendFrame(connection, error.type, error.payload,
+                        options_.io_timeout_s, nullptr);
+      }
+      return received.status();
+    }
+    Frame request = std::move(*received);
+    if (request.type != MessageType::kHello) {
+      int index = requests_seen_++;
+      if (index == options_.drop_request_index) {
+        // Injected mid-round failure: hang up without answering. The
+        // request was NOT handled, so the coordinator's retry re-runs
+        // the round from the site's intact state.
+        connection->Close();
+        return Status::OK();
+      }
+    }
+    Result<Frame> response = service_->Handle(request);
+    if (!response.ok()) {
+      // Malformed request: report it, then drop the connection (the
+      // stream may be out of sync).
+      Frame error = ErrorFrame(response.status());
+      (void)SendFrame(connection, error.type, error.payload,
+                      options_.io_timeout_s, nullptr);
+      return response.status();
+    }
+    SKALLA_RETURN_NOT_OK(SendFrame(connection, response->type,
+                                   response->payload, options_.io_timeout_s,
+                                   nullptr));
+    if (service_->shutdown_requested()) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace rpc
+}  // namespace skalla

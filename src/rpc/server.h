@@ -1,0 +1,69 @@
+// SiteServer: the accept/serve loop of a skalla-site process. Owns a
+// TcpListener, accepts one coordinator connection at a time, and feeds
+// received frames to a SiteService. A dropped connection does not lose
+// site state — the service (and its carried-over round structures)
+// outlives connections, which is what makes coordinator-side
+// reconnect-and-retry recovery work.
+
+#ifndef SKALLA_RPC_SERVER_H_
+#define SKALLA_RPC_SERVER_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/result.h"
+#include "rpc/site_service.h"
+#include "rpc/tcp.h"
+
+namespace skalla {
+namespace rpc {
+
+struct SiteServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  int port = 0;
+  /// Accept poll granularity — how quickly Stop() is noticed.
+  double accept_timeout_s = 0.2;
+  /// Per-frame receive/send timeout once a connection is up. Idle waits
+  /// for the next request poll in accept_timeout_s slices, so a quiet
+  /// coordinator does not trip this.
+  double io_timeout_s = 30.0;
+  /// Fault hook for tests: when >= 0, the server closes the connection
+  /// instead of answering the Nth request it receives (counted across
+  /// connections, handshakes excluded, one-shot). Simulates a site
+  /// falling over mid-round.
+  int drop_request_index = -1;
+};
+
+class SiteServer {
+ public:
+  SiteServer(SiteService* service, SiteServerOptions options)
+      : service_(service), options_(options) {}
+
+  /// Binds the listener; port() is valid afterwards.
+  Status Start();
+
+  int port() const { return listener_.port(); }
+
+  /// Serves until a kShutdown request is acknowledged or Stop() is
+  /// called. Returns non-OK only for listener-level failures; per
+  /// connection errors just drop the connection.
+  Status Serve();
+
+  /// Asks Serve to return; callable from another thread.
+  void Stop() { stop_.store(true); }
+
+ private:
+  Status ServeConnection(TcpSocket* connection);
+
+  SiteService* service_;
+  SiteServerOptions options_;
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  int requests_seen_ = 0;
+};
+
+}  // namespace rpc
+}  // namespace skalla
+
+#endif  // SKALLA_RPC_SERVER_H_

@@ -1,0 +1,140 @@
+#include "rpc/site_service.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "dist/executor.h"
+#include "net/serde.h"
+#include "obs/obs.h"
+#include "rpc/plan_serde.h"
+
+namespace skalla {
+namespace rpc {
+
+Frame ErrorFrame(const Status& status) {
+  Frame frame;
+  frame.type = MessageType::kError;
+  WriteStatusPayload(&frame.payload, status);
+  return frame;
+}
+
+namespace {
+
+Frame AckFrame() {
+  Frame frame;
+  frame.type = MessageType::kAck;
+  return frame;
+}
+
+Frame TableFrame(const Table& table) {
+  Frame frame;
+  frame.type = MessageType::kTableResult;
+  WriteTable(table, &frame.payload);
+  return frame;
+}
+
+}  // namespace
+
+Result<Frame> SiteService::Handle(const Frame& request) {
+  SKALLA_TRACE_SPAN(span, "rpc.handle", "rpc");
+  SKALLA_SPAN_ATTR(span, "type",
+                   static_cast<int64_t>(static_cast<uint8_t>(request.type)));
+  switch (request.type) {
+    case MessageType::kHello: {
+      SKALLA_RETURN_NOT_OK(DecodeHello(request.payload).status());
+      Frame frame;
+      frame.type = MessageType::kHello;
+      frame.payload = EncodeHello(site_.id());
+      return frame;
+    }
+    case MessageType::kCatalogRequest: {
+      std::vector<CatalogEntry> entries;
+      for (const std::string& name : site_.catalog().TableNames()) {
+        SKALLA_ASSIGN_OR_RETURN(const Table* table, site_.catalog().Get(name));
+        entries.push_back(CatalogEntry{name, table->schema()});
+      }
+      Frame frame;
+      frame.type = MessageType::kCatalogResponse;
+      frame.payload = EncodeCatalogResponse(entries);
+      return frame;
+    }
+    case MessageType::kBeginPlan:
+      return HandleBeginPlan(request);
+    case MessageType::kBaseRound:
+      return HandleBaseRound(request);
+    case MessageType::kGmdjRound:
+      return HandleGmdjRound(request);
+    case MessageType::kShutdown:
+      shutdown_ = true;
+      return AckFrame();
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          StrCat("site cannot serve message type ",
+                 static_cast<int>(request.type))));
+  }
+}
+
+Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
+  SKALLA_ASSIGN_OR_RETURN(BeginPlanRequest req,
+                          DecodeBeginPlanRequest(request.payload));
+  local_base_ = Table();
+  last_round_.clear();
+  last_input_ = Table();
+  if (req.columnar_sites && !site_.columnar_enabled()) {
+    Status built = site_.EnableColumnarCache();
+    if (!built.ok()) return ErrorFrame(built);
+  }
+  return AckFrame();
+}
+
+Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
+  SKALLA_ASSIGN_OR_RETURN(BaseRoundRequest req,
+                          DecodeBaseRoundRequest(request.payload));
+  // Recomputing from the durable local partition makes retries of this
+  // round naturally idempotent.
+  Result<Table> base = site_.ExecuteBaseQuery(req.query);
+  if (!base.ok()) return ErrorFrame(base.status());
+  if (req.ship_result) return TableFrame(*base);
+  local_base_ = std::move(*base);
+  last_round_.clear();
+  last_input_ = Table();
+  return AckFrame();
+}
+
+Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
+  SKALLA_ASSIGN_OR_RETURN(GmdjRoundRequest req,
+                          DecodeGmdjRoundRequest(request.payload));
+  Table input;
+  if (req.has_base) {
+    input = std::move(req.base);
+  } else if (!req.label.empty() && req.label == last_round_) {
+    // A coordinator retry of the round that already consumed the carried
+    // structure: re-evaluate from the saved input, do not double-apply.
+    input = last_input_;
+  } else {
+    input = std::move(local_base_);
+  }
+
+  GmdjEvalOptions eval_options;
+  eval_options.sub_aggregates = req.sub_aggregates;
+  eval_options.compute_rng = req.apply_rng;
+  Result<Table> h = site_.EvalGmdjRound(input, req.op, eval_options);
+  if (h.ok() && req.apply_rng) h = ApplyRngFilter(*h);
+  if (!h.ok()) return ErrorFrame(h.status());
+
+  if (req.has_base) {
+    last_round_.clear();
+    last_input_ = Table();
+  } else {
+    last_round_ = req.label;
+    last_input_ = std::move(input);
+  }
+  if (req.ship_result) {
+    local_base_ = Table();
+    return TableFrame(*h);
+  }
+  local_base_ = std::move(*h);
+  return AckFrame();
+}
+
+}  // namespace rpc
+}  // namespace skalla

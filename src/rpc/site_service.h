@@ -1,0 +1,65 @@
+// SiteService: the server half of the rpc protocol. Handles decoded
+// request frames against one Site and owns the site's state between
+// rounds — the carried-over local base-result structure that
+// unsynchronized plans rely on (Prop. 2 / Theorem 5).
+//
+// Transport-agnostic: SiteServer drives it from a TCP connection, the
+// in-process transport calls it directly. Not thread-safe; each service
+// is driven by one connection at a time (the coordinator link).
+
+#ifndef SKALLA_RPC_SITE_SERVICE_H_
+#define SKALLA_RPC_SITE_SERVICE_H_
+
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "dist/site.h"
+#include "rpc/frame.h"
+
+namespace skalla {
+namespace rpc {
+
+/// Builds a kError frame carrying `status` (code preserved end to end).
+Frame ErrorFrame(const Status& status);
+
+class SiteService {
+ public:
+  explicit SiteService(Site site) : site_(std::move(site)) {}
+
+  int site_id() const { return site_.id(); }
+  const Site& site() const { return site_; }
+
+  /// Handles one request and produces the response frame. Evaluation
+  /// failures become kError frames; a non-OK Result means the request
+  /// itself was malformed (the connection should drop).
+  Result<Frame> Handle(const Frame& request);
+
+  /// True once a kShutdown request has been acknowledged.
+  bool shutdown_requested() const { return shutdown_; }
+
+ private:
+  Result<Frame> HandleBeginPlan(const Frame& request);
+  Result<Frame> HandleBaseRound(const Frame& request);
+  Result<Frame> HandleGmdjRound(const Frame& request);
+
+  Site site_;
+
+  // Carried-over base structure between unsynchronized rounds.
+  Table local_base_;
+
+  // Idempotent retries: the label of the last round that consumed the
+  // carried structure, and the input it consumed. A re-sent round (a
+  // coordinator retry after a dropped connection or lost response)
+  // re-evaluates from the saved input instead of double-applying the
+  // operator to its own output.
+  std::string last_round_;
+  Table last_input_;
+
+  bool shutdown_ = false;
+};
+
+}  // namespace rpc
+}  // namespace skalla
+
+#endif  // SKALLA_RPC_SITE_SERVICE_H_

@@ -66,20 +66,23 @@ TEST(MessageChannelTest, FifoAndBlocking) {
   MessageChannel channel;
   channel.Send(1, {10});
   channel.Send(2, {20});
-  ChannelMessage a = channel.Receive();
-  ChannelMessage b = channel.Receive();
-  EXPECT_EQ(a.from, 1);
-  EXPECT_EQ(a.bytes[0], 10);
-  EXPECT_EQ(b.from, 2);
+  std::optional<ChannelMessage> a = channel.Receive();
+  std::optional<ChannelMessage> b = channel.Receive();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->from, 1);
+  EXPECT_EQ(a->bytes[0], 10);
+  EXPECT_EQ(b->from, 2);
   EXPECT_EQ(channel.size(), 0u);
 
   // Receive blocks until a concurrent Send arrives.
   std::thread sender([&channel] {
     channel.Send(7, {77});
   });
-  ChannelMessage c = channel.Receive();
+  std::optional<ChannelMessage> c = channel.Receive();
   sender.join();
-  EXPECT_EQ(c.from, 7);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->from, 7);
 }
 
 class AsyncEquivalenceTest : public ::testing::TestWithParam<int> {};

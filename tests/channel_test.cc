@@ -1,0 +1,87 @@
+// MessageChannel close semantics: drain-then-fail. Messages queued
+// before Close are still delivered; once drained, Receive returns
+// nullopt instead of blocking forever against a dead producer. This is
+// the regression surface for the AsyncExecutor teardown paths, which
+// Close the round channel on every exit so no site task can wedge a
+// blocked coordinator.
+
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace skalla {
+namespace {
+
+TEST(ChannelCloseTest, QueuedMessagesDrainBeforeFailing) {
+  MessageChannel channel;
+  channel.Send(1, {10});
+  channel.Send(2, {20});
+  channel.Close();
+
+  // Drain-then-fail: both queued messages arrive in order...
+  std::optional<ChannelMessage> a = channel.Receive();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->from, 1);
+  std::optional<ChannelMessage> b = channel.Receive();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->from, 2);
+
+  // ...and only then does Receive report the closed channel.
+  EXPECT_FALSE(channel.Receive().has_value());
+  EXPECT_FALSE(channel.Receive().has_value());
+}
+
+TEST(ChannelCloseTest, CloseWakesABlockedReceiver) {
+  MessageChannel channel;
+  std::optional<ChannelMessage> received;
+  std::thread receiver([&] { received = channel.Receive(); });
+  // The receiver is (about to be) blocked on an empty queue; Close must
+  // wake it with nullopt rather than leave it waiting forever.
+  channel.Close();
+  receiver.join();
+  EXPECT_FALSE(received.has_value());
+}
+
+TEST(ChannelCloseTest, SendsAfterCloseAreDropped) {
+  MessageChannel channel;
+  channel.Close();
+  channel.Send(5, {55});
+  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_FALSE(channel.Receive().has_value());
+}
+
+TEST(ChannelCloseTest, CloseIsIdempotentAndObservable) {
+  MessageChannel channel;
+  EXPECT_FALSE(channel.closed());
+  channel.Close();
+  channel.Close();
+  EXPECT_TRUE(channel.closed());
+}
+
+TEST(ChannelCloseTest, ProducerFlushThenCloseDeliversEverything) {
+  // The intended teardown idiom: producers flush their final fragments,
+  // the owner closes, the consumer drains to nullopt — no message lost.
+  MessageChannel channel;
+  const int kProducers = 4;
+  const int kPerProducer = 25;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        channel.Send(p, {static_cast<uint8_t>(i)});
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  channel.Close();
+
+  int delivered = 0;
+  while (channel.Receive().has_value()) ++delivered;
+  EXPECT_EQ(delivered, kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace skalla

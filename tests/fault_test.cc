@@ -8,9 +8,13 @@
 
 #include "common/macros.h"
 #include "common/random.h"
+#include <memory>
+
 #include "dist/async_exec.h"
 #include "dist/warehouse.h"
 #include "expr/builder.h"
+#include "rpc/rpc_executor.h"
+#include "rpc/transport.h"
 #include "storage/partition.h"
 
 namespace skalla {
@@ -172,6 +176,111 @@ TEST(FaultTest, AsyncPermanentSiteFailureAborts) {
                                    OptimizerOptions::None());
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("site 2"), std::string::npos);
+}
+
+// Same scenario again through the RpcExecutor (in-process transport):
+// the retry loop is the shared ExecuteSiteRound, so recovery and
+// accounting must be identical to the simulated engines.
+Result<Table> RunRpcWithFaults(const Table& flow, FaultInjector* injector,
+                               size_t retries, ExecStats* stats,
+                               const OptimizerOptions& opts) {
+  const size_t kSites = 4;
+  DistributedWarehouse dw(kSites);
+  Status s = dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"});
+  if (!s.ok()) return s;
+  SKALLA_ASSIGN_OR_RETURN(DistributedPlan plan, dw.Plan(SimpleQuery(), opts));
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Table> parts,
+                          PartitionByValue(flow, "SAS", kSites));
+  std::vector<Site> sites;
+  for (size_t i = 0; i < kSites; ++i) {
+    Catalog catalog;
+    catalog.Register("flow", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  ExecutorOptions exec_options;
+  exec_options.fault_injector = injector;
+  exec_options.max_site_retries = retries;
+  rpc::RpcExecutor executor(
+      std::make_unique<rpc::InProcessTransport>(std::move(sites)),
+      exec_options);
+  return executor.Execute(plan, stats);
+}
+
+TEST(FaultTest, RpcTransientFailuresRecoverWithRetry) {
+  Table flow = MakeFlow(600);
+  DistributedWarehouse reference_dw(4);
+  reference_dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}).Check();
+  Table expected =
+      reference_dw.ExecuteCentralized(SimpleQuery()).ValueOrDie();
+
+  TransientFaultInjector injector(/*failures=*/1);
+  ExecStats stats;
+  Table result = RunRpcWithFaults(flow, &injector, /*retries=*/2, &stats,
+                                  OptimizerOptions::None())
+                     .ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  EXPECT_GT(injector.injected(), 0);
+  size_t total_retries = 0;
+  for (const RoundStats& r : stats.rounds) total_retries += r.site_retries;
+  // Every (site, round) pair failed once: 4 sites x 3 rounds.
+  EXPECT_EQ(total_retries, 12u);
+}
+
+TEST(FaultTest, RpcExhaustedRetriesSurfaceTheFailure) {
+  Table flow = MakeFlow(200);
+  TransientFaultInjector injector(/*failures=*/3);
+  auto result = RunRpcWithFaults(flow, &injector, /*retries=*/1, nullptr,
+                                 OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(FaultTest, RpcPermanentSiteFailureAborts) {
+  Table flow = MakeFlow(200);
+  PermanentSiteFailure injector(/*site=*/2);
+  auto result = RunRpcWithFaults(flow, &injector, /*retries=*/5, nullptr,
+                                 OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("site 2"), std::string::npos);
+}
+
+TEST(FaultTest, RetryAccountingMatchesAcrossEngines) {
+  // The same transient-fault schedule must produce the same per-round
+  // site_retries in every engine: the retry loop is shared, and the
+  // round labels the injector keys on are part of the executor contract.
+  Table flow = MakeFlow(600);
+
+  TransientFaultInjector dist_injector(/*failures=*/1);
+  ExecStats dist_stats;
+  RunWithFaults(flow, &dist_injector, /*retries=*/2, &dist_stats,
+                OptimizerOptions::None())
+      .ValueOrDie();
+
+  TransientFaultInjector async_injector(/*failures=*/1);
+  ExecStats async_stats;
+  RunAsyncWithFaults(flow, &async_injector, /*retries=*/2, &async_stats,
+                     OptimizerOptions::None())
+      .ValueOrDie();
+
+  TransientFaultInjector rpc_injector(/*failures=*/1);
+  ExecStats rpc_stats;
+  RunRpcWithFaults(flow, &rpc_injector, /*retries=*/2, &rpc_stats,
+                   OptimizerOptions::None())
+      .ValueOrDie();
+
+  ASSERT_EQ(dist_stats.rounds.size(), async_stats.rounds.size());
+  ASSERT_EQ(dist_stats.rounds.size(), rpc_stats.rounds.size());
+  for (size_t r = 0; r < dist_stats.rounds.size(); ++r) {
+    SCOPED_TRACE(dist_stats.rounds[r].label);
+    EXPECT_EQ(async_stats.rounds[r].label, dist_stats.rounds[r].label);
+    EXPECT_EQ(rpc_stats.rounds[r].label, dist_stats.rounds[r].label);
+    EXPECT_EQ(async_stats.rounds[r].site_retries,
+              dist_stats.rounds[r].site_retries);
+    EXPECT_EQ(rpc_stats.rounds[r].site_retries,
+              dist_stats.rounds[r].site_retries);
+  }
+  EXPECT_EQ(dist_injector.injected(), async_injector.injected());
+  EXPECT_EQ(dist_injector.injected(), rpc_injector.injected());
 }
 
 TEST(FaultTest, NoInjectorMeansNoRetries) {

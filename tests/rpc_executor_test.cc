@@ -1,0 +1,370 @@
+// RpcExecutor over the in-process transport versus DistributedExecutor:
+// the full query battery must come back row-for-row identical with
+// identical bytes_to_sites / bytes_to_coord accounting, under both
+// extreme optimizer configurations. Every exchange round-trips through
+// the framed wire encoding, so this pins the whole protocol stack short
+// of the sockets.
+
+#include "rpc/rpc_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/flow_gen.h"
+#include "data/tpcr_gen.h"
+#include "dist/exec.h"
+#include "dist/warehouse.h"
+#include "net/serde.h"
+#include "rpc/plan_serde.h"
+#include "rpc/transport.h"
+#include "sql/parser.h"
+#include "storage/partition.h"
+#include "types/row.h"
+
+namespace skalla {
+namespace {
+
+using rpc::InProcessTransport;
+using rpc::RpcExecutor;
+
+constexpr size_t kSites = 4;
+
+struct QueryCase {
+  const char* name;
+  const char* text;
+};
+
+// The query_suite battery (flow + tpcr), verbatim.
+const QueryCase kQueries[] = {
+    {"per_source_totals", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS flows, SUM(NumBytes) AS bytes,
+                 MAX(NumPackets) AS max_pkts
+         WHERE r.SourceAS = b.SourceAS;
+    )"},
+    {"above_average_pairs", R"(
+      BASE SELECT DISTINCT SourceAS, DestAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS cnt1, SUM(NumBytes) AS sum1
+         WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS;
+      MD USING flow
+         COMPUTE COUNT(*) AS cnt2
+         WHERE r.SourceAS = b.SourceAS AND r.DestAS = b.DestAS
+           AND r.NumBytes >= b.sum1 / b.cnt1;
+    )"},
+    {"web_vs_total_blocks", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS web
+         WHERE r.SourceAS = b.SourceAS
+           AND (r.DestPort = 80 OR r.DestPort = 443)
+         COMPUTE COUNT(*) AS total, AVG(NumBytes) AS avg_bytes
+         WHERE r.SourceAS = b.SourceAS;
+    )"},
+    {"filtered_base", R"(
+      BASE SELECT DISTINCT DestAS FROM flow WHERE NumPackets > 100;
+      MD USING flow
+         COMPUTE COUNT(*) AS big_flows, MIN(NumBytes) AS smallest
+         WHERE r.DestAS = b.DestAS AND r.NumPackets > 100;
+    )"},
+    {"three_round_chain", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE MAX(NumBytes) AS biggest
+         WHERE r.SourceAS = b.SourceAS;
+      MD USING flow
+         COMPUTE COUNT(*) AS at_max
+         WHERE r.SourceAS = b.SourceAS AND r.NumBytes = b.biggest;
+      MD USING flow
+         COMPUTE SUM(NumPackets) AS pkts_at_max
+         WHERE r.SourceAS = b.SourceAS AND r.NumBytes = b.biggest;
+    )"},
+    {"empty_result", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow WHERE SourceAS < 0;
+      MD USING flow
+         COMPUTE COUNT(*) AS c WHERE r.SourceAS = b.SourceAS;
+    )"},
+    {"non_equi_only", R"(
+      BASE SELECT DISTINCT SourcePort FROM flow WHERE SourcePort < 1100;
+      MD USING flow
+         COMPUTE COUNT(*) AS lower_ports
+         WHERE r.SourcePort < b.SourcePort;
+    )"},
+    {"clerk_low_cardinality", R"(
+      BASE SELECT DISTINCT Clerk FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS lines, AVG(ExtendedPrice) AS avg_price
+         WHERE r.Clerk = b.Clerk;
+      MD USING tpcr
+         COMPUTE COUNT(*) AS pricey
+         WHERE r.Clerk = b.Clerk AND r.ExtendedPrice >= b.avg_price;
+    )"},
+    {"customer_quantities", R"(
+      BASE SELECT DISTINCT CustKey FROM tpcr;
+      MD USING tpcr
+         COMPUTE COUNT(Quantity) AS big_qty_lines, SUM(Quantity) AS total_qty
+         WHERE r.CustKey = b.CustKey AND r.Quantity > 10
+         COMPUTE MIN(ShipDate) AS first_ship
+         WHERE r.CustKey = b.CustKey;
+    )"},
+    {"cross_relation_chain", R"(
+      BASE SELECT DISTINCT SourceAS FROM flow;
+      MD USING flow
+         COMPUTE COUNT(*) AS hist_flows, AVG(NumBytes) AS hist_avg
+         WHERE r.SourceAS = b.SourceAS;
+      MD USING flow_recent
+         COMPUTE COUNT(*) AS recent_above
+         WHERE r.SourceAS = b.SourceAS AND r.NumBytes >= b.hist_avg;
+    )"},
+};
+
+bool ExactlyEqual(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (!RowEquals(a.row(r), b.row(r))) return false;
+  }
+  return true;
+}
+
+class RpcExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FlowConfig flow_config;
+    flow_config.num_flows = 1500;
+    flow_config.num_routers = kSites;
+    flow_config.num_as = 20;
+    TpcrConfig tpcr_config;
+    tpcr_config.num_rows = 2000;
+    tpcr_config.num_customers = 200;
+    tpcr_config.num_clerks = 30;
+    FlowConfig recent_config = flow_config;
+    recent_config.seed = 99;
+    recent_config.num_flows = 1000;
+
+    flow_parts_ = new std::vector<Table>(
+        PartitionByValue(GenerateFlows(flow_config), "RouterId", kSites)
+            .ValueOrDie());
+    tpcr_parts_ = new std::vector<Table>(
+        PartitionByValue(GenerateTpcr(tpcr_config), "NationKey", kSites)
+            .ValueOrDie());
+    recent_parts_ = new std::vector<Table>(
+        PartitionByValue(GenerateFlows(recent_config), "RouterId", kSites)
+            .ValueOrDie());
+
+    warehouse_ = new DistributedWarehouse(kSites);
+    warehouse_
+        ->AddPartitionedTable(
+            "flow", *flow_parts_,
+            {"RouterId", "SourceAS", "DestAS", "DestPort", "SourcePort",
+             "NumBytes", "NumPackets"})
+        .Check();
+    warehouse_
+        ->AddPartitionedTable(
+            "tpcr", *tpcr_parts_,
+            {"NationKey", "CustKey", "CustName", "Clerk", "MktSegment",
+             "OrderPriority", "Quantity", "ExtendedPrice"})
+        .Check();
+    warehouse_
+        ->AddPartitionedTable("flow_recent", *recent_parts_,
+                              {"RouterId", "SourceAS", "NumBytes"})
+        .Check();
+  }
+
+  static void TearDownTestSuite() {
+    delete warehouse_;
+    delete flow_parts_;
+    delete tpcr_parts_;
+    delete recent_parts_;
+    warehouse_ = nullptr;
+    flow_parts_ = tpcr_parts_ = recent_parts_ = nullptr;
+  }
+
+  static std::vector<Site> MakeSites() {
+    std::vector<Site> sites;
+    for (size_t i = 0; i < kSites; ++i) {
+      Catalog catalog;
+      catalog.Register("flow", (*flow_parts_)[i]);
+      catalog.Register("tpcr", (*tpcr_parts_)[i]);
+      catalog.Register("flow_recent", (*recent_parts_)[i]);
+      sites.emplace_back(static_cast<int>(i), std::move(catalog));
+    }
+    return sites;
+  }
+
+  static DistributedWarehouse* warehouse_;
+  static std::vector<Table>* flow_parts_;
+  static std::vector<Table>* tpcr_parts_;
+  static std::vector<Table>* recent_parts_;
+};
+
+DistributedWarehouse* RpcExecutorTest::warehouse_ = nullptr;
+std::vector<Table>* RpcExecutorTest::flow_parts_ = nullptr;
+std::vector<Table>* RpcExecutorTest::tpcr_parts_ = nullptr;
+std::vector<Table>* RpcExecutorTest::recent_parts_ = nullptr;
+
+TEST_F(RpcExecutorTest, MatchesDistributedExecutorByteForByte) {
+  for (const QueryCase& q : kQueries) {
+    SCOPED_TRACE(q.name);
+    GmdjExpr expr = ParseQuery(q.text).ValueOrDie();
+    Table reference = warehouse_->ExecuteCentralized(expr).ValueOrDie();
+    for (const OptimizerOptions& opts :
+         {OptimizerOptions::None(), OptimizerOptions::All()}) {
+      SCOPED_TRACE(opts.ToString());
+      DistributedPlan plan = warehouse_->Plan(expr, opts).ValueOrDie();
+
+      DistributedExecutor star(MakeSites(), NetworkConfig{}, {});
+      ExecStats star_stats;
+      Table star_result = star.Execute(plan, &star_stats).ValueOrDie();
+      ASSERT_TRUE(star_result.ApproxSameRows(reference, 1e-9));
+
+      RpcExecutor rpc(std::make_unique<InProcessTransport>(MakeSites()), {});
+      ExecStats rpc_stats;
+      auto rpc_result = rpc.Execute(plan, &rpc_stats);
+      ASSERT_TRUE(rpc_result.ok()) << rpc_result.status().ToString();
+
+      // Byte-for-byte: the merge orders are identical, so even row order
+      // must match the star engine exactly.
+      EXPECT_TRUE(ExactlyEqual(*rpc_result, star_result))
+          << "expected:\n"
+          << star_result.ToString(30) << "actual:\n"
+          << rpc_result->ToString(30);
+
+      // And the accounting, round by round.
+      ASSERT_EQ(rpc_stats.rounds.size(), star_stats.rounds.size());
+      for (size_t r = 0; r < rpc_stats.rounds.size(); ++r) {
+        const RoundStats& a = rpc_stats.rounds[r];
+        const RoundStats& b = star_stats.rounds[r];
+        SCOPED_TRACE(b.label);
+        EXPECT_EQ(a.label, b.label);
+        EXPECT_EQ(a.synchronized, b.synchronized);
+        EXPECT_EQ(a.bytes_to_sites, b.bytes_to_sites);
+        EXPECT_EQ(a.bytes_to_coord, b.bytes_to_coord);
+        EXPECT_EQ(a.tuples_to_sites, b.tuples_to_sites);
+        EXPECT_EQ(a.tuples_to_coord, b.tuples_to_coord);
+        EXPECT_EQ(a.sites_skipped, b.sites_skipped);
+      }
+    }
+  }
+}
+
+TEST_F(RpcExecutorTest, WireBytesExceedAccountedPayloadBytes) {
+  // Frame headers, handshakes, and request envelopes are transport
+  // overhead: visible in wire_bytes(), absent from the ExecStats byte
+  // accounting (which counts table payloads only, like the simulated
+  // engines).
+  GmdjExpr expr = ParseQuery(kQueries[0].text).ValueOrDie();
+  DistributedPlan plan =
+      warehouse_->Plan(expr, OptimizerOptions::None()).ValueOrDie();
+  RpcExecutor rpc(std::make_unique<InProcessTransport>(MakeSites()), {});
+  ExecStats stats;
+  rpc.Execute(plan, &stats).ValueOrDie();
+  EXPECT_GT(rpc.wire_bytes(), stats.TotalBytes());
+}
+
+TEST_F(RpcExecutorTest, ColumnarKnobForwardsToSites) {
+  GmdjExpr expr = ParseQuery(kQueries[0].text).ValueOrDie();
+  DistributedPlan plan =
+      warehouse_->Plan(expr, OptimizerOptions::None()).ValueOrDie();
+
+  DistributedExecutor star(MakeSites(), NetworkConfig{}, {});
+  Table expected = star.Execute(plan, nullptr).ValueOrDie();
+
+  ExecutorOptions options;
+  options.columnar_sites = true;
+  auto transport = std::make_unique<InProcessTransport>(MakeSites());
+  InProcessTransport* raw = transport.get();
+  RpcExecutor rpc(std::move(transport), options);
+  Table result = rpc.Execute(plan, nullptr).ValueOrDie();
+  EXPECT_TRUE(ExactlyEqual(result, expected));
+  for (size_t i = 0; i < kSites; ++i) {
+    EXPECT_TRUE(raw->service(i)->site().columnar_enabled()) << "site " << i;
+  }
+}
+
+TEST_F(RpcExecutorTest, SiteErrorCodeSurvivesTheWire) {
+  // Site 2's catalog is missing the detail relation. Its NotFound must
+  // surface at the coordinator as NotFound — not as a generic transport
+  // error — including when retries were attempted and exhausted.
+  auto make_broken_sites = [] {
+    std::vector<Site> sites;
+    for (size_t i = 0; i < kSites; ++i) {
+      Catalog catalog;
+      if (i != 2) catalog.Register("flow", (*flow_parts_)[i]);
+      sites.emplace_back(static_cast<int>(i), std::move(catalog));
+    }
+    return sites;
+  };
+  GmdjExpr expr = ParseQuery(kQueries[0].text).ValueOrDie();
+  DistributedPlan plan =
+      warehouse_->Plan(expr, OptimizerOptions::None()).ValueOrDie();
+
+  for (size_t retries : {size_t{0}, size_t{3}}) {
+    ExecutorOptions options;
+    options.max_site_retries = retries;
+    RpcExecutor rpc(
+        std::make_unique<InProcessTransport>(make_broken_sites()), options);
+    auto result = rpc.Execute(plan, nullptr);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsNotFound())
+        << "retries=" << retries << ": " << result.status().ToString();
+  }
+}
+
+TEST_F(RpcExecutorTest, ResentRoundIsIdempotent) {
+  // A coordinator retry re-sends a round the site may have already
+  // evaluated (response lost in flight). For rounds that consume the
+  // site's carried-over structure, the service must re-evaluate from the
+  // saved input — not apply the operator to its own output.
+  std::vector<Site> sites = MakeSites();
+  rpc::SiteService service(std::move(sites[0]));
+
+  GmdjExpr expr = ParseQuery(kQueries[0].text).ValueOrDie();
+
+  rpc::Frame begin;
+  begin.type = rpc::MessageType::kBeginPlan;
+  begin.payload = rpc::EncodeBeginPlanRequest({});
+  ASSERT_TRUE(service.Handle(begin).ValueOrDie().type ==
+              rpc::MessageType::kAck);
+
+  rpc::BaseRoundRequest base_request;
+  base_request.query = expr.base;
+  base_request.ship_result = false;  // keep the base at the site
+  rpc::Frame base_frame;
+  base_frame.type = rpc::MessageType::kBaseRound;
+  base_frame.payload = rpc::EncodeBaseRoundRequest(base_request);
+  ASSERT_TRUE(service.Handle(base_frame).ValueOrDie().type ==
+              rpc::MessageType::kAck);
+
+  rpc::GmdjRoundRequest round;
+  round.op = expr.ops[0];
+  round.label = "md1";
+  round.sub_aggregates = true;
+  round.ship_result = true;
+  round.has_base = false;  // consumes the carried structure
+  rpc::Frame round_frame;
+  round_frame.type = rpc::MessageType::kGmdjRound;
+  round_frame.payload = rpc::EncodeGmdjRoundRequest(round, {});
+
+  rpc::Frame first = service.Handle(round_frame).ValueOrDie();
+  ASSERT_EQ(first.type, rpc::MessageType::kTableResult);
+  rpc::Frame again = service.Handle(round_frame).ValueOrDie();
+  ASSERT_EQ(again.type, rpc::MessageType::kTableResult);
+  EXPECT_EQ(first.payload, again.payload);
+}
+
+TEST_F(RpcExecutorTest, ShutdownReachesEverySite) {
+  auto transport = std::make_unique<InProcessTransport>(MakeSites());
+  InProcessTransport* raw = transport.get();
+  RpcExecutor rpc(std::move(transport), {});
+  ASSERT_TRUE(rpc.Shutdown().ok());
+  for (size_t i = 0; i < kSites; ++i) {
+    EXPECT_TRUE(raw->service(i)->shutdown_requested()) << "site " << i;
+  }
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,0 +1,141 @@
+// The rpc wire frame: CRC known answers, encode/decode round trips, and
+// rejection of every malformed-header class — wrong magic, foreign
+// protocol version (typed kVersionMismatch, satellite of the versioned
+// frame header work), unknown message type, truncation, and payload
+// corruption caught by the checksum.
+
+#include "rpc/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace skalla {
+namespace rpc {
+namespace {
+
+TEST(Crc32Test, KnownAnswers) {
+  // The ISO-HDLC check value every CRC-32 implementation must hit.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  const uint8_t zero = 0;
+  EXPECT_EQ(Crc32(&zero, 1), 0xD202EF8Du);
+}
+
+TEST(FrameTest, RoundTripPreservesTypeAndPayload) {
+  std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 42};
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kGmdjRound, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, MessageType::kGmdjRound);
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kAck, {});
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, MessageType::kAck);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameTest, HeaderLayoutIsPinned) {
+  // The layout is a wire contract: magic little-endian at 0, version at
+  // 4, type at 5, reserved zero at 6..7, payload length at 8.
+  std::vector<uint8_t> payload = {9, 9, 9};
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kHello, payload);
+  EXPECT_EQ(wire[0], 'S');
+  EXPECT_EQ(wire[1], 'K');
+  EXPECT_EQ(wire[2], 'L');
+  EXPECT_EQ(wire[3], 'A');
+  EXPECT_EQ(wire[4], kProtocolVersion);
+  EXPECT_EQ(wire[5], static_cast<uint8_t>(MessageType::kHello));
+  EXPECT_EQ(wire[6], 0);
+  EXPECT_EQ(wire[7], 0);
+  uint32_t len;
+  std::memcpy(&len, wire.data() + 8, 4);
+  EXPECT_EQ(len, 3u);
+}
+
+TEST(FrameTest, DecodeHeaderReturnsTypeAndCrc) {
+  std::vector<uint8_t> payload = {7, 7};
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, payload);
+  MessageType type;
+  uint32_t crc;
+  Result<uint32_t> len =
+      DecodeFrameHeader(wire.data(), kFrameHeaderSize, &type, &crc);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 2u);
+  EXPECT_EQ(type, MessageType::kBaseRound);
+  EXPECT_EQ(crc, Crc32(payload.data(), payload.size()));
+}
+
+TEST(FrameTest, WrongMagicIsIOError) {
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kAck, {1});
+  wire[0] = 'X';
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIOError());
+}
+
+TEST(FrameTest, ForeignVersionIsTypedVersionMismatch) {
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, {1, 2});
+  wire[4] = kProtocolVersion + 1;
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsVersionMismatch())
+      << decoded.status().ToString();
+}
+
+TEST(FrameTest, UnknownMessageTypeRejected) {
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kAck, {});
+  wire[5] = kMaxMessageType + 1;
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIOError());
+}
+
+TEST(FrameTest, TruncationRejected) {
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kTableResult,
+                                          {1, 2, 3, 4});
+  // Shorter than a header.
+  EXPECT_FALSE(DecodeFrame(wire.data(), kFrameHeaderSize - 1).ok());
+  // Header fine, payload cut short.
+  EXPECT_FALSE(DecodeFrame(wire.data(), wire.size() - 2).ok());
+}
+
+TEST(FrameTest, PayloadCorruptionCaughtByChecksum) {
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kTableResult,
+                                          {10, 20, 30, 40, 50});
+  wire[kFrameHeaderSize + 2] ^= 0xFF;
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIOError());
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(FrameTest, AppendingEncoderComposesFrames) {
+  // EncodeFrame(type, payload, out) appends: two frames can share one
+  // buffer and decode independently.
+  std::vector<uint8_t> buffer;
+  EncodeFrame(MessageType::kAck, {}, &buffer);
+  size_t first_size = buffer.size();
+  EncodeFrame(MessageType::kHello, {5}, &buffer);
+
+  Result<Frame> first = DecodeFrame(buffer.data(), first_size);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, MessageType::kAck);
+  Result<Frame> second = DecodeFrame(buffer.data() + first_size,
+                                     buffer.size() - first_size);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, MessageType::kHello);
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace skalla

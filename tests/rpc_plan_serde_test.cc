@@ -1,0 +1,251 @@
+// Round trips for the plan-shaped rpc payloads: expressions, schemas,
+// statuses (error codes must survive the wire), base queries, GMDJ
+// operators, and the request/response structs built from them.
+
+#include "rpc/plan_serde.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.h"
+#include "types/value.h"
+
+namespace skalla {
+namespace rpc {
+namespace {
+
+TEST(PlanSerdeTest, StringsRoundTrip) {
+  std::vector<uint8_t> buffer;
+  WriteString(&buffer, "flow");
+  WriteString(&buffer, "");
+  WriteString(&buffer, std::string("emb\0edded", 9));
+  ByteReader reader(buffer.data(), buffer.size());
+  EXPECT_EQ(ReadString(&reader).ValueOrDie(), "flow");
+  EXPECT_EQ(ReadString(&reader).ValueOrDie(), "");
+  EXPECT_EQ(ReadString(&reader).ValueOrDie(), std::string("emb\0edded", 9));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(PlanSerdeTest, ExpressionsRoundTrip) {
+  ExprPtr expr = And(Eq(RCol("SourceAS"), BCol("SourceAS")),
+                     Ge(RCol("NumBytes"), Div(BCol("sum1"), BCol("cnt1"))));
+  std::vector<uint8_t> buffer;
+  WriteExpr(&buffer, expr);
+  ByteReader reader(buffer.data(), buffer.size());
+  ExprPtr decoded = ReadExpr(&reader).ValueOrDie();
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(decoded->Equals(*expr))
+      << decoded->ToString() << " vs " << expr->ToString();
+}
+
+TEST(PlanSerdeTest, LiteralsSurviveEncoding) {
+  ExprPtr expr = Or(Eq(RCol("DestPort"), Lit(Value(int64_t{443}))),
+                    Gt(RCol("ratio"), Lit(Value(2.5))));
+  std::vector<uint8_t> buffer;
+  WriteExpr(&buffer, expr);
+  ByteReader reader(buffer.data(), buffer.size());
+  ExprPtr decoded = ReadExpr(&reader).ValueOrDie();
+  EXPECT_TRUE(decoded->Equals(*expr));
+}
+
+TEST(PlanSerdeTest, NullExpressionRoundTrips) {
+  std::vector<uint8_t> buffer;
+  WriteExpr(&buffer, nullptr);
+  ByteReader reader(buffer.data(), buffer.size());
+  ExprPtr decoded = ReadExpr(&reader).ValueOrDie();
+  EXPECT_EQ(decoded, nullptr);
+}
+
+TEST(PlanSerdeTest, SchemasRoundTrip) {
+  SchemaPtr schema = Schema::Make({{"SourceAS", ValueType::kInt64},
+                                   {"name", ValueType::kString},
+                                   {"avg", ValueType::kFloat64}})
+                         .ValueOrDie();
+  std::vector<uint8_t> buffer;
+  WriteSchema(&buffer, *schema);
+  ByteReader reader(buffer.data(), buffer.size());
+  SchemaPtr decoded = ReadSchema(&reader).ValueOrDie();
+  EXPECT_TRUE(decoded->Equals(*schema));
+}
+
+TEST(PlanSerdeTest, StatusCodesSurviveTheWire) {
+  // The kError payload must reproduce the site's exact code — this is
+  // what lets a coordinator distinguish a site-side NotFound from a
+  // transport failure.
+  const Status statuses[] = {
+      Status::InvalidArgument("bad arg"), Status::NotFound("no table"),
+      Status::Internal("boom"),           Status::IOError("disk"),
+      Status::TypeError("t"),             Status::VersionMismatch("v"),
+  };
+  for (const Status& status : statuses) {
+    std::vector<uint8_t> payload;
+    WriteStatusPayload(&payload, status);
+    Status decoded = ReadStatusPayload(payload);
+    EXPECT_EQ(decoded.code(), status.code()) << status.ToString();
+    EXPECT_EQ(decoded.message(), status.message());
+  }
+}
+
+TEST(PlanSerdeTest, MalformedStatusPayloadIsIOError) {
+  EXPECT_TRUE(ReadStatusPayload({}).IsIOError());
+  EXPECT_TRUE(ReadStatusPayload({0xFF, 0xFF, 0xFF}).IsIOError());
+}
+
+TEST(PlanSerdeTest, BaseQueriesRoundTrip) {
+  BaseQuery query;
+  query.table = "flow";
+  query.columns = {"SourceAS", "DestAS"};
+  query.distinct = true;
+  query.where = Gt(RCol("NumPackets"), Lit(Value(int64_t{100})));
+
+  std::vector<uint8_t> buffer;
+  WriteBaseQuery(&buffer, query);
+  ByteReader reader(buffer.data(), buffer.size());
+  BaseQuery decoded = ReadBaseQuery(&reader).ValueOrDie();
+  EXPECT_EQ(decoded.table, query.table);
+  EXPECT_EQ(decoded.columns, query.columns);
+  EXPECT_EQ(decoded.distinct, query.distinct);
+  ASSERT_NE(decoded.where, nullptr);
+  EXPECT_TRUE(decoded.where->Equals(*query.where));
+
+  // And without a predicate.
+  BaseQuery bare{"tpcr", {"Clerk"}, false, nullptr};
+  buffer.clear();
+  WriteBaseQuery(&buffer, bare);
+  ByteReader bare_reader(buffer.data(), buffer.size());
+  BaseQuery bare_decoded = ReadBaseQuery(&bare_reader).ValueOrDie();
+  EXPECT_EQ(bare_decoded.table, "tpcr");
+  EXPECT_FALSE(bare_decoded.distinct);
+  EXPECT_EQ(bare_decoded.where, nullptr);
+}
+
+GmdjOp ExampleOp() {
+  GmdjOp op;
+  op.detail_table = "flow";
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "cnt"}, {AggKind::kSum, "NumBytes", "sum"}},
+      Eq(RCol("SourceAS"), BCol("SourceAS"))});
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kAvg, "NumPackets", "avg_pkts"}},
+      And(Eq(RCol("SourceAS"), BCol("SourceAS")),
+          Ge(RCol("NumBytes"), BCol("sum")))});
+  return op;
+}
+
+TEST(PlanSerdeTest, GmdjOpsRoundTrip) {
+  GmdjOp op = ExampleOp();
+  std::vector<uint8_t> buffer;
+  WriteGmdjOp(&buffer, op);
+  ByteReader reader(buffer.data(), buffer.size());
+  GmdjOp decoded = ReadGmdjOp(&reader).ValueOrDie();
+  EXPECT_EQ(decoded.detail_table, op.detail_table);
+  ASSERT_EQ(decoded.blocks.size(), op.blocks.size());
+  for (size_t b = 0; b < op.blocks.size(); ++b) {
+    ASSERT_EQ(decoded.blocks[b].aggs.size(), op.blocks[b].aggs.size());
+    for (size_t a = 0; a < op.blocks[b].aggs.size(); ++a) {
+      EXPECT_EQ(decoded.blocks[b].aggs[a].kind, op.blocks[b].aggs[a].kind);
+      EXPECT_EQ(decoded.blocks[b].aggs[a].input, op.blocks[b].aggs[a].input);
+      EXPECT_EQ(decoded.blocks[b].aggs[a].output,
+                op.blocks[b].aggs[a].output);
+    }
+    EXPECT_TRUE(decoded.blocks[b].theta->Equals(*op.blocks[b].theta));
+  }
+}
+
+TEST(PlanSerdeTest, BeginPlanRequestRoundTrips) {
+  for (bool columnar : {false, true}) {
+    BeginPlanRequest request;
+    request.columnar_sites = columnar;
+    BeginPlanRequest decoded =
+        DecodeBeginPlanRequest(EncodeBeginPlanRequest(request)).ValueOrDie();
+    EXPECT_EQ(decoded.columnar_sites, columnar);
+  }
+}
+
+TEST(PlanSerdeTest, BaseRoundRequestRoundTrips) {
+  BaseRoundRequest request;
+  request.query = BaseQuery{"flow", {"SourceAS"}, true, nullptr};
+  request.ship_result = false;
+  BaseRoundRequest decoded =
+      DecodeBaseRoundRequest(EncodeBaseRoundRequest(request)).ValueOrDie();
+  EXPECT_EQ(decoded.query.table, "flow");
+  EXPECT_EQ(decoded.query.columns, request.query.columns);
+  EXPECT_FALSE(decoded.ship_result);
+}
+
+TEST(PlanSerdeTest, GmdjRoundRequestRoundTripsWithBaseTable) {
+  SchemaPtr schema = Schema::Make({{"SourceAS", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table base(schema);
+  base.AppendUnchecked({Value(int64_t{4})});
+  base.AppendUnchecked({Value(int64_t{9})});
+  std::vector<uint8_t> base_bytes;
+  WriteTable(base, &base_bytes);
+
+  GmdjRoundRequest request;
+  request.op = ExampleOp();
+  request.label = "md2";
+  request.sub_aggregates = true;
+  request.apply_rng = true;
+  request.ship_result = true;
+  request.has_base = true;
+  GmdjRoundRequest decoded =
+      DecodeGmdjRoundRequest(EncodeGmdjRoundRequest(request, base_bytes))
+          .ValueOrDie();
+  EXPECT_EQ(decoded.label, "md2");
+  EXPECT_TRUE(decoded.sub_aggregates);
+  EXPECT_TRUE(decoded.apply_rng);
+  EXPECT_TRUE(decoded.ship_result);
+  ASSERT_TRUE(decoded.has_base);
+  ASSERT_EQ(decoded.base.num_rows(), 2u);
+  EXPECT_EQ(decoded.base.at(1, 0).int64(), 9);
+  EXPECT_EQ(decoded.op.detail_table, "flow");
+}
+
+TEST(PlanSerdeTest, GmdjRoundRequestWithoutBase) {
+  GmdjRoundRequest request;
+  request.op = ExampleOp();
+  request.label = "md1";
+  request.has_base = false;
+  GmdjRoundRequest decoded =
+      DecodeGmdjRoundRequest(EncodeGmdjRoundRequest(request, {}))
+          .ValueOrDie();
+  EXPECT_FALSE(decoded.has_base);
+  EXPECT_EQ(decoded.base.num_rows(), 0u);
+}
+
+TEST(PlanSerdeTest, CatalogResponseRoundTrips) {
+  std::vector<CatalogEntry> entries;
+  entries.push_back(
+      {"flow", Schema::Make({{"SourceAS", ValueType::kInt64},
+                             {"NumBytes", ValueType::kInt64}})
+                   .ValueOrDie()});
+  entries.push_back(
+      {"tpcr", Schema::Make({{"Clerk", ValueType::kString}}).ValueOrDie()});
+  std::vector<CatalogEntry> decoded =
+      DecodeCatalogResponse(EncodeCatalogResponse(entries)).ValueOrDie();
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].name, "flow");
+  EXPECT_TRUE(decoded[0].schema->Equals(*entries[0].schema));
+  EXPECT_EQ(decoded[1].name, "tpcr");
+  EXPECT_TRUE(decoded[1].schema->Equals(*entries[1].schema));
+}
+
+TEST(PlanSerdeTest, HelloRoundTrips) {
+  for (int site : {0, 3, 4096}) {
+    EXPECT_EQ(DecodeHello(EncodeHello(site)).ValueOrDie(), site);
+  }
+}
+
+TEST(PlanSerdeTest, TruncatedPayloadsFailCleanly) {
+  GmdjRoundRequest request;
+  request.op = ExampleOp();
+  std::vector<uint8_t> payload = EncodeGmdjRoundRequest(request, {});
+  payload.resize(payload.size() / 2);
+  EXPECT_FALSE(DecodeGmdjRoundRequest(payload).ok());
+  EXPECT_FALSE(DecodeBeginPlanRequest({}).ok());
+  EXPECT_FALSE(DecodeHello({}).ok());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace skalla

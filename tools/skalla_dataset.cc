@@ -1,0 +1,101 @@
+// skalla-dataset: generates the standard benchmark warehouse (the
+// synthetic IP-flow and TPC-R style relations the tests and benches
+// use) partitioned across N sites, and saves it with
+// DistributedWarehouse::Save so skalla-site processes can serve it.
+//
+//   skalla-dataset --out DIR [--sites 4] [--flows 4000] [--tpcr-rows 6000]
+//                  [--seed 7]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "data/flow_gen.h"
+#include "data/tpcr_gen.h"
+#include "dist/warehouse.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --out DIR [--sites N] [--flows N] [--tpcr-rows N] "
+               "[--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  size_t sites = 4;
+  skalla::FlowConfig flow_config;
+  flow_config.num_flows = 4000;
+  flow_config.num_routers = 5;
+  flow_config.num_as = 30;
+  skalla::TpcrConfig tpcr_config;
+  tpcr_config.num_rows = 6000;
+  tpcr_config.num_customers = 500;
+  tpcr_config.num_clerks = 40;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_dir = next("--out");
+    } else if (std::strcmp(argv[i], "--sites") == 0) {
+      sites = static_cast<size_t>(std::atoll(next("--sites")));
+    } else if (std::strcmp(argv[i], "--flows") == 0) {
+      flow_config.num_flows =
+          static_cast<size_t>(std::atoll(next("--flows")));
+    } else if (std::strcmp(argv[i], "--tpcr-rows") == 0) {
+      tpcr_config.num_rows =
+          static_cast<size_t>(std::atoll(next("--tpcr-rows")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      flow_config.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+      tpcr_config.seed = flow_config.seed + 1;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+    }
+  }
+  if (out_dir.empty() || sites == 0) Usage(argv[0]);
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  skalla::DistributedWarehouse warehouse(sites);
+  warehouse
+      .AddTablePartitionedBy(
+          "flow", skalla::GenerateFlows(flow_config), "RouterId",
+          {"SourceAS", "DestAS", "DestPort", "SourcePort", "NumBytes",
+           "NumPackets"})
+      .Check();
+  warehouse
+      .AddTablePartitionedBy(
+          "tpcr", skalla::GenerateTpcr(tpcr_config), "NationKey",
+          {"CustKey", "CustName", "Clerk", "MktSegment", "OrderPriority",
+           "Quantity", "ExtendedPrice"})
+      .Check();
+
+  skalla::Status saved = warehouse.Save(out_dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %zu-site warehouse under %s\n", sites,
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,150 @@
+// skalla-rpc-query: a coordinator-side client. Parses an OLAP query,
+// plans it, and executes it through the RpcExecutor against running
+// skalla-site processes — the coordinator never touches the data files.
+//
+//   skalla-rpc-query --endpoints 127.0.0.1:7001,127.0.0.1:7002,...
+//                    [--query FILE] [--optimize all|none] [--shutdown]
+//
+// Without --query the query text is read from stdin. --shutdown asks the
+// site processes to exit after the query (or immediately if no query ran).
+//
+// Planned without distribution knowledge: the distribution-aware
+// reductions (Theorem 4) need per-site statistics only a data-holding
+// coordinator has, so `--optimize all` here applies the
+// distribution-independent optimizations only.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opt/optimizer.h"
+#include "rpc/rpc_executor.h"
+#include "rpc/tcp.h"
+#include "sql/parser.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --endpoints H:P,H:P,... [--query FILE] "
+               "[--optimize all|none] [--shutdown]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<skalla::rpc::SiteEndpoint> ParseEndpoints(
+    const std::string& spec) {
+  std::vector<skalla::rpc::SiteEndpoint> endpoints;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    size_t colon = item.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad endpoint '%s' (want host:port)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    skalla::rpc::SiteEndpoint endpoint;
+    endpoint.host = item.substr(0, colon);
+    endpoint.port = std::atoi(item.c_str() + colon + 1);
+    endpoints.push_back(std::move(endpoint));
+  }
+  return endpoints;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoints_spec;
+  std::string query_file;
+  bool optimize_all = true;
+  bool shutdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--endpoints") == 0) {
+      endpoints_spec = next("--endpoints");
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      query_file = next("--query");
+    } else if (std::strcmp(argv[i], "--optimize") == 0) {
+      optimize_all = std::strcmp(next("--optimize"), "none") != 0;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      shutdown = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+    }
+  }
+  if (endpoints_spec.empty()) Usage(argv[0]);
+
+  std::vector<skalla::rpc::SiteEndpoint> endpoints =
+      ParseEndpoints(endpoints_spec);
+  auto transport =
+      std::make_unique<skalla::rpc::TcpTransport>(std::move(endpoints));
+  skalla::rpc::RpcExecutor executor(std::move(transport), {});
+
+  std::string query_text;
+  if (!query_file.empty()) {
+    std::ifstream in(query_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", query_file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    query_text = buffer.str();
+  } else if (!shutdown) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    query_text = buffer.str();
+  }
+
+  int exit_code = 0;
+  if (!query_text.empty()) {
+    auto parsed = skalla::ParseQuery(query_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    skalla::Egil optimizer(optimize_all ? skalla::OptimizerOptions::All()
+                                        : skalla::OptimizerOptions::None(),
+                           executor.num_sites());
+    auto plan = optimizer.Optimize(*parsed);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan error: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    skalla::ExecStats stats;
+    auto result = executor.Execute(*plan, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "execute error: %s\n",
+                   result.status().ToString().c_str());
+      exit_code = 1;
+    } else {
+      std::printf("%s\n%s", result->ToString(50).c_str(),
+                  stats.ToString().c_str());
+    }
+  }
+
+  if (shutdown) {
+    skalla::Status s = executor.Shutdown();
+    if (!s.ok()) {
+      std::fprintf(stderr, "shutdown: %s\n", s.ToString().c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  return exit_code;
+}

@@ -1,0 +1,94 @@
+// skalla-site: one Skalla site as a standalone process. Loads its
+// partition of a saved warehouse (see skalla-dataset / docs/RPC.md) and
+// answers coordinator round requests over TCP until it receives a
+// shutdown request.
+//
+//   skalla-site --data DIR --site N [--host 127.0.0.1] [--port 0]
+//               [--drop-request K]
+//
+// With --port 0 (the default) the OS picks a free port; the chosen one
+// is announced on stdout as "LISTENING port=<p>" so launchers (and the
+// multi-process tests) can scrape it. --drop-request K makes the server
+// hang up instead of answering its K-th request — a fault-injection
+// hook for exercising coordinator reconnect/retry.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/site.h"
+#include "dist/warehouse.h"
+#include "rpc/server.h"
+#include "rpc/site_service.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --data DIR --site N [--host H] [--port P] "
+               "[--drop-request K]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir;
+  int site_index = -1;
+  skalla::rpc::SiteServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--data") == 0) {
+      data_dir = next("--data");
+    } else if (std::strcmp(argv[i], "--site") == 0) {
+      site_index = std::atoi(next("--site"));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = std::atoi(next("--port"));
+    } else if (std::strcmp(argv[i], "--drop-request") == 0) {
+      options.drop_request_index = std::atoi(next("--drop-request"));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+    }
+  }
+  if (data_dir.empty() || site_index < 0) Usage(argv[0]);
+
+  auto catalog = skalla::LoadSiteCatalog(
+      data_dir, static_cast<size_t>(site_index));
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "cannot load site %d from %s: %s\n", site_index,
+                 data_dir.c_str(), catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  skalla::rpc::SiteService service(
+      skalla::Site(site_index, std::move(*catalog)));
+  skalla::rpc::SiteServer server(&service, options);
+  skalla::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot listen on %s:%d: %s\n",
+                 options.host.c_str(), options.port,
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING port=%d\n", server.port());
+  std::fflush(stdout);
+
+  skalla::Status served = server.Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
