@@ -18,6 +18,11 @@
 // byte/tuple counts and results are invariant under the shard count, so
 // running the bench twice with --metrics-out and different --shards
 // isolates the coordinator merge wall time (`skalla.coord.merge_us`).
+//
+// `--eval-threads=N` turns on intra-site morsel parallelism for every
+// series (0 = one worker per hardware thread). Like --shards, it leaves
+// results and byte/tuple counts untouched, so sweeping it isolates site
+// computation time (`skalla.site.eval_us`).
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,9 +41,17 @@ constexpr int64_t kBaseCustomers = 4000;
 // Coordinator shard count for every executor in this bench (--shards=N).
 size_t g_shards = 1;
 
+// Intra-site morsel parallelism for every executor in this bench
+// (--eval-threads=N, 0 = one worker per hardware thread). Results and
+// byte/tuple counts are invariant under this knob, so comparing
+// site_ms (or skalla.site.eval_us in --metrics-out) across runs with
+// different values isolates the site-evaluation wall time.
+size_t g_eval_threads = 1;
+
 ExecutorOptions ExecOptions() {
   ExecutorOptions options;
   options.coordinator_shards = g_shards;
+  options.eval_threads = g_eval_threads;
   return options;
 }
 
@@ -112,8 +125,10 @@ void Run() {
   std::printf(
       "=== Figure 5: combined reductions query (scale-up, 4 sites, x1..x4 "
       "data) ===\n");
-  std::printf("coordinator shards: %zu (of %u hardware threads)\n\n",
+  std::printf("coordinator shards: %zu, eval threads: %zu "
+              "(of %u hardware threads)\n\n",
               ResolveCoordinatorShards(g_shards),
+              ResolveEvalThreads(g_eval_threads),
               std::thread::hardware_concurrency());
   RunSeries("groups scale with data (customers x1..x4)", true);
   RunSeries("constant group count (customers fixed)", false);
@@ -128,6 +143,9 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       skalla::g_shards =
           static_cast<size_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--eval-threads=", 15) == 0) {
+      skalla::g_eval_threads =
+          static_cast<size_t>(std::strtoul(argv[i] + 15, nullptr, 10));
     }
   }
   skalla::bench::ObsSession obs(argc, argv);

@@ -1,21 +1,46 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
-// components: local GMDJ evaluation (indexed vs naive), hash index build
-// and probe, serialization, and coordinator merge.
+// components: local GMDJ evaluation (indexed vs naive vs columnar, each
+// honoring --eval-threads=N for intra-site morsel parallelism), hash
+// index build and probe, serialization, and coordinator merge.
+//
+// Flags beyond google-benchmark's own:
+//   --eval-threads=N   EvalContext::eval_threads for the GMDJ benches
+//                      (0 = one worker per hardware thread)
+//   --trace-out=PATH / --metrics-out=PATH   (bench_common.h ObsSession)
+//
+// The GMDJ benches record each evaluation into the skalla.site.eval_us
+// histogram, so --metrics-out captures before/after distributions for an
+// --eval-threads sweep (use --benchmark_filter to isolate one bench).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
 #include "columnar/vector_eval.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "core/local_eval.h"
 #include "data/tpcr_gen.h"
 #include "dist/coordinator.h"
 #include "expr/builder.h"
 #include "net/serde.h"
+#include "obs/obs.h"
 #include "relalg/operators.h"
 #include "storage/hash_index.h"
 
+// Set by main from --eval-threads= before benchmarks run.
+static size_t g_eval_threads = 1;
+
 namespace skalla {
 namespace {
+
+EvalContext BenchContext() {
+  EvalContext context;
+  context.eval_threads = g_eval_threads;
+  return context;
+}
 
 Table MakeDetail(size_t rows, int64_t groups) {
   Random rng(7);
@@ -44,8 +69,11 @@ void BM_GmdjIndexed(benchmark::State& state) {
   Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 256);
   Table base = Project(detail, {"g"}, true).ValueOrDie();
   GmdjOp op = SimpleOp();
+  EvalContext context = BenchContext();
   for (auto _ : state) {
-    Table out = EvalGmdj(base, detail, op).ValueOrDie();
+    SKALLA_OBS_ONLY(Stopwatch watch;)
+    Table out = EvalGmdj(base, detail, op, context).ValueOrDie();
+    SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", watch.ElapsedMicros());
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -57,8 +85,11 @@ void BM_GmdjColumnar(benchmark::State& state) {
   ColumnTable columnar = ColumnTable::FromRowTable(detail).ValueOrDie();
   Table base = Project(detail, {"g"}, true).ValueOrDie();
   GmdjOp op = SimpleOp();
+  EvalContext context = BenchContext();
   for (auto _ : state) {
-    Table out = EvalGmdjColumnar(base, columnar, op).ValueOrDie();
+    SKALLA_OBS_ONLY(Stopwatch watch;)
+    Table out = EvalGmdjColumnar(base, columnar, op, context).ValueOrDie();
+    SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", watch.ElapsedMicros());
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -79,10 +110,12 @@ void BM_GmdjNaive(benchmark::State& state) {
   Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 64);
   Table base = Project(detail, {"g"}, true).ValueOrDie();
   GmdjOp op = SimpleOp();
-  GmdjEvalOptions options;
-  options.use_index = false;
+  EvalContext context = BenchContext();
+  context.use_index = false;
   for (auto _ : state) {
-    Table out = EvalGmdj(base, detail, op, options).ValueOrDie();
+    SKALLA_OBS_ONLY(Stopwatch watch;)
+    Table out = EvalGmdj(base, detail, op, context).ValueOrDie();
+    SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", watch.ElapsedMicros());
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -152,7 +185,7 @@ void BM_CoordinatorMerge(benchmark::State& state) {
   Table detail = MakeDetail(static_cast<size_t>(kGroups) * 4,
                             kGroups);
   GmdjOp op = SimpleOp();
-  GmdjEvalOptions options;
+  EvalContext options;
   options.sub_aggregates = true;
   Table fragment = EvalGmdj(base, detail, op, options).ValueOrDie();
 
@@ -174,4 +207,27 @@ BENCHMARK(BM_CoordinatorMerge)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace skalla
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus our flags: --eval-threads= and the ObsSession
+// flags are stripped before benchmark::Initialize (which rejects
+// arguments it does not recognize).
+int main(int argc, char** argv) {
+  skalla::bench::ObsSession obs(argc, argv);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--eval-threads=", 15) == 0) {
+      g_eval_threads = static_cast<size_t>(std::strtoul(arg + 15, nullptr, 10));
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0 ||
+               std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      // Consumed by ObsSession.
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

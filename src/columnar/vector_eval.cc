@@ -1,10 +1,13 @@
 #include "columnar/vector_eval.h"
 
+#include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "common/hash.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "expr/analysis.h"
 #include "types/row.h"
 
@@ -240,8 +243,13 @@ struct BlockExec {
 }  // namespace
 
 Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
-                               const GmdjOp& op,
-                               const GmdjEvalOptions& options) {
+                               const GmdjOp& op, const EvalContext& context) {
+  SKALLA_RETURN_NOT_OK(ValidateEvalContext(context));
+  if (!context.use_index) {
+    return Status::InvalidArgument(
+        "EvalGmdjColumnar has no nested-loop mode (use_index = false); "
+        "oracle evaluation must use the row engine");
+  }
   if (!ColumnarEligible(op)) {
     return Status::InvalidArgument(
         "operator has residual conditions; use the row evaluator");
@@ -251,15 +259,19 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
 
   SKALLA_ASSIGN_OR_RETURN(
       SchemaPtr out_schema,
-      options.sub_aggregates
-          ? op.PartialSchema(base_schema, detail_schema, options.compute_rng)
+      context.sub_aggregates
+          ? op.PartialSchema(base_schema, detail_schema, context.compute_rng)
           : op.OutputSchema(base_schema, detail_schema));
-  if (!options.sub_aggregates && options.compute_rng) {
+  if (!context.sub_aggregates && context.compute_rng) {
     SKALLA_ASSIGN_OR_RETURN(
         out_schema,
         out_schema->AddField(Field{kRngCountColumn, ValueType::kInt64}));
   }
 
+  // Compile every block (schema resolution can fail, so it stays on the
+  // calling thread); the group build + typed folds run afterwards, one
+  // task per block — each block's state is private, and within a block
+  // the fold order is exactly the sequential one.
   std::vector<BlockExec> blocks(op.blocks.size());
   for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
     const GmdjBlock& block = op.blocks[bi];
@@ -273,8 +285,6 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
       exec.base_cols.push_back(b_idx);
       exec.detail_cols.push_back(d_idx);
     }
-    exec.groups = BuildGroups(detail, exec.detail_cols);
-    const size_t num_groups = exec.groups.representatives.size();
     for (const AggSpec& spec : block.aggs) {
       std::vector<SubAggregate> decomposed = Decompose(spec);
       exec.agg_part_ranges.emplace_back(exec.parts.size(),
@@ -288,25 +298,41 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
           part.input_col = static_cast<int>(idx);
           part.input_type = detail_schema.field(idx).type;
         }
-        Accumulate(&part, detail, exec.groups.row_group, num_groups);
         exec.parts.push_back(std::move(part));
       }
     }
   }
 
-  Table out(out_schema);
-  out.Reserve(base.num_rows());
-  for (size_t b = 0; b < base.num_rows(); ++b) {
+  const size_t threads = ResolveEvalThreads(context.eval_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  auto eval_block = [&](size_t bi) {
+    BlockExec& exec = blocks[bi];
+    exec.groups = BuildGroups(detail, exec.detail_cols);
+    const size_t num_groups = exec.groups.representatives.size();
+    for (PartState& part : exec.parts) {
+      Accumulate(&part, detail, exec.groups.row_group, num_groups);
+    }
+  };
+  if (pool != nullptr && blocks.size() > 1) {
+    pool->ParallelFor(blocks.size(), eval_block);
+  } else {
+    for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
+  }
+
+  const size_t num_base = base.num_rows();
+  auto build_row = [&](size_t b) {
     const Row& base_row = base.row(b);
     Row row = base_row;
     row.reserve(out_schema->num_fields());
     bool matched = false;
     for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
-      BlockExec& exec = blocks[bi];
+      const BlockExec& exec = blocks[bi];
       int64_t group = LookupGroup(exec.groups, detail, exec.detail_cols,
                                   base_row, exec.base_cols);
       if (group >= 0) matched = true;
-      if (options.sub_aggregates) {
+      if (context.sub_aggregates) {
         for (const PartState& part : exec.parts) {
           if (group >= 0) {
             row.push_back(part.Final(static_cast<size_t>(group)));
@@ -330,10 +356,33 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
         }
       }
     }
-    if (options.compute_rng) {
+    if (context.compute_rng) {
       row.push_back(Value(int64_t{matched ? 1 : 0}));
     }
-    out.AppendUnchecked(std::move(row));
+    return row;
+  };
+
+  Table out(out_schema);
+  out.Reserve(num_base);
+  if (pool != nullptr && num_base > context.morsel_rows) {
+    // Assemble rows into pre-sized slots in base-row chunks, then append
+    // in order — slot writes are disjoint and append order is fixed, so
+    // output is byte-identical to the sequential pass.
+    std::vector<Row> rows(num_base);
+    const size_t chunks =
+        (num_base - 1) / context.morsel_rows + 1;
+    pool->ParallelFor(chunks, [&](size_t m) {
+      const size_t lo = m * context.morsel_rows;
+      const size_t hi = std::min(lo + context.morsel_rows, num_base);
+      for (size_t b = lo; b < hi; ++b) rows[b] = build_row(b);
+    });
+    for (size_t b = 0; b < num_base; ++b) {
+      out.AppendUnchecked(std::move(rows[b]));
+    }
+  } else {
+    for (size_t b = 0; b < num_base; ++b) {
+      out.AppendUnchecked(build_row(b));
+    }
   }
   return out;
 }

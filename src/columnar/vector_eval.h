@@ -7,14 +7,20 @@
 // measure arrays, and one pass over the base rows probes the group map.
 // Semantics are identical to EvalGmdj (verified by tests); the win is
 // unboxed accumulation.
+//
+// Parallelism: under EvalContext::eval_threads, blocks evaluate
+// concurrently (each block's group map and part arrays are private) and
+// output rows assemble in base-row chunks of morsel_rows into
+// pre-allocated slots. Neither affects any fold order, so results are
+// byte-identical at every thread count.
 
 #ifndef SKALLA_COLUMNAR_VECTOR_EVAL_H_
 #define SKALLA_COLUMNAR_VECTOR_EVAL_H_
 
 #include "columnar/column_table.h"
 #include "common/result.h"
+#include "core/eval_context.h"
 #include "core/gmdj.h"
-#include "core/local_eval.h"
 
 namespace skalla {
 
@@ -22,13 +28,14 @@ namespace skalla {
 /// (no residual predicate) — the precondition for EvalGmdjColumnar.
 bool ColumnarEligible(const GmdjOp& op);
 
-/// Vectorized counterpart of EvalGmdj. `options.use_index` is ignored
-/// (the group map plays that role); sub-aggregate and __rng semantics
+/// Vectorized counterpart of EvalGmdj. Sub-aggregate and __rng semantics
 /// match the row engine exactly. Fails with InvalidArgument when the
-/// operator is not eligible.
+/// operator is not eligible, or when `context.use_index` is false — this
+/// kernel has no nested-loop mode, so oracle requests must go to the row
+/// engine (Site::EvalGmdjRound routes them there).
 Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
                                const GmdjOp& op,
-                               const GmdjEvalOptions& options = {});
+                               const EvalContext& context = {});
 
 }  // namespace skalla
 

@@ -1,0 +1,20 @@
+#include "core/eval_context.h"
+
+#include <thread>
+
+namespace skalla {
+
+size_t ResolveEvalThreads(size_t configured) {
+  if (configured != 0) return configured;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Status ValidateEvalContext(const EvalContext& context) {
+  if (context.morsel_rows == 0) {
+    return Status::InvalidArgument("EvalContext::morsel_rows must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace skalla

@@ -1,0 +1,70 @@
+// EvalContext: the single options surface for GMDJ evaluation.
+//
+// One struct travels from the executor layer (ExecutorOptions) through
+// Site::EvalGmdjRound into both evaluation engines — the row kernel
+// (core/local_eval.h) and the vectorized columnar kernel
+// (columnar/vector_eval.h). It absorbs what used to be three fragmented
+// knobs: the old GmdjEvalOptions struct, the columnar path's silently
+// ignored use_index flag, and the bare `bool use_index` parameter on
+// EvalCentralized.
+//
+// Determinism contract (Theorem 1): per-thread sub-aggregate partials
+// merge exactly like per-site ones, so intra-site parallelism cannot
+// change query semantics. The kernels go further and guarantee
+// *byte-identical* results at any eval_threads value: work decomposition
+// (morsel boundaries, partial-merge order) is a pure function of
+// morsel_rows, and eval_threads only decides which worker executes each
+// morsel — never how results are combined.
+
+#ifndef SKALLA_CORE_EVAL_CONTEXT_H_
+#define SKALLA_CORE_EVAL_CONTEXT_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace skalla {
+
+/// Default number of rows per morsel (nested-loop detail morsels and
+/// indexed-path base-row ranges alike). Large enough that single-morsel
+/// inputs — every small table — take the exact pre-morsel code path.
+inline constexpr size_t kDefaultMorselRows = 1024;
+
+struct EvalContext {
+  /// Produce decomposed sub-aggregate part columns (what a site ships)
+  /// instead of finalized aggregates.
+  bool sub_aggregates = false;
+
+  /// Append the `__rng` indicator column: 1 if RNG(b, R, θ_1 ∨ … ∨ θ_m)
+  /// is non-empty, else 0 (Prop. 1, distribution-independent group
+  /// reduction).
+  bool compute_rng = false;
+
+  /// Use hash-index acceleration of equality atoms. Disable to get the
+  /// naive nested-loop oracle. The columnar kernel has no nested-loop
+  /// mode and rejects use_index = false with InvalidArgument;
+  /// Site::EvalGmdjRound routes oracle requests to the row engine.
+  bool use_index = true;
+
+  /// Worker threads for intra-site morsel-parallel evaluation.
+  /// 1 (default) = evaluate on the calling thread; 0 = one worker per
+  /// hardware thread. Results are byte-identical for every value.
+  size_t eval_threads = 1;
+
+  /// Rows per morsel. This — not eval_threads — is the knob that can
+  /// perturb the last bits of FLOAT64 sums (chunked partial merges
+  /// re-associate additions); it is fixed by default so results are
+  /// reproducible run to run. Must be > 0.
+  size_t morsel_rows = kDefaultMorselRows;
+};
+
+/// Resolves eval_threads: 0 means one worker per hardware thread (at
+/// least 1).
+size_t ResolveEvalThreads(size_t configured);
+
+/// Rejects malformed contexts (morsel_rows == 0) with InvalidArgument.
+Status ValidateEvalContext(const EvalContext& context);
+
+}  // namespace skalla
+
+#endif  // SKALLA_CORE_EVAL_CONTEXT_H_

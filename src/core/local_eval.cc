@@ -1,12 +1,19 @@
 #include "core/local_eval.h"
 
+#include <algorithm>
+#include <functional>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "agg/accumulator.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "expr/analysis.h"
+#include "obs/obs.h"
 #include "storage/hash_index.h"
 
 namespace skalla {
@@ -47,30 +54,185 @@ Status InitBlockState(const GmdjBlock& block, const Schema& detail,
   return Status::OK();
 }
 
-// Folds detail row `r` into base row `b`'s accumulators.
-inline void UpdateBlock(BlockState* state, size_t b, const Row& detail_row) {
-  const size_t n = state->parts.size();
-  Accumulator* row_acc = state->acc.data() + b * n;
+// Folds detail row `detail_row` into one base row's accumulator slice.
+inline void UpdateRow(const BlockState& meta, Accumulator* row_acc,
+                      const Row& detail_row) {
+  const size_t n = meta.parts.size();
   static const Value kDummy;
   for (size_t p = 0; p < n; ++p) {
-    int idx = state->part_input_idx[p];
+    int idx = meta.part_input_idx[p];
     row_acc[p].Update(idx < 0 ? kDummy : detail_row[static_cast<size_t>(idx)]);
+  }
+}
+
+// The per-block condition, compiled once before evaluation.
+struct BlockPlan {
+  bool indexed = false;
+  std::vector<size_t> base_cols;    // indexed: probe columns, atom order
+  std::vector<size_t> detail_cols;  // indexed: key columns, atom order
+  ExprPtr residual;                 // indexed: bound residual (may be null)
+  ExprPtr theta;                    // nested loop: bound full condition
+  const HashIndex* index = nullptr;
+};
+
+size_t MorselCount(size_t rows, size_t morsel_rows) {
+  return rows == 0 ? 0 : (rows - 1) / morsel_rows + 1;
+}
+
+// Dispatches fn(0), ..., fn(n - 1) over `pool` when given (inline
+// otherwise), wrapping each invocation in a site.eval.morsel span and
+// timing it into skalla.site.morsel_us.
+void RunMorsels(ThreadPool* pool, size_t n,
+                const std::function<void(size_t)>& fn) {
+  auto timed = [&fn](size_t m) {
+    SKALLA_TRACE_SPAN(morsel_span, "site.eval.morsel", "site");
+    SKALLA_SPAN_ATTR(morsel_span, "morsel", static_cast<uint64_t>(m));
+    SKALLA_OBS_ONLY(Stopwatch morsel_watch;)
+    fn(m);
+    SKALLA_HISTOGRAM_RECORD("skalla.site.morsel_us",
+                            morsel_watch.ElapsedMicros());
+  };
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, timed);
+  } else {
+    for (size_t m = 0; m < n; ++m) timed(m);
+  }
+}
+
+// Indexed path: base rows split into ranges of morsel_rows. Each range
+// owns its slice of the accumulator matrix (and of `matched`) outright,
+// and the per-base-row candidate fold order is exactly the sequential
+// one, so this is bit-identical to single-threaded evaluation.
+void EvalIndexedBlock(const Table& base, const Table& detail,
+                      const BlockPlan& plan, size_t morsel_rows,
+                      ThreadPool* pool, BlockState* state, uint8_t* matched) {
+  const size_t num_base = base.num_rows();
+  const size_t n = state->parts.size();
+  RunMorsels(pool, MorselCount(num_base, morsel_rows), [&](size_t m) {
+    const size_t lo = m * morsel_rows;
+    const size_t hi = std::min(lo + morsel_rows, num_base);
+    for (size_t b = lo; b < hi; ++b) {
+      const Row& base_row = base.row(b);
+      const std::vector<uint32_t>* candidates =
+          plan.index->Lookup(base_row, plan.base_cols);
+      if (candidates == nullptr) continue;
+      Accumulator* row_acc = state->acc.data() + b * n;
+      for (uint32_t r : *candidates) {
+        const Row& detail_row = detail.row(r);
+        if (plan.residual != nullptr &&
+            !plan.residual->EvalBool(&base_row, &detail_row)) {
+          continue;
+        }
+        if (matched != nullptr) matched[b] = 1;
+        UpdateRow(*state, row_acc, detail_row);
+      }
+    }
+  });
+}
+
+// One morsel's private accumulator partials + matched bitmap
+// (nested-loop path).
+struct MorselPartial {
+  std::vector<Accumulator> acc;  // base_rows * parts.size()
+  std::vector<uint8_t> matched;  // base_rows, or empty
+};
+
+MorselPartial MakePartial(const BlockState& meta, size_t num_base,
+                          bool want_matched) {
+  MorselPartial partial;
+  partial.acc.reserve(num_base * meta.parts.size());
+  for (size_t b = 0; b < num_base; ++b) {
+    for (const SubAggregate& part : meta.parts) {
+      partial.acc.emplace_back(part.kind);
+    }
+  }
+  if (want_matched) partial.matched.assign(num_base, 0);
+  return partial;
+}
+
+// Folds detail rows [lo, hi) against every base row into `partial`.
+void FoldMorsel(const Table& base, const Table& detail, const BlockPlan& plan,
+                const BlockState& meta, size_t lo, size_t hi,
+                MorselPartial* partial) {
+  const size_t n = meta.parts.size();
+  for (size_t b = 0; b < base.num_rows(); ++b) {
+    const Row& base_row = base.row(b);
+    Accumulator* row_acc = partial->acc.data() + b * n;
+    for (size_t r = lo; r < hi; ++r) {
+      const Row& detail_row = detail.row(r);
+      if (!plan.theta->EvalBool(&base_row, &detail_row)) continue;
+      if (!partial->matched.empty()) partial->matched[b] = 1;
+      UpdateRow(meta, row_acc, detail_row);
+    }
+  }
+}
+
+void MergePartial(const MorselPartial& partial, BlockState* state,
+                  uint8_t* matched) {
+  for (size_t i = 0; i < state->acc.size(); ++i) {
+    state->acc[i].MergeFrom(partial.acc[i]);
+  }
+  if (matched != nullptr) {
+    for (size_t b = 0; b < partial.matched.size(); ++b) {
+      matched[b] |= partial.matched[b];
+    }
+  }
+}
+
+// Nested-loop path: the detail relation splits into morsels of
+// morsel_rows; every morsel folds into a private MorselPartial, and
+// partials merge into the block state in morsel index order — the same
+// sub-aggregate synchronization the coordinator applies to per-site
+// partials (Theorem 1). Decomposition and merge order depend only on
+// morsel_rows, never on eval_threads, so any thread count produces the
+// same bytes. (With a single morsel, merging into the zero-initialized
+// matrix is an exact identity, so small inputs also match the historical
+// direct fold bit for bit.)
+void EvalNestedLoopBlock(const Table& base, const Table& detail,
+                         const BlockPlan& plan, size_t morsel_rows,
+                         ThreadPool* pool, BlockState* state,
+                         uint8_t* matched) {
+  const size_t num_base = base.num_rows();
+  const size_t num_detail = detail.num_rows();
+  const size_t morsels = MorselCount(num_detail, morsel_rows);
+  const bool want_matched = matched != nullptr;
+  if (pool == nullptr || morsels <= 1) {
+    // Stream morsels in order through a scratch partial, merging each as
+    // it completes: the merge sequence is identical to the parallel
+    // path's, just without holding every partial live at once.
+    RunMorsels(nullptr, morsels, [&](size_t m) {
+      MorselPartial partial = MakePartial(*state, num_base, want_matched);
+      FoldMorsel(base, detail, plan, *state, m * morsel_rows,
+                 std::min((m + 1) * morsel_rows, num_detail), &partial);
+      MergePartial(partial, state, matched);
+    });
+    return;
+  }
+  std::vector<MorselPartial> partials(morsels);
+  RunMorsels(pool, morsels, [&](size_t m) {
+    partials[m] = MakePartial(*state, num_base, want_matched);
+    FoldMorsel(base, detail, plan, *state, m * morsel_rows,
+               std::min((m + 1) * morsel_rows, num_detail), &partials[m]);
+  });
+  for (const MorselPartial& partial : partials) {
+    MergePartial(partial, state, matched);
   }
 }
 
 }  // namespace
 
 Result<Table> EvalGmdj(const Table& base, const Table& detail,
-                       const GmdjOp& op, const GmdjEvalOptions& options) {
+                       const GmdjOp& op, const EvalContext& context) {
+  SKALLA_RETURN_NOT_OK(ValidateEvalContext(context));
   const Schema& base_schema = *base.schema();
   const Schema& detail_schema = *detail.schema();
 
   SKALLA_ASSIGN_OR_RETURN(
       SchemaPtr out_schema,
-      options.sub_aggregates
-          ? op.PartialSchema(base_schema, detail_schema, options.compute_rng)
+      context.sub_aggregates
+          ? op.PartialSchema(base_schema, detail_schema, context.compute_rng)
           : op.OutputSchema(base_schema, detail_schema));
-  if (!options.sub_aggregates && options.compute_rng) {
+  if (!context.sub_aggregates && context.compute_rng) {
     SKALLA_ASSIGN_OR_RETURN(out_schema, out_schema->AddField(Field{
                                             kRngCountColumn,
                                             ValueType::kInt64}));
@@ -80,77 +242,86 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
   std::vector<BlockState> states(op.blocks.size());
   // matched[b] = 1 iff RNG(b, R, θ_1 ∨ … ∨ θ_m) non-empty.
   std::vector<uint8_t> matched;
-  if (options.compute_rng) matched.assign(num_base, 0);
+  if (context.compute_rng) matched.assign(num_base, 0);
+  uint8_t* matched_ptr = context.compute_rng ? matched.data() : nullptr;
 
-  // Blocks of a (possibly coalesced) operator frequently share their
-  // equality atoms; the detail-side hash index is built once per distinct
-  // key column set. This is the source of the site-computation savings
-  // the paper attributes to coalescing (Fig. 3, low cardinality).
-  std::map<std::vector<size_t>, HashIndex> index_cache;
-
+  // Compile every block's condition before evaluating any of them, so
+  // the distinct index key sets are known up front.
+  std::vector<BlockPlan> plans(op.blocks.size());
+  using IndexKey = std::pair<std::vector<size_t>, std::vector<size_t>>;
+  std::vector<IndexKey> index_keys;  // distinct, in first-use order
   for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
     const GmdjBlock& block = op.blocks[bi];
-    BlockState& state = states[bi];
+    BlockPlan& plan = plans[bi];
     SKALLA_RETURN_NOT_OK(
-        InitBlockState(block, detail_schema, num_base, &state));
+        InitBlockState(block, detail_schema, num_base, &states[bi]));
     if (block.theta == nullptr) {
       return Status::InvalidArgument("GMDJ block has no condition");
     }
 
     ConditionAnalysis analysis = AnalyzeCondition(block.theta);
-    const bool indexed = options.use_index && !analysis.equi_atoms.empty();
-
-    if (indexed) {
-      std::vector<size_t> base_cols;
-      std::vector<size_t> detail_cols;
+    plan.indexed = context.use_index && !analysis.equi_atoms.empty();
+    if (plan.indexed) {
       for (const EquiAtom& atom : analysis.equi_atoms) {
         SKALLA_ASSIGN_OR_RETURN(size_t b_idx,
                                 base_schema.RequireIndex(atom.base_col));
         SKALLA_ASSIGN_OR_RETURN(size_t d_idx,
                                 detail_schema.RequireIndex(atom.detail_col));
-        base_cols.push_back(b_idx);
-        detail_cols.push_back(d_idx);
+        plan.base_cols.push_back(b_idx);
+        plan.detail_cols.push_back(d_idx);
       }
-      ExprPtr residual;
       if (analysis.residual != nullptr) {
         SKALLA_ASSIGN_OR_RETURN(
-            residual, analysis.residual->Bind(&base_schema, &detail_schema));
+            plan.residual,
+            analysis.residual->Bind(&base_schema, &detail_schema));
       }
-      auto cache_it = index_cache.find(detail_cols);
-      if (cache_it == index_cache.end()) {
-        cache_it = index_cache
-                       .emplace(detail_cols,
-                                HashIndex::Build(detail, detail_cols))
-                       .first;
-      }
-      const HashIndex& index = cache_it->second;
-      for (size_t b = 0; b < num_base; ++b) {
-        const Row& base_row = base.row(b);
-        const std::vector<uint32_t>* candidates =
-            index.Lookup(base_row, base_cols);
-        if (candidates == nullptr) continue;
-        for (uint32_t r : candidates[0]) {
-          const Row& detail_row = detail.row(r);
-          if (residual != nullptr &&
-              !residual->EvalBool(&base_row, &detail_row)) {
-            continue;
-          }
-          if (options.compute_rng) matched[b] = 1;
-          UpdateBlock(&state, b, detail_row);
-        }
+      IndexKey key{plan.base_cols, plan.detail_cols};
+      if (std::find(index_keys.begin(), index_keys.end(), key) ==
+          index_keys.end()) {
+        index_keys.push_back(std::move(key));
       }
     } else {
-      SKALLA_ASSIGN_OR_RETURN(ExprPtr theta,
-                              block.theta->Bind(&base_schema, &detail_schema));
-      for (size_t b = 0; b < num_base; ++b) {
-        const Row& base_row = base.row(b);
-        for (size_t r = 0; r < detail.num_rows(); ++r) {
-          const Row& detail_row = detail.row(r);
-          if (!theta->EvalBool(&base_row, &detail_row)) continue;
-          if (options.compute_rng) matched[b] = 1;
-          UpdateBlock(&state, b, detail_row);
-        }
-      }
+      SKALLA_ASSIGN_OR_RETURN(
+          plan.theta, block.theta->Bind(&base_schema, &detail_schema));
+    }
+  }
+
+  const size_t threads = ResolveEvalThreads(context.eval_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Blocks of a (possibly coalesced) operator frequently share their
+  // equality atoms; the detail-side hash index is built once per distinct
+  // key pairing — concurrently when a pool is available. This is the
+  // source of the site-computation savings the paper attributes to
+  // coalescing (Fig. 3, low cardinality). The cache key is the full
+  // (base_cols, detail_cols) pairing, not detail_cols alone: two blocks
+  // indexing the same detail columns but pairing them with differently
+  // ordered base columns must not share probe contracts.
+  std::map<IndexKey, HashIndex> index_cache;
+  std::vector<HashIndex*> index_slots;
+  index_slots.reserve(index_keys.size());
+  for (const IndexKey& key : index_keys) {
+    index_slots.push_back(&index_cache[key]);
+  }
+  auto build_index = [&](size_t i) {
+    *index_slots[i] = HashIndex::Build(detail, index_keys[i].second);
+  };
+  if (pool != nullptr && index_keys.size() > 1) {
+    pool->ParallelFor(index_keys.size(), build_index);
+  } else {
+    for (size_t i = 0; i < index_keys.size(); ++i) build_index(i);
+  }
+
+  for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
+    BlockPlan& plan = plans[bi];
+    if (plan.indexed) {
+      plan.index = &index_cache.at(IndexKey{plan.base_cols, plan.detail_cols});
+      EvalIndexedBlock(base, detail, plan, context.morsel_rows, pool.get(),
+                       &states[bi], matched_ptr);
+    } else {
+      EvalNestedLoopBlock(base, detail, plan, context.morsel_rows, pool.get(),
+                          &states[bi], matched_ptr);
     }
   }
 
@@ -164,7 +335,7 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
       const BlockState& state = states[bi];
       const size_t n = state.parts.size();
       const Accumulator* row_acc = state.acc.data() + b * n;
-      if (options.sub_aggregates) {
+      if (context.sub_aggregates) {
         for (size_t p = 0; p < n; ++p) row.push_back(row_acc[p].Final());
       } else {
         for (size_t ai = 0; ai < op.blocks[bi].aggs.size(); ++ai) {
@@ -178,7 +349,7 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
         }
       }
     }
-    if (options.compute_rng) {
+    if (context.compute_rng) {
       row.push_back(Value(int64_t{matched[b] ? 1 : 0}));
     }
     out.AppendUnchecked(std::move(row));
@@ -187,13 +358,16 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
 }
 
 Result<Table> EvalCentralized(const GmdjExpr& expr, const Catalog& catalog,
-                              bool use_index) {
+                              const EvalContext& context) {
   SKALLA_ASSIGN_OR_RETURN(Table current, expr.base.Execute(catalog));
-  GmdjEvalOptions options;
-  options.use_index = use_index;
+  // A reference evaluation always finalizes: partial output or the __rng
+  // indicator only make sense site-side.
+  EvalContext local = context;
+  local.sub_aggregates = false;
+  local.compute_rng = false;
   for (const GmdjOp& op : expr.ops) {
     SKALLA_ASSIGN_OR_RETURN(const Table* detail, catalog.Get(op.detail_table));
-    SKALLA_ASSIGN_OR_RETURN(current, EvalGmdj(current, *detail, op, options));
+    SKALLA_ASSIGN_OR_RETURN(current, EvalGmdj(current, *detail, op, local));
   }
   return current;
 }

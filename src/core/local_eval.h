@@ -8,41 +8,42 @@
 // equality atoms key a hash index over the detail relation; candidates are
 // filtered by the residual. A naive nested-loop path (use_index = false)
 // serves as the test oracle.
+//
+// Both paths are morsel-parallel under EvalContext::eval_threads:
+//  - indexed: base rows split into ranges of morsel_rows; each worker
+//    probes one shared immutable hash index per distinct key-column
+//    pairing (built once up front, concurrently per pairing) and owns
+//    its slice of the accumulator matrix outright;
+//  - nested-loop: the detail relation splits into morsels of morsel_rows;
+//    each worker folds its morsel into private BlockState partials, and
+//    partials merge in morsel order with the same sub-aggregate
+//    synchronization the coordinator applies to per-site partials
+//    (Theorem 1).
+// Work decomposition depends only on morsel_rows, so results are
+// byte-identical at every eval_threads value.
 
 #ifndef SKALLA_CORE_LOCAL_EVAL_H_
 #define SKALLA_CORE_LOCAL_EVAL_H_
 
 #include "common/result.h"
+#include "core/eval_context.h"
 #include "core/gmdj.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 
 namespace skalla {
 
-struct GmdjEvalOptions {
-  /// Produce decomposed sub-aggregate part columns (what a site ships)
-  /// instead of finalized aggregates.
-  bool sub_aggregates = false;
-
-  /// Append the `__rng` indicator column: 1 if RNG(b, R, θ_1 ∨ … ∨ θ_m) is
-  /// non-empty, else 0 (Prop. 1, distribution-independent group reduction).
-  bool compute_rng = false;
-
-  /// Use hash-index acceleration of equality atoms. Disable to get the
-  /// naive nested-loop oracle.
-  bool use_index = true;
-};
-
 /// Evaluates one GMDJ operator: one output row per base row, extended with
-/// the block aggregates (finalized or partial per `options`).
+/// the block aggregates (finalized or partial per `context`).
 Result<Table> EvalGmdj(const Table& base, const Table& detail,
-                       const GmdjOp& op, const GmdjEvalOptions& options = {});
+                       const GmdjOp& op, const EvalContext& context = {});
 
 /// Reference semantics of a whole GMDJ expression against a centralized
 /// catalog: evaluates the base query, then each GMDJ in turn with full
-/// aggregates.
+/// aggregates (the sub_aggregates / compute_rng fields of `context` are
+/// overridden — a reference evaluation always finalizes).
 Result<Table> EvalCentralized(const GmdjExpr& expr, const Catalog& catalog,
-                              bool use_index = true);
+                              const EvalContext& context = {});
 
 }  // namespace skalla
 

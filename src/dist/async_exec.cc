@@ -253,10 +253,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
       }
     }
 
-    GmdjEvalOptions eval_options;
-    eval_options.sub_aggregates = stage.sync_after;
-    eval_options.compute_rng =
-        stage.sync_after && stage.indep_group_reduction;
+    const EvalContext eval_context = StageEvalContext(options_, stage);
 
     MessageChannel channel;
     ChannelDrain drain(&channel, &pool);
@@ -292,10 +289,10 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
               options_, sites_[i].id(), rs.label,
               [&] {
                 return sites_[i].EvalGmdjRound(base_in, stage.op,
-                                               eval_options);
+                                               eval_context);
               },
               &retries);
-          if (result.ok() && eval_options.compute_rng) {
+          if (result.ok() && eval_context.compute_rng) {
             result = ApplyRngFilter(*result);
           }
           if (!result.ok()) status = result.status();

@@ -267,10 +267,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Local GMDJ evaluation at every site.
-    GmdjEvalOptions eval_options;
-    eval_options.sub_aggregates = stage.sync_after;
-    eval_options.compute_rng =
-        stage.sync_after && stage.indep_group_reduction;
+    const EvalContext eval_context = StageEvalContext(options_, stage);
     std::vector<Table> outputs(n);
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
@@ -285,12 +282,12 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
           options_, sites_[i].id(), rs.label,
           [&] {
             return sites_[i].EvalGmdjRound(local_base[i], stage.op,
-                                           eval_options);
+                                           eval_context);
           },
           &retries);
       if (!attempt_result.ok()) return attempt_result.status();
       Table result = std::move(*attempt_result);
-      if (eval_options.compute_rng) {
+      if (eval_context.compute_rng) {
         SKALLA_ASSIGN_OR_RETURN(result, ApplyRngFilter(result));
       }
       double elapsed = timer.ElapsedSeconds();

@@ -15,6 +15,15 @@ size_t ResolveCoordinatorShards(size_t configured) {
   return hw == 0 ? 1 : hw;
 }
 
+EvalContext StageEvalContext(const ExecutorOptions& options,
+                             const PlanStage& stage) {
+  EvalContext context;
+  context.sub_aggregates = stage.sync_after;
+  context.compute_rng = stage.sync_after && stage.indep_group_reduction;
+  context.eval_threads = options.eval_threads;
+  return context;
+}
+
 uint64_t ExecStats::TotalBytes() const {
   return TotalBytesToSites() + TotalBytesToCoord();
 }

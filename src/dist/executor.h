@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/eval_context.h"
 #include "dist/fault.h"
 #include "dist/plan.h"
 #include "storage/table.h"
@@ -69,11 +70,27 @@ struct ExecutorOptions {
   /// and key-disjoint across shards). In TreeExecutor every tier's
   /// coordinator shards.
   size_t coordinator_shards = 1;
+
+  /// Worker threads for intra-site morsel-parallel GMDJ evaluation
+  /// (EvalContext::eval_threads at every site): 1 (default) = evaluate
+  /// each site round on one thread, 0 = one worker per hardware thread.
+  /// Honored by all engines through StageEvalContext — the rpc executor
+  /// ships the value to site servers in BeginPlan. Results are
+  /// byte-identical for every value (see core/eval_context.h).
+  size_t eval_threads = 1;
 };
 
 /// Resolves the coordinator_shards option: 0 means one shard per
 /// hardware thread (at least 1).
 size_t ResolveCoordinatorShards(size_t configured);
+
+/// The EvalContext a site evaluates `stage` with: sub-aggregate mode when
+/// the stage synchronizes, the __rng indicator when it additionally runs
+/// the distribution-independent group reduction (Prop. 1), and intra-site
+/// parallelism from options.eval_threads. Every engine derives its
+/// per-round context here so evaluation semantics cannot drift apart.
+EvalContext StageEvalContext(const ExecutorOptions& options,
+                             const PlanStage& stage);
 
 /// Cost accounting for one round (base stage or one GMDJ stage).
 struct RoundStats {

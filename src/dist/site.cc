@@ -6,15 +6,15 @@
 namespace skalla {
 
 Result<Table> Site::EvalGmdjRound(const Table& base, const GmdjOp& op,
-                                  const GmdjEvalOptions& options) const {
-  if (!columnar_.empty() && ColumnarEligible(op)) {
+                                  const EvalContext& context) const {
+  if (context.use_index && !columnar_.empty() && ColumnarEligible(op)) {
     auto it = columnar_.find(op.detail_table);
     if (it != columnar_.end()) {
-      return EvalGmdjColumnar(base, it->second, op, options);
+      return EvalGmdjColumnar(base, it->second, op, context);
     }
   }
   SKALLA_ASSIGN_OR_RETURN(const Table* detail, catalog_.Get(op.detail_table));
-  return EvalGmdj(base, *detail, op, options);
+  return EvalGmdj(base, *detail, op, context);
 }
 
 Status Site::EnableColumnarCache() {

@@ -33,9 +33,13 @@ class Site {
   }
 
   /// Evaluates one GMDJ operator against the local detail partition for
-  /// the given base-values relation.
+  /// the given base-values relation. Routes to the vectorized evaluator
+  /// when the columnar cache holds the detail table and the operator is
+  /// eligible — except when `context.use_index` is false (the columnar
+  /// kernel has no nested-loop mode, so oracle requests always take the
+  /// row engine).
   Result<Table> EvalGmdjRound(const Table& base, const GmdjOp& op,
-                              const GmdjEvalOptions& options) const;
+                              const EvalContext& context) const;
 
   /// The local partition of the named detail relation.
   Result<const Table*> DetailTable(std::string_view name) const {

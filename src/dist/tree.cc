@@ -374,10 +374,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Local evaluation at every site.
-    GmdjEvalOptions eval_options;
-    eval_options.sub_aggregates = stage.sync_after;
-    eval_options.compute_rng =
-        stage.sync_after && stage.indep_group_reduction;
+    const EvalContext eval_context = StageEvalContext(options_, stage);
     std::vector<Table> outputs(n);
     for (size_t i = 0; i < n; ++i) {
       Stopwatch timer;
@@ -386,12 +383,12 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
           options_, sites_[i].id(), rs.label,
           [&] {
             return sites_[i].EvalGmdjRound(local_base[i], stage.op,
-                                           eval_options);
+                                           eval_context);
           },
           &retries);
       if (!attempt_result.ok()) return attempt_result.status();
       Table result = std::move(*attempt_result);
-      if (eval_options.compute_rng) {
+      if (eval_context.compute_rng) {
         // Reuse the flat executor's filter semantics: keep |RNG| > 0 rows
         // and drop the indicator column.
         int rng_idx = result.schema()->IndexOf(kRngCountColumn);

@@ -30,7 +30,11 @@ namespace skalla {
 namespace rpc {
 
 inline constexpr uint32_t kFrameMagic = 0x414C4B53;  // "SKLA"
-inline constexpr uint8_t kProtocolVersion = 1;
+// Version history:
+//   1  initial protocol
+//   2  BeginPlan payload grows an eval_threads varint after the flags
+//      byte (intra-site morsel parallelism)
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 16;
 
 /// What a frame carries. Requests flow coordinator -> site; responses

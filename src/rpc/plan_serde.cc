@@ -250,6 +250,7 @@ Result<GmdjOp> ReadGmdjOp(ByteReader* reader) {
 std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req) {
   std::vector<uint8_t> out;
   out.push_back(req.columnar_sites ? 1 : 0);
+  PutVarint(&out, req.eval_threads);
   return out;
 }
 
@@ -259,6 +260,8 @@ Result<BeginPlanRequest> DecodeBeginPlanRequest(
   SKALLA_ASSIGN_OR_RETURN(uint8_t flags, ReadFlags(&reader));
   BeginPlanRequest req;
   req.columnar_sites = (flags & 1) != 0;
+  SKALLA_ASSIGN_OR_RETURN(uint64_t eval_threads, reader.ReadVarint());
+  req.eval_threads = static_cast<size_t>(eval_threads);
   return req;
 }
 

@@ -59,6 +59,10 @@ Result<GmdjOp> ReadGmdjOp(ByteReader* reader);
 /// kBeginPlan: resets the site's round state and applies per-plan knobs.
 struct BeginPlanRequest {
   bool columnar_sites = false;
+  /// EvalContext::eval_threads for every round of the plan (0 = one
+  /// worker per hardware thread of the *site* host). Wire format: varint
+  /// after the flags byte (protocol version 2).
+  size_t eval_threads = 1;
 };
 std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req);
 Result<BeginPlanRequest> DecodeBeginPlanRequest(

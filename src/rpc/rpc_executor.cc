@@ -141,6 +141,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   {
     BeginPlanRequest begin;
     begin.columnar_sites = options_.columnar_sites;
+    begin.eval_threads = options_.eval_threads;
     std::vector<uint8_t> payload = EncodeBeginPlanRequest(begin);
     for (size_t i = 0; i < n; ++i) {
       SKALLA_RETURN_NOT_OK(

@@ -79,6 +79,7 @@ Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
   local_base_ = Table();
   last_round_.clear();
   last_input_ = Table();
+  eval_threads_ = req.eval_threads;
   if (req.columnar_sites && !site_.columnar_enabled()) {
     Status built = site_.EnableColumnarCache();
     if (!built.ok()) return ErrorFrame(built);
@@ -114,10 +115,11 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
     input = std::move(local_base_);
   }
 
-  GmdjEvalOptions eval_options;
-  eval_options.sub_aggregates = req.sub_aggregates;
-  eval_options.compute_rng = req.apply_rng;
-  Result<Table> h = site_.EvalGmdjRound(input, req.op, eval_options);
+  EvalContext eval_context;
+  eval_context.sub_aggregates = req.sub_aggregates;
+  eval_context.compute_rng = req.apply_rng;
+  eval_context.eval_threads = eval_threads_;
+  Result<Table> h = site_.EvalGmdjRound(input, req.op, eval_context);
   if (h.ok() && req.apply_rng) h = ApplyRngFilter(*h);
   if (!h.ok()) return ErrorFrame(h.status());
 

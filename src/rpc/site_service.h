@@ -45,6 +45,10 @@ class SiteService {
 
   Site site_;
 
+  // Intra-site eval parallelism for the current plan, set by BeginPlan
+  // (EvalContext::eval_threads; never changes results).
+  size_t eval_threads_ = 1;
+
   // Carried-over base structure between unsynchronized rounds.
   Table local_base_;
 

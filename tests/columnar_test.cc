@@ -136,7 +136,7 @@ TEST_P(VectorEvalEquivalenceTest, MatchesRowEngine) {
 
   for (bool sub : {false, true}) {
     for (bool rng : {false, true}) {
-      GmdjEvalOptions options;
+      EvalContext options;
       options.sub_aggregates = sub;
       options.compute_rng = rng;
       Table row_result = EvalGmdj(base, detail, op, options).ValueOrDie();

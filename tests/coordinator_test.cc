@@ -74,7 +74,7 @@ TEST_P(Theorem1Test, MergedFragmentsEqualDirectEvaluation) {
   std::vector<Table> partitions =
       PartitionRoundRobin(detail, n).ValueOrDie();
 
-  GmdjEvalOptions sub;
+  EvalContext sub;
   sub.sub_aggregates = true;
   std::vector<Table> fragments;
   for (const Table& part : partitions) {
@@ -173,7 +173,7 @@ TEST(CoordinatorTest, ShardedWorkingFragmentMatchesSequential) {
   GmdjOp op = TestOp();
   std::vector<Table> partitions =
       PartitionRoundRobin(detail, 3).ValueOrDie();
-  GmdjEvalOptions sub;
+  EvalContext sub;
   sub.sub_aggregates = true;
   std::vector<Table> fragments;
   for (const Table& part : partitions) {
@@ -220,7 +220,7 @@ TEST(CoordinatorTest, UnknownGroupRejectedWhenSeeded) {
       Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
   Table foreign(foreign_base);
   foreign.AppendUnchecked({Value(int64_t{12345})});
-  GmdjEvalOptions sub;
+  EvalContext sub;
   sub.sub_aggregates = true;
   Table fragment = EvalGmdj(foreign, detail, op, sub).ValueOrDie();
   Status s = coordinator.MergeFragment(fragment);
@@ -239,7 +239,7 @@ TEST(CoordinatorTest, FromScratchInsertsAndMergesOverlaps) {
   // arrives twice and must merge, not duplicate.
   std::vector<Table> partitions =
       PartitionRoundRobin(detail, 2).ValueOrDie();
-  GmdjEvalOptions sub;
+  EvalContext sub;
   sub.sub_aggregates = true;
 
   Coordinator coordinator({"g"});

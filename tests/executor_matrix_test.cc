@@ -201,6 +201,29 @@ TEST(ExecutorMatrixTest, AllEnginesAgreeAcrossShardCounts) {
           << variant.name << " shards=4, opts " << opt_mask;
       EXPECT_EQ(sharded_stats.RootBytes(), seq_stats.RootBytes())
           << variant.name << " shards=4, opts " << opt_mask;
+
+      // Intra-site parallel run: eval_threads is scheduling-only, so
+      // results (row for row, async excepted as above) and every byte
+      // count must be exactly the sequential-evaluation baseline's.
+      ExecutorOptions threaded_options = variant.options;
+      threaded_options.eval_threads = 4;
+      std::unique_ptr<Executor> threaded_exec =
+          MakeExecutor(variant.name, parts, threaded_options);
+      ExecStats threaded_stats;
+      Table threaded_result =
+          threaded_exec->Execute(plan, &threaded_stats).ValueOrDie();
+      if (std::string(variant.name) == "async") {
+        EXPECT_TRUE(threaded_result.SameRows(seq_result))
+            << variant.name << " eval_threads=4, opts " << opt_mask;
+      } else {
+        EXPECT_TRUE(ExactlyEqual(threaded_result, seq_result))
+            << variant.name << " eval_threads=4, opts " << opt_mask;
+      }
+      EXPECT_EQ(threaded_stats.TotalBytes(), seq_stats.TotalBytes())
+          << variant.name << " eval_threads=4, opts " << opt_mask;
+      EXPECT_EQ(threaded_stats.TotalTuplesTransferred(),
+                seq_stats.TotalTuplesTransferred())
+          << variant.name << " eval_threads=4, opts " << opt_mask;
     }
   }
 }

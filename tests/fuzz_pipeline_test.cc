@@ -143,8 +143,10 @@ TEST_P(PipelineFuzzTest, AllConfigurationsMatchNaiveOracle) {
   // Naive oracle: nested loops, centralized.
   Catalog central;
   central.Register("d", fuzz.detail);
+  EvalContext oracle_context;
+  oracle_context.use_index = false;
   Table oracle =
-      EvalCentralized(fuzz.expr, central, /*use_index=*/false).ValueOrDie();
+      EvalCentralized(fuzz.expr, central, oracle_context).ValueOrDie();
 
   for (int trial = 0; trial < 3; ++trial) {
     size_t sites = 1 + rng.Uniform(5);

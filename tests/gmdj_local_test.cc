@@ -154,7 +154,7 @@ TEST_F(GmdjLocalTest, SubAggregateModeProducesParts) {
   op.detail_table = "flow";
   op.blocks.push_back(GmdjBlock{{{AggKind::kAvg, "NB", "a"}},
                                 Eq(RCol("SAS"), BCol("SAS"))});
-  GmdjEvalOptions options;
+  EvalContext options;
   options.sub_aggregates = true;
   Table result = EvalGmdj(base, flow_, op, options).ValueOrDie();
   // Schema: SAS, a__sum, a__cnt.
@@ -176,7 +176,7 @@ TEST_F(GmdjLocalTest, RngIndicatorColumn) {
   op.detail_table = "flow";
   op.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "c"}},
                                 Eq(RCol("SAS"), BCol("SAS"))});
-  GmdjEvalOptions options;
+  EvalContext options;
   options.compute_rng = true;
   Table result = EvalGmdj(base, flow_, op, options).ValueOrDie();
   int rng_idx = result.schema()->IndexOf(kRngCountColumn);
@@ -244,10 +244,10 @@ TEST_P(GmdjIndexEquivalenceTest, IndexMatchesNaive) {
   op.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "c2"}},
                                 Lt(RCol("v"), BCol("g"))});
 
-  GmdjEvalOptions indexed;
+  EvalContext indexed;
   indexed.use_index = true;
   indexed.compute_rng = true;
-  GmdjEvalOptions naive;
+  EvalContext naive;
   naive.use_index = false;
   naive.compute_rng = true;
 

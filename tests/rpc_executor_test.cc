@@ -285,6 +285,29 @@ TEST_F(RpcExecutorTest, ColumnarKnobForwardsToSites) {
   }
 }
 
+TEST_F(RpcExecutorTest, EvalThreadsForwardsAndPreservesResults) {
+  // eval_threads ships to every site in BeginPlan; parallel intra-site
+  // evaluation must leave results byte-identical to the star engine's
+  // sequential evaluation, for both optimizer presets.
+  for (const OptimizerOptions& opts :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    for (const QueryCase& q : kQueries) {
+      GmdjExpr expr = ParseQuery(q.text).ValueOrDie();
+      DistributedPlan plan = warehouse_->Plan(expr, opts).ValueOrDie();
+
+      DistributedExecutor star(MakeSites(), NetworkConfig{}, {});
+      Table expected = star.Execute(plan, nullptr).ValueOrDie();
+
+      ExecutorOptions options;
+      options.eval_threads = 4;
+      RpcExecutor rpc(std::make_unique<InProcessTransport>(MakeSites()),
+                      options);
+      Table result = rpc.Execute(plan, nullptr).ValueOrDie();
+      EXPECT_TRUE(ExactlyEqual(result, expected)) << q.name;
+    }
+  }
+}
+
 TEST_F(RpcExecutorTest, SiteErrorCodeSurvivesTheWire) {
   // Site 2's catalog is missing the detail relation. Its NotFound must
   // surface at the coordinator as NotFound — not as a generic transport

@@ -153,12 +153,22 @@ TEST(PlanSerdeTest, GmdjOpsRoundTrip) {
 
 TEST(PlanSerdeTest, BeginPlanRequestRoundTrips) {
   for (bool columnar : {false, true}) {
-    BeginPlanRequest request;
-    request.columnar_sites = columnar;
-    BeginPlanRequest decoded =
-        DecodeBeginPlanRequest(EncodeBeginPlanRequest(request)).ValueOrDie();
-    EXPECT_EQ(decoded.columnar_sites, columnar);
+    for (size_t eval_threads : {size_t{0}, size_t{1}, size_t{8}}) {
+      BeginPlanRequest request;
+      request.columnar_sites = columnar;
+      request.eval_threads = eval_threads;
+      BeginPlanRequest decoded =
+          DecodeBeginPlanRequest(EncodeBeginPlanRequest(request)).ValueOrDie();
+      EXPECT_EQ(decoded.columnar_sites, columnar);
+      EXPECT_EQ(decoded.eval_threads, eval_threads);
+    }
   }
+}
+
+TEST(PlanSerdeTest, BeginPlanRequestRejectsTruncatedPayload) {
+  // A version-1 BeginPlan payload (flags byte only, no eval_threads
+  // varint) must not decode silently.
+  EXPECT_FALSE(DecodeBeginPlanRequest({0}).ok());
 }
 
 TEST(PlanSerdeTest, BaseRoundRequestRoundTrips) {
