@@ -245,6 +245,9 @@ struct BlockExec {
 Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
                                const GmdjOp& op, const EvalContext& context) {
   SKALLA_RETURN_NOT_OK(ValidateEvalContext(context));
+  if (context.cancellation != nullptr) {
+    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+  }
   if (!context.use_index) {
     return Status::InvalidArgument(
         "EvalGmdjColumnar has no nested-loop mode (use_index = false); "
@@ -308,6 +311,10 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
   auto eval_block = [&](size_t bi) {
+    if (context.cancellation != nullptr &&
+        !context.cancellation->Check().ok()) {
+      return;
+    }
     BlockExec& exec = blocks[bi];
     exec.groups = BuildGroups(detail, exec.detail_cols);
     const size_t num_groups = exec.groups.representatives.size();
@@ -319,6 +326,12 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     pool->ParallelFor(blocks.size(), eval_block);
   } else {
     for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
+  }
+
+  // Cancelled blocks left their state empty — surface the cancellation
+  // before any of it could be misread as a result.
+  if (context.cancellation != nullptr) {
+    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
   }
 
   const size_t num_base = base.num_rows();
@@ -372,10 +385,17 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     const size_t chunks =
         (num_base - 1) / context.morsel_rows + 1;
     pool->ParallelFor(chunks, [&](size_t m) {
+      if (context.cancellation != nullptr &&
+          !context.cancellation->Check().ok()) {
+        return;
+      }
       const size_t lo = m * context.morsel_rows;
       const size_t hi = std::min(lo + context.morsel_rows, num_base);
       for (size_t b = lo; b < hi; ++b) rows[b] = build_row(b);
     });
+    if (context.cancellation != nullptr) {
+      SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+    }
     for (size_t b = 0; b < num_base; ++b) {
       out.AppendUnchecked(std::move(rows[b]));
     }

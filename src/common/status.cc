@@ -29,6 +29,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Type error";
     case StatusCode::kVersionMismatch:
       return "Version mismatch";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

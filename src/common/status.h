@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kParseError = 8,
   kTypeError = 9,
   kVersionMismatch = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a stable, human-readable name for a status code ("Invalid
@@ -89,6 +90,9 @@ class Status {
   static Status VersionMismatch(std::string msg) {
     return Status(StatusCode::kVersionMismatch, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -117,6 +121,9 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsVersionMismatch() const {
     return code() == StatusCode::kVersionMismatch;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<code name>: <message>".

@@ -1,0 +1,42 @@
+#include "core/cancellation.h"
+
+#include "common/string_util.h"
+
+namespace skalla {
+
+void CancellationToken::ArmDeadline(uint64_t ms, std::string what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  deadline_what_ = std::move(what);
+  deadline_ms_ = ms;
+  deadline_armed_.store(true, std::memory_order_release);
+}
+
+void CancellationToken::Cancel(Status status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  status_ = std::move(status);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+Status CancellationToken::Check() {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  if (deadline_armed_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      status_ = Status::DeadlineExceeded(
+          StrCat("deadline of ", deadline_ms_, " ms exceeded (",
+                 deadline_what_, ")"));
+      cancelled_.store(true, std::memory_order_release);
+    }
+    return status_;
+  }
+  return Status::OK();
+}
+
+}  // namespace skalla

@@ -1,0 +1,65 @@
+// Cooperative cancellation for in-flight site work. A CancellationToken
+// is shared between the coordinator (which arms a deadline or cancels
+// explicitly) and the evaluation kernels (which poll it at morsel
+// boundaries through EvalContext::cancellation). Polling is cheap — one
+// relaxed atomic load on the fast path — so kernels can afford to check
+// every morsel, which bounds the cancellation grace period to one
+// morsel's worth of work per thread.
+//
+// The token latches: the first non-OK status wins, later Cancel calls
+// are ignored, and a fired deadline converts into a latched
+// kDeadlineExceeded. All methods are thread-safe.
+
+#ifndef SKALLA_CORE_CANCELLATION_H_
+#define SKALLA_CORE_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace skalla {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Arms a deadline `ms` milliseconds from now; Check() returns
+  /// kDeadlineExceeded once it passes. `what` names the deadline in the
+  /// error message ("round md1", "query"). ms == 0 is an immediate
+  /// deadline (the next Check fires).
+  void ArmDeadline(uint64_t ms, std::string what);
+
+  /// Latches `status` as the cancellation cause. The first non-OK status
+  /// wins; OK statuses and later cancellations are ignored.
+  void Cancel(Status status);
+
+  /// True once the token is cancelled (or a deadline has fired and been
+  /// observed by Check). Fast path: one atomic load.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while live; the latched cancellation status afterwards. Checks
+  /// the armed deadline as a side effect, so a passed deadline fires
+  /// here even if nobody cancelled explicitly.
+  Status Check();
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_armed_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  std::string deadline_what_;
+  uint64_t deadline_ms_ = 0;
+  mutable std::mutex mu_;
+  Status status_;  // guarded by mu_, readable once cancelled_ is set
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_CORE_CANCELLATION_H_

@@ -22,6 +22,7 @@
 #include <cstddef>
 
 #include "common/status.h"
+#include "core/cancellation.h"
 
 namespace skalla {
 
@@ -56,6 +57,13 @@ struct EvalContext {
   /// re-associate additions); it is fixed by default so results are
   /// reproducible run to run. Must be > 0.
   size_t morsel_rows = kDefaultMorselRows;
+
+  /// Cooperative cancellation (core/cancellation.h); nullptr = never
+  /// cancelled. Not owned. Both kernels poll it at morsel boundaries and
+  /// return its latched status (typically kDeadlineExceeded), so a fired
+  /// deadline stops in-flight evaluation within one morsel's worth of
+  /// work per thread.
+  CancellationToken* cancellation = nullptr;
 };
 
 /// Resolves eval_threads: 0 means one worker per hardware thread (at

@@ -105,10 +105,12 @@ void RunMorsels(ThreadPool* pool, size_t n,
 // one, so this is bit-identical to single-threaded evaluation.
 void EvalIndexedBlock(const Table& base, const Table& detail,
                       const BlockPlan& plan, size_t morsel_rows,
-                      ThreadPool* pool, BlockState* state, uint8_t* matched) {
+                      ThreadPool* pool, CancellationToken* cancel,
+                      BlockState* state, uint8_t* matched) {
   const size_t num_base = base.num_rows();
   const size_t n = state->parts.size();
   RunMorsels(pool, MorselCount(num_base, morsel_rows), [&](size_t m) {
+    if (cancel != nullptr && !cancel->Check().ok()) return;
     const size_t lo = m * morsel_rows;
     const size_t hi = std::min(lo + morsel_rows, num_base);
     for (size_t b = lo; b < hi; ++b) {
@@ -190,8 +192,8 @@ void MergePartial(const MorselPartial& partial, BlockState* state,
 // direct fold bit for bit.)
 void EvalNestedLoopBlock(const Table& base, const Table& detail,
                          const BlockPlan& plan, size_t morsel_rows,
-                         ThreadPool* pool, BlockState* state,
-                         uint8_t* matched) {
+                         ThreadPool* pool, CancellationToken* cancel,
+                         BlockState* state, uint8_t* matched) {
   const size_t num_base = base.num_rows();
   const size_t num_detail = detail.num_rows();
   const size_t morsels = MorselCount(num_detail, morsel_rows);
@@ -201,6 +203,7 @@ void EvalNestedLoopBlock(const Table& base, const Table& detail,
     // it completes: the merge sequence is identical to the parallel
     // path's, just without holding every partial live at once.
     RunMorsels(nullptr, morsels, [&](size_t m) {
+      if (cancel != nullptr && !cancel->Check().ok()) return;
       MorselPartial partial = MakePartial(*state, num_base, want_matched);
       FoldMorsel(base, detail, plan, *state, m * morsel_rows,
                  std::min((m + 1) * morsel_rows, num_detail), &partial);
@@ -210,11 +213,15 @@ void EvalNestedLoopBlock(const Table& base, const Table& detail,
   }
   std::vector<MorselPartial> partials(morsels);
   RunMorsels(pool, morsels, [&](size_t m) {
+    if (cancel != nullptr && !cancel->Check().ok()) return;
     partials[m] = MakePartial(*state, num_base, want_matched);
     FoldMorsel(base, detail, plan, *state, m * morsel_rows,
                std::min((m + 1) * morsel_rows, num_detail), &partials[m]);
   });
   for (const MorselPartial& partial : partials) {
+    // A cancelled morsel leaves its partial empty; the caller surfaces
+    // the cancellation status, so skipping it here is safe.
+    if (partial.acc.size() != state->acc.size()) continue;
     MergePartial(partial, state, matched);
   }
 }
@@ -224,6 +231,9 @@ void EvalNestedLoopBlock(const Table& base, const Table& detail,
 Result<Table> EvalGmdj(const Table& base, const Table& detail,
                        const GmdjOp& op, const EvalContext& context) {
   SKALLA_RETURN_NOT_OK(ValidateEvalContext(context));
+  if (context.cancellation != nullptr) {
+    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+  }
   const Schema& base_schema = *base.schema();
   const Schema& detail_schema = *detail.schema();
 
@@ -318,11 +328,17 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
     if (plan.indexed) {
       plan.index = &index_cache.at(IndexKey{plan.base_cols, plan.detail_cols});
       EvalIndexedBlock(base, detail, plan, context.morsel_rows, pool.get(),
-                       &states[bi], matched_ptr);
+                       context.cancellation, &states[bi], matched_ptr);
     } else {
       EvalNestedLoopBlock(base, detail, plan, context.morsel_rows, pool.get(),
-                          &states[bi], matched_ptr);
+                          context.cancellation, &states[bi], matched_ptr);
     }
+  }
+
+  // A fired deadline (or explicit cancel) may have skipped morsels above;
+  // the partially-folded accumulators must never surface as a result.
+  if (context.cancellation != nullptr) {
+    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
   }
 
   // Assemble output rows.

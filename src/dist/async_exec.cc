@@ -59,6 +59,23 @@ AsyncExecutor::AsyncExecutor(std::vector<Site> sites,
       network_(net_config),
       options_(options) {}
 
+void AsyncExecutor::AddReplica(size_t partition, Site replica) {
+  replicas_[partition].push_back(std::move(replica));
+}
+
+std::vector<int> AsyncExecutor::ReplicaIds(size_t i) const {
+  std::vector<int> ids{sites_[i].id()};
+  auto it = replicas_.find(i);
+  if (it != replicas_.end()) {
+    for (const Site& replica : it->second) ids.push_back(replica.id());
+  }
+  return ids;
+}
+
+Site& AsyncExecutor::ReplicaSite(size_t i, size_t r) {
+  return r == 0 ? sites_[i] : replicas_.at(i)[r - 1];
+}
+
 Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                                      ExecStats* stats) {
   if (sites_.empty()) {
@@ -78,10 +95,26 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
       return Status::InvalidArgument("site filter count mismatch");
     }
   }
+  for (const auto& [partition, replicas] : replicas_) {
+    if (partition >= sites_.size()) {
+      return Status::InvalidArgument(
+          StrCat("replica registered for partition ", partition, " but only ",
+                 sites_.size(), " partitions exist"));
+    }
+    (void)replicas;
+  }
   if (options_.columnar_sites) {
     for (Site& site : sites_) {
       if (!site.columnar_enabled()) {
         SKALLA_RETURN_NOT_OK(site.EnableColumnarCache());
+      }
+    }
+    for (auto& [partition, replicas] : replicas_) {
+      (void)partition;
+      for (Site& replica : replicas) {
+        if (!replica.columnar_enabled()) {
+          SKALLA_RETURN_NOT_OK(replica.EnableColumnarCache());
+        }
       }
     }
   }
@@ -107,6 +140,11 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                               options_.coordinator_shards));
   std::vector<Table> local_base(n);
   bool have_global = false;
+  const QueryDeadline deadline(options_);
+  // Partitions lost with every replica exhausted; set only under
+  // OnSiteLoss::kDegrade (see dist/exec.cc for the semantics).
+  std::vector<uint8_t> lost(n, 0);
+  st.lost_sites.clear();
 
   std::mutex err_mu;
   Status first_error;
@@ -130,6 +168,8 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     SKALLA_SPAN_ATTR(round_span, "sync",
                      plan.sync_base ? "true" : "false");
     Stopwatch wall;
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
     MessageChannel channel;
     ChannelDrain drain(&channel, &pool);
     for (size_t i = 0; i < n; ++i) {
@@ -139,20 +179,31 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                          static_cast<int64_t>(sites_[i].id()));
         SKALLA_SPAN_ATTR(site_span, "round", "base");
         Stopwatch timer;
-        size_t retries = 0;
-        Result<Table> b_i = ExecuteSiteRound(
-            options_, sites_[i].id(), "base",
-            [&] { return sites_[i].ExecuteBaseQuery(plan.base); }, &retries);
+        SiteRoundCounts counts;
+        Result<Table> b_i = ExecuteSiteRoundReplicated(
+            options_, ReplicaIds(i), "base",
+            [&](size_t r) {
+              return ReplicaSite(i, r).ExecuteBaseQuery(plan.base);
+            },
+            &counts, &round_cancel);
         double elapsed = timer.ElapsedSeconds();
         SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
         {
           std::lock_guard<std::mutex> lock(time_mu);
           rs.site_time_max = std::max(rs.site_time_max, elapsed);
           rs.site_time_sum += elapsed;
-          rs.site_retries += retries;
+          rs.site_retries += counts.retries;
+          rs.site_failovers += counts.failovers;
         }
         if (!b_i.ok()) {
-          record_error(b_i.status());
+          if (options_.on_site_loss == OnSiteLoss::kDegrade &&
+              !b_i.status().IsDeadlineExceeded()) {
+            std::lock_guard<std::mutex> lock(time_mu);
+            lost[i] = 1;
+            st.lost_sites.push_back(sites_[i].id());
+          } else {
+            record_error(b_i.status());
+          }
           if (plan.sync_base) channel.Send(static_cast<int>(i), FrameError());
           return;
         }
@@ -194,6 +245,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     }
     pool.Wait();
     SKALLA_RETURN_NOT_OK(first_error);
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
     SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
@@ -222,6 +274,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     if (have_global) {
       const Table& x = coordinator.result();
       for (size_t i = 0; i < n; ++i) {
+        if (lost[i]) continue;
         const ExprPtr& filter = stage.site_base_filters.empty()
                                     ? nullptr
                                     : stage.site_base_filters[i];
@@ -253,13 +306,20 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
       }
     }
 
-    const EvalContext eval_context = StageEvalContext(options_, stage);
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
+    EvalContext eval_context = StageEvalContext(options_, stage);
+    eval_context.cancellation = &round_cancel;
 
     MessageChannel channel;
     ChannelDrain drain(&channel, &pool);
     const bool distribute = have_global;
+    // Captured at submission time: tasks may mark sites lost while this
+    // round runs, but each submitted task still sends exactly one frame.
+    size_t submitted = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (!active[i]) continue;
+      if (!active[i] || lost[i]) continue;
+      ++submitted;
       pool.Submit([&, i, distribute] {
         SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
         SKALLA_SPAN_ATTR(site_span, "site",
@@ -283,15 +343,15 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           base_in = std::move(local_base[i]);
         }
         Result<Table> result = Status::Internal("unset");
-        size_t retries = 0;
+        SiteRoundCounts counts;
         if (status.ok()) {
-          result = ExecuteSiteRound(
-              options_, sites_[i].id(), rs.label,
-              [&] {
-                return sites_[i].EvalGmdjRound(base_in, stage.op,
-                                               eval_context);
+          result = ExecuteSiteRoundReplicated(
+              options_, ReplicaIds(i), rs.label,
+              [&](size_t r) {
+                return ReplicaSite(i, r).EvalGmdjRound(base_in, stage.op,
+                                                       eval_context);
               },
-              &retries);
+              &counts, &round_cancel);
           if (result.ok() && eval_context.compute_rng) {
             result = ApplyRngFilter(*result);
           }
@@ -303,10 +363,19 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           std::lock_guard<std::mutex> lock(time_mu);
           rs.site_time_max = std::max(rs.site_time_max, elapsed);
           rs.site_time_sum += elapsed;
-          rs.site_retries += retries;
+          rs.site_retries += counts.retries;
+          rs.site_failovers += counts.failovers;
         }
         if (!status.ok()) {
-          record_error(status);
+          if (options_.on_site_loss == OnSiteLoss::kDegrade &&
+              !status.IsDeadlineExceeded()) {
+            std::lock_guard<std::mutex> lock(time_mu);
+            lost[i] = 1;
+            st.lost_sites.push_back(sites_[i].id());
+            local_base[i] = Table();
+          } else {
+            record_error(status);
+          }
           if (stage.sync_after) {
             channel.Send(static_cast<int>(i), FrameError());
           }
@@ -330,8 +399,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                                    /*from_scratch=*/!have_global));
         rs.coord_time += begin_timer.ElapsedSeconds();
       }
-      size_t expected = 0;
-      for (size_t i = 0; i < n; ++i) expected += active[i] ? 1 : 0;
+      const size_t expected = submitted;
       for (size_t received = 0; received < expected; ++received) {
         std::optional<ChannelMessage> message = channel.Receive();
         if (!message.has_value()) {
@@ -367,6 +435,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
 
     SKALLA_ASSIGN_OR_RETURN(upstream,
                             stage.op.OutputSchema(*upstream, detail_schema));
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
@@ -378,6 +447,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
   if (!have_global) {
     return Status::Internal("plan finished without a global result");
   }
+  std::sort(st.lost_sites.begin(), st.lost_sites.end());
   return coordinator.result();
 }
 

@@ -17,6 +17,7 @@
 #ifndef SKALLA_DIST_ASYNC_EXEC_H_
 #define SKALLA_DIST_ASYNC_EXEC_H_
 
+#include <map>
 #include <vector>
 
 #include "common/result.h"
@@ -42,11 +43,22 @@ class AsyncExecutor : public Executor {
   Result<Table> Execute(const DistributedPlan& plan,
                         ExecStats* stats) override;
 
+  /// Registers `replica` as another host of partition `partition`'s data
+  /// (same catalog contents, its own site id); rounds fail over to
+  /// replicas in registration order when the primary exhausts retries.
+  void AddReplica(size_t partition, Site replica);
+
   const char* name() const override { return "async"; }
   size_t num_sites() const override { return sites_.size(); }
 
  private:
+  // Site ids of partition i's evaluation chain: primary, then replicas.
+  std::vector<int> ReplicaIds(size_t i) const;
+  // Replica r of partition i (r == 0 is the primary).
+  Site& ReplicaSite(size_t i, size_t r);
+
   std::vector<Site> sites_;
+  std::map<size_t, std::vector<Site>> replicas_;
   SimulatedNetwork network_;
   ExecutorOptions options_;
 };

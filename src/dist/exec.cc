@@ -22,6 +22,23 @@ DistributedExecutor::DistributedExecutor(std::vector<Site> sites,
       network_(net_config),
       options_(options) {}
 
+void DistributedExecutor::AddReplica(size_t partition, Site replica) {
+  replicas_[partition].push_back(std::move(replica));
+}
+
+std::vector<int> DistributedExecutor::ReplicaIds(size_t i) const {
+  std::vector<int> ids{sites_[i].id()};
+  auto it = replicas_.find(i);
+  if (it != replicas_.end()) {
+    for (const Site& replica : it->second) ids.push_back(replica.id());
+  }
+  return ids;
+}
+
+Site& DistributedExecutor::ReplicaSite(size_t i, size_t r) {
+  return r == 0 ? sites_[i] : replicas_.at(i)[r - 1];
+}
+
 Status DistributedExecutor::ForEachSite(
     const std::function<Status(size_t)>& fn) {
   if (!options_.parallel_sites || sites_.size() <= 1) {
@@ -126,10 +143,26 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                  " site filters for ", sites_.size(), " sites"));
     }
   }
+  for (const auto& [partition, replicas] : replicas_) {
+    if (partition >= sites_.size()) {
+      return Status::InvalidArgument(
+          StrCat("replica registered for partition ", partition, " but only ",
+                 sites_.size(), " partitions exist"));
+    }
+    (void)replicas;
+  }
   if (options_.columnar_sites) {
     for (Site& site : sites_) {
       if (!site.columnar_enabled()) {
         SKALLA_RETURN_NOT_OK(site.EnableColumnarCache());
+      }
+    }
+    for (auto& [partition, replicas] : replicas_) {
+      (void)partition;
+      for (Site& replica : replicas) {
+        if (!replica.columnar_enabled()) {
+          SKALLA_RETURN_NOT_OK(replica.EnableColumnarCache());
+        }
       }
     }
   }
@@ -150,6 +183,12 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                               options_.coordinator_shards));
   std::vector<Table> local_base(n);
   bool have_global = false;
+  const QueryDeadline deadline(options_);
+  // Partitions whose every replica is gone; only OnSiteLoss::kDegrade
+  // sets these — the query completes over the survivors and the loss is
+  // reported in st.lost_sites / RoundStats::sites_lost.
+  std::vector<uint8_t> lost(n, 0);
+  st.lost_sites.clear();
 
   // Schema inference chain: upstream schema entering each stage.
   SKALLA_ASSIGN_OR_RETURN(const Table* probe,
@@ -165,6 +204,8 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     SKALLA_TRACE_SPAN(round_span, "round:base", "executor");
     SKALLA_SPAN_ATTR(round_span, "sync",
                      plan.sync_base ? "true" : "false");
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
       SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
@@ -172,25 +213,40 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                        static_cast<int64_t>(sites_[i].id()));
       SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
-      size_t retries = 0;
-      Result<Table> b_i = ExecuteSiteRound(
-          options_, sites_[i].id(), rs.label,
-          [&] { return sites_[i].ExecuteBaseQuery(plan.base); }, &retries);
-      if (!b_i.ok()) return b_i.status();
+      SiteRoundCounts counts;
+      Result<Table> b_i = ExecuteSiteRoundReplicated(
+          options_, ReplicaIds(i), rs.label,
+          [&](size_t r) {
+            return ReplicaSite(i, r).ExecuteBaseQuery(plan.base);
+          },
+          &counts, &round_cancel);
       double elapsed = timer.ElapsedSeconds();
-      SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
       std::lock_guard<std::mutex> lock(mu);
+      rs.site_retries += counts.retries;
+      rs.site_failovers += counts.failovers;
+      if (!b_i.ok()) {
+        if (options_.on_site_loss != OnSiteLoss::kDegrade ||
+            b_i.status().IsDeadlineExceeded()) {
+          return b_i.status();
+        }
+        lost[i] = 1;
+        st.lost_sites.push_back(sites_[i].id());
+        local_base[i] = Table();
+        return Status::OK();
+      }
+      SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
-      rs.site_retries += retries;
       local_base[i] = std::move(*b_i);
       return Status::OK();
     });
     SKALLA_RETURN_NOT_OK(status);
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
 
     if (plan.sync_base) {
       SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
       for (size_t i = 0; i < n; ++i) {
+        if (lost[i]) continue;
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             Ship(&network_, local_base[i], sites_[i].id(), kCoordinatorId,
@@ -232,10 +288,14 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     // per-site predicates. A site whose reduced structure is empty holds
     // no group that could match: it sits the round out entirely
     // (S_MD_k ⊂ S_B, Sect. 3.2).
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
+
     std::vector<uint8_t> active(n, 1);
     if (have_global) {
       const Table& x = coordinator.result();
       for (size_t i = 0; i < n; ++i) {
+        if (lost[i]) continue;
         const ExprPtr& filter = stage.site_base_filters.empty()
                                     ? nullptr
                                     : stage.site_base_filters[i];
@@ -267,39 +327,56 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Local GMDJ evaluation at every site.
-    const EvalContext eval_context = StageEvalContext(options_, stage);
+    EvalContext eval_context = StageEvalContext(options_, stage);
+    eval_context.cancellation = &round_cancel;
     std::vector<Table> outputs(n);
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
-      if (!active[i]) return Status::OK();
+      if (!active[i] || lost[i]) return Status::OK();
       SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
       SKALLA_SPAN_ATTR(site_span, "site",
                        static_cast<int64_t>(sites_[i].id()));
       SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
-      size_t retries = 0;
-      Result<Table> attempt_result = ExecuteSiteRound(
-          options_, sites_[i].id(), rs.label,
-          [&] {
-            return sites_[i].EvalGmdjRound(local_base[i], stage.op,
-                                           eval_context);
+      SiteRoundCounts counts;
+      Result<Table> attempt_result = ExecuteSiteRoundReplicated(
+          options_, ReplicaIds(i), rs.label,
+          [&](size_t r) {
+            return ReplicaSite(i, r).EvalGmdjRound(local_base[i], stage.op,
+                                                   eval_context);
           },
-          &retries);
-      if (!attempt_result.ok()) return attempt_result.status();
+          &counts, &round_cancel);
+      double elapsed = timer.ElapsedSeconds();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        rs.site_retries += counts.retries;
+        rs.site_failovers += counts.failovers;
+      }
+      if (!attempt_result.ok()) {
+        if (options_.on_site_loss != OnSiteLoss::kDegrade ||
+            attempt_result.status().IsDeadlineExceeded()) {
+          return attempt_result.status();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        lost[i] = 1;
+        st.lost_sites.push_back(sites_[i].id());
+        outputs[i] = Table();
+        local_base[i] = Table();
+        return Status::OK();
+      }
       Table result = std::move(*attempt_result);
       if (eval_context.compute_rng) {
         SKALLA_ASSIGN_OR_RETURN(result, ApplyRngFilter(result));
       }
-      double elapsed = timer.ElapsedSeconds();
       SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
       std::lock_guard<std::mutex> lock(mu);
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
-      rs.site_retries += retries;
       outputs[i] = std::move(result);
       return Status::OK();
     });
     SKALLA_RETURN_NOT_OK(status);
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
 
     if (stage.sync_after) {
       Stopwatch coord_timer;
@@ -308,7 +385,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
       double begin_time = coord_timer.ElapsedSeconds();
       rs.coord_time += begin_time;
       for (size_t i = 0; i < n; ++i) {
-        if (!active[i]) continue;
+        if (!active[i] || lost[i]) continue;
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             Ship(&network_, outputs[i], sites_[i].id(), kCoordinatorId,
@@ -343,6 +420,9 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
   if (!have_global) {
     return Status::Internal("plan finished without a global result");
   }
+  // Losses are recorded in completion order, which parallel_sites makes
+  // nondeterministic; report them sorted.
+  std::sort(st.lost_sites.begin(), st.lost_sites.end());
   return coordinator.result();
 }
 

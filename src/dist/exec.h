@@ -9,6 +9,7 @@
 #define SKALLA_DIST_EXEC_H_
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "common/result.h"
@@ -30,6 +31,11 @@ class DistributedExecutor : public Executor {
   Result<Table> Execute(const DistributedPlan& plan,
                         ExecStats* stats) override;
 
+  /// Registers `replica` as another host of partition `partition`'s data
+  /// (same catalog contents, its own site id). When the primary exhausts
+  /// its retries, rounds fail over to replicas in registration order.
+  void AddReplica(size_t partition, Site replica);
+
   const char* name() const override { return "star"; }
   size_t num_sites() const override { return sites_.size(); }
   const std::vector<Site>& sites() const { return sites_; }
@@ -40,7 +46,13 @@ class DistributedExecutor : public Executor {
   // returns the first non-OK status.
   Status ForEachSite(const std::function<Status(size_t)>& fn);
 
+  // Site ids of partition i's evaluation chain: primary, then replicas.
+  std::vector<int> ReplicaIds(size_t i) const;
+  // Replica r of partition i (r == 0 is the primary).
+  Site& ReplicaSite(size_t i, size_t r);
+
   std::vector<Site> sites_;
+  std::map<size_t, std::vector<Site>> replicas_;
   SimulatedNetwork network_;
   ExecutorOptions options_;
 };

@@ -44,6 +44,16 @@ uint64_t ExecStats::TotalTuplesTransferred() const {
   }
   return n;
 }
+uint64_t ExecStats::TotalSiteFailovers() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.site_failovers;
+  return n;
+}
+uint64_t ExecStats::TotalSiteRetries() const {
+  uint64_t n = 0;
+  for (const RoundStats& r : rounds) n += r.site_retries;
+  return n;
+}
 uint64_t ExecStats::RootBytes() const {
   uint64_t n = 0;
   for (const RoundStats& r : rounds) n += r.root_bytes;
@@ -99,25 +109,111 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(TotalBytes()),
       static_cast<unsigned long long>(TotalTuplesTransferred()),
       ResponseTime() * 1e3, NumSyncRounds());
+  if (TotalSiteRetries() > 0 || TotalSiteFailovers() > 0 ||
+      !lost_sites.empty()) {
+    out += StrPrintf("faults: %llu retries, %llu failovers",
+                     static_cast<unsigned long long>(TotalSiteRetries()),
+                     static_cast<unsigned long long>(TotalSiteFailovers()));
+    if (!lost_sites.empty()) {
+      out += ", lost sites [";
+      for (size_t i = 0; i < lost_sites.size(); ++i) {
+        out += StrPrintf(i == 0 ? "%d" : " %d", lost_sites[i]);
+      }
+      out += "] (result degraded to the surviving sites)";
+    }
+    out += "\n";
+  }
   return out;
 }
 
 Result<Table> ExecuteSiteRound(const ExecutorOptions& options, int site_id,
                                const std::string& round,
                                const std::function<Result<Table>()>& attempt,
-                               size_t* retries_out) {
+                               size_t* retries_out,
+                               CancellationToken* cancel) {
   Result<Table> result = Status::Internal("unset");
   for (size_t tries = 0;; ++tries) {
+    if (cancel != nullptr) {
+      Status live = cancel->Check();
+      if (!live.ok()) return live;
+    }
     Status injected = options.fault_injector == nullptr
                           ? Status::OK()
                           : options.fault_injector->BeforeSiteRound(site_id,
                                                                     round);
     result = injected.ok() ? attempt() : Result<Table>(injected);
+    if (options.fault_injector != nullptr) {
+      // Response-path fault: the site computed, the answer was lost. The
+      // result is discarded and the attempt counts as failed; re-running
+      // the round is safe (rounds are idempotent against the durable
+      // partition).
+      Status after = options.fault_injector->AfterSiteRound(
+          site_id, round, result.status());
+      if (result.ok() && !after.ok()) result = after;
+    }
     if (result.ok() || tries >= options.max_site_retries) break;
+    // A deadline failure is not transient: the budget is as gone for the
+    // retry as it was for the attempt.
+    if (result.status().IsDeadlineExceeded()) break;
     if (retries_out != nullptr) ++*retries_out;
     SKALLA_COUNTER_ADD("skalla.net.retries", 1);
   }
   return result;
+}
+
+Result<Table> ExecuteSiteRoundReplicated(
+    const ExecutorOptions& options, const std::vector<int>& replica_site_ids,
+    const std::string& round,
+    const std::function<Result<Table>(size_t)>& attempt,
+    SiteRoundCounts* counts, CancellationToken* cancel) {
+  Result<Table> result = Status::Internal("no replica attempted");
+  for (size_t r = 0; r < replica_site_ids.size(); ++r) {
+    if (r > 0) {
+      if (counts != nullptr) ++counts->failovers;
+      SKALLA_COUNTER_ADD("skalla.coord.failover", 1);
+      SKALLA_TRACE_INSTANT_ATTRS(
+          "coord.failover", "coord",
+          {{"round", round},
+           {"from", StrCat(replica_site_ids[r - 1])},
+           {"to", StrCat(replica_site_ids[r])}});
+    }
+    result = ExecuteSiteRound(
+        options, replica_site_ids[r], round, [&]() { return attempt(r); },
+        counts == nullptr ? nullptr : &counts->retries, cancel);
+    if (result.ok()) return result;
+    if (result.status().IsDeadlineExceeded()) return result;
+  }
+  return result;
+}
+
+Status QueryDeadline::ArmRound(const std::string& round,
+                               CancellationToken* token) const {
+  int64_t query_left = RemainingQueryMs();
+  if (query_left == 0) {
+    return Status::DeadlineExceeded(
+        StrCat("query deadline of ", query_ms_, " ms exceeded before round ",
+               round));
+  }
+  uint64_t budget = 0;
+  bool bounded = false;
+  if (round_ms_ > 0) {
+    budget = round_ms_;
+    bounded = true;
+  }
+  if (query_left > 0 &&
+      (!bounded || static_cast<uint64_t>(query_left) < budget)) {
+    budget = static_cast<uint64_t>(query_left);
+    bounded = true;
+  }
+  if (bounded) token->ArmDeadline(budget, StrCat("round ", round));
+  return Status::OK();
+}
+
+int64_t QueryDeadline::RemainingQueryMs() const {
+  if (query_ms_ == 0) return -1;
+  double elapsed_ms = timer_.ElapsedSeconds() * 1e3;
+  if (elapsed_ms >= static_cast<double>(query_ms_)) return 0;
+  return static_cast<int64_t>(static_cast<double>(query_ms_) - elapsed_ms);
 }
 
 Result<Table> FilterBaseRows(const Table& table, const ExprPtr& predicate) {

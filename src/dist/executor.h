@@ -17,12 +17,26 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/stopwatch.h"
+#include "core/cancellation.h"
 #include "core/eval_context.h"
 #include "dist/fault.h"
 #include "dist/plan.h"
 #include "storage/table.h"
 
 namespace skalla {
+
+/// What an engine does when every replica of a partition is lost (all
+/// retries and failovers exhausted).
+enum class OnSiteLoss {
+  /// Surface the error; the query fails (default).
+  kFail,
+  /// Complete the query over the surviving sites. The answer is partial:
+  /// the lost partition's rows never contribute. RoundStats::sites_lost
+  /// and ExecStats::lost_sites report exactly what is missing so callers
+  /// can tell exact answers from degraded ones.
+  kDegrade,
+};
 
 /// Options shared by every executor. Each engine honors the subset that
 /// is meaningful for it (documented per field and in docs/EXECUTORS.md);
@@ -57,9 +71,23 @@ struct ExecutorOptions {
   FaultInjector* fault_injector = nullptr;
 
   /// How many times a failed site round is re-attempted before the
-  /// failure surfaces. Recovery re-runs the round against the site's
-  /// durable local partition. Honored by all engines.
+  /// failure escalates (to a replica when one exists, else to the
+  /// failure surfacing / degrading). Recovery re-runs the round against
+  /// the site's durable local partition. Honored by all engines.
   size_t max_site_retries = 0;
+
+  /// Escalation policy once a partition is lost (every replica
+  /// exhausted its retries). Honored by all engines.
+  OnSiteLoss on_site_loss = OnSiteLoss::kFail;
+
+  /// Deadline for one round / the whole query, in milliseconds; 0 =
+  /// unbounded. A fired deadline cancels in-flight site evaluation via
+  /// the CancellationToken in EvalContext (morsel-granular, so the grace
+  /// period is bounded) and surfaces as Status::DeadlineExceeded.
+  /// Honored by all engines; the rpc executor additionally ships the
+  /// remaining budget to site servers with each round request.
+  uint64_t round_deadline_ms = 0;
+  uint64_t query_deadline_ms = 0;
 
   /// Number of hash shards the coordinator's merge structures split
   /// into. Arriving fragments are split once by hash of the group-by key
@@ -109,6 +137,15 @@ struct RoundStats {
   /// Site-round attempts that failed and were retried.
   size_t site_retries = 0;
 
+  /// Rounds that exhausted their retries at one replica and moved to the
+  /// next (each primary->replica or replica->replica hop counts once).
+  size_t site_failovers = 0;
+
+  /// Partitions whose data is missing from this round's answer
+  /// (cumulative over the query so far; only ever non-zero under
+  /// OnSiteLoss::kDegrade). Zero means the round is complete.
+  size_t sites_lost = 0;
+
   /// Site compute: max over sites (parallel response time) and total work.
   double site_time_max = 0;
   double site_time_sum = 0;
@@ -137,6 +174,18 @@ struct RoundStats {
 /// Cost accounting for a whole plan execution.
 struct ExecStats {
   std::vector<RoundStats> rounds;
+
+  /// Primary site ids of partitions that were lost and (under
+  /// OnSiteLoss::kDegrade) excluded from the answer, sorted by id.
+  /// Empty means the answer is exact.
+  std::vector<int> lost_sites;
+
+  /// Replica failovers performed across all rounds.
+  uint64_t TotalSiteFailovers() const;
+  /// Site-round retry attempts across all rounds.
+  uint64_t TotalSiteRetries() const;
+  /// True when no partition's data is missing from the answer.
+  bool complete() const { return lost_sites.empty(); }
 
   uint64_t TotalBytes() const;
   uint64_t TotalBytesToSites() const;
@@ -179,14 +228,68 @@ class Executor {
 };
 
 /// Shared retry policy: runs `attempt` for site `site_id` in round
-/// `round`, consulting options.fault_injector before each try and
-/// re-attempting up to options.max_site_retries times. Adds the number of
-/// retries performed to *retries_out (may be nullptr). Thread-safe as
+/// `round`, consulting options.fault_injector before each try (and after
+/// each, via AfterSiteRound — a non-OK response fault discards a
+/// successful attempt's result) and re-attempting up to
+/// options.max_site_retries times. Adds the number of retries performed
+/// to *retries_out (may be nullptr). `cancel` (may be nullptr) is
+/// checked between attempts; a latched cancellation — typically a fired
+/// deadline — stops retrying immediately, as does an attempt failing
+/// with kDeadlineExceeded (deadlines are not transient). Thread-safe as
 /// long as the injector is (the FaultInjector contract).
 Result<Table> ExecuteSiteRound(const ExecutorOptions& options, int site_id,
                                const std::string& round,
                                const std::function<Result<Table>()>& attempt,
-                               size_t* retries_out);
+                               size_t* retries_out,
+                               CancellationToken* cancel = nullptr);
+
+/// Per-site-round retry/failover accounting, filled by
+/// ExecuteSiteRoundReplicated (single-writer; the caller folds it into
+/// RoundStats under its own locking discipline).
+struct SiteRoundCounts {
+  size_t retries = 0;
+  size_t failovers = 0;
+};
+
+/// The full escalation ladder for one partition's round: run the retry
+/// policy at the primary (replica 0); when it exhausts its budget, fail
+/// over to the next replica and repeat. `replica_site_ids[r]` is the
+/// site id of replica r (index 0 = primary) — each replica is consulted
+/// in the fault injector under its *own* id, so a primary's permanent
+/// failure does not condemn its replicas. `attempt(r)` evaluates the
+/// round at replica r; because every replica holds the same partition
+/// and the round runs under the same EvalContext, a failed-over round's
+/// result is byte-identical to the primary's. Deadline failures do not
+/// fail over (the budget is gone everywhere). Returns the last replica's
+/// error when all are exhausted.
+Result<Table> ExecuteSiteRoundReplicated(
+    const ExecutorOptions& options, const std::vector<int>& replica_site_ids,
+    const std::string& round,
+    const std::function<Result<Table>(size_t)>& attempt,
+    SiteRoundCounts* counts, CancellationToken* cancel = nullptr);
+
+/// Per-query deadline bookkeeping shared by every engine: one instance
+/// per Execute() call; ArmRound arms a round's CancellationToken with
+/// the tighter of round_deadline_ms and the remaining query budget, or
+/// returns DeadlineExceeded outright when the query budget is already
+/// spent. With neither deadline configured the token stays unarmed
+/// (Check() is always OK), so the plumbing costs nothing.
+class QueryDeadline {
+ public:
+  explicit QueryDeadline(const ExecutorOptions& options)
+      : round_ms_(options.round_deadline_ms),
+        query_ms_(options.query_deadline_ms) {}
+
+  Status ArmRound(const std::string& round, CancellationToken* token) const;
+
+  /// Milliseconds of query budget left: 0 = spent, negative = unbounded.
+  int64_t RemainingQueryMs() const;
+
+ private:
+  uint64_t round_ms_;
+  uint64_t query_ms_;
+  Stopwatch timer_;
+};
 
 /// Rows of `table` satisfying `predicate`, a base-side expression (the
 /// coordinator's distribution-aware reduction filter, Theorem 4).

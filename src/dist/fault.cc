@@ -10,7 +10,13 @@ Status TransientFaultInjector::BeforeSiteRound(int site,
   int attempt;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    attempt = attempts_[{site, round}]++;
+    auto it = attempts_.emplace(std::make_pair(site, round), 0).first;
+    attempt = it->second++;
+    // This attempt is past the fault budget and will pass: the pair has
+    // recovered, its bookkeeping is done. Dropping the entry bounds the
+    // map by the number of concurrently failing pairs instead of every
+    // (site, round) ever seen.
+    if (attempt >= failures_) attempts_.erase(it);
   }
   if (attempt < failures_) {
     injected_.fetch_add(1);
@@ -26,6 +32,11 @@ Status TransientFaultInjector::BeforeSiteRound(int site,
   return Status::OK();
 }
 
+size_t TransientFaultInjector::tracked_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_.size();
+}
+
 Status PermanentSiteFailure::BeforeSiteRound(int site,
                                              const std::string& round) {
   if (site == site_) {
@@ -38,6 +49,84 @@ Status PermanentSiteFailure::BeforeSiteRound(int site,
         StrCat("site ", site, " is down (round ", round, ")"));
   }
   return Status::OK();
+}
+
+namespace {
+
+// splitmix64 finalizer: decisions must be a pure function of the chaos
+// coordinates, so the schedule replays exactly from the seed.
+uint64_t MixChaos(uint64_t h) {
+  h += 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+double ChaosUnit(uint64_t seed, int site, const std::string& round, int phase,
+                 int attempt) {
+  uint64_t h = seed;
+  h = MixChaos(h ^ static_cast<uint64_t>(site));
+  for (char c : round) h = MixChaos(h ^ static_cast<uint64_t>(c));
+  h = MixChaos(h ^ (static_cast<uint64_t>(phase) << 32 |
+                    static_cast<uint64_t>(static_cast<uint32_t>(attempt))));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Status ChaosInjector::MaybeInject(int site, const std::string& round,
+                                  int phase, double probability) {
+  for (int dead : config_.dead_sites) {
+    if (dead == site && phase == 0) {
+      injected_.fetch_add(1);
+      SKALLA_COUNTER_ADD("skalla.fault.injected", 1);
+      return Status::IOError(
+          StrCat("chaos: site ", site, " is dead (round ", round, ")"));
+    }
+  }
+  if (probability <= 0.0) return Status::OK();
+  int attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it =
+        attempts_.emplace(std::make_tuple(site, round, phase), 0).first;
+    attempt = it->second++;
+    // Entries persist until Reset(): erasing on a passing attempt would
+    // restart this phase's counter while the *other* phase keeps
+    // faulting, replaying attempt 0's (deterministic) fault forever and
+    // breaking the max_faults_per_site_round recovery guarantee. The map
+    // is bounded by the distinct (site, round, phase) tuples touched.
+  }
+  if (attempt >= config_.max_faults_per_site_round) return Status::OK();
+  if (ChaosUnit(config_.seed, site, round, phase, attempt) >= probability) {
+    return Status::OK();
+  }
+  injected_.fetch_add(1);
+  SKALLA_TRACE_INSTANT_ATTRS("fault.injected", "fault",
+                             {{"site", StrCat(site)},
+                              {"round", round},
+                              {"kind", phase == 0 ? "chaos-request"
+                                                  : "chaos-response"}});
+  SKALLA_COUNTER_ADD("skalla.fault.injected", 1);
+  return Status::IOError(StrCat("chaos: injected ",
+                                phase == 0 ? "request" : "response",
+                                " fault at site ", site, " round ", round,
+                                " (attempt ", attempt + 1, ")"));
+}
+
+Status ChaosInjector::BeforeSiteRound(int site, const std::string& round) {
+  return MaybeInject(site, round, /*phase=*/0, config_.before_fail_prob);
+}
+
+Status ChaosInjector::AfterSiteRound(int site, const std::string& round,
+                                     const Status& status) {
+  if (!status.ok()) return Status::OK();  // Attempt already failed.
+  return MaybeInject(site, round, /*phase=*/1, config_.after_fail_prob);
+}
+
+void ChaosInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  attempts_.clear();
 }
 
 }  // namespace skalla

@@ -96,6 +96,23 @@ TreeExecutor::TreeExecutor(std::vector<Site> sites, CoordinatorTree tree,
       network_(net_config),
       options_(options) {}
 
+void TreeExecutor::AddReplica(size_t partition, Site replica) {
+  replicas_[partition].push_back(std::move(replica));
+}
+
+std::vector<int> TreeExecutor::ReplicaIds(size_t i) const {
+  std::vector<int> ids{sites_[i].id()};
+  auto it = replicas_.find(i);
+  if (it != replicas_.end()) {
+    for (const Site& replica : it->second) ids.push_back(replica.id());
+  }
+  return ids;
+}
+
+Site& TreeExecutor::ReplicaSite(size_t i, size_t r) {
+  return r == 0 ? sites_[i] : replicas_.at(i)[r - 1];
+}
+
 namespace {
 
 // Per-round accounting shared by the recursive phases.
@@ -186,10 +203,26 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
       return Status::InvalidArgument("site filter count mismatch");
     }
   }
+  for (const auto& [partition, replicas] : replicas_) {
+    if (partition >= sites_.size()) {
+      return Status::InvalidArgument(
+          StrCat("replica registered for partition ", partition, " but only ",
+                 sites_.size(), " partitions exist"));
+    }
+    (void)replicas;
+  }
   if (options_.columnar_sites) {
     for (Site& site : sites_) {
       if (!site.columnar_enabled()) {
         SKALLA_RETURN_NOT_OK(site.EnableColumnarCache());
+      }
+    }
+    for (auto& [partition, replicas] : replicas_) {
+      (void)partition;
+      for (Site& replica : replicas) {
+        if (!replica.columnar_enabled()) {
+          SKALLA_RETURN_NOT_OK(replica.EnableColumnarCache());
+        }
       }
     }
   }
@@ -201,6 +234,12 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
   const size_t n = sites_.size();
   std::vector<Table> local_base(n);
   bool have_global = false;
+  const QueryDeadline deadline(options_);
+  // Partitions whose every replica is gone; only OnSiteLoss::kDegrade
+  // sets these — the query completes over the survivors and the loss is
+  // reported in st.lost_sites / RoundStats::sites_lost.
+  std::vector<uint8_t> lost(n, 0);
+  st.lost_sites.clear();
 
   // One merge pool shared by every tier's coordinator (safe: dispatch is
   // ThreadPool::ParallelFor, which never waits on other clients' tasks).
@@ -220,19 +259,35 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     rs.label = "base";
     rs.synchronized = plan.sync_base;
     RoundAccum accum(tree_.nodes.size());
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
     for (size_t i = 0; i < n; ++i) {
       Stopwatch timer;
-      size_t retries = 0;
-      Result<Table> b_i = ExecuteSiteRound(
-          options_, sites_[i].id(), rs.label,
-          [&] { return sites_[i].ExecuteBaseQuery(plan.base); }, &retries);
-      if (!b_i.ok()) return b_i.status();
+      SiteRoundCounts counts;
+      Result<Table> b_i = ExecuteSiteRoundReplicated(
+          options_, ReplicaIds(i), rs.label,
+          [&](size_t r) {
+            return ReplicaSite(i, r).ExecuteBaseQuery(plan.base);
+          },
+          &counts, &round_cancel);
+      rs.site_retries += counts.retries;
+      rs.site_failovers += counts.failovers;
+      if (!b_i.ok()) {
+        if (options_.on_site_loss != OnSiteLoss::kDegrade ||
+            b_i.status().IsDeadlineExceeded()) {
+          return b_i.status();
+        }
+        lost[i] = 1;
+        st.lost_sites.push_back(sites_[i].id());
+        local_base[i] = Table();
+        continue;
+      }
       local_base[i] = std::move(*b_i);
       double elapsed = timer.ElapsedSeconds();
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
-      rs.site_retries += retries;
     }
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     if (plan.sync_base) {
       // Post-order distinct-union up the tree.
       std::function<Result<Table>(int)> merge_up =
@@ -242,6 +297,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
         const CoordinatorTree::Node& current =
             tree_.nodes[static_cast<size_t>(node)];
         for (int s : current.child_sites) {
+          if (lost[static_cast<size_t>(s)]) continue;
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, local_base[static_cast<size_t>(s)], s,
@@ -282,6 +338,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     rs.label = StrCat("md", k + 1);
     rs.synchronized = stage.sync_after;
     RoundAccum accum(tree_.nodes.size());
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
 
     SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
                             sites_[0].catalog().Get(stage.op.detail_table));
@@ -308,6 +366,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
         const CoordinatorTree::Node& current =
             tree_.nodes[static_cast<size_t>(node)];
         for (int s : current.child_sites) {
+          if (lost[static_cast<size_t>(s)]) continue;
           Table to_send(table.schema());
           {
             Stopwatch timer;
@@ -374,19 +433,32 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Local evaluation at every site.
-    const EvalContext eval_context = StageEvalContext(options_, stage);
+    EvalContext eval_context = StageEvalContext(options_, stage);
+    eval_context.cancellation = &round_cancel;
     std::vector<Table> outputs(n);
     for (size_t i = 0; i < n; ++i) {
+      if (lost[i]) continue;
       Stopwatch timer;
-      size_t retries = 0;
-      Result<Table> attempt_result = ExecuteSiteRound(
-          options_, sites_[i].id(), rs.label,
-          [&] {
-            return sites_[i].EvalGmdjRound(local_base[i], stage.op,
-                                           eval_context);
+      SiteRoundCounts counts;
+      Result<Table> attempt_result = ExecuteSiteRoundReplicated(
+          options_, ReplicaIds(i), rs.label,
+          [&](size_t r) {
+            return ReplicaSite(i, r).EvalGmdjRound(local_base[i], stage.op,
+                                                   eval_context);
           },
-          &retries);
-      if (!attempt_result.ok()) return attempt_result.status();
+          &counts, &round_cancel);
+      rs.site_retries += counts.retries;
+      rs.site_failovers += counts.failovers;
+      if (!attempt_result.ok()) {
+        if (options_.on_site_loss != OnSiteLoss::kDegrade ||
+            attempt_result.status().IsDeadlineExceeded()) {
+          return attempt_result.status();
+        }
+        lost[i] = 1;
+        st.lost_sites.push_back(sites_[i].id());
+        local_base[i] = Table();
+        continue;
+      }
       Table result = std::move(*attempt_result);
       if (eval_context.compute_rng) {
         // Reuse the flat executor's filter semantics: keep |RNG| > 0 rows
@@ -409,7 +481,6 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
       double elapsed = timer.ElapsedSeconds();
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
-      rs.site_retries += retries;
       outputs[i] = std::move(result);
     }
 
@@ -424,6 +495,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
         const CoordinatorTree::Node& current =
             tree_.nodes[static_cast<size_t>(node)];
         for (int s : current.child_sites) {
+          if (lost[static_cast<size_t>(s)]) continue;
           SKALLA_ASSIGN_OR_RETURN(
               Table received,
               ShipOverLink(&network_, outputs[static_cast<size_t>(s)], s,
@@ -456,6 +528,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
                                            /*from_scratch=*/!have_global));
       const CoordinatorTree::Node& root_node = tree_.nodes[0];
       for (int s : root_node.child_sites) {
+        if (lost[static_cast<size_t>(s)]) continue;
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             ShipOverLink(&network_, outputs[static_cast<size_t>(s)], s,
@@ -493,6 +566,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
 
     SKALLA_ASSIGN_OR_RETURN(upstream,
                             stage.op.OutputSchema(*upstream, detail_schema));
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     FoldAccum(tree_, accum, &rs);
     st.rounds.push_back(std::move(rs));
   }
@@ -500,6 +574,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
   if (!have_global) {
     return Status::Internal("plan finished without a global result");
   }
+  std::sort(st.lost_sites.begin(), st.lost_sites.end());
   return root.result();
 }
 

@@ -15,6 +15,7 @@
 #ifndef SKALLA_DIST_TREE_H_
 #define SKALLA_DIST_TREE_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -75,12 +76,23 @@ class TreeExecutor : public Executor {
   Result<Table> Execute(const DistributedPlan& plan,
                         ExecStats* stats) override;
 
+  /// Registers `replica` as another host of partition `partition`'s data
+  /// (same catalog contents, its own site id); rounds fail over to
+  /// replicas in registration order when the primary exhausts retries.
+  void AddReplica(size_t partition, Site replica);
+
   const char* name() const override { return "tree"; }
   size_t num_sites() const override { return sites_.size(); }
   const CoordinatorTree& tree() const { return tree_; }
 
  private:
+  // Site ids of partition i's evaluation chain: primary, then replicas.
+  std::vector<int> ReplicaIds(size_t i) const;
+  // Replica r of partition i (r == 0 is the primary).
+  Site& ReplicaSite(size_t i, size_t r);
+
   std::vector<Site> sites_;
+  std::map<size_t, std::vector<Site>> replicas_;
   CoordinatorTree tree_;
   SimulatedNetwork network_;
   ExecutorOptions options_;

@@ -81,6 +81,12 @@ Result<Table> DistributedWarehouse::ExecutePlan(const DistributedPlan& plan,
     sites.emplace_back(static_cast<int>(i), site_catalogs_[i]);
   }
   DistributedExecutor executor(std::move(sites), net_config_, exec_options_);
+  for (size_t r = 1; r < replication_; ++r) {
+    for (size_t i = 0; i < num_sites_; ++i) {
+      int replica_id = static_cast<int>(num_sites_ + (r - 1) * num_sites_ + i);
+      executor.AddReplica(i, Site(replica_id, site_catalogs_[i]));
+    }
+  }
   return executor.Execute(plan, stats);
 }
 

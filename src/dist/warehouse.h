@@ -79,6 +79,15 @@ class DistributedWarehouse {
   Result<Table> ExecutePlan(const DistributedPlan& plan,
                             ExecStats* stats = nullptr) const;
 
+  /// Hosts every partition at `factor` sites (the primary plus
+  /// factor - 1 replicas, each a full copy of the partition under its
+  /// own site id). Replica site ids are num_sites + (r-1)*num_sites + i
+  /// for replica r of partition i. Combined with
+  /// ExecutorOptions::max_site_retries this lets ExecutePlan survive a
+  /// permanent site loss with byte-identical results; see docs/FAULTS.md.
+  void SetReplication(size_t factor) { replication_ = factor == 0 ? 1 : factor; }
+  size_t replication() const { return replication_; }
+
   /// Centralized reference evaluation against the unioned relations (the
   /// semantics any plan must match).
   Result<Table> ExecuteCentralized(const GmdjExpr& expr) const;
@@ -102,6 +111,7 @@ class DistributedWarehouse {
 
  private:
   size_t num_sites_;
+  size_t replication_ = 1;
   NetworkConfig net_config_;
   ExecutorOptions exec_options_;
   std::vector<Catalog> site_catalogs_;

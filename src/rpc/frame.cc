@@ -36,25 +36,48 @@ uint32_t GetLe32(const uint8_t* p) {
 
 }  // namespace
 
-uint32_t Crc32(const uint8_t* data, size_t size) {
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size) {
   static const std::array<uint32_t, 256> kTable = MakeCrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
   for (size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    state = kTable[(state ^ data[i]) & 0xFF] ^ (state >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  return state;
+}
+
+uint32_t Crc32Final(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, size));
+}
+
+uint32_t FrameCrc(const uint8_t* header, const uint8_t* payload,
+                  size_t payload_size) {
+  uint32_t state = Crc32Update(Crc32Init(), header, 12);
+  state = Crc32Update(state, payload, payload_size);
+  return Crc32Final(state);
 }
 
 void EncodeFrame(MessageType type, const std::vector<uint8_t>& payload,
                  std::vector<uint8_t>* out) {
+  uint8_t header[12];
+  header[0] = static_cast<uint8_t>(kFrameMagic);
+  header[1] = static_cast<uint8_t>(kFrameMagic >> 8);
+  header[2] = static_cast<uint8_t>(kFrameMagic >> 16);
+  header[3] = static_cast<uint8_t>(kFrameMagic >> 24);
+  header[4] = kProtocolVersion;
+  header[5] = static_cast<uint8_t>(type);
+  header[6] = 0;
+  header[7] = 0;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  header[8] = static_cast<uint8_t>(len);
+  header[9] = static_cast<uint8_t>(len >> 8);
+  header[10] = static_cast<uint8_t>(len >> 16);
+  header[11] = static_cast<uint8_t>(len >> 24);
   out->reserve(out->size() + kFrameHeaderSize + payload.size());
-  PutLe32(out, kFrameMagic);
-  out->push_back(kProtocolVersion);
-  out->push_back(static_cast<uint8_t>(type));
-  out->push_back(0);
-  out->push_back(0);
-  PutLe32(out, static_cast<uint32_t>(payload.size()));
-  PutLe32(out, Crc32(payload.data(), payload.size()));
+  out->insert(out->end(), header, header + 12);
+  PutLe32(out, FrameCrc(header, payload.data(), payload.size()));
   out->insert(out->end(), payload.begin(), payload.end());
 }
 
@@ -105,7 +128,7 @@ Result<Frame> DecodeFrame(const uint8_t* data, size_t size) {
                " payload bytes, buffer holds ", size - kFrameHeaderSize));
   }
   const uint8_t* payload = data + kFrameHeaderSize;
-  uint32_t actual_crc = Crc32(payload, payload_len);
+  uint32_t actual_crc = FrameCrc(data, payload, payload_len);
   if (actual_crc != expected_crc) {
     return Status::IOError(
         StrPrintf("frame checksum mismatch: expected %08x, computed %08x",

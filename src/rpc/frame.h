@@ -10,13 +10,17 @@
 //        5     1  message type     (MessageType)
 //        6     2  reserved         (zero)
 //        8     4  payload length   (bytes following the header)
-//       12     4  CRC32 of the payload (ISO-HDLC polynomial)
+//       12     4  CRC32 of header bytes [0, 12) + payload (ISO-HDLC)
 //
 // The header is deliberately free of varints: a receiver reads exactly
 // kFrameHeaderSize bytes, validates magic/version/type, then knows how
 // many payload bytes follow. A version byte other than kProtocolVersion
 // is rejected with Status::VersionMismatch so mixed deployments fail
-// loudly instead of misparsing payloads.
+// loudly instead of misparsing payloads. Since v3 the checksum covers
+// the header (all bytes before the CRC field itself) as well as the
+// payload, so a corrupted type or length byte can never decode silently:
+// every single-byte flip is caught either by a field validity check or
+// by the checksum.
 
 #ifndef SKALLA_RPC_FRAME_H_
 #define SKALLA_RPC_FRAME_H_
@@ -34,7 +38,10 @@ inline constexpr uint32_t kFrameMagic = 0x414C4B53;  // "SKLA"
 //   1  initial protocol
 //   2  BeginPlan payload grows an eval_threads varint after the flags
 //      byte (intra-site morsel parallelism)
-inline constexpr uint8_t kProtocolVersion = 2;
+//   3  frame CRC covers the header (bytes [0, 12)) as well as the
+//      payload; BaseRound/GmdjRound payloads grow a deadline_ms varint
+//      after the flags byte (coordinator-propagated round deadline)
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderSize = 16;
 
 /// What a frame carries. Requests flow coordinator -> site; responses
@@ -66,6 +73,18 @@ struct Frame {
 /// == 0xCBF43926.
 uint32_t Crc32(const uint8_t* data, size_t size);
 
+/// Incremental CRC-32 over discontiguous buffers: start from
+/// Crc32Init(), fold each buffer with Crc32Update(), then finalize.
+/// Crc32Final(Crc32Update(Crc32Init(), d, n)) == Crc32(d, n).
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size);
+uint32_t Crc32Final(uint32_t state);
+
+/// The frame checksum: CRC-32 over the first 12 header bytes followed
+/// by the payload.
+uint32_t FrameCrc(const uint8_t* header, const uint8_t* payload,
+                  size_t payload_size);
+
 /// Appends the 16-byte header followed by the payload to `out`.
 void EncodeFrame(MessageType type, const std::vector<uint8_t>& payload,
                  std::vector<uint8_t>* out);
@@ -76,13 +95,14 @@ std::vector<uint8_t> EncodeFrame(MessageType type,
 
 /// Validates a 16-byte header. On success returns the payload length;
 /// `type_out` (may be nullptr) receives the message type and `crc_out`
-/// (may be nullptr) the expected payload CRC. Wrong magic/garbled headers
-/// are IOError; a foreign protocol version is VersionMismatch.
+/// (may be nullptr) the expected frame CRC (header bytes [0, 12) +
+/// payload). Wrong magic/garbled headers are IOError; a foreign
+/// protocol version is VersionMismatch.
 Result<uint32_t> DecodeFrameHeader(const uint8_t* header, size_t size,
                                    MessageType* type_out, uint32_t* crc_out);
 
 /// Decodes a whole buffer (header + payload, nothing trailing),
-/// verifying the payload checksum.
+/// verifying the frame checksum.
 Result<Frame> DecodeFrame(const uint8_t* data, size_t size);
 inline Result<Frame> DecodeFrame(const std::vector<uint8_t>& buffer) {
   return DecodeFrame(buffer.data(), buffer.size());

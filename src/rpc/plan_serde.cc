@@ -174,7 +174,7 @@ Status ReadStatusPayload(const std::vector<uint8_t>& payload) {
   if (!code.ok()) {
     return Status::IOError("truncated status payload");
   }
-  if (*code > static_cast<uint8_t>(StatusCode::kVersionMismatch)) {
+  if (*code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::IOError(StrCat("bad status code tag ", int{*code}));
   }
   Result<std::string> message = ReadString(&reader);
@@ -268,6 +268,7 @@ Result<BeginPlanRequest> DecodeBeginPlanRequest(
 std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req) {
   std::vector<uint8_t> out;
   out.push_back(req.ship_result ? 1 : 0);
+  PutVarint(&out, req.deadline_ms);
   WriteBaseQuery(&out, req.query);
   return out;
 }
@@ -278,6 +279,7 @@ Result<BaseRoundRequest> DecodeBaseRoundRequest(
   SKALLA_ASSIGN_OR_RETURN(uint8_t flags, ReadFlags(&reader));
   BaseRoundRequest req;
   req.ship_result = (flags & 1) != 0;
+  SKALLA_ASSIGN_OR_RETURN(req.deadline_ms, reader.ReadVarint());
   SKALLA_ASSIGN_OR_RETURN(req.query, ReadBaseQuery(&reader));
   if (reader.remaining() != 0) {
     return Status::IOError("trailing bytes after base-round request");
@@ -295,6 +297,7 @@ std::vector<uint8_t> EncodeGmdjRoundRequest(
   if (req.ship_result) flags |= 4;
   if (req.has_base) flags |= 8;
   out.push_back(flags);
+  PutVarint(&out, req.deadline_ms);
   WriteString(&out, req.label);
   WriteGmdjOp(&out, req.op);
   if (req.has_base) {
@@ -312,6 +315,7 @@ Result<GmdjRoundRequest> DecodeGmdjRoundRequest(
   req.apply_rng = (flags & 2) != 0;
   req.ship_result = (flags & 4) != 0;
   req.has_base = (flags & 8) != 0;
+  SKALLA_ASSIGN_OR_RETURN(req.deadline_ms, reader.ReadVarint());
   SKALLA_ASSIGN_OR_RETURN(req.label, ReadString(&reader));
   SKALLA_ASSIGN_OR_RETURN(req.op, ReadGmdjOp(&reader));
   size_t table_offset = payload.size() - reader.remaining();

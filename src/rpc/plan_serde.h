@@ -75,6 +75,11 @@ Result<BeginPlanRequest> DecodeBeginPlanRequest(
 struct BaseRoundRequest {
   BaseQuery query;
   bool ship_result = true;
+  /// Round deadline in milliseconds, 0 = none. The site arms a
+  /// CancellationToken for the round's evaluation; a fired deadline
+  /// surfaces as a kDeadlineExceeded error response. Wire format:
+  /// varint after the flags byte (protocol version 3).
+  uint64_t deadline_ms = 0;
 };
 std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req);
 Result<BaseRoundRequest> DecodeBaseRoundRequest(
@@ -93,6 +98,9 @@ struct GmdjRoundRequest {
   bool apply_rng = false;
   bool ship_result = true;
   bool has_base = false;
+  /// Round deadline in milliseconds, 0 = none (varint after the flags
+  /// byte, protocol version 3). See BaseRoundRequest::deadline_ms.
+  uint64_t deadline_ms = 0;
   Table base;  // meaningful when has_base
 };
 

@@ -18,6 +18,27 @@ RpcExecutor::RpcExecutor(std::unique_ptr<Transport> transport,
                          ExecutorOptions options)
     : transport_(std::move(transport)), options_(options) {}
 
+void RpcExecutor::AddReplica(size_t partition, size_t endpoint) {
+  replica_endpoints_[partition].push_back(endpoint);
+}
+
+std::vector<size_t> RpcExecutor::ReplicaEndpoints(size_t i) const {
+  std::vector<size_t> endpoints{i};
+  auto it = replica_endpoints_.find(i);
+  if (it != replica_endpoints_.end()) {
+    endpoints.insert(endpoints.end(), it->second.begin(), it->second.end());
+  }
+  return endpoints;
+}
+
+bool RpcExecutor::TolerableLoss(size_t endpoint) const {
+  if (endpoint >= num_sites()) return true;  // a replica: only matters
+                                             // if failover reaches it
+  if (options_.on_site_loss == OnSiteLoss::kDegrade) return true;
+  auto it = replica_endpoints_.find(endpoint);
+  return it != replica_endpoints_.end() && !it->second.empty();
+}
+
 Status RpcExecutor::Connect() {
   const size_t n = transport_->num_sites();
   if (n == 0) return Status::InvalidArgument("transport has no sites");
@@ -30,25 +51,35 @@ Status RpcExecutor::Connect() {
   if (!schemas_.empty()) return Status::OK();
   // The catalog request doubles as the liveness probe: it forces the
   // handshake on every connection before the first round. Sites hold
-  // partitions of the same relations, so any site's schemas serve for
-  // coordinator-side schema inference; take site 0's.
+  // partitions of the same relations, so any live site's schemas serve
+  // for coordinator-side schema inference. A dead endpoint fails the
+  // probe — fatal unless the retry -> failover -> degrade ladder can
+  // absorb the loss (TolerableLoss), in which case the round machinery
+  // deals with it.
   for (size_t i = 0; i < n; ++i) {
-    SKALLA_ASSIGN_OR_RETURN(Frame response, connections_[i]->Call(
-                                                MessageType::kCatalogRequest,
-                                                {}));
+    Result<Frame> probed =
+        connections_[i]->Call(MessageType::kCatalogRequest, {});
+    if (!probed.ok()) {
+      if (!TolerableLoss(i)) return probed.status();
+      continue;
+    }
+    Frame response = std::move(*probed);
     if (response.type == MessageType::kError) {
       return ReadStatusPayload(response.payload);
     }
     if (response.type != MessageType::kCatalogResponse) {
       return Status::IOError("unexpected catalog response type");
     }
-    if (i == 0) {
+    if (schemas_.empty()) {
       SKALLA_ASSIGN_OR_RETURN(std::vector<CatalogEntry> entries,
                               DecodeCatalogResponse(response.payload));
       for (CatalogEntry& entry : entries) {
         schemas_[entry.name] = std::move(entry.schema);
       }
     }
+  }
+  if (schemas_.empty()) {
+    return Status::IOError("no live site answered the catalog probe");
   }
   return Status::OK();
 }
@@ -104,8 +135,24 @@ Result<Table> RpcExecutor::CallRound(size_t i, MessageType type,
 
 Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
                                    ExecStats* stats) {
-  const size_t n = transport_->num_sites();
+  const size_t total_endpoints = transport_->num_sites();
+  const size_t n = num_sites();
   if (n == 0) return Status::InvalidArgument("executor has no sites");
+  for (const auto& [partition, endpoints] : replica_endpoints_) {
+    if (partition >= n) {
+      return Status::InvalidArgument(
+          StrCat("replica registered for partition ", partition, " but only ",
+                 n, " partitions exist"));
+    }
+    for (size_t endpoint : endpoints) {
+      if (endpoint < n || endpoint >= total_endpoints) {
+        return Status::InvalidArgument(
+            StrCat("replica endpoint ", endpoint,
+                   " must index a transport endpoint in [", n, ", ",
+                   total_endpoints, ")"));
+      }
+    }
+  }
   if (!plan.stages.empty() && !plan.stages.back().sync_after) {
     return Status::InvalidArgument(
         "the final plan stage must synchronize at the coordinator");
@@ -138,21 +185,61 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   // Reset every site's round state (and forward the columnar knob).
   // Not routed through the retry loop: BeginPlan is not a site round,
   // and it is idempotent anyway.
+  BeginPlanRequest begin;
+  begin.columnar_sites = options_.columnar_sites;
+  begin.eval_threads = options_.eval_threads;
+  const std::vector<uint8_t> begin_payload = EncodeBeginPlanRequest(begin);
+  // An endpoint unreachable at BeginPlan is marked down instead of
+  // failing the query — when the retry -> failover -> degrade ladder
+  // can absorb the loss. Round attempts at a down endpoint first re-try
+  // BeginPlan (the site must not serve this plan with a stale round
+  // state), so an endpoint that comes back mid-query rejoins.
+  std::vector<Status> endpoint_down(total_endpoints, Status::OK());
   {
-    BeginPlanRequest begin;
-    begin.columnar_sites = options_.columnar_sites;
-    begin.eval_threads = options_.eval_threads;
-    std::vector<uint8_t> payload = EncodeBeginPlanRequest(begin);
-    for (size_t i = 0; i < n; ++i) {
-      SKALLA_RETURN_NOT_OK(
-          CallRound(i, MessageType::kBeginPlan, payload, nullptr).status());
+    // Broadcast to every endpoint, replicas included: a replica must be
+    // in the same per-plan state as its primary to take over a round.
+    for (size_t i = 0; i < total_endpoints; ++i) {
+      Status begun =
+          CallRound(i, MessageType::kBeginPlan, begin_payload, nullptr)
+              .status();
+      if (begun.ok()) continue;
+      if (!TolerableLoss(i)) return begun;
+      endpoint_down[i] = std::move(begun);
     }
   }
+  auto ensure_begun = [&](size_t endpoint) -> Status {
+    if (endpoint_down[endpoint].ok()) return Status::OK();
+    Status begun =
+        CallRound(endpoint, MessageType::kBeginPlan, begin_payload, nullptr)
+            .status();
+    if (begun.ok()) {
+      endpoint_down[endpoint] = Status::OK();
+      return Status::OK();
+    }
+    return endpoint_down[endpoint];
+  };
 
   Coordinator coordinator(plan.key_columns,
                           ResolveCoordinatorShards(
                               options_.coordinator_shards));
   bool have_global = false;
+  const QueryDeadline deadline(options_);
+  // Partitions whose every replica is gone; only OnSiteLoss::kDegrade
+  // sets these — the query completes over the survivors and the loss is
+  // reported in st.lost_sites / RoundStats::sites_lost.
+  std::vector<uint8_t> lost(n, 0);
+  st.lost_sites.clear();
+  // The deadline each round request ships to the sites: the tighter of
+  // the per-round deadline and the remaining query budget, 0 = none.
+  auto shipped_deadline_ms = [&]() -> uint64_t {
+    uint64_t ms = options_.round_deadline_ms;
+    int64_t left = deadline.RemainingQueryMs();
+    if (left >= 0) {
+      uint64_t left_ms = left == 0 ? 1 : static_cast<uint64_t>(left);
+      ms = ms == 0 ? left_ms : std::min(ms, left_ms);
+    }
+    return ms;
+  };
 
   // Schema inference chain, driven from the catalog schemas fetched at
   // Connect (the coordinator holds no partitions of its own).
@@ -169,29 +256,48 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     SKALLA_TRACE_SPAN(round_span, "round:base", "executor");
     SKALLA_SPAN_ATTR(round_span, "sync", plan.sync_base ? "true" : "false");
     Stopwatch wall;
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
 
     BaseRoundRequest request;
     request.query = plan.base;
     request.ship_result = plan.sync_base;
+    request.deadline_ms = shipped_deadline_ms();
     std::vector<uint8_t> payload = EncodeBaseRoundRequest(request);
 
     if (plan.sync_base) SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
     for (size_t i = 0; i < n; ++i) {
       Stopwatch timer;
-      size_t retries = 0;
+      SiteRoundCounts counts;
       uint64_t fragment_bytes = 0;
-      Result<Table> fragment = ExecuteSiteRound(
-          options_, static_cast<int>(i), rs.label,
-          [&] {
-            return CallRound(i, MessageType::kBaseRound, payload,
+      const std::vector<size_t> endpoints = ReplicaEndpoints(i);
+      std::vector<int> ids;
+      for (size_t endpoint : endpoints) {
+        ids.push_back(static_cast<int>(endpoint));
+      }
+      Result<Table> fragment = ExecuteSiteRoundReplicated(
+          options_, ids, rs.label,
+          [&](size_t r) -> Result<Table> {
+            SKALLA_RETURN_NOT_OK(ensure_begun(endpoints[r]));
+            fragment_bytes = 0;
+            return CallRound(endpoints[r], MessageType::kBaseRound, payload,
                              &fragment_bytes);
           },
-          &retries);
-      if (!fragment.ok()) return fragment.status();
+          &counts, &round_cancel);
+      rs.site_retries += counts.retries;
+      rs.site_failovers += counts.failovers;
+      if (!fragment.ok()) {
+        if (options_.on_site_loss != OnSiteLoss::kDegrade ||
+            fragment.status().IsDeadlineExceeded()) {
+          return fragment.status();
+        }
+        lost[i] = 1;
+        st.lost_sites.push_back(static_cast<int>(i));
+        continue;
+      }
       double elapsed = timer.ElapsedSeconds();
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
-      rs.site_retries += retries;
       if (plan.sync_base) {
         rs.bytes_to_coord += fragment_bytes;
         rs.tuples_to_coord += fragment->num_rows();
@@ -206,6 +312,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
       rs.coord_time += finalize_timer.ElapsedSeconds();
       have_global = true;
     }
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
     SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
@@ -221,6 +328,8 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     SKALLA_TRACE_SPAN(round_span, StrCat("round:", rs.label), "executor");
     SKALLA_SPAN_ATTR(round_span, "sync", stage.sync_after ? "true" : "false");
     Stopwatch wall;
+    CancellationToken round_cancel;
+    SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
 
     SKALLA_ASSIGN_OR_RETURN(SchemaPtr detail_schema,
                             TableSchema(stage.op.detail_table));
@@ -231,6 +340,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     request.sub_aggregates = stage.sync_after;
     request.apply_rng = stage.sync_after && stage.indep_group_reduction;
     request.ship_result = stage.sync_after;
+    request.deadline_ms = shipped_deadline_ms();
 
     // Distribution: with a global structure, each site gets its
     // (possibly reduction-filtered) copy inside the round request; a
@@ -242,6 +352,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
       request.has_base = true;
       const Table& x = coordinator.result();
       for (size_t i = 0; i < n; ++i) {
+        if (lost[i]) continue;
         const ExprPtr& filter = stage.site_base_filters.empty()
                                     ? nullptr
                                     : stage.site_base_filters[i];
@@ -273,24 +384,45 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Site evaluation (and, for synchronized stages, fragment return).
+    // A round that carries the base structure in the request is
+    // self-contained and may fail over to a replica endpoint; a round
+    // consuming the site's carried-over local structure must stay on
+    // the primary (the replica process never built that structure).
     std::vector<Table> outputs(n);
     for (size_t i = 0; i < n; ++i) {
-      if (!active[i]) continue;
+      if (!active[i] || lost[i]) continue;
       Stopwatch timer;
-      size_t retries = 0;
+      SiteRoundCounts counts;
       uint64_t fragment_bytes = 0;
-      Result<Table> fragment = ExecuteSiteRound(
-          options_, static_cast<int>(i), rs.label,
-          [&] {
-            return CallRound(i, MessageType::kGmdjRound, payloads[i],
-                             &fragment_bytes);
+      std::vector<size_t> endpoints =
+          request.has_base ? ReplicaEndpoints(i) : std::vector<size_t>{i};
+      std::vector<int> ids;
+      for (size_t endpoint : endpoints) {
+        ids.push_back(static_cast<int>(endpoint));
+      }
+      Result<Table> fragment = ExecuteSiteRoundReplicated(
+          options_, ids, rs.label,
+          [&](size_t r) -> Result<Table> {
+            SKALLA_RETURN_NOT_OK(ensure_begun(endpoints[r]));
+            fragment_bytes = 0;
+            return CallRound(endpoints[r], MessageType::kGmdjRound,
+                             payloads[i], &fragment_bytes);
           },
-          &retries);
-      if (!fragment.ok()) return fragment.status();
+          &counts, &round_cancel);
+      rs.site_retries += counts.retries;
+      rs.site_failovers += counts.failovers;
+      if (!fragment.ok()) {
+        if (options_.on_site_loss != OnSiteLoss::kDegrade ||
+            fragment.status().IsDeadlineExceeded()) {
+          return fragment.status();
+        }
+        lost[i] = 1;
+        st.lost_sites.push_back(static_cast<int>(i));
+        continue;
+      }
       double elapsed = timer.ElapsedSeconds();
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
-      rs.site_retries += retries;
       if (stage.sync_after) {
         rs.bytes_to_coord += fragment_bytes;
         rs.tuples_to_coord += fragment->num_rows();
@@ -305,7 +437,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
           /*from_scratch=*/!have_global));
       rs.coord_time += begin_timer.ElapsedSeconds();
       for (size_t i = 0; i < n; ++i) {
-        if (!active[i]) continue;
+        if (!active[i] || lost[i]) continue;
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeFragment(outputs[i]));
         rs.coord_time += merge_timer.ElapsedSeconds();
@@ -322,6 +454,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
 
     SKALLA_ASSIGN_OR_RETURN(upstream,
                             stage.op.OutputSchema(*upstream, *detail_schema));
+    for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
@@ -333,6 +466,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   if (!have_global) {
     return Status::Internal("plan finished without a global result");
   }
+  std::sort(st.lost_sites.begin(), st.lost_sites.end());
   return coordinator.result();
 }
 

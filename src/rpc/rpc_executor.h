@@ -47,9 +47,29 @@ class RpcExecutor : public Executor {
   Result<Table> Execute(const DistributedPlan& plan,
                         ExecStats* stats) override;
 
+  /// Declares transport endpoint `endpoint` (an index into the
+  /// transport's sites, >= num_sites()) to be a replica of partition
+  /// `partition`: a separate site process holding the same partition
+  /// data. Rounds fail over to replicas in registration order when the
+  /// primary endpoint exhausts its retries. Failover is limited to
+  /// self-contained rounds (base rounds, and GMDJ rounds that carry the
+  /// base structure in the request) — a round that consumes a site's
+  /// carried-over local structure cannot move to a process that never
+  /// saw the prior rounds.
+  void AddReplica(size_t partition, size_t endpoint);
+
   const char* name() const override { return "rpc"; }
 
-  size_t num_sites() const override { return transport_->num_sites(); }
+  /// Number of partitions (primary endpoints); replica endpoints are
+  /// not counted.
+  size_t num_sites() const override {
+    size_t replicas = 0;
+    for (const auto& [partition, endpoints] : replica_endpoints_) {
+      (void)partition;
+      replicas += endpoints.size();
+    }
+    return transport_->num_sites() - replicas;
+  }
 
   /// Asks every site process to exit (kShutdown). Best effort: returns
   /// the first error but keeps notifying the remaining sites.
@@ -70,9 +90,20 @@ class RpcExecutor : public Executor {
                           const std::vector<uint8_t>& payload,
                           uint64_t* table_payload_bytes);
 
+  // Endpoint indices of partition i's evaluation chain: primary, then
+  // replicas in registration order.
+  std::vector<size_t> ReplicaEndpoints(size_t i) const;
+
+  // Whether losing `endpoint` entirely (unreachable at connect or
+  // BeginPlan) can be absorbed by the retry -> failover -> degrade
+  // ladder instead of failing the query up front: true for replica
+  // endpoints, under kDegrade, and for primaries that have replicas.
+  bool TolerableLoss(size_t endpoint) const;
+
   std::unique_ptr<Transport> transport_;
   ExecutorOptions options_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<size_t, std::vector<size_t>> replica_endpoints_;
   std::map<std::string, SchemaPtr> schemas_;
 };
 

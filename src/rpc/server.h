@@ -33,6 +33,22 @@ struct SiteServerOptions {
   /// connections, handshakes excluded, one-shot). Simulates a site
   /// falling over mid-round.
   int drop_request_index = -1;
+  /// Seeded transport-level chaos (docs/FAULTS.md). Applied only to
+  /// round requests (kBaseRound / kGmdjRound), after the request has
+  /// been handled — the site's state advances, the coordinator's
+  /// response is lost or mangled, and its retry path must recover.
+  /// Decisions are a pure function of (seed, request index), so a given
+  /// seed replays the same fault schedule; two consecutive requests are
+  /// never both faulted, so any retry budget >= 1 makes progress.
+  struct TransportChaos {
+    uint64_t seed = 0;  // 0 = chaos disabled
+    double drop_response_prob = 0.0;   // close without answering
+    double corrupt_crc_prob = 0.0;     // flip a CRC byte, send, close
+    double reset_midframe_prob = 0.0;  // send 8 bytes of the frame, close
+    double delay_prob = 0.0;           // sleep delay_ms, then answer
+    uint64_t delay_ms = 5;
+  };
+  TransportChaos chaos;
 };
 
 class SiteServer {
@@ -53,6 +69,9 @@ class SiteServer {
   /// Asks Serve to return; callable from another thread.
   void Stop() { stop_.store(true); }
 
+  /// Transport faults injected so far (for chaos-test assertions).
+  int chaos_faults_injected() const { return chaos_faults_.load(); }
+
  private:
   Status ServeConnection(TcpSocket* connection);
 
@@ -61,6 +80,8 @@ class SiteServer {
   TcpListener listener_;
   std::atomic<bool> stop_{false};
   int requests_seen_ = 0;
+  bool chaos_last_faulted_ = false;
+  std::atomic<int> chaos_faults_{0};
 };
 
 }  // namespace rpc

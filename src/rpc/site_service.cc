@@ -90,9 +90,23 @@ Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
 Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
   SKALLA_ASSIGN_OR_RETURN(BaseRoundRequest req,
                           DecodeBaseRoundRequest(request.payload));
+  // The coordinator ships the remaining round budget; a fired deadline
+  // surfaces as a typed kDeadlineExceeded error response. Base queries
+  // poll between pipeline steps rather than per-morsel, so the token
+  // mainly guards the (cheap) setup; evaluation itself is short.
+  CancellationToken cancel;
+  if (req.deadline_ms > 0) {
+    cancel.ArmDeadline(req.deadline_ms, StrCat("site ", site_.id(), " base"));
+  }
+  Status armed = cancel.Check();
+  if (!armed.ok()) return ErrorFrame(armed);
   // Recomputing from the durable local partition makes retries of this
   // round naturally idempotent.
   Result<Table> base = site_.ExecuteBaseQuery(req.query);
+  if (base.ok()) {
+    Status after = cancel.Check();
+    if (!after.ok()) return ErrorFrame(after);
+  }
   if (!base.ok()) return ErrorFrame(base.status());
   if (req.ship_result) return TableFrame(*base);
   local_base_ = std::move(*base);
@@ -115,10 +129,19 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
     input = std::move(local_base_);
   }
 
+  // Arm the coordinator-shipped round deadline; the morsel loops poll
+  // the token, so an expired deadline stops evaluation within one
+  // morsel's worth of work and surfaces as kDeadlineExceeded.
+  CancellationToken cancel;
+  if (req.deadline_ms > 0) {
+    cancel.ArmDeadline(req.deadline_ms,
+                       StrCat("site ", site_.id(), " ", req.label));
+  }
   EvalContext eval_context;
   eval_context.sub_aggregates = req.sub_aggregates;
   eval_context.compute_rng = req.apply_rng;
   eval_context.eval_threads = eval_threads_;
+  eval_context.cancellation = req.deadline_ms > 0 ? &cancel : nullptr;
   Result<Table> h = site_.EvalGmdjRound(input, req.op, eval_context);
   if (h.ok() && req.apply_rng) h = ApplyRngFilter(*h);
   if (!h.ok()) return ErrorFrame(h.status());

@@ -191,8 +191,9 @@ Result<Frame> RecvFrame(TcpSocket* socket, double timeout_s,
     SKALLA_RETURN_NOT_OK(
         socket->RecvAll(frame.payload.data(), payload_len, timeout_s));
   }
-  if (Crc32(frame.payload.data(), frame.payload.size()) != expected_crc) {
-    return Status::IOError("frame payload checksum mismatch");
+  if (FrameCrc(header, frame.payload.data(), frame.payload.size()) !=
+      expected_crc) {
+    return Status::IOError("frame checksum mismatch");
   }
   if (wire_bytes != nullptr) *wire_bytes += kFrameHeaderSize + payload_len;
   return frame;

@@ -1,0 +1,416 @@
+// Deterministic chaos soak: the query suite runs under a seeded
+// ChaosInjector (request faults, response faults, dead sites) and under
+// transport-level chaos in the TCP server, and every engine must produce
+// exactly the result of a fault-free run — byte-identical for the
+// deterministic engines (star, tree, rpc), row-set-identical for the
+// async engine whose merge order is scheduling-dependent. Faults are a
+// pure function of the seed, so every failure here replays exactly.
+
+#include "dist/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "dist/async_exec.h"
+#include "dist/exec.h"
+#include "dist/tree.h"
+#include "dist/warehouse.h"
+#include "expr/builder.h"
+#include "net/serde.h"
+#include "rpc/rpc_executor.h"
+#include "rpc/server.h"
+#include "rpc/site_service.h"
+#include "rpc/tcp.h"
+#include "rpc/transport.h"
+#include "storage/partition.h"
+
+namespace skalla {
+namespace {
+
+constexpr size_t kSites = 4;
+
+Table MakeFlow(size_t rows) {
+  Random rng(71);
+  SchemaPtr schema = Schema::Make({{"SAS", ValueType::kInt64},
+                                   {"NB", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked(
+        {Value(rng.UniformInt(0, 11)), Value(rng.UniformInt(1, 300))});
+  }
+  return t;
+}
+
+// The soak suite: every query shape the engines distinguish — multi
+// stage, filtered base, and single stage.
+std::vector<GmdjExpr> QuerySuite() {
+  GmdjExpr two_stage;
+  two_stage.base = BaseQuery{"flow", {"SAS"}, true, nullptr};
+  GmdjOp md1;
+  md1.detail_table = "flow";
+  md1.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c"}, {AggKind::kAvg, "NB", "a"}},
+      Eq(RCol("SAS"), BCol("SAS"))});
+  GmdjOp md2;
+  md2.detail_table = "flow";
+  md2.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c2"}},
+      And(Eq(RCol("SAS"), BCol("SAS")), Ge(RCol("NB"), BCol("a")))});
+  two_stage.ops = {md1, md2};
+
+  GmdjExpr filtered;
+  filtered.base = BaseQuery{"flow", {"SAS"}, true,
+                            Gt(RCol("NB"), Lit(Value(int64_t{50})))};
+  filtered.ops = {md1};
+
+  GmdjExpr single;
+  single.base = BaseQuery{"flow", {"SAS"}, true, nullptr};
+  GmdjOp sums;
+  sums.detail_table = "flow";
+  sums.blocks.push_back(GmdjBlock{
+      {{AggKind::kSum, "NB", "s"}, {AggKind::kMax, "NB", "m"}},
+      Eq(RCol("SAS"), BCol("SAS"))});
+  single.ops = {sums};
+
+  return {two_stage, filtered, single};
+}
+
+std::vector<uint8_t> TableBytes(const Table& table) {
+  std::vector<uint8_t> bytes;
+  WriteTable(table, &bytes);
+  return bytes;
+}
+
+struct Fixture {
+  Table flow = MakeFlow(400);
+  std::vector<Table> parts;
+  DistributedWarehouse dw{kSites};
+
+  Fixture() {
+    parts = PartitionByValue(flow, "SAS", kSites).ValueOrDie();
+    std::vector<Table> copy = parts;
+    dw.AddPartitionedTable("flow", std::move(copy), {"SAS", "NB"}).Check();
+  }
+
+  std::vector<Site> MakeSites() const {
+    std::vector<Site> sites;
+    for (size_t i = 0; i < kSites; ++i) {
+      Catalog catalog;
+      catalog.Register("flow", parts[i]);
+      sites.emplace_back(static_cast<int>(i), std::move(catalog));
+    }
+    return sites;
+  }
+
+  // A replica of partition `i` under its own site id (100 + i), so chaos
+  // aimed at primary ids never hits the replicas.
+  Site MakeReplica(size_t i) const {
+    Catalog catalog;
+    catalog.Register("flow", parts[i]);
+    return Site(static_cast<int>(100 + i), std::move(catalog));
+  }
+};
+
+// The chaos budget and the retry budget line up: at most one fault per
+// (site, round, phase) and two phases, so two retries always recover —
+// except at dead sites, which exhaust retries and fail over.
+ChaosConfig SoakChaos(uint64_t seed, std::vector<int> dead_sites = {}) {
+  ChaosConfig config;
+  config.seed = seed;
+  config.before_fail_prob = 0.6;
+  config.after_fail_prob = 0.4;
+  config.max_faults_per_site_round = 1;
+  config.dead_sites = std::move(dead_sites);
+  return config;
+}
+
+ExecutorOptions SoakOptions(FaultInjector* injector) {
+  ExecutorOptions options;
+  options.fault_injector = injector;
+  options.max_site_retries = 2;
+  return options;
+}
+
+TEST(ChaosSoakTest, ScheduleIsReproducibleFromSeed) {
+  Fixture fx;
+  DistributedPlan plan =
+      fx.dw.Plan(QuerySuite()[0], OptimizerOptions::None()).ValueOrDie();
+  int64_t first_injected = -1;
+  std::vector<uint8_t> first_bytes;
+  for (int run = 0; run < 2; ++run) {
+    ChaosInjector injector(SoakChaos(/*seed=*/17));
+    DistributedExecutor executor(fx.MakeSites(), NetworkConfig{},
+                                 SoakOptions(&injector));
+    Table result = executor.Execute(plan, nullptr).ValueOrDie();
+    if (run == 0) {
+      first_injected = injector.injected();
+      first_bytes = TableBytes(result);
+      EXPECT_GT(first_injected, 0);
+    } else {
+      EXPECT_EQ(injector.injected(), first_injected);
+      EXPECT_EQ(TableBytes(result), first_bytes);
+    }
+  }
+}
+
+TEST(ChaosSoakTest, ResetReplaysTheSameSchedule) {
+  Fixture fx;
+  DistributedPlan plan =
+      fx.dw.Plan(QuerySuite()[0], OptimizerOptions::None()).ValueOrDie();
+  ChaosInjector injector(SoakChaos(/*seed=*/17));
+  DistributedExecutor executor(fx.MakeSites(), NetworkConfig{},
+                               SoakOptions(&injector));
+  executor.Execute(plan, nullptr).ValueOrDie();
+  int64_t after_first = injector.injected();
+  injector.Reset();
+  executor.Execute(plan, nullptr).ValueOrDie();
+  EXPECT_EQ(injector.injected() - after_first, after_first);
+}
+
+TEST(ChaosSoakTest, StarByteIdenticalUnderChaos) {
+  Fixture fx;
+  for (const OptimizerOptions& opts :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    SCOPED_TRACE(opts.ToString());
+    for (const GmdjExpr& query : QuerySuite()) {
+      DistributedPlan plan = fx.dw.Plan(query, opts).ValueOrDie();
+      DistributedExecutor clean(fx.MakeSites(), NetworkConfig{}, {});
+      std::vector<uint8_t> expected =
+          TableBytes(clean.Execute(plan, nullptr).ValueOrDie());
+      for (uint64_t seed : {3u, 19u, 101u}) {
+        SCOPED_TRACE(seed);
+        ChaosInjector injector(SoakChaos(seed));
+        DistributedExecutor executor(fx.MakeSites(), NetworkConfig{},
+                                     SoakOptions(&injector));
+        Table result = executor.Execute(plan, nullptr).ValueOrDie();
+        EXPECT_EQ(TableBytes(result), expected);
+      }
+    }
+  }
+}
+
+TEST(ChaosSoakTest, TreeByteIdenticalUnderChaos) {
+  Fixture fx;
+  for (const GmdjExpr& query : QuerySuite()) {
+    DistributedPlan plan =
+        fx.dw.Plan(query, OptimizerOptions::All()).ValueOrDie();
+    TreeExecutor clean(fx.MakeSites(), CoordinatorTree::Balanced(kSites, 2),
+                       NetworkConfig{}, {});
+    std::vector<uint8_t> expected =
+        TableBytes(clean.Execute(plan, nullptr).ValueOrDie());
+    for (uint64_t seed : {3u, 19u}) {
+      SCOPED_TRACE(seed);
+      ChaosInjector injector(SoakChaos(seed));
+      TreeExecutor executor(fx.MakeSites(),
+                            CoordinatorTree::Balanced(kSites, 2),
+                            NetworkConfig{}, SoakOptions(&injector));
+      Table result = executor.Execute(plan, nullptr).ValueOrDie();
+      EXPECT_EQ(TableBytes(result), expected);
+    }
+  }
+}
+
+TEST(ChaosSoakTest, AsyncSameRowsUnderChaos) {
+  Fixture fx;
+  for (const GmdjExpr& query : QuerySuite()) {
+    DistributedPlan plan =
+        fx.dw.Plan(query, OptimizerOptions::All()).ValueOrDie();
+    Table expected = fx.dw.ExecuteCentralized(query).ValueOrDie();
+    for (uint64_t seed : {3u, 19u}) {
+      SCOPED_TRACE(seed);
+      ChaosInjector injector(SoakChaos(seed));
+      AsyncExecutor executor(fx.MakeSites(), NetworkConfig{},
+                             SoakOptions(&injector));
+      Table result = executor.Execute(plan, nullptr).ValueOrDie();
+      EXPECT_TRUE(result.SameRows(expected));
+    }
+  }
+}
+
+TEST(ChaosSoakTest, RpcByteIdenticalUnderChaos) {
+  Fixture fx;
+  for (const GmdjExpr& query : QuerySuite()) {
+    // None(): every round self-contained, so rpc failover stays legal.
+    DistributedPlan plan =
+        fx.dw.Plan(query, OptimizerOptions::None()).ValueOrDie();
+    rpc::RpcExecutor clean(
+        std::make_unique<rpc::InProcessTransport>(fx.MakeSites()),
+        ExecutorOptions{});
+    std::vector<uint8_t> expected =
+        TableBytes(clean.Execute(plan, nullptr).ValueOrDie());
+    for (uint64_t seed : {3u, 19u}) {
+      SCOPED_TRACE(seed);
+      ChaosInjector injector(SoakChaos(seed));
+      rpc::RpcExecutor executor(
+          std::make_unique<rpc::InProcessTransport>(fx.MakeSites()),
+          SoakOptions(&injector));
+      Table result = executor.Execute(plan, nullptr).ValueOrDie();
+      EXPECT_EQ(TableBytes(result), expected);
+    }
+  }
+}
+
+TEST(ChaosSoakTest, PermanentLossWithReplicaStaysByteIdentical) {
+  // The acceptance bar: transient chaos plus one permanently dead
+  // primary, whose replica absorbs the round via failover.
+  Fixture fx;
+  for (const GmdjExpr& query : QuerySuite()) {
+    DistributedPlan plan =
+        fx.dw.Plan(query, OptimizerOptions::None()).ValueOrDie();
+    DistributedExecutor clean(fx.MakeSites(), NetworkConfig{}, {});
+    std::vector<uint8_t> expected =
+        TableBytes(clean.Execute(plan, nullptr).ValueOrDie());
+    ChaosInjector injector(SoakChaos(/*seed=*/43, /*dead_sites=*/{2}));
+    DistributedExecutor executor(fx.MakeSites(), NetworkConfig{},
+                                 SoakOptions(&injector));
+    for (size_t i = 0; i < kSites; ++i) {
+      executor.AddReplica(i, fx.MakeReplica(i));
+    }
+    ExecStats stats;
+    Table result = executor.Execute(plan, &stats).ValueOrDie();
+    EXPECT_EQ(TableBytes(result), expected);
+    EXPECT_GT(stats.TotalSiteFailovers(), 0u);
+    EXPECT_TRUE(stats.complete());
+  }
+}
+
+TEST(ChaosSoakTest, RpcPermanentLossFailsOverToReplicaEndpoint) {
+  Fixture fx;
+  DistributedPlan plan =
+      fx.dw.Plan(QuerySuite()[0], OptimizerOptions::None()).ValueOrDie();
+  rpc::RpcExecutor clean(
+      std::make_unique<rpc::InProcessTransport>(fx.MakeSites()),
+      ExecutorOptions{});
+  std::vector<uint8_t> expected =
+      TableBytes(clean.Execute(plan, nullptr).ValueOrDie());
+
+  // Endpoints 4..7 are replica processes hosting partitions 0..3.
+  std::vector<Site> sites = fx.MakeSites();
+  for (size_t i = 0; i < kSites; ++i) {
+    Catalog catalog;
+    catalog.Register("flow", fx.parts[i]);
+    sites.emplace_back(static_cast<int>(kSites + i), std::move(catalog));
+  }
+  ChaosInjector injector(SoakChaos(/*seed=*/43, /*dead_sites=*/{2}));
+  rpc::RpcExecutor executor(
+      std::make_unique<rpc::InProcessTransport>(std::move(sites)),
+      SoakOptions(&injector));
+  for (size_t i = 0; i < kSites; ++i) {
+    executor.AddReplica(i, kSites + i);
+  }
+  ExecStats stats;
+  Table result = executor.Execute(plan, &stats).ValueOrDie();
+  EXPECT_EQ(TableBytes(result), expected);
+  EXPECT_GT(stats.TotalSiteFailovers(), 0u);
+}
+
+TEST(ChaosSoakTest, UnreplicatedLossDegradesAndReportsTheSite) {
+  Fixture fx;
+  DistributedPlan plan =
+      fx.dw.Plan(QuerySuite()[0], OptimizerOptions::None()).ValueOrDie();
+  ChaosInjector injector(SoakChaos(/*seed=*/7, /*dead_sites=*/{2}));
+  ExecutorOptions options = SoakOptions(&injector);
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  DistributedExecutor executor(fx.MakeSites(), NetworkConfig{}, options);
+  ExecStats stats;
+  Table result = executor.Execute(plan, &stats).ValueOrDie();
+  EXPECT_GT(result.num_rows(), 0u);
+  EXPECT_FALSE(stats.complete());
+  ASSERT_EQ(stats.lost_sites.size(), 1u);
+  EXPECT_EQ(stats.lost_sites[0], 2);
+}
+
+// ---- Transport-level chaos over real sockets -----------------------------
+
+/// Site servers on loopback with seeded transport chaos enabled.
+class ChaosCluster {
+ public:
+  ChaosCluster(std::vector<Site> sites, uint64_t seed) {
+    for (size_t i = 0; i < sites.size(); ++i) {
+      services_.push_back(
+          std::make_unique<rpc::SiteService>(std::move(sites[i])));
+      rpc::SiteServerOptions options;
+      options.accept_timeout_s = 0.05;
+      options.io_timeout_s = 5.0;
+      // Distinct per-server seeds so the fleet's fault mix varies.
+      options.chaos.seed = seed + i;
+      options.chaos.drop_response_prob = 0.2;
+      options.chaos.corrupt_crc_prob = 0.15;
+      options.chaos.reset_midframe_prob = 0.15;
+      options.chaos.delay_prob = 0.2;
+      options.chaos.delay_ms = 2;
+      servers_.push_back(
+          std::make_unique<rpc::SiteServer>(services_.back().get(), options));
+      servers_.back()->Start().Check();
+      threads_.emplace_back([this, i] { (void)servers_[i]->Serve(); });
+    }
+  }
+
+  ~ChaosCluster() {
+    for (auto& server : servers_) server->Stop();
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  std::vector<rpc::SiteEndpoint> endpoints() const {
+    std::vector<rpc::SiteEndpoint> out;
+    for (const auto& server : servers_) {
+      out.push_back({"127.0.0.1", server->port()});
+    }
+    return out;
+  }
+
+  int total_faults() const {
+    int total = 0;
+    for (const auto& server : servers_) {
+      total += server->chaos_faults_injected();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<rpc::SiteService>> services_;
+  std::vector<std::unique_ptr<rpc::SiteServer>> servers_;
+  std::vector<std::thread> threads_;
+};
+
+TEST(ChaosSoakTest, TcpTransportChaosIsSurvivedByteIdentically) {
+  Fixture fx;
+  int faults_seen = 0;
+  for (const OptimizerOptions& opts :
+       {OptimizerOptions::None(), OptimizerOptions::All()}) {
+    SCOPED_TRACE(opts.ToString());
+    DistributedPlan plan = fx.dw.Plan(QuerySuite()[0], opts).ValueOrDie();
+    DistributedExecutor star(fx.MakeSites(), NetworkConfig{}, {});
+    std::vector<uint8_t> expected =
+        TableBytes(star.Execute(plan, nullptr).ValueOrDie());
+
+    ChaosCluster cluster(fx.MakeSites(), /*seed=*/29);
+    rpc::TcpOptions tcp;
+    tcp.connect_timeout_s = 5.0;
+    tcp.io_timeout_s = 5.0;
+    tcp.backoff_initial_s = 0.005;
+    ExecutorOptions options;
+    options.max_site_retries = 2;
+    rpc::RpcExecutor executor(
+        std::make_unique<rpc::TcpTransport>(cluster.endpoints(), tcp),
+        options);
+    auto result = executor.Execute(plan, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(TableBytes(*result), expected);
+    faults_seen += cluster.total_faults();
+  }
+  // The seed is chosen so the schedule actually bites; a zero here means
+  // the chaos hooks silently stopped firing.
+  EXPECT_GT(faults_seen, 0);
+}
+
+}  // namespace
+}  // namespace skalla

@@ -1,16 +1,22 @@
-// Fault injection and site-retry recovery, in the synchronous executor
-// and in the pipelined AsyncExecutor (which shares the retry policy via
-// ExecutorOptions).
+// Fault injection and recovery across all four engines: site retries,
+// replica failover, degraded execution (OnSiteLoss::kDegrade), and
+// query/round deadlines, which share one policy via ExecutorOptions.
 
 #include "dist/fault.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include "common/macros.h"
 #include "common/random.h"
-#include <memory>
-
+#include "core/cancellation.h"
+#include "core/local_eval.h"
 #include "dist/async_exec.h"
+#include "dist/exec.h"
+#include "dist/tree.h"
 #include "dist/warehouse.h"
 #include "expr/builder.h"
 #include "rpc/rpc_executor.h"
@@ -178,6 +184,71 @@ TEST(FaultTest, AsyncPermanentSiteFailureAborts) {
   EXPECT_NE(result.status().message().find("site 2"), std::string::npos);
 }
 
+// Same scenario through the TreeExecutor: the retry loop is the shared
+// ExecuteSiteRound, so recovery and accounting must match the star.
+Result<Table> RunTreeWithFaults(const Table& flow, FaultInjector* injector,
+                                size_t retries, ExecStats* stats,
+                                const OptimizerOptions& opts) {
+  const size_t kSites = 4;
+  DistributedWarehouse dw(kSites);
+  Status s = dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"});
+  if (!s.ok()) return s;
+  SKALLA_ASSIGN_OR_RETURN(DistributedPlan plan, dw.Plan(SimpleQuery(), opts));
+  SKALLA_ASSIGN_OR_RETURN(std::vector<Table> parts,
+                          PartitionByValue(flow, "SAS", kSites));
+  std::vector<Site> sites;
+  for (size_t i = 0; i < kSites; ++i) {
+    Catalog catalog;
+    catalog.Register("flow", parts[i]);
+    sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  ExecutorOptions exec_options;
+  exec_options.fault_injector = injector;
+  exec_options.max_site_retries = retries;
+  TreeExecutor executor(std::move(sites),
+                        CoordinatorTree::Balanced(kSites, 2), NetworkConfig{},
+                        exec_options);
+  return executor.Execute(plan, stats);
+}
+
+TEST(FaultTest, TreeTransientFailuresRecoverWithRetry) {
+  Table flow = MakeFlow(600);
+  DistributedWarehouse reference_dw(4);
+  reference_dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}).Check();
+  Table expected =
+      reference_dw.ExecuteCentralized(SimpleQuery()).ValueOrDie();
+
+  TransientFaultInjector injector(/*failures=*/1);
+  ExecStats stats;
+  Table result = RunTreeWithFaults(flow, &injector, /*retries=*/2, &stats,
+                                   OptimizerOptions::None())
+                     .ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  EXPECT_GT(injector.injected(), 0);
+  size_t total_retries = 0;
+  for (const RoundStats& r : stats.rounds) total_retries += r.site_retries;
+  // Every (site, round) pair failed once: 4 sites x 3 rounds.
+  EXPECT_EQ(total_retries, 12u);
+}
+
+TEST(FaultTest, TreeExhaustedRetriesSurfaceTheFailure) {
+  Table flow = MakeFlow(200);
+  TransientFaultInjector injector(/*failures=*/3);
+  auto result = RunTreeWithFaults(flow, &injector, /*retries=*/1, nullptr,
+                                  OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(FaultTest, TreePermanentSiteFailureAborts) {
+  Table flow = MakeFlow(200);
+  PermanentSiteFailure injector(/*site=*/2);
+  auto result = RunTreeWithFaults(flow, &injector, /*retries=*/5, nullptr,
+                                  OptimizerOptions::None());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("site 2"), std::string::npos);
+}
+
 // Same scenario again through the RpcExecutor (in-process transport):
 // the retry loop is the shared ExecuteSiteRound, so recovery and
 // accounting must be identical to the simulated engines.
@@ -262,6 +333,12 @@ TEST(FaultTest, RetryAccountingMatchesAcrossEngines) {
                      OptimizerOptions::None())
       .ValueOrDie();
 
+  TransientFaultInjector tree_injector(/*failures=*/1);
+  ExecStats tree_stats;
+  RunTreeWithFaults(flow, &tree_injector, /*retries=*/2, &tree_stats,
+                    OptimizerOptions::None())
+      .ValueOrDie();
+
   TransientFaultInjector rpc_injector(/*failures=*/1);
   ExecStats rpc_stats;
   RunRpcWithFaults(flow, &rpc_injector, /*retries=*/2, &rpc_stats,
@@ -269,17 +346,22 @@ TEST(FaultTest, RetryAccountingMatchesAcrossEngines) {
       .ValueOrDie();
 
   ASSERT_EQ(dist_stats.rounds.size(), async_stats.rounds.size());
+  ASSERT_EQ(dist_stats.rounds.size(), tree_stats.rounds.size());
   ASSERT_EQ(dist_stats.rounds.size(), rpc_stats.rounds.size());
   for (size_t r = 0; r < dist_stats.rounds.size(); ++r) {
     SCOPED_TRACE(dist_stats.rounds[r].label);
     EXPECT_EQ(async_stats.rounds[r].label, dist_stats.rounds[r].label);
+    EXPECT_EQ(tree_stats.rounds[r].label, dist_stats.rounds[r].label);
     EXPECT_EQ(rpc_stats.rounds[r].label, dist_stats.rounds[r].label);
     EXPECT_EQ(async_stats.rounds[r].site_retries,
+              dist_stats.rounds[r].site_retries);
+    EXPECT_EQ(tree_stats.rounds[r].site_retries,
               dist_stats.rounds[r].site_retries);
     EXPECT_EQ(rpc_stats.rounds[r].site_retries,
               dist_stats.rounds[r].site_retries);
   }
   EXPECT_EQ(dist_injector.injected(), async_injector.injected());
+  EXPECT_EQ(dist_injector.injected(), tree_injector.injected());
   EXPECT_EQ(dist_injector.injected(), rpc_injector.injected());
 }
 
@@ -293,6 +375,449 @@ TEST(FaultTest, NoInjectorMeansNoRetries) {
     EXPECT_EQ(r.site_retries, 0u);
   }
   EXPECT_GT(result.num_rows(), 0u);
+}
+
+// ---- Replica failover ----------------------------------------------------
+
+// Shared scaffolding: partitions of `flow` as directly-constructed
+// sites, so each engine's replica registration can be exercised.
+struct TestFleet {
+  DistributedPlan plan;
+  std::vector<Site> sites;
+  std::vector<Table> parts;
+  Table expected;
+};
+
+Result<TestFleet> MakeFleet(const Table& flow, const OptimizerOptions& opts) {
+  const size_t kSites = 4;
+  TestFleet fleet;
+  DistributedWarehouse dw(kSites);
+  SKALLA_RETURN_NOT_OK(dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}));
+  SKALLA_ASSIGN_OR_RETURN(fleet.plan, dw.Plan(SimpleQuery(), opts));
+  SKALLA_ASSIGN_OR_RETURN(fleet.parts,
+                          PartitionByValue(flow, "SAS", kSites));
+  for (size_t i = 0; i < kSites; ++i) {
+    Catalog catalog;
+    catalog.Register("flow", fleet.parts[i]);
+    fleet.sites.emplace_back(static_cast<int>(i), std::move(catalog));
+  }
+  SKALLA_ASSIGN_OR_RETURN(fleet.expected,
+                          dw.ExecuteCentralized(SimpleQuery()));
+  return fleet;
+}
+
+// A replica of partition `i` under its own site id (100 + i).
+Site MakeReplica(const TestFleet& fleet, size_t i) {
+  Catalog catalog;
+  catalog.Register("flow", fleet.parts[i]);
+  return Site(static_cast<int>(100 + i), std::move(catalog));
+}
+
+ExecutorOptions FaultOptions(FaultInjector* injector, size_t retries) {
+  ExecutorOptions options;
+  options.fault_injector = injector;
+  options.max_site_retries = retries;
+  return options;
+}
+
+TEST(FailoverTest, StarFailsOverToReplicaOnPermanentLoss) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  PermanentSiteFailure injector(/*site=*/2);
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               FaultOptions(&injector, /*retries=*/1));
+  executor.AddReplica(2, MakeReplica(fleet, 2));
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+  // The primary is consulted (and exhausted) every round; each of the 3
+  // rounds fails over to the replica exactly once.
+  EXPECT_EQ(stats.TotalSiteFailovers(), 3u);
+  EXPECT_TRUE(stats.complete());
+  EXPECT_TRUE(stats.lost_sites.empty());
+}
+
+TEST(FailoverTest, AsyncFailsOverToReplicaOnPermanentLoss) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  PermanentSiteFailure injector(/*site=*/2);
+  AsyncExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                         FaultOptions(&injector, /*retries=*/1));
+  executor.AddReplica(2, MakeReplica(fleet, 2));
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+  EXPECT_EQ(stats.TotalSiteFailovers(), 3u);
+  EXPECT_TRUE(stats.complete());
+}
+
+TEST(FailoverTest, TreeFailsOverToReplicaOnPermanentLoss) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  PermanentSiteFailure injector(/*site=*/2);
+  TreeExecutor executor(std::move(fleet.sites),
+                        CoordinatorTree::Balanced(4, 2), NetworkConfig{},
+                        FaultOptions(&injector, /*retries=*/1));
+  executor.AddReplica(2, MakeReplica(fleet, 2));
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+  EXPECT_EQ(stats.TotalSiteFailovers(), 3u);
+  EXPECT_TRUE(stats.complete());
+}
+
+TEST(FailoverTest, RpcFailsOverToReplicaEndpoint) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  // Endpoint 4 is a second process hosting partition 2's data.
+  Catalog replica_catalog;
+  replica_catalog.Register("flow", fleet.parts[2]);
+  fleet.sites.emplace_back(4, std::move(replica_catalog));
+  PermanentSiteFailure injector(/*site=*/2);
+  rpc::RpcExecutor executor(
+      std::make_unique<rpc::InProcessTransport>(std::move(fleet.sites)),
+      FaultOptions(&injector, /*retries=*/1));
+  executor.AddReplica(/*partition=*/2, /*endpoint=*/4);
+  EXPECT_EQ(executor.num_sites(), 4u);
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+  EXPECT_EQ(stats.TotalSiteFailovers(), 3u);
+  EXPECT_TRUE(stats.complete());
+}
+
+TEST(FailoverTest, WarehouseReplicationSurvivesPermanentLoss) {
+  // SetReplication(k) registers k-1 extra copies of every partition
+  // under fresh site ids, so any single primary can die.
+  Table flow = MakeFlow(600);
+  PermanentSiteFailure injector(/*site=*/2);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/1);
+  DistributedWarehouse dw(4, NetworkConfig{}, options);
+  dw.AddTablePartitionedBy("flow", flow, "SAS", {"NB"}).Check();
+  dw.SetReplication(2);
+  Table expected = dw.ExecuteCentralized(SimpleQuery()).ValueOrDie();
+  ExecStats stats;
+  Table result =
+      dw.Execute(SimpleQuery(), OptimizerOptions::None(), &stats)
+          .ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  EXPECT_GT(stats.TotalSiteFailovers(), 0u);
+}
+
+TEST(FailoverTest, FailoverCountsSurfaceInRoundStats) {
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  PermanentSiteFailure injector(/*site=*/1);
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               FaultOptions(&injector, /*retries=*/2));
+  executor.AddReplica(1, MakeReplica(fleet, 1));
+  ExecStats stats;
+  executor.Execute(fleet.plan, &stats).ValueOrDie();
+  for (const RoundStats& r : stats.rounds) {
+    SCOPED_TRACE(r.label);
+    EXPECT_EQ(r.site_failovers, 1u);
+    // The primary burned its full retry budget before failing over.
+    EXPECT_GE(r.site_retries, 2u);
+  }
+}
+
+// ---- Degraded execution (OnSiteLoss::kDegrade) ---------------------------
+
+// Expected result when partition `lost` never contributes: centralized
+// evaluation over the union of the surviving partitions.
+Table DegradedExpected(const TestFleet& fleet, size_t lost) {
+  Table survivors(fleet.parts[0].schema());
+  for (size_t i = 0; i < fleet.parts.size(); ++i) {
+    if (i == lost) continue;
+    for (size_t r = 0; r < fleet.parts[i].num_rows(); ++r) {
+      survivors.AppendUnchecked(fleet.parts[i].row(r));
+    }
+  }
+  Catalog catalog;
+  catalog.Register("flow", survivors);
+  return EvalCentralized(SimpleQuery(), catalog).ValueOrDie();
+}
+
+TEST(DegradeTest, UnreplicatedPermanentLossCompletesAndReportsTheSite) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  Table expected = DegradedExpected(fleet, 2);
+  PermanentSiteFailure injector(/*site=*/2);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/1);
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               options);
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  EXPECT_FALSE(stats.complete());
+  ASSERT_EQ(stats.lost_sites.size(), 1u);
+  EXPECT_EQ(stats.lost_sites[0], 2);
+  // Per-round completeness: the site is lost from the first round on.
+  for (const RoundStats& r : stats.rounds) {
+    SCOPED_TRACE(r.label);
+    EXPECT_EQ(r.sites_lost, 1u);
+  }
+}
+
+TEST(DegradeTest, DegradePrefersReplicaWhenOneExists) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  PermanentSiteFailure injector(/*site=*/2);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/1);
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               options);
+  executor.AddReplica(2, MakeReplica(fleet, 2));
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  // With a live replica nothing is lost: kDegrade only covers the case
+  // where the whole replica chain is gone.
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+  EXPECT_TRUE(stats.complete());
+  EXPECT_EQ(stats.TotalSiteFailovers(), 3u);
+}
+
+TEST(DegradeTest, AsyncDegradeCompletesOverSurvivors) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  Table expected = DegradedExpected(fleet, 2);
+  PermanentSiteFailure injector(/*site=*/2);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/1);
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  AsyncExecutor executor(std::move(fleet.sites), NetworkConfig{}, options);
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  ASSERT_EQ(stats.lost_sites.size(), 1u);
+  EXPECT_EQ(stats.lost_sites[0], 2);
+}
+
+TEST(DegradeTest, TreeDegradeCompletesOverSurvivors) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  Table expected = DegradedExpected(fleet, 2);
+  PermanentSiteFailure injector(/*site=*/2);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/1);
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  TreeExecutor executor(std::move(fleet.sites),
+                        CoordinatorTree::Balanced(4, 2), NetworkConfig{},
+                        options);
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  ASSERT_EQ(stats.lost_sites.size(), 1u);
+  EXPECT_EQ(stats.lost_sites[0], 2);
+}
+
+TEST(DegradeTest, RpcDegradeCompletesOverSurvivors) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  Table expected = DegradedExpected(fleet, 2);
+  PermanentSiteFailure injector(/*site=*/2);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/1);
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  rpc::RpcExecutor executor(
+      std::make_unique<rpc::InProcessTransport>(std::move(fleet.sites)),
+      options);
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(expected));
+  ASSERT_EQ(stats.lost_sites.size(), 1u);
+  EXPECT_EQ(stats.lost_sites[0], 2);
+}
+
+// ---- Deadlines -----------------------------------------------------------
+
+// Injector that makes every site round take at least `ms` milliseconds,
+// so millisecond-scale deadlines fire deterministically.
+class DelayInjector : public FaultInjector {
+ public:
+  explicit DelayInjector(uint64_t ms) : ms_(ms) {}
+  Status BeforeSiteRound(int site, const std::string& round) override {
+    (void)site;
+    (void)round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_));
+    return Status::OK();
+  }
+
+ private:
+  uint64_t ms_;
+};
+
+TEST(DeadlineTest, StarQueryDeadlineSurfacesTyped) {
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  DelayInjector injector(/*ms=*/5);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/3);
+  options.query_deadline_ms = 1;
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               options);
+  auto result = executor.Execute(fleet.plan, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST(DeadlineTest, AsyncQueryDeadlineSurfacesTyped) {
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  DelayInjector injector(/*ms=*/5);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/3);
+  options.query_deadline_ms = 1;
+  AsyncExecutor executor(std::move(fleet.sites), NetworkConfig{}, options);
+  auto result = executor.Execute(fleet.plan, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST(DeadlineTest, TreeQueryDeadlineSurfacesTyped) {
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  DelayInjector injector(/*ms=*/5);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/3);
+  options.query_deadline_ms = 1;
+  TreeExecutor executor(std::move(fleet.sites),
+                        CoordinatorTree::Balanced(4, 2), NetworkConfig{},
+                        options);
+  auto result = executor.Execute(fleet.plan, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST(DeadlineTest, RpcQueryDeadlineSurfacesTyped) {
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  DelayInjector injector(/*ms=*/5);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/3);
+  options.query_deadline_ms = 1;
+  rpc::RpcExecutor executor(
+      std::make_unique<rpc::InProcessTransport>(std::move(fleet.sites)),
+      options);
+  auto result = executor.Execute(fleet.plan, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST(DeadlineTest, DeadlineFailuresDoNotRetryOrFailOver) {
+  // A fired deadline is not a transient fault: retrying or failing over
+  // would only burn more of a budget that is already gone.
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  DelayInjector injector(/*ms=*/5);
+  ExecutorOptions options = FaultOptions(&injector, /*retries=*/5);
+  options.query_deadline_ms = 1;
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               options);
+  executor.AddReplica(2, MakeReplica(fleet, 2));
+  ExecStats stats;
+  auto result = executor.Execute(fleet.plan, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_EQ(stats.TotalSiteFailovers(), 0u);
+}
+
+TEST(DeadlineTest, GenerousDeadlineDoesNotFire) {
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  ExecutorOptions options;
+  options.query_deadline_ms = 60'000;
+  options.round_deadline_ms = 30'000;
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               options);
+  Table result = executor.Execute(fleet.plan, nullptr).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+}
+
+TEST(DeadlineTest, CancellationStopsKernelEvaluation) {
+  // A pre-cancelled token must stop EvalGmdjRound before (or between)
+  // morsels and surface the latched status — the mechanism a fired
+  // round deadline uses to stop in-flight site work.
+  Table flow = MakeFlow(400);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  Table base = fleet.sites[0].ExecuteBaseQuery(fleet.plan.base).ValueOrDie();
+  CancellationToken token;
+  token.Cancel(Status::DeadlineExceeded("test: cancelled before eval"));
+  EvalContext context;
+  context.cancellation = &token;
+  auto result = fleet.sites[0].EvalGmdjRound(
+      base, fleet.plan.stages[0].op, context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+// ---- Injector satellites -------------------------------------------------
+
+TEST(FaultInjectorTest, TransientInjectorClearsTrackingOnSuccess) {
+  // Regression: attempts_ grew one entry per (site, round) forever; a
+  // long-lived injector across many queries leaked. Entries must be
+  // erased once the pair is past its failure budget.
+  Table flow = MakeFlow(200);
+  TransientFaultInjector injector(/*failures=*/1);
+  RunWithFaults(flow, &injector, /*retries=*/2, nullptr,
+                OptimizerOptions::None())
+      .ValueOrDie();
+  EXPECT_EQ(injector.tracked_entries(), 0u);
+  // And the schedule is reusable: the same injector fails each pair
+  // once more on the next query.
+  ExecStats stats;
+  RunWithFaults(flow, &injector, /*retries=*/2, &stats,
+                OptimizerOptions::None())
+      .ValueOrDie();
+  size_t total_retries = 0;
+  for (const RoundStats& r : stats.rounds) total_retries += r.site_retries;
+  EXPECT_EQ(total_retries, 12u);
+  EXPECT_EQ(injector.tracked_entries(), 0u);
+}
+
+// Injector that corrupts a round *after* the site evaluated it — the
+// response-lost case, distinct from BeforeSiteRound's request-lost.
+class AfterRoundInjector : public FaultInjector {
+ public:
+  AfterRoundInjector(int site, std::string round)
+      : site_(site), round_(std::move(round)) {}
+  Status BeforeSiteRound(int site, const std::string& round) override {
+    (void)site;
+    (void)round;
+    return Status::OK();
+  }
+  Status AfterSiteRound(int site, const std::string& round,
+                        const Status& status) override {
+    ++calls_;
+    if (!status.ok()) statuses_seen_not_ok_ = true;
+    if (site == site_ && round == round_ && !fired_) {
+      fired_ = true;
+      return Status::IOError("injected: response lost after evaluation");
+    }
+    return Status::OK();
+  }
+  int calls() const { return calls_; }
+  bool fired() const { return fired_; }
+  bool saw_non_ok() const { return statuses_seen_not_ok_; }
+
+ private:
+  int site_;
+  std::string round_;
+  int calls_ = 0;
+  bool fired_ = false;
+  bool statuses_seen_not_ok_ = false;
+};
+
+TEST(FaultInjectorTest, AfterSiteRoundFaultRecoversWithRetry) {
+  Table flow = MakeFlow(600);
+  TestFleet fleet = MakeFleet(flow, OptimizerOptions::None()).ValueOrDie();
+  AfterRoundInjector injector(/*site=*/1, "md1");
+  DistributedExecutor executor(std::move(fleet.sites), NetworkConfig{},
+                               FaultOptions(&injector, /*retries=*/2));
+  ExecStats stats;
+  Table result = executor.Execute(fleet.plan, &stats).ValueOrDie();
+  EXPECT_TRUE(result.SameRows(fleet.expected));
+  EXPECT_TRUE(injector.fired());
+  EXPECT_GT(injector.calls(), 0);
+  EXPECT_EQ(stats.TotalSiteRetries(), 1u);
 }
 
 }  // namespace

@@ -23,6 +23,18 @@ TEST(Crc32Test, KnownAnswers) {
   EXPECT_EQ(Crc32(&zero, 1), 0xD202EF8Du);
 }
 
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>("123456789");
+  // Split the check input at every boundary: the incremental form must
+  // agree with the one-shot CRC regardless of buffer segmentation.
+  for (size_t split = 0; split <= 9; ++split) {
+    uint32_t state = Crc32Init();
+    state = Crc32Update(state, data, split);
+    state = Crc32Update(state, data + split, 9 - split);
+    EXPECT_EQ(Crc32Final(state), 0xCBF43926u) << "split at " << split;
+  }
+}
+
 TEST(FrameTest, RoundTripPreservesTypeAndPayload) {
   std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 42};
   std::vector<uint8_t> wire = EncodeFrame(MessageType::kGmdjRound, payload);
@@ -71,7 +83,8 @@ TEST(FrameTest, DecodeHeaderReturnsTypeAndCrc) {
   ASSERT_TRUE(len.ok());
   EXPECT_EQ(*len, 2u);
   EXPECT_EQ(type, MessageType::kBaseRound);
-  EXPECT_EQ(crc, Crc32(payload.data(), payload.size()));
+  // Since v3 the checksum covers the first 12 header bytes + payload.
+  EXPECT_EQ(crc, FrameCrc(wire.data(), payload.data(), payload.size()));
 }
 
 TEST(FrameTest, WrongMagicIsIOError) {
@@ -117,6 +130,67 @@ TEST(FrameTest, PayloadCorruptionCaughtByChecksum) {
   EXPECT_TRUE(decoded.status().IsIOError());
   EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos)
       << decoded.status().ToString();
+}
+
+TEST(FrameTest, HeaderCorruptionCaughtByChecksum) {
+  // A type byte flipped to another *valid* type decoded silently before
+  // v3; the header-covering checksum must reject it now.
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, {1, 2, 3});
+  wire[5] = static_cast<uint8_t>(MessageType::kGmdjRound);
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIOError());
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(FrameTest, EveryBitFlipIsTypedRejectionNeverSilentAccept) {
+  // Fuzz every single-bit corruption of a valid frame. Each flip must
+  // produce a typed rejection — IOError (magic / type / reserved /
+  // length / checksum) or VersionMismatch (version byte) — and never a
+  // crash or a silently-accepted altered frame. Flipping payload-length
+  // bits makes the buffer length disagree with the header, which
+  // DecodeFrame reports before the checksum; both are IOError.
+  const std::vector<uint8_t> payload = {0x10, 0x52, 0x00, 0xFF, 0x07};
+  const std::vector<uint8_t> pristine =
+      EncodeFrame(MessageType::kGmdjRound, payload);
+  ASSERT_TRUE(DecodeFrame(pristine).ok());
+  for (size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> wire = pristine;
+      wire[byte] ^= static_cast<uint8_t>(1u << bit);
+      Result<Frame> decoded = DecodeFrame(wire);
+      ASSERT_FALSE(decoded.ok())
+          << "bit " << bit << " of byte " << byte << " accepted silently";
+      EXPECT_TRUE(decoded.status().IsIOError() ||
+                  decoded.status().IsVersionMismatch())
+          << "bit " << bit << " of byte " << byte << ": "
+          << decoded.status().ToString();
+    }
+  }
+}
+
+TEST(FrameTest, EveryByteCorruptionIsRejected) {
+  // Coarser fuzz: overwrite each byte with a handful of adversarial
+  // values (all-ones, all-zeros, off-by-one). Skip writes that leave
+  // the byte unchanged — those frames are genuinely valid.
+  const std::vector<uint8_t> payload = {9, 8, 7, 6};
+  const std::vector<uint8_t> pristine =
+      EncodeFrame(MessageType::kTableResult, payload);
+  for (size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (uint8_t value : {uint8_t{0x00}, uint8_t{0xFF},
+                          static_cast<uint8_t>(pristine[byte] + 1)}) {
+      if (value == pristine[byte]) continue;
+      std::vector<uint8_t> wire = pristine;
+      wire[byte] = value;
+      Result<Frame> decoded = DecodeFrame(wire);
+      ASSERT_FALSE(decoded.ok()) << "byte " << byte << " <- "
+                                 << int{value} << " accepted silently";
+      EXPECT_TRUE(decoded.status().IsIOError() ||
+                  decoded.status().IsVersionMismatch())
+          << decoded.status().ToString();
+    }
+  }
 }
 
 TEST(FrameTest, AppendingEncoderComposesFrames) {

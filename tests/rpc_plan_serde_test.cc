@@ -75,6 +75,7 @@ TEST(PlanSerdeTest, StatusCodesSurviveTheWire) {
       Status::InvalidArgument("bad arg"), Status::NotFound("no table"),
       Status::Internal("boom"),           Status::IOError("disk"),
       Status::TypeError("t"),             Status::VersionMismatch("v"),
+      Status::DeadlineExceeded("round budget spent"),
   };
   for (const Status& status : statuses) {
     std::vector<uint8_t> payload;
@@ -180,6 +181,36 @@ TEST(PlanSerdeTest, BaseRoundRequestRoundTrips) {
   EXPECT_EQ(decoded.query.table, "flow");
   EXPECT_EQ(decoded.query.columns, request.query.columns);
   EXPECT_FALSE(decoded.ship_result);
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+}
+
+TEST(PlanSerdeTest, RoundRequestDeadlinesSurviveTheWire) {
+  // deadline_ms is how a coordinator's round/query budget reaches the
+  // site-side cancellation token (protocol v3).
+  for (uint64_t deadline : {uint64_t{1}, uint64_t{250}, uint64_t{1} << 40}) {
+    BaseRoundRequest base;
+    base.query = BaseQuery{"flow", {"SourceAS"}, true, nullptr};
+    base.deadline_ms = deadline;
+    BaseRoundRequest base_decoded =
+        DecodeBaseRoundRequest(EncodeBaseRoundRequest(base)).ValueOrDie();
+    EXPECT_EQ(base_decoded.deadline_ms, deadline);
+
+    GmdjRoundRequest gmdj;
+    gmdj.op = ExampleOp();
+    gmdj.label = "md1";
+    gmdj.deadline_ms = deadline;
+    GmdjRoundRequest gmdj_decoded =
+        DecodeGmdjRoundRequest(EncodeGmdjRoundRequest(gmdj, {}))
+            .ValueOrDie();
+    EXPECT_EQ(gmdj_decoded.deadline_ms, deadline);
+  }
+}
+
+TEST(PlanSerdeTest, RoundRequestRejectsPayloadTruncatedAtDeadline) {
+  // A flags byte with nothing after it (a version-2 BaseRound shape)
+  // must not decode: the deadline varint is required in v3.
+  EXPECT_FALSE(DecodeBaseRoundRequest({0}).ok());
+  EXPECT_FALSE(DecodeGmdjRoundRequest({0}).ok());
 }
 
 TEST(PlanSerdeTest, GmdjRoundRequestRoundTripsWithBaseTable) {

@@ -15,6 +15,7 @@
 
 #include "common/random.h"
 #include "dist/exec.h"
+#include "dist/fault.h"
 #include "dist/warehouse.h"
 #include "expr/builder.h"
 #include "rpc/plan_serde.h"
@@ -135,6 +136,7 @@ TcpOptions FastTcpOptions() {
   options.connect_timeout_s = 5.0;
   options.io_timeout_s = 5.0;
   options.backoff_initial_s = 0.005;
+  options.backoff_max_s = 0.05;  // dead-endpoint tests probe repeatedly
   return options;
 }
 
@@ -250,6 +252,108 @@ TEST(RpcTcpTest, ForeignVersionFrameGetsTypedRejection) {
   ASSERT_EQ(response->type, MessageType::kError);
   Status rejection = ReadStatusPayload(response->payload);
   EXPECT_TRUE(rejection.IsVersionMismatch()) << rejection.ToString();
+}
+
+// A port that was bound a moment ago but has no listener now: connects
+// are refused immediately, modelling a site that is down before the
+// query starts.
+int DeadPort() {
+  TcpListener listener = TcpListener::Bind("127.0.0.1", 0).ValueOrDie();
+  int port = listener.port();
+  listener.Close();
+  return port;
+}
+
+TEST(RpcTcpTest, DeadPrimaryEndpointFailsOverToReplica) {
+  Table flow = MakeFlow(400);
+  std::vector<Table> parts = PartitionByValue(flow, "SAS", kSites)
+                                 .ValueOrDie();
+  DistributedWarehouse dw(kSites);
+  {
+    std::vector<Table> copy = parts;
+    dw.AddPartitionedTable("flow", std::move(copy), {"SAS", "NB"}).Check();
+  }
+  DistributedPlan plan =
+      dw.Plan(SimpleQuery(), OptimizerOptions::None()).ValueOrDie();
+  DistributedExecutor star(MakeSites(parts), NetworkConfig{}, {});
+  Table expected = star.Execute(plan, nullptr).ValueOrDie();
+
+  // Live servers for sites 0, 1, 3, and a replica of partition 2 under
+  // site id 4. Endpoint 2 points at a closed port: the primary for
+  // partition 2 is down before the coordinator ever dials it, so the
+  // catalog probe and BeginPlan there fail and every round must fail
+  // over to endpoint 4.
+  std::vector<Site> sites;
+  for (int id : {0, 1, 3, 4}) {
+    Catalog catalog;
+    catalog.Register("flow", parts[id == 4 ? 2 : id]);
+    sites.emplace_back(id, std::move(catalog));
+  }
+  Cluster cluster(std::move(sites));
+  std::vector<SiteEndpoint> live = cluster.endpoints();
+  std::vector<SiteEndpoint> endpoints = {
+      live[0], live[1], {"127.0.0.1", DeadPort()}, live[2], live[3]};
+
+  ExecutorOptions options;
+  options.max_site_retries = 1;
+  RpcExecutor executor(
+      std::make_unique<TcpTransport>(std::move(endpoints), FastTcpOptions()),
+      options);
+  executor.AddReplica(2, 4);
+  ASSERT_EQ(executor.num_sites(), kSites);
+  ExecStats stats;
+  auto result = executor.Execute(plan, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ExactlyEqual(*result, expected));
+  EXPECT_GT(stats.TotalSiteFailovers(), 0u);
+  EXPECT_TRUE(stats.complete());
+}
+
+TEST(RpcTcpTest, DeadUnreplicatedEndpointDegradesWhenAllowed) {
+  Table flow = MakeFlow(400);
+  std::vector<Table> parts = PartitionByValue(flow, "SAS", kSites)
+                                 .ValueOrDie();
+  DistributedWarehouse dw(kSites);
+  {
+    std::vector<Table> copy = parts;
+    dw.AddPartitionedTable("flow", std::move(copy), {"SAS", "NB"}).Check();
+  }
+  DistributedPlan plan =
+      dw.Plan(SimpleQuery(), OptimizerOptions::None()).ValueOrDie();
+
+  // The degraded ground truth: the star engine losing site 2 the same
+  // way (permanently, no replica) under kDegrade.
+  PermanentSiteFailure down(2);
+  ExecutorOptions degrade;
+  degrade.fault_injector = &down;
+  degrade.on_site_loss = OnSiteLoss::kDegrade;
+  DistributedExecutor star(MakeSites(parts), NetworkConfig{}, degrade);
+  ExecStats star_stats;
+  Table expected = star.Execute(plan, &star_stats).ValueOrDie();
+  ASSERT_EQ(star_stats.lost_sites, (std::vector<int>{2}));
+
+  std::vector<Site> sites;
+  for (int id : {0, 1, 3}) {
+    Catalog catalog;
+    catalog.Register("flow", parts[id]);
+    sites.emplace_back(id, std::move(catalog));
+  }
+  Cluster cluster(std::move(sites));
+  std::vector<SiteEndpoint> live = cluster.endpoints();
+  std::vector<SiteEndpoint> endpoints = {
+      live[0], live[1], {"127.0.0.1", DeadPort()}, live[2]};
+
+  ExecutorOptions options;
+  options.on_site_loss = OnSiteLoss::kDegrade;
+  RpcExecutor executor(
+      std::make_unique<TcpTransport>(std::move(endpoints), FastTcpOptions()),
+      options);
+  ExecStats stats;
+  auto result = executor.Execute(plan, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ExactlyEqual(*result, expected));
+  EXPECT_EQ(stats.lost_sites, (std::vector<int>{2}));
+  EXPECT_FALSE(stats.complete());
 }
 
 TEST(RpcTcpTest, ShutdownStopsTheServers) {

@@ -4,9 +4,17 @@
 //
 //   skalla-rpc-query --endpoints 127.0.0.1:7001,127.0.0.1:7002,...
 //                    [--query FILE] [--optimize all|none] [--shutdown]
+//                    [--retries N] [--deadline-ms MS]
+//                    [--round-deadline-ms MS] [--degrade]
+//                    [--replica PARTITION:ENDPOINT]...
 //
 // Without --query the query text is read from stdin. --shutdown asks the
 // site processes to exit after the query (or immediately if no query ran).
+//
+// --replica P:E marks trailing endpoint E (0-based index into
+// --endpoints) as a replica of partition P — typically a
+// `skalla-site --partition P --site E` process — enabling the
+// retry -> failover -> degrade ladder described in docs/FAULTS.md.
 //
 // Planned without distribution knowledge: the distribution-aware
 // reductions (Theorem 4) need per-site statistics only a data-holding
@@ -32,7 +40,9 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --endpoints H:P,H:P,... [--query FILE] "
-               "[--optimize all|none] [--shutdown]\n",
+               "[--optimize all|none] [--shutdown] [--retries N] "
+               "[--deadline-ms MS] [--round-deadline-ms MS] [--degrade] "
+               "[--replica PARTITION:ENDPOINT]...\n",
                argv0);
   std::exit(2);
 }
@@ -64,6 +74,8 @@ int main(int argc, char** argv) {
   std::string query_file;
   bool optimize_all = true;
   bool shutdown = false;
+  skalla::ExecutorOptions exec_options;
+  std::vector<std::pair<size_t, size_t>> replicas;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -81,6 +93,27 @@ int main(int argc, char** argv) {
       optimize_all = std::strcmp(next("--optimize"), "none") != 0;
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       shutdown = true;
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      exec_options.max_site_retries =
+          static_cast<size_t>(std::atoi(next("--retries")));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      exec_options.query_deadline_ms = static_cast<uint64_t>(
+          std::strtoull(next("--deadline-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--round-deadline-ms") == 0) {
+      exec_options.round_deadline_ms = static_cast<uint64_t>(
+          std::strtoull(next("--round-deadline-ms"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--degrade") == 0) {
+      exec_options.on_site_loss = skalla::OnSiteLoss::kDegrade;
+    } else if (std::strcmp(argv[i], "--replica") == 0) {
+      const char* spec = next("--replica");
+      const char* colon = std::strchr(spec, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "bad --replica '%s' (want PARTITION:ENDPOINT)\n",
+                     spec);
+        Usage(argv[0]);
+      }
+      replicas.emplace_back(static_cast<size_t>(std::atoi(spec)),
+                            static_cast<size_t>(std::atoi(colon + 1)));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
@@ -92,7 +125,10 @@ int main(int argc, char** argv) {
       ParseEndpoints(endpoints_spec);
   auto transport =
       std::make_unique<skalla::rpc::TcpTransport>(std::move(endpoints));
-  skalla::rpc::RpcExecutor executor(std::move(transport), {});
+  skalla::rpc::RpcExecutor executor(std::move(transport), exec_options);
+  for (const auto& [partition, endpoint] : replicas) {
+    executor.AddReplica(partition, endpoint);
+  }
 
   std::string query_text;
   if (!query_file.empty()) {

@@ -3,14 +3,23 @@
 // answers coordinator round requests over TCP until it receives a
 // shutdown request.
 //
-//   skalla-site --data DIR --site N [--host 127.0.0.1] [--port 0]
-//               [--drop-request K]
+//   skalla-site --data DIR --site N [--partition P] [--host 127.0.0.1]
+//               [--port 0] [--drop-request K] [--chaos-seed S]
+//               [--chaos-drop P] [--chaos-corrupt P] [--chaos-reset P]
+//               [--chaos-delay P]
 //
 // With --port 0 (the default) the OS picks a free port; the chosen one
 // is announced on stdout as "LISTENING port=<p>" so launchers (and the
 // multi-process tests) can scrape it. --drop-request K makes the server
 // hang up instead of answering its K-th request — a fault-injection
 // hook for exercising coordinator reconnect/retry.
+//
+// --partition P serves partition P's data under site id N — how a
+// replica process hosts another site's partition (docs/FAULTS.md).
+// Without it the site serves its own partition (P = N). The --chaos-*
+// flags enable seeded transport chaos (see SiteServerOptions): drop
+// responses, corrupt frame checksums, reset connections mid-frame, or
+// delay responses, each with the given probability.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,8 +35,10 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --data DIR --site N [--host H] [--port P] "
-               "[--drop-request K]\n",
+               "usage: %s --data DIR --site N [--partition P] [--host H] "
+               "[--port P] [--drop-request K] [--chaos-seed S] "
+               "[--chaos-drop P] [--chaos-corrupt P] [--chaos-reset P] "
+               "[--chaos-delay P]\n",
                argv0);
   std::exit(2);
 }
@@ -37,6 +48,7 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string data_dir;
   int site_index = -1;
+  int partition = -1;
   skalla::rpc::SiteServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,17 +69,31 @@ int main(int argc, char** argv) {
       options.port = std::atoi(next("--port"));
     } else if (std::strcmp(argv[i], "--drop-request") == 0) {
       options.drop_request_index = std::atoi(next("--drop-request"));
+    } else if (std::strcmp(argv[i], "--partition") == 0) {
+      partition = std::atoi(next("--partition"));
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      options.chaos.seed = static_cast<uint64_t>(
+          std::strtoull(next("--chaos-seed"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chaos-drop") == 0) {
+      options.chaos.drop_response_prob = std::atof(next("--chaos-drop"));
+    } else if (std::strcmp(argv[i], "--chaos-corrupt") == 0) {
+      options.chaos.corrupt_crc_prob = std::atof(next("--chaos-corrupt"));
+    } else if (std::strcmp(argv[i], "--chaos-reset") == 0) {
+      options.chaos.reset_midframe_prob = std::atof(next("--chaos-reset"));
+    } else if (std::strcmp(argv[i], "--chaos-delay") == 0) {
+      options.chaos.delay_prob = std::atof(next("--chaos-delay"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
     }
   }
   if (data_dir.empty() || site_index < 0) Usage(argv[0]);
+  if (partition < 0) partition = site_index;
 
   auto catalog = skalla::LoadSiteCatalog(
-      data_dir, static_cast<size_t>(site_index));
+      data_dir, static_cast<size_t>(partition));
   if (!catalog.ok()) {
-    std::fprintf(stderr, "cannot load site %d from %s: %s\n", site_index,
+    std::fprintf(stderr, "cannot load partition %d from %s: %s\n", partition,
                  data_dir.c_str(), catalog.status().ToString().c_str());
     return 1;
   }
