@@ -9,7 +9,6 @@
 #define SKALLA_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +17,7 @@
 #include "dist/warehouse.h"
 #include "expr/builder.h"
 #include "obs/obs.h"
+#include "obs/session.h"
 #include "opt/options.h"
 #include "storage/partition.h"
 
@@ -26,71 +26,9 @@ namespace bench {
 
 // --- Observability harness -------------------------------------------------
 
-// Command-line plumbing for the obs layer: construct one at the top of a
-// bench's main with (argc, argv) and the whole run is covered.
-//
-//   --trace-out=<path>     enable tracing; write Chrome trace-event JSON
-//                          (open in chrome://tracing or ui.perfetto.dev)
-//                          when the bench exits
-//   --metrics-out=<path>   write the global metrics registry as JSON when
-//                          the bench exits
-//
-// In builds with SKALLA_TRACING=OFF the flags are accepted but produce a
-// note instead of a file (the instrumentation is compiled out).
-class ObsSession {
- public:
-  ObsSession(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const char* arg = argv[i];
-      if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-        trace_path_ = arg + 12;
-      } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
-        metrics_path_ = arg + 14;
-      }
-    }
-    if (!trace_path_.empty()) {
-      if (obs::TracingCompiledIn()) {
-        obs::Tracer::Global().set_enabled(true);
-      } else {
-        std::fprintf(stderr,
-                     "--trace-out ignored: built with SKALLA_TRACING=OFF\n");
-      }
-    }
-  }
-
-  ~ObsSession() {
-    if (!trace_path_.empty() && obs::TracingCompiledIn()) {
-      if (obs::Tracer::Global().WriteChromeJson(trace_path_)) {
-        std::fprintf(stderr, "trace written to %s (%zu events)\n",
-                     trace_path_.c_str(),
-                     obs::Tracer::Global().NumEvents());
-      } else {
-        std::fprintf(stderr, "failed to write trace to %s\n",
-                     trace_path_.c_str());
-      }
-    }
-    if (!metrics_path_.empty()) {
-      if (obs::TracingCompiledIn() &&
-          obs::MetricsRegistry::Global().WriteJson(metrics_path_)) {
-        std::fprintf(stderr, "metrics written to %s\n",
-                     metrics_path_.c_str());
-      } else {
-        std::fprintf(stderr, "failed to write metrics to %s%s\n",
-                     metrics_path_.c_str(),
-                     obs::TracingCompiledIn()
-                         ? ""
-                         : " (built with SKALLA_TRACING=OFF)");
-      }
-    }
-  }
-
-  ObsSession(const ObsSession&) = delete;
-  ObsSession& operator=(const ObsSession&) = delete;
-
- private:
-  std::string trace_path_;
-  std::string metrics_path_;
-};
+// The --trace-out= / --metrics-out= command-line plumbing now lives in
+// obs/session.h so the RPC tools share it; the benches keep the old name.
+using ObsSession = obs::ObsSession;
 
 // Columns the optimizer is given distribution knowledge about.
 inline std::vector<std::string> TrackedColumns() {

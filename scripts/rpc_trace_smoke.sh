@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end trace smoke: spawn a real multi-process cluster, run one
+# query through skalla-rpc-query with --trace-out, and validate the
+# merged cross-process timeline with scripts/check_trace.py.
+#
+#   scripts/rpc_trace_smoke.sh [BUILD_DIR]   (default: ./build)
+#
+# Exercises the full v4 observability path outside the test binaries:
+# TraceContext propagation, site-side RoundTraceCapture, RoundProfile
+# shipping, ImportRemoteSpans lane merging, and the ObsSession dump.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SITES=4
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$BUILD_DIR/tools/skalla-dataset" --out "$WORK/wh" --sites "$SITES" \
+    --flows 2000 --tpcr-rows 2000
+
+# Launch one site process per partition on an ephemeral port; each
+# announces "LISTENING port=<p>" on stdout once bound.
+ENDPOINTS=""
+for i in $(seq 0 $((SITES - 1))); do
+  "$BUILD_DIR/tools/skalla-site" --data "$WORK/wh" --site "$i" --port 0 \
+      >"$WORK/site$i.log" 2>&1 &
+  PIDS+=($!)
+done
+for i in $(seq 0 $((SITES - 1))); do
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^LISTENING port=\([0-9]*\).*/\1/p' "$WORK/site$i.log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "site $i never announced its port:" >&2
+    cat "$WORK/site$i.log" >&2
+    exit 1
+  fi
+  ENDPOINTS="${ENDPOINTS:+$ENDPOINTS,}127.0.0.1:$port"
+done
+
+# --shutdown skips the stdin read, so the query goes in via --query.
+cat >"$WORK/query.gmdj" <<'EOF'
+BASE SELECT DISTINCT SourceAS FROM flow;
+MD USING flow
+   COMPUTE COUNT(*) AS flows, SUM(NumBytes) AS bytes
+   WHERE r.SourceAS = b.SourceAS;
+EOF
+"$BUILD_DIR/tools/skalla-rpc-query" --endpoints "$ENDPOINTS" \
+    --query "$WORK/query.gmdj" \
+    --trace-out="$WORK/trace.json" --metrics-out="$WORK/metrics.json" \
+    --explain --site-stats --shutdown | tee "$WORK/query.out"
+
+# The report must carry the per-site profile table and the wire line,
+# and every endpoint must have answered kGetStats.
+grep -q 'site    wall_ms' "$WORK/query.out"
+grep -q 'bytes on the wire' "$WORK/query.out"
+[ "$(grep -c '^SITE [0-9]* STATS {' "$WORK/query.out")" -eq "$SITES" ]
+
+# Coordinator lane + one lane per site process.
+python3 "$(dirname "$0")/check_trace.py" "$WORK/trace.json" \
+    --min-pids $((SITES + 1))
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$WORK/metrics.json"
+echo "rpc_trace_smoke: OK"

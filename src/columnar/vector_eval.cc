@@ -321,6 +321,12 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     for (PartState& part : exec.parts) {
       Accumulate(&part, detail, exec.groups.row_group, num_groups);
     }
+    if (context.profile != nullptr) {
+      // Each block's group build + typed folds stream the whole detail
+      // partition once.
+      context.profile->rows_scanned.fetch_add(detail.num_rows(),
+                                              std::memory_order_relaxed);
+    }
   };
   if (pool != nullptr && blocks.size() > 1) {
     pool->ParallelFor(blocks.size(), eval_block);
@@ -335,7 +341,20 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
   }
 
   const size_t num_base = base.num_rows();
-  auto build_row = [&](size_t b) {
+  // Group-probe counts batched per assembly chunk (one fetch_add per
+  // chunk, not per row).
+  struct ProbeCounts {
+    uint64_t hits = 0;
+    uint64_t matched = 0;
+  };
+  auto flush_counts = [&](const ProbeCounts& counts) {
+    if (context.profile == nullptr) return;
+    context.profile->index_hits.fetch_add(counts.hits,
+                                          std::memory_order_relaxed);
+    context.profile->rows_matched.fetch_add(counts.matched,
+                                            std::memory_order_relaxed);
+  };
+  auto build_row = [&](size_t b, ProbeCounts* counts) {
     const Row& base_row = base.row(b);
     Row row = base_row;
     row.reserve(out_schema->num_fields());
@@ -344,7 +363,10 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
       const BlockExec& exec = blocks[bi];
       int64_t group = LookupGroup(exec.groups, detail, exec.detail_cols,
                                   base_row, exec.base_cols);
-      if (group >= 0) matched = true;
+      if (group >= 0) {
+        matched = true;
+        ++counts->hits;
+      }
       if (context.sub_aggregates) {
         for (const PartState& part : exec.parts) {
           if (group >= 0) {
@@ -372,6 +394,7 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     if (context.compute_rng) {
       row.push_back(Value(int64_t{matched ? 1 : 0}));
     }
+    if (matched) ++counts->matched;
     return row;
   };
 
@@ -391,7 +414,9 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
       }
       const size_t lo = m * context.morsel_rows;
       const size_t hi = std::min(lo + context.morsel_rows, num_base);
-      for (size_t b = lo; b < hi; ++b) rows[b] = build_row(b);
+      ProbeCounts counts;
+      for (size_t b = lo; b < hi; ++b) rows[b] = build_row(b, &counts);
+      flush_counts(counts);
     });
     if (context.cancellation != nullptr) {
       SKALLA_RETURN_NOT_OK(context.cancellation->Check());
@@ -400,9 +425,11 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
       out.AppendUnchecked(std::move(rows[b]));
     }
   } else {
+    ProbeCounts counts;
     for (size_t b = 0; b < num_base; ++b) {
-      out.AppendUnchecked(build_row(b));
+      out.AppendUnchecked(build_row(b, &counts));
     }
+    flush_counts(counts);
   }
   return out;
 }

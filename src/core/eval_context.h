@@ -19,12 +19,30 @@
 #ifndef SKALLA_CORE_EVAL_CONTEXT_H_
 #define SKALLA_CORE_EVAL_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 #include "common/status.h"
 #include "core/cancellation.h"
 
 namespace skalla {
+
+/// Data-plane counters one GMDJ evaluation accumulates, independent of
+/// the SKALLA_TRACING build gate (the counts feed RoundProfile on the
+/// wire, not just telemetry). Workers batch per-morsel counts locally
+/// and fold them in with one relaxed fetch_add per morsel.
+struct EvalProfile {
+  /// Detail (or candidate) rows examined by theta evaluation.
+  std::atomic<uint64_t> rows_scanned{0};
+  /// (base row, detail row) pairs that satisfied a block's condition.
+  std::atomic<uint64_t> rows_matched{0};
+  /// Candidate rows produced by hash-index probes (indexed path only).
+  std::atomic<uint64_t> index_hits{0};
+  /// Summed per-morsel wall time; with eval_threads > 1 morsels overlap,
+  /// so this exceeds the evaluation's wall time.
+  std::atomic<uint64_t> morsel_us{0};
+};
 
 /// Default number of rows per morsel (nested-loop detail morsels and
 /// indexed-path base-row ranges alike). Large enough that single-morsel
@@ -64,6 +82,20 @@ struct EvalContext {
   /// deadline stops in-flight evaluation within one morsel's worth of
   /// work per thread.
   CancellationToken* cancellation = nullptr;
+
+  /// The query this evaluation belongs to (0 = untagged). Worker threads
+  /// re-establish the coordinator's query-id scope from this, so morsel
+  /// spans and metrics recorded off-thread stay attributable.
+  uint64_t query_id = 0;
+
+  /// Span id to parent morsel spans under (0 = the worker's own span
+  /// stack). Lets morsel spans recorded on pool threads nest under the
+  /// site.eval span that scheduled them.
+  uint64_t trace_parent_span = 0;
+
+  /// Where the kernels accumulate data-plane counts; nullptr = skip.
+  /// Not owned.
+  EvalProfile* profile = nullptr;
 };
 
 /// Resolves eval_threads: 0 means one worker per hardware thread (at

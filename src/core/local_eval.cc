@@ -81,14 +81,27 @@ size_t MorselCount(size_t rows, size_t morsel_rows) {
 
 // Dispatches fn(0), ..., fn(n - 1) over `pool` when given (inline
 // otherwise), wrapping each invocation in a site.eval.morsel span and
-// timing it into skalla.site.morsel_us.
-void RunMorsels(ThreadPool* pool, size_t n,
+// timing it into skalla.site.morsel_us and context.profile->morsel_us.
+// Worker threads re-establish the context's query-id scope and parent
+// their morsel spans under context.trace_parent_span, so off-thread
+// morsels stay attributable to the round that scheduled them.
+void RunMorsels(ThreadPool* pool, size_t n, const EvalContext& context,
                 const std::function<void(size_t)>& fn) {
-  auto timed = [&fn](size_t m) {
-    SKALLA_TRACE_SPAN(morsel_span, "site.eval.morsel", "site");
+  EvalProfile* profile = context.profile;
+  auto timed = [&fn, &context, profile](size_t m) {
+    obs::QueryIdScope query_scope(context.query_id != 0
+                                      ? context.query_id
+                                      : obs::CurrentQueryId());
+    SKALLA_TRACE_SPAN_UNDER(morsel_span, "site.eval.morsel", "site",
+                            context.trace_parent_span);
     SKALLA_SPAN_ATTR(morsel_span, "morsel", static_cast<uint64_t>(m));
-    SKALLA_OBS_ONLY(Stopwatch morsel_watch;)
+    Stopwatch morsel_watch;
     fn(m);
+    if (profile != nullptr) {
+      profile->morsel_us.fetch_add(
+          static_cast<uint64_t>(morsel_watch.ElapsedMicros()),
+          std::memory_order_relaxed);
+    }
     SKALLA_HISTOGRAM_RECORD("skalla.site.morsel_us",
                             morsel_watch.ElapsedMicros());
   };
@@ -104,20 +117,26 @@ void RunMorsels(ThreadPool* pool, size_t n,
 // and the per-base-row candidate fold order is exactly the sequential
 // one, so this is bit-identical to single-threaded evaluation.
 void EvalIndexedBlock(const Table& base, const Table& detail,
-                      const BlockPlan& plan, size_t morsel_rows,
-                      ThreadPool* pool, CancellationToken* cancel,
-                      BlockState* state, uint8_t* matched) {
+                      const BlockPlan& plan, const EvalContext& context,
+                      ThreadPool* pool, BlockState* state, uint8_t* matched) {
   const size_t num_base = base.num_rows();
   const size_t n = state->parts.size();
-  RunMorsels(pool, MorselCount(num_base, morsel_rows), [&](size_t m) {
+  const size_t morsel_rows = context.morsel_rows;
+  CancellationToken* cancel = context.cancellation;
+  EvalProfile* profile = context.profile;
+  RunMorsels(pool, MorselCount(num_base, morsel_rows), context,
+             [&](size_t m) {
     if (cancel != nullptr && !cancel->Check().ok()) return;
     const size_t lo = m * morsel_rows;
     const size_t hi = std::min(lo + morsel_rows, num_base);
+    uint64_t hits = 0, scanned = 0, matched_pairs = 0;
     for (size_t b = lo; b < hi; ++b) {
       const Row& base_row = base.row(b);
       const std::vector<uint32_t>* candidates =
           plan.index->Lookup(base_row, plan.base_cols);
       if (candidates == nullptr) continue;
+      hits += candidates->size();
+      scanned += candidates->size();
       Accumulator* row_acc = state->acc.data() + b * n;
       for (uint32_t r : *candidates) {
         const Row& detail_row = detail.row(r);
@@ -126,8 +145,15 @@ void EvalIndexedBlock(const Table& base, const Table& detail,
           continue;
         }
         if (matched != nullptr) matched[b] = 1;
+        ++matched_pairs;
         UpdateRow(*state, row_acc, detail_row);
       }
+    }
+    if (profile != nullptr) {
+      profile->index_hits.fetch_add(hits, std::memory_order_relaxed);
+      profile->rows_scanned.fetch_add(scanned, std::memory_order_relaxed);
+      profile->rows_matched.fetch_add(matched_pairs,
+                                      std::memory_order_relaxed);
     }
   });
 }
@@ -152,10 +178,11 @@ MorselPartial MakePartial(const BlockState& meta, size_t num_base,
   return partial;
 }
 
-// Folds detail rows [lo, hi) against every base row into `partial`.
+// Folds detail rows [lo, hi) against every base row into `partial`,
+// counting the (base, detail) pairs that matched.
 void FoldMorsel(const Table& base, const Table& detail, const BlockPlan& plan,
                 const BlockState& meta, size_t lo, size_t hi,
-                MorselPartial* partial) {
+                MorselPartial* partial, uint64_t* matched_pairs) {
   const size_t n = meta.parts.size();
   for (size_t b = 0; b < base.num_rows(); ++b) {
     const Row& base_row = base.row(b);
@@ -164,6 +191,7 @@ void FoldMorsel(const Table& base, const Table& detail, const BlockPlan& plan,
       const Row& detail_row = detail.row(r);
       if (!plan.theta->EvalBool(&base_row, &detail_row)) continue;
       if (!partial->matched.empty()) partial->matched[b] = 1;
+      if (matched_pairs != nullptr) ++*matched_pairs;
       UpdateRow(meta, row_acc, detail_row);
     }
   }
@@ -191,32 +219,51 @@ void MergePartial(const MorselPartial& partial, BlockState* state,
 // matrix is an exact identity, so small inputs also match the historical
 // direct fold bit for bit.)
 void EvalNestedLoopBlock(const Table& base, const Table& detail,
-                         const BlockPlan& plan, size_t morsel_rows,
-                         ThreadPool* pool, CancellationToken* cancel,
-                         BlockState* state, uint8_t* matched) {
+                         const BlockPlan& plan, const EvalContext& context,
+                         ThreadPool* pool, BlockState* state,
+                         uint8_t* matched) {
   const size_t num_base = base.num_rows();
   const size_t num_detail = detail.num_rows();
+  const size_t morsel_rows = context.morsel_rows;
+  CancellationToken* cancel = context.cancellation;
+  EvalProfile* profile = context.profile;
   const size_t morsels = MorselCount(num_detail, morsel_rows);
   const bool want_matched = matched != nullptr;
+  auto record = [&](size_t lo, size_t hi, uint64_t matched_pairs) {
+    if (profile == nullptr) return;
+    profile->rows_scanned.fetch_add(
+        static_cast<uint64_t>(num_base) * (hi - lo),
+        std::memory_order_relaxed);
+    profile->rows_matched.fetch_add(matched_pairs,
+                                    std::memory_order_relaxed);
+  };
   if (pool == nullptr || morsels <= 1) {
     // Stream morsels in order through a scratch partial, merging each as
     // it completes: the merge sequence is identical to the parallel
     // path's, just without holding every partial live at once.
-    RunMorsels(nullptr, morsels, [&](size_t m) {
+    RunMorsels(nullptr, morsels, context, [&](size_t m) {
       if (cancel != nullptr && !cancel->Check().ok()) return;
       MorselPartial partial = MakePartial(*state, num_base, want_matched);
-      FoldMorsel(base, detail, plan, *state, m * morsel_rows,
-                 std::min((m + 1) * morsel_rows, num_detail), &partial);
+      const size_t lo = m * morsel_rows;
+      const size_t hi = std::min((m + 1) * morsel_rows, num_detail);
+      uint64_t matched_pairs = 0;
+      FoldMorsel(base, detail, plan, *state, lo, hi, &partial,
+                 &matched_pairs);
+      record(lo, hi, matched_pairs);
       MergePartial(partial, state, matched);
     });
     return;
   }
   std::vector<MorselPartial> partials(morsels);
-  RunMorsels(pool, morsels, [&](size_t m) {
+  RunMorsels(pool, morsels, context, [&](size_t m) {
     if (cancel != nullptr && !cancel->Check().ok()) return;
     partials[m] = MakePartial(*state, num_base, want_matched);
-    FoldMorsel(base, detail, plan, *state, m * morsel_rows,
-               std::min((m + 1) * morsel_rows, num_detail), &partials[m]);
+    const size_t lo = m * morsel_rows;
+    const size_t hi = std::min((m + 1) * morsel_rows, num_detail);
+    uint64_t matched_pairs = 0;
+    FoldMorsel(base, detail, plan, *state, lo, hi, &partials[m],
+               &matched_pairs);
+    record(lo, hi, matched_pairs);
   });
   for (const MorselPartial& partial : partials) {
     // A cancelled morsel leaves its partial empty; the caller surfaces
@@ -327,11 +374,11 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
     BlockPlan& plan = plans[bi];
     if (plan.indexed) {
       plan.index = &index_cache.at(IndexKey{plan.base_cols, plan.detail_cols});
-      EvalIndexedBlock(base, detail, plan, context.morsel_rows, pool.get(),
-                       context.cancellation, &states[bi], matched_ptr);
+      EvalIndexedBlock(base, detail, plan, context, pool.get(), &states[bi],
+                       matched_ptr);
     } else {
-      EvalNestedLoopBlock(base, detail, plan, context.morsel_rows, pool.get(),
-                          context.cancellation, &states[bi], matched_ptr);
+      EvalNestedLoopBlock(base, detail, plan, context, pool.get(),
+                          &states[bi], matched_ptr);
     }
   }
 

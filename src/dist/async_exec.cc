@@ -124,6 +124,10 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
+  const uint64_t query_id = obs::NextQueryId();
+  obs::QueryIdScope query_scope(query_id);
+  st.query_id = query_id;
+
   SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
   SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
   SKALLA_SPAN_ATTR(exec_span, "stages",
@@ -170,10 +174,12 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     Stopwatch wall;
     CancellationToken round_cancel;
     SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
+    std::vector<SiteRoundProfile> profiles(n);
     MessageChannel channel;
     ChannelDrain drain(&channel, &pool);
     for (size_t i = 0; i < n; ++i) {
       pool.Submit([&, i] {
+        obs::QueryIdScope site_scope(query_id);
         SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
         SKALLA_SPAN_ATTR(site_span, "site",
                          static_cast<int64_t>(sites_[i].id()));
@@ -194,6 +200,10 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           rs.site_time_sum += elapsed;
           rs.site_retries += counts.retries;
           rs.site_failovers += counts.failovers;
+          profiles[i].site_id = sites_[i].id();
+          profiles[i].wall_us = static_cast<uint64_t>(elapsed * 1e6);
+          profiles[i].eval_us = profiles[i].wall_us;
+          if (b_i.ok()) profiles[i].result_rows = b_i->num_rows();
         }
         if (!b_i.ok()) {
           if (options_.on_site_loss == OnSiteLoss::kDegrade &&
@@ -227,6 +237,9 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         if (frame.type != rpc::MessageType::kTableResult) continue;
         uint64_t table_bytes = frame.payload.size();
         rs.bytes_to_coord += table_bytes;
+        if (message->from >= 0 && static_cast<size_t>(message->from) < n) {
+          profiles[message->from].bytes_out += table_bytes;
+        }
         rs.comm_time += network_.Transfer(message->from, kCoordinatorId,
                                           table_bytes);
         SKALLA_ASSIGN_OR_RETURN(
@@ -246,6 +259,9 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     pool.Wait();
     SKALLA_RETURN_NOT_OK(first_error);
     for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
+    for (size_t i = 0; i < n; ++i) {
+      if (!lost[i]) rs.site_profiles.push_back(profiles[i]);
+    }
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
     SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
@@ -269,6 +285,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
 
     // Distribution: serialize per site at the coordinator; sites
     // deserialize inside their own tasks (in parallel).
+    std::vector<SiteRoundProfile> profiles(n);
     std::vector<std::vector<uint8_t>> downstream(n);
     std::vector<uint8_t> active(n, 1);
     if (have_global) {
@@ -298,6 +315,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         std::vector<uint8_t> payload;
         WriteTable(to_send, &payload);
         rs.bytes_to_sites += payload.size();
+        profiles[i].bytes_in += payload.size();
         rs.tuples_to_sites += to_send.num_rows();
         rs.comm_time += network_.Transfer(kCoordinatorId, sites_[i].id(),
                                           payload.size());
@@ -310,6 +328,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
     EvalContext eval_context = StageEvalContext(options_, stage);
     eval_context.cancellation = &round_cancel;
+    eval_context.query_id = query_id;
 
     MessageChannel channel;
     ChannelDrain drain(&channel, &pool);
@@ -321,6 +340,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
       if (!active[i] || lost[i]) continue;
       ++submitted;
       pool.Submit([&, i, distribute] {
+        obs::QueryIdScope site_scope(query_id);
         SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
         SKALLA_SPAN_ATTR(site_span, "site",
                          static_cast<int64_t>(sites_[i].id()));
@@ -344,12 +364,16 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         }
         Result<Table> result = Status::Internal("unset");
         SiteRoundCounts counts;
+        EvalProfile eval_profile;
         if (status.ok()) {
+          EvalContext site_context = eval_context;
+          site_context.profile = &eval_profile;
+          SKALLA_OBS_ONLY(site_context.trace_parent_span = site_span.id());
           result = ExecuteSiteRoundReplicated(
               options_, ReplicaIds(i), rs.label,
               [&](size_t r) {
                 return ReplicaSite(i, r).EvalGmdjRound(base_in, stage.op,
-                                                       eval_context);
+                                                       site_context);
               },
               &counts, &round_cancel);
           if (result.ok() && eval_context.compute_rng) {
@@ -365,6 +389,18 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
           rs.site_time_sum += elapsed;
           rs.site_retries += counts.retries;
           rs.site_failovers += counts.failovers;
+          profiles[i].site_id = sites_[i].id();
+          profiles[i].wall_us = static_cast<uint64_t>(elapsed * 1e6);
+          profiles[i].eval_us = profiles[i].wall_us;
+          profiles[i].morsel_us =
+              eval_profile.morsel_us.load(std::memory_order_relaxed);
+          profiles[i].rows_scanned =
+              eval_profile.rows_scanned.load(std::memory_order_relaxed);
+          profiles[i].rows_matched =
+              eval_profile.rows_matched.load(std::memory_order_relaxed);
+          profiles[i].index_hits =
+              eval_profile.index_hits.load(std::memory_order_relaxed);
+          if (result.ok()) profiles[i].result_rows = result->num_rows();
         }
         if (!status.ok()) {
           if (options_.on_site_loss == OnSiteLoss::kDegrade &&
@@ -411,6 +447,9 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
         if (frame.type != rpc::MessageType::kTableResult) continue;
         uint64_t table_bytes = frame.payload.size();
         rs.bytes_to_coord += table_bytes;
+        if (message->from >= 0 && static_cast<size_t>(message->from) < n) {
+          profiles[message->from].bytes_out += table_bytes;
+        }
         rs.comm_time += network_.Transfer(message->from, kCoordinatorId,
                                           table_bytes);
         SKALLA_ASSIGN_OR_RETURN(
@@ -436,6 +475,9 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
     SKALLA_ASSIGN_OR_RETURN(upstream,
                             stage.op.OutputSchema(*upstream, detail_schema));
     for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i] && !lost[i]) rs.site_profiles.push_back(profiles[i]);
+    }
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);

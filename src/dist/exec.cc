@@ -172,6 +172,12 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
+  // Tag every span and metric this execution records with a fresh
+  // query id (worker threads re-establish the scope per site).
+  const uint64_t query_id = obs::NextQueryId();
+  obs::QueryIdScope query_scope(query_id);
+  st.query_id = query_id;
+
   SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
   SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
   SKALLA_SPAN_ATTR(exec_span, "stages",
@@ -206,8 +212,10 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                      plan.sync_base ? "true" : "false");
     CancellationToken round_cancel;
     SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
+    std::vector<SiteRoundProfile> profiles(n);
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
+      obs::QueryIdScope site_scope(query_id);
       SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
       SKALLA_SPAN_ATTR(site_span, "site",
                        static_cast<int64_t>(sites_[i].id()));
@@ -237,6 +245,10 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
       SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", elapsed * 1e6);
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
+      profiles[i].site_id = sites_[i].id();
+      profiles[i].wall_us = static_cast<uint64_t>(elapsed * 1e6);
+      profiles[i].eval_us = profiles[i].wall_us;
+      profiles[i].result_rows = b_i->num_rows();
       local_base[i] = std::move(*b_i);
       return Status::OK();
     });
@@ -247,11 +259,13 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
       SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
       for (size_t i = 0; i < n; ++i) {
         if (lost[i]) continue;
+        uint64_t bytes_before = rs.bytes_to_coord;
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             Ship(&network_, local_base[i], sites_[i].id(), kCoordinatorId,
                  options_.ship_block_rows, &rs.bytes_to_coord,
                  &rs.tuples_to_coord, &rs.comm_time));
+        profiles[i].bytes_out = rs.bytes_to_coord - bytes_before;
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(received));
         rs.coord_time += merge_timer.ElapsedSeconds();
@@ -263,6 +277,9 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
         rs.coord_time += finalize_timer.ElapsedSeconds();
       }
       have_global = true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!lost[i]) rs.site_profiles.push_back(profiles[i]);
     }
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
     SKALLA_COUNTER_ADD("skalla.round.tuples_to_coord", rs.tuples_to_coord);
@@ -291,6 +308,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     CancellationToken round_cancel;
     SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
 
+    std::vector<SiteRoundProfile> profiles(n);
     std::vector<uint8_t> active(n, 1);
     if (have_global) {
       const Table& x = coordinator.result();
@@ -318,32 +336,40 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
           local_base[i] = Table();
           continue;
         }
+        uint64_t bytes_before = rs.bytes_to_sites;
         SKALLA_ASSIGN_OR_RETURN(
             local_base[i],
             Ship(&network_, to_send, kCoordinatorId, sites_[i].id(),
                  options_.ship_block_rows, &rs.bytes_to_sites,
                  &rs.tuples_to_sites, &rs.comm_time));
+        profiles[i].bytes_in = rs.bytes_to_sites - bytes_before;
       }
     }
 
     // Local GMDJ evaluation at every site.
     EvalContext eval_context = StageEvalContext(options_, stage);
     eval_context.cancellation = &round_cancel;
+    eval_context.query_id = query_id;
     std::vector<Table> outputs(n);
     std::mutex mu;
     Status status = ForEachSite([&](size_t i) -> Status {
       if (!active[i] || lost[i]) return Status::OK();
+      obs::QueryIdScope site_scope(query_id);
       SKALLA_TRACE_SPAN(site_span, "site.eval", "site");
       SKALLA_SPAN_ATTR(site_span, "site",
                        static_cast<int64_t>(sites_[i].id()));
       SKALLA_SPAN_ATTR(site_span, "round", rs.label);
       Stopwatch timer;
       SiteRoundCounts counts;
+      EvalProfile eval_profile;
+      EvalContext site_context = eval_context;
+      site_context.profile = &eval_profile;
+      SKALLA_OBS_ONLY(site_context.trace_parent_span = site_span.id());
       Result<Table> attempt_result = ExecuteSiteRoundReplicated(
           options_, ReplicaIds(i), rs.label,
           [&](size_t r) {
             return ReplicaSite(i, r).EvalGmdjRound(local_base[i], stage.op,
-                                                   eval_context);
+                                                   site_context);
           },
           &counts, &round_cancel);
       double elapsed = timer.ElapsedSeconds();
@@ -372,6 +398,18 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
       std::lock_guard<std::mutex> lock(mu);
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
+      profiles[i].site_id = sites_[i].id();
+      profiles[i].wall_us = static_cast<uint64_t>(elapsed * 1e6);
+      profiles[i].eval_us = profiles[i].wall_us;
+      profiles[i].morsel_us =
+          eval_profile.morsel_us.load(std::memory_order_relaxed);
+      profiles[i].rows_scanned =
+          eval_profile.rows_scanned.load(std::memory_order_relaxed);
+      profiles[i].rows_matched =
+          eval_profile.rows_matched.load(std::memory_order_relaxed);
+      profiles[i].index_hits =
+          eval_profile.index_hits.load(std::memory_order_relaxed);
+      profiles[i].result_rows = result.num_rows();
       outputs[i] = std::move(result);
       return Status::OK();
     });
@@ -386,11 +424,13 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
       rs.coord_time += begin_time;
       for (size_t i = 0; i < n; ++i) {
         if (!active[i] || lost[i]) continue;
+        uint64_t bytes_before = rs.bytes_to_coord;
         SKALLA_ASSIGN_OR_RETURN(
             Table received,
             Ship(&network_, outputs[i], sites_[i].id(), kCoordinatorId,
                  options_.ship_block_rows, &rs.bytes_to_coord,
                  &rs.tuples_to_coord, &rs.comm_time));
+        profiles[i].bytes_out = rs.bytes_to_coord - bytes_before;
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeFragment(received));
         rs.coord_time += merge_timer.ElapsedSeconds();
@@ -410,6 +450,9 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
 
     SKALLA_ASSIGN_OR_RETURN(
         upstream, stage.op.OutputSchema(*upstream, detail_schema));
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i] && !lost[i]) rs.site_profiles.push_back(profiles[i]);
+    }
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);
     SKALLA_COUNTER_ADD("skalla.round.tuples_to_sites", rs.tuples_to_sites);

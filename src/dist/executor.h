@@ -120,6 +120,26 @@ size_t ResolveCoordinatorShards(size_t configured);
 EvalContext StageEvalContext(const ExecutorOptions& options,
                              const PlanStage& stage);
 
+/// What one site measured evaluating one round, as reported back to the
+/// coordinator. The rpc engine fills every field from the RoundProfile
+/// each kRoundResult carries; the in-process engines fill the fields the
+/// site-side EvalProfile provides (wall/eval timings and data-plane
+/// counts) and leave the transport-only ones zero.
+struct SiteRoundProfile {
+  int site_id = 0;
+  uint64_t wall_us = 0;
+  uint64_t eval_us = 0;
+  uint64_t morsel_us = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  uint64_t index_hits = 0;
+  uint64_t bytes_in = 0;   // table payload bytes shipped to the site
+  uint64_t bytes_out = 0;  // table payload bytes shipped back
+  uint64_t result_rows = 0;
+  uint64_t duplicate_rounds = 0;  // idempotency-cache replays (rpc only)
+  uint64_t chaos_faults = 0;      // transport faults injected (rpc only)
+};
+
 /// Cost accounting for one round (base stage or one GMDJ stage).
 struct RoundStats {
   std::string label;
@@ -165,6 +185,17 @@ struct RoundStats {
   /// degenerate star tree. The flat executors leave it 0.
   uint64_t root_bytes = 0;
 
+  /// Per-site profiles for this round, ordered by site id. Filled by the
+  /// star, async, and rpc engines; empty for the tree engine (its
+  /// multi-tier topology has no per-site round boundary at the root).
+  std::vector<SiteRoundProfile> site_profiles;
+
+  /// Framed wire bytes this round moved (headers + payloads + CRCs).
+  /// Only the rpc engine fills it; always >= bytes_to_sites +
+  /// bytes_to_coord there, since the byte-accounting fields count table
+  /// payload bytes only.
+  uint64_t wire_bytes = 0;
+
   /// Contribution of this round to plan response time.
   double ResponseTime() const {
     return comm_time + site_time_max + coord_time;
@@ -179,6 +210,17 @@ struct ExecStats {
   /// OnSiteLoss::kDegrade) excluded from the answer, sorted by id.
   /// Empty means the answer is exact.
   std::vector<int> lost_sites;
+
+  /// Coordinator-assigned query id: every span and metric the execution
+  /// recorded is tagged with it (obs::QueryIdScope). 0 = untagged.
+  uint64_t query_id = 0;
+
+  /// Rpc engine only: framed wire bytes this execution moved, measured
+  /// from after Connect (the once-per-session hello/catalog traffic is
+  /// excluded); setup_wire_bytes is the non-round share — BeginPlan and
+  /// its acks. Zero elsewhere.
+  uint64_t total_wire_bytes = 0;
+  uint64_t setup_wire_bytes = 0;
 
   /// Replica failovers performed across all rounds.
   uint64_t TotalSiteFailovers() const;

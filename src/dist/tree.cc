@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "dist/coordinator.h"
 #include "net/serde.h"
+#include "obs/trace.h"
 #include "rpc/frame.h"
 
 namespace skalla {
@@ -230,6 +231,12 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
   ExecStats local_stats;
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
+
+  // Tree rounds aggregate through intermediate tiers, so there is no
+  // per-site coordinator-visible round; site_profiles stay empty here.
+  const uint64_t query_id = obs::NextQueryId();
+  obs::QueryIdScope query_scope(query_id);
+  st.query_id = query_id;
 
   const size_t n = sites_.size();
   std::vector<Table> local_base(n);

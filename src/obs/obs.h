@@ -24,6 +24,7 @@
 #ifndef SKALLA_OBS_OBS_H_
 #define SKALLA_OBS_OBS_H_
 
+#include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +40,39 @@ constexpr bool TracingCompiledIn() {
 #endif
 }
 
+// Metric update helpers behind the SKALLA_COUNTER_ADD /
+// SKALLA_GAUGE_SET / SKALLA_HISTOGRAM_RECORD macros. Besides the named
+// global instrument, each update is mirrored into a per-query
+// "name@q<id>" instrument when a query-id scope is active *and* the
+// tracer is enabled — the tracer gate bounds instrument cardinality to
+// sessions that asked for telemetry.
+
+inline void CounterAdd(const std::string& name, uint64_t delta) {
+  MetricsRegistry::Global().GetCounter(name).Add(delta);
+  uint64_t qid = CurrentQueryId();
+  if (qid != 0 && Tracer::Global().enabled()) {
+    MetricsRegistry::Global().GetCounter(StrCat(name, "@q", qid)).Add(delta);
+  }
+}
+
+inline void GaugeSet(const std::string& name, double value) {
+  MetricsRegistry::Global().GetGauge(name).Set(value);
+  uint64_t qid = CurrentQueryId();
+  if (qid != 0 && Tracer::Global().enabled()) {
+    MetricsRegistry::Global().GetGauge(StrCat(name, "@q", qid)).Set(value);
+  }
+}
+
+inline void HistogramRecord(const std::string& name, double value) {
+  MetricsRegistry::Global().GetHistogram(name).Record(value);
+  uint64_t qid = CurrentQueryId();
+  if (qid != 0 && Tracer::Global().enabled()) {
+    MetricsRegistry::Global()
+        .GetHistogram(StrCat(name, "@q", qid))
+        .Record(value);
+  }
+}
+
 }  // namespace obs
 }  // namespace skalla
 
@@ -48,6 +82,15 @@ constexpr bool TracingCompiledIn() {
 #define SKALLA_TRACE_SPAN(var, name, category) \
   ::skalla::obs::Span var =                    \
       ::skalla::obs::Tracer::Global().StartSpan((name), (category))
+
+/// Like SKALLA_TRACE_SPAN but parented under the given span id instead
+/// of the calling thread's innermost open span (0 = stack behavior).
+/// For work handed to another thread, e.g. morsels on a worker pool.
+#define SKALLA_TRACE_SPAN_UNDER(var, name, category, parent_id)      \
+  ::skalla::obs::Span var =                                          \
+      ::skalla::obs::Tracer::Global().StartSpanWithParent((name),    \
+                                                          (category), \
+                                                          (parent_id))
 
 /// Attaches an attribute to a span declared with SKALLA_TRACE_SPAN.
 #define SKALLA_SPAN_ATTR(var, key, value) var.AddAttr((key), (value))
@@ -64,17 +107,18 @@ constexpr bool TracingCompiledIn() {
 #define SKALLA_TRACE_INSTANT_ATTRS(name, category, ...) \
   ::skalla::obs::Tracer::Global().Instant((name), (category), __VA_ARGS__)
 
-/// Adds `delta` to the named global counter.
+/// Adds `delta` to the named global counter (and its per-query mirror
+/// when a query-id scope is active and the tracer enabled).
 #define SKALLA_COUNTER_ADD(name, delta) \
-  ::skalla::obs::MetricsRegistry::Global().GetCounter(name).Add(delta)
+  ::skalla::obs::CounterAdd((name), (delta))
 
 /// Sets the named global gauge.
 #define SKALLA_GAUGE_SET(name, value) \
-  ::skalla::obs::MetricsRegistry::Global().GetGauge(name).Set(value)
+  ::skalla::obs::GaugeSet((name), (value))
 
 /// Records a sample into the named global histogram (latency buckets).
 #define SKALLA_HISTOGRAM_RECORD(name, value) \
-  ::skalla::obs::MetricsRegistry::Global().GetHistogram(name).Record(value)
+  ::skalla::obs::HistogramRecord((name), (value))
 
 /// Emits the enclosed statements only in tracing builds — for setup code
 /// (timers, locals) that exists solely to feed the other macros.
@@ -84,6 +128,9 @@ constexpr bool TracingCompiledIn() {
 
 #define SKALLA_TRACE_SPAN(var, name, category) \
   do {                                         \
+  } while (false)
+#define SKALLA_TRACE_SPAN_UNDER(var, name, category, parent_id) \
+  do {                                                          \
   } while (false)
 #define SKALLA_SPAN_ATTR(var, key, value) \
   do {                                    \

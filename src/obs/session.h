@@ -1,0 +1,90 @@
+// ObsSession: command-line plumbing for the obs layer, shared by the
+// benches and the RPC tools. Construct one at the top of main with
+// (argc, argv) and the whole run is covered:
+//
+//   --trace-out=<path>     enable tracing; write Chrome trace-event JSON
+//                          (open in chrome://tracing or ui.perfetto.dev)
+//                          on clean shutdown
+//   --metrics-out=<path>   write the global metrics registry as JSON on
+//                          clean shutdown
+//
+// In builds with SKALLA_TRACING=OFF the flags are accepted but produce a
+// note instead of a file (the instrumentation is compiled out).
+
+#ifndef SKALLA_OBS_SESSION_H_
+#define SKALLA_OBS_SESSION_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace skalla {
+namespace obs {
+
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        trace_path_ = arg + 12;
+      } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        metrics_path_ = arg + 14;
+      }
+    }
+    if (!trace_path_.empty()) {
+      if (TracingCompiledIn()) {
+        Tracer::Global().set_enabled(true);
+      } else {
+        std::fprintf(stderr,
+                     "--trace-out ignored: built with SKALLA_TRACING=OFF\n");
+      }
+    }
+  }
+
+  ~ObsSession() {
+    if (!trace_path_.empty() && TracingCompiledIn()) {
+      if (Tracer::Global().WriteChromeJson(trace_path_)) {
+        std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                     trace_path_.c_str(), Tracer::Global().NumEvents());
+      } else {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      if (TracingCompiledIn() &&
+          MetricsRegistry::Global().WriteJson(metrics_path_)) {
+        std::fprintf(stderr, "metrics written to %s\n",
+                     metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write metrics to %s%s\n",
+                     metrics_path_.c_str(),
+                     TracingCompiledIn()
+                         ? ""
+                         : " (built with SKALLA_TRACING=OFF)");
+      }
+    }
+  }
+
+  /// Whether a given argv entry is one of the session's flags (so strict
+  /// flag parsers can skip them instead of rejecting the invocation).
+  static bool IsSessionFlag(const char* arg) {
+    return std::strncmp(arg, "--trace-out=", 12) == 0 ||
+           std::strncmp(arg, "--metrics-out=", 14) == 0;
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace obs
+}  // namespace skalla
+
+#endif  // SKALLA_OBS_SESSION_H_

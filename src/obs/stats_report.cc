@@ -31,6 +31,40 @@ std::string RoundLine(const RoundStats& r) {
     out += StrPrintf("              wall (overlapped) %.3f ms\n",
                      r.wall_time * 1e3);
   }
+  if (r.wire_bytes > 0) {
+    out += StrPrintf("              wire %llu bytes (frame headers incl.)\n",
+                     static_cast<unsigned long long>(r.wire_bytes));
+  }
+  return out;
+}
+
+// Per-site breakdown under a round, present when the engine recorded
+// SiteRoundProfiles (star, async, and rpc do; the tree engine aggregates
+// through intermediate tiers and leaves the vector empty).
+std::string SiteProfileLines(const RoundStats& r) {
+  std::string out;
+  if (r.site_profiles.empty()) return out;
+  out +=
+      "              site    wall_ms    eval_ms  morsel_ms    scanned"
+      "    matched   idx_hits   bytes_in  bytes_out       rows\n";
+  for (const SiteRoundProfile& p : r.site_profiles) {
+    out += StrPrintf(
+        "              %4d  %9.3f  %9.3f  %9.3f  %9llu  %9llu  %9llu"
+        "  %9llu  %9llu  %9llu",
+        p.site_id, p.wall_us / 1e3, p.eval_us / 1e3, p.morsel_us / 1e3,
+        static_cast<unsigned long long>(p.rows_scanned),
+        static_cast<unsigned long long>(p.rows_matched),
+        static_cast<unsigned long long>(p.index_hits),
+        static_cast<unsigned long long>(p.bytes_in),
+        static_cast<unsigned long long>(p.bytes_out),
+        static_cast<unsigned long long>(p.result_rows));
+    if (p.duplicate_rounds > 0 || p.chaos_faults > 0) {
+      out += StrPrintf("  (dup %llu, chaos %llu)",
+                       static_cast<unsigned long long>(p.duplicate_rounds),
+                       static_cast<unsigned long long>(p.chaos_faults));
+    }
+    out += "\n";
+  }
   return out;
 }
 
@@ -40,6 +74,10 @@ std::string FormatStatsReport(const DistributedPlan& plan,
                               const ExecStats& stats, size_t num_sites,
                               const StatsReportOptions& options) {
   std::string out = "EXPLAIN ANALYZE\n";
+  if (stats.query_id > 0) {
+    out += StrPrintf("  query id: %llu\n",
+                     static_cast<unsigned long long>(stats.query_id));
+  }
 
   if (stats.rounds.size() != plan.stages.size() + 1) {
     out += StrPrintf(
@@ -53,10 +91,12 @@ std::string FormatStatsReport(const DistributedPlan& plan,
   out += StrCat("  base: ", plan.base.ToString(),
                 plan.sync_base ? " [sync]" : " [no-sync]", "\n");
   out += RoundLine(stats.rounds[0]);
+  out += SiteProfileLines(stats.rounds[0]);
   for (size_t k = 0; k < plan.stages.size(); ++k) {
     out += StrCat("  stage ", k + 1, ": ",
                   plan.stages[k].ToString(num_sites), "\n");
     out += RoundLine(stats.rounds[k + 1]);
+    out += SiteProfileLines(stats.rounds[k + 1]);
   }
 
   out += StrPrintf(
@@ -67,6 +107,12 @@ std::string FormatStatsReport(const DistributedPlan& plan,
       static_cast<unsigned long long>(stats.TotalBytesToCoord()),
       static_cast<unsigned long long>(stats.TotalTuplesTransferred()),
       stats.NumSyncRounds(), stats.ResponseTime() * 1e3);
+  if (stats.total_wire_bytes > 0) {
+    out += StrPrintf(
+        "  wire: %llu bytes on the wire (%llu outside rounds)\n",
+        static_cast<unsigned long long>(stats.total_wire_bytes),
+        static_cast<unsigned long long>(stats.setup_wire_bytes));
+  }
 
   if (options.include_trace_tree) {
     if (TracingCompiledIn() && Tracer::Global().enabled()) {

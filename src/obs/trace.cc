@@ -17,6 +17,9 @@ namespace {
 // cache entry.
 std::atomic<uint64_t> g_tracer_serial{0};
 
+std::atomic<uint64_t> g_next_query_id{0};
+thread_local uint64_t t_current_query_id = 0;
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -40,6 +43,18 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+// --- Query-id scoping ---------------------------------------------------
+
+uint64_t NextQueryId() { return g_next_query_id.fetch_add(1) + 1; }
+
+uint64_t CurrentQueryId() { return t_current_query_id; }
+
+QueryIdScope::QueryIdScope(uint64_t query_id) : saved_(t_current_query_id) {
+  t_current_query_id = query_id;
+}
+
+QueryIdScope::~QueryIdScope() { t_current_query_id = saved_; }
+
 // --- Span --------------------------------------------------------------
 
 Span::Span(Tracer* tracer, std::string name, std::string category)
@@ -53,6 +68,9 @@ Span::Span(Tracer* tracer, std::string name, std::string category)
   event_.parent_id =
       buffer->open_spans.empty() ? 0 : buffer->open_spans.back();
   buffer->open_spans.push_back(event_.id);
+  if (t_current_query_id != 0) {
+    event_.attrs.emplace_back("query_id", StrCat(t_current_query_id));
+  }
 }
 
 Span& Span::operator=(Span&& other) noexcept {
@@ -132,9 +150,23 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() const {
 }
 
 void Tracer::Commit(TraceEvent event) {
+  event.seq = next_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
   ThreadBuffer* buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer->mu);
   buffer->events.push_back(std::move(event));
+}
+
+Span Tracer::StartSpanWithParent(std::string name, std::string category,
+                                 uint64_t parent_id) {
+  Span span = StartSpan(std::move(name), std::move(category));
+  if (span.armed() && parent_id != 0) span.event_.parent_id = parent_id;
+  return span;
+}
+
+uint64_t Tracer::CurrentSpanId() const {
+  if (!enabled()) return 0;
+  ThreadBuffer* buffer = LocalBuffer();
+  return buffer->open_spans.empty() ? 0 : buffer->open_spans.back();
 }
 
 void Tracer::Instant(
@@ -151,6 +183,9 @@ void Tracer::Instant(
   event.parent_id =
       buffer->open_spans.empty() ? 0 : buffer->open_spans.back();
   event.attrs = std::move(attrs);
+  if (t_current_query_id != 0) {
+    event.attrs.emplace_back("query_id", StrCat(t_current_query_id));
+  }
   Commit(std::move(event));
 }
 
@@ -166,6 +201,61 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
                      return a.ts_us < b.ts_us;
                    });
   return all;
+}
+
+std::vector<TraceEvent> Tracer::SnapshotSince(uint64_t mark) const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const TraceEvent& e : buffer->events) {
+      if (e.seq > mark) all.push_back(e);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+void Tracer::ImportRemoteSpans(const std::vector<TraceEvent>& events,
+                               uint64_t local_parent_id, int64_t ts_offset_us,
+                               uint32_t pid,
+                               const std::string& process_name) {
+  if (!enabled() || events.empty()) return;
+  RegisterProcessName(pid, process_name);
+  // Two passes so forward parent references remap correctly regardless
+  // of the order the remote process recorded its spans in: first assign
+  // every remote id a fresh local id, then rewrite links. Parents that
+  // point outside the batch (the remote process's ambient spans, e.g.
+  // its rpc.handle) graft onto `local_parent_id`.
+  std::unordered_map<uint64_t, uint64_t> id_map;
+  id_map.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (e.id != 0) id_map.emplace(e.id, NextSpanId());
+  }
+  for (const TraceEvent& e : events) {
+    TraceEvent imported = e;
+    if (imported.id != 0) imported.id = id_map[e.id];
+    auto parent = id_map.find(e.parent_id);
+    imported.parent_id =
+        parent != id_map.end() ? parent->second : local_parent_id;
+    imported.ts_us += ts_offset_us;
+    imported.pid = pid;
+    Commit(std::move(imported));
+  }
+}
+
+void Tracer::RegisterProcessName(uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& [existing, existing_name] : process_names_) {
+    if (existing == pid) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, std::move(name));
 }
 
 size_t Tracer::NumEvents() const {
@@ -188,8 +278,30 @@ void Tracer::Clear() {
 
 std::string Tracer::ToChromeJson() const {
   std::vector<TraceEvent> events = Snapshot();
+  std::vector<std::pair<uint32_t, std::string>> process_names;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    process_names = process_names_;
+  }
+  // The local process always owns lane 1; imported lanes register their
+  // names explicitly (ImportRemoteSpans).
+  bool has_local = false;
+  for (const auto& [pid, name] : process_names) {
+    if (pid == kLocalPid) has_local = true;
+  }
+  if (!has_local) {
+    process_names.emplace_back(kLocalPid, "coordinator");
+  }
   std::string out = "[\n";
   bool first = true;
+  for (const auto& [pid, name] : process_names) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrPrintf(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+        "\"args\":{\"name\":\"%s\"}}",
+        static_cast<unsigned>(pid), JsonEscape(name).c_str());
+  }
   for (const TraceEvent& e : events) {
     if (!first) out += ",\n";
     first = false;
@@ -202,10 +314,20 @@ std::string Tracer::ToChromeJson() const {
     } else {
       out += "\"s\":\"t\",";
     }
-    out += StrPrintf("\"pid\":1,\"tid\":%u,\"args\":{",
+    out += StrPrintf("\"pid\":%u,\"tid\":%u,\"args\":{",
+                     static_cast<unsigned>(e.pid),
                      static_cast<unsigned>(e.tid));
     bool first_attr = true;
+    if (e.id != 0) {
+      // Exporting the span's own id (not just its parent) makes the
+      // dump self-describing: scripts/check_trace.py resolves every
+      // parent reference without the in-memory Tracer state.
+      out += StrPrintf("\"id\":\"%llu\"",
+                       static_cast<unsigned long long>(e.id));
+      first_attr = false;
+    }
     if (e.parent_id != 0) {
+      if (!first_attr) out += ",";
       out += StrPrintf("\"parent\":\"%llu\"",
                        static_cast<unsigned long long>(e.parent_id));
       first_attr = false;

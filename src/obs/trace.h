@@ -31,6 +31,10 @@
 namespace skalla {
 namespace obs {
 
+/// Process lane of spans recorded in this process; imported remote
+/// batches land on lanes > 1 (ImportRemoteSpans).
+inline constexpr uint32_t kLocalPid = 1;
+
 /// One recorded trace event. `dur_us` < 0 marks an instant event.
 struct TraceEvent {
   std::string name;
@@ -40,10 +44,33 @@ struct TraceEvent {
   uint64_t id = 0;     // Span id (0 = none assigned).
   uint64_t parent_id = 0;  // Enclosing span on the same thread, 0 = root.
   uint32_t tid = 0;        // Tracer-assigned dense thread id.
+  uint32_t pid = 1;        // Process lane; 1 = this process, >1 = imported.
+  uint64_t seq = 0;        // Commit order, assigned by the tracer.
   std::vector<std::pair<std::string, std::string>> attrs;
 };
 
 class Tracer;
+
+/// Query-id scoping: a monotonically increasing per-process id that tags
+/// every span, instant, and metric recorded while a scope is active, so
+/// telemetry from concurrent queries stays separable. The current id is
+/// thread-local; executors re-establish it on worker threads through
+/// EvalContext::query_id.
+uint64_t NextQueryId();
+uint64_t CurrentQueryId();
+
+/// RAII: sets the calling thread's current query id, restoring the
+/// previous one on destruction (scopes nest).
+class QueryIdScope {
+ public:
+  explicit QueryIdScope(uint64_t query_id);
+  ~QueryIdScope();
+  QueryIdScope(const QueryIdScope&) = delete;
+  QueryIdScope& operator=(const QueryIdScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
 
 /// RAII span: records a complete ("X") event covering its lifetime.
 /// Movable so helpers can return spans; not copyable.
@@ -74,6 +101,8 @@ class Span {
   uint64_t id() const { return event_.id; }
 
  private:
+  friend class Tracer;
+
   Tracer* tracer_ = nullptr;  // nullptr = disarmed.
   TraceEvent event_;
 };
@@ -99,6 +128,17 @@ class Tracer {
     return Span(this, std::move(name), std::move(category));
   }
 
+  /// Starts a span with an explicit parent span id instead of the
+  /// calling thread's innermost open span. `parent_id` 0 falls back to
+  /// the stack behavior. Used to parent work handed to another thread
+  /// (morsel workers) under the span that scheduled it.
+  Span StartSpanWithParent(std::string name, std::string category,
+                           uint64_t parent_id);
+
+  /// The calling thread's innermost open span id (0 when none or when
+  /// the tracer is disabled).
+  uint64_t CurrentSpanId() const;
+
   /// Records an instant event ("i" phase) on the calling thread.
   void Instant(std::string name, std::string category,
                std::vector<std::pair<std::string, std::string>> attrs = {});
@@ -113,6 +153,31 @@ class Tracer {
   /// Snapshots every event recorded so far (all threads), ordered by
   /// start timestamp.
   std::vector<TraceEvent> Snapshot() const;
+
+  /// A watermark for SnapshotSince: events committed after this call
+  /// have `seq` greater than the returned mark.
+  uint64_t CommitMark() const {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshots only the events committed after `mark` (any thread),
+  /// ordered by start timestamp. How a site captures exactly the spans
+  /// recorded while it evaluated one round.
+  std::vector<TraceEvent> SnapshotSince(uint64_t mark) const;
+
+  /// Merges spans recorded by another process into this tracer:
+  /// assigns fresh local span ids (remapping parent links that stay
+  /// inside the batch), reparents batch-external roots under
+  /// `local_parent_id`, shifts timestamps by `ts_offset_us` to this
+  /// tracer's epoch, and files every event under process lane `pid`
+  /// (named `process_name` in the Chrome export). Import order is
+  /// deterministic: events are processed in the given order.
+  void ImportRemoteSpans(const std::vector<TraceEvent>& events,
+                         uint64_t local_parent_id, int64_t ts_offset_us,
+                         uint32_t pid, const std::string& process_name);
+
+  /// Names a process lane in the Chrome export ("M" metadata event).
+  void RegisterProcessName(uint32_t pid, std::string name);
 
   /// Number of events recorded so far.
   size_t NumEvents() const;
@@ -154,11 +219,13 @@ class Tracer {
   const uint64_t serial_;  // Process-unique; keys the per-thread cache.
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> next_seq_{0};
 
-  mutable std::mutex registry_mu_;  // Guards `buffers_`.
+  mutable std::mutex registry_mu_;  // Guards `buffers_`/`process_names_`.
   // Owned; never freed until the tracer dies (threads may outlive their
   // first use and re-register cheaply via the thread-local cache).
   mutable std::vector<ThreadBuffer*> buffers_;
+  std::vector<std::pair<uint32_t, std::string>> process_names_;
 };
 
 }  // namespace obs

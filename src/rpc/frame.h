@@ -41,7 +41,12 @@ inline constexpr uint32_t kFrameMagic = 0x414C4B53;  // "SKLA"
 //   3  frame CRC covers the header (bytes [0, 12)) as well as the
 //      payload; BaseRound/GmdjRound payloads grow a deadline_ms varint
 //      after the flags byte (coordinator-propagated round deadline)
-inline constexpr uint8_t kProtocolVersion = 3;
+//   4  BaseRound/GmdjRound payloads grow a TraceContext (trace id,
+//      parent span id, query id varints) after deadline_ms; round
+//      responses switch from kTableResult to kRoundResult (flags byte +
+//      serialized RoundProfile + optional table tail); new kGetStats /
+//      kStatsResult message pair for pulling a site's metrics snapshot
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr size_t kFrameHeaderSize = 16;
 
 /// What a frame carries. Requests flow coordinator -> site; responses
@@ -58,10 +63,13 @@ enum class MessageType : uint8_t {
   kGmdjRound = 7,    // request: GmdjRoundRequest
   kTableResult = 8,  // response: net/serde table payload
   kShutdown = 9,     // request: site server stops after acknowledging
+  kGetStats = 10,    // request: empty payload; pulls a metrics snapshot
+  kStatsResult = 11,  // response: varint site id + JSON metrics string
+  kRoundResult = 12,  // response: flags + RoundProfile + table payload
 };
 
 inline constexpr uint8_t kMaxMessageType =
-    static_cast<uint8_t>(MessageType::kShutdown);
+    static_cast<uint8_t>(MessageType::kRoundResult);
 
 /// One decoded message.
 struct Frame {

@@ -106,7 +106,104 @@ Result<ExprPtr> ReadExprImpl(ByteReader* reader, int depth) {
 
 Result<uint8_t> ReadFlags(ByteReader* reader) { return reader->ReadByte(); }
 
+// A RoundProfile's span subtree is bounded by the instrumentation (a few
+// spans per morsel at worst); anything beyond this is a corrupt payload.
+constexpr uint64_t kMaxProfileSpans = 1u << 20;
+constexpr uint64_t kMaxSpanAttrs = 1u << 12;
+
 }  // namespace
+
+void WriteTraceContext(std::vector<uint8_t>* out, const TraceContext& ctx) {
+  PutVarint(out, ctx.trace_id);
+  PutVarint(out, ctx.parent_span_id);
+  PutVarint(out, ctx.query_id);
+}
+
+Result<TraceContext> ReadTraceContext(ByteReader* reader) {
+  TraceContext ctx;
+  SKALLA_ASSIGN_OR_RETURN(ctx.trace_id, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(ctx.parent_span_id, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(ctx.query_id, reader->ReadVarint());
+  return ctx;
+}
+
+void WriteRoundProfile(std::vector<uint8_t>* out,
+                       const RoundProfile& profile) {
+  PutVarint(out, ZigzagEncode(profile.site_id));
+  PutVarint(out, profile.wall_us);
+  PutVarint(out, profile.eval_us);
+  PutVarint(out, profile.morsel_us);
+  PutVarint(out, profile.rows_scanned);
+  PutVarint(out, profile.rows_matched);
+  PutVarint(out, profile.index_hits);
+  PutVarint(out, profile.bytes_in);
+  PutVarint(out, profile.bytes_out);
+  PutVarint(out, profile.result_rows);
+  PutVarint(out, profile.duplicate_rounds);
+  PutVarint(out, profile.chaos_faults);
+  PutVarint(out, profile.spans.size());
+  for (const obs::TraceEvent& e : profile.spans) {
+    WriteString(out, e.name);
+    WriteString(out, e.category);
+    PutVarint(out, ZigzagEncode(e.ts_us));
+    PutVarint(out, ZigzagEncode(e.dur_us));
+    PutVarint(out, e.id);
+    PutVarint(out, e.parent_id);
+    PutVarint(out, e.tid);
+    PutVarint(out, e.attrs.size());
+    for (const auto& [key, value] : e.attrs) {
+      WriteString(out, key);
+      WriteString(out, value);
+    }
+  }
+}
+
+Result<RoundProfile> ReadRoundProfile(ByteReader* reader) {
+  RoundProfile profile;
+  SKALLA_ASSIGN_OR_RETURN(uint64_t site_raw, reader->ReadVarint());
+  profile.site_id = static_cast<int>(ZigzagDecode(site_raw));
+  SKALLA_ASSIGN_OR_RETURN(profile.wall_us, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.eval_us, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.morsel_us, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.rows_scanned, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.rows_matched, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.index_hits, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.bytes_in, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.bytes_out, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.result_rows, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.duplicate_rounds, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(profile.chaos_faults, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_spans, reader->ReadVarint());
+  if (num_spans > kMaxProfileSpans) {
+    return Status::IOError("implausible profile span count");
+  }
+  profile.spans.reserve(num_spans);
+  for (uint64_t i = 0; i < num_spans; ++i) {
+    obs::TraceEvent e;
+    SKALLA_ASSIGN_OR_RETURN(e.name, ReadString(reader));
+    SKALLA_ASSIGN_OR_RETURN(e.category, ReadString(reader));
+    SKALLA_ASSIGN_OR_RETURN(uint64_t ts_raw, reader->ReadVarint());
+    e.ts_us = ZigzagDecode(ts_raw);
+    SKALLA_ASSIGN_OR_RETURN(uint64_t dur_raw, reader->ReadVarint());
+    e.dur_us = ZigzagDecode(dur_raw);
+    SKALLA_ASSIGN_OR_RETURN(e.id, reader->ReadVarint());
+    SKALLA_ASSIGN_OR_RETURN(e.parent_id, reader->ReadVarint());
+    SKALLA_ASSIGN_OR_RETURN(uint64_t tid, reader->ReadVarint());
+    e.tid = static_cast<uint32_t>(tid);
+    SKALLA_ASSIGN_OR_RETURN(uint64_t num_attrs, reader->ReadVarint());
+    if (num_attrs > kMaxSpanAttrs) {
+      return Status::IOError("implausible span attribute count");
+    }
+    e.attrs.reserve(num_attrs);
+    for (uint64_t a = 0; a < num_attrs; ++a) {
+      SKALLA_ASSIGN_OR_RETURN(std::string key, ReadString(reader));
+      SKALLA_ASSIGN_OR_RETURN(std::string value, ReadString(reader));
+      e.attrs.emplace_back(std::move(key), std::move(value));
+    }
+    profile.spans.push_back(std::move(e));
+  }
+  return profile;
+}
 
 void WriteString(std::vector<uint8_t>* out, std::string_view s) {
   PutVarint(out, s.size());
@@ -269,6 +366,7 @@ std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req) {
   std::vector<uint8_t> out;
   out.push_back(req.ship_result ? 1 : 0);
   PutVarint(&out, req.deadline_ms);
+  WriteTraceContext(&out, req.trace);
   WriteBaseQuery(&out, req.query);
   return out;
 }
@@ -280,6 +378,7 @@ Result<BaseRoundRequest> DecodeBaseRoundRequest(
   BaseRoundRequest req;
   req.ship_result = (flags & 1) != 0;
   SKALLA_ASSIGN_OR_RETURN(req.deadline_ms, reader.ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(req.trace, ReadTraceContext(&reader));
   SKALLA_ASSIGN_OR_RETURN(req.query, ReadBaseQuery(&reader));
   if (reader.remaining() != 0) {
     return Status::IOError("trailing bytes after base-round request");
@@ -298,6 +397,7 @@ std::vector<uint8_t> EncodeGmdjRoundRequest(
   if (req.has_base) flags |= 8;
   out.push_back(flags);
   PutVarint(&out, req.deadline_ms);
+  WriteTraceContext(&out, req.trace);
   WriteString(&out, req.label);
   WriteGmdjOp(&out, req.op);
   if (req.has_base) {
@@ -316,10 +416,12 @@ Result<GmdjRoundRequest> DecodeGmdjRoundRequest(
   req.ship_result = (flags & 4) != 0;
   req.has_base = (flags & 8) != 0;
   SKALLA_ASSIGN_OR_RETURN(req.deadline_ms, reader.ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(req.trace, ReadTraceContext(&reader));
   SKALLA_ASSIGN_OR_RETURN(req.label, ReadString(&reader));
   SKALLA_ASSIGN_OR_RETURN(req.op, ReadGmdjOp(&reader));
   size_t table_offset = payload.size() - reader.remaining();
   if (req.has_base) {
+    req.base_table_bytes = payload.size() - table_offset;
     SKALLA_ASSIGN_OR_RETURN(
         req.base, ReadTable(payload.data() + table_offset,
                             payload.size() - table_offset));
@@ -368,6 +470,54 @@ Result<int> DecodeHello(const std::vector<uint8_t>& payload) {
   ByteReader reader(payload.data(), payload.size());
   SKALLA_ASSIGN_OR_RETURN(uint64_t raw, reader.ReadVarint());
   return static_cast<int>(ZigzagDecode(raw));
+}
+
+std::vector<uint8_t> EncodeRoundResult(
+    const RoundProfile& profile, const std::vector<uint8_t>* table_bytes) {
+  std::vector<uint8_t> out;
+  out.push_back(table_bytes != nullptr ? 1 : 0);
+  WriteRoundProfile(&out, profile);
+  if (table_bytes != nullptr) {
+    out.insert(out.end(), table_bytes->begin(), table_bytes->end());
+  }
+  return out;
+}
+
+Result<RoundResult> DecodeRoundResult(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint8_t flags, ReadFlags(&reader));
+  RoundResult result;
+  result.has_table = (flags & 1) != 0;
+  SKALLA_ASSIGN_OR_RETURN(result.profile, ReadRoundProfile(&reader));
+  size_t table_offset = payload.size() - reader.remaining();
+  if (result.has_table) {
+    result.table_bytes = payload.size() - table_offset;
+    SKALLA_ASSIGN_OR_RETURN(
+        result.table, ReadTable(payload.data() + table_offset,
+                                payload.size() - table_offset));
+  } else if (reader.remaining() != 0) {
+    return Status::IOError("trailing bytes after round result");
+  }
+  return result;
+}
+
+std::vector<uint8_t> EncodeStatsResult(const StatsResult& stats) {
+  std::vector<uint8_t> out;
+  PutVarint(&out, ZigzagEncode(stats.site_id));
+  WriteString(&out, stats.metrics_json);
+  return out;
+}
+
+Result<StatsResult> DecodeStatsResult(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  StatsResult stats;
+  SKALLA_ASSIGN_OR_RETURN(uint64_t raw, reader.ReadVarint());
+  stats.site_id = static_cast<int>(ZigzagDecode(raw));
+  SKALLA_ASSIGN_OR_RETURN(stats.metrics_json, ReadString(&reader));
+  if (reader.remaining() != 0) {
+    return Status::IOError("trailing bytes after stats result");
+  }
+  return stats;
 }
 
 }  // namespace rpc

@@ -18,6 +18,7 @@
 #include "core/gmdj.h"
 #include "expr/expr.h"
 #include "net/serde.h"
+#include "obs/trace.h"
 #include "relalg/operators.h"
 #include "storage/table.h"
 #include "types/schema.h"
@@ -54,6 +55,44 @@ Result<BaseQuery> ReadBaseQuery(ByteReader* reader);
 void WriteGmdjOp(std::vector<uint8_t>* out, const GmdjOp& op);
 Result<GmdjOp> ReadGmdjOp(ByteReader* reader);
 
+// --- Tracing / profiling payloads ----------------------------------------
+
+/// Trace context a coordinator propagates with every round request so a
+/// site's spans and metrics land in the same distributed trace. All
+/// fields zero = untraced (sites skip span capture). Wire format: three
+/// varints after deadline_ms in BaseRound/GmdjRound (protocol version 4;
+/// always present, zeros when tracing is off).
+struct TraceContext {
+  uint64_t trace_id = 0;        // Coordinator tracer identity (diagnostic).
+  uint64_t parent_span_id = 0;  // Coordinator span the round runs under.
+  uint64_t query_id = 0;        // Coordinator query id (tags site telemetry).
+};
+void WriteTraceContext(std::vector<uint8_t>* out, const TraceContext& ctx);
+Result<TraceContext> ReadTraceContext(ByteReader* reader);
+
+/// What one site measured evaluating one round. Travels back to the
+/// coordinator inside every kRoundResult payload, self-delimiting so the
+/// table payload can follow it.
+struct RoundProfile {
+  int site_id = 0;
+  uint64_t wall_us = 0;     // Round wall time inside the site service.
+  uint64_t eval_us = 0;     // Of which: base/GMDJ evaluation proper.
+  uint64_t morsel_us = 0;   // Summed per-morsel time (overlaps if parallel).
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  uint64_t index_hits = 0;
+  uint64_t bytes_in = 0;    // Table payload bytes the request carried.
+  uint64_t bytes_out = 0;   // Table payload bytes the response carries.
+  uint64_t result_rows = 0;
+  uint64_t duplicate_rounds = 0;  // Idempotency-cache replays so far.
+  uint64_t chaos_faults = 0;      // Transport faults injected so far.
+  /// The site's span subtree for this round (empty when untraced). Span
+  /// ids/parents are site-local; the coordinator remaps them on import.
+  std::vector<obs::TraceEvent> spans;
+};
+void WriteRoundProfile(std::vector<uint8_t>* out, const RoundProfile& profile);
+Result<RoundProfile> ReadRoundProfile(ByteReader* reader);
+
 // --- Request/response payloads -------------------------------------------
 
 /// kBeginPlan: resets the site's round state and applies per-plan knobs.
@@ -80,6 +119,8 @@ struct BaseRoundRequest {
   /// surfaces as a kDeadlineExceeded error response. Wire format:
   /// varint after the flags byte (protocol version 3).
   uint64_t deadline_ms = 0;
+  /// Distributed trace propagation (protocol version 4).
+  TraceContext trace;
 };
 std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req);
 Result<BaseRoundRequest> DecodeBaseRoundRequest(
@@ -101,7 +142,13 @@ struct GmdjRoundRequest {
   /// Round deadline in milliseconds, 0 = none (varint after the flags
   /// byte, protocol version 3). See BaseRoundRequest::deadline_ms.
   uint64_t deadline_ms = 0;
+  /// Distributed trace propagation (protocol version 4).
+  TraceContext trace;
   Table base;  // meaningful when has_base
+  /// Decoder-filled: size of the serialized base table tail in bytes
+  /// (0 when !has_base). Lets the site report bytes_in without
+  /// re-serializing the table. Not part of the wire format.
+  uint64_t base_table_bytes = 0;
 };
 
 /// `base_table_bytes` must be WriteTable output (ignored unless
@@ -126,6 +173,33 @@ Result<std::vector<CatalogEntry>> DecodeCatalogResponse(
 /// kHello: site id handshake.
 std::vector<uint8_t> EncodeHello(int site_id);
 Result<int> DecodeHello(const std::vector<uint8_t>& payload);
+
+/// kRoundResult: the protocol-v4 response to every base/GMDJ round —
+/// a flags byte (bit 0: a table payload follows), the round's
+/// RoundProfile, then the raw net/serde table bytes when shipped. The
+/// table tail is byte-identical to what a v3 kTableResult carried, so
+/// `payload.size() - table offset` preserves the byte-accounting
+/// contract (bytes_to_coord counts table payload bytes only).
+struct RoundResult {
+  RoundProfile profile;
+  bool has_table = false;
+  Table table;                   // meaningful when has_table
+  uint64_t table_bytes = 0;      // decoder-filled size of the table tail
+};
+
+/// `table_bytes` must be WriteTable output; pass nullptr for a round
+/// that ships no table (kAck-style unsynchronized rounds).
+std::vector<uint8_t> EncodeRoundResult(const RoundProfile& profile,
+                                       const std::vector<uint8_t>* table_bytes);
+Result<RoundResult> DecodeRoundResult(const std::vector<uint8_t>& payload);
+
+/// kStatsResult: one site's metrics snapshot (MetricsRegistry JSON).
+struct StatsResult {
+  int site_id = 0;
+  std::string metrics_json;
+};
+std::vector<uint8_t> EncodeStatsResult(const StatsResult& stats);
+Result<StatsResult> DecodeStatsResult(const std::vector<uint8_t>& payload);
 
 }  // namespace rpc
 }  // namespace skalla

@@ -14,6 +14,27 @@
 namespace skalla {
 namespace rpc {
 
+namespace {
+
+SiteRoundProfile ToSiteProfile(const RoundProfile& p) {
+  SiteRoundProfile sp;
+  sp.site_id = p.site_id;
+  sp.wall_us = p.wall_us;
+  sp.eval_us = p.eval_us;
+  sp.morsel_us = p.morsel_us;
+  sp.rows_scanned = p.rows_scanned;
+  sp.rows_matched = p.rows_matched;
+  sp.index_hits = p.index_hits;
+  sp.bytes_in = p.bytes_in;
+  sp.bytes_out = p.bytes_out;
+  sp.result_rows = p.result_rows;
+  sp.duplicate_rounds = p.duplicate_rounds;
+  sp.chaos_faults = p.chaos_faults;
+  return sp;
+}
+
+}  // namespace
+
 RpcExecutor::RpcExecutor(std::unique_ptr<Transport> transport,
                          ExecutorOptions options)
     : transport_(std::move(transport)), options_(options) {}
@@ -102,14 +123,20 @@ uint64_t RpcExecutor::wire_bytes() const {
 
 Result<Table> RpcExecutor::CallRound(size_t i, MessageType type,
                                      const std::vector<uint8_t>& payload,
-                                     uint64_t* table_payload_bytes) {
+                                     RoundCallStats* call_stats) {
   SKALLA_TRACE_SPAN(span, "rpc.round", "rpc");
   SKALLA_SPAN_ATTR(span, "site", static_cast<int64_t>(i));
   Stopwatch timer;
   uint64_t wire_before = connections_[i]->wire_bytes();
+  // Coordinator clock just before the request leaves: remote span
+  // timestamps are shifted so the site's earliest event aligns here.
+  int64_t send_ts_us = 0;
+  SKALLA_OBS_ONLY(send_ts_us = obs::Tracer::Global().NowMicros());
+  (void)send_ts_us;
   Result<Frame> response = connections_[i]->Call(type, payload);
-  SKALLA_COUNTER_ADD("skalla.rpc.bytes",
-                     connections_[i]->wire_bytes() - wire_before);
+  if (call_stats != nullptr) {
+    call_stats->wire_bytes = connections_[i]->wire_bytes() - wire_before;
+  }
   SKALLA_HISTOGRAM_RECORD("skalla.rpc.round_us",
                           timer.ElapsedSeconds() * 1e6);
   SKALLA_RETURN_NOT_OK(response.status());
@@ -119,13 +146,39 @@ Result<Table> RpcExecutor::CallRound(size_t i, MessageType type,
       // wire (a site-side NotFound surfaces as NotFound).
       return ReadStatusPayload(response->payload);
     case MessageType::kAck:
-      if (table_payload_bytes != nullptr) *table_payload_bytes = 0;
+      if (call_stats != nullptr) call_stats->table_bytes = 0;
       return Table();
     case MessageType::kTableResult:
-      if (table_payload_bytes != nullptr) {
-        *table_payload_bytes = response->payload.size();
+      if (call_stats != nullptr) {
+        call_stats->table_bytes = response->payload.size();
       }
       return ReadTable(response->payload.data(), response->payload.size());
+    case MessageType::kRoundResult: {
+      SKALLA_ASSIGN_OR_RETURN(RoundResult result,
+                              DecodeRoundResult(response->payload));
+#if defined(SKALLA_TRACING) && SKALLA_TRACING
+      if (!result.profile.spans.empty() &&
+          obs::Tracer::Global().enabled()) {
+        // Graft the site's span subtree under this call's rpc.round
+        // span, in its own process lane.
+        int64_t min_ts = result.profile.spans.front().ts_us;
+        for (const obs::TraceEvent& e : result.profile.spans) {
+          min_ts = std::min(min_ts, e.ts_us);
+        }
+        obs::Tracer::Global().ImportRemoteSpans(
+            result.profile.spans, span.id(), send_ts_us - min_ts,
+            static_cast<uint32_t>(result.profile.site_id) + 2,
+            StrCat("site ", result.profile.site_id));
+      }
+#endif
+      if (call_stats != nullptr) {
+        call_stats->table_bytes = result.table_bytes;
+        call_stats->has_profile = true;
+        call_stats->profile = std::move(result.profile);
+      }
+      if (!result.has_table) return Table();
+      return std::move(result.table);
+    }
     default:
       return Status::IOError(
           StrCat("unexpected response type ",
@@ -174,6 +227,13 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   ExecStats local_stats;
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
+
+  // Every span, instant, and metric below carries this query's id; the
+  // sites inherit it through the TraceContext each round request ships.
+  const uint64_t query_id = obs::NextQueryId();
+  obs::QueryIdScope query_scope(query_id);
+  st.query_id = query_id;
+  const uint64_t wire_start = wire_bytes();
 
   SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
   SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
@@ -263,13 +323,18 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     request.query = plan.base;
     request.ship_result = plan.sync_base;
     request.deadline_ms = shipped_deadline_ms();
+    request.trace.query_id = query_id;
+    SKALLA_OBS_ONLY(if (round_span.armed()) {
+      request.trace.trace_id = query_id;
+      request.trace.parent_span_id = round_span.id();
+    });
     std::vector<uint8_t> payload = EncodeBaseRoundRequest(request);
 
     if (plan.sync_base) SKALLA_RETURN_NOT_OK(coordinator.InitBase(upstream));
     for (size_t i = 0; i < n; ++i) {
       Stopwatch timer;
       SiteRoundCounts counts;
-      uint64_t fragment_bytes = 0;
+      RoundCallStats call;
       const std::vector<size_t> endpoints = ReplicaEndpoints(i);
       std::vector<int> ids;
       for (size_t endpoint : endpoints) {
@@ -279,9 +344,11 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
           options_, ids, rs.label,
           [&](size_t r) -> Result<Table> {
             SKALLA_RETURN_NOT_OK(ensure_begun(endpoints[r]));
-            fragment_bytes = 0;
-            return CallRound(endpoints[r], MessageType::kBaseRound, payload,
-                             &fragment_bytes);
+            call = RoundCallStats();
+            Result<Table> attempt = CallRound(
+                endpoints[r], MessageType::kBaseRound, payload, &call);
+            rs.wire_bytes += call.wire_bytes;
+            return attempt;
           },
           &counts, &round_cancel);
       rs.site_retries += counts.retries;
@@ -298,8 +365,11 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
       double elapsed = timer.ElapsedSeconds();
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
+      if (call.has_profile) {
+        rs.site_profiles.push_back(ToSiteProfile(call.profile));
+      }
       if (plan.sync_base) {
-        rs.bytes_to_coord += fragment_bytes;
+        rs.bytes_to_coord += call.table_bytes;
         rs.tuples_to_coord += fragment->num_rows();
         Stopwatch merge_timer;
         SKALLA_RETURN_NOT_OK(coordinator.MergeBaseFragment(*fragment));
@@ -341,6 +411,11 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     request.apply_rng = stage.sync_after && stage.indep_group_reduction;
     request.ship_result = stage.sync_after;
     request.deadline_ms = shipped_deadline_ms();
+    request.trace.query_id = query_id;
+    SKALLA_OBS_ONLY(if (round_span.armed()) {
+      request.trace.trace_id = query_id;
+      request.trace.parent_span_id = round_span.id();
+    });
 
     // Distribution: with a global structure, each site gets its
     // (possibly reduction-filtered) copy inside the round request; a
@@ -393,7 +468,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
       if (!active[i] || lost[i]) continue;
       Stopwatch timer;
       SiteRoundCounts counts;
-      uint64_t fragment_bytes = 0;
+      RoundCallStats call;
       std::vector<size_t> endpoints =
           request.has_base ? ReplicaEndpoints(i) : std::vector<size_t>{i};
       std::vector<int> ids;
@@ -404,9 +479,11 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
           options_, ids, rs.label,
           [&](size_t r) -> Result<Table> {
             SKALLA_RETURN_NOT_OK(ensure_begun(endpoints[r]));
-            fragment_bytes = 0;
-            return CallRound(endpoints[r], MessageType::kGmdjRound,
-                             payloads[i], &fragment_bytes);
+            call = RoundCallStats();
+            Result<Table> attempt = CallRound(
+                endpoints[r], MessageType::kGmdjRound, payloads[i], &call);
+            rs.wire_bytes += call.wire_bytes;
+            return attempt;
           },
           &counts, &round_cancel);
       rs.site_retries += counts.retries;
@@ -423,8 +500,11 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
       double elapsed = timer.ElapsedSeconds();
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
+      if (call.has_profile) {
+        rs.site_profiles.push_back(ToSiteProfile(call.profile));
+      }
       if (stage.sync_after) {
-        rs.bytes_to_coord += fragment_bytes;
+        rs.bytes_to_coord += call.table_bytes;
         rs.tuples_to_coord += fragment->num_rows();
         outputs[i] = std::move(*fragment);
       }
@@ -467,7 +547,29 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     return Status::Internal("plan finished without a global result");
   }
   std::sort(st.lost_sites.begin(), st.lost_sites.end());
+  st.total_wire_bytes = wire_bytes() - wire_start;
+  uint64_t round_wire = 0;
+  for (const RoundStats& rs : st.rounds) round_wire += rs.wire_bytes;
+  st.setup_wire_bytes = st.total_wire_bytes - round_wire;
   return coordinator.result();
+}
+
+Result<StatsResult> RpcExecutor::SiteStats(size_t endpoint) {
+  SKALLA_RETURN_NOT_OK(Connect());
+  if (endpoint >= connections_.size() || connections_[endpoint] == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("no connection for endpoint ", endpoint));
+  }
+  SKALLA_ASSIGN_OR_RETURN(
+      Frame response, connections_[endpoint]->Call(MessageType::kGetStats, {}));
+  if (response.type == MessageType::kError) {
+    return ReadStatusPayload(response.payload);
+  }
+  if (response.type != MessageType::kStatsResult) {
+    return Status::IOError(StrCat("unexpected stats response type ",
+                                  static_cast<int>(response.type)));
+  }
+  return DecodeStatsResult(response.payload);
 }
 
 Status RpcExecutor::Shutdown() {

@@ -7,7 +7,9 @@
 // Accounting semantics (docs/RPC.md): bytes_to_sites / bytes_to_coord
 // count table payload bytes only, exactly as the simulated engines do,
 // so results AND byte counts are identical across transports. Frame
-// headers and handshakes land in the skalla.rpc.bytes metric instead.
+// headers and handshakes land in the skalla.rpc.bytes.sent/.recv
+// metrics and in RoundStats::wire_bytes / ExecStats::*_wire_bytes
+// instead.
 // site_time_* is the measured request round-trip (it includes real
 // network time — there is no simulated model to separate it, so
 // comm_time stays 0); wall_time is real elapsed time per round.
@@ -22,11 +24,23 @@
 
 #include "common/result.h"
 #include "dist/executor.h"
+#include "rpc/plan_serde.h"
 #include "rpc/transport.h"
 #include "types/schema.h"
 
 namespace skalla {
 namespace rpc {
+
+/// What one CallRound observed: the accounted table payload bytes, the
+/// framed wire bytes the call moved (all attempts' frames, headers and
+/// CRCs included), and the site's RoundProfile when the response was a
+/// kRoundResult.
+struct RoundCallStats {
+  uint64_t table_bytes = 0;
+  uint64_t wire_bytes = 0;
+  bool has_profile = false;
+  RoundProfile profile;
+};
 
 class RpcExecutor : public Executor {
  public:
@@ -81,14 +95,21 @@ class RpcExecutor : public Executor {
   /// Schema of a site-resident table, once connected.
   Result<SchemaPtr> TableSchema(const std::string& name) const;
 
+  /// Pulls one endpoint's metrics snapshot (kGetStats): the site
+  /// process's MetricsRegistry as JSON, plus its site id.
+  Result<StatsResult> SiteStats(size_t endpoint);
+
  private:
   /// One request/response against site `i`, translating the response:
-  /// kTableResult decodes to the table (payload size, i.e. the accounted
-  /// table bytes, lands in *table_payload_bytes); kAck is an empty
-  /// table; kError decodes back to the site's original Status.
+  /// kRoundResult decodes to the table plus the site's RoundProfile
+  /// (remote spans are merged into the coordinator tracer, parented
+  /// under this call's rpc.round span); kTableResult / kAck are the
+  /// pre-v4 shapes; kError decodes back to the site's original Status.
+  /// `call_stats` (may be nullptr) receives per-call accounting even
+  /// when the call fails.
   Result<Table> CallRound(size_t i, MessageType type,
                           const std::vector<uint8_t>& payload,
-                          uint64_t* table_payload_bytes);
+                          RoundCallStats* call_stats);
 
   // Endpoint indices of partition i's evaluation chain: primary, then
   // replicas in registration order.

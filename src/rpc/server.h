@@ -72,6 +72,12 @@ class SiteServer {
   /// Transport faults injected so far (for chaos-test assertions).
   int chaos_faults_injected() const { return chaos_faults_.load(); }
 
+  /// The live fault counter, for wiring into
+  /// SiteService::set_chaos_faults_counter so RoundProfiles report it.
+  const std::atomic<int>* chaos_faults_counter() const {
+    return &chaos_faults_;
+  }
+
  private:
   Status ServeConnection(TcpSocket* connection);
 

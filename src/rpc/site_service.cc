@@ -1,7 +1,9 @@
 #include "rpc/site_service.h"
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/eval_context.h"
 #include "dist/executor.h"
 #include "net/serde.h"
 #include "obs/obs.h"
@@ -25,10 +27,57 @@ Frame AckFrame() {
   return frame;
 }
 
-Frame TableFrame(const Table& table) {
+/// Captures the site-side span subtree recorded while one round runs:
+/// take a commit watermark up front, drain everything committed after
+/// it once the round's spans have ended. When the request is traced but
+/// this process isn't exporting a trace of its own, the tracer is
+/// enabled just for the capture window and drained afterwards so the
+/// per-thread buffers don't grow without bound across rounds.
+class RoundTraceCapture {
+ public:
+  explicit RoundTraceCapture(bool traced) : traced_(traced) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    if (traced_ && !tracer.enabled()) {
+      owned_ = true;
+      tracer.set_enabled(true);
+    }
+    mark_ = tracer.CommitMark();
+  }
+
+  ~RoundTraceCapture() {
+    if (owned_) {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      tracer.Clear();
+      tracer.set_enabled(false);
+    }
+  }
+
+  std::vector<obs::TraceEvent> Drain() const {
+    if (!traced_) return {};
+    return obs::Tracer::Global().SnapshotSince(mark_);
+  }
+
+ private:
+  bool traced_;
+  bool owned_ = false;
+  uint64_t mark_ = 0;
+};
+
+/// Builds the kRoundResult response. Fills the profile's bytes_out /
+/// result_rows from the serialized table so the coordinator's
+/// byte-accounting reconciles exactly.
+Frame RoundResultFrame(RoundProfile* profile, const Table* table) {
   Frame frame;
-  frame.type = MessageType::kTableResult;
-  WriteTable(table, &frame.payload);
+  frame.type = MessageType::kRoundResult;
+  if (table != nullptr) {
+    std::vector<uint8_t> table_bytes;
+    WriteTable(*table, &table_bytes);
+    profile->bytes_out = table_bytes.size();
+    profile->result_rows = table->num_rows();
+    frame.payload = EncodeRoundResult(*profile, &table_bytes);
+  } else {
+    frame.payload = EncodeRoundResult(*profile, nullptr);
+  }
   return frame;
 }
 
@@ -63,6 +112,15 @@ Result<Frame> SiteService::Handle(const Frame& request) {
       return HandleBaseRound(request);
     case MessageType::kGmdjRound:
       return HandleGmdjRound(request);
+    case MessageType::kGetStats: {
+      Frame frame;
+      frame.type = MessageType::kStatsResult;
+      StatsResult stats;
+      stats.site_id = site_.id();
+      stats.metrics_json = obs::MetricsRegistry::Global().ToJson();
+      frame.payload = EncodeStatsResult(stats);
+      return frame;
+    }
     case MessageType::kShutdown:
       shutdown_ = true;
       return AckFrame();
@@ -90,6 +148,13 @@ Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
 Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
   SKALLA_ASSIGN_OR_RETURN(BaseRoundRequest req,
                           DecodeBaseRoundRequest(request.payload));
+  Stopwatch wall;
+  const bool traced =
+      req.trace.parent_span_id != 0 || req.trace.trace_id != 0;
+  RoundTraceCapture capture(traced);
+  obs::QueryIdScope query_scope(req.trace.query_id);
+  RoundProfile profile;
+  profile.site_id = site_.id();
   // The coordinator ships the remaining round budget; a fired deadline
   // surfaces as a typed kDeadlineExceeded error response. Base queries
   // poll between pipeline steps rather than per-morsel, so the token
@@ -102,28 +167,61 @@ Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
   if (!armed.ok()) return ErrorFrame(armed);
   // Recomputing from the durable local partition makes retries of this
   // round naturally idempotent.
-  Result<Table> base = site_.ExecuteBaseQuery(req.query);
+  Result<Table> base = Status::Internal("unset");
+  {
+    obs::Span round_span =
+        traced ? obs::Tracer::Global().StartSpan("site.round:base", "site")
+               : obs::Span();
+    if (round_span.armed()) {
+      round_span.AddAttr("site", static_cast<int64_t>(site_.id()));
+    }
+    Stopwatch eval_watch;
+    base = site_.ExecuteBaseQuery(req.query);
+    profile.eval_us = static_cast<uint64_t>(eval_watch.ElapsedMicros());
+  }
   if (base.ok()) {
     Status after = cancel.Check();
     if (!after.ok()) return ErrorFrame(after);
   }
   if (!base.ok()) return ErrorFrame(base.status());
-  if (req.ship_result) return TableFrame(*base);
+  profile.duplicate_rounds = duplicate_rounds_;
+  profile.chaos_faults =
+      chaos_faults_ == nullptr
+          ? 0
+          : static_cast<uint64_t>(chaos_faults_->load(std::memory_order_relaxed));
+  profile.result_rows = base->num_rows();
+  if (req.ship_result) {
+    profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
+    profile.spans = capture.Drain();
+    return RoundResultFrame(&profile, &*base);
+  }
   local_base_ = std::move(*base);
   last_round_.clear();
   last_input_ = Table();
-  return AckFrame();
+  profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
+  profile.spans = capture.Drain();
+  return RoundResultFrame(&profile, nullptr);
 }
 
 Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   SKALLA_ASSIGN_OR_RETURN(GmdjRoundRequest req,
                           DecodeGmdjRoundRequest(request.payload));
+  Stopwatch wall;
+  const bool traced =
+      req.trace.parent_span_id != 0 || req.trace.trace_id != 0;
+  RoundTraceCapture capture(traced);
+  obs::QueryIdScope query_scope(req.trace.query_id);
+  RoundProfile profile;
+  profile.site_id = site_.id();
+  profile.bytes_in = req.base_table_bytes;
+
   Table input;
   if (req.has_base) {
     input = std::move(req.base);
   } else if (!req.label.empty() && req.label == last_round_) {
     // A coordinator retry of the round that already consumed the carried
     // structure: re-evaluate from the saved input, do not double-apply.
+    ++duplicate_rounds_;
     input = last_input_;
   } else {
     input = std::move(local_base_);
@@ -137,13 +235,30 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
     cancel.ArmDeadline(req.deadline_ms,
                        StrCat("site ", site_.id(), " ", req.label));
   }
+  EvalProfile eval_profile;
   EvalContext eval_context;
   eval_context.sub_aggregates = req.sub_aggregates;
   eval_context.compute_rng = req.apply_rng;
   eval_context.eval_threads = eval_threads_;
   eval_context.cancellation = req.deadline_ms > 0 ? &cancel : nullptr;
-  Result<Table> h = site_.EvalGmdjRound(input, req.op, eval_context);
-  if (h.ok() && req.apply_rng) h = ApplyRngFilter(*h);
+  eval_context.query_id = req.trace.query_id;
+  eval_context.profile = &eval_profile;
+  Result<Table> h = Status::Internal("unset");
+  {
+    obs::Span round_span =
+        traced ? obs::Tracer::Global().StartSpan(
+                     StrCat("site.round:", req.label), "site")
+               : obs::Span();
+    if (round_span.armed()) {
+      round_span.AddAttr("site", static_cast<int64_t>(site_.id()));
+      round_span.AddAttr("label", req.label);
+    }
+    eval_context.trace_parent_span = round_span.id();
+    Stopwatch eval_watch;
+    h = site_.EvalGmdjRound(input, req.op, eval_context);
+    if (h.ok() && req.apply_rng) h = ApplyRngFilter(*h);
+    profile.eval_us = static_cast<uint64_t>(eval_watch.ElapsedMicros());
+  }
   if (!h.ok()) return ErrorFrame(h.status());
 
   if (req.has_base) {
@@ -153,12 +268,28 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
     last_round_ = req.label;
     last_input_ = std::move(input);
   }
+  profile.morsel_us = eval_profile.morsel_us.load(std::memory_order_relaxed);
+  profile.rows_scanned =
+      eval_profile.rows_scanned.load(std::memory_order_relaxed);
+  profile.rows_matched =
+      eval_profile.rows_matched.load(std::memory_order_relaxed);
+  profile.index_hits = eval_profile.index_hits.load(std::memory_order_relaxed);
+  profile.duplicate_rounds = duplicate_rounds_;
+  profile.chaos_faults =
+      chaos_faults_ == nullptr
+          ? 0
+          : static_cast<uint64_t>(chaos_faults_->load(std::memory_order_relaxed));
+  profile.result_rows = h->num_rows();
   if (req.ship_result) {
     local_base_ = Table();
-    return TableFrame(*h);
+    profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
+    profile.spans = capture.Drain();
+    return RoundResultFrame(&profile, &*h);
   }
   local_base_ = std::move(*h);
-  return AckFrame();
+  profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
+  profile.spans = capture.Drain();
+  return RoundResultFrame(&profile, nullptr);
 }
 
 }  // namespace rpc

@@ -10,6 +10,7 @@
 #ifndef SKALLA_RPC_SITE_SERVICE_H_
 #define SKALLA_RPC_SITE_SERVICE_H_
 
+#include <atomic>
 #include <string>
 #include <utility>
 
@@ -38,6 +39,17 @@ class SiteService {
   /// True once a kShutdown request has been acknowledged.
   bool shutdown_requested() const { return shutdown_; }
 
+  /// Wires the transport's chaos-fault counter into RoundProfile
+  /// reporting (SiteServer::chaos_faults_counter()). Not owned; may be
+  /// nullptr (in-process transport has no chaos layer here).
+  void set_chaos_faults_counter(const std::atomic<int>* counter) {
+    chaos_faults_ = counter;
+  }
+
+  /// Idempotency-cache replays served so far (coordinator retries of a
+  /// round that already consumed the carried structure).
+  uint64_t duplicate_rounds() const { return duplicate_rounds_; }
+
  private:
   Result<Frame> HandleBeginPlan(const Frame& request);
   Result<Frame> HandleBaseRound(const Frame& request);
@@ -61,6 +73,11 @@ class SiteService {
   Table last_input_;
 
   bool shutdown_ = false;
+
+  // RoundProfile inputs: replay count and (optional) transport chaos
+  // fault counter.
+  uint64_t duplicate_rounds_ = 0;
+  const std::atomic<int>* chaos_faults_ = nullptr;
 };
 
 }  // namespace rpc

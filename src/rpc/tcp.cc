@@ -169,9 +169,13 @@ Status TcpSocket::RecvAll(uint8_t* data, size_t size, double timeout_s) {
 Status SendFrame(TcpSocket* socket, MessageType type,
                  const std::vector<uint8_t>& payload, double timeout_s,
                  uint64_t* wire_bytes) {
+  SKALLA_OBS_ONLY(Stopwatch frame_watch);
   std::vector<uint8_t> wire = EncodeFrame(type, payload);
+  SKALLA_HISTOGRAM_RECORD("skalla.rpc.frame_us",
+                          frame_watch.ElapsedSeconds() * 1e6);
   SKALLA_RETURN_NOT_OK(socket->SendAll(wire.data(), wire.size(), timeout_s));
   if (wire_bytes != nullptr) *wire_bytes += wire.size();
+  SKALLA_COUNTER_ADD("skalla.rpc.bytes.sent", wire.size());
   return Status::OK();
 }
 
@@ -179,6 +183,7 @@ Result<Frame> RecvFrame(TcpSocket* socket, double timeout_s,
                         uint64_t* wire_bytes) {
   uint8_t header[kFrameHeaderSize];
   SKALLA_RETURN_NOT_OK(socket->RecvAll(header, sizeof(header), timeout_s));
+  SKALLA_OBS_ONLY(Stopwatch frame_watch);
   MessageType type;
   uint32_t expected_crc = 0;
   SKALLA_ASSIGN_OR_RETURN(
@@ -191,11 +196,15 @@ Result<Frame> RecvFrame(TcpSocket* socket, double timeout_s,
     SKALLA_RETURN_NOT_OK(
         socket->RecvAll(frame.payload.data(), payload_len, timeout_s));
   }
+  SKALLA_OBS_ONLY(frame_watch.Reset());
   if (FrameCrc(header, frame.payload.data(), frame.payload.size()) !=
       expected_crc) {
     return Status::IOError("frame checksum mismatch");
   }
+  SKALLA_HISTOGRAM_RECORD("skalla.rpc.frame_us",
+                          frame_watch.ElapsedSeconds() * 1e6);
   if (wire_bytes != nullptr) *wire_bytes += kFrameHeaderSize + payload_len;
+  SKALLA_COUNTER_ADD("skalla.rpc.bytes.recv", kFrameHeaderSize + payload_len);
   return frame;
 }
 

@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/obs.h"
 
 namespace skalla {
 namespace rpc {
@@ -19,14 +21,23 @@ class InProcessConnection : public Connection {
 
   Result<Frame> Call(MessageType type,
                      const std::vector<uint8_t>& payload) override {
+    SKALLA_OBS_ONLY(Stopwatch frame_watch);
     std::vector<uint8_t> request_wire = EncodeFrame(type, payload);
+    SKALLA_HISTOGRAM_RECORD("skalla.rpc.frame_us",
+                            frame_watch.ElapsedSeconds() * 1e6);
     wire_bytes_ += request_wire.size();
+    SKALLA_COUNTER_ADD("skalla.rpc.bytes.sent", request_wire.size());
     SKALLA_ASSIGN_OR_RETURN(Frame request, DecodeFrame(request_wire));
     SKALLA_ASSIGN_OR_RETURN(Frame response, service_->Handle(request));
+    SKALLA_OBS_ONLY(frame_watch.Reset());
     std::vector<uint8_t> response_wire =
         EncodeFrame(response.type, response.payload);
+    Result<Frame> decoded = DecodeFrame(response_wire);
+    SKALLA_HISTOGRAM_RECORD("skalla.rpc.frame_us",
+                            frame_watch.ElapsedSeconds() * 1e6);
     wire_bytes_ += response_wire.size();
-    return DecodeFrame(response_wire);
+    SKALLA_COUNTER_ADD("skalla.rpc.bytes.recv", response_wire.size());
+    return decoded;
   }
 
   uint64_t wire_bytes() const override { return wire_bytes_; }

@@ -146,7 +146,9 @@ TEST(TracerTest, ConcurrentThreadsRecordWithoutLossAndWithOwnTids) {
   for (const TraceEvent& e : events) tids.insert(e.tid);
   EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
   for (const TraceEvent& e : events) {
-    if (e.name == "inner") EXPECT_NE(e.parent_id, 0u);
+    if (e.name == "inner") {
+      EXPECT_NE(e.parent_id, 0u);
+    }
   }
 }
 
@@ -203,6 +205,104 @@ TEST(TracerTest, TreeStringIndentsChildrenUnderParents) {
   size_t outer_indent = outer_pos - (tree.rfind('\n', outer_pos) + 1);
   size_t inner_indent = inner_pos - (tree.rfind('\n', inner_pos) + 1);
   EXPECT_EQ(inner_indent, outer_indent + 2);
+}
+
+TEST(TracerTest, SnapshotSinceReturnsOnlyNewerEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Span before = tracer.StartSpan("before", "test"); }
+  uint64_t mark = tracer.CommitMark();
+  { Span after = tracer.StartSpan("after", "test"); }
+  std::vector<TraceEvent> since = tracer.SnapshotSince(mark);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].name, "after");
+  EXPECT_EQ(tracer.SnapshotSince(tracer.CommitMark()).size(), 0u);
+}
+
+TEST(TracerTest, ImportRemoteSpansIsDeterministic) {
+  // A site's captured subtree (a root with one child) imported twice
+  // into identically-prepared tracers must land identically: remapped
+  // ids, preserved intra-batch parent links, batch-external roots
+  // grafted under the local parent, shifted timestamps, and the given
+  // process lane.
+  std::vector<TraceEvent> remote;
+  TraceEvent root;
+  root.name = "site.round:md1";
+  root.category = "site";
+  root.ts_us = 100;
+  root.dur_us = 80;
+  root.id = 501;
+  root.parent_id = 0;
+  root.tid = 9;
+  TraceEvent child = root;
+  child.name = "morsel";
+  child.ts_us = 120;
+  child.dur_us = 30;
+  child.id = 502;
+  child.parent_id = 501;
+  remote = {root, child};
+
+  auto run_import = [&](Tracer& tracer) -> std::vector<TraceEvent> {
+    tracer.set_enabled(true);
+    uint64_t rpc_span_id = 0;
+    {
+      Span rpc_span = tracer.StartSpan("rpc.round", "rpc");
+      rpc_span_id = rpc_span.id();
+      tracer.ImportRemoteSpans(remote, rpc_span_id, /*ts_offset_us=*/1000,
+                               /*pid=*/5, "site 3");
+    }
+    std::vector<TraceEvent> events = tracer.Snapshot();
+    // Find the imported pair and check grafting against the rpc span.
+    for (const TraceEvent& e : events) {
+      if (e.name == "site.round:md1") {
+        EXPECT_EQ(e.parent_id, rpc_span_id);
+        EXPECT_EQ(e.pid, 5u);
+        EXPECT_EQ(e.ts_us, 1100);
+        EXPECT_EQ(e.dur_us, 80);
+        // Remapped into the local id space, not the remote one.
+        EXPECT_NE(e.id, 501u);
+      }
+      if (e.name == "morsel") {
+        EXPECT_EQ(e.pid, 5u);
+        EXPECT_EQ(e.ts_us, 1120);
+      }
+    }
+    return events;
+  };
+
+  Tracer a;
+  Tracer b;
+  std::vector<TraceEvent> ea = run_import(a);
+  std::vector<TraceEvent> eb = run_import(b);
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_EQ(ea.size(), 3u);  // rpc.round + two imported spans.
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].name, eb[i].name);
+    EXPECT_EQ(ea[i].id, eb[i].id);
+    EXPECT_EQ(ea[i].parent_id, eb[i].parent_id);
+    EXPECT_EQ(ea[i].pid, eb[i].pid);
+    // Local spans carry wall-clock timestamps; only the imported ones
+    // (fixed remote ts + fixed offset) are deterministic.
+    if (ea[i].pid != 1) {
+      EXPECT_EQ(ea[i].ts_us, eb[i].ts_us);
+    }
+  }
+  // The intra-batch parent link survived the remap in both tracers.
+  const TraceEvent* imported_root = nullptr;
+  const TraceEvent* imported_child = nullptr;
+  for (const TraceEvent& e : ea) {
+    if (e.name == "site.round:md1") imported_root = &e;
+    if (e.name == "morsel") imported_child = &e;
+  }
+  ASSERT_NE(imported_root, nullptr);
+  ASSERT_NE(imported_child, nullptr);
+  EXPECT_EQ(imported_child->parent_id, imported_root->id);
+
+  // The process lane is named in the Chrome export.
+  std::string json = a.ToChromeJson();
+  EXPECT_NE(json.find("process_name"), std::string::npos) << json;
+  EXPECT_NE(json.find("site 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":5"), std::string::npos) << json;
 }
 
 TEST(TracerTest, RuntimeDisableStopsRecordingImmediately) {

@@ -13,6 +13,7 @@
 
 #include "data/flow_gen.h"
 #include "data/tpcr_gen.h"
+#include "dist/async_exec.h"
 #include "dist/exec.h"
 #include "dist/warehouse.h"
 #include "net/serde.h"
@@ -265,6 +266,116 @@ TEST_F(RpcExecutorTest, WireBytesExceedAccountedPayloadBytes) {
   EXPECT_GT(rpc.wire_bytes(), stats.TotalBytes());
 }
 
+TEST_F(RpcExecutorTest, RoundProfilesReconcileWithRoundStats) {
+  // Every round response embeds the site's RoundProfile; summed over the
+  // sites these must reconcile byte-for-byte and row-for-row with the
+  // coordinator-observed RoundStats, and the per-round wire accounting
+  // must tile the execution total exactly.
+  for (const QueryCase& q : kQueries) {
+    SCOPED_TRACE(q.name);
+    GmdjExpr expr = ParseQuery(q.text).ValueOrDie();
+    DistributedPlan plan =
+        warehouse_->Plan(expr, OptimizerOptions::All()).ValueOrDie();
+    RpcExecutor rpc(std::make_unique<InProcessTransport>(MakeSites()), {});
+    ExecStats stats;
+    auto result = rpc.Execute(plan, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(stats.query_id, 0u);
+    uint64_t round_wire = 0;
+    for (const RoundStats& rs : stats.rounds) {
+      SCOPED_TRACE(rs.label);
+      round_wire += rs.wire_bytes;
+      if (rs.site_profiles.empty()) {
+        // Only possible when the RNG filter skipped every site.
+        EXPECT_GT(rs.sites_skipped, 0u);
+        continue;
+      }
+      uint64_t bytes_in = 0;
+      uint64_t bytes_out = 0;
+      uint64_t result_rows = 0;
+      for (const SiteRoundProfile& p : rs.site_profiles) {
+        bytes_in += p.bytes_in;
+        bytes_out += p.bytes_out;
+        result_rows += p.result_rows;
+      }
+      EXPECT_EQ(bytes_in, rs.bytes_to_sites);
+      if (rs.synchronized) {
+        EXPECT_EQ(bytes_out, rs.bytes_to_coord);
+        EXPECT_EQ(result_rows, rs.tuples_to_coord);
+      }
+      // Frames wrap the accounted payloads, so each round's wire traffic
+      // strictly dominates its payload traffic.
+      EXPECT_GT(rs.wire_bytes, rs.bytes_to_sites + rs.bytes_to_coord);
+    }
+    EXPECT_EQ(stats.total_wire_bytes, round_wire + stats.setup_wire_bytes);
+    // The connection-level counter additionally covers the hello/catalog
+    // handshake, which total_wire_bytes (per-execution) excludes.
+    EXPECT_LT(stats.total_wire_bytes, rpc.wire_bytes());
+  }
+}
+
+TEST_F(RpcExecutorTest, ProfilesMatchAcrossEngines) {
+  // The same plan through star, async, and rpc engines must agree on the
+  // reconciliation-relevant profile columns (bytes shipped per site,
+  // result rows) — the engines differ only in transport.
+  GmdjExpr expr = ParseQuery(kQueries[1].text).ValueOrDie();
+  DistributedPlan plan =
+      warehouse_->Plan(expr, OptimizerOptions::None()).ValueOrDie();
+
+  DistributedExecutor star(MakeSites(), NetworkConfig{}, {});
+  ExecStats star_stats;
+  ASSERT_TRUE(star.Execute(plan, &star_stats).ok());
+
+  AsyncExecutor async(MakeSites(), NetworkConfig{}, {});
+  ExecStats async_stats;
+  ASSERT_TRUE(async.Execute(plan, &async_stats).ok());
+
+  RpcExecutor rpc(std::make_unique<InProcessTransport>(MakeSites()), {});
+  ExecStats rpc_stats;
+  ASSERT_TRUE(rpc.Execute(plan, &rpc_stats).ok());
+
+  ASSERT_EQ(star_stats.rounds.size(), rpc_stats.rounds.size());
+  ASSERT_EQ(async_stats.rounds.size(), rpc_stats.rounds.size());
+  for (size_t r = 0; r < rpc_stats.rounds.size(); ++r) {
+    SCOPED_TRACE(rpc_stats.rounds[r].label);
+    const std::vector<SiteRoundProfile>& a =
+        star_stats.rounds[r].site_profiles;
+    const std::vector<SiteRoundProfile>& b =
+        async_stats.rounds[r].site_profiles;
+    const std::vector<SiteRoundProfile>& c =
+        rpc_stats.rounds[r].site_profiles;
+    ASSERT_EQ(a.size(), c.size());
+    ASSERT_EQ(b.size(), c.size());
+    for (size_t i = 0; i < c.size(); ++i) {
+      SCOPED_TRACE(c[i].site_id);
+      EXPECT_EQ(a[i].site_id, c[i].site_id);
+      EXPECT_EQ(b[i].site_id, c[i].site_id);
+      EXPECT_EQ(a[i].bytes_in, c[i].bytes_in);
+      EXPECT_EQ(b[i].bytes_in, c[i].bytes_in);
+      EXPECT_EQ(a[i].bytes_out, c[i].bytes_out);
+      EXPECT_EQ(b[i].bytes_out, c[i].bytes_out);
+      EXPECT_EQ(a[i].result_rows, c[i].result_rows);
+      EXPECT_EQ(b[i].result_rows, c[i].result_rows);
+    }
+  }
+}
+
+TEST_F(RpcExecutorTest, SiteStatsReturnsMetricsJson) {
+  GmdjExpr expr = ParseQuery(kQueries[0].text).ValueOrDie();
+  DistributedPlan plan =
+      warehouse_->Plan(expr, OptimizerOptions::None()).ValueOrDie();
+  RpcExecutor rpc(std::make_unique<InProcessTransport>(MakeSites()), {});
+  ASSERT_TRUE(rpc.Execute(plan, nullptr).ok());
+  for (size_t e = 0; e < kSites; ++e) {
+    auto stats = rpc.SiteStats(e);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->site_id, static_cast<int>(e));
+    EXPECT_FALSE(stats->metrics_json.empty());
+    EXPECT_EQ(stats->metrics_json.front(), '{');
+  }
+  EXPECT_FALSE(rpc.SiteStats(kSites + 7).ok());
+}
+
 TEST_F(RpcExecutorTest, ColumnarKnobForwardsToSites) {
   GmdjExpr expr = ParseQuery(kQueries[0].text).ValueOrDie();
   DistributedPlan plan =
@@ -360,7 +471,7 @@ TEST_F(RpcExecutorTest, ResentRoundIsIdempotent) {
   base_frame.type = rpc::MessageType::kBaseRound;
   base_frame.payload = rpc::EncodeBaseRoundRequest(base_request);
   ASSERT_TRUE(service.Handle(base_frame).ValueOrDie().type ==
-              rpc::MessageType::kAck);
+              rpc::MessageType::kRoundResult);
 
   rpc::GmdjRoundRequest round;
   round.op = expr.ops[0];
@@ -373,10 +484,27 @@ TEST_F(RpcExecutorTest, ResentRoundIsIdempotent) {
   round_frame.payload = rpc::EncodeGmdjRoundRequest(round, {});
 
   rpc::Frame first = service.Handle(round_frame).ValueOrDie();
-  ASSERT_EQ(first.type, rpc::MessageType::kTableResult);
+  ASSERT_EQ(first.type, rpc::MessageType::kRoundResult);
   rpc::Frame again = service.Handle(round_frame).ValueOrDie();
-  ASSERT_EQ(again.type, rpc::MessageType::kTableResult);
-  EXPECT_EQ(first.payload, again.payload);
+  ASSERT_EQ(again.type, rpc::MessageType::kRoundResult);
+  // Since protocol v4 a round response embeds a wall-clock RoundProfile,
+  // so raw payloads differ between identical calls; idempotency means
+  // the shipped *table* is byte-identical.
+  rpc::RoundResult first_result =
+      rpc::DecodeRoundResult(first.payload).ValueOrDie();
+  rpc::RoundResult again_result =
+      rpc::DecodeRoundResult(again.payload).ValueOrDie();
+  ASSERT_TRUE(first_result.has_table);
+  ASSERT_TRUE(again_result.has_table);
+  EXPECT_EQ(first_result.table_bytes, again_result.table_bytes);
+  std::vector<uint8_t> first_bytes;
+  std::vector<uint8_t> again_bytes;
+  WriteTable(first_result.table, &first_bytes);
+  WriteTable(again_result.table, &again_bytes);
+  EXPECT_EQ(first_bytes, again_bytes);
+  // The duplicate delivery is visible in the site's profile.
+  EXPECT_EQ(first_result.profile.duplicate_rounds, 0u);
+  EXPECT_EQ(again_result.profile.duplicate_rounds, 1u);
 }
 
 TEST_F(RpcExecutorTest, ShutdownReachesEverySite) {

@@ -104,6 +104,40 @@ TEST(FrameTest, ForeignVersionIsTypedVersionMismatch) {
       << decoded.status().ToString();
 }
 
+TEST(FrameTest, ProtocolVersionIsV4) {
+  // v4: round requests carry a TraceContext, round responses switch to
+  // kRoundResult with an embedded RoundProfile, and kGetStats /
+  // kStatsResult exist (docs/RPC.md). The version byte is the wire
+  // contract for all of that, so pin it explicitly.
+  EXPECT_EQ(kProtocolVersion, 4);
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, {});
+  EXPECT_EQ(wire[4], 4);
+}
+
+TEST(FrameTest, V3PeerRejectedWithVersionMismatch) {
+  // A pre-trace-context (v3) peer must get the typed version-mismatch
+  // status, not a generic IO error — coordinators surface it verbatim.
+  std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, {1, 2});
+  wire[4] = 3;
+  Result<Frame> decoded = DecodeFrame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsVersionMismatch())
+      << decoded.status().ToString();
+}
+
+TEST(FrameTest, V4MessageTypesRoundTrip) {
+  for (MessageType type :
+       {MessageType::kGetStats, MessageType::kStatsResult,
+        MessageType::kRoundResult}) {
+    std::vector<uint8_t> wire = EncodeFrame(type, {42});
+    Result<Frame> decoded = DecodeFrame(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, type);
+  }
+  EXPECT_EQ(kMaxMessageType,
+            static_cast<uint8_t>(MessageType::kRoundResult));
+}
+
 TEST(FrameTest, UnknownMessageTypeRejected) {
   std::vector<uint8_t> wire = EncodeFrame(MessageType::kAck, {});
   wire[5] = kMaxMessageType + 1;

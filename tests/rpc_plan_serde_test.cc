@@ -277,6 +277,182 @@ TEST(PlanSerdeTest, HelloRoundTrips) {
   }
 }
 
+TEST(PlanSerdeTest, TraceContextRidesEveryRoundRequest) {
+  // v4: both round request shapes carry the trace context after the
+  // deadline; zeros (the untraced default) round-trip too.
+  for (uint64_t seed : {uint64_t{0}, uint64_t{7}}) {
+    TraceContext trace;
+    trace.trace_id = seed * 1000003;
+    trace.parent_span_id = seed * 17;
+    trace.query_id = seed * 3;
+
+    BaseRoundRequest base;
+    base.query = BaseQuery{"flow", {"SourceAS"}, true, nullptr};
+    base.trace = trace;
+    BaseRoundRequest base_decoded =
+        DecodeBaseRoundRequest(EncodeBaseRoundRequest(base)).ValueOrDie();
+    EXPECT_EQ(base_decoded.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(base_decoded.trace.parent_span_id, trace.parent_span_id);
+    EXPECT_EQ(base_decoded.trace.query_id, trace.query_id);
+
+    GmdjRoundRequest gmdj;
+    gmdj.op = ExampleOp();
+    gmdj.label = "md1";
+    gmdj.trace = trace;
+    GmdjRoundRequest gmdj_decoded =
+        DecodeGmdjRoundRequest(EncodeGmdjRoundRequest(gmdj, {}))
+            .ValueOrDie();
+    EXPECT_EQ(gmdj_decoded.trace.trace_id, trace.trace_id);
+    EXPECT_EQ(gmdj_decoded.trace.parent_span_id, trace.parent_span_id);
+    EXPECT_EQ(gmdj_decoded.trace.query_id, trace.query_id);
+  }
+}
+
+TEST(PlanSerdeTest, GmdjRoundRequestReportsBaseTableBytes) {
+  SchemaPtr schema =
+      Schema::Make({{"SourceAS", ValueType::kInt64}}).ValueOrDie();
+  Table base(schema);
+  base.AppendUnchecked({Value(int64_t{4})});
+  std::vector<uint8_t> base_bytes;
+  WriteTable(base, &base_bytes);
+
+  GmdjRoundRequest request;
+  request.op = ExampleOp();
+  request.has_base = true;
+  GmdjRoundRequest decoded =
+      DecodeGmdjRoundRequest(EncodeGmdjRoundRequest(request, base_bytes))
+          .ValueOrDie();
+  // The decoder reports the table tail's size so the site can account
+  // its inbound payload bytes without re-serializing.
+  EXPECT_EQ(decoded.base_table_bytes, base_bytes.size());
+
+  GmdjRoundRequest no_base;
+  no_base.op = ExampleOp();
+  no_base.has_base = false;
+  EXPECT_EQ(DecodeGmdjRoundRequest(EncodeGmdjRoundRequest(no_base, {}))
+                .ValueOrDie()
+                .base_table_bytes,
+            0u);
+}
+
+RoundProfile ExampleProfile() {
+  RoundProfile profile;
+  profile.site_id = 3;
+  profile.wall_us = 1234;
+  profile.eval_us = 1100;
+  profile.morsel_us = 2048;
+  profile.rows_scanned = 50000;
+  profile.rows_matched = 1212;
+  profile.index_hits = 47;
+  profile.bytes_in = 888;
+  profile.bytes_out = 999;
+  profile.result_rows = 21;
+  profile.duplicate_rounds = 1;
+  profile.chaos_faults = 2;
+  obs::TraceEvent span;
+  span.name = "site.round:md1";
+  span.category = "site";
+  span.ts_us = 10;
+  span.dur_us = 90;
+  span.id = 77;
+  span.parent_id = 0;
+  span.tid = 5;
+  span.attrs = {{"site", "3"}, {"label", "md1"}};
+  profile.spans.push_back(span);
+  obs::TraceEvent child = span;
+  child.name = "morsel";
+  child.id = 78;
+  child.parent_id = 77;
+  child.attrs.clear();
+  profile.spans.push_back(child);
+  return profile;
+}
+
+void ExpectProfileEq(const RoundProfile& a, const RoundProfile& b) {
+  EXPECT_EQ(a.site_id, b.site_id);
+  EXPECT_EQ(a.wall_us, b.wall_us);
+  EXPECT_EQ(a.eval_us, b.eval_us);
+  EXPECT_EQ(a.morsel_us, b.morsel_us);
+  EXPECT_EQ(a.rows_scanned, b.rows_scanned);
+  EXPECT_EQ(a.rows_matched, b.rows_matched);
+  EXPECT_EQ(a.index_hits, b.index_hits);
+  EXPECT_EQ(a.bytes_in, b.bytes_in);
+  EXPECT_EQ(a.bytes_out, b.bytes_out);
+  EXPECT_EQ(a.result_rows, b.result_rows);
+  EXPECT_EQ(a.duplicate_rounds, b.duplicate_rounds);
+  EXPECT_EQ(a.chaos_faults, b.chaos_faults);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].name, b.spans[i].name);
+    EXPECT_EQ(a.spans[i].category, b.spans[i].category);
+    EXPECT_EQ(a.spans[i].ts_us, b.spans[i].ts_us);
+    EXPECT_EQ(a.spans[i].dur_us, b.spans[i].dur_us);
+    EXPECT_EQ(a.spans[i].id, b.spans[i].id);
+    EXPECT_EQ(a.spans[i].parent_id, b.spans[i].parent_id);
+    EXPECT_EQ(a.spans[i].tid, b.spans[i].tid);
+    EXPECT_EQ(a.spans[i].attrs, b.spans[i].attrs);
+  }
+}
+
+TEST(PlanSerdeTest, RoundProfileRoundTrips) {
+  RoundProfile profile = ExampleProfile();
+  std::vector<uint8_t> buffer;
+  WriteRoundProfile(&buffer, profile);
+  ByteReader reader(buffer.data(), buffer.size());
+  RoundProfile decoded = ReadRoundProfile(&reader).ValueOrDie();
+  EXPECT_EQ(reader.remaining(), 0u);
+  ExpectProfileEq(decoded, profile);
+}
+
+TEST(PlanSerdeTest, RoundResultRoundTripsWithAndWithoutTable) {
+  SchemaPtr schema =
+      Schema::Make({{"SourceAS", ValueType::kInt64}}).ValueOrDie();
+  Table table(schema);
+  table.AppendUnchecked({Value(int64_t{4})});
+  table.AppendUnchecked({Value(int64_t{9})});
+  std::vector<uint8_t> table_bytes;
+  WriteTable(table, &table_bytes);
+
+  RoundProfile profile = ExampleProfile();
+  RoundResult with_table =
+      DecodeRoundResult(EncodeRoundResult(profile, &table_bytes))
+          .ValueOrDie();
+  ExpectProfileEq(with_table.profile, profile);
+  ASSERT_TRUE(with_table.has_table);
+  // The table tail must account byte-for-byte: this is what feeds
+  // bytes_to_coord, pinned equal across all four engines.
+  EXPECT_EQ(with_table.table_bytes, table_bytes.size());
+  ASSERT_EQ(with_table.table.num_rows(), 2u);
+  EXPECT_EQ(with_table.table.at(1, 0).int64(), 9);
+
+  RoundResult without =
+      DecodeRoundResult(EncodeRoundResult(profile, nullptr)).ValueOrDie();
+  ExpectProfileEq(without.profile, profile);
+  EXPECT_FALSE(without.has_table);
+  EXPECT_EQ(without.table_bytes, 0u);
+}
+
+TEST(PlanSerdeTest, RoundResultRejectsTruncation) {
+  RoundProfile profile = ExampleProfile();
+  std::vector<uint8_t> payload = EncodeRoundResult(profile, nullptr);
+  for (size_t cut : {size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    std::vector<uint8_t> truncated(payload.begin(),
+                                   payload.begin() + cut);
+    EXPECT_FALSE(DecodeRoundResult(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PlanSerdeTest, StatsResultRoundTrips) {
+  StatsResult stats;
+  stats.site_id = 6;
+  stats.metrics_json = "{\"counters\":{\"skalla.rpc.bytes.sent\":123}}";
+  StatsResult decoded =
+      DecodeStatsResult(EncodeStatsResult(stats)).ValueOrDie();
+  EXPECT_EQ(decoded.site_id, 6);
+  EXPECT_EQ(decoded.metrics_json, stats.metrics_json);
+  EXPECT_FALSE(DecodeStatsResult({}).ok());
+}
+
 TEST(PlanSerdeTest, TruncatedPayloadsFailCleanly) {
   GmdjRoundRequest request;
   request.op = ExampleOp();

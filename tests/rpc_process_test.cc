@@ -23,6 +23,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "data/flow_gen.h"
 #include "data/tpcr_gen.h"
 #include "dist/warehouse.h"
+#include "obs/obs.h"
 #include "rpc/rpc_executor.h"
 #include "rpc/tcp.h"
 #include "sql/parser.h"
@@ -373,6 +375,99 @@ TEST_F(RpcProcessTest, FullQuerySuiteIsByteIdenticalAcrossProcesses) {
       }
     }
     EXPECT_TRUE(executor.Shutdown().ok());
+  }
+  ReapAll(&processes);
+}
+
+TEST_F(RpcProcessTest, TraceAndProfilesSpanTheProcessBoundary) {
+  // The tentpole end-to-end check: a query against real site processes
+  // yields (a) RoundProfiles whose byte/row totals reconcile exactly
+  // with the coordinator-observed RoundStats, and (b) — in tracing
+  // builds — one merged trace where every site-origin span lives in its
+  // own process lane and site.round spans are parented under the
+  // coordinator rpc.round spans that issued them.
+  if (binary_->empty()) {
+    GTEST_SKIP() << "skalla-site binary not found (set SKALLA_SITE_BIN)";
+  }
+  GmdjExpr expr = ParseQuery(kQueries[1].text).ValueOrDie();
+  DistributedPlan plan =
+      warehouse_->Plan(expr, OptimizerOptions::None()).ValueOrDie();
+
+  std::vector<SiteProcess> processes = SpawnCluster();
+  ASSERT_EQ(processes.size(), kSites) << "failed to spawn site processes";
+
+  const bool tracing = obs::TracingCompiledIn();
+  if (tracing) {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().set_enabled(true);
+  }
+  {
+    rpc::RpcExecutor executor(
+        std::make_unique<rpc::TcpTransport>(Endpoints(processes)),
+        ExecutorOptions{});
+    ExecStats stats;
+    auto result = executor.Execute(plan, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // (a) Profile totals vs RoundStats, byte-for-byte and row-for-row.
+    EXPECT_GT(stats.query_id, 0u);
+    uint64_t round_wire = 0;
+    for (const RoundStats& rs : stats.rounds) {
+      SCOPED_TRACE(rs.label);
+      round_wire += rs.wire_bytes;
+      ASSERT_EQ(rs.site_profiles.size(), kSites);
+      uint64_t bytes_in = 0;
+      uint64_t bytes_out = 0;
+      uint64_t result_rows = 0;
+      for (const SiteRoundProfile& p : rs.site_profiles) {
+        bytes_in += p.bytes_in;
+        bytes_out += p.bytes_out;
+        result_rows += p.result_rows;
+      }
+      EXPECT_EQ(bytes_in, rs.bytes_to_sites);
+      if (rs.synchronized) {
+        EXPECT_EQ(bytes_out, rs.bytes_to_coord);
+        EXPECT_EQ(result_rows, rs.tuples_to_coord);
+      }
+      EXPECT_GT(rs.wire_bytes, rs.bytes_to_sites + rs.bytes_to_coord);
+    }
+    EXPECT_EQ(stats.total_wire_bytes, round_wire + stats.setup_wire_bytes);
+
+    // (b) The merged trace crosses the process boundary.
+    if (tracing) {
+      std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
+      std::set<uint64_t> local_ids;
+      std::set<uint64_t> rpc_round_ids;
+      std::set<uint32_t> pids;
+      for (const obs::TraceEvent& e : events) {
+        if (e.id != 0) local_ids.insert(e.id);
+        pids.insert(e.pid);
+        if (e.pid == 1 && e.name == "rpc.round") rpc_round_ids.insert(e.id);
+      }
+      EXPECT_GE(pids.size(), 1 + kSites)
+          << "expected a coordinator lane plus one lane per site";
+      ASSERT_FALSE(rpc_round_ids.empty());
+      size_t site_rounds = 0;
+      for (const obs::TraceEvent& e : events) {
+        if (e.pid == 1) continue;
+        // No unparented remote spans: every import either grafts to the
+        // issuing rpc.round or hangs off another imported span.
+        ASSERT_NE(e.parent_id, 0u) << e.name;
+        EXPECT_TRUE(local_ids.count(e.parent_id) > 0) << e.name;
+        if (e.name.rfind("site.round:", 0) == 0) {
+          ++site_rounds;
+          EXPECT_TRUE(rpc_round_ids.count(e.parent_id) > 0)
+              << e.name << " not parented under a coordinator rpc.round";
+        }
+      }
+      // One site.round per site per round (base + two GMDJ stages).
+      EXPECT_EQ(site_rounds, kSites * stats.rounds.size());
+    }
+    EXPECT_TRUE(executor.Shutdown().ok());
+  }
+  if (tracing) {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().set_enabled(false);
   }
   ReapAll(&processes);
 }

@@ -7,9 +7,18 @@
 //                    [--retries N] [--deadline-ms MS]
 //                    [--round-deadline-ms MS] [--degrade]
 //                    [--replica PARTITION:ENDPOINT]...
+//                    [--explain] [--site-stats]
+//                    [--trace-out=F] [--metrics-out=F]
 //
 // Without --query the query text is read from stdin. --shutdown asks the
 // site processes to exit after the query (or immediately if no query ran).
+//
+// --explain prints the EXPLAIN ANALYZE report (per-round, per-site
+// breakdown from the RoundProfiles the sites ship back). --site-stats
+// pulls each endpoint's metrics registry (kGetStats) after the query and
+// prints it as JSON. --trace-out=F writes the merged coordinator+site
+// Chrome trace (obs/session.h) on exit; --metrics-out=F dumps the
+// coordinator's own metrics.
 //
 // --replica P:E marks trailing endpoint E (0-based index into
 // --endpoints) as a replica of partition P — typically a
@@ -30,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/session.h"
+#include "obs/stats_report.h"
 #include "opt/optimizer.h"
 #include "rpc/rpc_executor.h"
 #include "rpc/tcp.h"
@@ -42,7 +53,8 @@ void Usage(const char* argv0) {
                "usage: %s --endpoints H:P,H:P,... [--query FILE] "
                "[--optimize all|none] [--shutdown] [--retries N] "
                "[--deadline-ms MS] [--round-deadline-ms MS] [--degrade] "
-               "[--replica PARTITION:ENDPOINT]...\n",
+               "[--replica PARTITION:ENDPOINT]... [--explain] "
+               "[--site-stats] [--trace-out=F] [--metrics-out=F]\n",
                argv0);
   std::exit(2);
 }
@@ -70,14 +82,18 @@ std::vector<skalla::rpc::SiteEndpoint> ParseEndpoints(
 }  // namespace
 
 int main(int argc, char** argv) {
+  skalla::obs::ObsSession obs_session(argc, argv);
   std::string endpoints_spec;
   std::string query_file;
   bool optimize_all = true;
   bool shutdown = false;
+  bool explain = false;
+  bool site_stats = false;
   skalla::ExecutorOptions exec_options;
   std::vector<std::pair<size_t, size_t>> replicas;
 
   for (int i = 1; i < argc; ++i) {
+    if (skalla::obs::ObsSession::IsSessionFlag(argv[i])) continue;
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", flag);
@@ -104,6 +120,10 @@ int main(int argc, char** argv) {
           std::strtoull(next("--round-deadline-ms"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--degrade") == 0) {
       exec_options.on_site_loss = skalla::OnSiteLoss::kDegrade;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--site-stats") == 0) {
+      site_stats = true;
     } else if (std::strcmp(argv[i], "--replica") == 0) {
       const char* spec = next("--replica");
       const char* colon = std::strchr(spec, ':');
@@ -123,6 +143,7 @@ int main(int argc, char** argv) {
 
   std::vector<skalla::rpc::SiteEndpoint> endpoints =
       ParseEndpoints(endpoints_spec);
+  const size_t num_endpoints = endpoints.size();
   auto transport =
       std::make_unique<skalla::rpc::TcpTransport>(std::move(endpoints));
   skalla::rpc::RpcExecutor executor(std::move(transport), exec_options);
@@ -172,6 +193,26 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s\n%s", result->ToString(50).c_str(),
                   stats.ToString().c_str());
+      if (explain) {
+        std::printf("%s",
+                    skalla::obs::FormatStatsReport(*plan, stats,
+                                                   executor.num_sites())
+                        .c_str());
+      }
+    }
+  }
+
+  if (site_stats) {
+    for (size_t e = 0; e < num_endpoints; ++e) {
+      auto stats_result = executor.SiteStats(e);
+      if (!stats_result.ok()) {
+        std::fprintf(stderr, "site stats %zu: %s\n", e,
+                     stats_result.status().ToString().c_str());
+        if (exit_code == 0) exit_code = 1;
+        continue;
+      }
+      std::printf("SITE %d STATS %s\n", stats_result->site_id,
+                  stats_result->metrics_json.c_str());
     }
   }
 

@@ -6,7 +6,7 @@
 //   skalla-site --data DIR --site N [--partition P] [--host 127.0.0.1]
 //               [--port 0] [--drop-request K] [--chaos-seed S]
 //               [--chaos-drop P] [--chaos-corrupt P] [--chaos-reset P]
-//               [--chaos-delay P]
+//               [--chaos-delay P] [--trace-out=F] [--metrics-out=F]
 //
 // With --port 0 (the default) the OS picks a free port; the chosen one
 // is announced on stdout as "LISTENING port=<p>" so launchers (and the
@@ -20,6 +20,11 @@
 // flags enable seeded transport chaos (see SiteServerOptions): drop
 // responses, corrupt frame checksums, reset connections mid-frame, or
 // delay responses, each with the given probability.
+//
+// --trace-out=F / --metrics-out=F (obs/session.h) dump this process's
+// local trace / metrics on clean shutdown — in addition to the per-round
+// profile the site already ships back in every kRoundResult
+// (docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +33,7 @@
 
 #include "dist/site.h"
 #include "dist/warehouse.h"
+#include "obs/session.h"
 #include "rpc/server.h"
 #include "rpc/site_service.h"
 
@@ -38,7 +44,7 @@ void Usage(const char* argv0) {
                "usage: %s --data DIR --site N [--partition P] [--host H] "
                "[--port P] [--drop-request K] [--chaos-seed S] "
                "[--chaos-drop P] [--chaos-corrupt P] [--chaos-reset P] "
-               "[--chaos-delay P]\n",
+               "[--chaos-delay P] [--trace-out=F] [--metrics-out=F]\n",
                argv0);
   std::exit(2);
 }
@@ -46,12 +52,14 @@ void Usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  skalla::obs::ObsSession obs_session(argc, argv);
   std::string data_dir;
   int site_index = -1;
   int partition = -1;
   skalla::rpc::SiteServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
+    if (skalla::obs::ObsSession::IsSessionFlag(argv[i])) continue;
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", flag);
@@ -101,6 +109,9 @@ int main(int argc, char** argv) {
   skalla::rpc::SiteService service(
       skalla::Site(site_index, std::move(*catalog)));
   skalla::rpc::SiteServer server(&service, options);
+  // Surface transport chaos injections in the RoundProfiles the site
+  // ships back to the coordinator.
+  service.set_chaos_faults_counter(server.chaos_faults_counter());
   skalla::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "cannot listen on %s:%d: %s\n",
