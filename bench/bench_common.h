@@ -9,7 +9,9 @@
 #define SKALLA_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
@@ -19,6 +21,7 @@
 #include "obs/obs.h"
 #include "obs/session.h"
 #include "opt/options.h"
+#include "serve/session.h"
 #include "storage/partition.h"
 
 namespace skalla {
@@ -66,6 +69,42 @@ inline DistributedWarehouse MakeWarehouse(
 
 inline ExprPtr GroupEq(const std::string& column) {
   return Eq(RCol(column), BCol(column));
+}
+
+// --- The serving path ------------------------------------------------------
+
+// Runs `query` against `dw` through a one-off QuerySession — the public
+// submit/future path every tool uses, so the benches measure the same
+// code users run. A fresh session per call means an empty sub-aggregate
+// cache: timings measure evaluation, never a cache hit.
+inline Table Execute(const DistributedWarehouse& dw, const GmdjExpr& query,
+                     const OptimizerOptions& opt,
+                     ExecStats* stats = nullptr) {
+  serve::SessionOptions session_options;
+  session_options.exec = dw.exec_options();
+  session_options.net = dw.net_config();
+  session_options.optimize = opt;
+  session_options.scheduler.max_concurrent_queries = 1;
+  auto session = serve::QuerySession::Open(&dw, session_options).ValueOrDie();
+  serve::QueryResult answer =
+      session.Submit(query).ValueOrDie().result.get().ValueOrDie();
+  if (stats != nullptr) *stats = std::move(answer.stats);
+  return std::move(answer.table);
+}
+
+// Same, for an already-built plan on a caller-built engine (async,
+// tree, ...): wraps the engine in a session and submits through it.
+inline Table ExecutePlan(std::unique_ptr<Executor> executor,
+                         const DistributedPlan& plan,
+                         ExecStats* stats = nullptr) {
+  serve::SessionOptions session_options;
+  session_options.scheduler.max_concurrent_queries = 1;
+  serve::QuerySession session =
+      serve::QuerySession::Wrap(std::move(executor), session_options);
+  serve::QueryResult answer =
+      session.SubmitPlan(plan).result.get().ValueOrDie();
+  if (stats != nullptr) *stats = std::move(answer.stats);
+  return std::move(answer.table);
 }
 
 // --- The paper's query shapes -------------------------------------------

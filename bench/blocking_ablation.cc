@@ -34,7 +34,7 @@ void Run() {
                            bench::TrackedColumns())
         .Check();
     ExecStats stats;
-    dw.Execute(query, OptimizerOptions::None(), &stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::None(), &stats);
     std::printf("%12s %14llu %12llu %12.2f\n",
                 block == 0 ? "unblocked" : StrCat(block).c_str(),
                 static_cast<unsigned long long>(stats.TotalBytes()),

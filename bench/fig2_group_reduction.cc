@@ -62,7 +62,7 @@ void Run() {
     DistributedWarehouse dw = bench::MakeWarehouse(partitions, n);
     for (const Variant& variant : variants) {
       ExecStats stats;
-      Table result = dw.Execute(query, variant.opts, &stats).ValueOrDie();
+      Table result = bench::Execute(dw, query, variant.opts, &stats);
       bench::PrintSeriesRow(n, variant.name, stats);
       if (variant.opts.indep_group_reduction &&
           !variant.opts.aware_group_reduction) {

@@ -31,8 +31,8 @@ void RunSeries(const char* title, const std::vector<Table>& partitions,
     DistributedWarehouse dw = bench::MakeWarehouse(partitions, n);
     ExecStats plain_stats;
     ExecStats coalesced_stats;
-    dw.Execute(query, OptimizerOptions::None(), &plain_stats).ValueOrDie();
-    dw.Execute(query, coalesced, &coalesced_stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::None(), &plain_stats);
+    bench::Execute(dw, query, coalesced, &coalesced_stats);
     bench::PrintSeriesRow(n, "non-coalesced", plain_stats);
     bench::PrintSeriesRow(n, "coalesced", coalesced_stats);
   }

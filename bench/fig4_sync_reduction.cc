@@ -30,8 +30,8 @@ void RunSeries(const char* title, const std::vector<Table>& partitions,
     DistributedWarehouse dw = bench::MakeWarehouse(partitions, n);
     ExecStats plain_stats;
     ExecStats sync_stats;
-    dw.Execute(query, OptimizerOptions::None(), &plain_stats).ValueOrDie();
-    dw.Execute(query, sync, &sync_stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::None(), &plain_stats);
+    bench::Execute(dw, query, sync, &sync_stats);
     bench::PrintSeriesRow(n, "no-sync-reduction", plain_stats);
     bench::PrintSeriesRow(n, "sync-reduction", sync_stats);
   }

@@ -30,6 +30,7 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "common/flags.h"
 
 namespace skalla {
 namespace {
@@ -70,8 +71,8 @@ void RunSeries(const char* title, bool scale_groups) {
 
     ExecStats none_stats;
     ExecStats all_stats;
-    dw.Execute(query, OptimizerOptions::None(), &none_stats).ValueOrDie();
-    dw.Execute(query, OptimizerOptions::All(), &all_stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::None(), &none_stats);
+    bench::Execute(dw, query, OptimizerOptions::All(), &all_stats);
     bench::PrintSeriesRow(static_cast<size_t>(scale), "no-reductions",
                           none_stats);
     bench::PrintSeriesRow(static_cast<size_t>(scale), "all-reductions",
@@ -108,7 +109,7 @@ void RunCoordinatorSeries() {
     DistributedWarehouse dw =
         bench::MakeWarehouse(partitions, kShardSites, {}, ExecOptions());
     ExecStats stats;
-    dw.Execute(query, OptimizerOptions::None(), &stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::None(), &stats);
     std::printf("%5zu %14.2f %14.2f %14.2f %14llu %12llu\n",
                 static_cast<size_t>(scale), stats.TotalCoordTime() * 1e3,
                 stats.TotalSiteTimeMax() * 1e3, stats.ResponseTime() * 1e3,
@@ -139,14 +140,17 @@ void Run() {
 }  // namespace skalla
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      skalla::g_shards =
-          static_cast<size_t>(std::strtoul(argv[i] + 9, nullptr, 10));
-    } else if (std::strncmp(argv[i], "--eval-threads=", 15) == 0) {
-      skalla::g_eval_threads =
-          static_cast<size_t>(std::strtoul(argv[i] + 15, nullptr, 10));
-    }
+  skalla::FlagSet flags;
+  flags.SizeT("--shards", &skalla::g_shards, "coordinator merge shards");
+  flags.SizeT("--eval-threads", &skalla::g_eval_threads,
+              "intra-site eval workers");
+  flags.IgnorePrefix("--trace-out=");
+  flags.IgnorePrefix("--metrics-out=");
+  skalla::Status parsed = flags.Parse(&argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
   }
   skalla::bench::ObsSession obs(argc, argv);
   skalla::Run();

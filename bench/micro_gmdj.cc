@@ -18,6 +18,7 @@
 #include <cstring>
 
 #include "bench_common.h"
+#include "common/flags.h"
 #include "columnar/vector_eval.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -207,24 +208,26 @@ BENCHMARK(BM_CoordinatorMerge)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace skalla
 
-// BENCHMARK_MAIN() plus our flags: --eval-threads= and the ObsSession
-// flags are stripped before benchmark::Initialize (which rejects
-// arguments it does not recognize).
+// BENCHMARK_MAIN() plus our flags: FlagSet consumes --eval-threads (and
+// the ObsSession flags, which would otherwise be rejected) in
+// keep_unknown mode, leaving google-benchmark's own arguments in argv
+// for benchmark::Initialize.
 int main(int argc, char** argv) {
   skalla::bench::ObsSession obs(argc, argv);
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--eval-threads=", 15) == 0) {
-      g_eval_threads = static_cast<size_t>(std::strtoul(arg + 15, nullptr, 10));
-    } else if (std::strncmp(arg, "--trace-out=", 12) == 0 ||
-               std::strncmp(arg, "--metrics-out=", 14) == 0) {
-      // Consumed by ObsSession.
-    } else {
-      argv[kept++] = argv[i];
-    }
+  skalla::FlagSet flags;
+  flags.SizeT("--eval-threads", &g_eval_threads,
+              "intra-site eval workers (0 = hardware threads)");
+  // ObsSession already read these from the original argv; consume them
+  // here so benchmark::Initialize never sees them.
+  auto drop = [](const std::string&) { return skalla::Status::OK(); };
+  flags.Func("--trace-out", drop, "trace output path (ObsSession)");
+  flags.Func("--metrics-out", drop, "metrics output path (ObsSession)");
+  skalla::Status parsed = flags.Parse(&argc, argv, /*keep_unknown=*/true);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
   }
-  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

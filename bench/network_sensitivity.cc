@@ -43,8 +43,8 @@ void Run() {
         bench::MakeWarehouse(partitions, kSites, point.config);
     ExecStats none_stats;
     ExecStats all_stats;
-    dw.Execute(query, OptimizerOptions::None(), &none_stats).ValueOrDie();
-    dw.Execute(query, OptimizerOptions::All(), &all_stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::None(), &none_stats);
+    bench::Execute(dw, query, OptimizerOptions::All(), &all_stats);
     std::printf("%-22s %14.2f %14.2f %7.1fx\n", point.name,
                 none_stats.ResponseTime() * 1e3,
                 all_stats.ResponseTime() * 1e3,

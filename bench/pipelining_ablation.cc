@@ -57,27 +57,30 @@ void Run() {
 
   {
     Stopwatch timer;
-    DistributedExecutor executor(MakeSites(partitions, kSites));
     ExecStats stats;
-    executor.Execute(plan, &stats).ValueOrDie();
+    bench::ExecutePlan(
+        std::make_unique<DistributedExecutor>(MakeSites(partitions, kSites)),
+        plan, &stats);
     std::printf("%-22s %12.2f\n", "sequential", timer.ElapsedSeconds() * 1e3);
   }
   {
     Stopwatch timer;
     ExecutorOptions options;
     options.parallel_sites = true;
-    DistributedExecutor executor(MakeSites(partitions, kSites),
-                                 NetworkConfig{}, options);
     ExecStats stats;
-    executor.Execute(plan, &stats).ValueOrDie();
+    bench::ExecutePlan(std::make_unique<DistributedExecutor>(
+                           MakeSites(partitions, kSites), NetworkConfig{},
+                           options),
+                       plan, &stats);
     std::printf("%-22s %12.2f\n", "parallel-sites",
                 timer.ElapsedSeconds() * 1e3);
   }
   {
     Stopwatch timer;
-    AsyncExecutor executor(MakeSites(partitions, kSites));
     ExecStats stats;
-    executor.Execute(plan, &stats).ValueOrDie();
+    bench::ExecutePlan(
+        std::make_unique<AsyncExecutor>(MakeSites(partitions, kSites)),
+        plan, &stats);
     double wall = timer.ElapsedSeconds();
     double round_walls = 0;
     for (const RoundStats& r : stats.rounds) round_walls += r.wall_time;

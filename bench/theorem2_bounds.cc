@@ -32,9 +32,9 @@ void Run() {
 
     ExecStats stats;
     Table result =
-        dw.Execute(query, OptimizerOptions::None(), &stats).ValueOrDie();
+        bench::Execute(dw, query, OptimizerOptions::None(), &stats);
     ExecStats opt_stats;
-    dw.Execute(query, OptimizerOptions::All(), &opt_stats).ValueOrDie();
+    bench::Execute(dw, query, OptimizerOptions::All(), &opt_stats);
 
     uint64_t q = result.num_rows();
     uint64_t bound = kSites * q;  // s_0 * |Q| for the base round.

@@ -49,9 +49,10 @@ void Run() {
       }
       CoordinatorTree tree = CoordinatorTree::Balanced(n, fanout);
       size_t depth = tree.depth();
-      TreeExecutor executor(std::move(sites), std::move(tree));
       ExecStats stats;
-      executor.Execute(plan, &stats).ValueOrDie();
+      bench::ExecutePlan(std::make_unique<TreeExecutor>(std::move(sites),
+                                                        std::move(tree)),
+                         plan, &stats);
       std::printf("%5zu %8s %7zu %14llu %14llu %12.2f\n", n,
                   fanout >= n ? "star" : StrCat(fanout).c_str(), depth,
                   static_cast<unsigned long long>(stats.RootBytes()),

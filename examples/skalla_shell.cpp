@@ -27,7 +27,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/string_util.h"
 #include "data/csv.h"
@@ -38,6 +40,7 @@
 #include "obs/stats_report.h"
 #include "opt/cost_model.h"
 #include "opt/explain.h"
+#include "serve/session.h"
 #include "sql/parser.h"
 #include "storage/partition.h"
 
@@ -191,6 +194,10 @@ class Shell {
       std::printf("%s\n", s.ToString().c_str());
       return;
     }
+    // The session's site pool snapshots the warehouse at open time;
+    // drop it so the next query sees the new table (and no stale
+    // cached results).
+    session_.reset();
     std::printf("loaded %zu rows into '%s', partitioned on %s across %zu "
                 "sites\n",
                 table->num_rows(), name.c_str(), partition_column.c_str(),
@@ -220,13 +227,22 @@ class Shell {
                   ExplainPlan(*parsed, *plan, kSites, options_, &model)
                       .c_str());
     }
-    ExecStats stats;
-    auto result = warehouse_.ExecutePlan(*plan, &stats);
-    if (!result.ok()) {
-      std::printf("%s\n", result.status().ToString().c_str());
+    if (session_ == nullptr) {
+      auto session = serve::QuerySession::Open(&warehouse_);
+      if (!session.ok()) {
+        std::printf("%s\n", session.status().ToString().c_str());
+        return;
+      }
+      session_ = std::make_unique<serve::QuerySession>(std::move(*session));
+    }
+    auto submission = session_->SubmitPlan(*plan);
+    auto answer = submission.result.get();
+    if (!answer.ok()) {
+      std::printf("%s\n", answer.status().ToString().c_str());
       return;
     }
-    Table table = std::move(*result);
+    ExecStats stats = std::move(answer->stats);
+    Table table = std::move(answer->table);
     table.SortRows();
     std::printf("%s", table.ToString(20).c_str());
     if (analyze_) {
@@ -248,6 +264,9 @@ class Shell {
   }
 
   DistributedWarehouse warehouse_;
+  // Lazily-opened serving session over warehouse_'s partitions; all
+  // shell queries go through it (and share its sub-aggregate cache).
+  std::unique_ptr<serve::QuerySession> session_;
   OptimizerOptions options_;
   bool explain_ = true;
   bool analyze_ = false;

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Minimal skalla-coord client: send one request, print the reply.
+
+    coord_client.py HOST:PORT 'QUERY TEXT'     # query (blank line added)
+    coord_client.py HOST:PORT .shutdown        # or .cancel <id>
+    echo 'QUERY' | coord_client.py HOST:PORT   # query from stdin
+
+The coordinator's protocol is line-oriented: query text terminated by a
+blank line (dot-commands are a single line), reply streamed back and
+terminated by a line reading "END" (docs/SERVING.md). Exits 0 on an OK
+or BYE reply, 1 otherwise.
+"""
+
+import socket
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    host, _, port = sys.argv[1].rpartition(":")
+    text = sys.argv[2] if len(sys.argv) > 2 else sys.stdin.read()
+    text = text.strip("\n")
+    request = text + "\n" if text.startswith(".") else text + "\n\n"
+
+    with socket.create_connection((host or "127.0.0.1", int(port))) as sock:
+        sock.sendall(request.encode())
+        reply = b""
+        while not reply.endswith(b"\nEND\n") and reply != b"END\n":
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            reply += chunk
+
+    body = reply.decode(errors="replace")
+    sys.stdout.write(body[: -len("END\n")] if body.endswith("END\n") else body)
+    return 0 if body.startswith(("OK", "BYE")) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+Status ParseInt64(const std::string& name, const std::string& value,
+                  int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrCat(name, ": not an integer: '", value, "'"));
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+}  // namespace
+
+void FlagSet::String(const char* name, std::string* dest, const char* help) {
+  flags_.push_back(Flag{name, true,
+                        [dest](const std::string& v) {
+                          *dest = v;
+                          return Status::OK();
+                        },
+                        help});
+}
+
+void FlagSet::Int(const char* name, int* dest, const char* help) {
+  std::string flag = name;
+  flags_.push_back(Flag{name, true,
+                        [flag, dest](const std::string& v) {
+                          int64_t parsed = 0;
+                          SKALLA_RETURN_NOT_OK(ParseInt64(flag, v, &parsed));
+                          *dest = static_cast<int>(parsed);
+                          return Status::OK();
+                        },
+                        help});
+}
+
+void FlagSet::Int64(const char* name, int64_t* dest, const char* help) {
+  std::string flag = name;
+  flags_.push_back(Flag{name, true,
+                        [flag, dest](const std::string& v) {
+                          return ParseInt64(flag, v, dest);
+                        },
+                        help});
+}
+
+void FlagSet::SizeT(const char* name, size_t* dest, const char* help) {
+  std::string flag = name;
+  flags_.push_back(Flag{name, true,
+                        [flag, dest](const std::string& v) {
+                          int64_t parsed = 0;
+                          SKALLA_RETURN_NOT_OK(ParseInt64(flag, v, &parsed));
+                          if (parsed < 0) {
+                            return Status::InvalidArgument(
+                                StrCat(flag, ": must be >= 0, got ", v));
+                          }
+                          *dest = static_cast<size_t>(parsed);
+                          return Status::OK();
+                        },
+                        help});
+}
+
+void FlagSet::Uint64(const char* name, uint64_t* dest, const char* help) {
+  std::string flag = name;
+  flags_.push_back(Flag{name, true,
+                        [flag, dest](const std::string& v) {
+                          int64_t parsed = 0;
+                          SKALLA_RETURN_NOT_OK(ParseInt64(flag, v, &parsed));
+                          if (parsed < 0) {
+                            return Status::InvalidArgument(
+                                StrCat(flag, ": must be >= 0, got ", v));
+                          }
+                          *dest = static_cast<uint64_t>(parsed);
+                          return Status::OK();
+                        },
+                        help});
+}
+
+void FlagSet::Double(const char* name, double* dest, const char* help) {
+  std::string flag = name;
+  flags_.push_back(Flag{name, true,
+                        [flag, dest](const std::string& v) {
+                          errno = 0;
+                          char* end = nullptr;
+                          const double parsed = std::strtod(v.c_str(), &end);
+                          if (errno != 0 || end == v.c_str() || *end != '\0') {
+                            return Status::InvalidArgument(
+                                StrCat(flag, ": not a number: '", v, "'"));
+                          }
+                          *dest = parsed;
+                          return Status::OK();
+                        },
+                        help});
+}
+
+void FlagSet::Bool(const char* name, bool* dest, const char* help) {
+  flags_.push_back(Flag{name, false,
+                        [dest](const std::string&) {
+                          *dest = true;
+                          return Status::OK();
+                        },
+                        help});
+}
+
+void FlagSet::Func(const char* name,
+                   std::function<Status(const std::string&)> handler,
+                   const char* help) {
+  flags_.push_back(Flag{name, true, std::move(handler), help});
+}
+
+void FlagSet::IgnorePrefix(std::string prefix) {
+  ignored_prefixes_.push_back(std::move(prefix));
+}
+
+const FlagSet::Flag* FlagSet::Find(std::string_view name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Parse(int* argc, char** argv, bool keep_unknown) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+
+    bool ignored = false;
+    for (const std::string& prefix : ignored_prefixes_) {
+      if (arg.compare(0, prefix.size(), prefix) == 0) {
+        ignored = true;
+        break;
+      }
+    }
+    if (ignored) {
+      argv[kept++] = argv[i];  // pass through for its consumer
+      continue;
+    }
+
+    // --name=value form.
+    const size_t eq = arg.find('=');
+    const Flag* flag = nullptr;
+    std::string value;
+    bool have_value = false;
+    if (eq != std::string::npos) {
+      flag = Find(arg.substr(0, eq));
+      if (flag != nullptr) {
+        value = arg.substr(eq + 1);
+        have_value = true;
+        if (!flag->takes_value) {
+          return Status::InvalidArgument(
+              StrCat(flag->name, " takes no value"));
+        }
+      }
+    } else {
+      flag = Find(arg);
+    }
+
+    if (flag == nullptr) {
+      if (keep_unknown) {
+        argv[kept++] = argv[i];
+        continue;
+      }
+      return Status::InvalidArgument(StrCat("unknown flag '", arg, "'"));
+    }
+
+    if (flag->takes_value && !have_value) {
+      if (i + 1 >= *argc) {
+        return Status::InvalidArgument(StrCat(flag->name, " needs a value"));
+      }
+      value = argv[++i];
+    }
+    SKALLA_RETURN_NOT_OK(flag->set(value));
+  }
+  *argc = kept;
+  return Status::OK();
+}
+
+std::string FlagSet::Usage(const char* program) const {
+  std::string out = StrCat("usage: ", program, "\n");
+  for (const Flag& flag : flags_) {
+    out += StrCat("  ", flag.name, flag.takes_value ? " VALUE" : "", "  ",
+                  flag.help, "\n");
+  }
+  return out;
+}
+
+}  // namespace skalla

@@ -1,0 +1,83 @@
+// FlagSet: the one command-line parser every Skalla tool and bench
+// uses. Replaces the per-tool strcmp chains with declarative binding:
+//
+//   std::string data_dir;
+//   int port = 0;
+//   FlagSet flags;
+//   flags.String("--data", &data_dir, "warehouse directory");
+//   flags.Int("--port", &port, "listen port (0 = OS-assigned)");
+//   Status s = flags.Parse(&argc, argv);   // unknown flags are errors
+//
+// Known flags accept both spellings: `--name value` and `--name=value`.
+// Bool flags are presence-only (`--degrade`). Prefixes registered with
+// IgnorePrefix (e.g. obs::ObsSession's --trace-out= / --metrics-out=)
+// pass through untouched — some other layer consumes them. Everything
+// else is an unknown-flag error naming the offending argument, unless
+// Parse runs in keep_unknown mode, which compacts unknown arguments to
+// the front of argv for a downstream parser (google-benchmark interop).
+
+#ifndef SKALLA_COMMON_FLAGS_H_
+#define SKALLA_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skalla {
+
+class FlagSet {
+ public:
+  /// Binds `--name` (with value) to a destination. The pointer must
+  /// outlive Parse. Values keep their registration-time contents until
+  /// the flag appears.
+  void String(const char* name, std::string* dest, const char* help);
+  void Int(const char* name, int* dest, const char* help);
+  void Int64(const char* name, int64_t* dest, const char* help);
+  void SizeT(const char* name, size_t* dest, const char* help);
+  void Uint64(const char* name, uint64_t* dest, const char* help);
+  void Double(const char* name, double* dest, const char* help);
+
+  /// Presence flag: `--name` alone sets *dest = true (no value).
+  void Bool(const char* name, bool* dest, const char* help);
+
+  /// Custom handler for flags needing bespoke parsing or repetition
+  /// (e.g. --replica P:E given many times). The handler returns a
+  /// non-OK status to reject the value (surfaced from Parse verbatim).
+  void Func(const char* name,
+            std::function<Status(const std::string& value)> handler,
+            const char* help);
+
+  /// Arguments starting with `prefix` are skipped without error —
+  /// registered for flags some other layer consumes (ObsSession).
+  void IgnorePrefix(std::string prefix);
+
+  /// Parses argv[1..argc). With keep_unknown = false (default) an
+  /// unrecognized argument fails with InvalidArgument naming it; with
+  /// keep_unknown = true unrecognized arguments are compacted in place
+  /// (argv[1..] rewritten, *argc updated) for a downstream parser.
+  Status Parse(int* argc, char** argv, bool keep_unknown = false);
+
+  /// One usage line per registered flag, for --help / parse errors.
+  std::string Usage(const char* program) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    bool takes_value = true;
+    std::function<Status(const std::string&)> set;
+    std::string help;
+  };
+
+  const Flag* Find(std::string_view name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> ignored_prefixes_;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_COMMON_FLAGS_H_

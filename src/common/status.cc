@@ -31,6 +31,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Version mismatch";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

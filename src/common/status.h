@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kTypeError = 9,
   kVersionMismatch = 10,
   kDeadlineExceeded = 11,
+  kCancelled = 12,
 };
 
 /// Returns a stable, human-readable name for a status code ("Invalid
@@ -93,6 +94,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -125,6 +129,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

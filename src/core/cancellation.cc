@@ -25,6 +25,15 @@ Status CancellationToken::Check() {
     std::lock_guard<std::mutex> lock(mu_);
     return status_;
   }
+  CancellationToken* parent = parent_.load(std::memory_order_acquire);
+  if (parent != nullptr) {
+    Status from_parent = parent->Check();
+    if (!from_parent.ok()) {
+      // Latch the parent's cause locally so later Checks are one load.
+      Cancel(from_parent);
+      return from_parent;
+    }
+  }
   if (deadline_armed_.load(std::memory_order_acquire) &&
       std::chrono::steady_clock::now() >= deadline_) {
     std::lock_guard<std::mutex> lock(mu_);

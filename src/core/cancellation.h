@@ -39,19 +39,34 @@ class CancellationToken {
   /// wins; OK statuses and later cancellations are ignored.
   void Cancel(Status status);
 
+  /// Chains this token under `parent` (not owned, may be nullptr to
+  /// unchain): a cancelled parent cancels this token too, observed on the
+  /// next Check()/cancelled() call. The scheduler uses this to propagate
+  /// a session-level Cancel(query_id) into the per-round tokens the
+  /// engines arm, without the kernels knowing about either. The parent
+  /// must outlive every Check() on this token.
+  void set_parent(CancellationToken* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
+
   /// True once the token is cancelled (or a deadline has fired and been
-  /// observed by Check). Fast path: one atomic load.
+  /// observed by Check, or a chained parent is cancelled). Fast path: two
+  /// atomic loads.
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_acquire);
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    const CancellationToken* parent = parent_.load(std::memory_order_acquire);
+    return parent != nullptr && parent->cancelled();
   }
 
   /// OK while live; the latched cancellation status afterwards. Checks
-  /// the armed deadline as a side effect, so a passed deadline fires
-  /// here even if nobody cancelled explicitly.
+  /// the armed deadline and the chained parent as a side effect, so a
+  /// passed deadline or a parent Cancel fires here even if nobody
+  /// cancelled this token explicitly.
   Status Check();
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<CancellationToken*> parent_{nullptr};
   std::atomic<bool> deadline_armed_{false};
   std::chrono::steady_clock::time_point deadline_{};
   std::string deadline_what_;

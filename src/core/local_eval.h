@@ -45,6 +45,17 @@ Result<Table> EvalGmdj(const Table& base, const Table& detail,
 Result<Table> EvalCentralized(const GmdjExpr& expr, const Catalog& catalog,
                               const EvalContext& context = {});
 
+/// Pre-EvalContext entry point: `use_index` was the only evaluation knob.
+/// Kept one release for out-of-tree callers; everything in-tree passes an
+/// EvalContext (or ExecutorOptions, higher up).
+[[deprecated("pass an EvalContext instead of a bare use_index flag")]]
+inline Result<Table> EvalCentralized(const GmdjExpr& expr,
+                                     const Catalog& catalog, bool use_index) {
+  EvalContext context;
+  context.use_index = use_index;
+  return EvalCentralized(expr, catalog, context);
+}
+
 }  // namespace skalla
 
 #endif  // SKALLA_CORE_LOCAL_EVAL_H_

@@ -77,7 +77,7 @@ Site& AsyncExecutor::ReplicaSite(size_t i, size_t r) {
 }
 
 Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
-                                     ExecStats* stats) {
+                                     const QueryRun& run, ExecStats* stats) {
   if (sites_.empty()) {
     return Status::InvalidArgument("executor has no sites");
   }
@@ -124,7 +124,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
-  const uint64_t query_id = obs::NextQueryId();
+  const uint64_t query_id = ResolveQueryId(run);
   obs::QueryIdScope query_scope(query_id);
   st.query_id = query_id;
 
@@ -144,7 +144,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                               options_.coordinator_shards));
   std::vector<Table> local_base(n);
   bool have_global = false;
-  const QueryDeadline deadline(options_);
+  const QueryDeadline deadline(options_, run);
   // Partitions lost with every replica exhausted; set only under
   // OnSiteLoss::kDegrade (see dist/exec.cc for the semantics).
   std::vector<uint8_t> lost(n, 0);
@@ -326,7 +326,7 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
 
     CancellationToken round_cancel;
     SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
-    EvalContext eval_context = StageEvalContext(options_, stage);
+    EvalContext eval_context = StageEvalContext(options_, run, stage);
     eval_context.cancellation = &round_cancel;
     eval_context.query_id = query_id;
 

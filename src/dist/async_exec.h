@@ -40,7 +40,8 @@ class AsyncExecutor : public Executor {
 
   /// Runs the plan. In addition to the modeled communication time, each
   /// round's `wall_time` captures the real overlapped duration.
-  Result<Table> Execute(const DistributedPlan& plan,
+  using Executor::Execute;
+  Result<Table> Execute(const DistributedPlan& plan, const QueryRun& run,
                         ExecStats* stats) override;
 
   /// Registers `replica` as another host of partition `partition`'s data

@@ -123,6 +123,7 @@ Result<Table> Ship(SimulatedNetwork* network, const Table& table, int from,
 }  // namespace
 
 Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
+                                           const QueryRun& run,
                                            ExecStats* stats) {
   if (sites_.empty()) {
     return Status::InvalidArgument("executor has no sites");
@@ -172,9 +173,9 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
   ExecStats& st = stats == nullptr ? local_stats : *stats;
   st.rounds.clear();
 
-  // Tag every span and metric this execution records with a fresh
+  // Tag every span and metric this execution records with the run's
   // query id (worker threads re-establish the scope per site).
-  const uint64_t query_id = obs::NextQueryId();
+  const uint64_t query_id = ResolveQueryId(run);
   obs::QueryIdScope query_scope(query_id);
   st.query_id = query_id;
 
@@ -189,7 +190,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
                               options_.coordinator_shards));
   std::vector<Table> local_base(n);
   bool have_global = false;
-  const QueryDeadline deadline(options_);
+  const QueryDeadline deadline(options_, run);
   // Partitions whose every replica is gone; only OnSiteLoss::kDegrade
   // sets these — the query completes over the survivors and the loss is
   // reported in st.lost_sites / RoundStats::sites_lost.
@@ -347,7 +348,7 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Local GMDJ evaluation at every site.
-    EvalContext eval_context = StageEvalContext(options_, stage);
+    EvalContext eval_context = StageEvalContext(options_, run, stage);
     eval_context.cancellation = &round_cancel;
     eval_context.query_id = query_id;
     std::vector<Table> outputs(n);

@@ -28,7 +28,8 @@ class DistributedExecutor : public Executor {
                                NetworkConfig net_config = {},
                                ExecutorOptions options = {});
 
-  Result<Table> Execute(const DistributedPlan& plan,
+  using Executor::Execute;
+  Result<Table> Execute(const DistributedPlan& plan, const QueryRun& run,
                         ExecStats* stats) override;
 
   /// Registers `replica` as another host of partition `partition`'s data

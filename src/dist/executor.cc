@@ -24,6 +24,17 @@ EvalContext StageEvalContext(const ExecutorOptions& options,
   return context;
 }
 
+EvalContext StageEvalContext(const ExecutorOptions& options,
+                             const QueryRun& run, const PlanStage& stage) {
+  EvalContext context = StageEvalContext(options, stage);
+  if (run.eval_threads > 0) context.eval_threads = run.eval_threads;
+  return context;
+}
+
+uint64_t ResolveQueryId(const QueryRun& run) {
+  return run.query_id != 0 ? run.query_id : obs::NextQueryId();
+}
+
 uint64_t ExecStats::TotalBytes() const {
   return TotalBytesToSites() + TotalBytesToCoord();
 }
@@ -188,6 +199,14 @@ Result<Table> ExecuteSiteRoundReplicated(
 
 Status QueryDeadline::ArmRound(const std::string& round,
                                CancellationToken* token) const {
+  if (external_ != nullptr) {
+    // Chain the round token under the submission-level token so a
+    // session Cancel stops this round's morsel loops; refuse to start
+    // the round at all when the query is already cancelled.
+    token->set_parent(external_);
+    Status live = external_->Check();
+    if (!live.ok()) return live;
+  }
   int64_t query_left = RemainingQueryMs();
   if (query_left == 0) {
     return Status::DeadlineExceeded(

@@ -112,6 +112,42 @@ struct ExecutorOptions {
 /// hardware thread (at least 1).
 size_t ResolveCoordinatorShards(size_t configured);
 
+/// Per-submission parameters, distinct from the per-engine
+/// ExecutorOptions an executor is constructed around: ExecutorOptions
+/// describe the engine (topology, shards, fault policy), a QueryRun
+/// describes one query flowing through it. The scheduler submits many
+/// QueryRuns against one executor concurrently; each carries its own
+/// identity, cancellation hook, and budget carve-outs. Every field's
+/// zero value means "inherit from ExecutorOptions / assign for me", so
+/// `Execute(plan, {}, &stats)` behaves exactly like the classic
+/// two-argument call.
+struct QueryRun {
+  /// Query id tagging spans/metrics and (rpc) every round frame.
+  /// 0 = allocate a fresh id via obs::NextQueryId().
+  uint64_t query_id = 0;
+
+  /// External cancellation hook (not owned, may be nullptr): the engines
+  /// chain every round token under it, so cancelling this token —
+  /// QuerySession::Cancel does — stops in-flight evaluation at the next
+  /// morsel boundary and surfaces as Status::Cancelled. Must outlive the
+  /// Execute call.
+  CancellationToken* cancellation = nullptr;
+
+  /// Per-query deadline override in milliseconds; 0 = inherit
+  /// options.query_deadline_ms. The scheduler carves per-query budgets
+  /// out of a global limit here (queue wait included).
+  uint64_t query_deadline_ms = 0;
+
+  /// Per-query intra-site parallelism override; 0 = inherit
+  /// options.eval_threads. Fair-share admission divides a global worker
+  /// budget across the queries currently running.
+  size_t eval_threads = 0;
+};
+
+/// The query id this run executes under: the run's own id when set, a
+/// freshly allocated obs::NextQueryId() otherwise.
+uint64_t ResolveQueryId(const QueryRun& run);
+
 /// The EvalContext a site evaluates `stage` with: sub-aggregate mode when
 /// the stage synchronizes, the __rng indicator when it additionally runs
 /// the distribution-independent group reduction (Prop. 1), and intra-site
@@ -119,6 +155,11 @@ size_t ResolveCoordinatorShards(size_t configured);
 /// per-round context here so evaluation semantics cannot drift apart.
 EvalContext StageEvalContext(const ExecutorOptions& options,
                              const PlanStage& stage);
+
+/// Same, with the run's per-query eval_threads override applied
+/// (0 = inherit the options value).
+EvalContext StageEvalContext(const ExecutorOptions& options,
+                             const QueryRun& run, const PlanStage& stage);
 
 /// What one site measured evaluating one round, as reported back to the
 /// coordinator. The rpc engine fills every field from the RoundProfile
@@ -215,6 +256,11 @@ struct ExecStats {
   /// recorded is tagged with it (obs::QueryIdScope). 0 = untagged.
   uint64_t query_id = 0;
 
+  /// The answer was served from the coordinator's SubAggregateCache
+  /// (serve/cache.h): no evaluation rounds ran, `rounds` is empty, and
+  /// no bytes moved. Only the serving layer ever sets this.
+  bool from_cache = false;
+
   /// Rpc engine only: framed wire bytes this execution moved, measured
   /// from after Connect (the once-per-session hello/catalog traffic is
   /// excluded); setup_wire_bytes is the non-round share — BeginPlan and
@@ -258,10 +304,20 @@ class Executor {
  public:
   virtual ~Executor() = default;
 
-  /// Runs the plan; returns the final base-result structure. `stats`
-  /// (may be nullptr) receives per-round accounting.
+  /// Runs the plan under the per-submission parameters in `run`; returns
+  /// the final base-result structure. `stats` (may be nullptr) receives
+  /// per-round accounting. Engines are safe to call concurrently from
+  /// multiple threads with distinct runs: per-query state lives on the
+  /// Execute stack, and the shared site pool serializes per-site rounds
+  /// internally (Site round locks in-process, per-connection locks over
+  /// rpc).
   virtual Result<Table> Execute(const DistributedPlan& plan,
-                                ExecStats* stats) = 0;
+                                const QueryRun& run, ExecStats* stats) = 0;
+
+  /// Classic single-query entry point: Execute with default QueryRun.
+  Result<Table> Execute(const DistributedPlan& plan, ExecStats* stats) {
+    return Execute(plan, QueryRun{}, stats);
+  }
 
   /// Engine name, for logs and test labels.
   virtual const char* name() const = 0;
@@ -322,6 +378,17 @@ class QueryDeadline {
       : round_ms_(options.round_deadline_ms),
         query_ms_(options.query_deadline_ms) {}
 
+  /// Per-submission form: the run's query_deadline_ms overrides the
+  /// engine default when non-zero, and the run's external cancellation
+  /// token (when present) is chained under every round token ArmRound
+  /// arms — so QuerySession::Cancel propagates into morsel loops through
+  /// the same polling the deadlines use.
+  QueryDeadline(const ExecutorOptions& options, const QueryRun& run)
+      : round_ms_(options.round_deadline_ms),
+        query_ms_(run.query_deadline_ms > 0 ? run.query_deadline_ms
+                                            : options.query_deadline_ms),
+        external_(run.cancellation) {}
+
   Status ArmRound(const std::string& round, CancellationToken* token) const;
 
   /// Milliseconds of query budget left: 0 = spent, negative = unbounded.
@@ -330,6 +397,7 @@ class QueryDeadline {
  private:
   uint64_t round_ms_;
   uint64_t query_ms_;
+  CancellationToken* external_ = nullptr;  // not owned, may be nullptr
   Stopwatch timer_;
 };
 

@@ -7,6 +7,7 @@ namespace skalla {
 
 Result<Table> Site::EvalGmdjRound(const Table& base, const GmdjOp& op,
                                   const EvalContext& context) const {
+  std::lock_guard<std::mutex> round(*round_mu_);
   if (context.use_index && !columnar_.empty() && ColumnarEligible(op)) {
     auto it = columnar_.find(op.detail_table);
     if (it != columnar_.end()) {
@@ -18,6 +19,8 @@ Result<Table> Site::EvalGmdjRound(const Table& base, const GmdjOp& op,
 }
 
 Status Site::EnableColumnarCache() {
+  std::lock_guard<std::mutex> round(*round_mu_);
+  if (!columnar_.empty()) return Status::OK();
   for (const std::string& name : catalog_.TableNames()) {
     SKALLA_ASSIGN_OR_RETURN(const Table* table, catalog_.Get(name));
     SKALLA_ASSIGN_OR_RETURN(ColumnTable columnar,

@@ -5,6 +5,8 @@
 #ifndef SKALLA_DIST_SITE_H_
 #define SKALLA_DIST_SITE_H_
 
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -20,15 +22,26 @@ namespace skalla {
 
 /// One Skalla site. Stateless across rounds: the distributed executor
 /// owns the per-site base-result structures.
+///
+/// Concurrency: a site evaluates one round at a time. Every entry point
+/// that touches local data takes the site's round lock, so concurrent
+/// queries sharing one site pool queue behind each other per site — the
+/// in-process analogue of the RPC path's per-connection serialization.
+/// The lock is shared across copies of a Site (executors copy sites out
+/// of a warehouse), so the queue covers every handle to the partition.
 class Site {
  public:
-  Site(int id, Catalog catalog) : id_(id), catalog_(std::move(catalog)) {}
+  Site(int id, Catalog catalog)
+      : id_(id),
+        catalog_(std::move(catalog)),
+        round_mu_(std::make_shared<std::mutex>()) {}
 
   int id() const { return id_; }
   const Catalog& catalog() const { return catalog_; }
 
   /// Evaluates the base-values query against the local partition.
   Result<Table> ExecuteBaseQuery(const BaseQuery& query) const {
+    std::lock_guard<std::mutex> round(*round_mu_);
     return query.Execute(catalog_);
   }
 
@@ -48,15 +61,23 @@ class Site {
 
   /// Precomputes columnar copies of every local relation. Subsequent
   /// GMDJ rounds whose conditions are pure equality conjunctions run on
-  /// the vectorized evaluator instead of the row engine.
+  /// the vectorized evaluator instead of the row engine. Idempotent and
+  /// safe to race: the first caller through the round lock builds, the
+  /// rest see the built cache and return.
   Status EnableColumnarCache();
 
-  bool columnar_enabled() const { return !columnar_.empty(); }
+  bool columnar_enabled() const {
+    std::lock_guard<std::mutex> round(*round_mu_);
+    return !columnar_.empty();
+  }
 
  private:
   int id_;
   Catalog catalog_;
   std::unordered_map<std::string, ColumnTable> columnar_;
+  // Per-site round queue; shared_ptr so copies of this Site queue on the
+  // same lock.
+  std::shared_ptr<std::mutex> round_mu_;
 };
 
 }  // namespace skalla

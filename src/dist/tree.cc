@@ -186,7 +186,7 @@ void FoldAccum(const CoordinatorTree& tree, const RoundAccum& accum,
 }  // namespace
 
 Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
-                                    ExecStats* stats) {
+                                    const QueryRun& run, ExecStats* stats) {
   if (sites_.empty()) {
     return Status::InvalidArgument("executor has no sites");
   }
@@ -234,14 +234,14 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
 
   // Tree rounds aggregate through intermediate tiers, so there is no
   // per-site coordinator-visible round; site_profiles stay empty here.
-  const uint64_t query_id = obs::NextQueryId();
+  const uint64_t query_id = ResolveQueryId(run);
   obs::QueryIdScope query_scope(query_id);
   st.query_id = query_id;
 
   const size_t n = sites_.size();
   std::vector<Table> local_base(n);
   bool have_global = false;
-  const QueryDeadline deadline(options_);
+  const QueryDeadline deadline(options_, run);
   // Partitions whose every replica is gone; only OnSiteLoss::kDegrade
   // sets these — the query completes over the survivors and the loss is
   // reported in st.lost_sites / RoundStats::sites_lost.
@@ -440,7 +440,7 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     }
 
     // Local evaluation at every site.
-    EvalContext eval_context = StageEvalContext(options_, stage);
+    EvalContext eval_context = StageEvalContext(options_, run, stage);
     eval_context.cancellation = &round_cancel;
     std::vector<Table> outputs(n);
     for (size_t i = 0; i < n; ++i) {

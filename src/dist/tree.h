@@ -73,7 +73,8 @@ class TreeExecutor : public Executor {
   TreeExecutor(std::vector<Site> sites, CoordinatorTree tree,
                NetworkConfig net_config = {}, ExecutorOptions options = {});
 
-  Result<Table> Execute(const DistributedPlan& plan,
+  using Executor::Execute;
+  Result<Table> Execute(const DistributedPlan& plan, const QueryRun& run,
                         ExecStats* stats) override;
 
   /// Registers `replica` as another host of partition `partition`'s data

@@ -74,20 +74,26 @@ Result<Table> DistributedWarehouse::Execute(const GmdjExpr& expr,
 
 Result<Table> DistributedWarehouse::ExecutePlan(const DistributedPlan& plan,
                                                 ExecStats* stats) const {
+  return MakeExecutor(net_config_, exec_options_)->Execute(plan, stats);
+}
+
+std::unique_ptr<DistributedExecutor> DistributedWarehouse::MakeExecutor(
+    NetworkConfig net_config, ExecutorOptions exec_options) const {
   std::vector<Site> sites;
   sites.reserve(num_sites_);
   // Columnar caches are built by the executor itself (columnar_sites).
   for (size_t i = 0; i < num_sites_; ++i) {
     sites.emplace_back(static_cast<int>(i), site_catalogs_[i]);
   }
-  DistributedExecutor executor(std::move(sites), net_config_, exec_options_);
+  auto executor = std::make_unique<DistributedExecutor>(
+      std::move(sites), net_config, exec_options);
   for (size_t r = 1; r < replication_; ++r) {
     for (size_t i = 0; i < num_sites_; ++i) {
       int replica_id = static_cast<int>(num_sites_ + (r - 1) * num_sites_ + i);
-      executor.AddReplica(i, Site(replica_id, site_catalogs_[i]));
+      executor->AddReplica(i, Site(replica_id, site_catalogs_[i]));
     }
   }
-  return executor.Execute(plan, stats);
+  return executor;
 }
 
 Result<Table> DistributedWarehouse::ExecuteCentralized(

@@ -11,6 +11,7 @@
 #define SKALLA_DIST_WAREHOUSE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,8 @@ class DistributedWarehouse {
                                 ExecutorOptions exec_options = {});
 
   size_t num_sites() const { return num_sites_; }
+  const NetworkConfig& net_config() const { return net_config_; }
+  const ExecutorOptions& exec_options() const { return exec_options_; }
 
   /// Registers a fact relation given one partition per site. Distribution
   /// knowledge (exact per-site value sets and numeric ranges) is computed
@@ -78,6 +81,15 @@ class DistributedWarehouse {
   /// Executes an already-built plan.
   Result<Table> ExecutePlan(const DistributedPlan& plan,
                             ExecStats* stats = nullptr) const;
+
+  /// Builds a star executor over this warehouse's partitions (replicas
+  /// included per SetReplication) with the given network/executor
+  /// configuration. ExecutePlan builds one per call with the
+  /// warehouse's own configuration; the serving layer builds one here
+  /// and keeps it, so every query it admits shares one pool of sites —
+  /// concurrent rounds queue on the per-site round locks.
+  std::unique_ptr<DistributedExecutor> MakeExecutor(
+      NetworkConfig net_config, ExecutorOptions exec_options) const;
 
   /// Hosts every partition at `factor` sites (the primary plus
   /// factor - 1 replicas, each a full copy of the partition under its

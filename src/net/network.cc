@@ -12,22 +12,27 @@ double SimulatedNetwork::Transfer(int from, int to, uint64_t bytes) {
   SKALLA_SPAN_ATTR(send_span, "bytes", bytes);
   SKALLA_COUNTER_ADD("skalla.net.messages", 1);
   SKALLA_COUNTER_ADD("skalla.net.bytes", bytes);
-  total_bytes_ += bytes;
-  total_messages_ += 1;
-  LinkStats& link = links_[{from, to}];
-  link.messages += 1;
-  link.bytes += bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_bytes_ += bytes;
+    total_messages_ += 1;
+    LinkStats& link = links_[{from, to}];
+    link.messages += 1;
+    link.bytes += bytes;
+  }
   double modeled = TransferTime(bytes);
   SKALLA_SPAN_ATTR(send_span, "modeled_ms", modeled * 1e3);
   return modeled;
 }
 
 LinkStats SimulatedNetwork::Link(int from, int to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = links_.find({from, to});
   return it == links_.end() ? LinkStats{} : it->second;
 }
 
 void SimulatedNetwork::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_bytes_ = 0;
   total_messages_ = 0;
   links_.clear();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <utility>
 
 namespace skalla {
@@ -33,7 +34,10 @@ struct LinkStats {
   uint64_t bytes = 0;
 };
 
-/// Records transfers and charges modeled time.
+/// Records transfers and charges modeled time. Thread-safe: concurrent
+/// queries sharing one executor record transfers from multiple threads
+/// (accounting serializes on an internal mutex; the modeled time is a
+/// pure function of the byte count).
 class SimulatedNetwork {
  public:
   SimulatedNetwork() = default;
@@ -50,8 +54,14 @@ class SimulatedNetwork {
   }
 
   const NetworkConfig& config() const { return config_; }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  uint64_t total_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_messages_;
+  }
 
   /// Stats for the (from, to) directed link.
   LinkStats Link(int from, int to) const;
@@ -60,6 +70,7 @@ class SimulatedNetwork {
 
  private:
   NetworkConfig config_;
+  mutable std::mutex mu_;  // guards the counters and the link map
   uint64_t total_bytes_ = 0;
   uint64_t total_messages_ = 0;
   std::map<std::pair<int, int>, LinkStats> links_;

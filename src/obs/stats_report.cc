@@ -79,6 +79,16 @@ std::string FormatStatsReport(const DistributedPlan& plan,
                      static_cast<unsigned long long>(stats.query_id));
   }
 
+  if (stats.from_cache) {
+    out += StrPrintf(
+        "  cache: HIT (sub-aggregate cache) — 0 evaluation rounds, 0 "
+        "bytes transferred\n"
+        "  total: 0 bytes, 0 tuples, 0 sync rounds over %zu stages + "
+        "base\n",
+        plan.stages.size());
+    return out;
+  }
+
   if (stats.rounds.size() != plan.stages.size() + 1) {
     out += StrPrintf(
         "  (stats have %zu rounds for a plan with %zu stages + base; "

@@ -46,7 +46,12 @@ inline constexpr uint32_t kFrameMagic = 0x414C4B53;  // "SKLA"
 //      responses switch from kTableResult to kRoundResult (flags byte +
 //      serialized RoundProfile + optional table tail); new kGetStats /
 //      kStatsResult message pair for pulling a site's metrics snapshot
-inline constexpr uint8_t kProtocolVersion = 4;
+//   5  multi-query frame multiplexing: BeginPlan payload grows a
+//      query_id varint after eval_threads, sites keep per-query round
+//      state keyed by the TraceContext query id (so rounds of different
+//      queries interleave over one connection), and the new kEndPlan
+//      message (varint query id) releases a query's site-side state
+inline constexpr uint8_t kProtocolVersion = 5;
 inline constexpr size_t kFrameHeaderSize = 16;
 
 /// What a frame carries. Requests flow coordinator -> site; responses
@@ -66,10 +71,11 @@ enum class MessageType : uint8_t {
   kGetStats = 10,    // request: empty payload; pulls a metrics snapshot
   kStatsResult = 11,  // response: varint site id + JSON metrics string
   kRoundResult = 12,  // response: flags + RoundProfile + table payload
+  kEndPlan = 13,      // request: varint query id; frees per-query state
 };
 
 inline constexpr uint8_t kMaxMessageType =
-    static_cast<uint8_t>(MessageType::kRoundResult);
+    static_cast<uint8_t>(MessageType::kEndPlan);
 
 /// One decoded message.
 struct Frame {

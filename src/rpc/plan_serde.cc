@@ -348,6 +348,7 @@ std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req) {
   std::vector<uint8_t> out;
   out.push_back(req.columnar_sites ? 1 : 0);
   PutVarint(&out, req.eval_threads);
+  PutVarint(&out, req.query_id);
   return out;
 }
 
@@ -359,7 +360,20 @@ Result<BeginPlanRequest> DecodeBeginPlanRequest(
   req.columnar_sites = (flags & 1) != 0;
   SKALLA_ASSIGN_OR_RETURN(uint64_t eval_threads, reader.ReadVarint());
   req.eval_threads = static_cast<size_t>(eval_threads);
+  SKALLA_ASSIGN_OR_RETURN(req.query_id, reader.ReadVarint());
   return req;
+}
+
+std::vector<uint8_t> EncodeEndPlanRequest(uint64_t query_id) {
+  std::vector<uint8_t> out;
+  PutVarint(&out, query_id);
+  return out;
+}
+
+Result<uint64_t> DecodeEndPlanRequest(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  SKALLA_ASSIGN_OR_RETURN(uint64_t query_id, reader.ReadVarint());
+  return query_id;
 }
 
 std::vector<uint8_t> EncodeBaseRoundRequest(const BaseRoundRequest& req) {

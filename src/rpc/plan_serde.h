@@ -95,17 +95,30 @@ Result<RoundProfile> ReadRoundProfile(ByteReader* reader);
 
 // --- Request/response payloads -------------------------------------------
 
-/// kBeginPlan: resets the site's round state and applies per-plan knobs.
+/// kBeginPlan: opens (or resets) one query's round state at the site and
+/// applies per-plan knobs. Since protocol version 5 a site holds one
+/// such state per in-flight query id, so rounds of different queries may
+/// interleave over the same connection.
 struct BeginPlanRequest {
   bool columnar_sites = false;
   /// EvalContext::eval_threads for every round of the plan (0 = one
   /// worker per hardware thread of the *site* host). Wire format: varint
   /// after the flags byte (protocol version 2).
   size_t eval_threads = 1;
+  /// The query this plan state belongs to; round requests select it via
+  /// TraceContext::query_id. 0 = the single anonymous pre-v5 slot. Wire
+  /// format: varint after eval_threads (protocol version 5).
+  uint64_t query_id = 0;
 };
 std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req);
 Result<BeginPlanRequest> DecodeBeginPlanRequest(
     const std::vector<uint8_t>& payload);
+
+/// kEndPlan: releases the site-side round state of one query (varint
+/// query id). Best-effort — sites also cap and evict the state map, so a
+/// coordinator that dies mid-query leaks nothing permanently.
+std::vector<uint8_t> EncodeEndPlanRequest(uint64_t query_id);
+Result<uint64_t> DecodeEndPlanRequest(const std::vector<uint8_t>& payload);
 
 /// kBaseRound: evaluate the base-values query. With ship_result the
 /// response is the table (kTableResult); without, the site keeps the

@@ -61,11 +61,16 @@ bool RpcExecutor::TolerableLoss(size_t endpoint) const {
 }
 
 Status RpcExecutor::Connect() {
+  // Serialized: concurrent Executes race to be the first dialer; the
+  // loser blocks here, then sees the populated state and returns.
+  std::lock_guard<std::mutex> connect_lock(connect_mu_);
   const size_t n = transport_->num_sites();
   if (n == 0) return Status::InvalidArgument("transport has no sites");
   if (connections_.empty()) {
     connections_.resize(n);
+    connection_mu_.resize(n);
     for (size_t i = 0; i < n; ++i) {
+      connection_mu_[i] = std::make_unique<std::mutex>();
       SKALLA_ASSIGN_OR_RETURN(connections_[i], transport_->Connect(i));
     }
   }
@@ -121,22 +126,32 @@ uint64_t RpcExecutor::wire_bytes() const {
   return total;
 }
 
+Result<Frame> RpcExecutor::CallLocked(size_t i, MessageType type,
+                                      const std::vector<uint8_t>& payload,
+                                      uint64_t* wire_delta) {
+  std::lock_guard<std::mutex> lock(*connection_mu_[i]);
+  uint64_t wire_before = connections_[i]->wire_bytes();
+  Result<Frame> response = connections_[i]->Call(type, payload);
+  if (wire_delta != nullptr) {
+    *wire_delta = connections_[i]->wire_bytes() - wire_before;
+  }
+  return response;
+}
+
 Result<Table> RpcExecutor::CallRound(size_t i, MessageType type,
                                      const std::vector<uint8_t>& payload,
                                      RoundCallStats* call_stats) {
   SKALLA_TRACE_SPAN(span, "rpc.round", "rpc");
   SKALLA_SPAN_ATTR(span, "site", static_cast<int64_t>(i));
   Stopwatch timer;
-  uint64_t wire_before = connections_[i]->wire_bytes();
   // Coordinator clock just before the request leaves: remote span
   // timestamps are shifted so the site's earliest event aligns here.
   int64_t send_ts_us = 0;
   SKALLA_OBS_ONLY(send_ts_us = obs::Tracer::Global().NowMicros());
   (void)send_ts_us;
-  Result<Frame> response = connections_[i]->Call(type, payload);
-  if (call_stats != nullptr) {
-    call_stats->wire_bytes = connections_[i]->wire_bytes() - wire_before;
-  }
+  uint64_t wire_delta = 0;
+  Result<Frame> response = CallLocked(i, type, payload, &wire_delta);
+  if (call_stats != nullptr) call_stats->wire_bytes = wire_delta;
   SKALLA_HISTOGRAM_RECORD("skalla.rpc.round_us",
                           timer.ElapsedSeconds() * 1e6);
   SKALLA_RETURN_NOT_OK(response.status());
@@ -187,7 +202,7 @@ Result<Table> RpcExecutor::CallRound(size_t i, MessageType type,
 }
 
 Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
-                                   ExecStats* stats) {
+                                   const QueryRun& run, ExecStats* stats) {
   const size_t total_endpoints = transport_->num_sites();
   const size_t n = num_sites();
   if (n == 0) return Status::InvalidArgument("executor has no sites");
@@ -229,11 +244,15 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   st.rounds.clear();
 
   // Every span, instant, and metric below carries this query's id; the
-  // sites inherit it through the TraceContext each round request ships.
-  const uint64_t query_id = obs::NextQueryId();
+  // sites inherit it through the TraceContext each round request ships,
+  // and key their per-query round state on it (protocol v5).
+  const uint64_t query_id = ResolveQueryId(run);
   obs::QueryIdScope query_scope(query_id);
   st.query_id = query_id;
-  const uint64_t wire_start = wire_bytes();
+  // Wire accounting accumulates per call rather than diffing the shared
+  // connection counters, so concurrent queries don't see each other's
+  // traffic.
+  uint64_t exec_wire = 0;
 
   SKALLA_TRACE_SPAN(exec_span, "exec.plan", "executor");
   SKALLA_SPAN_ATTR(exec_span, "sites", static_cast<uint64_t>(n));
@@ -247,7 +266,9 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   // and it is idempotent anyway.
   BeginPlanRequest begin;
   begin.columnar_sites = options_.columnar_sites;
-  begin.eval_threads = options_.eval_threads;
+  begin.eval_threads =
+      run.eval_threads > 0 ? run.eval_threads : options_.eval_threads;
+  begin.query_id = query_id;
   const std::vector<uint8_t> begin_payload = EncodeBeginPlanRequest(begin);
   // An endpoint unreachable at BeginPlan is marked down instead of
   // failing the query — when the retry -> failover -> degrade ladder
@@ -259,9 +280,11 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     // Broadcast to every endpoint, replicas included: a replica must be
     // in the same per-plan state as its primary to take over a round.
     for (size_t i = 0; i < total_endpoints; ++i) {
+      RoundCallStats begin_call;
       Status begun =
-          CallRound(i, MessageType::kBeginPlan, begin_payload, nullptr)
+          CallRound(i, MessageType::kBeginPlan, begin_payload, &begin_call)
               .status();
+      exec_wire += begin_call.wire_bytes;
       if (begun.ok()) continue;
       if (!TolerableLoss(i)) return begun;
       endpoint_down[i] = std::move(begun);
@@ -269,21 +292,41 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   }
   auto ensure_begun = [&](size_t endpoint) -> Status {
     if (endpoint_down[endpoint].ok()) return Status::OK();
+    RoundCallStats begin_call;
     Status begun =
-        CallRound(endpoint, MessageType::kBeginPlan, begin_payload, nullptr)
+        CallRound(endpoint, MessageType::kBeginPlan, begin_payload,
+                  &begin_call)
             .status();
+    exec_wire += begin_call.wire_bytes;
     if (begun.ok()) {
       endpoint_down[endpoint] = Status::OK();
       return Status::OK();
     }
     return endpoint_down[endpoint];
   };
+  // Best-effort per-query state release at the sites on every exit path
+  // (sites also cap and evict, so a lost coordinator leaks nothing).
+  // Excluded from this query's wire accounting: it runs after the stats
+  // are finalized.
+  struct EndPlanSender {
+    RpcExecutor* self;
+    uint64_t query_id;
+    const std::vector<Status>* endpoint_down;
+    ~EndPlanSender() {
+      const std::vector<uint8_t> payload = EncodeEndPlanRequest(query_id);
+      for (size_t i = 0; i < endpoint_down->size(); ++i) {
+        if (!(*endpoint_down)[i].ok()) continue;
+        (void)self->CallLocked(i, MessageType::kEndPlan, payload, nullptr);
+      }
+    }
+  } end_plan{this, query_id, &endpoint_down};
+  (void)end_plan;
 
   Coordinator coordinator(plan.key_columns,
                           ResolveCoordinatorShards(
                               options_.coordinator_shards));
   bool have_global = false;
-  const QueryDeadline deadline(options_);
+  const QueryDeadline deadline(options_, run);
   // Partitions whose every replica is gone; only OnSiteLoss::kDegrade
   // sets these — the query completes over the survivors and the loss is
   // reported in st.lost_sites / RoundStats::sites_lost.
@@ -348,6 +391,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
             Result<Table> attempt = CallRound(
                 endpoints[r], MessageType::kBaseRound, payload, &call);
             rs.wire_bytes += call.wire_bytes;
+            exec_wire += call.wire_bytes;
             return attempt;
           },
           &counts, &round_cancel);
@@ -483,6 +527,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
             Result<Table> attempt = CallRound(
                 endpoints[r], MessageType::kGmdjRound, payloads[i], &call);
             rs.wire_bytes += call.wire_bytes;
+            exec_wire += call.wire_bytes;
             return attempt;
           },
           &counts, &round_cancel);
@@ -547,7 +592,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
     return Status::Internal("plan finished without a global result");
   }
   std::sort(st.lost_sites.begin(), st.lost_sites.end());
-  st.total_wire_bytes = wire_bytes() - wire_start;
+  st.total_wire_bytes = exec_wire;
   uint64_t round_wire = 0;
   for (const RoundStats& rs : st.rounds) round_wire += rs.wire_bytes;
   st.setup_wire_bytes = st.total_wire_bytes - round_wire;
@@ -561,7 +606,7 @@ Result<StatsResult> RpcExecutor::SiteStats(size_t endpoint) {
         StrCat("no connection for endpoint ", endpoint));
   }
   SKALLA_ASSIGN_OR_RETURN(
-      Frame response, connections_[endpoint]->Call(MessageType::kGetStats, {}));
+      Frame response, CallLocked(endpoint, MessageType::kGetStats, {}, nullptr));
   if (response.type == MessageType::kError) {
     return ReadStatusPayload(response.payload);
   }
@@ -574,12 +619,17 @@ Result<StatsResult> RpcExecutor::SiteStats(size_t endpoint) {
 
 Status RpcExecutor::Shutdown() {
   if (connections_.empty()) {
+    std::lock_guard<std::mutex> connect_lock(connect_mu_);
     const size_t n = transport_->num_sites();
-    connections_.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      Result<std::unique_ptr<Connection>> connection =
-          transport_->Connect(i);
-      if (connection.ok()) connections_[i] = std::move(*connection);
+    if (connections_.empty()) {
+      connections_.resize(n);
+      connection_mu_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        connection_mu_[i] = std::make_unique<std::mutex>();
+        Result<std::unique_ptr<Connection>> connection =
+            transport_->Connect(i);
+        if (connection.ok()) connections_[i] = std::move(*connection);
+      }
     }
   }
   Status first_error;

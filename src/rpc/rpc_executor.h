@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,11 +55,17 @@ class RpcExecutor : public Executor {
   RpcExecutor(std::unique_ptr<Transport> transport, ExecutorOptions options);
 
   /// Dials every site (TCP: kHello handshake) and fetches the catalog
-  /// schemas the coordinator needs for schema inference. Idempotent;
-  /// Execute calls it on demand.
+  /// schemas the coordinator needs for schema inference. Idempotent and
+  /// thread-safe; Execute calls it on demand.
   Status Connect();
 
-  Result<Table> Execute(const DistributedPlan& plan,
+  /// Thread-safe: concurrent Executes with distinct runs multiplex their
+  /// round frames over the shared connections (each request/response
+  /// pair holds its connection's lock — frame-granularity interleaving),
+  /// tagged with the run's query id so v5 sites keep the queries' round
+  /// states apart.
+  using Executor::Execute;
+  Result<Table> Execute(const DistributedPlan& plan, const QueryRun& run,
                         ExecStats* stats) override;
 
   /// Declares transport endpoint `endpoint` (an index into the
@@ -111,6 +118,16 @@ class RpcExecutor : public Executor {
                           const std::vector<uint8_t>& payload,
                           RoundCallStats* call_stats);
 
+  /// One Call against endpoint `i` under its connection lock; the wire
+  /// delta the call moved lands in *wire_delta (exact even when other
+  /// queries share the connection, because the lock spans the
+  /// measurement). The lock also means a whole frame exchange is atomic
+  /// per connection — requests of different queries interleave between
+  /// calls, never inside one.
+  Result<Frame> CallLocked(size_t i, MessageType type,
+                           const std::vector<uint8_t>& payload,
+                           uint64_t* wire_delta);
+
   // Endpoint indices of partition i's evaluation chain: primary, then
   // replicas in registration order.
   std::vector<size_t> ReplicaEndpoints(size_t i) const;
@@ -124,6 +141,11 @@ class RpcExecutor : public Executor {
   std::unique_ptr<Transport> transport_;
   ExecutorOptions options_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  // One lock per connection: Connection::Call is single-caller by
+  // contract, so every exchange (and its wire-byte measurement) runs
+  // under the matching lock. unique_ptr keeps the vector movable.
+  std::vector<std::unique_ptr<std::mutex>> connection_mu_;
+  std::mutex connect_mu_;  // guards lazy init of connections_/schemas_
   std::map<size_t, std::vector<size_t>> replica_endpoints_;
   std::map<std::string, SchemaPtr> schemas_;
 };

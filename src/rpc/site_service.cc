@@ -83,7 +83,27 @@ Frame RoundResultFrame(RoundProfile* profile, const Table* table) {
 
 }  // namespace
 
+size_t SiteService::open_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+SiteService::PlanState& SiteService::PlanFor(uint64_t query_id) {
+  auto it = plans_.find(query_id);
+  if (it != plans_.end()) return it->second;
+  if (plans_.size() >= kMaxOpenPlans && !plan_order_.empty()) {
+    plans_.erase(plan_order_.front());
+    plan_order_.pop_front();
+  }
+  plan_order_.push_back(query_id);
+  return plans_[query_id];
+}
+
 Result<Frame> SiteService::Handle(const Frame& request) {
+  // One round at a time per site: concurrent coordinator threads (the
+  // in-process transport under a scheduler) queue here, which is exactly
+  // the per-site round queue the serving layer relies on.
+  std::lock_guard<std::mutex> lock(mu_);
   SKALLA_TRACE_SPAN(span, "rpc.handle", "rpc");
   SKALLA_SPAN_ATTR(span, "type",
                    static_cast<int64_t>(static_cast<uint8_t>(request.type)));
@@ -108,6 +128,8 @@ Result<Frame> SiteService::Handle(const Frame& request) {
     }
     case MessageType::kBeginPlan:
       return HandleBeginPlan(request);
+    case MessageType::kEndPlan:
+      return HandleEndPlan(request);
     case MessageType::kBaseRound:
       return HandleBaseRound(request);
     case MessageType::kGmdjRound:
@@ -134,10 +156,11 @@ Result<Frame> SiteService::Handle(const Frame& request) {
 Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
   SKALLA_ASSIGN_OR_RETURN(BeginPlanRequest req,
                           DecodeBeginPlanRequest(request.payload));
-  local_base_ = Table();
-  last_round_.clear();
-  last_input_ = Table();
-  eval_threads_ = req.eval_threads;
+  PlanState& plan = PlanFor(req.query_id);
+  plan.local_base = Table();
+  plan.last_round.clear();
+  plan.last_input = Table();
+  plan.eval_threads = req.eval_threads;
   if (req.columnar_sites && !site_.columnar_enabled()) {
     Status built = site_.EnableColumnarCache();
     if (!built.ok()) return ErrorFrame(built);
@@ -145,9 +168,23 @@ Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
   return AckFrame();
 }
 
+Result<Frame> SiteService::HandleEndPlan(const Frame& request) {
+  SKALLA_ASSIGN_OR_RETURN(uint64_t query_id,
+                          DecodeEndPlanRequest(request.payload));
+  plans_.erase(query_id);
+  for (auto it = plan_order_.begin(); it != plan_order_.end(); ++it) {
+    if (*it == query_id) {
+      plan_order_.erase(it);
+      break;
+    }
+  }
+  return AckFrame();
+}
+
 Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
   SKALLA_ASSIGN_OR_RETURN(BaseRoundRequest req,
                           DecodeBaseRoundRequest(request.payload));
+  PlanState& plan = PlanFor(req.trace.query_id);
   Stopwatch wall;
   const bool traced =
       req.trace.parent_span_id != 0 || req.trace.trace_id != 0;
@@ -195,9 +232,9 @@ Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
     profile.spans = capture.Drain();
     return RoundResultFrame(&profile, &*base);
   }
-  local_base_ = std::move(*base);
-  last_round_.clear();
-  last_input_ = Table();
+  plan.local_base = std::move(*base);
+  plan.last_round.clear();
+  plan.last_input = Table();
   profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
   profile.spans = capture.Drain();
   return RoundResultFrame(&profile, nullptr);
@@ -206,6 +243,7 @@ Result<Frame> SiteService::HandleBaseRound(const Frame& request) {
 Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   SKALLA_ASSIGN_OR_RETURN(GmdjRoundRequest req,
                           DecodeGmdjRoundRequest(request.payload));
+  PlanState& plan = PlanFor(req.trace.query_id);
   Stopwatch wall;
   const bool traced =
       req.trace.parent_span_id != 0 || req.trace.trace_id != 0;
@@ -218,13 +256,13 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   Table input;
   if (req.has_base) {
     input = std::move(req.base);
-  } else if (!req.label.empty() && req.label == last_round_) {
+  } else if (!req.label.empty() && req.label == plan.last_round) {
     // A coordinator retry of the round that already consumed the carried
     // structure: re-evaluate from the saved input, do not double-apply.
     ++duplicate_rounds_;
-    input = last_input_;
+    input = plan.last_input;
   } else {
-    input = std::move(local_base_);
+    input = std::move(plan.local_base);
   }
 
   // Arm the coordinator-shipped round deadline; the morsel loops poll
@@ -239,7 +277,7 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   EvalContext eval_context;
   eval_context.sub_aggregates = req.sub_aggregates;
   eval_context.compute_rng = req.apply_rng;
-  eval_context.eval_threads = eval_threads_;
+  eval_context.eval_threads = plan.eval_threads;
   eval_context.cancellation = req.deadline_ms > 0 ? &cancel : nullptr;
   eval_context.query_id = req.trace.query_id;
   eval_context.profile = &eval_profile;
@@ -262,11 +300,11 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   if (!h.ok()) return ErrorFrame(h.status());
 
   if (req.has_base) {
-    last_round_.clear();
-    last_input_ = Table();
+    plan.last_round.clear();
+    plan.last_input = Table();
   } else {
-    last_round_ = req.label;
-    last_input_ = std::move(input);
+    plan.last_round = req.label;
+    plan.last_input = std::move(input);
   }
   profile.morsel_us = eval_profile.morsel_us.load(std::memory_order_relaxed);
   profile.rows_scanned =
@@ -281,12 +319,12 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
           : static_cast<uint64_t>(chaos_faults_->load(std::memory_order_relaxed));
   profile.result_rows = h->num_rows();
   if (req.ship_result) {
-    local_base_ = Table();
+    plan.local_base = Table();
     profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
     profile.spans = capture.Drain();
     return RoundResultFrame(&profile, &*h);
   }
-  local_base_ = std::move(*h);
+  plan.local_base = std::move(*h);
   profile.wall_us = static_cast<uint64_t>(wall.ElapsedMicros());
   profile.spans = capture.Drain();
   return RoundResultFrame(&profile, nullptr);

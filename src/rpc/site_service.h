@@ -3,14 +3,26 @@
 // rounds — the carried-over local base-result structure that
 // unsynchronized plans rely on (Prop. 2 / Theorem 5).
 //
+// Since protocol v5 the service multiplexes queries: it holds one round
+// state per in-flight query id (BeginPlan opens one, EndPlan releases
+// it, round requests select theirs via TraceContext::query_id), so a
+// coordinator may interleave rounds of different queries over a single
+// connection. The state map is capped; the oldest entry is evicted when
+// a coordinator never sends EndPlan.
+//
 // Transport-agnostic: SiteServer drives it from a TCP connection, the
-// in-process transport calls it directly. Not thread-safe; each service
-// is driven by one connection at a time (the coordinator link).
+// in-process transport calls it directly. Handle() is serialized by an
+// internal mutex, so concurrent in-process callers are safe; evaluation
+// of different queries still interleaves at round granularity.
 
 #ifndef SKALLA_RPC_SITE_SERVICE_H_
 #define SKALLA_RPC_SITE_SERVICE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -33,7 +45,8 @@ class SiteService {
 
   /// Handles one request and produces the response frame. Evaluation
   /// failures become kError frames; a non-OK Result means the request
-  /// itself was malformed (the connection should drop).
+  /// itself was malformed (the connection should drop). Thread-safe
+  /// (requests serialize on an internal mutex).
   Result<Frame> Handle(const Frame& request);
 
   /// True once a kShutdown request has been acknowledged.
@@ -50,27 +63,50 @@ class SiteService {
   /// round that already consumed the carried structure).
   uint64_t duplicate_rounds() const { return duplicate_rounds_; }
 
+  /// Number of per-query round states currently held (diagnostics).
+  size_t open_plans() const;
+
  private:
+  /// Round state for one in-flight query (protocol v5: one per query
+  /// id; id 0 is the anonymous pre-v5 slot).
+  struct PlanState {
+    // Intra-site eval parallelism for this plan, set by BeginPlan
+    // (EvalContext::eval_threads; never changes results).
+    size_t eval_threads = 1;
+
+    // Carried-over base structure between unsynchronized rounds.
+    Table local_base;
+
+    // Idempotent retries: the label of the last round that consumed the
+    // carried structure, and the input it consumed. A re-sent round (a
+    // coordinator retry after a dropped connection or lost response)
+    // re-evaluates from the saved input instead of double-applying the
+    // operator to its own output.
+    std::string last_round;
+    Table last_input;
+  };
+
   Result<Frame> HandleBeginPlan(const Frame& request);
+  Result<Frame> HandleEndPlan(const Frame& request);
   Result<Frame> HandleBaseRound(const Frame& request);
   Result<Frame> HandleGmdjRound(const Frame& request);
 
+  /// The round state for `query_id`, creating it (and evicting the
+  /// oldest beyond kMaxOpenPlans) if absent. Caller holds mu_.
+  PlanState& PlanFor(uint64_t query_id);
+
+  /// Coordinators that never EndPlan are bounded by eviction: oldest
+  /// BeginPlan order first. Generous — an evicted-but-live query only
+  /// loses its carried-over structure, which self-contained rounds
+  /// rebuild.
+  static constexpr size_t kMaxOpenPlans = 64;
+
   Site site_;
 
-  // Intra-site eval parallelism for the current plan, set by BeginPlan
-  // (EvalContext::eval_threads; never changes results).
-  size_t eval_threads_ = 1;
+  mutable std::mutex mu_;  // serializes Handle (concurrent callers)
 
-  // Carried-over base structure between unsynchronized rounds.
-  Table local_base_;
-
-  // Idempotent retries: the label of the last round that consumed the
-  // carried structure, and the input it consumed. A re-sent round (a
-  // coordinator retry after a dropped connection or lost response)
-  // re-evaluates from the saved input instead of double-applying the
-  // operator to its own output.
-  std::string last_round_;
-  Table last_input_;
+  std::map<uint64_t, PlanState> plans_;     // keyed by query id
+  std::deque<uint64_t> plan_order_;         // BeginPlan order, for eviction
 
   bool shutdown_ = false;
 

@@ -1,0 +1,149 @@
+// QueryScheduler: admits, runs, and cancels many queries concurrently
+// against one executor (and therefore one pool of sites). The serving
+// core of skalla-coord and QuerySession.
+//
+// Admission is FIFO with a fixed width: at most max_concurrent_queries
+// plans execute at once; the rest wait in the queue, their deadline
+// budget ticking (queue wait is part of the query's latency, so a query
+// whose budget expires while queued fails with DeadlineExceeded without
+// ever reaching the sites). Each admitted query gets a fair share of
+// the global intra-site worker budget: eval_threads =
+// max(1, global_eval_threads / width), carved into its QueryRun.
+//
+// Repeated queries are answered from the SubAggregateCache (cache.h)
+// when the plan fingerprint and partition epoch match a resident entry:
+// the promise resolves with the cached table, the stats show zero
+// rounds and from_cache = true, and the sites never hear about it.
+//
+// Concurrency safety is the executor's contract (Executor::Execute with
+// distinct QueryRuns): the in-process engines serialize per-site rounds
+// on the Site round locks, the rpc engine interleaves tagged frames per
+// connection. The scheduler adds no cross-query ordering beyond
+// admission.
+
+#ifndef SKALLA_SERVE_SCHEDULER_H_
+#define SKALLA_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cancellation.h"
+#include "dist/executor.h"
+#include "dist/plan.h"
+#include "serve/cache.h"
+
+namespace skalla {
+namespace serve {
+
+struct SchedulerOptions {
+  /// Admission width: plans executing at once. 0 = 1.
+  size_t max_concurrent_queries = 4;
+
+  /// Global intra-site worker budget, divided fairly across the
+  /// admission width (each admitted query runs with
+  /// max(1, global_eval_threads / width) workers per site round).
+  /// 0 = inherit the executor's own eval_threads untouched.
+  size_t global_eval_threads = 0;
+
+  /// Default per-query deadline for submissions that do not set their
+  /// own, in milliseconds; 0 = unbounded. Queue wait counts against it.
+  uint64_t default_query_deadline_ms = 0;
+
+  /// SubAggregateCache capacity in serialized result bytes; 0 disables
+  /// result caching.
+  uint64_t cache_max_bytes = 64ull << 20;
+};
+
+/// Per-submission knobs (the serving-layer analogue of QueryRun; zero
+/// means "scheduler decides").
+struct QueryOptions {
+  uint64_t query_deadline_ms = 0;  // 0 = SchedulerOptions default
+  size_t eval_threads = 0;         // 0 = fair share
+  bool use_cache = true;           // lookup AND fill
+};
+
+/// What a served query resolves to: the final base-result structure and
+/// its accounting (from_cache = true for cache hits).
+struct QueryResult {
+  Table table;
+  ExecStats stats;
+};
+
+class QueryScheduler {
+ public:
+  /// `executor` is borrowed, not owned, and must outlive the scheduler.
+  QueryScheduler(Executor* executor, SchedulerOptions options);
+
+  /// Drains: queued queries are cancelled, running ones are allowed to
+  /// finish, workers join.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  struct Submission {
+    uint64_t query_id = 0;
+    std::future<Result<QueryResult>> result;
+  };
+
+  /// Enqueues the plan; returns immediately with the assigned query id
+  /// and the future the answer resolves through. Thread-safe.
+  Submission Submit(DistributedPlan plan, QueryOptions options = {});
+
+  /// Cancels the query: a queued one resolves Cancelled without running;
+  /// a running one stops at the next morsel/round boundary through the
+  /// QueryRun cancellation chain. Returns false when the id is unknown
+  /// or already finished.
+  bool Cancel(uint64_t query_id);
+
+  /// Marks the partition data changed: subsequent lookups miss, stale
+  /// cache entries are dropped.
+  void BumpPartitionEpoch();
+  uint64_t partition_epoch() const;
+
+  const SubAggregateCache& cache() const { return cache_; }
+
+  /// Queries admitted and not yet finished (excludes queued).
+  size_t running_queries() const;
+  /// Queries waiting for admission.
+  size_t queued_queries() const;
+
+ private:
+  struct Ticket {
+    uint64_t query_id = 0;
+    DistributedPlan plan;
+    QueryOptions options;
+    std::promise<Result<QueryResult>> promise;
+    CancellationToken cancel;
+    Stopwatch queued_at;
+  };
+
+  void WorkerLoop();
+  void Serve(const std::shared_ptr<Ticket>& ticket);
+
+  Executor* const executor_;
+  const SchedulerOptions options_;
+  SubAggregateCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Ticket>> queue_;
+  std::map<uint64_t, std::shared_ptr<Ticket>> live_;  // queued + running
+  uint64_t epoch_ = 1;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace skalla
+
+#endif  // SKALLA_SERVE_SCHEDULER_H_

@@ -104,14 +104,15 @@ TEST(FrameTest, ForeignVersionIsTypedVersionMismatch) {
       << decoded.status().ToString();
 }
 
-TEST(FrameTest, ProtocolVersionIsV4) {
-  // v4: round requests carry a TraceContext, round responses switch to
-  // kRoundResult with an embedded RoundProfile, and kGetStats /
-  // kStatsResult exist (docs/RPC.md). The version byte is the wire
-  // contract for all of that, so pin it explicitly.
-  EXPECT_EQ(kProtocolVersion, 4);
+TEST(FrameTest, ProtocolVersionIsV5) {
+  // v5: BeginPlan carries the query id, sites keep per-query round
+  // state so multiple coordinator queries multiplex one connection, and
+  // kEndPlan releases a query's site-side slot (docs/RPC.md). The
+  // version byte is the wire contract for all of that, so pin it
+  // explicitly.
+  EXPECT_EQ(kProtocolVersion, 5);
   std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, {});
-  EXPECT_EQ(wire[4], 4);
+  EXPECT_EQ(wire[4], 5);
 }
 
 TEST(FrameTest, V3PeerRejectedWithVersionMismatch) {
@@ -125,17 +126,16 @@ TEST(FrameTest, V3PeerRejectedWithVersionMismatch) {
       << decoded.status().ToString();
 }
 
-TEST(FrameTest, V4MessageTypesRoundTrip) {
+TEST(FrameTest, V4AndV5MessageTypesRoundTrip) {
   for (MessageType type :
        {MessageType::kGetStats, MessageType::kStatsResult,
-        MessageType::kRoundResult}) {
+        MessageType::kRoundResult, MessageType::kEndPlan}) {
     std::vector<uint8_t> wire = EncodeFrame(type, {42});
     Result<Frame> decoded = DecodeFrame(wire);
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded->type, type);
   }
-  EXPECT_EQ(kMaxMessageType,
-            static_cast<uint8_t>(MessageType::kRoundResult));
+  EXPECT_EQ(kMaxMessageType, static_cast<uint8_t>(MessageType::kEndPlan));
 }
 
 TEST(FrameTest, UnknownMessageTypeRejected) {

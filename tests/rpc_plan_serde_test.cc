@@ -155,15 +155,29 @@ TEST(PlanSerdeTest, GmdjOpsRoundTrip) {
 TEST(PlanSerdeTest, BeginPlanRequestRoundTrips) {
   for (bool columnar : {false, true}) {
     for (size_t eval_threads : {size_t{0}, size_t{1}, size_t{8}}) {
-      BeginPlanRequest request;
-      request.columnar_sites = columnar;
-      request.eval_threads = eval_threads;
-      BeginPlanRequest decoded =
-          DecodeBeginPlanRequest(EncodeBeginPlanRequest(request)).ValueOrDie();
-      EXPECT_EQ(decoded.columnar_sites, columnar);
-      EXPECT_EQ(decoded.eval_threads, eval_threads);
+      for (uint64_t query_id : {uint64_t{0}, uint64_t{7}, uint64_t{1} << 40}) {
+        BeginPlanRequest request;
+        request.columnar_sites = columnar;
+        request.eval_threads = eval_threads;
+        request.query_id = query_id;
+        BeginPlanRequest decoded =
+            DecodeBeginPlanRequest(EncodeBeginPlanRequest(request))
+                .ValueOrDie();
+        EXPECT_EQ(decoded.columnar_sites, columnar);
+        EXPECT_EQ(decoded.eval_threads, eval_threads);
+        EXPECT_EQ(decoded.query_id, query_id);
+      }
     }
   }
+}
+
+TEST(PlanSerdeTest, EndPlanRequestRoundTrips) {
+  for (uint64_t query_id : {uint64_t{0}, uint64_t{42}, uint64_t{1} << 50}) {
+    uint64_t decoded =
+        DecodeEndPlanRequest(EncodeEndPlanRequest(query_id)).ValueOrDie();
+    EXPECT_EQ(decoded, query_id);
+  }
+  EXPECT_FALSE(DecodeEndPlanRequest({}).ok());
 }
 
 TEST(PlanSerdeTest, BeginPlanRequestRejectsTruncatedPayload) {

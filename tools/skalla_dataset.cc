@@ -8,29 +8,19 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "common/flags.h"
 #include "data/flow_gen.h"
 #include "data/tpcr_gen.h"
 #include "dist/warehouse.h"
 
-namespace {
-
-void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --out DIR [--sites N] [--flows N] [--tpcr-rows N] "
-               "[--seed N]\n",
-               argv0);
-  std::exit(2);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string out_dir;
   size_t sites = 4;
+  uint64_t seed = 0;
+  bool seed_set = false;
   skalla::FlowConfig flow_config;
   flow_config.num_flows = 4000;
   flow_config.num_routers = 5;
@@ -40,33 +30,30 @@ int main(int argc, char** argv) {
   tpcr_config.num_customers = 500;
   tpcr_config.num_clerks = 40;
 
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        Usage(argv[0]);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--out") == 0) {
-      out_dir = next("--out");
-    } else if (std::strcmp(argv[i], "--sites") == 0) {
-      sites = static_cast<size_t>(std::atoll(next("--sites")));
-    } else if (std::strcmp(argv[i], "--flows") == 0) {
-      flow_config.num_flows =
-          static_cast<size_t>(std::atoll(next("--flows")));
-    } else if (std::strcmp(argv[i], "--tpcr-rows") == 0) {
-      tpcr_config.num_rows =
-          static_cast<size_t>(std::atoll(next("--tpcr-rows")));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      flow_config.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
-      tpcr_config.seed = flow_config.seed + 1;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      Usage(argv[0]);
+  skalla::FlagSet flags;
+  flags.String("--out", &out_dir, "output directory (created if missing)");
+  flags.SizeT("--sites", &sites, "number of partitions");
+  flags.Int64("--flows", &flow_config.num_flows, "flow relation rows");
+  flags.Int64("--tpcr-rows", &tpcr_config.num_rows, "tpcr relation rows");
+  flags.Func("--seed",
+             [&seed, &seed_set](const std::string& v) -> skalla::Status {
+               seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+               seed_set = true;
+               return skalla::Status::OK();
+             },
+             "generator seed");
+  skalla::Status parsed = flags.Parse(&argc, argv);
+  if (!parsed.ok() || out_dir.empty() || sites == 0) {
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     }
+    std::fputs(flags.Usage(argv[0]).c_str(), stderr);
+    return 2;
   }
-  if (out_dir.empty() || sites == 0) Usage(argv[0]);
+  if (seed_set) {
+    flow_config.seed = seed;
+    tpcr_config.seed = seed + 1;
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);

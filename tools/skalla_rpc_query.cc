@@ -1,5 +1,5 @@
-// skalla-rpc-query: a coordinator-side client. Parses an OLAP query,
-// plans it, and executes it through the RpcExecutor against running
+// skalla-rpc-query: a coordinator-side client. Parses an OLAP query and
+// submits it through a serve::QuerySession opened over running
 // skalla-site processes — the coordinator never touches the data files.
 //
 //   skalla-rpc-query --endpoints 127.0.0.1:7001,127.0.0.1:7002,...
@@ -32,32 +32,19 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "obs/session.h"
 #include "obs/stats_report.h"
-#include "opt/optimizer.h"
-#include "rpc/rpc_executor.h"
-#include "rpc/tcp.h"
+#include "serve/session.h"
 #include "sql/parser.h"
 
 namespace {
-
-void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --endpoints H:P,H:P,... [--query FILE] "
-               "[--optimize all|none] [--shutdown] [--retries N] "
-               "[--deadline-ms MS] [--round-deadline-ms MS] [--degrade] "
-               "[--replica PARTITION:ENDPOINT]... [--explain] "
-               "[--site-stats] [--trace-out=F] [--metrics-out=F]\n",
-               argv0);
-  std::exit(2);
-}
 
 std::vector<skalla::rpc::SiteEndpoint> ParseEndpoints(
     const std::string& spec) {
@@ -85,71 +72,67 @@ int main(int argc, char** argv) {
   skalla::obs::ObsSession obs_session(argc, argv);
   std::string endpoints_spec;
   std::string query_file;
-  bool optimize_all = true;
+  std::string optimize = "all";
   bool shutdown = false;
   bool explain = false;
   bool site_stats = false;
-  skalla::ExecutorOptions exec_options;
-  std::vector<std::pair<size_t, size_t>> replicas;
+  bool degrade = false;
+  skalla::serve::SessionOptions session_options;
 
-  for (int i = 1; i < argc; ++i) {
-    if (skalla::obs::ObsSession::IsSessionFlag(argv[i])) continue;
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        Usage(argv[0]);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--endpoints") == 0) {
-      endpoints_spec = next("--endpoints");
-    } else if (std::strcmp(argv[i], "--query") == 0) {
-      query_file = next("--query");
-    } else if (std::strcmp(argv[i], "--optimize") == 0) {
-      optimize_all = std::strcmp(next("--optimize"), "none") != 0;
-    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
-      shutdown = true;
-    } else if (std::strcmp(argv[i], "--retries") == 0) {
-      exec_options.max_site_retries =
-          static_cast<size_t>(std::atoi(next("--retries")));
-    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
-      exec_options.query_deadline_ms = static_cast<uint64_t>(
-          std::strtoull(next("--deadline-ms"), nullptr, 10));
-    } else if (std::strcmp(argv[i], "--round-deadline-ms") == 0) {
-      exec_options.round_deadline_ms = static_cast<uint64_t>(
-          std::strtoull(next("--round-deadline-ms"), nullptr, 10));
-    } else if (std::strcmp(argv[i], "--degrade") == 0) {
-      exec_options.on_site_loss = skalla::OnSiteLoss::kDegrade;
-    } else if (std::strcmp(argv[i], "--explain") == 0) {
-      explain = true;
-    } else if (std::strcmp(argv[i], "--site-stats") == 0) {
-      site_stats = true;
-    } else if (std::strcmp(argv[i], "--replica") == 0) {
-      const char* spec = next("--replica");
-      const char* colon = std::strchr(spec, ':');
-      if (colon == nullptr) {
-        std::fprintf(stderr, "bad --replica '%s' (want PARTITION:ENDPOINT)\n",
-                     spec);
-        Usage(argv[0]);
-      }
-      replicas.emplace_back(static_cast<size_t>(std::atoi(spec)),
-                            static_cast<size_t>(std::atoi(colon + 1)));
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      Usage(argv[0]);
+  skalla::FlagSet flags;
+  flags.String("--endpoints", &endpoints_spec, "H:P,H:P,... site endpoints");
+  flags.String("--query", &query_file, "query file (default: stdin)");
+  flags.String("--optimize", &optimize, "all|none (default all)");
+  flags.Bool("--shutdown", &shutdown, "ask the site processes to exit");
+  flags.SizeT("--retries", &session_options.exec.max_site_retries,
+              "per-site-round retry budget");
+  flags.Uint64("--deadline-ms", &session_options.exec.query_deadline_ms,
+               "whole-query deadline");
+  flags.Uint64("--round-deadline-ms",
+               &session_options.exec.round_deadline_ms,
+               "per-round deadline");
+  flags.Bool("--degrade", &degrade, "answer partially on permanent loss");
+  flags.Bool("--explain", &explain, "print the EXPLAIN ANALYZE report");
+  flags.Bool("--site-stats", &site_stats, "pull per-endpoint metrics");
+  flags.Func("--replica",
+             [&session_options](const std::string& spec) -> skalla::Status {
+               size_t colon = spec.find(':');
+               if (colon == std::string::npos) {
+                 return skalla::Status::InvalidArgument(
+                     "--replica wants PARTITION:ENDPOINT, got '" + spec +
+                     "'");
+               }
+               session_options.replicas.emplace_back(
+                   static_cast<size_t>(std::atoi(spec.c_str())),
+                   static_cast<size_t>(std::atoi(spec.c_str() + colon + 1)));
+               return skalla::Status::OK();
+             },
+             "PARTITION:ENDPOINT replica mapping (repeatable)");
+  flags.IgnorePrefix("--trace-out=");
+  flags.IgnorePrefix("--metrics-out=");
+  skalla::Status parsed_flags = flags.Parse(&argc, argv);
+  if (!parsed_flags.ok() || endpoints_spec.empty()) {
+    if (!parsed_flags.ok()) {
+      std::fprintf(stderr, "%s\n", parsed_flags.ToString().c_str());
     }
+    std::fputs(flags.Usage(argv[0]).c_str(), stderr);
+    return 2;
   }
-  if (endpoints_spec.empty()) Usage(argv[0]);
+  if (degrade) {
+    session_options.exec.on_site_loss = skalla::OnSiteLoss::kDegrade;
+  }
+  session_options.optimize = optimize == "none"
+                                 ? skalla::OptimizerOptions::None()
+                                 : skalla::OptimizerOptions::All();
 
-  std::vector<skalla::rpc::SiteEndpoint> endpoints =
-      ParseEndpoints(endpoints_spec);
-  const size_t num_endpoints = endpoints.size();
-  auto transport =
-      std::make_unique<skalla::rpc::TcpTransport>(std::move(endpoints));
-  skalla::rpc::RpcExecutor executor(std::move(transport), exec_options);
-  for (const auto& [partition, endpoint] : replicas) {
-    executor.AddReplica(partition, endpoint);
+  auto session = skalla::serve::QuerySession::Open(
+      ParseEndpoints(endpoints_spec), std::move(session_options));
+  if (!session.ok()) {
+    std::fprintf(stderr, "connect error: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
   }
+  const size_t num_endpoints = ParseEndpoints(endpoints_spec).size();
 
   std::string query_text;
   if (!query_file.empty()) {
@@ -175,28 +158,25 @@ int main(int argc, char** argv) {
                    parsed.status().ToString().c_str());
       return 1;
     }
-    skalla::Egil optimizer(optimize_all ? skalla::OptimizerOptions::All()
-                                        : skalla::OptimizerOptions::None(),
-                           executor.num_sites());
-    auto plan = optimizer.Optimize(*parsed);
+    auto plan = session->Plan(*parsed);
     if (!plan.ok()) {
       std::fprintf(stderr, "plan error: %s\n",
                    plan.status().ToString().c_str());
       return 1;
     }
-    skalla::ExecStats stats;
-    auto result = executor.Execute(*plan, &stats);
-    if (!result.ok()) {
+    auto submission = session->SubmitPlan(*plan);
+    auto answer = submission.result.get();
+    if (!answer.ok()) {
       std::fprintf(stderr, "execute error: %s\n",
-                   result.status().ToString().c_str());
+                   answer.status().ToString().c_str());
       exit_code = 1;
     } else {
-      std::printf("%s\n%s", result->ToString(50).c_str(),
-                  stats.ToString().c_str());
+      std::printf("%s\n%s", answer->table.ToString(50).c_str(),
+                  answer->stats.ToString().c_str());
       if (explain) {
         std::printf("%s",
-                    skalla::obs::FormatStatsReport(*plan, stats,
-                                                   executor.num_sites())
+                    skalla::obs::FormatStatsReport(*plan, answer->stats,
+                                                   session->num_sites())
                         .c_str());
       }
     }
@@ -204,7 +184,7 @@ int main(int argc, char** argv) {
 
   if (site_stats) {
     for (size_t e = 0; e < num_endpoints; ++e) {
-      auto stats_result = executor.SiteStats(e);
+      auto stats_result = session->rpc_executor()->SiteStats(e);
       if (!stats_result.ok()) {
         std::fprintf(stderr, "site stats %zu: %s\n", e,
                      stats_result.status().ToString().c_str());
@@ -217,7 +197,7 @@ int main(int argc, char** argv) {
   }
 
   if (shutdown) {
-    skalla::Status s = executor.Shutdown();
+    skalla::Status s = session->rpc_executor()->Shutdown();
     if (!s.ok()) {
       std::fprintf(stderr, "shutdown: %s\n", s.ToString().c_str());
       if (exit_code == 0) exit_code = 1;

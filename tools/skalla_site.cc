@@ -27,29 +27,14 @@
 // (docs/OBSERVABILITY.md).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "common/flags.h"
 #include "dist/site.h"
 #include "dist/warehouse.h"
 #include "obs/session.h"
 #include "rpc/server.h"
 #include "rpc/site_service.h"
-
-namespace {
-
-void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --data DIR --site N [--partition P] [--host H] "
-               "[--port P] [--drop-request K] [--chaos-seed S] "
-               "[--chaos-drop P] [--chaos-corrupt P] [--chaos-reset P] "
-               "[--chaos-delay P] [--trace-out=F] [--metrics-out=F]\n",
-               argv0);
-  std::exit(2);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   skalla::obs::ObsSession obs_session(argc, argv);
@@ -58,44 +43,36 @@ int main(int argc, char** argv) {
   int partition = -1;
   skalla::rpc::SiteServerOptions options;
 
-  for (int i = 1; i < argc; ++i) {
-    if (skalla::obs::ObsSession::IsSessionFlag(argv[i])) continue;
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        Usage(argv[0]);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--data") == 0) {
-      data_dir = next("--data");
-    } else if (std::strcmp(argv[i], "--site") == 0) {
-      site_index = std::atoi(next("--site"));
-    } else if (std::strcmp(argv[i], "--host") == 0) {
-      options.host = next("--host");
-    } else if (std::strcmp(argv[i], "--port") == 0) {
-      options.port = std::atoi(next("--port"));
-    } else if (std::strcmp(argv[i], "--drop-request") == 0) {
-      options.drop_request_index = std::atoi(next("--drop-request"));
-    } else if (std::strcmp(argv[i], "--partition") == 0) {
-      partition = std::atoi(next("--partition"));
-    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
-      options.chaos.seed = static_cast<uint64_t>(
-          std::strtoull(next("--chaos-seed"), nullptr, 10));
-    } else if (std::strcmp(argv[i], "--chaos-drop") == 0) {
-      options.chaos.drop_response_prob = std::atof(next("--chaos-drop"));
-    } else if (std::strcmp(argv[i], "--chaos-corrupt") == 0) {
-      options.chaos.corrupt_crc_prob = std::atof(next("--chaos-corrupt"));
-    } else if (std::strcmp(argv[i], "--chaos-reset") == 0) {
-      options.chaos.reset_midframe_prob = std::atof(next("--chaos-reset"));
-    } else if (std::strcmp(argv[i], "--chaos-delay") == 0) {
-      options.chaos.delay_prob = std::atof(next("--chaos-delay"));
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      Usage(argv[0]);
+  skalla::FlagSet flags;
+  flags.String("--data", &data_dir, "saved warehouse directory");
+  flags.Int("--site", &site_index, "site id this process serves under");
+  flags.Int("--partition", &partition,
+            "partition to load (default: --site; a replica loads another "
+            "site's)");
+  flags.String("--host", &options.host, "listen address");
+  flags.Int("--port", &options.port, "listen port (0 = OS-assigned)");
+  flags.Int("--drop-request", &options.drop_request_index,
+            "hang up instead of answering the K-th request");
+  flags.Uint64("--chaos-seed", &options.chaos.seed,
+               "seed for the transport chaos RNG");
+  flags.Double("--chaos-drop", &options.chaos.drop_response_prob,
+               "probability of dropping a response");
+  flags.Double("--chaos-corrupt", &options.chaos.corrupt_crc_prob,
+               "probability of corrupting a frame checksum");
+  flags.Double("--chaos-reset", &options.chaos.reset_midframe_prob,
+               "probability of resetting the connection mid-frame");
+  flags.Double("--chaos-delay", &options.chaos.delay_prob,
+               "probability of delaying a response");
+  flags.IgnorePrefix("--trace-out=");
+  flags.IgnorePrefix("--metrics-out=");
+  skalla::Status parsed = flags.Parse(&argc, argv);
+  if (!parsed.ok() || data_dir.empty() || site_index < 0) {
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     }
+    std::fputs(flags.Usage(argv[0]).c_str(), stderr);
+    return 2;
   }
-  if (data_dir.empty() || site_index < 0) Usage(argv[0]);
   if (partition < 0) partition = site_index;
 
   auto catalog = skalla::LoadSiteCatalog(
