@@ -1,8 +1,10 @@
 #include "columnar/vector_eval.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/macros.h"
@@ -110,55 +112,73 @@ struct PartState {
   }
 };
 
-// One tight pass folding a part's measure column into its group slots.
-void Accumulate(PartState* part, const ColumnTable& detail,
-                const std::vector<uint32_t>& row_group,
-                size_t num_groups) {
-  const size_t n = detail.num_rows();
+// Grows a part's group slots to `num_groups`, zero-filling new slots
+// (resize-from-empty is exactly the full assignment the one-shot path
+// used, so streamed growth folds to the same bytes).
+void EnsureGroups(PartState* part, size_t num_groups) {
   switch (part->spec.kind) {
     case AggKind::kCountStar:
-      part->counts.assign(num_groups, 0);
-      for (size_t r = 0; r < n; ++r) ++part->counts[row_group[r]];
+    case AggKind::kCount:
+      part->counts.resize(num_groups, 0);
       return;
-    case AggKind::kCount: {
-      part->counts.assign(num_groups, 0);
-      const Column& in = detail.column(static_cast<size_t>(part->input_col));
-      for (size_t r = 0; r < n; ++r) {
-        if (!in.IsNull(r)) ++part->counts[row_group[r]];
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      part->any.resize(num_groups, 0);
+      if (part->input_type == ValueType::kInt64) {
+        part->isums.resize(num_groups, 0);
+      } else {
+        part->dsums.resize(num_groups, 0.0);
       }
       return;
-    }
-    case AggKind::kSum: {
-      part->any.assign(num_groups, 0);
-      const Column& in = detail.column(static_cast<size_t>(part->input_col));
+    case AggKind::kSumSq:
+      part->any.resize(num_groups, 0);
+      part->dsums.resize(num_groups, 0.0);
+      return;
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return;  // Decomposed before reaching here.
+  }
+}
+
+// One tight pass folding `n` rows of `in` (nullptr only for COUNT(*))
+// into the part's group slots; row r belongs to group row_group[r]. The
+// caller guarantees the slots cover every group id in the range.
+void FoldColumn(PartState* part, const Column* in,
+                const uint32_t* row_group, size_t n) {
+  switch (part->spec.kind) {
+    case AggKind::kCountStar:
+      for (size_t r = 0; r < n; ++r) ++part->counts[row_group[r]];
+      return;
+    case AggKind::kCount:
+      for (size_t r = 0; r < n; ++r) {
+        if (!in->IsNull(r)) ++part->counts[row_group[r]];
+      }
+      return;
+    case AggKind::kSum:
       if (part->input_type == ValueType::kInt64) {
-        part->isums.assign(num_groups, 0);
         for (size_t r = 0; r < n; ++r) {
-          if (in.IsNull(r)) continue;
-          part->isums[row_group[r]] += in.Int64At(r);
+          if (in->IsNull(r)) continue;
+          part->isums[row_group[r]] += in->Int64At(r);
           part->any[row_group[r]] = 1;
         }
       } else {
-        part->dsums.assign(num_groups, 0.0);
         for (size_t r = 0; r < n; ++r) {
-          if (in.IsNull(r)) continue;
-          part->dsums[row_group[r]] += in.Float64At(r);
+          if (in->IsNull(r)) continue;
+          part->dsums[row_group[r]] += in->Float64At(r);
           part->any[row_group[r]] = 1;
         }
       }
       return;
-    }
     case AggKind::kMin:
     case AggKind::kMax: {
-      part->any.assign(num_groups, 0);
       const bool is_min = part->spec.kind == AggKind::kMin;
-      const Column& in = detail.column(static_cast<size_t>(part->input_col));
       if (part->input_type == ValueType::kInt64) {
-        part->isums.assign(num_groups, 0);
         for (size_t r = 0; r < n; ++r) {
-          if (in.IsNull(r)) continue;
+          if (in->IsNull(r)) continue;
           uint32_t g = row_group[r];
-          int64_t v = in.Int64At(r);
+          int64_t v = in->Int64At(r);
           if (!part->any[g] || (is_min ? v < part->isums[g]
                                        : v > part->isums[g])) {
             part->isums[g] = v;
@@ -166,11 +186,10 @@ void Accumulate(PartState* part, const ColumnTable& detail,
           part->any[g] = 1;
         }
       } else {
-        part->dsums.assign(num_groups, 0.0);
         for (size_t r = 0; r < n; ++r) {
-          if (in.IsNull(r)) continue;
+          if (in->IsNull(r)) continue;
           uint32_t g = row_group[r];
-          double v = in.Float64At(r);
+          double v = in->Float64At(r);
           if (!part->any[g] || (is_min ? v < part->dsums[g]
                                        : v > part->dsums[g])) {
             part->dsums[g] = v;
@@ -180,32 +199,40 @@ void Accumulate(PartState* part, const ColumnTable& detail,
       }
       return;
     }
-    case AggKind::kSumSq: {
-      part->any.assign(num_groups, 0);
-      part->dsums.assign(num_groups, 0.0);
-      const Column& in = detail.column(static_cast<size_t>(part->input_col));
+    case AggKind::kSumSq:
       if (part->input_type == ValueType::kInt64) {
         for (size_t r = 0; r < n; ++r) {
-          if (in.IsNull(r)) continue;
-          double v = static_cast<double>(in.Int64At(r));
+          if (in->IsNull(r)) continue;
+          double v = static_cast<double>(in->Int64At(r));
           part->dsums[row_group[r]] += v * v;
           part->any[row_group[r]] = 1;
         }
       } else {
         for (size_t r = 0; r < n; ++r) {
-          if (in.IsNull(r)) continue;
-          double v = in.Float64At(r);
+          if (in->IsNull(r)) continue;
+          double v = in->Float64At(r);
           part->dsums[row_group[r]] += v * v;
           part->any[row_group[r]] = 1;
         }
       }
       return;
-    }
     case AggKind::kAvg:
     case AggKind::kVarPop:
     case AggKind::kStdDevPop:
       return;  // Decomposed before reaching here.
   }
+}
+
+// One-shot accumulation over a fully resident column table.
+void Accumulate(PartState* part, const ColumnTable& detail,
+                const std::vector<uint32_t>& row_group,
+                size_t num_groups) {
+  EnsureGroups(part, num_groups);
+  const Column* in =
+      part->input_col >= 0
+          ? &detail.column(static_cast<size_t>(part->input_col))
+          : nullptr;
+  FoldColumn(part, in, row_group.data(), detail.num_rows());
 }
 
 // Probes a block's group map with a base row.
@@ -231,19 +258,63 @@ int64_t LookupGroup(const GroupMap& map, const ColumnTable& detail,
   return -1;
 }
 
-// Per-block compiled state.
-struct BlockExec {
+// The block fields shared by the resident and chunked evaluations.
+struct CompiledBlock {
   std::vector<size_t> base_cols;
   std::vector<size_t> detail_cols;
-  GroupMap groups;
   std::vector<PartState> parts;
   std::vector<std::pair<size_t, size_t>> agg_part_ranges;
 };
 
-}  // namespace
+Status CompileBlock(const GmdjBlock& block, const Schema& base_schema,
+                    const Schema& detail_schema, CompiledBlock* exec) {
+  ConditionAnalysis analysis = AnalyzeCondition(block.theta);
+  for (const EquiAtom& atom : analysis.equi_atoms) {
+    SKALLA_ASSIGN_OR_RETURN(size_t b_idx,
+                            base_schema.RequireIndex(atom.base_col));
+    SKALLA_ASSIGN_OR_RETURN(size_t d_idx,
+                            detail_schema.RequireIndex(atom.detail_col));
+    exec->base_cols.push_back(b_idx);
+    exec->detail_cols.push_back(d_idx);
+  }
+  for (const AggSpec& spec : block.aggs) {
+    std::vector<SubAggregate> decomposed = Decompose(spec);
+    exec->agg_part_ranges.emplace_back(exec->parts.size(),
+                                       decomposed.size());
+    for (SubAggregate& sub : decomposed) {
+      PartState part;
+      part.spec = std::move(sub);
+      if (!part.spec.input.empty()) {
+        SKALLA_ASSIGN_OR_RETURN(size_t idx,
+                                detail_schema.RequireIndex(part.spec.input));
+        part.input_col = static_cast<int>(idx);
+        part.input_type = detail_schema.field(idx).type;
+      }
+      exec->parts.push_back(std::move(part));
+    }
+  }
+  return Status::OK();
+}
 
-Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
-                               const GmdjOp& op, const EvalContext& context) {
+Result<SchemaPtr> ColumnarOutSchema(const GmdjOp& op,
+                                    const Schema& base_schema,
+                                    const Schema& detail_schema,
+                                    const EvalContext& context) {
+  SKALLA_ASSIGN_OR_RETURN(
+      SchemaPtr out_schema,
+      context.sub_aggregates
+          ? op.PartialSchema(base_schema, detail_schema, context.compute_rng)
+          : op.OutputSchema(base_schema, detail_schema));
+  if (!context.sub_aggregates && context.compute_rng) {
+    SKALLA_ASSIGN_OR_RETURN(
+        out_schema,
+        out_schema->AddField(Field{kRngCountColumn, ValueType::kInt64}));
+  }
+  return out_schema;
+}
+
+Status CheckColumnarPreconditions(const GmdjOp& op,
+                                  const EvalContext& context) {
   SKALLA_RETURN_NOT_OK(ValidateEvalContext(context));
   if (context.cancellation != nullptr) {
     SKALLA_RETURN_NOT_OK(context.cancellation->Check());
@@ -257,89 +328,27 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     return Status::InvalidArgument(
         "operator has residual conditions; use the row evaluator");
   }
-  const Schema& base_schema = *base.schema();
-  const Schema& detail_schema = *detail.schema();
+  return Status::OK();
+}
 
-  SKALLA_ASSIGN_OR_RETURN(
-      SchemaPtr out_schema,
-      context.sub_aggregates
-          ? op.PartialSchema(base_schema, detail_schema, context.compute_rng)
-          : op.OutputSchema(base_schema, detail_schema));
-  if (!context.sub_aggregates && context.compute_rng) {
-    SKALLA_ASSIGN_OR_RETURN(
-        out_schema,
-        out_schema->AddField(Field{kRngCountColumn, ValueType::kInt64}));
-  }
+// Read view of one evaluated block for output assembly: its part states
+// plus a probe from base row to group id (or -1).
+struct EvaledBlockView {
+  const std::vector<PartState>* parts = nullptr;
+  const std::vector<std::pair<size_t, size_t>>* agg_part_ranges = nullptr;
+  std::function<int64_t(const Row&)> probe;
+};
 
-  // Compile every block (schema resolution can fail, so it stays on the
-  // calling thread); the group build + typed folds run afterwards, one
-  // task per block — each block's state is private, and within a block
-  // the fold order is exactly the sequential one.
-  std::vector<BlockExec> blocks(op.blocks.size());
-  for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
-    const GmdjBlock& block = op.blocks[bi];
-    BlockExec& exec = blocks[bi];
-    ConditionAnalysis analysis = AnalyzeCondition(block.theta);
-    for (const EquiAtom& atom : analysis.equi_atoms) {
-      SKALLA_ASSIGN_OR_RETURN(size_t b_idx,
-                              base_schema.RequireIndex(atom.base_col));
-      SKALLA_ASSIGN_OR_RETURN(size_t d_idx,
-                              detail_schema.RequireIndex(atom.detail_col));
-      exec.base_cols.push_back(b_idx);
-      exec.detail_cols.push_back(d_idx);
-    }
-    for (const AggSpec& spec : block.aggs) {
-      std::vector<SubAggregate> decomposed = Decompose(spec);
-      exec.agg_part_ranges.emplace_back(exec.parts.size(),
-                                        decomposed.size());
-      for (SubAggregate& sub : decomposed) {
-        PartState part;
-        part.spec = std::move(sub);
-        if (!part.spec.input.empty()) {
-          SKALLA_ASSIGN_OR_RETURN(
-              size_t idx, detail_schema.RequireIndex(part.spec.input));
-          part.input_col = static_cast<int>(idx);
-          part.input_type = detail_schema.field(idx).type;
-        }
-        exec.parts.push_back(std::move(part));
-      }
-    }
-  }
-
-  const size_t threads = ResolveEvalThreads(context.eval_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-
-  auto eval_block = [&](size_t bi) {
-    if (context.cancellation != nullptr &&
-        !context.cancellation->Check().ok()) {
-      return;
-    }
-    BlockExec& exec = blocks[bi];
-    exec.groups = BuildGroups(detail, exec.detail_cols);
-    const size_t num_groups = exec.groups.representatives.size();
-    for (PartState& part : exec.parts) {
-      Accumulate(&part, detail, exec.groups.row_group, num_groups);
-    }
-    if (context.profile != nullptr) {
-      // Each block's group build + typed folds stream the whole detail
-      // partition once.
-      context.profile->rows_scanned.fetch_add(detail.num_rows(),
-                                              std::memory_order_relaxed);
-    }
-  };
-  if (pool != nullptr && blocks.size() > 1) {
-    pool->ParallelFor(blocks.size(), eval_block);
-  } else {
-    for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
-  }
-
-  // Cancelled blocks left their state empty — surface the cancellation
-  // before any of it could be misread as a result.
-  if (context.cancellation != nullptr) {
-    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
-  }
-
+// Output assembly shared by the resident and chunked paths: probe each
+// block's group map per base row, finalize or emit sub-aggregates. The
+// parallel variant writes rows into pre-sized slots in base-row chunks
+// and appends in order, so output is byte-identical to the sequential
+// pass.
+Result<Table> AssembleColumnar(const Table& base, const GmdjOp& op,
+                               const EvalContext& context,
+                               const SchemaPtr& out_schema,
+                               const std::vector<EvaledBlockView>& blocks,
+                               ThreadPool* pool) {
   const size_t num_base = base.num_rows();
   // Group-probe counts batched per assembly chunk (one fetch_add per
   // chunk, not per row).
@@ -360,15 +369,14 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     row.reserve(out_schema->num_fields());
     bool matched = false;
     for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
-      const BlockExec& exec = blocks[bi];
-      int64_t group = LookupGroup(exec.groups, detail, exec.detail_cols,
-                                  base_row, exec.base_cols);
+      const EvaledBlockView& exec = blocks[bi];
+      int64_t group = exec.probe(base_row);
       if (group >= 0) {
         matched = true;
         ++counts->hits;
       }
       if (context.sub_aggregates) {
-        for (const PartState& part : exec.parts) {
+        for (const PartState& part : *exec.parts) {
           if (group >= 0) {
             row.push_back(part.Final(static_cast<size_t>(group)));
           } else {
@@ -377,11 +385,11 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
         }
       } else {
         for (size_t ai = 0; ai < op.blocks[bi].aggs.size(); ++ai) {
-          auto [start, len] = exec.agg_part_ranges[ai];
+          auto [start, len] = (*exec.agg_part_ranges)[ai];
           std::vector<Value> cell_parts;
           cell_parts.reserve(len);
           for (size_t p = 0; p < len; ++p) {
-            const PartState& part = exec.parts[start + p];
+            const PartState& part = (*exec.parts)[start + p];
             cell_parts.push_back(group >= 0
                                      ? part.Final(static_cast<size_t>(group))
                                      : InitialPartValue(part.spec));
@@ -401,12 +409,8 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
   Table out(out_schema);
   out.Reserve(num_base);
   if (pool != nullptr && num_base > context.morsel_rows) {
-    // Assemble rows into pre-sized slots in base-row chunks, then append
-    // in order — slot writes are disjoint and append order is fixed, so
-    // output is byte-identical to the sequential pass.
     std::vector<Row> rows(num_base);
-    const size_t chunks =
-        (num_base - 1) / context.morsel_rows + 1;
+    const size_t chunks = (num_base - 1) / context.morsel_rows + 1;
     pool->ParallelFor(chunks, [&](size_t m) {
       if (context.cancellation != nullptr &&
           !context.cancellation->Check().ok()) {
@@ -432,6 +436,231 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     flush_counts(counts);
   }
   return out;
+}
+
+// --- Chunked grouping ------------------------------------------------------
+
+// Group map over a chunk-paged relation. Unlike GroupMap it owns boxed
+// copies of its representative keys: the chunk a representative row
+// lives in may be evicted between the build and the probe.
+struct ChunkedGroups {
+  std::vector<uint32_t> row_group;  // global row -> group id
+  std::vector<Row> keys;            // boxed key per group, detail_cols order
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+};
+
+int64_t LookupGroupChunked(const ChunkedGroups& groups, const Row& base_row,
+                           const std::vector<size_t>& base_cols) {
+  uint64_t h = HashRowKey(base_row, base_cols);
+  auto it = groups.buckets.find(h);
+  if (it == groups.buckets.end()) return -1;
+  for (uint32_t g : it->second) {
+    const Row& key = groups.keys[g];
+    bool equal = true;
+    for (size_t c = 0; c < key.size(); ++c) {
+      if (!base_row[base_cols[c]].Equals(key[c])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return g;
+  }
+  return -1;
+}
+
+struct ChunkedBlockExec {
+  CompiledBlock compiled;
+  ChunkedGroups groups;
+};
+
+// Streams the detail chunks once: group assignment and all part folds
+// happen per chunk while it is pinned. Group ids are assigned in
+// first-occurrence order over the global row order and every part slot
+// sees its updates in ascending row order — both exactly as the resident
+// BuildGroups + Accumulate pair — so the block state is byte-identical
+// to the in-memory evaluation.
+Status EvalBlockChunked(const DataProvider& detail, ChunkedBlockExec* exec,
+                        const EvalContext& context) {
+  const std::vector<size_t>& key_cols = exec->compiled.detail_cols;
+  ChunkedGroups& groups = exec->groups;
+  groups.row_group.resize(detail.num_rows());
+  Row scratch;
+  for (size_t ci = 0; ci < detail.num_chunks(); ++ci) {
+    if (context.cancellation != nullptr) {
+      SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+    }
+    SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, detail.Pin(ci));
+    const Chunk& chunk = *pin;
+    const size_t row_base = detail.chunk_row_begin(ci);
+    const size_t n = chunk.num_rows();
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t h = 0x5ca11aULL;  // Must match HashRowKey's seed.
+      for (size_t c : key_cols) {
+        h = HashCombine(h, chunk.column(c).HashAt(r));
+      }
+      scratch.clear();
+      for (size_t c : key_cols) scratch.push_back(chunk.column(c).GetValue(r));
+      std::vector<uint32_t>& bucket = groups.buckets[h];
+      int64_t group = -1;
+      for (uint32_t g : bucket) {
+        const Row& key = groups.keys[g];
+        bool equal = true;
+        for (size_t c = 0; c < key.size(); ++c) {
+          if (!scratch[c].Equals(key[c])) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          group = g;
+          break;
+        }
+      }
+      if (group < 0) {
+        group = static_cast<int64_t>(groups.keys.size());
+        bucket.push_back(static_cast<uint32_t>(group));
+        groups.keys.push_back(scratch);
+      }
+      groups.row_group[row_base + r] = static_cast<uint32_t>(group);
+    }
+    const size_t num_groups = groups.keys.size();
+    for (PartState& part : exec->compiled.parts) {
+      EnsureGroups(&part, num_groups);
+      const Column* in =
+          part.input_col >= 0
+              ? &chunk.column(static_cast<size_t>(part.input_col))
+              : nullptr;
+      FoldColumn(&part, in, groups.row_group.data() + row_base, n);
+    }
+  }
+  if (context.profile != nullptr) {
+    context.profile->rows_scanned.fetch_add(detail.num_rows(),
+                                            std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
+                               const GmdjOp& op, const EvalContext& context) {
+  SKALLA_RETURN_NOT_OK(CheckColumnarPreconditions(op, context));
+  const Schema& base_schema = *base.schema();
+  const Schema& detail_schema = *detail.schema();
+  SKALLA_ASSIGN_OR_RETURN(
+      SchemaPtr out_schema,
+      ColumnarOutSchema(op, base_schema, detail_schema, context));
+
+  // Compile every block (schema resolution can fail, so it stays on the
+  // calling thread); the group build + typed folds run afterwards, one
+  // task per block — each block's state is private, and within a block
+  // the fold order is exactly the sequential one.
+  struct BlockExec {
+    CompiledBlock compiled;
+    GroupMap groups;
+  };
+  std::vector<BlockExec> blocks(op.blocks.size());
+  for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
+    SKALLA_RETURN_NOT_OK(CompileBlock(op.blocks[bi], base_schema,
+                                      detail_schema, &blocks[bi].compiled));
+  }
+
+  const size_t threads = ResolveEvalThreads(context.eval_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  auto eval_block = [&](size_t bi) {
+    if (context.cancellation != nullptr &&
+        !context.cancellation->Check().ok()) {
+      return;
+    }
+    BlockExec& exec = blocks[bi];
+    exec.groups = BuildGroups(detail, exec.compiled.detail_cols);
+    const size_t num_groups = exec.groups.representatives.size();
+    for (PartState& part : exec.compiled.parts) {
+      Accumulate(&part, detail, exec.groups.row_group, num_groups);
+    }
+    if (context.profile != nullptr) {
+      // Each block's group build + typed folds stream the whole detail
+      // partition once.
+      context.profile->rows_scanned.fetch_add(detail.num_rows(),
+                                              std::memory_order_relaxed);
+    }
+  };
+  if (pool != nullptr && blocks.size() > 1) {
+    pool->ParallelFor(blocks.size(), eval_block);
+  } else {
+    for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
+  }
+
+  // Cancelled blocks left their state empty — surface the cancellation
+  // before any of it could be misread as a result.
+  if (context.cancellation != nullptr) {
+    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+  }
+
+  std::vector<EvaledBlockView> views(blocks.size());
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    BlockExec& exec = blocks[bi];
+    views[bi].parts = &exec.compiled.parts;
+    views[bi].agg_part_ranges = &exec.compiled.agg_part_ranges;
+    views[bi].probe = [&exec, &detail](const Row& base_row) {
+      return LookupGroup(exec.groups, detail, exec.compiled.detail_cols,
+                         base_row, exec.compiled.base_cols);
+    };
+  }
+  return AssembleColumnar(base, op, context, out_schema, views, pool.get());
+}
+
+Result<Table> EvalGmdjColumnar(const Table& base, const DataProvider& detail,
+                               const GmdjOp& op, const EvalContext& context) {
+  SKALLA_RETURN_NOT_OK(CheckColumnarPreconditions(op, context));
+  const Schema& base_schema = *base.schema();
+  const Schema& detail_schema = *detail.schema();
+  SKALLA_ASSIGN_OR_RETURN(
+      SchemaPtr out_schema,
+      ColumnarOutSchema(op, base_schema, detail_schema, context));
+
+  std::vector<ChunkedBlockExec> blocks(op.blocks.size());
+  for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
+    SKALLA_RETURN_NOT_OK(CompileBlock(op.blocks[bi], base_schema,
+                                      detail_schema, &blocks[bi].compiled));
+  }
+
+  const size_t threads = ResolveEvalThreads(context.eval_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Blocks still evaluate concurrently (private state, private chunk
+  // pins — the BufferManager deduplicates concurrent loads); each
+  // block's Pin failures surface as its status.
+  std::vector<Status> block_status(blocks.size());
+  auto eval_block = [&](size_t bi) {
+    block_status[bi] = EvalBlockChunked(detail, &blocks[bi], context);
+  };
+  if (pool != nullptr && blocks.size() > 1) {
+    pool->ParallelFor(blocks.size(), eval_block);
+  } else {
+    for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
+  }
+  for (const Status& status : block_status) {
+    SKALLA_RETURN_NOT_OK(status);
+  }
+  if (context.cancellation != nullptr) {
+    SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+  }
+
+  std::vector<EvaledBlockView> views(blocks.size());
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    ChunkedBlockExec& exec = blocks[bi];
+    views[bi].parts = &exec.compiled.parts;
+    views[bi].agg_part_ranges = &exec.compiled.agg_part_ranges;
+    views[bi].probe = [&exec](const Row& base_row) {
+      return LookupGroupChunked(exec.groups, base_row,
+                                exec.compiled.base_cols);
+    };
+  }
+  return AssembleColumnar(base, op, context, out_schema, views, pool.get());
 }
 
 }  // namespace skalla

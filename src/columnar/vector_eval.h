@@ -13,6 +13,12 @@
 // output rows assemble in base-row chunks of morsel_rows into
 // pre-allocated slots. Neither affects any fold order, so results are
 // byte-identical at every thread count.
+//
+// Chunk-paged detail relations evaluate through the DataProvider
+// overload: chunks stream in global row order (pin → fold → unpin), the
+// group map owns boxed copies of its representative keys so evicted
+// chunks never need re-reading, and every fold order matches the
+// in-memory kernel — results stay byte-identical at any buffer budget.
 
 #ifndef SKALLA_COLUMNAR_VECTOR_EVAL_H_
 #define SKALLA_COLUMNAR_VECTOR_EVAL_H_
@@ -21,6 +27,7 @@
 #include "common/result.h"
 #include "core/eval_context.h"
 #include "core/gmdj.h"
+#include "storage/data_provider.h"
 
 namespace skalla {
 
@@ -34,6 +41,12 @@ bool ColumnarEligible(const GmdjOp& op);
 /// kernel has no nested-loop mode, so oracle requests must go to the row
 /// engine (Site::EvalGmdjRound routes them there).
 Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
+                               const GmdjOp& op,
+                               const EvalContext& context = {});
+
+/// Same, streaming a chunk-paged detail relation: the chunks' typed
+/// pages fold directly, one chunk resident at a time.
+Result<Table> EvalGmdjColumnar(const Table& base, const DataProvider& detail,
                                const GmdjOp& op,
                                const EvalContext& context = {});
 

@@ -33,6 +33,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
   }
   return "Unknown";
 }

@@ -30,6 +30,7 @@ enum class StatusCode : int {
   kVersionMismatch = 10,
   kDeadlineExceeded = 11,
   kCancelled = 12,
+  kFailedPrecondition = 13,
 };
 
 /// Returns a stable, human-readable name for a status code ("Invalid
@@ -97,6 +98,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -128,6 +132,9 @@ class Status {
   }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 

@@ -60,11 +60,13 @@ std::string GmdjOp::ToString() const {
 }
 
 Result<SchemaPtr> GmdjExpr::OutputSchema(const Catalog& catalog) const {
-  SKALLA_ASSIGN_OR_RETURN(const Table* source, catalog.Get(base.table));
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* source,
+                          catalog.GetProvider(base.table));
   SKALLA_ASSIGN_OR_RETURN(SchemaPtr current,
                           base.OutputSchema(*source->schema()));
   for (const GmdjOp& op : ops) {
-    SKALLA_ASSIGN_OR_RETURN(const Table* detail, catalog.Get(op.detail_table));
+    SKALLA_ASSIGN_OR_RETURN(const DataProvider* detail,
+                            catalog.GetProvider(op.detail_table));
     SKALLA_ASSIGN_OR_RETURN(current,
                             op.OutputSchema(*current, *detail->schema()));
   }

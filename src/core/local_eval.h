@@ -21,6 +21,11 @@
 //    (Theorem 1).
 // Work decomposition depends only on morsel_rows, so results are
 // byte-identical at every eval_threads value.
+//
+// The detail relation may also be chunk-paged (a DataProvider without a
+// resident table): chunks are pinned, scanned, and unpinned one at a
+// time, and every fold sequence is arranged so the bytes match the
+// in-memory evaluation at any buffer budget (see EvalGmdj below).
 
 #ifndef SKALLA_CORE_LOCAL_EVAL_H_
 #define SKALLA_CORE_LOCAL_EVAL_H_
@@ -29,6 +34,7 @@
 #include "core/eval_context.h"
 #include "core/gmdj.h"
 #include "storage/catalog.h"
+#include "storage/data_provider.h"
 #include "storage/table.h"
 
 namespace skalla {
@@ -38,23 +44,20 @@ namespace skalla {
 Result<Table> EvalGmdj(const Table& base, const Table& detail,
                        const GmdjOp& op, const EvalContext& context = {});
 
+/// Same, against a chunk-paged detail relation. Providers with a resident
+/// table take the exact in-memory path above; paged providers stream
+/// pin → scan → unpin with fold orders chosen to stay byte-identical to
+/// the in-memory evaluation at any buffer budget.
+Result<Table> EvalGmdj(const Table& base, const DataProvider& detail,
+                       const GmdjOp& op, const EvalContext& context = {});
+
 /// Reference semantics of a whole GMDJ expression against a centralized
 /// catalog: evaluates the base query, then each GMDJ in turn with full
 /// aggregates (the sub_aggregates / compute_rng fields of `context` are
-/// overridden — a reference evaluation always finalizes).
+/// overridden — a reference evaluation always finalizes). Works for both
+/// resident and chunk-backed catalog entries.
 Result<Table> EvalCentralized(const GmdjExpr& expr, const Catalog& catalog,
                               const EvalContext& context = {});
-
-/// Pre-EvalContext entry point: `use_index` was the only evaluation knob.
-/// Kept one release for out-of-tree callers; everything in-tree passes an
-/// EvalContext (or ExecutorOptions, higher up).
-[[deprecated("pass an EvalContext instead of a bare use_index flag")]]
-inline Result<Table> EvalCentralized(const GmdjExpr& expr,
-                                     const Catalog& catalog, bool use_index) {
-  EvalContext context;
-  context.use_index = use_index;
-  return EvalCentralized(expr, catalog, context);
-}
 
 }  // namespace skalla
 

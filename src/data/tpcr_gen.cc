@@ -1,6 +1,7 @@
 #include "data/tpcr_gen.h"
 
-#include "common/random.h"
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace skalla {
@@ -12,72 +13,81 @@ const char* kMktSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
 const char* kOrderPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
                                   "4-NOT SPECIFIED", "5-LOW"};
 
+SchemaPtr TpcrSchema() {
+  return Schema::Make({{"CustKey", ValueType::kInt64},
+                       {"CustName", ValueType::kString},
+                       {"NationKey", ValueType::kInt64},
+                       {"RegionKey", ValueType::kInt64},
+                       {"MktSegment", ValueType::kString},
+                       {"OrderKey", ValueType::kInt64},
+                       {"OrderDate", ValueType::kInt64},
+                       {"OrderPriority", ValueType::kString},
+                       {"Clerk", ValueType::kString},
+                       {"PartKey", ValueType::kInt64},
+                       {"Quantity", ValueType::kInt64},
+                       {"ExtendedPrice", ValueType::kFloat64},
+                       {"Discount", ValueType::kFloat64},
+                       {"ShipDate", ValueType::kInt64}})
+      .ValueOrDie();
+}
+
 }  // namespace
 
-Table GenerateTpcr(const TpcrConfig& config) {
-  SchemaPtr schema =
-      Schema::Make({{"CustKey", ValueType::kInt64},
-                    {"CustName", ValueType::kString},
-                    {"NationKey", ValueType::kInt64},
-                    {"RegionKey", ValueType::kInt64},
-                    {"MktSegment", ValueType::kString},
-                    {"OrderKey", ValueType::kInt64},
-                    {"OrderDate", ValueType::kInt64},
-                    {"OrderPriority", ValueType::kString},
-                    {"Clerk", ValueType::kString},
-                    {"PartKey", ValueType::kInt64},
-                    {"Quantity", ValueType::kInt64},
-                    {"ExtendedPrice", ValueType::kFloat64},
-                    {"Discount", ValueType::kFloat64},
-                    {"ShipDate", ValueType::kInt64}})
-          .ValueOrDie();
-  Random rng(config.seed);
-  Table table(schema);
-  table.Reserve(static_cast<size_t>(config.num_rows));
+TpcrStream::TpcrStream(const TpcrConfig& config)
+    : config_(config),
+      schema_(TpcrSchema()),
+      rng_(config.seed),
+      rows_remaining_(config.num_rows) {}
 
-  int64_t order_key = 0;
-  int64_t lines_left_in_order = 0;
-  int64_t cust_key = 1;
-  int64_t order_date = 0;
-  std::string clerk;
-  std::string priority;
+Table TpcrStream::NextBatch(size_t max_rows) {
+  Table table(schema_);
+  const int64_t n =
+      std::min<int64_t>(rows_remaining_, static_cast<int64_t>(max_rows));
+  table.Reserve(static_cast<size_t>(n));
 
-  for (int64_t i = 0; i < config.num_rows; ++i) {
-    if (lines_left_in_order == 0) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (lines_left_in_order_ == 0) {
       // Start a new order: 1-4 line rows.
-      ++order_key;
-      lines_left_in_order = rng.UniformInt(1, 4);
-      cust_key = rng.UniformInt(1, config.num_customers);
-      order_date = rng.UniformInt(0, 2557);  // ~7 years of days.
-      clerk = StrPrintf("Clerk#%05lld",
-                        static_cast<long long>(
-                            rng.UniformInt(1, config.num_clerks)));
-      priority = kOrderPriorities[rng.Uniform(5)];
+      ++order_key_;
+      lines_left_in_order_ = rng_.UniformInt(1, 4);
+      cust_key_ = rng_.UniformInt(1, config_.num_customers);
+      order_date_ = rng_.UniformInt(0, 2557);  // ~7 years of days.
+      clerk_ = StrPrintf("Clerk#%05lld",
+                         static_cast<long long>(
+                             rng_.UniformInt(1, config_.num_clerks)));
+      priority_ = kOrderPriorities[rng_.Uniform(5)];
     }
-    --lines_left_in_order;
+    --lines_left_in_order_;
 
-    int64_t nation = NationOfCustomer(cust_key, config.num_nations);
+    int64_t nation = NationOfCustomer(cust_key_, config_.num_nations);
     int64_t region = nation % 5;
-    int64_t quantity = rng.UniformInt(1, 50);
+    int64_t quantity = rng_.UniformInt(1, 50);
     double price = static_cast<double>(quantity) *
-                   (900.0 + static_cast<double>(rng.UniformInt(0, 100100)) /
+                   (900.0 + static_cast<double>(rng_.UniformInt(0, 100100)) /
                                 100.0);
     double discount =
-        static_cast<double>(rng.UniformInt(0, 10)) / 100.0;
-    int64_t ship_date = order_date + rng.UniformInt(1, 121);
+        static_cast<double>(rng_.UniformInt(0, 10)) / 100.0;
+    int64_t ship_date = order_date_ + rng_.UniformInt(1, 121);
 
     table.AppendUnchecked(
-        {Value(cust_key),
+        {Value(cust_key_),
          Value(StrPrintf("Customer#%09lld",
-                         static_cast<long long>(cust_key))),
+                         static_cast<long long>(cust_key_))),
          Value(nation), Value(region),
          Value(std::string(
-             kMktSegments[static_cast<size_t>(cust_key) % 5])),
-         Value(order_key), Value(order_date), Value(priority), Value(clerk),
-         Value(rng.UniformInt(1, 20000)), Value(quantity), Value(price),
-         Value(discount), Value(ship_date)});
+             kMktSegments[static_cast<size_t>(cust_key_) % 5])),
+         Value(order_key_), Value(order_date_), Value(priority_),
+         Value(clerk_), Value(rng_.UniformInt(1, 20000)), Value(quantity),
+         Value(price), Value(discount), Value(ship_date)});
   }
+  rows_remaining_ -= n;
   return table;
+}
+
+Table GenerateTpcr(const TpcrConfig& config) {
+  TpcrStream stream(config);
+  return stream.NextBatch(static_cast<size_t>(
+      std::max<int64_t>(0, config.num_rows)));
 }
 
 }  // namespace skalla

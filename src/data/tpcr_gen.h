@@ -18,7 +18,9 @@
 #define SKALLA_DATA_TPCR_GEN_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/random.h"
 #include "storage/table.h"
 
 namespace skalla {
@@ -46,6 +48,35 @@ struct TpcrConfig {
 ///    OrderDate, OrderPriority, Clerk, PartKey, Quantity, ExtendedPrice,
 ///    Discount, ShipDate)
 Table GenerateTpcr(const TpcrConfig& config);
+
+/// Streams exactly the rows GenerateTpcr(config) produces, in order, in
+/// caller-sized batches — the paper-scale generator path, where the 6M-
+/// tuple relation is never resident at once (skalla-dataset routes each
+/// batch straight into per-site chunk files). GenerateTpcr itself is one
+/// full-size batch of this stream, so identity holds by construction.
+class TpcrStream {
+ public:
+  explicit TpcrStream(const TpcrConfig& config);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int64_t rows_remaining() const { return rows_remaining_; }
+
+  /// The next at-most-`max_rows` rows; an empty table once exhausted.
+  Table NextBatch(size_t max_rows);
+
+ private:
+  TpcrConfig config_;
+  SchemaPtr schema_;
+  Random rng_;
+  int64_t rows_remaining_;
+  // Order state carried across batches (orders span batch boundaries).
+  int64_t order_key_ = 0;
+  int64_t lines_left_in_order_ = 0;
+  int64_t cust_key_ = 1;
+  int64_t order_date_ = 0;
+  std::string clerk_;
+  std::string priority_;
+};
 
 /// The nation a customer belongs to (used by tests to reason about
 /// partition correlation).

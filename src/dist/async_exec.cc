@@ -158,8 +158,8 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
   };
   std::mutex time_mu;
 
-  SKALLA_ASSIGN_OR_RETURN(const Table* probe,
-                          sites_[0].catalog().Get(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* probe,
+                          sites_[0].catalog().GetProvider(plan.base.table));
   SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
                           plan.base.OutputSchema(*probe->schema()));
 
@@ -279,8 +279,8 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                      stage.sync_after ? "true" : "false");
     Stopwatch wall;
 
-    SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
-                            sites_[0].catalog().Get(stage.op.detail_table));
+    SKALLA_ASSIGN_OR_RETURN(const DataProvider* detail_probe,
+                            sites_[0].catalog().GetProvider(stage.op.detail_table));
     const Schema& detail_schema = *detail_probe->schema();
 
     // Distribution: serialize per site at the coordinator; sites

@@ -198,8 +198,8 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
   st.lost_sites.clear();
 
   // Schema inference chain: upstream schema entering each stage.
-  SKALLA_ASSIGN_OR_RETURN(const Table* probe,
-                          sites_[0].catalog().Get(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* probe,
+                          sites_[0].catalog().GetProvider(plan.base.table));
   SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
                           plan.base.OutputSchema(*probe->schema()));
 
@@ -297,8 +297,8 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     SKALLA_SPAN_ATTR(round_span, "sync",
                      stage.sync_after ? "true" : "false");
 
-    SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
-                            sites_[0].catalog().Get(stage.op.detail_table));
+    SKALLA_ASSIGN_OR_RETURN(const DataProvider* detail_probe,
+                            sites_[0].catalog().GetProvider(stage.op.detail_table));
     const Schema& detail_schema = *detail_probe->schema();
 
     // Distribute the global structure to the sites, applying

@@ -14,7 +14,14 @@ Result<Table> Site::EvalGmdjRound(const Table& base, const GmdjOp& op,
       return EvalGmdjColumnar(base, it->second, op, context);
     }
   }
-  SKALLA_ASSIGN_OR_RETURN(const Table* detail, catalog_.Get(op.detail_table));
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* detail,
+                          catalog_.GetProvider(op.detail_table));
+  if (detail->ResidentTable() == nullptr && context.use_index &&
+      ColumnarEligible(op)) {
+    // Chunk-paged partitions are already columnar on disk; eligible
+    // operators stream the typed pages directly.
+    return EvalGmdjColumnar(base, *detail, op, context);
+  }
   return EvalGmdj(base, *detail, op, context);
 }
 
@@ -22,6 +29,9 @@ Status Site::EnableColumnarCache() {
   std::lock_guard<std::mutex> round(*round_mu_);
   if (!columnar_.empty()) return Status::OK();
   for (const std::string& name : catalog_.TableNames()) {
+    // Chunk-backed relations stay paged: their chunks already hold typed
+    // pages, and materializing a resident copy would defeat the budget.
+    if (catalog_.IsChunkBacked(name)) continue;
     SKALLA_ASSIGN_OR_RETURN(const Table* table, catalog_.Get(name));
     SKALLA_ASSIGN_OR_RETURN(ColumnTable columnar,
                             ColumnTable::FromRowTable(*table));

@@ -50,7 +50,9 @@ class Site {
   /// when the columnar cache holds the detail table and the operator is
   /// eligible — except when `context.use_index` is false (the columnar
   /// kernel has no nested-loop mode, so oracle requests always take the
-  /// row engine).
+  /// row engine). Chunk-backed partitions evaluate through the paged
+  /// kernels (columnar when eligible, chunked row engine otherwise),
+  /// byte-identical to resident evaluation.
   Result<Table> EvalGmdjRound(const Table& base, const GmdjOp& op,
                               const EvalContext& context) const;
 

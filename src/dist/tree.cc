@@ -255,8 +255,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
   if (shards > 1) merge_pool = std::make_unique<ThreadPool>(shards - 1);
   Coordinator root(plan.key_columns, shards, merge_pool.get());
 
-  SKALLA_ASSIGN_OR_RETURN(const Table* probe,
-                          sites_[0].catalog().Get(plan.base.table));
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* probe,
+                          sites_[0].catalog().GetProvider(plan.base.table));
   SKALLA_ASSIGN_OR_RETURN(SchemaPtr upstream,
                           plan.base.OutputSchema(*probe->schema()));
 
@@ -348,8 +348,8 @@ Result<Table> TreeExecutor::Execute(const DistributedPlan& plan,
     CancellationToken round_cancel;
     SKALLA_RETURN_NOT_OK(deadline.ArmRound(rs.label, &round_cancel));
 
-    SKALLA_ASSIGN_OR_RETURN(const Table* detail_probe,
-                            sites_[0].catalog().Get(stage.op.detail_table));
+    SKALLA_ASSIGN_OR_RETURN(const DataProvider* detail_probe,
+                            sites_[0].catalog().GetProvider(stage.op.detail_table));
     const Schema& detail_schema = *detail_probe->schema();
 
     // Bind the per-site aware-GR filters once against the upstream schema.

@@ -1,14 +1,171 @@
 #include "dist/warehouse.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "data/table_io.h"
+#include "net/serde.h"
 #include "relalg/operators.h"
+#include "storage/chunk_file.h"
+#include "storage/data_provider.h"
 
 namespace skalla {
+
+namespace {
+
+// --- STATS file: serialized distribution knowledge ------------------------
+//
+// A chunked warehouse persists its PartitionInfo map at save time so that
+// a lazy load plans identically to the eager warehouse it came from
+// without scanning a single chunk. Binary layout (varint/WriteValue from
+// net/serde.h):
+//
+//   "SKALLASTATS1"
+//   varint num_tables
+//   per table: string name, varint num_sites, varint num_columns,
+//     per column: string name,
+//       per site: flags u8 (1 = value set, 2 = min, 4 = max,
+//                 8 = histogram),
+//         [varint count, count * WriteValue]  (value set)
+//         [WriteValue]                        (min)   as FLOAT64
+//         [WriteValue]                        (max)   as FLOAT64
+//         [varint len, len * varint]          (histogram)
+
+constexpr char kStatsMagic[] = "SKALLASTATS1";
+constexpr size_t kStatsMagicLen = 12;
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutVarint(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Result<std::string> ReadString(ByteReader* reader) {
+  SKALLA_ASSIGN_OR_RETURN(uint64_t len, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(const uint8_t* bytes,
+                          reader->ReadBytes(static_cast<size_t>(len)));
+  return std::string(reinterpret_cast<const char*>(bytes),
+                     static_cast<size_t>(len));
+}
+
+std::vector<uint8_t> EncodePartitionStats(
+    const std::map<std::string, PartitionInfo>& infos) {
+  std::vector<uint8_t> out(kStatsMagicLen);
+  std::memcpy(out.data(), kStatsMagic, kStatsMagicLen);
+  PutVarint(&out, infos.size());
+  for (const auto& [table, info] : infos) {
+    PutString(&out, table);
+    PutVarint(&out, info.num_sites());
+    std::vector<std::string> columns = info.TrackedColumns();
+    PutVarint(&out, columns.size());
+    for (const std::string& column : columns) {
+      PutString(&out, column);
+      for (size_t site = 0; site < info.num_sites(); ++site) {
+        const ColumnDistribution* dist = info.GetDistribution(site, column);
+        uint8_t flags = 0;
+        if (dist != nullptr) {
+          if (dist->values.has_value()) flags |= 1;
+          if (dist->min.has_value()) flags |= 2;
+          if (dist->max.has_value()) flags |= 4;
+          if (!dist->histogram.empty()) flags |= 8;
+        }
+        out.push_back(flags);
+        if (dist == nullptr) continue;
+        if (dist->values.has_value()) {
+          PutVarint(&out, dist->values->size());
+          dist->values->ForEach(
+              [&out](const Value& v) { WriteValue(&out, v); });
+        }
+        if (dist->min.has_value()) WriteValue(&out, Value(*dist->min));
+        if (dist->max.has_value()) WriteValue(&out, Value(*dist->max));
+        if (!dist->histogram.empty()) {
+          PutVarint(&out, dist->histogram.size());
+          for (uint32_t bucket : dist->histogram) PutVarint(&out, bucket);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::map<std::string, PartitionInfo>> DecodePartitionStats(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes.data(), bytes.size());
+  SKALLA_ASSIGN_OR_RETURN(const uint8_t* magic,
+                          reader.ReadBytes(kStatsMagicLen));
+  if (std::memcmp(magic, kStatsMagic, kStatsMagicLen) != 0) {
+    return Status::ParseError("bad STATS magic");
+  }
+  std::map<std::string, PartitionInfo> infos;
+  SKALLA_ASSIGN_OR_RETURN(uint64_t num_tables, reader.ReadVarint());
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    SKALLA_ASSIGN_OR_RETURN(std::string table, ReadString(&reader));
+    SKALLA_ASSIGN_OR_RETURN(uint64_t num_sites, reader.ReadVarint());
+    PartitionInfo info(static_cast<size_t>(num_sites));
+    SKALLA_ASSIGN_OR_RETURN(uint64_t num_columns, reader.ReadVarint());
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      SKALLA_ASSIGN_OR_RETURN(std::string column, ReadString(&reader));
+      for (uint64_t site = 0; site < num_sites; ++site) {
+        SKALLA_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadByte());
+        ColumnDistribution dist;
+        if (flags & 1) {
+          SKALLA_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+          ValueSet set;
+          for (uint64_t i = 0; i < count; ++i) {
+            SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+            set.Insert(v);
+          }
+          dist.values = std::move(set);
+        }
+        if (flags & 2) {
+          SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+          dist.min = v.AsDouble();
+        }
+        if (flags & 4) {
+          SKALLA_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+          dist.max = v.AsDouble();
+        }
+        if (flags & 8) {
+          SKALLA_ASSIGN_OR_RETURN(uint64_t len, reader.ReadVarint());
+          dist.histogram.reserve(static_cast<size_t>(len));
+          for (uint64_t i = 0; i < len; ++i) {
+            SKALLA_ASSIGN_OR_RETURN(uint64_t bucket, reader.ReadVarint());
+            dist.histogram.push_back(static_cast<uint32_t>(bucket));
+          }
+        }
+        if (flags != 0) {
+          info.SetDistribution(static_cast<size_t>(site), column,
+                               std::move(dist));
+        }
+      }
+    }
+    infos[std::move(table)] = std::move(info);
+  }
+  return infos;
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError(StrCat("cannot write '", path, "'"));
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError(StrCat("failed writing '", path, "'"));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError(StrCat("cannot read '", path, "'"));
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
 
 DistributedWarehouse::DistributedWarehouse(size_t num_sites,
                                            NetworkConfig net_config,
@@ -33,6 +190,11 @@ Status DistributedWarehouse::AddPartitionedTable(
     partition_info_[name] = std::move(info);
   }
   tracked_columns_[name] = tracked_columns;
+  if (central_.Contains(name)) {
+    // Replacing a registered table invalidates anything derived from the
+    // old rows (serving-layer result caches key on this epoch).
+    data_epoch_->fetch_add(1, std::memory_order_relaxed);
+  }
   Table whole(partitions[0].schema());
   for (const Table& part : partitions) {
     SKALLA_ASSIGN_OR_RETURN(whole, UnionAll(whole, part));
@@ -134,6 +296,51 @@ Status DistributedWarehouse::Save(const std::string& directory) const {
   return Status::OK();
 }
 
+Status DistributedWarehouse::SaveChunked(const std::string& directory,
+                                         size_t chunk_rows) const {
+  std::vector<WarehouseManifest::TableEntry> tables;
+  for (const std::string& name : central_.TableNames()) {
+    for (size_t i = 0; i < num_sites_; ++i) {
+      SKALLA_ASSIGN_OR_RETURN(const Table* part, site_catalogs_[i].Get(name));
+      SKALLA_RETURN_NOT_OK(WriteChunkFile(
+          *part, PartitionChunkPath(directory, name, i), chunk_rows));
+    }
+    auto tracked = tracked_columns_.find(name);
+    tables.push_back(WarehouseManifest::TableEntry{
+        name, tracked == tracked_columns_.end() ? std::vector<std::string>{}
+                                                : tracked->second});
+  }
+  return WriteChunkedWarehouseMeta(directory, num_sites_, tables,
+                                   partition_info_);
+}
+
+Status WriteChunkedWarehouseMeta(
+    const std::string& directory, size_t num_sites,
+    const std::vector<WarehouseManifest::TableEntry>& tables,
+    const std::map<std::string, PartitionInfo>& stats) {
+  std::string manifest = StrCat("skalla-warehouse 2 chunked\nsites ",
+                                num_sites, "\n");
+  for (const WarehouseManifest::TableEntry& entry : tables) {
+    manifest += StrCat("table ", entry.name, " tracked ",
+                       Join(entry.tracked, ","), "\n");
+  }
+  SKALLA_RETURN_NOT_OK(
+      WriteFileBytes(directory + "/STATS", EncodePartitionStats(stats)));
+  std::ofstream out(directory + "/MANIFEST", std::ios::binary);
+  if (!out) {
+    return Status::IOError(
+        StrCat("cannot write manifest under '", directory, "'"));
+  }
+  out << manifest;
+  if (!out) return Status::IOError("failed writing manifest");
+  return Status::OK();
+}
+
+std::string PartitionChunkPath(const std::string& directory,
+                               const std::string& name, size_t site_index) {
+  return StrCat(directory, "/", name, ".part", site_index, ".skc");
+}
+
 Result<WarehouseManifest> ReadWarehouseManifest(
     const std::string& directory) {
   std::ifstream in(directory + "/MANIFEST", std::ios::binary);
@@ -142,13 +349,21 @@ Result<WarehouseManifest> ReadWarehouseManifest(
         StrCat("no warehouse manifest under '", directory, "'"));
   }
   std::string line;
-  if (!std::getline(in, line) || line != "skalla-warehouse 1") {
+  if (!std::getline(in, line)) {
+    return Status::IOError("unrecognized warehouse manifest header");
+  }
+  WarehouseManifest parsed_header;
+  if (line == "skalla-warehouse 1") {
+    parsed_header.chunked = false;
+  } else if (line == "skalla-warehouse 2 chunked") {
+    parsed_header.chunked = true;
+  } else {
     return Status::IOError("unrecognized warehouse manifest header");
   }
   if (!std::getline(in, line) || line.rfind("sites ", 0) != 0) {
     return Status::IOError("manifest missing site count");
   }
-  WarehouseManifest manifest;
+  WarehouseManifest manifest = std::move(parsed_header);
   manifest.num_sites = static_cast<size_t>(
       std::strtoull(line.c_str() + 6, nullptr, 10));
   if (manifest.num_sites == 0) {
@@ -173,7 +388,8 @@ Result<WarehouseManifest> ReadWarehouseManifest(
 }
 
 Result<Catalog> LoadSiteCatalog(const std::string& directory,
-                                size_t site_index) {
+                                size_t site_index,
+                                const StorageOptions& storage) {
   SKALLA_ASSIGN_OR_RETURN(WarehouseManifest manifest,
                           ReadWarehouseManifest(directory));
   if (site_index >= manifest.num_sites) {
@@ -182,6 +398,21 @@ Result<Catalog> LoadSiteCatalog(const std::string& directory,
                manifest.num_sites, " sites"));
   }
   Catalog catalog;
+  if (manifest.chunked) {
+    std::shared_ptr<BufferManager> buffers =
+        storage.buffer_manager != nullptr
+            ? storage.buffer_manager
+            : std::make_shared<BufferManager>(storage.buffer_bytes);
+    for (const WarehouseManifest::TableEntry& entry : manifest.tables) {
+      SKALLA_ASSIGN_OR_RETURN(
+          std::shared_ptr<ChunkFileDataProvider> provider,
+          ChunkFileDataProvider::Open(
+              PartitionChunkPath(directory, entry.name, site_index),
+              buffers));
+      catalog.RegisterProvider(entry.name, std::move(provider));
+    }
+    return catalog;
+  }
   for (const WarehouseManifest::TableEntry& entry : manifest.tables) {
     SKALLA_ASSIGN_OR_RETURN(
         Table partition, LoadPartition(directory, entry.name, site_index));
@@ -190,12 +421,32 @@ Result<Catalog> LoadSiteCatalog(const std::string& directory,
   return catalog;
 }
 
+Result<Catalog> LoadSiteCatalog(const std::string& directory,
+                                size_t site_index) {
+  return LoadSiteCatalog(directory, site_index, StorageOptions{});
+}
+
 Result<DistributedWarehouse> DistributedWarehouse::Load(
     const std::string& directory, NetworkConfig net_config,
-    ExecutorOptions exec_options) {
+    ExecutorOptions exec_options, const StorageOptions& storage) {
   SKALLA_ASSIGN_OR_RETURN(WarehouseManifest manifest,
                           ReadWarehouseManifest(directory));
   DistributedWarehouse dw(manifest.num_sites, net_config, exec_options);
+  if (manifest.chunked) {
+    dw.storage_dir_ = directory;
+    dw.buffers_ = storage.buffer_manager != nullptr
+                      ? storage.buffer_manager
+                      : std::make_shared<BufferManager>(storage.buffer_bytes);
+    for (const WarehouseManifest::TableEntry& entry : manifest.tables) {
+      SKALLA_RETURN_NOT_OK(dw.OpenChunkedTable(entry.name));
+      dw.tracked_columns_[entry.name] = entry.tracked;
+    }
+    SKALLA_ASSIGN_OR_RETURN(std::vector<uint8_t> stats_bytes,
+                            ReadFileBytes(directory + "/STATS"));
+    SKALLA_ASSIGN_OR_RETURN(dw.partition_info_,
+                            DecodePartitionStats(stats_bytes));
+    return dw;
+  }
   for (const WarehouseManifest::TableEntry& entry : manifest.tables) {
     SKALLA_ASSIGN_OR_RETURN(std::vector<Table> partitions,
                             LoadPartitions(directory, entry.name));
@@ -209,6 +460,41 @@ Result<DistributedWarehouse> DistributedWarehouse::Load(
         entry.name, std::move(partitions), entry.tracked));
   }
   return dw;
+}
+
+Status DistributedWarehouse::OpenChunkedTable(const std::string& name) {
+  std::vector<DataProviderPtr> parts;
+  parts.reserve(num_sites_);
+  for (size_t i = 0; i < num_sites_; ++i) {
+    SKALLA_ASSIGN_OR_RETURN(
+        std::shared_ptr<ChunkFileDataProvider> provider,
+        ChunkFileDataProvider::Open(
+            PartitionChunkPath(storage_dir_, name, i), buffers_));
+    site_catalogs_[i].RegisterProvider(name, provider);
+    parts.push_back(std::move(provider));
+  }
+  // Site order matches the UnionAll order of an eager load, so the
+  // centralized reference evaluation stays byte-identical.
+  central_.RegisterProvider(
+      name, std::make_shared<ConcatDataProvider>(std::move(parts)));
+  return Status::OK();
+}
+
+Status DistributedWarehouse::ReloadTable(const std::string& name) {
+  if (storage_dir_.empty()) {
+    return Status::FailedPrecondition(
+        "ReloadTable requires a chunk-loaded warehouse");
+  }
+  if (!central_.Contains(name)) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  // Re-registering replaces the providers; the old ones' destructors
+  // drop their stale chunks from the buffer pool. Executors built
+  // earlier hold catalog copies and keep the old providers alive — the
+  // epoch bump is what invalidates results cached against them.
+  SKALLA_RETURN_NOT_OK(OpenChunkedTable(name));
+  data_epoch_->fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 }  // namespace skalla

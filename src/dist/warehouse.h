@@ -10,6 +10,7 @@
 #ifndef SKALLA_DIST_WAREHOUSE_H_
 #define SKALLA_DIST_WAREHOUSE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,13 +23,28 @@
 #include "dist/plan.h"
 #include "net/network.h"
 #include "opt/optimizer.h"
+#include "storage/buffer_manager.h"
 #include "storage/partition.h"
 
 namespace skalla {
 
-/// Parsed MANIFEST of a warehouse saved with DistributedWarehouse::Save.
+/// How a loaded warehouse/site pages its chunk-backed relations.
+struct StorageOptions {
+  /// BufferManager byte budget shared by every chunk-backed relation of
+  /// the load; 0 = unlimited. Ignored when `buffer_manager` is set.
+  uint64_t buffer_bytes = 0;
+
+  /// An existing manager to share (e.g. across warehouses); created from
+  /// `buffer_bytes` when null.
+  std::shared_ptr<BufferManager> buffer_manager;
+};
+
+/// Parsed MANIFEST of a warehouse saved with DistributedWarehouse::Save
+/// (version 1, eager row files) or SaveChunked (version 2, chunk files
+/// read lazily through a BufferManager).
 struct WarehouseManifest {
   size_t num_sites = 0;
+  bool chunked = false;
   struct TableEntry {
     std::string name;
     std::vector<std::string> tracked;
@@ -38,9 +54,30 @@ struct WarehouseManifest {
 
 Result<WarehouseManifest> ReadWarehouseManifest(const std::string& directory);
 
+/// Path of one site's chunk file for `name` under a chunked warehouse
+/// directory: <directory>/<name>.part<site>.skc.
+std::string PartitionChunkPath(const std::string& directory,
+                               const std::string& name, size_t site_index);
+
+/// Writes the MANIFEST (version 2) and STATS files of a chunked
+/// warehouse directory whose chunk files were produced externally —
+/// skalla-dataset streams generated rows through ChunkFileWriter and
+/// then stamps the directory loadable with this. `tables` lists each
+/// table's tracked columns; `stats` the distribution knowledge to
+/// persist.
+Status WriteChunkedWarehouseMeta(
+    const std::string& directory, size_t num_sites,
+    const std::vector<WarehouseManifest::TableEntry>& tables,
+    const std::map<std::string, PartitionInfo>& stats);
+
 /// Loads site `site_index`'s partition of every manifest table — what a
 /// skalla-site process loads at startup. Unlike DistributedWarehouse::
 /// Load it reads only that site's files, never the peers' partitions.
+/// Chunked warehouses register paged providers (nothing resident until
+/// pinned); `storage` sizes their shared BufferManager.
+Result<Catalog> LoadSiteCatalog(const std::string& directory,
+                                size_t site_index,
+                                const StorageOptions& storage);
 Result<Catalog> LoadSiteCatalog(const std::string& directory,
                                 size_t site_index);
 
@@ -111,17 +148,58 @@ class DistributedWarehouse {
   const Catalog& central_catalog() const { return central_; }
 
   /// Persists the warehouse (every table's partitions plus a manifest)
-  /// under `directory`, which must exist.
+  /// under `directory`, which must exist. Requires resident partitions
+  /// (a chunk-loaded warehouse saves nothing new — its chunk files ARE
+  /// the persistent form).
   Status Save(const std::string& directory) const;
 
-  /// Restores a warehouse saved with Save. Network/executor options are
-  /// the caller's; distribution knowledge is recomputed from the loaded
-  /// partitions over the manifest's tracked columns.
+  /// Persists the warehouse as a version-2 chunked layout: per-site
+  /// chunk files (<name>.part<i>.skc), a STATS file carrying the
+  /// serialized distribution knowledge (so a lazy load plans exactly
+  /// like this eager warehouse without scanning any chunk), and the
+  /// manifest. Requires resident partitions.
+  Status SaveChunked(const std::string& directory,
+                     size_t chunk_rows = kDefaultChunkRows) const;
+
+  /// Restores a warehouse saved with Save or SaveChunked. Network/
+  /// executor options are the caller's. Version-1 directories load
+  /// eagerly and recompute distribution knowledge from the partitions;
+  /// version-2 directories register lazy chunk providers (paged through
+  /// one shared BufferManager per `storage`) and read the distribution
+  /// knowledge from STATS.
   static Result<DistributedWarehouse> Load(
       const std::string& directory, NetworkConfig net_config = {},
-      ExecutorOptions exec_options = {});
+      ExecutorOptions exec_options = {}, const StorageOptions& storage = {});
+
+  /// Monotonic data epoch: bumped whenever a registered table's data is
+  /// replaced (AddPartitionedTable over an existing name, ReloadTable).
+  /// Serving layers fold it into their cache epoch, so results computed
+  /// against older data stop being served (QuerySession::Open wires
+  /// this automatically).
+  uint64_t data_epoch() const {
+    return data_epoch_->load(std::memory_order_relaxed);
+  }
+  std::shared_ptr<const std::atomic<uint64_t>> data_epoch_handle() const {
+    return data_epoch_;
+  }
+
+  /// Re-opens a chunk-backed table's providers from disk (picking up
+  /// rewritten chunk files), drops the old chunks from the buffer pool,
+  /// and bumps the data epoch. Only valid on a chunk-loaded warehouse.
+  Status ReloadTable(const std::string& name);
+
+  /// The shared BufferManager of a chunk-loaded warehouse; null when
+  /// every relation is resident.
+  const std::shared_ptr<BufferManager>& buffer_manager() const {
+    return buffers_;
+  }
 
  private:
+  // Opens (or re-opens) every site's chunk file for `name` under
+  // storage_dir_ and registers the providers site-wise plus concatenated
+  // centrally.
+  Status OpenChunkedTable(const std::string& name);
+
   size_t num_sites_;
   size_t replication_ = 1;
   NetworkConfig net_config_;
@@ -131,6 +209,13 @@ class DistributedWarehouse {
   std::map<std::string, PartitionInfo> partition_info_;
   // Tracked columns per table, for Save/Load round trips.
   std::map<std::string, std::vector<std::string>> tracked_columns_;
+  // Bumped on data replacement. shared_ptr: the warehouse is moved by
+  // value, but epoch observers (sessions) must keep seeing bumps.
+  std::shared_ptr<std::atomic<uint64_t>> data_epoch_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  // Chunk-loaded state (empty/null for resident warehouses).
+  std::string storage_dir_;
+  std::shared_ptr<BufferManager> buffers_;
 };
 
 }  // namespace skalla

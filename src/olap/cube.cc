@@ -72,8 +72,8 @@ Result<Table> ExpandToCubeSchema(const Table& cuboid, const CubeSpec& spec,
 
 Result<SchemaPtr> CubeSchema(const DistributedWarehouse& warehouse,
                              const CubeSpec& spec) {
-  SKALLA_ASSIGN_OR_RETURN(const Table* detail,
-                          warehouse.central_catalog().Get(spec.detail_table));
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* detail,
+                          warehouse.central_catalog().GetProvider(spec.detail_table));
   std::vector<Field> fields;
   for (const std::string& dim : spec.dims) {
     SKALLA_ASSIGN_OR_RETURN(size_t idx,

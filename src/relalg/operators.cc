@@ -111,12 +111,60 @@ Result<Table> TopK(const Table& in, const std::string& column, size_t k,
 }
 
 Result<Table> BaseQuery::Execute(const Catalog& catalog) const {
+  if (catalog.IsChunkBacked(table)) {
+    SKALLA_ASSIGN_OR_RETURN(const DataProvider* provider,
+                            catalog.GetProvider(table));
+    return Execute(*provider);
+  }
   SKALLA_ASSIGN_OR_RETURN(const Table* source, catalog.Get(table));
   if (where != nullptr) {
     SKALLA_ASSIGN_OR_RETURN(Table filtered, Select(*source, where));
     return Project(filtered, columns, distinct);
   }
   return Project(*source, columns, distinct);
+}
+
+Result<Table> BaseQuery::Execute(const DataProvider& provider) const {
+  const SchemaPtr& schema = provider.schema();
+  ExprPtr bound;
+  if (where != nullptr) {
+    SKALLA_ASSIGN_OR_RETURN(bound, where->Bind(nullptr, schema.get()));
+  }
+  std::vector<size_t> indices;
+  indices.reserve(columns.size());
+  for (const std::string& name : columns) {
+    SKALLA_ASSIGN_OR_RETURN(size_t idx, schema->RequireIndex(name));
+    indices.push_back(idx);
+  }
+  Table out(schema->Project(indices));
+  // First-occurrence dedup, identical to Distinct() but applied as rows
+  // stream so the filtered/projected intermediate never materializes.
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  for (size_t c = 0; c < provider.num_chunks(); ++c) {
+    SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, provider.Pin(c));
+    for (size_t r = 0; r < pin->num_rows(); ++r) {
+      const Row& source_row = pin->row(r);
+      if (bound != nullptr && !bound->EvalBool(nullptr, &source_row)) {
+        continue;
+      }
+      Row row = ProjectRow(source_row, indices);
+      if (distinct) {
+        uint64_t h = HashRow(row);
+        std::vector<size_t>& bucket = seen[h];
+        bool duplicate = false;
+        for (size_t prev : bucket) {
+          if (RowEquals(out.row(prev), row)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        bucket.push_back(out.num_rows());
+      }
+      out.AppendUnchecked(std::move(row));
+    }
+  }
+  return out;
 }
 
 Result<SchemaPtr> BaseQuery::OutputSchema(const Schema& input) const {

@@ -49,7 +49,14 @@ struct BaseQuery {
   bool distinct = true;
   ExprPtr where;  // Optional; references r.<col> of `table`.
 
+  /// Resident relations run σ then π over the table; chunk-backed ones
+  /// stream pin → filter → project → dedup one chunk at a time, which
+  /// yields the same rows in the same order (σ, π, and first-occurrence
+  /// dedup are all row-order preserving).
   Result<Table> Execute(const Catalog& catalog) const;
+
+  /// The streaming path, directly against a provider.
+  Result<Table> Execute(const DataProvider& provider) const;
 
   /// Schema of the result given the source relation's schema.
   Result<SchemaPtr> OutputSchema(const Schema& input) const;

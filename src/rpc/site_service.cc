@@ -118,7 +118,8 @@ Result<Frame> SiteService::Handle(const Frame& request) {
     case MessageType::kCatalogRequest: {
       std::vector<CatalogEntry> entries;
       for (const std::string& name : site_.catalog().TableNames()) {
-        SKALLA_ASSIGN_OR_RETURN(const Table* table, site_.catalog().Get(name));
+        SKALLA_ASSIGN_OR_RETURN(const DataProvider* table,
+                                site_.catalog().GetProvider(name));
         entries.push_back(CatalogEntry{name, table->schema()});
       }
       Frame frame;

@@ -93,12 +93,18 @@ void QueryScheduler::BumpPartitionEpoch() {
     std::lock_guard<std::mutex> lock(mu_);
     next = ++epoch_;
   }
+  if (options_.partition_epoch_source) {
+    next += options_.partition_epoch_source();
+  }
   cache_.EvictBefore(next);
 }
 
 uint64_t QueryScheduler::partition_epoch() const {
+  uint64_t external = options_.partition_epoch_source
+                          ? options_.partition_epoch_source()
+                          : 0;
   std::lock_guard<std::mutex> lock(mu_);
-  return epoch_;
+  return epoch_ + external;
 }
 
 size_t QueryScheduler::running_queries() const {

@@ -27,6 +27,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -60,6 +61,15 @@ struct SchedulerOptions {
   /// SubAggregateCache capacity in serialized result bytes; 0 disables
   /// result caching.
   uint64_t cache_max_bytes = 64ull << 20;
+
+  /// External component of the partition epoch, added to the scheduler's
+  /// own counter — wire a warehouse's data_epoch here (QuerySession::
+  /// Open does) so reloading a table's storage invalidates cached
+  /// results without anyone calling BumpPartitionEpoch. Entries cached
+  /// under an older external epoch stop being served immediately; they
+  /// are physically evicted at the next BumpPartitionEpoch or by
+  /// capacity pressure. Must be safe to call from any thread.
+  std::function<uint64_t()> partition_epoch_source;
 };
 
 /// Per-submission knobs (the serving-layer analogue of QueryRun; zero

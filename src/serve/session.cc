@@ -29,6 +29,16 @@ Result<QuerySession> QuerySession::Open(const DistributedWarehouse* warehouse,
   }
   QuerySession session;
   session.executor_ = warehouse->MakeExecutor(options.net, options.exec);
+  // Fold the warehouse's data epoch into the cache epoch: a ReloadTable
+  // (or table replacement) invalidates this session's cached results
+  // without any explicit InvalidateCachedResults call. The handle is a
+  // shared_ptr, so the wiring survives the warehouse being moved.
+  if (!options.scheduler.partition_epoch_source) {
+    auto epoch = warehouse->data_epoch_handle();
+    options.scheduler.partition_epoch_source = [epoch] {
+      return epoch->load(std::memory_order_relaxed);
+    };
+  }
   session.scheduler_ = std::make_unique<QueryScheduler>(
       session.executor_.get(), options.scheduler);
   const OptimizerOptions optimize = options.optimize;

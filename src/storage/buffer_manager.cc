@@ -1,0 +1,139 @@
+#include "storage/buffer_manager.h"
+
+#include <atomic>
+
+#include "obs/obs.h"
+
+namespace skalla {
+
+Result<PinnedChunk> BufferManager::Pin(uint64_t owner, size_t chunk_index,
+                                       const Loader& loader) {
+  const Key key{owner, chunk_index};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // we load it below
+    Entry& entry = it->second;
+    if (!entry.loading) {
+      ++entry.pins;
+      entry.lru = ++lru_tick_;
+      ++hits_;
+      SKALLA_COUNTER_ADD("skalla.storage.buffer.hit", 1);
+      return MakeHandle(key, entry.chunk);
+    }
+    // Another pinner is loading this chunk; wait for it and re-check
+    // (the entry disappears if the load failed).
+    load_cv_.wait(lock);
+  }
+
+  entries_[key].loading = true;
+  lock.unlock();
+  Result<ChunkPtr> loaded = loader();
+  lock.lock();
+  if (!loaded.ok()) {
+    entries_.erase(key);
+    load_cv_.notify_all();
+    return loaded.status();
+  }
+  Entry& entry = entries_[key];
+  entry.chunk = std::move(*loaded);
+  entry.bytes = entry.chunk->byte_size();
+  entry.pins = 1;
+  entry.lru = ++lru_tick_;
+  entry.loading = false;
+  resident_bytes_ += entry.bytes;
+  ++misses_;
+  SKALLA_COUNTER_ADD("skalla.storage.buffer.miss", 1);
+  ChunkPtr chunk = entry.chunk;
+  EvictLocked();
+  SetResidentGaugeLocked();
+  load_cv_.notify_all();
+  return MakeHandle(key, std::move(chunk));
+}
+
+PinnedChunk BufferManager::MakeHandle(Key key, ChunkPtr chunk) {
+  // The closure holds shared ownership of the manager, so a handle that
+  // outlives every provider still unpins safely.
+  auto self = shared_from_this();
+  return PinnedChunk(std::move(chunk),
+                     [self, key] { self->Unpin(key); });
+}
+
+void BufferManager::Unpin(Key key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.pins > 0) --entry.pins;
+  if (entry.pins == 0 && entry.dropped) {
+    resident_bytes_ -= entry.bytes;
+    entries_.erase(it);
+    SetResidentGaugeLocked();
+    return;
+  }
+  if (entry.pins == 0) {
+    EvictLocked();
+    SetResidentGaugeLocked();
+  }
+}
+
+void BufferManager::DropOwner(uint64_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.lower_bound(Key{owner, 0});
+  while (it != entries_.end() && it->first.first == owner) {
+    Entry& entry = it->second;
+    if (entry.pins == 0 && !entry.loading) {
+      resident_bytes_ -= entry.bytes;
+      it = entries_.erase(it);
+    } else {
+      entry.dropped = true;
+      ++it;
+    }
+  }
+  SetResidentGaugeLocked();
+}
+
+void BufferManager::EvictLocked() {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_ > budget_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins != 0 || it->second.loading) continue;
+      if (victim == entries_.end() || it->second.lru < victim->second.lru) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything pinned: overcommit
+    resident_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    SKALLA_COUNTER_ADD("skalla.storage.buffer.evict", 1);
+  }
+}
+
+void BufferManager::SetResidentGaugeLocked() const {
+  SKALLA_GAUGE_SET("skalla.storage.buffer.resident_bytes",
+                   static_cast<int64_t>(resident_bytes_));
+}
+
+BufferStats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.loading) continue;
+    ++s.resident_chunks;
+    if (entry.pins > 0) ++s.pinned_chunks;
+  }
+  return s;
+}
+
+uint64_t BufferManager::NextOwnerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace skalla

@@ -1,0 +1,153 @@
+// BufferManager: a byte-budget LRU over resident chunks, shared by every
+// chunk-file-backed relation of a process. Consumers Pin a chunk (loading
+// it through a caller-supplied loader on miss), scan it, and drop the
+// returned PinnedChunk to unpin. Eviction considers only unpinned
+// chunks; the pinned set may therefore exceed the budget transiently —
+// the manager never fails a pin for lack of budget, it just evicts
+// everything evictable (documented spill behavior, docs/STORAGE.md).
+//
+// Accounting unit: Chunk::byte_size() (the resident-footprint estimate).
+// Budget 0 means unlimited (nothing is ever evicted).
+//
+// Metrics (obs registry, no-ops when SKALLA_TRACING is off):
+//   skalla.storage.buffer.hit / .miss / .evict    counters
+//   skalla.storage.buffer.resident_bytes          gauge
+// The same counts are always available through stats(), independent of
+// the build gate, for tests and tools.
+//
+// Thread safety: fully thread-safe. Concurrent pins of the same missing
+// chunk load it once — the first pinner runs the loader (outside the
+// lock), the rest wait on it.
+
+#ifndef SKALLA_STORAGE_BUFFER_MANAGER_H_
+#define SKALLA_STORAGE_BUFFER_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/result.h"
+#include "storage/chunk.h"
+
+namespace skalla {
+
+/// RAII pin handle: while alive, the chunk cannot be evicted. Move-only;
+/// destruction (or Release) unpins. Safe to destroy after the manager's
+/// other references are gone — the handle keeps the manager alive.
+class BufferManager;
+class PinnedChunk {
+ public:
+  PinnedChunk() = default;
+  PinnedChunk(ChunkPtr chunk, std::function<void()> unpin)
+      : chunk_(std::move(chunk)), unpin_(std::move(unpin)) {}
+  ~PinnedChunk() { Release(); }
+
+  PinnedChunk(PinnedChunk&& other) noexcept
+      : chunk_(std::move(other.chunk_)), unpin_(std::move(other.unpin_)) {
+    other.chunk_ = nullptr;
+    other.unpin_ = nullptr;
+  }
+  PinnedChunk& operator=(PinnedChunk&& other) noexcept {
+    if (this != &other) {
+      Release();
+      chunk_ = std::move(other.chunk_);
+      unpin_ = std::move(other.unpin_);
+      other.chunk_ = nullptr;
+      other.unpin_ = nullptr;
+    }
+    return *this;
+  }
+  PinnedChunk(const PinnedChunk&) = delete;
+  PinnedChunk& operator=(const PinnedChunk&) = delete;
+
+  const Chunk& operator*() const { return *chunk_; }
+  const Chunk* operator->() const { return chunk_.get(); }
+  const ChunkPtr& chunk() const { return chunk_; }
+  explicit operator bool() const { return chunk_ != nullptr; }
+
+  void Release() {
+    if (unpin_) unpin_();
+    unpin_ = nullptr;
+    chunk_ = nullptr;
+  }
+
+ private:
+  ChunkPtr chunk_;
+  std::function<void()> unpin_;
+};
+
+/// Point-in-time counters; tracing-gate independent.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t resident_chunks = 0;
+  uint64_t pinned_chunks = 0;
+};
+
+class BufferManager : public std::enable_shared_from_this<BufferManager> {
+ public:
+  /// `budget_bytes` caps resident (unpinned + pinned) chunk bytes;
+  /// 0 = unlimited.
+  explicit BufferManager(uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  using Loader = std::function<Result<ChunkPtr>()>;
+
+  /// Pins chunk `chunk_index` of owner `owner` (a provider id from
+  /// NextOwnerId), loading it via `loader` on miss. The loader runs
+  /// outside the manager lock; concurrent pins of the same key share one
+  /// load.
+  Result<PinnedChunk> Pin(uint64_t owner, size_t chunk_index,
+                          const Loader& loader);
+
+  /// Marks every entry of `owner` stale: unpinned ones are dropped now,
+  /// pinned ones as soon as their last pin releases. Called when a
+  /// provider is destroyed or its backing file is reloaded.
+  void DropOwner(uint64_t owner);
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  BufferStats stats() const;
+
+  /// Process-unique owner ids for providers sharing a manager.
+  static uint64_t NextOwnerId();
+
+ private:
+  using Key = std::pair<uint64_t, size_t>;  // (owner, chunk index)
+
+  struct Entry {
+    ChunkPtr chunk;
+    uint64_t bytes = 0;
+    size_t pins = 0;
+    uint64_t lru = 0;      // last-use tick; smallest evicts first
+    bool loading = false;  // a pinner is running the loader
+    bool dropped = false;  // owner gone: erase at last unpin
+  };
+
+  void Unpin(Key key);
+  // Evicts unpinned entries in LRU order until within budget. Requires
+  // the lock.
+  void EvictLocked();
+  // Requires the lock.
+  void SetResidentGaugeLocked() const;
+  PinnedChunk MakeHandle(Key key, ChunkPtr chunk);
+
+  const uint64_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;
+  std::map<Key, Entry> entries_;
+  uint64_t resident_bytes_ = 0;
+  uint64_t lru_tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,136 @@
+#include "storage/chunk.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+namespace {
+
+// Resident-footprint estimate of one column: validity byte per cell plus
+// the typed payload (8 bytes per numeric cell; string container overhead
+// plus character data per string cell). The estimate is a pure function
+// of the column's content, so file-loaded and table-built chunks of the
+// same rows account identically.
+uint64_t EstimateColumnBytes(const Column& col) {
+  const size_t n = col.size();
+  uint64_t bytes = n;  // validity vector
+  switch (col.type()) {
+    case ValueType::kInt64:
+    case ValueType::kFloat64:
+      bytes += 8ull * n;
+      break;
+    case ValueType::kString:
+      bytes += 32ull * n;  // std::string container overhead
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsNull(i)) bytes += col.StringAt(i).size();
+      }
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Chunk>> Chunk::Build(const Table& source,
+                                                  size_t row_begin,
+                                                  size_t row_count) {
+  if (row_begin + row_count > source.num_rows()) {
+    return Status::InvalidArgument(
+        StrCat("chunk range [", row_begin, ", ", row_begin + row_count,
+               ") exceeds table of ", source.num_rows(), " rows"));
+  }
+  const Schema& schema = *source.schema();
+  auto chunk = std::shared_ptr<Chunk>(new Chunk());
+  chunk->schema_ = source.schema();
+  chunk->row_begin_ = row_begin;
+  chunk->num_rows_ = row_count;
+  chunk->columns_.reserve(schema.num_fields());
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const ValueType type = schema.field(c).type;
+    if (type != ValueType::kInt64 && type != ValueType::kFloat64 &&
+        type != ValueType::kString) {
+      return Status::InvalidArgument(
+          StrCat("column '", schema.field(c).name,
+                 "' has no concrete declared type; cannot chunk"));
+    }
+    Column col(type);
+    col.Reserve(row_count);
+    for (size_t r = 0; r < row_count; ++r) {
+      SKALLA_RETURN_NOT_OK(col.Append(source.at(row_begin + r, c)));
+    }
+    chunk->columns_.push_back(std::move(col));
+  }
+  chunk->ComputeStatsAndSize();
+  return std::shared_ptr<const Chunk>(std::move(chunk));
+}
+
+std::shared_ptr<const Chunk> Chunk::FromColumns(
+    SchemaPtr schema, size_t row_begin, std::vector<Column> columns,
+    std::vector<ChunkColumnStats> stats) {
+  auto chunk = std::shared_ptr<Chunk>(new Chunk());
+  chunk->schema_ = std::move(schema);
+  chunk->row_begin_ = row_begin;
+  chunk->num_rows_ = columns.empty() ? 0 : columns[0].size();
+  chunk->columns_ = std::move(columns);
+  chunk->stats_ = std::move(stats);
+  if (chunk->stats_.size() != chunk->columns_.size()) {
+    chunk->stats_.clear();
+  }
+  chunk->ComputeStatsAndSize();
+  return std::shared_ptr<const Chunk>(std::move(chunk));
+}
+
+void Chunk::ComputeStatsAndSize() {
+  byte_size_ = 0;
+  const bool have_stats = !stats_.empty();
+  if (!have_stats) stats_.resize(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& col = columns_[c];
+    byte_size_ += EstimateColumnBytes(col);
+    if (have_stats) continue;
+    ChunkColumnStats& s = stats_[c];
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col.IsNull(r)) {
+        ++s.null_count;
+        continue;
+      }
+      double v;
+      if (col.type() == ValueType::kInt64) {
+        v = static_cast<double>(col.Int64At(r));
+      } else if (col.type() == ValueType::kFloat64) {
+        v = col.Float64At(r);
+      } else {
+        continue;
+      }
+      if (!s.has_range) {
+        s.has_range = true;
+        s.min = s.max = v;
+      } else {
+        if (v < s.min) s.min = v;
+        if (v > s.max) s.max = v;
+      }
+    }
+  }
+}
+
+const Row& Chunk::row(size_t i) const {
+  std::call_once(rows_once_, [this] {
+    rows_.reserve(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      Row row;
+      row.reserve(columns_.size());
+      for (const Column& col : columns_) {
+        row.push_back(col.GetValue(r));
+      }
+      rows_.push_back(std::move(row));
+    }
+  });
+  return rows_[i];
+}
+
+}  // namespace skalla

@@ -1,0 +1,132 @@
+#include "storage/data_provider.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace skalla {
+
+size_t DataProvider::ChunkOfRow(size_t row) const {
+  // Chunks are ordered and gap-free; binary search the row ranges.
+  size_t lo = 0, hi = num_chunks();
+  while (lo + 1 < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (chunk_row_begin(mid) <= row) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// --- MemoryDataProvider ----------------------------------------------------
+
+MemoryDataProvider::MemoryDataProvider(std::shared_ptr<const Table> table,
+                                       size_t chunk_rows)
+    : table_(std::move(table)),
+      chunk_rows_(chunk_rows == 0 ? kDefaultChunkRows : chunk_rows) {
+  const size_t rows = table_->num_rows();
+  num_chunks_ = rows == 0 ? 0 : (rows - 1) / chunk_rows_ + 1;
+  cache_.resize(num_chunks_);
+}
+
+size_t MemoryDataProvider::chunk_rows(size_t chunk) const {
+  const size_t begin = chunk * chunk_rows_;
+  const size_t end = begin + chunk_rows_;
+  const size_t rows = table_->num_rows();
+  return (end > rows ? rows : end) - begin;
+}
+
+Result<PinnedChunk> MemoryDataProvider::Pin(size_t chunk) const {
+  if (chunk >= num_chunks_) {
+    return Status::InvalidArgument(
+        StrCat("chunk ", chunk, " out of range (", num_chunks_, ")"));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_[chunk] == nullptr) {
+    SKALLA_ASSIGN_OR_RETURN(
+        cache_[chunk],
+        Chunk::Build(*table_, chunk_row_begin(chunk), chunk_rows(chunk)));
+  }
+  // Memory-backed chunks are always resident; no unpin bookkeeping.
+  return PinnedChunk(cache_[chunk], nullptr);
+}
+
+// --- ChunkFileDataProvider -------------------------------------------------
+
+Result<std::shared_ptr<ChunkFileDataProvider>> ChunkFileDataProvider::Open(
+    const std::string& path, std::shared_ptr<BufferManager> buffers) {
+  if (buffers == nullptr) {
+    return Status::InvalidArgument(
+        "ChunkFileDataProvider needs a BufferManager");
+  }
+  SKALLA_ASSIGN_OR_RETURN(std::shared_ptr<const ChunkFile> file,
+                          ChunkFile::Open(path));
+  return std::shared_ptr<ChunkFileDataProvider>(
+      new ChunkFileDataProvider(std::move(file), std::move(buffers)));
+}
+
+ChunkFileDataProvider::~ChunkFileDataProvider() {
+  buffers_->DropOwner(owner_id_);
+}
+
+Result<PinnedChunk> ChunkFileDataProvider::Pin(size_t chunk) const {
+  if (chunk >= file_->num_chunks()) {
+    return Status::InvalidArgument(
+        StrCat("chunk ", chunk, " out of range (", file_->num_chunks(),
+               ") in '", file_->path(), "'"));
+  }
+  std::shared_ptr<const ChunkFile> file = file_;
+  return buffers_->Pin(owner_id_, chunk,
+                       [file, chunk] { return file->ReadChunk(chunk); });
+}
+
+// --- ConcatDataProvider ----------------------------------------------------
+
+ConcatDataProvider::ConcatDataProvider(std::vector<DataProviderPtr> parts)
+    : parts_(std::move(parts)) {
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    const DataProvider& part = *parts_[p];
+    for (size_t c = 0; c < part.num_chunks(); ++c) {
+      chunk_map_.push_back(
+          ChunkRef{p, c, num_rows_ + part.chunk_row_begin(c)});
+    }
+    num_rows_ += part.num_rows();
+  }
+}
+
+size_t ConcatDataProvider::chunk_row_begin(size_t chunk) const {
+  return chunk_map_[chunk].row_begin;
+}
+
+size_t ConcatDataProvider::chunk_rows(size_t chunk) const {
+  const ChunkRef& ref = chunk_map_[chunk];
+  return parts_[ref.part]->chunk_rows(ref.local_chunk);
+}
+
+Result<PinnedChunk> ConcatDataProvider::Pin(size_t chunk) const {
+  if (chunk >= chunk_map_.size()) {
+    return Status::InvalidArgument(
+        StrCat("chunk ", chunk, " out of range (", chunk_map_.size(), ")"));
+  }
+  const ChunkRef& ref = chunk_map_[chunk];
+  return parts_[ref.part]->Pin(ref.local_chunk);
+}
+
+// --- Materialization -------------------------------------------------------
+
+Result<Table> MaterializeProvider(const DataProvider& provider) {
+  Table out(provider.schema());
+  out.Reserve(provider.num_rows());
+  for (size_t c = 0; c < provider.num_chunks(); ++c) {
+    SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, provider.Pin(c));
+    for (size_t r = 0; r < pin->num_rows(); ++r) {
+      out.AppendUnchecked(pin->row(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace skalla

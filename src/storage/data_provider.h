@@ -1,0 +1,157 @@
+// DataProvider: the read interface both the row and columnar kernels
+// consume a relation through — modeled on the DataMgr/BufferMgr +
+// ArrowStorage split of hdk-style engines. A provider describes its
+// relation as an ordered sequence of chunks (contiguous global row
+// ranges) and serves each chunk on demand through Pin.
+//
+// Implementations:
+//  - MemoryDataProvider wraps an in-memory Table. Its ResidentTable()
+//    shortcut lets consumers keep the zero-overhead direct path; chunked
+//    iteration is still available (chunks are built lazily and cached)
+//    so tests can force the paged code path over memory-backed data.
+//  - ChunkFileDataProvider pages chunks from a chunk file through a
+//    shared BufferManager; nothing is resident until pinned.
+//  - ConcatDataProvider concatenates providers in order — the
+//    centralized union of per-site partitions for reference evaluation,
+//    without materializing the union.
+//
+// Row-identity contract: chunk c covers global rows
+// [chunk_row_begin(c), chunk_row_begin(c) + chunk_rows(c)), chunks are
+// ordered and gap-free, and boxing chunk rows yields exactly the rows of
+// the equivalent in-memory table in the same order. Every chunked kernel
+// path relies on this to stay byte-identical to the in-memory one.
+
+#ifndef SKALLA_STORAGE_DATA_PROVIDER_H_
+#define SKALLA_STORAGE_DATA_PROVIDER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_manager.h"
+#include "storage/chunk.h"
+#include "storage/chunk_file.h"
+#include "storage/table.h"
+
+namespace skalla {
+
+class DataProvider {
+ public:
+  virtual ~DataProvider() = default;
+
+  virtual const SchemaPtr& schema() const = 0;
+  virtual size_t num_rows() const = 0;
+  virtual size_t num_chunks() const = 0;
+  virtual size_t chunk_row_begin(size_t chunk) const = 0;
+  virtual size_t chunk_rows(size_t chunk) const = 0;
+
+  /// Pins chunk `chunk` resident and returns the handle. Thread-safe.
+  virtual Result<PinnedChunk> Pin(size_t chunk) const = 0;
+
+  /// The whole relation as one resident Table when this provider is
+  /// memory-backed — the zero-overhead path consumers prefer when
+  /// non-null. Paged providers return nullptr.
+  virtual const Table* ResidentTable() const { return nullptr; }
+
+  /// The index of the chunk containing global row `row`.
+  size_t ChunkOfRow(size_t row) const;
+};
+
+using DataProviderPtr = std::shared_ptr<const DataProvider>;
+
+/// Zero-copy wrap of an in-memory table.
+class MemoryDataProvider : public DataProvider {
+ public:
+  explicit MemoryDataProvider(std::shared_ptr<const Table> table,
+                              size_t chunk_rows = kDefaultChunkRows);
+
+  const SchemaPtr& schema() const override { return table_->schema(); }
+  size_t num_rows() const override { return table_->num_rows(); }
+  size_t num_chunks() const override { return num_chunks_; }
+  size_t chunk_row_begin(size_t chunk) const override {
+    return chunk * chunk_rows_;
+  }
+  size_t chunk_rows(size_t chunk) const override;
+  Result<PinnedChunk> Pin(size_t chunk) const override;
+  const Table* ResidentTable() const override { return table_.get(); }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  size_t chunk_rows_;
+  size_t num_chunks_;
+  // Chunked views are only built when someone forces the paged path
+  // (tests); built once, cached.
+  mutable std::mutex mu_;
+  mutable std::vector<ChunkPtr> cache_;
+};
+
+/// Pages chunks of one chunk file through a shared BufferManager.
+class ChunkFileDataProvider : public DataProvider {
+ public:
+  /// Opens `path` (footer parse + CRC check happen here). All chunk
+  /// loads go through `buffers`.
+  static Result<std::shared_ptr<ChunkFileDataProvider>> Open(
+      const std::string& path, std::shared_ptr<BufferManager> buffers);
+  ~ChunkFileDataProvider() override;
+
+  const SchemaPtr& schema() const override { return file_->schema(); }
+  size_t num_rows() const override { return file_->num_rows(); }
+  size_t num_chunks() const override { return file_->num_chunks(); }
+  size_t chunk_row_begin(size_t chunk) const override {
+    return file_->entry(chunk).row_begin;
+  }
+  size_t chunk_rows(size_t chunk) const override {
+    return file_->entry(chunk).row_count;
+  }
+  Result<PinnedChunk> Pin(size_t chunk) const override;
+
+  const ChunkFile& file() const { return *file_; }
+  const std::shared_ptr<BufferManager>& buffers() const { return buffers_; }
+
+ private:
+  ChunkFileDataProvider(std::shared_ptr<const ChunkFile> file,
+                        std::shared_ptr<BufferManager> buffers)
+      : file_(std::move(file)),
+        buffers_(std::move(buffers)),
+        owner_id_(BufferManager::NextOwnerId()) {}
+
+  std::shared_ptr<const ChunkFile> file_;
+  std::shared_ptr<BufferManager> buffers_;
+  uint64_t owner_id_;
+};
+
+/// The ordered concatenation of providers (per-site partitions in site
+/// order — exactly the UnionAll order of the eager centralized catalog).
+class ConcatDataProvider : public DataProvider {
+ public:
+  explicit ConcatDataProvider(std::vector<DataProviderPtr> parts);
+
+  const SchemaPtr& schema() const override { return parts_[0]->schema(); }
+  size_t num_rows() const override { return num_rows_; }
+  size_t num_chunks() const override { return chunk_map_.size(); }
+  size_t chunk_row_begin(size_t chunk) const override;
+  size_t chunk_rows(size_t chunk) const override;
+  Result<PinnedChunk> Pin(size_t chunk) const override;
+
+ private:
+  struct ChunkRef {
+    size_t part = 0;
+    size_t local_chunk = 0;
+    size_t row_begin = 0;  // global, offset by preceding parts
+  };
+
+  std::vector<DataProviderPtr> parts_;
+  std::vector<ChunkRef> chunk_map_;
+  size_t num_rows_ = 0;
+};
+
+/// Boxes the provider's whole relation into an in-memory Table (chunk by
+/// chunk; peak residency is one chunk above the buffer budget). The
+/// materialization of last resort for consumers with no chunked path.
+Result<Table> MaterializeProvider(const DataProvider& provider);
+
+}  // namespace skalla
+
+#endif  // SKALLA_STORAGE_DATA_PROVIDER_H_

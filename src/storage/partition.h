@@ -86,6 +86,37 @@ class PartitionInfo {
   std::unordered_map<std::string, std::vector<ColumnDistribution>> columns_;
 };
 
+/// Streaming accumulator for one site x column ColumnDistribution:
+/// exactly ComputeFromPartitions' exact-set + range knowledge (default
+/// knobs), but fed values one at a time instead of scanning a resident
+/// partition — how skalla-dataset computes distribution knowledge while
+/// routing generated rows straight to chunk files.
+class DistributionBuilder {
+ public:
+  DistributionBuilder() { dist_.values.emplace(); }
+
+  void Add(const Value& v) {
+    dist_.values->Insert(v);
+    if (v.is_numeric()) {
+      double d = v.AsDouble();
+      if (!any_numeric_) {
+        dist_.min = d;
+        dist_.max = d;
+        any_numeric_ = true;
+      } else {
+        if (d < *dist_.min) dist_.min = d;
+        if (d > *dist_.max) dist_.max = d;
+      }
+    }
+  }
+
+  ColumnDistribution Finish() { return std::move(dist_); }
+
+ private:
+  ColumnDistribution dist_;
+  bool any_numeric_ = false;
+};
+
 /// Horizontally partitions `table` into `num_sites` pieces such that all
 /// rows sharing a value of `column` land on the same site (site chosen by
 /// value hash). This makes `column` a partition attribute of the result.

@@ -1,0 +1,230 @@
+// FlagSet: every binding type, both value spellings, unknown-flag
+// errors, keep_unknown compaction, ignored prefixes, and duplicate
+// registration semantics.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace skalla {
+namespace {
+
+// Builds a mutable argv from literals; keeps the backing strings alive.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "prog");
+    for (std::string& s : strings_) argv_.push_back(s.data());
+    argc_ = static_cast<int>(argv_.size());
+  }
+
+  int* argc() { return &argc_; }
+  char** argv() { return argv_.data(); }
+  std::vector<std::string> remaining() const {
+    std::vector<std::string> out;
+    for (int i = 0; i < argc_; ++i) out.push_back(argv_[i]);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> argv_;
+  int argc_ = 0;
+};
+
+TEST(FlagSetTest, ParsesEveryTypeBothSpellings) {
+  std::string s;
+  int i = 0;
+  int64_t i64 = 0;
+  size_t st = 0;
+  uint64_t u64 = 0;
+  double d = 0.0;
+  bool b = false;
+  std::string func_value;
+
+  FlagSet flags;
+  flags.String("--s", &s, "");
+  flags.Int("--i", &i, "");
+  flags.Int64("--i64", &i64, "");
+  flags.SizeT("--st", &st, "");
+  flags.Uint64("--u64", &u64, "");
+  flags.Double("--d", &d, "");
+  flags.Bool("--b", &b, "");
+  flags.Func("--f",
+             [&func_value](const std::string& v) {
+               func_value = v;
+               return Status::OK();
+             },
+             "");
+
+  Argv args({"--s", "hello", "--i=42", "--i64", "-7", "--st=9",
+             "--u64=123456789012345", "--d", "2.5", "--b", "--f=custom"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(i64, -7);
+  EXPECT_EQ(st, 9u);
+  EXPECT_EQ(u64, 123456789012345ull);
+  EXPECT_EQ(d, 2.5);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(func_value, "custom");
+  EXPECT_EQ(*args.argc(), 1);  // everything consumed
+}
+
+TEST(FlagSetTest, DefaultsSurviveWhenFlagAbsent) {
+  std::string s = "default";
+  int i = 17;
+  FlagSet flags;
+  flags.String("--s", &s, "");
+  flags.Int("--i", &i, "");
+  Argv args({"--i", "3"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(s, "default");
+  EXPECT_EQ(i, 3);
+}
+
+TEST(FlagSetTest, RejectsBadValues) {
+  int i = 0;
+  size_t st = 0;
+  uint64_t u64 = 0;
+  double d = 0.0;
+
+  FlagSet flags;
+  flags.Int("--i", &i, "");
+  flags.SizeT("--st", &st, "");
+  flags.Uint64("--u64", &u64, "");
+  flags.Double("--d", &d, "");
+
+  {
+    Argv args({"--i", "forty"});
+    Status s = flags.Parse(args.argc(), args.argv());
+    EXPECT_TRUE(s.IsInvalidArgument());
+    EXPECT_NE(s.ToString().find("--i"), std::string::npos);
+  }
+  {
+    // Trailing garbage is rejected, not truncated.
+    Argv args({"--i=12x"});
+    EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+  }
+  {
+    // Unsigned flags reject negatives.
+    Argv args({"--st=-1"});
+    EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+  }
+  {
+    Argv args({"--u64", "-5"});
+    EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+  }
+  {
+    Argv args({"--d", "fast"});
+    EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+  }
+}
+
+TEST(FlagSetTest, UnknownFlagIsAnErrorNamingIt) {
+  int i = 0;
+  FlagSet flags;
+  flags.Int("--i", &i, "");
+  Argv args({"--i", "1", "--mystery", "2"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("--mystery"), std::string::npos);
+}
+
+TEST(FlagSetTest, MissingValueIsAnError) {
+  int i = 0;
+  FlagSet flags;
+  flags.Int("--i", &i, "");
+  Argv args({"--i"});
+  Status s = flags.Parse(args.argc(), args.argv());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("needs a value"), std::string::npos);
+}
+
+TEST(FlagSetTest, BoolRejectsAttachedValue) {
+  bool b = false;
+  FlagSet flags;
+  flags.Bool("--b", &b, "");
+  Argv args({"--b=true"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(FlagSetTest, KeepUnknownCompactsForDownstreamParser) {
+  int i = 0;
+  FlagSet flags;
+  flags.Int("--i", &i, "");
+  Argv args({"--benchmark_filter=fig5", "--i", "4", "--extra"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv(), true).ok());
+  EXPECT_EQ(i, 4);
+  // Unknown arguments compacted to argv[1..], order preserved.
+  EXPECT_EQ(args.remaining(),
+            (std::vector<std::string>{"prog", "--benchmark_filter=fig5",
+                                      "--extra"}));
+}
+
+TEST(FlagSetTest, IgnoredPrefixesPassThrough) {
+  int i = 0;
+  FlagSet flags;
+  flags.Int("--i", &i, "");
+  flags.IgnorePrefix("--trace-out=");
+  Argv args({"--trace-out=/tmp/t.json", "--i=2"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(i, 2);
+  // The ignored argument is kept for its consumer (ObsSession).
+  EXPECT_EQ(args.remaining(),
+            (std::vector<std::string>{"prog", "--trace-out=/tmp/t.json"}));
+}
+
+TEST(FlagSetTest, DuplicateRegistrationFirstWins) {
+  int first = 0;
+  int second = 0;
+  FlagSet flags;
+  flags.Int("--i", &first, "");
+  flags.Int("--i", &second, "");
+  Argv args({"--i", "5"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(first, 5);
+  EXPECT_EQ(second, 0);
+}
+
+TEST(FlagSetTest, FuncErrorsSurfaceVerbatim) {
+  FlagSet flags;
+  flags.Func("--mode",
+             [](const std::string& v) -> Status {
+               if (v != "fast" && v != "safe") {
+                 return Status::InvalidArgument("--mode: fast|safe only");
+               }
+               return Status::OK();
+             },
+             "");
+  {
+    Argv args({"--mode", "safe"});
+    EXPECT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    Argv args({"--mode", "reckless"});
+    Status s = flags.Parse(args.argc(), args.argv());
+    EXPECT_TRUE(s.IsInvalidArgument());
+    EXPECT_EQ(s.message(), "--mode: fast|safe only");
+  }
+}
+
+TEST(FlagSetTest, UsageListsEveryFlag) {
+  int i = 0;
+  bool b = false;
+  FlagSet flags;
+  flags.Int("--port", &i, "listen port");
+  flags.Bool("--verbose", &b, "chatty mode");
+  const std::string usage = flags.Usage("tool");
+  EXPECT_NE(usage.find("tool"), std::string::npos);
+  EXPECT_NE(usage.find("--port VALUE"), std::string::npos);
+  EXPECT_NE(usage.find("listen port"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_EQ(usage.find("--verbose VALUE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skalla

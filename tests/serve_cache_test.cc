@@ -120,6 +120,31 @@ TEST_F(ServeCacheTest, EpochBumpInvalidates) {
   EXPECT_EQ(session.scheduler().cache().stats().entries, 1u);
 }
 
+TEST_F(ServeCacheTest, StorageDataEpochInvalidatesWithoutExplicitBump) {
+  auto session = serve::QuerySession::Open(&dw_).ValueOrDie();
+  serve::QueryResult first = Run(session);
+  EXPECT_FALSE(first.stats.from_cache);
+  const uint64_t epoch_before = session.scheduler().partition_epoch();
+
+  // Replacing the table's storage bumps the warehouse data epoch;
+  // QuerySession::Open wired it into the scheduler's partition epoch,
+  // so the stale entry stops being served with no explicit
+  // InvalidateCachedResults call.
+  std::vector<Table> parts =
+      PartitionByValue(MakeData(), "g", kSites).ValueOrDie();
+  dw_.AddPartitionedTable("d", std::move(parts), {"g", "v"}).Check();
+  EXPECT_EQ(dw_.data_epoch(), 1u);
+  EXPECT_EQ(session.scheduler().partition_epoch(), epoch_before + 1);
+
+  serve::QueryResult after = Run(session);
+  EXPECT_FALSE(after.stats.from_cache);
+  EXPECT_FALSE(after.stats.rounds.empty());
+
+  // The refill lands under the new epoch and serves again.
+  serve::QueryResult hit = Run(session);
+  EXPECT_TRUE(hit.stats.from_cache);
+}
+
 TEST_F(ServeCacheTest, PerQueryOptOutSkipsLookupAndFill) {
   auto session = serve::QuerySession::Open(&dw_).ValueOrDie();
   serve::QueryOptions no_cache;

@@ -3,10 +3,11 @@
 // answers coordinator round requests over TCP until it receives a
 // shutdown request.
 //
-//   skalla-site --data DIR --site N [--partition P] [--host 127.0.0.1]
-//               [--port 0] [--drop-request K] [--chaos-seed S]
-//               [--chaos-drop P] [--chaos-corrupt P] [--chaos-reset P]
-//               [--chaos-delay P] [--trace-out=F] [--metrics-out=F]
+//   skalla-site --data DIR --site N [--partition P] [--buffer-bytes B]
+//               [--host 127.0.0.1] [--port 0] [--drop-request K]
+//               [--chaos-seed S] [--chaos-drop P] [--chaos-corrupt P]
+//               [--chaos-reset P] [--chaos-delay P] [--trace-out=F]
+//               [--metrics-out=F]
 //
 // With --port 0 (the default) the OS picks a free port; the chosen one
 // is announced on stdout as "LISTENING port=<p>" so launchers (and the
@@ -20,6 +21,13 @@
 // flags enable seeded transport chaos (see SiteServerOptions): drop
 // responses, corrupt frame checksums, reset connections mid-frame, or
 // delay responses, each with the given probability.
+//
+// A chunked warehouse directory (skalla-dataset --chunked, or
+// DistributedWarehouse::SaveChunked) loads lazily: the site registers
+// paged providers and pages chunks through a BufferManager sized by
+// --buffer-bytes (0 = unlimited), so it can serve a partition larger
+// than memory. Version-1 directories load eagerly as before and ignore
+// --buffer-bytes.
 //
 // --trace-out=F / --metrics-out=F (obs/session.h) dump this process's
 // local trace / metrics on clean shutdown — in addition to the per-round
@@ -41,6 +49,7 @@ int main(int argc, char** argv) {
   std::string data_dir;
   int site_index = -1;
   int partition = -1;
+  skalla::StorageOptions storage;
   skalla::rpc::SiteServerOptions options;
 
   skalla::FlagSet flags;
@@ -49,6 +58,8 @@ int main(int argc, char** argv) {
   flags.Int("--partition", &partition,
             "partition to load (default: --site; a replica loads another "
             "site's)");
+  flags.Uint64("--buffer-bytes", &storage.buffer_bytes,
+               "chunk buffer budget for chunked warehouses (0 = unlimited)");
   flags.String("--host", &options.host, "listen address");
   flags.Int("--port", &options.port, "listen port (0 = OS-assigned)");
   flags.Int("--drop-request", &options.drop_request_index,
@@ -76,7 +87,7 @@ int main(int argc, char** argv) {
   if (partition < 0) partition = site_index;
 
   auto catalog = skalla::LoadSiteCatalog(
-      data_dir, static_cast<size_t>(partition));
+      data_dir, static_cast<size_t>(partition), storage);
   if (!catalog.ok()) {
     std::fprintf(stderr, "cannot load partition %d from %s: %s\n", partition,
                  data_dir.c_str(), catalog.status().ToString().c_str());
