@@ -6,6 +6,14 @@
 // Flags beyond google-benchmark's own:
 //   --eval-threads=N   EvalContext::eval_threads for the GMDJ benches
 //                      (0 = one worker per hardware thread)
+//   --engine=auto|row|columnar
+//                      EvalContext::engine for the BM_GmdjEvaluate bench
+//                      (the core::EvaluateGmdj routing path). On startup
+//                      the binary prints a `gmdj digest:` line — the
+//                      FNV-1a hash of a deterministic evaluation's
+//                      serialized bytes under the selected engine — so a
+//                      smoke job can run --engine=row and
+//                      --engine=columnar and assert identical bytes.
 //   --trace-out=PATH / --metrics-out=PATH   (bench_common.h ObsSession)
 //
 // The GMDJ benches record each evaluation into the skalla.site.eval_us
@@ -14,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -22,7 +31,9 @@
 #include "columnar/vector_eval.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "core/evaluate.h"
 #include "core/local_eval.h"
+#include "storage/catalog.h"
 #include "data/tpcr_gen.h"
 #include "dist/coordinator.h"
 #include "expr/builder.h"
@@ -31,8 +42,9 @@
 #include "relalg/operators.h"
 #include "storage/hash_index.h"
 
-// Set by main from --eval-threads= before benchmarks run.
+// Set by main from --eval-threads= / --engine= before benchmarks run.
 static size_t g_eval_threads = 1;
+static skalla::EvalEngine g_engine = skalla::EvalEngine::kAuto;
 
 namespace skalla {
 namespace {
@@ -40,6 +52,7 @@ namespace {
 EvalContext BenchContext() {
   EvalContext context;
   context.eval_threads = g_eval_threads;
+  context.engine = g_engine;
   return context;
 }
 
@@ -96,6 +109,55 @@ void BM_GmdjColumnar(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GmdjColumnar)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GmdjEvaluate(benchmark::State& state) {
+  // The redesigned routing path: core::EvaluateGmdj against a warmed
+  // catalog, honoring --engine (kAuto picks the columnar cache here).
+  Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 256);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  Catalog catalog;
+  catalog.Register("d", detail);
+  catalog.WarmColumnar().Check();
+  GmdjOp op = SimpleOp();
+  EvalContext context = BenchContext();
+  for (auto _ : state) {
+    SKALLA_OBS_ONLY(Stopwatch watch;)
+    Table out = EvaluateGmdj(base, op, catalog, context).ValueOrDie();
+    SKALLA_HISTOGRAM_RECORD("skalla.site.eval_us", watch.ElapsedMicros());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(std::string(EvalEngineName(g_engine)));
+}
+BENCHMARK(BM_GmdjEvaluate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// A deterministic evaluation under the selected engine, reduced to an
+// FNV-1a hash of the serialized result bytes. Two runs of the binary
+// with different --engine values must print identical digests — the
+// byte-identity contract, checkable from a shell.
+void PrintEngineDigest() {
+  Table detail = skalla::MakeDetail(20000, 128);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  Catalog catalog;
+  catalog.Register("d", detail);
+  catalog.WarmColumnar().Check();
+  GmdjOp op = SimpleOp();
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kSum, "v", "s"}, {AggKind::kMax, "v", "m"}},
+      And(Eq(RCol("g"), BCol("g")), Gt(RCol("v"), Lit(Value(int64_t{250}))))});
+  EvalContext context = BenchContext();
+  Table out = EvaluateGmdj(base, op, catalog, context).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  WriteTable(out, &bytes);
+  uint64_t hash = 1469598103934665603ull;
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  std::printf("gmdj digest: %016llx (engine=%s)\n",
+              static_cast<unsigned long long>(hash),
+              std::string(EvalEngineName(g_engine)).c_str());
+}
 
 void BM_ColumnTableConvert(benchmark::State& state) {
   Table detail = MakeDetail(static_cast<size_t>(state.range(0)), 256);
@@ -217,6 +279,21 @@ int main(int argc, char** argv) {
   skalla::FlagSet flags;
   flags.SizeT("--eval-threads", &g_eval_threads,
               "intra-site eval workers (0 = hardware threads)");
+  flags.Func(
+      "--engine",
+      [](const std::string& value) {
+        if (value == "auto") {
+          g_engine = skalla::EvalEngine::kAuto;
+        } else if (value == "row") {
+          g_engine = skalla::EvalEngine::kRow;
+        } else if (value == "columnar") {
+          g_engine = skalla::EvalEngine::kColumnar;
+        } else {
+          return skalla::Status::InvalidArgument("unknown --engine: " + value);
+        }
+        return skalla::Status::OK();
+      },
+      "GMDJ engine for BM_GmdjEvaluate: auto|row|columnar");
   // ObsSession already read these from the original argv; consume them
   // here so benchmark::Initialize never sees them.
   auto drop = [](const std::string&) { return skalla::Status::OK(); };
@@ -230,6 +307,7 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  skalla::PrintEngineDigest();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -115,6 +115,7 @@ class Shell {
     if (name == ".help") {
       std::printf(
           ".tables | .schema <t> | .opt all|none|+coal|+igr|+agr|+sync | "
+          ".engine auto|row|columnar | "
           ".explain on|off | .analyze on|off | .trace <path>|off | "
           ".load <csv> <name> <col> | .save <dir> | .quit\n");
     } else if (name == ".tables") {
@@ -144,6 +145,22 @@ class Shell {
         else std::printf("unknown flag %s\n", flag.c_str());
       }
       std::printf("optimizations: %s\n", options_.ToString().c_str());
+    } else if (name == ".engine" && args.size() >= 2) {
+      // Byte-identical either way (docs/KERNELS.md); EXPLAIN ANALYZE's
+      // `engines:` line reports what actually ran.
+      if (args[1] == "auto") warehouse_.set_engine(EvalEngine::kAuto);
+      else if (args[1] == "row") warehouse_.set_engine(EvalEngine::kRow);
+      else if (args[1] == "columnar")
+        warehouse_.set_engine(EvalEngine::kColumnar);
+      else {
+        std::printf("unknown engine %s (auto|row|columnar)\n",
+                    args[1].c_str());
+        return true;
+      }
+      session_.reset();  // Reopen with the new engine on the next query.
+      std::printf("engine: %s\n",
+                  std::string(EvalEngineName(warehouse_.exec_options().engine))
+                      .c_str());
     } else if (name == ".explain" && args.size() >= 2) {
       explain_ = args[1] == "on";
       std::printf("explain %s\n", explain_ ? "on" : "off");
@@ -228,7 +245,11 @@ class Shell {
                       .c_str());
     }
     if (session_ == nullptr) {
-      auto session = serve::QuerySession::Open(&warehouse_);
+      serve::SessionOptions session_options;
+      // SessionOptions::exec replaces the warehouse's own executor
+      // options, so .engine changes must be carried across explicitly.
+      session_options.exec = warehouse_.exec_options();
+      auto session = serve::QuerySession::Open(&warehouse_, session_options);
       if (!session.ok()) {
         std::printf("%s\n", session.status().ToString().c_str());
         return;

@@ -1,0 +1,431 @@
+#include "columnar/agg_kernels.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace skalla {
+
+namespace {
+
+// Slot resolution shared by the dense kernels. The Checked variant skips
+// rows the predicate selection removed.
+template <bool Checked>
+inline bool SlotOf(const uint32_t* row_group, size_t r, uint32_t* g) {
+  *g = row_group[r];
+  return !Checked || *g != kNoSlot;
+}
+
+// --- dense folds -----------------------------------------------------------
+
+template <bool Checked>
+void DenseCountStar(AggPart& p, const Column*, const uint32_t* rg, size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    ++p.counts[g];
+  }
+}
+
+template <bool Checked>
+void DenseCount(AggPart& p, const Column* in, const uint32_t* rg, size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (!in->IsNull(r)) ++p.counts[g];
+  }
+}
+
+template <bool Checked>
+void DenseSumInt(AggPart& p, const Column* in, const uint32_t* rg, size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    p.ivals[g] += in->Int64At(r);
+    p.any[g] = 1;
+  }
+}
+
+template <bool Checked>
+void DenseSumDouble(AggPart& p, const Column* in, const uint32_t* rg,
+                    size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    p.dvals[g] += in->Float64At(r);
+    p.any[g] = 1;
+  }
+}
+
+template <bool Checked, bool IsMin>
+void DenseExtremeInt(AggPart& p, const Column* in, const uint32_t* rg,
+                     size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    const int64_t v = in->Int64At(r);
+    if (!p.any[g] || (IsMin ? v < p.ivals[g] : v > p.ivals[g])) {
+      p.ivals[g] = v;
+    }
+    p.any[g] = 1;
+  }
+}
+
+template <bool Checked, bool IsMin>
+void DenseExtremeDouble(AggPart& p, const Column* in, const uint32_t* rg,
+                        size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    const double v = in->Float64At(r);
+    if (!p.any[g] || (IsMin ? v < p.dvals[g] : v > p.dvals[g])) {
+      p.dvals[g] = v;
+    }
+    p.any[g] = 1;
+  }
+}
+
+template <bool Checked, bool IsMin>
+void DenseExtremeString(AggPart& p, const Column* in, const uint32_t* rg,
+                        size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    const std::string& v = in->StringAt(r);
+    if (!p.any[g] || (IsMin ? v < p.svals[g] : v > p.svals[g])) {
+      p.svals[g] = v;
+    }
+    p.any[g] = 1;
+  }
+}
+
+template <bool Checked>
+void DenseSumSqInt(AggPart& p, const Column* in, const uint32_t* rg,
+                   size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    const double v = static_cast<double>(in->Int64At(r));
+    p.dvals[g] += v * v;
+    p.any[g] = 1;
+  }
+}
+
+template <bool Checked>
+void DenseSumSqDouble(AggPart& p, const Column* in, const uint32_t* rg,
+                      size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t g;
+    if (!SlotOf<Checked>(rg, r, &g)) continue;
+    if (in->IsNull(r)) continue;
+    const double v = in->Float64At(r);
+    p.dvals[g] += v * v;
+    p.any[g] = 1;
+  }
+}
+
+void DenseNothing(AggPart&, const Column*, const uint32_t*, size_t) {}
+
+// --- single-row folds ------------------------------------------------------
+
+void OneCountStar(AggPart& p, size_t g, const Column*, size_t) {
+  ++p.counts[g];
+}
+
+void OneCount(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (!in->IsNull(r)) ++p.counts[g];
+}
+
+void OneSumInt(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  p.ivals[g] += in->Int64At(r);
+  p.any[g] = 1;
+}
+
+void OneSumDouble(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  p.dvals[g] += in->Float64At(r);
+  p.any[g] = 1;
+}
+
+template <bool IsMin>
+void OneExtremeInt(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  const int64_t v = in->Int64At(r);
+  if (!p.any[g] || (IsMin ? v < p.ivals[g] : v > p.ivals[g])) p.ivals[g] = v;
+  p.any[g] = 1;
+}
+
+template <bool IsMin>
+void OneExtremeDouble(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  const double v = in->Float64At(r);
+  if (!p.any[g] || (IsMin ? v < p.dvals[g] : v > p.dvals[g])) p.dvals[g] = v;
+  p.any[g] = 1;
+}
+
+template <bool IsMin>
+void OneExtremeString(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  const std::string& v = in->StringAt(r);
+  if (!p.any[g] || (IsMin ? v < p.svals[g] : v > p.svals[g])) p.svals[g] = v;
+  p.any[g] = 1;
+}
+
+void OneSumSqInt(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  const double v = static_cast<double>(in->Int64At(r));
+  p.dvals[g] += v * v;
+  p.any[g] = 1;
+}
+
+void OneSumSqDouble(AggPart& p, size_t g, const Column* in, size_t r) {
+  if (in->IsNull(r)) return;
+  const double v = in->Float64At(r);
+  p.dvals[g] += v * v;
+  p.any[g] = 1;
+}
+
+void OneNothing(AggPart&, size_t, const Column*, size_t) {}
+
+// --- slot merges (Accumulator::MergeFrom semantics) ------------------------
+
+void MergeCount(AggPart& d, const AggPart& s, size_t i) {
+  d.counts[i] += s.counts[i];
+}
+
+void MergeSumInt(AggPart& d, const AggPart& s, size_t i) {
+  if (!s.any[i]) return;
+  d.ivals[i] += s.ivals[i];
+  d.any[i] = 1;
+}
+
+void MergeSumDouble(AggPart& d, const AggPart& s, size_t i) {
+  if (!s.any[i]) return;
+  d.dvals[i] += s.dvals[i];
+  d.any[i] = 1;
+}
+
+template <bool IsMin>
+void MergeExtremeInt(AggPart& d, const AggPart& s, size_t i) {
+  if (!s.any[i]) return;
+  if (!d.any[i] || (IsMin ? s.ivals[i] < d.ivals[i] : s.ivals[i] > d.ivals[i])) {
+    d.ivals[i] = s.ivals[i];
+  }
+  d.any[i] = 1;
+}
+
+template <bool IsMin>
+void MergeExtremeDouble(AggPart& d, const AggPart& s, size_t i) {
+  if (!s.any[i]) return;
+  if (!d.any[i] || (IsMin ? s.dvals[i] < d.dvals[i] : s.dvals[i] > d.dvals[i])) {
+    d.dvals[i] = s.dvals[i];
+  }
+  d.any[i] = 1;
+}
+
+template <bool IsMin>
+void MergeExtremeString(AggPart& d, const AggPart& s, size_t i) {
+  if (!s.any[i]) return;
+  if (!d.any[i] || (IsMin ? s.svals[i] < d.svals[i] : s.svals[i] > d.svals[i])) {
+    d.svals[i] = s.svals[i];
+  }
+  d.any[i] = 1;
+}
+
+void MergeNothing(AggPart&, const AggPart&, size_t) {}
+
+void SelectNothing(AggPart* part) {
+  part->fold_dense = DenseNothing;
+  part->fold_dense_checked = DenseNothing;
+  part->fold_one = OneNothing;
+  part->merge_slot = MergeNothing;
+}
+
+}  // namespace
+
+Value AggPart::Final(size_t slot) const {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value(counts[slot]);
+    case AggKind::kSum:
+      if (!any[slot]) return Value::Null();
+      return input_type == ValueType::kInt64 ? Value(ivals[slot])
+                                             : Value(dvals[slot]);
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (!any[slot]) return Value::Null();
+      switch (input_type) {
+        case ValueType::kInt64:
+          return Value(ivals[slot]);
+        case ValueType::kFloat64:
+          return Value(dvals[slot]);
+        case ValueType::kString:
+          return Value(svals[slot]);
+        default:
+          return Value::Null();
+      }
+    case AggKind::kSumSq:
+      return any[slot] ? Value(dvals[slot]) : Value::Null();
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return Value::Null();  // Never sub-aggregates.
+  }
+  return Value::Null();
+}
+
+Result<AggPart> CompileAggPart(SubAggregate spec,
+                               const Schema& detail_schema) {
+  AggPart part;
+  part.spec = std::move(spec);
+  if (!part.spec.input.empty()) {
+    SKALLA_ASSIGN_OR_RETURN(size_t idx,
+                            detail_schema.RequireIndex(part.spec.input));
+    part.input_col = static_cast<int>(idx);
+    part.input_type = detail_schema.field(idx).type;
+  }
+  const ValueType t = part.input_type;
+  switch (part.spec.kind) {
+    case AggKind::kCountStar:
+      part.fold_dense = DenseCountStar<false>;
+      part.fold_dense_checked = DenseCountStar<true>;
+      part.fold_one = OneCountStar;
+      part.merge_slot = MergeCount;
+      break;
+    case AggKind::kCount:
+      part.fold_dense = DenseCount<false>;
+      part.fold_dense_checked = DenseCount<true>;
+      part.fold_one = OneCount;
+      part.merge_slot = MergeCount;
+      break;
+    case AggKind::kSum:
+      if (t == ValueType::kInt64) {
+        part.fold_dense = DenseSumInt<false>;
+        part.fold_dense_checked = DenseSumInt<true>;
+        part.fold_one = OneSumInt;
+        part.merge_slot = MergeSumInt;
+      } else if (t == ValueType::kFloat64) {
+        part.fold_dense = DenseSumDouble<false>;
+        part.fold_dense_checked = DenseSumDouble<true>;
+        part.fold_one = OneSumDouble;
+        part.merge_slot = MergeSumDouble;
+      } else {
+        // Non-numeric input never folds (the row accumulator skips it),
+        // so SUM over such a column is NULL.
+        SelectNothing(&part);
+      }
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      const bool is_min = part.spec.kind == AggKind::kMin;
+      if (t == ValueType::kInt64) {
+        part.fold_dense =
+            is_min ? DenseExtremeInt<false, true> : DenseExtremeInt<false, false>;
+        part.fold_dense_checked =
+            is_min ? DenseExtremeInt<true, true> : DenseExtremeInt<true, false>;
+        part.fold_one = is_min ? OneExtremeInt<true> : OneExtremeInt<false>;
+        part.merge_slot =
+            is_min ? MergeExtremeInt<true> : MergeExtremeInt<false>;
+      } else if (t == ValueType::kFloat64) {
+        part.fold_dense = is_min ? DenseExtremeDouble<false, true>
+                                 : DenseExtremeDouble<false, false>;
+        part.fold_dense_checked = is_min ? DenseExtremeDouble<true, true>
+                                         : DenseExtremeDouble<true, false>;
+        part.fold_one =
+            is_min ? OneExtremeDouble<true> : OneExtremeDouble<false>;
+        part.merge_slot =
+            is_min ? MergeExtremeDouble<true> : MergeExtremeDouble<false>;
+      } else if (t == ValueType::kString) {
+        part.fold_dense = is_min ? DenseExtremeString<false, true>
+                                 : DenseExtremeString<false, false>;
+        part.fold_dense_checked = is_min ? DenseExtremeString<true, true>
+                                         : DenseExtremeString<true, false>;
+        part.fold_one =
+            is_min ? OneExtremeString<true> : OneExtremeString<false>;
+        part.merge_slot =
+            is_min ? MergeExtremeString<true> : MergeExtremeString<false>;
+      } else {
+        SelectNothing(&part);
+      }
+      break;
+    }
+    case AggKind::kSumSq:
+      if (t == ValueType::kInt64) {
+        part.fold_dense = DenseSumSqInt<false>;
+        part.fold_dense_checked = DenseSumSqInt<true>;
+        part.fold_one = OneSumSqInt;
+        part.merge_slot = MergeSumDouble;
+      } else if (t == ValueType::kFloat64) {
+        part.fold_dense = DenseSumSqDouble<false>;
+        part.fold_dense_checked = DenseSumSqDouble<true>;
+        part.fold_one = OneSumSqDouble;
+        part.merge_slot = MergeSumDouble;
+      } else {
+        SelectNothing(&part);
+      }
+      break;
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      // Decomposed before reaching here.
+      SelectNothing(&part);
+      break;
+  }
+  return part;
+}
+
+void EnsureSlots(AggPart* part, size_t n) {
+  switch (part->spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      part->counts.resize(n, 0);
+      return;
+    case AggKind::kSum:
+      part->any.resize(n, 0);
+      if (part->input_type == ValueType::kInt64) {
+        part->ivals.resize(n, 0);
+      } else if (part->input_type == ValueType::kFloat64) {
+        part->dvals.resize(n, 0.0);
+      }
+      return;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      part->any.resize(n, 0);
+      switch (part->input_type) {
+        case ValueType::kInt64:
+          part->ivals.resize(n, 0);
+          return;
+        case ValueType::kFloat64:
+          part->dvals.resize(n, 0.0);
+          return;
+        case ValueType::kString:
+          part->svals.resize(n);
+          return;
+        default:
+          return;
+      }
+    case AggKind::kSumSq:
+      part->any.resize(n, 0);
+      part->dvals.resize(n, 0.0);
+      return;
+    case AggKind::kAvg:
+    case AggKind::kVarPop:
+    case AggKind::kStdDevPop:
+      return;  // Decomposed before reaching here.
+  }
+}
+
+void MergeParts(AggPart* dst, const AggPart& src) {
+  const size_t n = src.num_slots();
+  for (size_t i = 0; i < n; ++i) dst->merge_slot(*dst, src, i);
+}
+
+}  // namespace skalla

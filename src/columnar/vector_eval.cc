@@ -2,40 +2,141 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "columnar/agg_kernels.h"
+#include "columnar/predicate_eval.h"
 #include "common/hash.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/morsels.h"
 #include "expr/analysis.h"
+#include "obs/obs.h"
 #include "types/row.h"
 
 namespace skalla {
 
-bool ColumnarEligible(const GmdjOp& op) {
-  for (const GmdjBlock& block : op.blocks) {
-    if (block.theta == nullptr) return false;
-    ConditionAnalysis analysis = AnalyzeCondition(block.theta);
-    if (analysis.residual != nullptr || analysis.equi_atoms.empty()) {
-      return false;
-    }
-  }
-  return true;
+namespace {
+
+// --- Compilation -----------------------------------------------------------
+
+// One block compiled against fixed base/detail schemas: equality-atom
+// column pairings, the compiled predicate, and the type-specialized
+// aggregate parts.
+struct CompiledBlock {
+  std::vector<size_t> base_cols;
+  std::vector<size_t> detail_cols;
+  bool has_equi = false;
+  CompiledPredicate pred;
+  std::vector<AggPart> parts;
+  std::vector<std::pair<size_t, size_t>> agg_part_ranges;
+};
+
+enum class BlockPath : uint8_t {
+  kGrouped = 0,     // equality atoms, no correlated conjuncts
+  kCandidates = 1,  // equality atoms + correlated conjuncts
+  kScan = 2,        // no equality atoms
+};
+
+BlockPath PathOf(const CompiledBlock& block) {
+  if (!block.has_equi) return BlockPath::kScan;
+  return block.pred.correlated.empty() ? BlockPath::kGrouped
+                                       : BlockPath::kCandidates;
 }
 
-namespace {
+Status CompileBlock(
+    const GmdjBlock& block, const Schema& base_schema,
+    const Schema& detail_schema,
+    const std::function<std::optional<Interval>(const std::string&)>&
+        col_range,
+    CompiledBlock* exec) {
+  if (block.theta == nullptr) {
+    return Status::InvalidArgument("GMDJ block has no condition");
+  }
+  ConjunctClasses classes = ClassifyCondition(block.theta);
+  for (const EquiAtom& atom : classes.equi_atoms) {
+    SKALLA_ASSIGN_OR_RETURN(size_t b_idx,
+                            base_schema.RequireIndex(atom.base_col));
+    SKALLA_ASSIGN_OR_RETURN(size_t d_idx,
+                            detail_schema.RequireIndex(atom.detail_col));
+    exec->base_cols.push_back(b_idx);
+    exec->detail_cols.push_back(d_idx);
+  }
+  exec->has_equi = !exec->base_cols.empty();
+  SKALLA_ASSIGN_OR_RETURN(
+      exec->pred,
+      CompilePredicate(classes, base_schema, detail_schema, col_range));
+  for (const AggSpec& spec : block.aggs) {
+    std::vector<SubAggregate> decomposed = Decompose(spec);
+    exec->agg_part_ranges.emplace_back(exec->parts.size(), decomposed.size());
+    for (SubAggregate& sub : decomposed) {
+      SKALLA_ASSIGN_OR_RETURN(AggPart part,
+                              CompileAggPart(std::move(sub), detail_schema));
+      exec->parts.push_back(std::move(part));
+    }
+  }
+  return Status::OK();
+}
+
+// Column-range knowledge for selectivity ordering, aggregated from the
+// provider's persisted chunk stats (nullopt when any chunk lacks them).
+// Heuristic only — never used for correctness.
+std::function<std::optional<Interval>(const std::string&)>
+MakeProviderColRange(const DataProvider& detail) {
+  const DataProvider* provider = &detail;
+  auto cache =
+      std::make_shared<std::map<std::string, std::optional<Interval>>>();
+  return [provider, cache](const std::string& name) -> std::optional<Interval> {
+    auto it = cache->find(name);
+    if (it != cache->end()) return it->second;
+    std::optional<Interval> out;
+    const int idx = provider->schema()->IndexOf(name);
+    if (idx >= 0) {
+      bool complete = true, any = false;
+      double lo = 0.0, hi = 0.0;
+      for (size_t ci = 0; ci < provider->num_chunks(); ++ci) {
+        const ChunkColumnStats* stats =
+            provider->chunk_column_stats(ci, static_cast<size_t>(idx));
+        if (stats == nullptr) {
+          complete = false;
+          break;
+        }
+        if (!stats->has_range) continue;  // All-null chunk: no range.
+        if (!any) {
+          lo = stats->min;
+          hi = stats->max;
+          any = true;
+        } else {
+          lo = std::min(lo, stats->min);
+          hi = std::max(hi, stats->max);
+        }
+      }
+      if (complete && any) out = Interval{lo, hi};
+    }
+    (*cache)[name] = out;
+    return out;
+  };
+}
+
+// --- Grouping (resident) ---------------------------------------------------
 
 // Dense group assignment over the detail key columns.
 struct GroupMap {
-  // group id per detail row.
+  // Group id per detail row; kNoSlot for rows the selection removed.
   std::vector<uint32_t> row_group;
   // Representative detail row per group (defines the group's key).
   std::vector<uint32_t> representatives;
   // hash -> candidate group ids.
   std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  // Selected detail rows per group, ascending (candidates path only).
+  std::vector<std::vector<uint32_t>> group_rows;
 };
 
 uint64_t DetailKeyHash(const ColumnTable& detail,
@@ -56,11 +157,18 @@ bool DetailKeysEqual(const ColumnTable& detail,
   return true;
 }
 
+// Groups the selected detail rows (sel == nullptr selects everything) in
+// first-occurrence order; unselected rows get kNoSlot.
 GroupMap BuildGroups(const ColumnTable& detail,
-                     const std::vector<size_t>& key_cols) {
+                     const std::vector<size_t>& key_cols, const uint8_t* sel,
+                     bool collect_rows) {
   GroupMap map;
   map.row_group.resize(detail.num_rows());
   for (size_t r = 0; r < detail.num_rows(); ++r) {
+    if (sel != nullptr && !sel[r]) {
+      map.row_group[r] = kNoSlot;
+      continue;
+    }
     uint64_t h = DetailKeyHash(detail, key_cols, r);
     std::vector<uint32_t>& bucket = map.buckets[h];
     int64_t group = -1;
@@ -74,165 +182,15 @@ GroupMap BuildGroups(const ColumnTable& detail,
       group = static_cast<int64_t>(map.representatives.size());
       bucket.push_back(static_cast<uint32_t>(group));
       map.representatives.push_back(static_cast<uint32_t>(r));
+      if (collect_rows) map.group_rows.emplace_back();
     }
     map.row_group[r] = static_cast<uint32_t>(group);
+    if (collect_rows) {
+      map.group_rows[static_cast<size_t>(group)].push_back(
+          static_cast<uint32_t>(r));
+    }
   }
   return map;
-}
-
-// Typed accumulation state for one sub-aggregate over all groups.
-struct PartState {
-  SubAggregate spec;
-  int input_col = -1;
-  ValueType input_type = ValueType::kNull;
-  std::vector<int64_t> counts;   // kCountStar / kCount.
-  std::vector<int64_t> isums;    // kSum over INT64, or MIN/MAX holder.
-  std::vector<double> dsums;     // kSum/MIN/MAX over FLOAT64.
-  std::vector<uint8_t> any;      // Any non-null folded in.
-
-  Value Final(size_t g) const {
-    switch (spec.kind) {
-      case AggKind::kCountStar:
-      case AggKind::kCount:
-        return Value(counts[g]);
-      case AggKind::kSum:
-      case AggKind::kMin:
-      case AggKind::kMax:
-        if (!any[g]) return Value::Null();
-        return input_type == ValueType::kInt64 ? Value(isums[g])
-                                               : Value(dsums[g]);
-      case AggKind::kSumSq:
-        return any[g] ? Value(dsums[g]) : Value::Null();
-      case AggKind::kAvg:
-      case AggKind::kVarPop:
-      case AggKind::kStdDevPop:
-        return Value::Null();  // Never sub-aggregates.
-    }
-    return Value::Null();
-  }
-};
-
-// Grows a part's group slots to `num_groups`, zero-filling new slots
-// (resize-from-empty is exactly the full assignment the one-shot path
-// used, so streamed growth folds to the same bytes).
-void EnsureGroups(PartState* part, size_t num_groups) {
-  switch (part->spec.kind) {
-    case AggKind::kCountStar:
-    case AggKind::kCount:
-      part->counts.resize(num_groups, 0);
-      return;
-    case AggKind::kSum:
-    case AggKind::kMin:
-    case AggKind::kMax:
-      part->any.resize(num_groups, 0);
-      if (part->input_type == ValueType::kInt64) {
-        part->isums.resize(num_groups, 0);
-      } else {
-        part->dsums.resize(num_groups, 0.0);
-      }
-      return;
-    case AggKind::kSumSq:
-      part->any.resize(num_groups, 0);
-      part->dsums.resize(num_groups, 0.0);
-      return;
-    case AggKind::kAvg:
-    case AggKind::kVarPop:
-    case AggKind::kStdDevPop:
-      return;  // Decomposed before reaching here.
-  }
-}
-
-// One tight pass folding `n` rows of `in` (nullptr only for COUNT(*))
-// into the part's group slots; row r belongs to group row_group[r]. The
-// caller guarantees the slots cover every group id in the range.
-void FoldColumn(PartState* part, const Column* in,
-                const uint32_t* row_group, size_t n) {
-  switch (part->spec.kind) {
-    case AggKind::kCountStar:
-      for (size_t r = 0; r < n; ++r) ++part->counts[row_group[r]];
-      return;
-    case AggKind::kCount:
-      for (size_t r = 0; r < n; ++r) {
-        if (!in->IsNull(r)) ++part->counts[row_group[r]];
-      }
-      return;
-    case AggKind::kSum:
-      if (part->input_type == ValueType::kInt64) {
-        for (size_t r = 0; r < n; ++r) {
-          if (in->IsNull(r)) continue;
-          part->isums[row_group[r]] += in->Int64At(r);
-          part->any[row_group[r]] = 1;
-        }
-      } else {
-        for (size_t r = 0; r < n; ++r) {
-          if (in->IsNull(r)) continue;
-          part->dsums[row_group[r]] += in->Float64At(r);
-          part->any[row_group[r]] = 1;
-        }
-      }
-      return;
-    case AggKind::kMin:
-    case AggKind::kMax: {
-      const bool is_min = part->spec.kind == AggKind::kMin;
-      if (part->input_type == ValueType::kInt64) {
-        for (size_t r = 0; r < n; ++r) {
-          if (in->IsNull(r)) continue;
-          uint32_t g = row_group[r];
-          int64_t v = in->Int64At(r);
-          if (!part->any[g] || (is_min ? v < part->isums[g]
-                                       : v > part->isums[g])) {
-            part->isums[g] = v;
-          }
-          part->any[g] = 1;
-        }
-      } else {
-        for (size_t r = 0; r < n; ++r) {
-          if (in->IsNull(r)) continue;
-          uint32_t g = row_group[r];
-          double v = in->Float64At(r);
-          if (!part->any[g] || (is_min ? v < part->dsums[g]
-                                       : v > part->dsums[g])) {
-            part->dsums[g] = v;
-          }
-          part->any[g] = 1;
-        }
-      }
-      return;
-    }
-    case AggKind::kSumSq:
-      if (part->input_type == ValueType::kInt64) {
-        for (size_t r = 0; r < n; ++r) {
-          if (in->IsNull(r)) continue;
-          double v = static_cast<double>(in->Int64At(r));
-          part->dsums[row_group[r]] += v * v;
-          part->any[row_group[r]] = 1;
-        }
-      } else {
-        for (size_t r = 0; r < n; ++r) {
-          if (in->IsNull(r)) continue;
-          double v = in->Float64At(r);
-          part->dsums[row_group[r]] += v * v;
-          part->any[row_group[r]] = 1;
-        }
-      }
-      return;
-    case AggKind::kAvg:
-    case AggKind::kVarPop:
-    case AggKind::kStdDevPop:
-      return;  // Decomposed before reaching here.
-  }
-}
-
-// One-shot accumulation over a fully resident column table.
-void Accumulate(PartState* part, const ColumnTable& detail,
-                const std::vector<uint32_t>& row_group,
-                size_t num_groups) {
-  EnsureGroups(part, num_groups);
-  const Column* in =
-      part->input_col >= 0
-          ? &detail.column(static_cast<size_t>(part->input_col))
-          : nullptr;
-  FoldColumn(part, in, row_group.data(), detail.num_rows());
 }
 
 // Probes a block's group map with a base row.
@@ -258,43 +216,68 @@ int64_t LookupGroup(const GroupMap& map, const ColumnTable& detail,
   return -1;
 }
 
-// The block fields shared by the resident and chunked evaluations.
-struct CompiledBlock {
-  std::vector<size_t> base_cols;
-  std::vector<size_t> detail_cols;
-  std::vector<PartState> parts;
-  std::vector<std::pair<size_t, size_t>> agg_part_ranges;
+// --- Grouping (chunked) ----------------------------------------------------
+
+// Group map over a chunk-paged relation. Unlike GroupMap it owns boxed
+// copies of its representative keys: the chunk a representative row
+// lives in may be evicted between the build and the probe.
+struct ChunkedGroups {
+  std::vector<uint32_t> row_group;  // global row -> group id / kNoSlot
+  std::vector<Row> keys;            // boxed key per group, detail_cols order
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  // Selected global detail rows per group, ascending (candidates path).
+  std::vector<std::vector<uint32_t>> group_rows;
 };
 
-Status CompileBlock(const GmdjBlock& block, const Schema& base_schema,
-                    const Schema& detail_schema, CompiledBlock* exec) {
-  ConditionAnalysis analysis = AnalyzeCondition(block.theta);
-  for (const EquiAtom& atom : analysis.equi_atoms) {
-    SKALLA_ASSIGN_OR_RETURN(size_t b_idx,
-                            base_schema.RequireIndex(atom.base_col));
-    SKALLA_ASSIGN_OR_RETURN(size_t d_idx,
-                            detail_schema.RequireIndex(atom.detail_col));
-    exec->base_cols.push_back(b_idx);
-    exec->detail_cols.push_back(d_idx);
-  }
-  for (const AggSpec& spec : block.aggs) {
-    std::vector<SubAggregate> decomposed = Decompose(spec);
-    exec->agg_part_ranges.emplace_back(exec->parts.size(),
-                                       decomposed.size());
-    for (SubAggregate& sub : decomposed) {
-      PartState part;
-      part.spec = std::move(sub);
-      if (!part.spec.input.empty()) {
-        SKALLA_ASSIGN_OR_RETURN(size_t idx,
-                                detail_schema.RequireIndex(part.spec.input));
-        part.input_col = static_cast<int>(idx);
-        part.input_type = detail_schema.field(idx).type;
+int64_t LookupGroupChunked(const ChunkedGroups& groups, const Row& base_row,
+                           const std::vector<size_t>& base_cols) {
+  uint64_t h = HashRowKey(base_row, base_cols);
+  auto it = groups.buckets.find(h);
+  if (it == groups.buckets.end()) return -1;
+  for (uint32_t g : it->second) {
+    const Row& key = groups.keys[g];
+    bool equal = true;
+    for (size_t c = 0; c < key.size(); ++c) {
+      if (!base_row[base_cols[c]].Equals(key[c])) {
+        equal = false;
+        break;
       }
-      exec->parts.push_back(std::move(part));
     }
+    if (equal) return g;
   }
-  return Status::OK();
+  return -1;
 }
+
+// Finds or creates the group of chunk-local row `r`; returns its id.
+int64_t AssignGroupChunked(ChunkedGroups* groups, const Chunk& chunk,
+                           const std::vector<size_t>& key_cols, size_t r,
+                           Row* scratch, bool collect_rows) {
+  uint64_t h = 0x5ca11aULL;  // Must match HashRowKey's seed.
+  for (size_t c : key_cols) {
+    h = HashCombine(h, chunk.column(c).HashAt(r));
+  }
+  scratch->clear();
+  for (size_t c : key_cols) scratch->push_back(chunk.column(c).GetValue(r));
+  std::vector<uint32_t>& bucket = groups->buckets[h];
+  for (uint32_t g : bucket) {
+    const Row& key = groups->keys[g];
+    bool equal = true;
+    for (size_t c = 0; c < key.size(); ++c) {
+      if (!(*scratch)[c].Equals(key[c])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return g;
+  }
+  int64_t group = static_cast<int64_t>(groups->keys.size());
+  bucket.push_back(static_cast<uint32_t>(group));
+  groups->keys.push_back(*scratch);
+  if (collect_rows) groups->group_rows.emplace_back();
+  return group;
+}
+
+// --- Shared helpers --------------------------------------------------------
 
 Result<SchemaPtr> ColumnarOutSchema(const GmdjOp& op,
                                     const Schema& base_schema,
@@ -313,37 +296,73 @@ Result<SchemaPtr> ColumnarOutSchema(const GmdjOp& op,
   return out_schema;
 }
 
-Status CheckColumnarPreconditions(const GmdjOp& op,
-                                  const EvalContext& context) {
+Status CheckColumnarPreconditions(const EvalContext& context) {
   SKALLA_RETURN_NOT_OK(ValidateEvalContext(context));
   if (context.cancellation != nullptr) {
     SKALLA_RETURN_NOT_OK(context.cancellation->Check());
   }
   if (!context.use_index) {
     return Status::InvalidArgument(
-        "EvalGmdjColumnar has no nested-loop mode (use_index = false); "
-        "oracle evaluation must use the row engine");
-  }
-  if (!ColumnarEligible(op)) {
-    return Status::InvalidArgument(
-        "operator has residual conditions; use the row evaluator");
+        "EvalGmdjColumnar has no nested-loop oracle mode (use_index = "
+        "false); core::EvaluateGmdj routes such requests to the row engine");
   }
   return Status::OK();
 }
 
+// Per-part input columns resolved against one source (the whole resident
+// table, or one pinned chunk).
+std::vector<const Column*> PartColumns(const std::vector<AggPart>& parts,
+                                       const ColumnSource& src) {
+  std::vector<const Column*> cols(parts.size(), nullptr);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].input_col >= 0) {
+      cols[i] = &src.column(static_cast<size_t>(parts[i].input_col));
+    }
+  }
+  return cols;
+}
+
+// Whether the chunk's persisted stats prove every row fails a prunable
+// detail conjunct. Never consults chunk payloads.
+bool ShouldPruneChunk(const CompiledPredicate& pred,
+                      const DataProvider& detail, size_t ci,
+                      const EvalContext& context) {
+  if (!context.chunk_pruning) return false;
+  for (const DetailConjunct& c : pred.detail) {
+    if (!c.prunable) continue;
+    const ChunkColumnStats* stats =
+        detail.chunk_column_stats(ci, static_cast<size_t>(c.col));
+    if (stats != nullptr && ChunkCannotSatisfy(c, *stats)) return true;
+  }
+  return false;
+}
+
+void RecordPrunedChunk(const EvalContext& context) {
+  if (context.profile != nullptr) {
+    context.profile->chunks_pruned.fetch_add(1, std::memory_order_relaxed);
+  }
+  SKALLA_COUNTER_ADD("skalla.storage.chunks_pruned", 1);
+}
+
+// --- Output assembly -------------------------------------------------------
+
 // Read view of one evaluated block for output assembly: its part states
-// plus a probe from base row to group id (or -1).
+// plus a probe from base row to part slot (or -1 = no matching detail
+// rows). count_probe_stats: grouped blocks count index_hits/rows_matched
+// per matching base row at assembly (probing is where their matching
+// happens); candidates/scan blocks counted per matched pair during the
+// fold, row-engine style, so assembly must not double count.
 struct EvaledBlockView {
-  const std::vector<PartState>* parts = nullptr;
+  const std::vector<AggPart>* parts = nullptr;
   const std::vector<std::pair<size_t, size_t>>* agg_part_ranges = nullptr;
-  std::function<int64_t(const Row&)> probe;
+  std::function<int64_t(size_t, const Row&)> probe;
+  bool count_probe_stats = true;
 };
 
 // Output assembly shared by the resident and chunked paths: probe each
-// block's group map per base row, finalize or emit sub-aggregates. The
-// parallel variant writes rows into pre-sized slots in base-row chunks
-// and appends in order, so output is byte-identical to the sequential
-// pass.
+// block per base row, finalize or emit sub-aggregates. The parallel
+// variant writes rows into pre-sized slots in base-row chunks and
+// appends in order, so output is byte-identical to the sequential pass.
 Result<Table> AssembleColumnar(const Table& base, const GmdjOp& op,
                                const EvalContext& context,
                                const SchemaPtr& out_schema,
@@ -368,15 +387,19 @@ Result<Table> AssembleColumnar(const Table& base, const GmdjOp& op,
     Row row = base_row;
     row.reserve(out_schema->num_fields());
     bool matched = false;
+    bool counted_match = false;
     for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
       const EvaledBlockView& exec = blocks[bi];
-      int64_t group = exec.probe(base_row);
+      int64_t group = exec.probe(b, base_row);
       if (group >= 0) {
         matched = true;
-        ++counts->hits;
+        if (exec.count_probe_stats) {
+          ++counts->hits;
+          counted_match = true;
+        }
       }
       if (context.sub_aggregates) {
-        for (const PartState& part : *exec.parts) {
+        for (const AggPart& part : *exec.parts) {
           if (group >= 0) {
             row.push_back(part.Final(static_cast<size_t>(group)));
           } else {
@@ -389,7 +412,7 @@ Result<Table> AssembleColumnar(const Table& base, const GmdjOp& op,
           std::vector<Value> cell_parts;
           cell_parts.reserve(len);
           for (size_t p = 0; p < len; ++p) {
-            const PartState& part = (*exec.parts)[start + p];
+            const AggPart& part = (*exec.parts)[start + p];
             cell_parts.push_back(group >= 0
                                      ? part.Final(static_cast<size_t>(group))
                                      : InitialPartValue(part.spec));
@@ -402,7 +425,7 @@ Result<Table> AssembleColumnar(const Table& base, const GmdjOp& op,
     if (context.compute_rng) {
       row.push_back(Value(int64_t{matched ? 1 : 0}));
     }
-    if (matched) ++counts->matched;
+    if (counted_match) ++counts->matched;
     return row;
   };
 
@@ -438,99 +461,112 @@ Result<Table> AssembleColumnar(const Table& base, const GmdjOp& op,
   return out;
 }
 
-// --- Chunked grouping ------------------------------------------------------
-
-// Group map over a chunk-paged relation. Unlike GroupMap it owns boxed
-// copies of its representative keys: the chunk a representative row
-// lives in may be evicted between the build and the probe.
-struct ChunkedGroups {
-  std::vector<uint32_t> row_group;  // global row -> group id
-  std::vector<Row> keys;            // boxed key per group, detail_cols order
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+// Per-block evaluation state shared by the path implementations.
+struct BlockExec {
+  CompiledBlock compiled;
+  GroupMap groups;        // grouped/candidates, resident
+  ChunkedGroups cgroups;  // grouped/candidates, chunked
+  // Candidates/scan: matched[b] = some detail row paired with base row b.
+  std::vector<uint8_t> matched;
 };
 
-int64_t LookupGroupChunked(const ChunkedGroups& groups, const Row& base_row,
-                           const std::vector<size_t>& base_cols) {
-  uint64_t h = HashRowKey(base_row, base_cols);
-  auto it = groups.buckets.find(h);
-  if (it == groups.buckets.end()) return -1;
-  for (uint32_t g : it->second) {
-    const Row& key = groups.keys[g];
-    bool equal = true;
-    for (size_t c = 0; c < key.size(); ++c) {
-      if (!base_row[base_cols[c]].Equals(key[c])) {
-        equal = false;
-        break;
-      }
-    }
-    if (equal) return g;
+// --- Grouped path ----------------------------------------------------------
+
+// Equality atoms only (plus detail-only / base-only conjuncts): selection
+// bitmap, dense groups over selected rows, one dense typed fold per part
+// (parallel across parts — each part's state is private and its fold
+// order is exactly the sequential one).
+void EvalGroupedBlock(const ColumnTable& detail, BlockExec* exec,
+                      const EvalContext& context, ThreadPool* pool) {
+  const CompiledPredicate& pred = exec->compiled.pred;
+  ColumnSource src(detail);
+  std::vector<uint8_t> sel;
+  const uint8_t* selp = nullptr;
+  if (pred.has_detail()) {
+    EvalDetailSelection(pred, src, &sel);
+    selp = sel.data();
   }
-  return -1;
+  exec->groups =
+      BuildGroups(detail, exec->compiled.detail_cols, selp,
+                  /*collect_rows=*/false);
+  const size_t num_groups = exec->groups.representatives.size();
+  std::vector<AggPart>& parts = exec->compiled.parts;
+  auto fold_part = [&](size_t pi) {
+    AggPart& part = parts[pi];
+    EnsureSlots(&part, num_groups);
+    const Column* in =
+        part.input_col >= 0
+            ? &detail.column(static_cast<size_t>(part.input_col))
+            : nullptr;
+    AggPart::FoldDenseFn fold =
+        selp != nullptr ? part.fold_dense_checked : part.fold_dense;
+    fold(part, in, exec->groups.row_group.data(), detail.num_rows());
+  };
+  if (pool != nullptr && parts.size() > 1) {
+    pool->ParallelFor(parts.size(), fold_part);
+  } else {
+    for (size_t pi = 0; pi < parts.size(); ++pi) fold_part(pi);
+  }
+  if (context.profile != nullptr) {
+    // Selection + group build + typed folds stream the whole detail
+    // partition once.
+    context.profile->rows_scanned.fetch_add(detail.num_rows(),
+                                            std::memory_order_relaxed);
+  }
 }
 
-struct ChunkedBlockExec {
-  CompiledBlock compiled;
-  ChunkedGroups groups;
-};
-
-// Streams the detail chunks once: group assignment and all part folds
-// happen per chunk while it is pinned. Group ids are assigned in
-// first-occurrence order over the global row order and every part slot
-// sees its updates in ascending row order — both exactly as the resident
-// BuildGroups + Accumulate pair — so the block state is byte-identical
-// to the in-memory evaluation.
-Status EvalBlockChunked(const DataProvider& detail, ChunkedBlockExec* exec,
-                        const EvalContext& context) {
+// Chunked grouped: streams the detail chunks once — per-chunk selection,
+// fused group assignment, and part folds while the chunk is pinned.
+// Chunks whose stats prove an all-false selection are skipped without
+// pinning; their rows are exactly the rows the selection would have
+// removed, so results are byte-identical with pruning on or off.
+Status EvalGroupedBlockChunked(const DataProvider& detail, BlockExec* exec,
+                               const EvalContext& context) {
   const std::vector<size_t>& key_cols = exec->compiled.detail_cols;
-  ChunkedGroups& groups = exec->groups;
+  const CompiledPredicate& pred = exec->compiled.pred;
+  ChunkedGroups& groups = exec->cgroups;
   groups.row_group.resize(detail.num_rows());
+  std::vector<AggPart>& parts = exec->compiled.parts;
   Row scratch;
+  std::vector<uint8_t> sel;
   for (size_t ci = 0; ci < detail.num_chunks(); ++ci) {
     if (context.cancellation != nullptr) {
       SKALLA_RETURN_NOT_OK(context.cancellation->Check());
     }
+    const size_t row_base = detail.chunk_row_begin(ci);
+    if (ShouldPruneChunk(pred, detail, ci, context)) {
+      RecordPrunedChunk(context);
+      std::fill_n(groups.row_group.begin() + row_base, detail.chunk_rows(ci),
+                  kNoSlot);
+      continue;
+    }
     SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, detail.Pin(ci));
     const Chunk& chunk = *pin;
-    const size_t row_base = detail.chunk_row_begin(ci);
     const size_t n = chunk.num_rows();
+    const uint8_t* selp = nullptr;
+    if (pred.has_detail()) {
+      EvalDetailSelection(pred, ColumnSource(chunk), &sel);
+      selp = sel.data();
+    }
     for (size_t r = 0; r < n; ++r) {
-      uint64_t h = 0x5ca11aULL;  // Must match HashRowKey's seed.
-      for (size_t c : key_cols) {
-        h = HashCombine(h, chunk.column(c).HashAt(r));
+      if (selp != nullptr && !selp[r]) {
+        groups.row_group[row_base + r] = kNoSlot;
+        continue;
       }
-      scratch.clear();
-      for (size_t c : key_cols) scratch.push_back(chunk.column(c).GetValue(r));
-      std::vector<uint32_t>& bucket = groups.buckets[h];
-      int64_t group = -1;
-      for (uint32_t g : bucket) {
-        const Row& key = groups.keys[g];
-        bool equal = true;
-        for (size_t c = 0; c < key.size(); ++c) {
-          if (!scratch[c].Equals(key[c])) {
-            equal = false;
-            break;
-          }
-        }
-        if (equal) {
-          group = g;
-          break;
-        }
-      }
-      if (group < 0) {
-        group = static_cast<int64_t>(groups.keys.size());
-        bucket.push_back(static_cast<uint32_t>(group));
-        groups.keys.push_back(scratch);
-      }
+      int64_t group = AssignGroupChunked(&groups, chunk, key_cols, r,
+                                         &scratch, /*collect_rows=*/false);
       groups.row_group[row_base + r] = static_cast<uint32_t>(group);
     }
     const size_t num_groups = groups.keys.size();
-    for (PartState& part : exec->compiled.parts) {
-      EnsureGroups(&part, num_groups);
+    for (AggPart& part : parts) {
+      EnsureSlots(&part, num_groups);
       const Column* in =
           part.input_col >= 0
               ? &chunk.column(static_cast<size_t>(part.input_col))
               : nullptr;
-      FoldColumn(&part, in, groups.row_group.data() + row_base, n);
+      AggPart::FoldDenseFn fold =
+          selp != nullptr ? part.fold_dense_checked : part.fold_dense;
+      fold(part, in, groups.row_group.data() + row_base, n);
     }
   }
   if (context.profile != nullptr) {
@@ -540,57 +576,503 @@ Status EvalBlockChunked(const DataProvider& detail, ChunkedBlockExec* exec,
   return Status::OK();
 }
 
+// --- Candidates path -------------------------------------------------------
+
+// Equality atoms + correlated conjuncts: per base row, probe the group
+// map for the selected same-key detail rows, filter them with the
+// hoisted correlated comparisons, and fold matches through single-row
+// kernels into per-base-row slots. Base-row morsels partition the slot
+// space, so concurrent folds never touch the same slot; per-slot fold
+// order is the ascending candidate order — exactly the row engine's
+// indexed path.
+void EvalCandidatesBlock(const Table& base, const ColumnTable& detail,
+                         BlockExec* exec, const EvalContext& context,
+                         ThreadPool* pool) {
+  const CompiledPredicate& pred = exec->compiled.pred;
+  ColumnSource src(detail);
+  std::vector<uint8_t> sel;
+  const uint8_t* selp = nullptr;
+  if (pred.has_detail()) {
+    EvalDetailSelection(pred, src, &sel);
+    selp = sel.data();
+  }
+  exec->groups = BuildGroups(detail, exec->compiled.detail_cols, selp,
+                             /*collect_rows=*/true);
+  const size_t num_base = base.num_rows();
+  std::vector<AggPart>& parts = exec->compiled.parts;
+  for (AggPart& part : parts) EnsureSlots(&part, num_base);
+  exec->matched.assign(num_base, 0);
+  std::vector<const Column*> part_cols = PartColumns(parts, src);
+  CancellationToken* cancel = context.cancellation;
+  EvalProfile* profile = context.profile;
+  RunMorsels(pool, MorselCount(num_base, context.morsel_rows), context,
+             [&](size_t m) {
+    if (cancel != nullptr && !cancel->Check().ok()) return;
+    const size_t lo = m * context.morsel_rows;
+    const size_t hi = std::min(lo + context.morsel_rows, num_base);
+    uint64_t hits = 0, scanned = 0, pairs = 0;
+    Row scratch;
+    for (size_t b = lo; b < hi; ++b) {
+      const Row& base_row = base.row(b);
+      BasePredState state = PrepareBaseRow(pred, base_row);
+      if (!state.pass) continue;
+      int64_t g = LookupGroup(exec->groups, detail, exec->compiled.detail_cols,
+                              base_row, exec->compiled.base_cols);
+      if (g < 0) continue;
+      const std::vector<uint32_t>& cand =
+          exec->groups.group_rows[static_cast<size_t>(g)];
+      hits += cand.size();
+      scanned += cand.size();
+      for (uint32_t r : cand) {
+        if (!MatchDetailRow(pred, state, base_row, src, r, &scratch)) {
+          continue;
+        }
+        exec->matched[b] = 1;
+        ++pairs;
+        for (size_t pi = 0; pi < parts.size(); ++pi) {
+          parts[pi].fold_one(parts[pi], b, part_cols[pi], r);
+        }
+      }
+    }
+    if (profile != nullptr) {
+      profile->index_hits.fetch_add(hits, std::memory_order_relaxed);
+      profile->rows_scanned.fetch_add(scanned, std::memory_order_relaxed);
+      profile->rows_matched.fetch_add(pairs, std::memory_order_relaxed);
+    }
+  });
+}
+
+// Chunked candidates, three passes: (1) stream chunks building the group
+// map + global candidate lists over selected rows (pruned chunks
+// skipped without pinning — their rows are unselected either way);
+// (2) per base row, hoist the correlated base sides and probe the map;
+// (3) chunk-outer / base-morsel-inner folding, candidate lists sliced to
+// the pinned chunk's row range — ascending global candidate order, so
+// per-slot folds match the resident path byte for byte.
+Status EvalCandidatesBlockChunked(const Table& base,
+                                  const DataProvider& detail, BlockExec* exec,
+                                  const EvalContext& context,
+                                  ThreadPool* pool) {
+  const std::vector<size_t>& key_cols = exec->compiled.detail_cols;
+  const CompiledPredicate& pred = exec->compiled.pred;
+  ChunkedGroups& groups = exec->cgroups;
+  std::vector<uint8_t> chunk_any(detail.num_chunks(), 0);
+  {
+    Row scratch;
+    std::vector<uint8_t> sel;
+    for (size_t ci = 0; ci < detail.num_chunks(); ++ci) {
+      if (context.cancellation != nullptr) {
+        SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+      }
+      if (ShouldPruneChunk(pred, detail, ci, context)) {
+        RecordPrunedChunk(context);
+        continue;
+      }
+      SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, detail.Pin(ci));
+      const Chunk& chunk = *pin;
+      const size_t row_base = detail.chunk_row_begin(ci);
+      const uint8_t* selp = nullptr;
+      if (pred.has_detail()) {
+        EvalDetailSelection(pred, ColumnSource(chunk), &sel);
+        selp = sel.data();
+      }
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        if (selp != nullptr && !selp[r]) continue;
+        int64_t g = AssignGroupChunked(&groups, chunk, key_cols, r, &scratch,
+                                       /*collect_rows=*/true);
+        groups.group_rows[static_cast<size_t>(g)].push_back(
+            static_cast<uint32_t>(row_base + r));
+        chunk_any[ci] = 1;
+      }
+    }
+  }
+
+  const size_t num_base = base.num_rows();
+  std::vector<BasePredState> states(num_base);
+  std::vector<int64_t> group_of(num_base, -1);
+  {
+    uint64_t hits = 0, scanned = 0;
+    for (size_t b = 0; b < num_base; ++b) {
+      const Row& base_row = base.row(b);
+      states[b] = PrepareBaseRow(pred, base_row);
+      if (!states[b].pass) continue;
+      int64_t g =
+          LookupGroupChunked(groups, base_row, exec->compiled.base_cols);
+      group_of[b] = g;
+      if (g >= 0) {
+        const size_t n = groups.group_rows[static_cast<size_t>(g)].size();
+        hits += n;
+        scanned += n;
+      }
+    }
+    if (context.profile != nullptr) {
+      context.profile->index_hits.fetch_add(hits, std::memory_order_relaxed);
+      context.profile->rows_scanned.fetch_add(scanned,
+                                              std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<AggPart>& parts = exec->compiled.parts;
+  for (AggPart& part : parts) EnsureSlots(&part, num_base);
+  exec->matched.assign(num_base, 0);
+  CancellationToken* cancel = context.cancellation;
+  EvalProfile* profile = context.profile;
+  for (size_t ci = 0; ci < detail.num_chunks(); ++ci) {
+    if (!chunk_any[ci]) continue;
+    if (cancel != nullptr) SKALLA_RETURN_NOT_OK(cancel->Check());
+    SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, detail.Pin(ci));
+    const Chunk& chunk = *pin;
+    const uint32_t chunk_lo =
+        static_cast<uint32_t>(detail.chunk_row_begin(ci));
+    const uint32_t chunk_hi = static_cast<uint32_t>(chunk_lo + chunk.num_rows());
+    ColumnSource src(chunk);
+    std::vector<const Column*> part_cols = PartColumns(parts, src);
+    RunMorsels(pool, MorselCount(num_base, context.morsel_rows), context,
+               [&](size_t m) {
+      if (cancel != nullptr && !cancel->Check().ok()) return;
+      const size_t lo = m * context.morsel_rows;
+      const size_t hi = std::min(lo + context.morsel_rows, num_base);
+      uint64_t pairs = 0;
+      Row scratch;
+      for (size_t b = lo; b < hi; ++b) {
+        int64_t g = group_of[b];
+        if (g < 0) continue;
+        const std::vector<uint32_t>& cand =
+            groups.group_rows[static_cast<size_t>(g)];
+        auto begin = std::lower_bound(cand.begin(), cand.end(), chunk_lo);
+        auto end = std::lower_bound(begin, cand.end(), chunk_hi);
+        const Row& base_row = base.row(b);
+        for (auto it = begin; it != end; ++it) {
+          const size_t local = *it - chunk_lo;
+          if (!MatchDetailRow(pred, states[b], base_row, src, local,
+                              &scratch)) {
+            continue;
+          }
+          exec->matched[b] = 1;
+          ++pairs;
+          for (size_t pi = 0; pi < parts.size(); ++pi) {
+            parts[pi].fold_one(parts[pi], b, part_cols[pi], local);
+          }
+        }
+      }
+      if (profile != nullptr) {
+        profile->rows_matched.fetch_add(pairs, std::memory_order_relaxed);
+      }
+    });
+  }
+  return Status::OK();
+}
+
+// --- Scan path -------------------------------------------------------------
+
+// One morsel's private part partials + matched bitmap (scan path).
+struct ScanPartial {
+  std::vector<AggPart> parts;
+  std::vector<uint8_t> matched;
+};
+
+ScanPartial MakeScanPartial(const std::vector<AggPart>& protos,
+                            size_t num_base) {
+  ScanPartial partial;
+  partial.parts = protos;
+  for (AggPart& part : partial.parts) EnsureSlots(&part, num_base);
+  partial.matched.assign(num_base, 0);
+  return partial;
+}
+
+void MergeScanPartial(const ScanPartial& partial, std::vector<AggPart>* parts,
+                      std::vector<uint8_t>* matched) {
+  for (size_t pi = 0; pi < parts->size(); ++pi) {
+    MergeParts(&(*parts)[pi], partial.parts[pi]);
+  }
+  for (size_t b = 0; b < partial.matched.size(); ++b) {
+    (*matched)[b] |= partial.matched[b];
+  }
+}
+
+// No equality atoms: the vectorized selection prefilters the detail
+// relation, then every (base row, selected detail row) pair evaluates
+// the correlated conjuncts. Morsel decomposition and partial-merge order
+// are exactly the row engine's nested-loop ones (a pure function of
+// morsel_rows), so results are byte-identical at any thread count.
+void EvalScanBlock(const Table& base, const ColumnTable& detail,
+                   BlockExec* exec, const EvalContext& context,
+                   ThreadPool* pool) {
+  const CompiledPredicate& pred = exec->compiled.pred;
+  ColumnSource src(detail);
+  std::vector<uint8_t> sel;
+  const uint8_t* selp = nullptr;
+  if (pred.has_detail()) {
+    EvalDetailSelection(pred, src, &sel);
+    selp = sel.data();
+  }
+  const size_t num_base = base.num_rows();
+  const size_t num_detail = detail.num_rows();
+  std::vector<BasePredState> states(num_base);
+  for (size_t b = 0; b < num_base; ++b) {
+    states[b] = PrepareBaseRow(pred, base.row(b));
+  }
+  std::vector<AggPart>& parts = exec->compiled.parts;
+  const std::vector<AggPart> protos = parts;  // pristine, slot-less
+  for (AggPart& part : parts) EnsureSlots(&part, num_base);
+  exec->matched.assign(num_base, 0);
+  std::vector<const Column*> part_cols = PartColumns(parts, src);
+
+  const size_t morsel_rows = context.morsel_rows;
+  const size_t morsels = MorselCount(num_detail, morsel_rows);
+  CancellationToken* cancel = context.cancellation;
+  EvalProfile* profile = context.profile;
+  auto record = [&](size_t lo, size_t hi, uint64_t pairs) {
+    if (profile == nullptr) return;
+    profile->rows_scanned.fetch_add(
+        static_cast<uint64_t>(num_base) * (hi - lo),
+        std::memory_order_relaxed);
+    profile->rows_matched.fetch_add(pairs, std::memory_order_relaxed);
+  };
+  auto fold = [&](ScanPartial* partial, size_t lo, size_t hi,
+                  uint64_t* pairs) {
+    Row scratch;
+    for (size_t b = 0; b < num_base; ++b) {
+      if (!states[b].pass) continue;
+      const Row& base_row = base.row(b);
+      for (size_t r = lo; r < hi; ++r) {
+        if (selp != nullptr && !selp[r]) continue;
+        if (!MatchDetailRow(pred, states[b], base_row, src, r, &scratch)) {
+          continue;
+        }
+        partial->matched[b] = 1;
+        ++*pairs;
+        for (size_t pi = 0; pi < partial->parts.size(); ++pi) {
+          partial->parts[pi].fold_one(partial->parts[pi], b, part_cols[pi],
+                                      r);
+        }
+      }
+    }
+  };
+
+  if (pool == nullptr || morsels <= 1) {
+    // Stream morsels in order through a scratch partial, merging each as
+    // it completes: the merge sequence is identical to the parallel
+    // path's, just without holding every partial live at once.
+    RunMorsels(nullptr, morsels, context, [&](size_t m) {
+      if (cancel != nullptr && !cancel->Check().ok()) return;
+      ScanPartial partial = MakeScanPartial(protos, num_base);
+      const size_t lo = m * morsel_rows;
+      const size_t hi = std::min((m + 1) * morsel_rows, num_detail);
+      uint64_t pairs = 0;
+      fold(&partial, lo, hi, &pairs);
+      record(lo, hi, pairs);
+      MergeScanPartial(partial, &parts, &exec->matched);
+    });
+    return;
+  }
+  std::vector<ScanPartial> partials(morsels);
+  RunMorsels(pool, morsels, context, [&](size_t m) {
+    if (cancel != nullptr && !cancel->Check().ok()) return;
+    partials[m] = MakeScanPartial(protos, num_base);
+    const size_t lo = m * morsel_rows;
+    const size_t hi = std::min((m + 1) * morsel_rows, num_detail);
+    uint64_t pairs = 0;
+    fold(&partials[m], lo, hi, &pairs);
+    record(lo, hi, pairs);
+  });
+  for (const ScanPartial& partial : partials) {
+    // A cancelled morsel leaves its partial empty; the caller surfaces
+    // the cancellation status, so skipping it here is safe.
+    if (partial.parts.size() != parts.size()) continue;
+    MergeScanPartial(partial, &parts, &exec->matched);
+  }
+}
+
+// Chunked scan: a pre-pass computes the global selection chunk by chunk
+// (pruned chunks zero-filled without pinning), then the morsel folds
+// walk the chunk segments covering their row range — detail-outer /
+// base-inner, same per-slot order — skipping segments with no selected
+// rows without pinning. Decomposition and merge order are the global
+// ones, so results match the resident scan byte for byte.
+Status EvalScanBlockChunked(const Table& base, const DataProvider& detail,
+                            BlockExec* exec, const EvalContext& context,
+                            ThreadPool* pool) {
+  const CompiledPredicate& pred = exec->compiled.pred;
+  const size_t num_base = base.num_rows();
+  const size_t num_detail = detail.num_rows();
+  std::vector<uint8_t> sel;
+  const uint8_t* selp = nullptr;
+  std::vector<uint8_t> chunk_any(detail.num_chunks(), 1);
+  if (pred.has_detail()) {
+    sel.assign(num_detail, 0);
+    std::vector<uint8_t> chunk_sel;
+    for (size_t ci = 0; ci < detail.num_chunks(); ++ci) {
+      if (context.cancellation != nullptr) {
+        SKALLA_RETURN_NOT_OK(context.cancellation->Check());
+      }
+      const size_t row_base = detail.chunk_row_begin(ci);
+      if (ShouldPruneChunk(pred, detail, ci, context)) {
+        RecordPrunedChunk(context);
+        chunk_any[ci] = 0;
+        continue;
+      }
+      SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, detail.Pin(ci));
+      const Chunk& chunk = *pin;
+      EvalDetailSelection(pred, ColumnSource(chunk), &chunk_sel);
+      uint8_t any = 0;
+      for (size_t r = 0; r < chunk_sel.size(); ++r) {
+        sel[row_base + r] = chunk_sel[r];
+        any |= chunk_sel[r];
+      }
+      chunk_any[ci] = any;
+    }
+    selp = sel.data();
+  }
+
+  std::vector<BasePredState> states(num_base);
+  for (size_t b = 0; b < num_base; ++b) {
+    states[b] = PrepareBaseRow(pred, base.row(b));
+  }
+  std::vector<AggPart>& parts = exec->compiled.parts;
+  const std::vector<AggPart> protos = parts;  // pristine, slot-less
+  for (AggPart& part : parts) EnsureSlots(&part, num_base);
+  exec->matched.assign(num_base, 0);
+
+  const size_t morsel_rows = context.morsel_rows;
+  const size_t morsels = MorselCount(num_detail, morsel_rows);
+  CancellationToken* cancel = context.cancellation;
+  EvalProfile* profile = context.profile;
+  auto record = [&](size_t lo, size_t hi, uint64_t pairs) {
+    if (profile == nullptr) return;
+    profile->rows_scanned.fetch_add(
+        static_cast<uint64_t>(num_base) * (hi - lo),
+        std::memory_order_relaxed);
+    profile->rows_matched.fetch_add(pairs, std::memory_order_relaxed);
+  };
+  auto fold = [&](ScanPartial* partial, size_t lo, size_t hi,
+                  uint64_t* pairs) -> Status {
+    Row scratch;
+    size_t r = lo;
+    while (r < hi) {
+      const size_t ci = detail.ChunkOfRow(r);
+      const size_t chunk_lo = detail.chunk_row_begin(ci);
+      const size_t seg_hi = std::min(hi, chunk_lo + detail.chunk_rows(ci));
+      if (!chunk_any[ci]) {
+        r = seg_hi;
+        continue;
+      }
+      SKALLA_ASSIGN_OR_RETURN(PinnedChunk pin, detail.Pin(ci));
+      const Chunk& chunk = *pin;
+      ColumnSource src(chunk);
+      std::vector<const Column*> part_cols =
+          PartColumns(partial->parts, src);
+      for (; r < seg_hi; ++r) {
+        if (selp != nullptr && !selp[r]) continue;
+        const size_t local = r - chunk_lo;
+        for (size_t b = 0; b < num_base; ++b) {
+          if (!states[b].pass) continue;
+          if (!MatchDetailRow(pred, states[b], base.row(b), src, local,
+                              &scratch)) {
+            continue;
+          }
+          partial->matched[b] = 1;
+          ++*pairs;
+          for (size_t pi = 0; pi < partial->parts.size(); ++pi) {
+            partial->parts[pi].fold_one(partial->parts[pi], b, part_cols[pi],
+                                        local);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  std::vector<Status> morsel_status(morsels);
+  if (pool == nullptr || morsels <= 1) {
+    RunMorsels(nullptr, morsels, context, [&](size_t m) {
+      if (cancel != nullptr && !cancel->Check().ok()) return;
+      ScanPartial partial = MakeScanPartial(protos, num_base);
+      const size_t lo = m * morsel_rows;
+      const size_t hi = std::min((m + 1) * morsel_rows, num_detail);
+      uint64_t pairs = 0;
+      morsel_status[m] = fold(&partial, lo, hi, &pairs);
+      if (!morsel_status[m].ok()) return;
+      record(lo, hi, pairs);
+      MergeScanPartial(partial, &parts, &exec->matched);
+    });
+  } else {
+    std::vector<ScanPartial> partials(morsels);
+    RunMorsels(pool, morsels, context, [&](size_t m) {
+      if (cancel != nullptr && !cancel->Check().ok()) return;
+      partials[m] = MakeScanPartial(protos, num_base);
+      const size_t lo = m * morsel_rows;
+      const size_t hi = std::min((m + 1) * morsel_rows, num_detail);
+      uint64_t pairs = 0;
+      morsel_status[m] = fold(&partials[m], lo, hi, &pairs);
+      if (!morsel_status[m].ok()) return;
+      record(lo, hi, pairs);
+    });
+    for (const Status& status : morsel_status) {
+      SKALLA_RETURN_NOT_OK(status);
+    }
+    for (const ScanPartial& partial : partials) {
+      if (partial.parts.size() != parts.size()) continue;
+      MergeScanPartial(partial, &parts, &exec->matched);
+    }
+    return Status::OK();
+  }
+  for (const Status& status : morsel_status) {
+    SKALLA_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+// The base-only gate shared by the grouped probes: a base row whose
+// base-only conjuncts fail pairs with nothing, whatever its key.
+bool BaseOnlyPass(const CompiledPredicate& pred, const Row& base_row) {
+  for (const ExprPtr& conjunct : pred.base_only) {
+    if (!conjunct->EvalBool(&base_row, nullptr)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
                                const GmdjOp& op, const EvalContext& context) {
-  SKALLA_RETURN_NOT_OK(CheckColumnarPreconditions(op, context));
+  SKALLA_RETURN_NOT_OK(CheckColumnarPreconditions(context));
   const Schema& base_schema = *base.schema();
   const Schema& detail_schema = *detail.schema();
   SKALLA_ASSIGN_OR_RETURN(
       SchemaPtr out_schema,
       ColumnarOutSchema(op, base_schema, detail_schema, context));
 
-  // Compile every block (schema resolution can fail, so it stays on the
-  // calling thread); the group build + typed folds run afterwards, one
-  // task per block — each block's state is private, and within a block
-  // the fold order is exactly the sequential one.
-  struct BlockExec {
-    CompiledBlock compiled;
-    GroupMap groups;
-  };
   std::vector<BlockExec> blocks(op.blocks.size());
   for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
     SKALLA_RETURN_NOT_OK(CompileBlock(op.blocks[bi], base_schema,
-                                      detail_schema, &blocks[bi].compiled));
+                                      detail_schema, /*col_range=*/{},
+                                      &blocks[bi].compiled));
   }
 
   const size_t threads = ResolveEvalThreads(context.eval_threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
-  auto eval_block = [&](size_t bi) {
+  // Blocks evaluate in order; parallelism lives inside each block (part
+  // folds, base-row morsels, detail-row morsels), where it cannot
+  // perturb any fold or merge order.
+  for (BlockExec& exec : blocks) {
     if (context.cancellation != nullptr &&
         !context.cancellation->Check().ok()) {
-      return;
+      break;
     }
-    BlockExec& exec = blocks[bi];
-    exec.groups = BuildGroups(detail, exec.compiled.detail_cols);
-    const size_t num_groups = exec.groups.representatives.size();
-    for (PartState& part : exec.compiled.parts) {
-      Accumulate(&part, detail, exec.groups.row_group, num_groups);
+    switch (PathOf(exec.compiled)) {
+      case BlockPath::kGrouped:
+        EvalGroupedBlock(detail, &exec, context, pool.get());
+        break;
+      case BlockPath::kCandidates:
+        EvalCandidatesBlock(base, detail, &exec, context, pool.get());
+        break;
+      case BlockPath::kScan:
+        EvalScanBlock(base, detail, &exec, context, pool.get());
+        break;
     }
-    if (context.profile != nullptr) {
-      // Each block's group build + typed folds stream the whole detail
-      // partition once.
-      context.profile->rows_scanned.fetch_add(detail.num_rows(),
-                                              std::memory_order_relaxed);
-    }
-  };
-  if (pool != nullptr && blocks.size() > 1) {
-    pool->ParallelFor(blocks.size(), eval_block);
-  } else {
-    for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
   }
 
   // Cancelled blocks left their state empty — surface the cancellation
@@ -604,61 +1086,91 @@ Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
     BlockExec& exec = blocks[bi];
     views[bi].parts = &exec.compiled.parts;
     views[bi].agg_part_ranges = &exec.compiled.agg_part_ranges;
-    views[bi].probe = [&exec, &detail](const Row& base_row) {
-      return LookupGroup(exec.groups, detail, exec.compiled.detail_cols,
-                         base_row, exec.compiled.base_cols);
-    };
+    if (PathOf(exec.compiled) == BlockPath::kGrouped) {
+      views[bi].probe = [&exec, &detail](size_t, const Row& base_row) {
+        if (!BaseOnlyPass(exec.compiled.pred, base_row)) {
+          return int64_t{-1};
+        }
+        return LookupGroup(exec.groups, detail, exec.compiled.detail_cols,
+                           base_row, exec.compiled.base_cols);
+      };
+      views[bi].count_probe_stats = true;
+    } else {
+      views[bi].probe = [&exec](size_t b, const Row&) {
+        return exec.matched[b] ? static_cast<int64_t>(b) : int64_t{-1};
+      };
+      views[bi].count_probe_stats = false;
+    }
   }
   return AssembleColumnar(base, op, context, out_schema, views, pool.get());
 }
 
 Result<Table> EvalGmdjColumnar(const Table& base, const DataProvider& detail,
                                const GmdjOp& op, const EvalContext& context) {
-  SKALLA_RETURN_NOT_OK(CheckColumnarPreconditions(op, context));
+  SKALLA_RETURN_NOT_OK(CheckColumnarPreconditions(context));
   const Schema& base_schema = *base.schema();
   const Schema& detail_schema = *detail.schema();
   SKALLA_ASSIGN_OR_RETURN(
       SchemaPtr out_schema,
       ColumnarOutSchema(op, base_schema, detail_schema, context));
 
-  std::vector<ChunkedBlockExec> blocks(op.blocks.size());
+  std::function<std::optional<Interval>(const std::string&)> col_range =
+      MakeProviderColRange(detail);
+  std::vector<BlockExec> blocks(op.blocks.size());
   for (size_t bi = 0; bi < op.blocks.size(); ++bi) {
     SKALLA_RETURN_NOT_OK(CompileBlock(op.blocks[bi], base_schema,
-                                      detail_schema, &blocks[bi].compiled));
+                                      detail_schema, col_range,
+                                      &blocks[bi].compiled));
   }
 
   const size_t threads = ResolveEvalThreads(context.eval_threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
-  // Blocks still evaluate concurrently (private state, private chunk
-  // pins — the BufferManager deduplicates concurrent loads); each
-  // block's Pin failures surface as its status.
-  std::vector<Status> block_status(blocks.size());
-  auto eval_block = [&](size_t bi) {
-    block_status[bi] = EvalBlockChunked(detail, &blocks[bi], context);
-  };
-  if (pool != nullptr && blocks.size() > 1) {
-    pool->ParallelFor(blocks.size(), eval_block);
-  } else {
-    for (size_t bi = 0; bi < blocks.size(); ++bi) eval_block(bi);
+  for (BlockExec& exec : blocks) {
+    if (context.cancellation != nullptr &&
+        !context.cancellation->Check().ok()) {
+      break;
+    }
+    switch (PathOf(exec.compiled)) {
+      case BlockPath::kGrouped:
+        SKALLA_RETURN_NOT_OK(EvalGroupedBlockChunked(detail, &exec, context));
+        break;
+      case BlockPath::kCandidates:
+        SKALLA_RETURN_NOT_OK(EvalCandidatesBlockChunked(base, detail, &exec,
+                                                        context, pool.get()));
+        break;
+      case BlockPath::kScan:
+        SKALLA_RETURN_NOT_OK(
+            EvalScanBlockChunked(base, detail, &exec, context, pool.get()));
+        break;
+    }
   }
-  for (const Status& status : block_status) {
-    SKALLA_RETURN_NOT_OK(status);
-  }
+
   if (context.cancellation != nullptr) {
     SKALLA_RETURN_NOT_OK(context.cancellation->Check());
   }
 
   std::vector<EvaledBlockView> views(blocks.size());
   for (size_t bi = 0; bi < blocks.size(); ++bi) {
-    ChunkedBlockExec& exec = blocks[bi];
+    BlockExec& exec = blocks[bi];
     views[bi].parts = &exec.compiled.parts;
     views[bi].agg_part_ranges = &exec.compiled.agg_part_ranges;
-    views[bi].probe = [&exec](const Row& base_row) {
-      return LookupGroupChunked(exec.groups, base_row,
-                                exec.compiled.base_cols);
-    };
+    if (PathOf(exec.compiled) == BlockPath::kGrouped) {
+      views[bi].probe = [&exec](size_t, const Row& base_row) {
+        if (!BaseOnlyPass(exec.compiled.pred, base_row)) {
+          return int64_t{-1};
+        }
+        return LookupGroupChunked(exec.cgroups, base_row,
+                                  exec.compiled.base_cols);
+      };
+      views[bi].count_probe_stats = true;
+    } else {
+      views[bi].probe = [&exec](size_t b, const Row&) {
+        return exec.matched[b] ? static_cast<int64_t>(b) : int64_t{-1};
+      };
+      views[bi].count_probe_stats = false;
+    }
   }
   return AssembleColumnar(base, op, context, out_schema, views, pool.get());
 }

@@ -1,24 +1,40 @@
-// Vectorized GMDJ evaluation over columnar detail relations.
+// Vectorized GMDJ evaluation over columnar detail relations, for
+// arbitrary conditions θ.
 //
-// Eligible conditions are pure conjunctions of equality atoms
-// b.X = r.Y (the dominant case in OLAP groupings). Evaluation is then
-// grouped aggregation: one pass assigns every detail row a dense group
-// id via typed hashing, one tight typed loop per sub-aggregate folds the
-// measure arrays, and one pass over the base rows probes the group map.
-// Semantics are identical to EvalGmdj (verified by tests); the win is
-// unboxed accumulation.
+// Each block's θ splits into equality atoms, detail-only conjuncts,
+// correlated conjuncts, and base-only conjuncts (predicate_eval.h), and
+// the block takes one of three paths:
 //
-// Parallelism: under EvalContext::eval_threads, blocks evaluate
-// concurrently (each block's group map and part arrays are private) and
-// output rows assemble in base-row chunks of morsel_rows into
-// pre-allocated slots. Neither affects any fold order, so results are
+//  - Grouped (equality atoms, no correlated conjuncts): detail-only
+//    conjuncts become a selection bitmap, surviving rows get dense group
+//    ids via typed hashing, and one type-specialized kernel per
+//    sub-aggregate (agg_kernels.h) folds the measure arrays; base rows
+//    probe the group map at assembly.
+//  - Candidates (equality atoms + correlated conjuncts): the group map
+//    additionally records each group's selected detail rows; per base
+//    row, the hoisted correlated comparisons filter the candidate list
+//    and matching rows fold through single-row kernels.
+//  - Scan (no equality atoms): the vectorized selection prefilters the
+//    detail relation, then base × selected-detail pairs evaluate the
+//    correlated conjuncts under the row engine's exact morsel
+//    decomposition and partial-merge order.
+//
+// Semantics are byte-identical to EvalGmdj for every θ (differential
+// tests sweep randomized shapes): the typed kernels replicate
+// Accumulator fold/merge math over well-typed tables, and the predicate
+// split replicates per-conjunct NULL-as-false evaluation.
+//
+// Parallelism: within a block, part folds, base-row morsels, and
+// detail-row morsels run under EvalContext::eval_threads; decomposition
+// and merge order depend only on morsel_rows, so results are
 // byte-identical at every thread count.
 //
 // Chunk-paged detail relations evaluate through the DataProvider
-// overload: chunks stream in global row order (pin → fold → unpin), the
-// group map owns boxed copies of its representative keys so evicted
-// chunks never need re-reading, and every fold order matches the
-// in-memory kernel — results stay byte-identical at any buffer budget.
+// overload: chunks stream in global row order (pin → select → fold →
+// unpin), group maps own boxed representative keys, and chunks whose
+// persisted min/max stats prove no row can pass a comparison conjunct
+// are skipped without pinning (EvalContext::chunk_pruning) — results
+// stay byte-identical at any buffer budget, pruning on or off.
 
 #ifndef SKALLA_COLUMNAR_VECTOR_EVAL_H_
 #define SKALLA_COLUMNAR_VECTOR_EVAL_H_
@@ -31,21 +47,18 @@
 
 namespace skalla {
 
-/// Whether every block of `op` is a pure conjunction of equality atoms
-/// (no residual predicate) — the precondition for EvalGmdjColumnar.
-bool ColumnarEligible(const GmdjOp& op);
-
-/// Vectorized counterpart of EvalGmdj. Sub-aggregate and __rng semantics
-/// match the row engine exactly. Fails with InvalidArgument when the
-/// operator is not eligible, or when `context.use_index` is false — this
-/// kernel has no nested-loop mode, so oracle requests must go to the row
-/// engine (Site::EvalGmdjRound routes them there).
+/// Vectorized counterpart of EvalGmdj; handles every condition shape.
+/// Sub-aggregate and __rng semantics match the row engine exactly.
+/// Fails with InvalidArgument when `context.use_index` is false — this
+/// kernel has no nested-loop oracle mode; core::EvaluateGmdj routes
+/// such requests to the row engine transparently.
 Result<Table> EvalGmdjColumnar(const Table& base, const ColumnTable& detail,
                                const GmdjOp& op,
                                const EvalContext& context = {});
 
 /// Same, streaming a chunk-paged detail relation: the chunks' typed
-/// pages fold directly, one chunk resident at a time.
+/// pages fold directly, one chunk resident at a time, with stat-based
+/// chunk pruning.
 Result<Table> EvalGmdjColumnar(const Table& base, const DataProvider& detail,
                                const GmdjOp& op,
                                const EvalContext& context = {});

@@ -4,6 +4,27 @@
 
 namespace skalla {
 
+std::string_view EvalEngineName(EvalEngine engine) {
+  switch (engine) {
+    case EvalEngine::kAuto:
+      return "auto";
+    case EvalEngine::kRow:
+      return "row";
+    case EvalEngine::kColumnar:
+      return "columnar";
+  }
+  return "auto";
+}
+
+std::string_view EngineSetToString(uint8_t engines_used) {
+  const bool row = (engines_used & kEngineBitRow) != 0;
+  const bool columnar = (engines_used & kEngineBitColumnar) != 0;
+  if (row && columnar) return "row+columnar";
+  if (row) return "row";
+  if (columnar) return "columnar";
+  return "-";
+}
+
 size_t ResolveEvalThreads(size_t configured) {
   if (configured != 0) return configured;
   size_t hw = std::thread::hardware_concurrency();

@@ -22,11 +22,35 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "common/status.h"
 #include "core/cancellation.h"
 
 namespace skalla {
+
+/// Which GMDJ kernel evaluates an operator. kAuto (the default) picks
+/// the columnar engine whenever the detail relation is available in
+/// columnar form (a warmed catalog cache or a chunk-paged provider) and
+/// the evaluation is not an explicit nested-loop oracle request
+/// (use_index = false, which always takes the row engine — even under
+/// an explicit kColumnar request, as a transparent fallback).
+enum class EvalEngine : uint8_t {
+  kAuto = 0,
+  kRow = 1,
+  kColumnar = 2,
+};
+
+/// "auto", "row", or "columnar".
+std::string_view EvalEngineName(EvalEngine engine);
+
+/// Bits of EvalProfile::engines_used / ExecStats::engines_used.
+inline constexpr uint8_t kEngineBitRow = 1;
+inline constexpr uint8_t kEngineBitColumnar = 2;
+
+/// Renders an engines_used bit set: "row", "columnar", "row+columnar",
+/// or "-" when no evaluation ran.
+std::string_view EngineSetToString(uint8_t engines_used);
 
 /// Data-plane counters one GMDJ evaluation accumulates, independent of
 /// the SKALLA_TRACING build gate (the counts feed RoundProfile on the
@@ -42,6 +66,10 @@ struct EvalProfile {
   /// Summed per-morsel wall time; with eval_threads > 1 morsels overlap,
   /// so this exceeds the evaluation's wall time.
   std::atomic<uint64_t> morsel_us{0};
+  /// Chunks skipped by min/max stat pruning (columnar chunked path).
+  std::atomic<uint64_t> chunks_pruned{0};
+  /// kEngineBit* OR of the kernels that actually evaluated operators.
+  std::atomic<uint8_t> engines_used{0};
 };
 
 /// Default number of rows per morsel (nested-loop detail morsels and
@@ -59,11 +87,25 @@ struct EvalContext {
   /// reduction).
   bool compute_rng = false;
 
+  /// Which kernel evaluates the operator. kAuto prefers the columnar
+  /// engine whenever columnar data is available; kRow forces the
+  /// interpreted row kernel (the differential-test oracle);
+  /// kColumnar forces the vectorized kernel (building chunked columnar
+  /// views on demand for resident relations). use_index = false always
+  /// falls back to the row engine regardless of this field.
+  EvalEngine engine = EvalEngine::kAuto;
+
   /// Use hash-index acceleration of equality atoms. Disable to get the
   /// naive nested-loop oracle. The columnar kernel has no nested-loop
   /// mode and rejects use_index = false with InvalidArgument;
-  /// Site::EvalGmdjRound routes oracle requests to the row engine.
+  /// core::EvaluateGmdj routes oracle requests to the row engine.
   bool use_index = true;
+
+  /// Skip chunks whose persisted min/max ChunkColumnStats prove that a
+  /// detail-side comparison atom of θ can match no row (columnar chunked
+  /// path only). Results are byte-identical with pruning on or off; the
+  /// flag exists so tests can pin that.
+  bool chunk_pruning = true;
 
   /// Worker threads for intra-site morsel-parallel evaluation.
   /// 1 (default) = evaluate on the calling thread; 0 = one worker per

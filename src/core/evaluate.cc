@@ -1,0 +1,42 @@
+#include "core/evaluate.h"
+
+#include <atomic>
+
+#include "columnar/vector_eval.h"
+#include "common/macros.h"
+#include "core/local_eval.h"
+
+namespace skalla {
+
+namespace {
+
+void RecordEngine(const EvalContext& context, uint8_t bit) {
+  if (context.profile != nullptr) {
+    context.profile->engines_used.fetch_or(bit, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+Result<Table> EvaluateGmdj(const Table& base, const GmdjOp& op,
+                           const Catalog& catalog,
+                           const EvalContext& context) {
+  SKALLA_ASSIGN_OR_RETURN(const DataProvider* provider,
+                          catalog.GetProvider(op.detail_table));
+  const ColumnTable* cached = catalog.Columnar(op.detail_table);
+  const bool want_columnar =
+      context.engine == EvalEngine::kColumnar ||
+      (context.engine == EvalEngine::kAuto &&
+       (cached != nullptr || provider->ResidentTable() == nullptr));
+  if (want_columnar && context.use_index) {
+    RecordEngine(context, kEngineBitColumnar);
+    if (cached != nullptr) {
+      return EvalGmdjColumnar(base, *cached, op, context);
+    }
+    return EvalGmdjColumnar(base, *provider, op, context);
+  }
+  RecordEngine(context, kEngineBitRow);
+  return EvalGmdj(base, *provider, op, context);
+}
+
+}  // namespace skalla

@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/morsels.h"
 #include "expr/analysis.h"
 #include "obs/obs.h"
 #include "storage/hash_index.h"
@@ -76,43 +77,6 @@ struct BlockPlan {
 };
 
 using IndexKey = std::pair<std::vector<size_t>, std::vector<size_t>>;
-
-size_t MorselCount(size_t rows, size_t morsel_rows) {
-  return rows == 0 ? 0 : (rows - 1) / morsel_rows + 1;
-}
-
-// Dispatches fn(0), ..., fn(n - 1) over `pool` when given (inline
-// otherwise), wrapping each invocation in a site.eval.morsel span and
-// timing it into skalla.site.morsel_us and context.profile->morsel_us.
-// Worker threads re-establish the context's query-id scope and parent
-// their morsel spans under context.trace_parent_span, so off-thread
-// morsels stay attributable to the round that scheduled them.
-void RunMorsels(ThreadPool* pool, size_t n, const EvalContext& context,
-                const std::function<void(size_t)>& fn) {
-  EvalProfile* profile = context.profile;
-  auto timed = [&fn, &context, profile](size_t m) {
-    obs::QueryIdScope query_scope(context.query_id != 0
-                                      ? context.query_id
-                                      : obs::CurrentQueryId());
-    SKALLA_TRACE_SPAN_UNDER(morsel_span, "site.eval.morsel", "site",
-                            context.trace_parent_span);
-    SKALLA_SPAN_ATTR(morsel_span, "morsel", static_cast<uint64_t>(m));
-    Stopwatch morsel_watch;
-    fn(m);
-    if (profile != nullptr) {
-      profile->morsel_us.fetch_add(
-          static_cast<uint64_t>(morsel_watch.ElapsedMicros()),
-          std::memory_order_relaxed);
-    }
-    SKALLA_HISTOGRAM_RECORD("skalla.site.morsel_us",
-                            morsel_watch.ElapsedMicros());
-  };
-  if (pool != nullptr && n > 1) {
-    pool->ParallelFor(n, timed);
-  } else {
-    for (size_t m = 0; m < n; ++m) timed(m);
-  }
-}
 
 // Indexed path: base rows split into ranges of morsel_rows. Each range
 // owns its slice of the accumulator matrix (and of `matched`) outright,

@@ -400,6 +400,8 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
               eval_profile.rows_matched.load(std::memory_order_relaxed);
           profiles[i].index_hits =
               eval_profile.index_hits.load(std::memory_order_relaxed);
+          profiles[i].engines_used =
+              eval_profile.engines_used.load(std::memory_order_relaxed);
           if (result.ok()) profiles[i].result_rows = result->num_rows();
         }
         if (!status.ok()) {
@@ -476,7 +478,10 @@ Result<Table> AsyncExecutor::Execute(const DistributedPlan& plan,
                             stage.op.OutputSchema(*upstream, detail_schema));
     for (size_t i = 0; i < n; ++i) rs.sites_lost += lost[i];
     for (size_t i = 0; i < n; ++i) {
-      if (active[i] && !lost[i]) rs.site_profiles.push_back(profiles[i]);
+      if (active[i] && !lost[i]) {
+        st.engines_used |= profiles[i].engines_used;
+        rs.site_profiles.push_back(profiles[i]);
+      }
     }
     rs.wall_time = wall.ElapsedSeconds();
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);

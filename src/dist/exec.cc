@@ -410,6 +410,8 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
           eval_profile.rows_matched.load(std::memory_order_relaxed);
       profiles[i].index_hits =
           eval_profile.index_hits.load(std::memory_order_relaxed);
+      profiles[i].engines_used =
+          eval_profile.engines_used.load(std::memory_order_relaxed);
       profiles[i].result_rows = result.num_rows();
       outputs[i] = std::move(result);
       return Status::OK();
@@ -452,7 +454,10 @@ Result<Table> DistributedExecutor::Execute(const DistributedPlan& plan,
     SKALLA_ASSIGN_OR_RETURN(
         upstream, stage.op.OutputSchema(*upstream, detail_schema));
     for (size_t i = 0; i < n; ++i) {
-      if (active[i] && !lost[i]) rs.site_profiles.push_back(profiles[i]);
+      if (active[i] && !lost[i]) {
+        st.engines_used |= profiles[i].engines_used;
+        rs.site_profiles.push_back(profiles[i]);
+      }
     }
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_sites", rs.bytes_to_sites);
     SKALLA_COUNTER_ADD("skalla.round.bytes_to_coord", rs.bytes_to_coord);

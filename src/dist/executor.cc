@@ -21,6 +21,7 @@ EvalContext StageEvalContext(const ExecutorOptions& options,
   context.sub_aggregates = stage.sync_after;
   context.compute_rng = stage.sync_after && stage.indep_group_reduction;
   context.eval_threads = options.eval_threads;
+  context.engine = options.engine;
   return context;
 }
 

@@ -61,10 +61,19 @@ struct ExecutorOptions {
   /// message per fragment.
   size_t ship_block_rows = 0;
 
-  /// Sites keep columnar copies of their partitions and use the
-  /// vectorized evaluator for pure-equality GMDJ rounds. Honored by all
-  /// engines (caches are built lazily on first Execute).
+  /// Sites keep columnar copies of their partitions
+  /// (Catalog::WarmColumnar), so engine-kAuto GMDJ rounds on resident
+  /// partitions take the vectorized kernels over prebuilt typed arrays.
+  /// Honored by all engines (caches are built lazily on first Execute).
   bool columnar_sites = false;
+
+  /// Which GMDJ kernel sites evaluate rounds with
+  /// (EvalContext::engine; routing policy in core/evaluate.h). Results
+  /// are byte-identical across engines — this is a performance knob and
+  /// a differential-testing lever. Honored by all engines through
+  /// StageEvalContext; the rpc executor ships it to site servers in
+  /// BeginPlan. ExecStats::engines_used reports what actually ran.
+  EvalEngine engine = EvalEngine::kAuto;
 
   /// Fault hook (dist/fault.h); nullptr = no injection. Not owned.
   /// Honored by all engines.
@@ -179,6 +188,10 @@ struct SiteRoundProfile {
   uint64_t result_rows = 0;
   uint64_t duplicate_rounds = 0;  // idempotency-cache replays (rpc only)
   uint64_t chaos_faults = 0;      // transport faults injected (rpc only)
+  /// Engines the site's evaluation actually used this round
+  /// (kEngineBitRow / kEngineBitColumnar OR-ed; see
+  /// EvalProfile::engines_used).
+  uint8_t engines_used = 0;
 };
 
 /// Cost accounting for one round (base stage or one GMDJ stage).
@@ -260,6 +273,12 @@ struct ExecStats {
   /// (serve/cache.h): no evaluation rounds ran, `rounds` is empty, and
   /// no bytes moved. Only the serving layer ever sets this.
   bool from_cache = false;
+
+  /// GMDJ kernels used across every site round of the execution
+  /// (kEngineBitRow / kEngineBitColumnar OR-ed over all
+  /// SiteRoundProfile::engines_used; EngineSetToString renders it).
+  /// EXPLAIN ANALYZE prints it per site and in the totals line.
+  uint8_t engines_used = 0;
 
   /// Rpc engine only: framed wire bytes this execution moved, measured
   /// from after Connect (the once-per-session hello/catalog traffic is

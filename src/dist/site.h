@@ -8,13 +8,11 @@
 #include <memory>
 #include <mutex>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 
-#include "columnar/column_table.h"
 #include "common/result.h"
+#include "core/evaluate.h"
 #include "core/gmdj.h"
-#include "core/local_eval.h"
 #include "relalg/operators.h"
 #include "storage/catalog.h"
 
@@ -46,37 +44,38 @@ class Site {
   }
 
   /// Evaluates one GMDJ operator against the local detail partition for
-  /// the given base-values relation. Routes to the vectorized evaluator
-  /// when the columnar cache holds the detail table and the operator is
-  /// eligible — except when `context.use_index` is false (the columnar
-  /// kernel has no nested-loop mode, so oracle requests always take the
-  /// row engine). Chunk-backed partitions evaluate through the paged
-  /// kernels (columnar when eligible, chunked row engine otherwise),
-  /// byte-identical to resident evaluation.
+  /// the given base-values relation. All engine routing lives in
+  /// core::EvaluateGmdj — `context.engine` picks the kernel, and the
+  /// engine actually used lands in `context.profile->engines_used`.
   Result<Table> EvalGmdjRound(const Table& base, const GmdjOp& op,
-                              const EvalContext& context) const;
+                              const EvalContext& context) const {
+    std::lock_guard<std::mutex> round(*round_mu_);
+    return EvaluateGmdj(base, op, catalog_, context);
+  }
 
   /// The local partition of the named detail relation.
   Result<const Table*> DetailTable(std::string_view name) const {
     return catalog_.Get(name);
   }
 
-  /// Precomputes columnar copies of every local relation. Subsequent
-  /// GMDJ rounds whose conditions are pure equality conjunctions run on
-  /// the vectorized evaluator instead of the row engine. Idempotent and
-  /// safe to race: the first caller through the round lock builds, the
-  /// rest see the built cache and return.
-  Status EnableColumnarCache();
+  /// Precomputes columnar copies of every resident local relation
+  /// (Catalog::WarmColumnar), so engine-kAuto GMDJ rounds take the
+  /// vectorized kernels. Idempotent and safe to race: the first caller
+  /// through the round lock builds, the rest see the built cache and
+  /// return.
+  Status EnableColumnarCache() {
+    std::lock_guard<std::mutex> round(*round_mu_);
+    return catalog_.WarmColumnar();
+  }
 
   bool columnar_enabled() const {
     std::lock_guard<std::mutex> round(*round_mu_);
-    return !columnar_.empty();
+    return catalog_.columnar_warm();
   }
 
  private:
   int id_;
   Catalog catalog_;
-  std::unordered_map<std::string, ColumnTable> columnar_;
   // Per-site round queue; shared_ptr so copies of this Site queue on the
   // same lock.
   std::shared_ptr<std::mutex> round_mu_;

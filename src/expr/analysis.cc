@@ -82,6 +82,117 @@ ConditionAnalysis AnalyzeCondition(const ExprPtr& theta) {
   return out;
 }
 
+ConjunctClasses ClassifyCondition(const ExprPtr& theta) {
+  ConjunctClasses out;
+  for (ExprPtr& conjunct : SplitConjuncts(theta)) {
+    if (std::optional<EquiAtom> atom = MatchEquiAtom(conjunct)) {
+      out.equi_atoms.push_back(std::move(*atom));
+      continue;
+    }
+    const bool base = conjunct->ReferencesSide(ExprSide::kBase);
+    const bool detail = conjunct->ReferencesSide(ExprSide::kDetail);
+    if (base && detail) {
+      out.correlated.push_back(std::move(conjunct));
+    } else if (detail) {
+      out.detail_only.push_back(std::move(conjunct));
+    } else {
+      out.base_only.push_back(std::move(conjunct));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double ClampSelectivity(double s) {
+  return std::max(0.001, std::min(1.0, s));
+}
+
+// Fraction of a known interval [lo, hi] a comparison against constant
+// `v` accepts, assuming a uniform spread.
+double IntervalFraction(BinaryOp op, const Interval& range, double v) {
+  const double width = range.hi - range.lo;
+  if (width <= 0.0) {
+    // Single-point column: the comparison is decided outright.
+    bool accepts = false;
+    switch (op) {
+      case BinaryOp::kEq: accepts = range.lo == v; break;
+      case BinaryOp::kNe: accepts = range.lo != v; break;
+      case BinaryOp::kLt: accepts = range.lo < v; break;
+      case BinaryOp::kLe: accepts = range.lo <= v; break;
+      case BinaryOp::kGt: accepts = range.lo > v; break;
+      case BinaryOp::kGe: accepts = range.lo >= v; break;
+      default: return 0.5;
+    }
+    return accepts ? 1.0 : 0.001;
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      return 1.0 / (width + 1.0);
+    case BinaryOp::kNe:
+      return 1.0 - 1.0 / (width + 1.0);
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      return (v - range.lo) / width;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return (range.hi - v) / width;
+    default:
+      return 0.5;
+  }
+}
+
+}  // namespace
+
+double EstimateConjunctSelectivity(
+    const ExprPtr& conjunct,
+    const std::function<std::optional<Interval>(const std::string&)>&
+        col_range) {
+  if (conjunct->kind() == ExprKind::kUnary &&
+      conjunct->unary_op() == UnaryOp::kNot) {
+    return ClampSelectivity(
+        1.0 - EstimateConjunctSelectivity(conjunct->operand(), col_range));
+  }
+  if (conjunct->kind() == ExprKind::kInSet) {
+    const size_t n = conjunct->value_set() ? conjunct->value_set()->size() : 0;
+    if (col_range != nullptr && n > 0) {
+      if (auto range = EvalDetailInterval(conjunct->operand(), col_range)) {
+        const double width = range->hi - range->lo;
+        return ClampSelectivity(static_cast<double>(n) / (width + 1.0));
+      }
+    }
+    return ClampSelectivity(std::min(0.5, 0.05 * static_cast<double>(n)));
+  }
+  if (conjunct->kind() == ExprKind::kBinary &&
+      IsComparisonOp(conjunct->binary_op())) {
+    // Normalize to `detail_expr op constant` when one side is a numeric
+    // literal; interval arithmetic then bounds the accepted fraction.
+    BinaryOp op = conjunct->binary_op();
+    ExprPtr expr_side = conjunct->left();
+    ExprPtr lit_side = conjunct->right();
+    if (expr_side->kind() == ExprKind::kLiteral) {
+      std::swap(expr_side, lit_side);
+      op = FlipComparison(op);
+    }
+    if (col_range != nullptr && lit_side->kind() == ExprKind::kLiteral &&
+        lit_side->literal().is_numeric()) {
+      if (auto range = EvalDetailInterval(expr_side, col_range)) {
+        return ClampSelectivity(
+            IntervalFraction(op, *range, lit_side->literal().AsDouble()));
+      }
+    }
+    switch (op) {
+      case BinaryOp::kEq:
+        return 0.1;
+      case BinaryOp::kNe:
+        return 0.9;
+      default:
+        return 0.33;
+    }
+  }
+  return 0.5;
+}
+
 std::optional<SeparableComparison> ExtractSeparableComparison(
     const ExprPtr& conjunct) {
   if (conjunct->kind() != ExprKind::kBinary ||

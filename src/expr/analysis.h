@@ -43,6 +43,28 @@ struct ConditionAnalysis {
 /// `b.X = r.Y` (either operand order) and everything else.
 ConditionAnalysis AnalyzeCondition(const ExprPtr& theta);
 
+/// Full classification of θ's top-level conjuncts by the relation sides
+/// they reference — the plan-stage shape the columnar kernel evaluates
+/// from. Equality atoms `b.X = r.Y` are pulled out as in
+/// AnalyzeCondition; every remaining conjunct lands in exactly one class
+/// and each class preserves the conjuncts' textual order. Since AND
+/// evaluates each conjunct independently (NULL-as-false per operand),
+/// the conjunction of the classes is semantically identical to θ, which
+/// is what lets the kernel evaluate detail-only conjuncts as a batched
+/// selection before grouping.
+struct ConjunctClasses {
+  std::vector<EquiAtom> equi_atoms;
+  /// Conjuncts referencing only detail columns — vectorizable per row.
+  std::vector<ExprPtr> detail_only;
+  /// Conjuncts referencing both sides — evaluated per candidate pair.
+  std::vector<ExprPtr> correlated;
+  /// Conjuncts referencing only base columns (or no columns at all) —
+  /// evaluated once per base row.
+  std::vector<ExprPtr> base_only;
+};
+
+ConjunctClasses ClassifyCondition(const ExprPtr& theta);
+
 /// A comparison conjunct whose operands cleanly separate by side,
 /// normalized to `base_expr op detail_expr`.
 struct SeparableComparison {
@@ -69,6 +91,17 @@ struct Interval {
 /// +, -, *, unary minus, literals, and division by a non-zero constant.
 std::optional<Interval> EvalDetailInterval(
     const ExprPtr& expr,
+    const std::function<std::optional<Interval>(const std::string&)>&
+        col_range);
+
+/// Cheap selectivity estimate for one conjunct: the expected fraction of
+/// detail rows it accepts, in (0, 1]. `col_range` supplies per-column
+/// [min, max] knowledge when available — aggregated chunk stats, or a
+/// PartitionInfo ColumnDistribution's range — and may always return
+/// nullopt. Heuristic and deterministic; used only to order conjunct
+/// evaluation (most selective first), never for correctness.
+double EstimateConjunctSelectivity(
+    const ExprPtr& conjunct,
     const std::function<std::optional<Interval>(const std::string&)>&
         col_range);
 

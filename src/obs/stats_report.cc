@@ -1,6 +1,7 @@
 #include "obs/stats_report.h"
 
 #include "common/string_util.h"
+#include "core/eval_context.h"
 #include "obs/obs.h"
 
 namespace skalla {
@@ -58,6 +59,9 @@ std::string SiteProfileLines(const RoundStats& r) {
         static_cast<unsigned long long>(p.bytes_in),
         static_cast<unsigned long long>(p.bytes_out),
         static_cast<unsigned long long>(p.result_rows));
+    if (p.engines_used != 0) {
+      out += StrCat("  [", EngineSetToString(p.engines_used), "]");
+    }
     if (p.duplicate_rounds > 0 || p.chaos_faults > 0) {
       out += StrPrintf("  (dup %llu, chaos %llu)",
                        static_cast<unsigned long long>(p.duplicate_rounds),
@@ -117,6 +121,9 @@ std::string FormatStatsReport(const DistributedPlan& plan,
       static_cast<unsigned long long>(stats.TotalBytesToCoord()),
       static_cast<unsigned long long>(stats.TotalTuplesTransferred()),
       stats.NumSyncRounds(), stats.ResponseTime() * 1e3);
+  if (stats.engines_used != 0) {
+    out += StrCat("  engines: ", EngineSetToString(stats.engines_used), "\n");
+  }
   if (stats.total_wire_bytes > 0) {
     out += StrPrintf(
         "  wire: %llu bytes on the wire (%llu outside rounds)\n",

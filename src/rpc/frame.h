@@ -51,7 +51,11 @@ inline constexpr uint32_t kFrameMagic = 0x414C4B53;  // "SKLA"
 //      state keyed by the TraceContext query id (so rounds of different
 //      queries interleave over one connection), and the new kEndPlan
 //      message (varint query id) releases a query's site-side state
-inline constexpr uint8_t kProtocolVersion = 5;
+//   6  engine plumbing: BeginPlan payload grows an engine varint after
+//      query_id (the EvalContext::engine every GMDJ round of the plan
+//      runs under), and RoundProfile grows an engines_used varint after
+//      chaos_faults (which kernels the round's evaluation actually used)
+inline constexpr uint8_t kProtocolVersion = 6;
 inline constexpr size_t kFrameHeaderSize = 16;
 
 /// What a frame carries. Requests flow coordinator -> site; responses

@@ -141,6 +141,7 @@ void WriteRoundProfile(std::vector<uint8_t>* out,
   PutVarint(out, profile.result_rows);
   PutVarint(out, profile.duplicate_rounds);
   PutVarint(out, profile.chaos_faults);
+  PutVarint(out, profile.engines_used);
   PutVarint(out, profile.spans.size());
   for (const obs::TraceEvent& e : profile.spans) {
     WriteString(out, e.name);
@@ -173,6 +174,11 @@ Result<RoundProfile> ReadRoundProfile(ByteReader* reader) {
   SKALLA_ASSIGN_OR_RETURN(profile.result_rows, reader->ReadVarint());
   SKALLA_ASSIGN_OR_RETURN(profile.duplicate_rounds, reader->ReadVarint());
   SKALLA_ASSIGN_OR_RETURN(profile.chaos_faults, reader->ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(uint64_t engines_raw, reader->ReadVarint());
+  if (engines_raw > 0xFF) {
+    return Status::IOError("implausible engine set");
+  }
+  profile.engines_used = static_cast<uint8_t>(engines_raw);
   SKALLA_ASSIGN_OR_RETURN(uint64_t num_spans, reader->ReadVarint());
   if (num_spans > kMaxProfileSpans) {
     return Status::IOError("implausible profile span count");
@@ -349,6 +355,7 @@ std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req) {
   out.push_back(req.columnar_sites ? 1 : 0);
   PutVarint(&out, req.eval_threads);
   PutVarint(&out, req.query_id);
+  PutVarint(&out, static_cast<uint64_t>(req.engine));
   return out;
 }
 
@@ -361,6 +368,11 @@ Result<BeginPlanRequest> DecodeBeginPlanRequest(
   SKALLA_ASSIGN_OR_RETURN(uint64_t eval_threads, reader.ReadVarint());
   req.eval_threads = static_cast<size_t>(eval_threads);
   SKALLA_ASSIGN_OR_RETURN(req.query_id, reader.ReadVarint());
+  SKALLA_ASSIGN_OR_RETURN(uint64_t engine_raw, reader.ReadVarint());
+  if (engine_raw > static_cast<uint64_t>(EvalEngine::kColumnar)) {
+    return Status::IOError("unknown eval engine");
+  }
+  req.engine = static_cast<EvalEngine>(engine_raw);
   return req;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/eval_context.h"
 #include "core/gmdj.h"
 #include "expr/expr.h"
 #include "net/serde.h"
@@ -86,6 +87,10 @@ struct RoundProfile {
   uint64_t result_rows = 0;
   uint64_t duplicate_rounds = 0;  // Idempotency-cache replays so far.
   uint64_t chaos_faults = 0;      // Transport faults injected so far.
+  /// GMDJ kernels the round's evaluation used (kEngineBitRow /
+  /// kEngineBitColumnar OR-ed; zero for base rounds). Wire format:
+  /// varint after chaos_faults (protocol version 6).
+  uint8_t engines_used = 0;
   /// The site's span subtree for this round (empty when untraced). Span
   /// ids/parents are site-local; the coordinator remaps them on import.
   std::vector<obs::TraceEvent> spans;
@@ -109,6 +114,10 @@ struct BeginPlanRequest {
   /// TraceContext::query_id. 0 = the single anonymous pre-v5 slot. Wire
   /// format: varint after eval_threads (protocol version 5).
   uint64_t query_id = 0;
+  /// EvalContext::engine for every GMDJ round of the plan (routing
+  /// policy in core/evaluate.h). Wire format: varint after query_id
+  /// (protocol version 6).
+  EvalEngine engine = EvalEngine::kAuto;
 };
 std::vector<uint8_t> EncodeBeginPlanRequest(const BeginPlanRequest& req);
 Result<BeginPlanRequest> DecodeBeginPlanRequest(

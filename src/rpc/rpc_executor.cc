@@ -30,6 +30,7 @@ SiteRoundProfile ToSiteProfile(const RoundProfile& p) {
   sp.result_rows = p.result_rows;
   sp.duplicate_rounds = p.duplicate_rounds;
   sp.chaos_faults = p.chaos_faults;
+  sp.engines_used = p.engines_used;
   return sp;
 }
 
@@ -269,6 +270,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
   begin.eval_threads =
       run.eval_threads > 0 ? run.eval_threads : options_.eval_threads;
   begin.query_id = query_id;
+  begin.engine = options_.engine;
   const std::vector<uint8_t> begin_payload = EncodeBeginPlanRequest(begin);
   // An endpoint unreachable at BeginPlan is marked down instead of
   // failing the query — when the retry -> failover -> degrade ladder
@@ -546,6 +548,7 @@ Result<Table> RpcExecutor::Execute(const DistributedPlan& plan,
       rs.site_time_max = std::max(rs.site_time_max, elapsed);
       rs.site_time_sum += elapsed;
       if (call.has_profile) {
+        st.engines_used |= call.profile.engines_used;
         rs.site_profiles.push_back(ToSiteProfile(call.profile));
       }
       if (stage.sync_after) {

@@ -162,6 +162,7 @@ Result<Frame> SiteService::HandleBeginPlan(const Frame& request) {
   plan.last_round.clear();
   plan.last_input = Table();
   plan.eval_threads = req.eval_threads;
+  plan.engine = req.engine;
   if (req.columnar_sites && !site_.columnar_enabled()) {
     Status built = site_.EnableColumnarCache();
     if (!built.ok()) return ErrorFrame(built);
@@ -279,6 +280,7 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   eval_context.sub_aggregates = req.sub_aggregates;
   eval_context.compute_rng = req.apply_rng;
   eval_context.eval_threads = plan.eval_threads;
+  eval_context.engine = plan.engine;
   eval_context.cancellation = req.deadline_ms > 0 ? &cancel : nullptr;
   eval_context.query_id = req.trace.query_id;
   eval_context.profile = &eval_profile;
@@ -313,6 +315,8 @@ Result<Frame> SiteService::HandleGmdjRound(const Frame& request) {
   profile.rows_matched =
       eval_profile.rows_matched.load(std::memory_order_relaxed);
   profile.index_hits = eval_profile.index_hits.load(std::memory_order_relaxed);
+  profile.engines_used =
+      eval_profile.engines_used.load(std::memory_order_relaxed);
   profile.duplicate_rounds = duplicate_rounds_;
   profile.chaos_faults =
       chaos_faults_ == nullptr

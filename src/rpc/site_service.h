@@ -74,6 +74,10 @@ class SiteService {
     // (EvalContext::eval_threads; never changes results).
     size_t eval_threads = 1;
 
+    // GMDJ kernel selection for this plan, set by BeginPlan
+    // (EvalContext::engine; never changes results).
+    EvalEngine engine = EvalEngine::kAuto;
+
     // Carried-over base structure between unsynchronized rounds.
     Table local_base;
 

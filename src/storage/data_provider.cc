@@ -54,6 +54,17 @@ Result<PinnedChunk> MemoryDataProvider::Pin(size_t chunk) const {
   return PinnedChunk(cache_[chunk], nullptr);
 }
 
+const ChunkColumnStats* MemoryDataProvider::chunk_column_stats(
+    size_t chunk, size_t col) const {
+  if (chunk >= num_chunks_) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Stats exist only for chunk views someone already built; building one
+  // here would defeat the point of stat-only pruning.
+  const ChunkPtr& cached = cache_[chunk];
+  if (cached == nullptr || col >= cached->num_columns()) return nullptr;
+  return &cached->column_stats(col);
+}
+
 // --- ChunkFileDataProvider -------------------------------------------------
 
 Result<std::shared_ptr<ChunkFileDataProvider>> ChunkFileDataProvider::Open(
@@ -81,6 +92,14 @@ Result<PinnedChunk> ChunkFileDataProvider::Pin(size_t chunk) const {
   std::shared_ptr<const ChunkFile> file = file_;
   return buffers_->Pin(owner_id_, chunk,
                        [file, chunk] { return file->ReadChunk(chunk); });
+}
+
+const ChunkColumnStats* ChunkFileDataProvider::chunk_column_stats(
+    size_t chunk, size_t col) const {
+  if (chunk >= file_->num_chunks()) return nullptr;
+  const ChunkEntry& entry = file_->entry(chunk);
+  if (col >= entry.column_stats.size()) return nullptr;
+  return &entry.column_stats[col];
 }
 
 // --- ConcatDataProvider ----------------------------------------------------
@@ -113,6 +132,13 @@ Result<PinnedChunk> ConcatDataProvider::Pin(size_t chunk) const {
   }
   const ChunkRef& ref = chunk_map_[chunk];
   return parts_[ref.part]->Pin(ref.local_chunk);
+}
+
+const ChunkColumnStats* ConcatDataProvider::chunk_column_stats(
+    size_t chunk, size_t col) const {
+  if (chunk >= chunk_map_.size()) return nullptr;
+  const ChunkRef& ref = chunk_map_[chunk];
+  return parts_[ref.part]->chunk_column_stats(ref.local_chunk, col);
 }
 
 // --- Materialization -------------------------------------------------------

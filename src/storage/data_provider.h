@@ -55,6 +55,18 @@ class DataProvider {
   /// non-null. Paged providers return nullptr.
   virtual const Table* ResidentTable() const { return nullptr; }
 
+  /// Per-column min/max stats of chunk `chunk` when they are available
+  /// WITHOUT pinning the chunk (chunk files persist them in the footer
+  /// directory; memory providers only know them once a chunk view has
+  /// been built). nullptr means unknown — consumers must treat the chunk
+  /// as unprunable. Thread-safe.
+  virtual const ChunkColumnStats* chunk_column_stats(size_t chunk,
+                                                     size_t col) const {
+    (void)chunk;
+    (void)col;
+    return nullptr;
+  }
+
   /// The index of the chunk containing global row `row`.
   size_t ChunkOfRow(size_t row) const;
 };
@@ -76,6 +88,8 @@ class MemoryDataProvider : public DataProvider {
   size_t chunk_rows(size_t chunk) const override;
   Result<PinnedChunk> Pin(size_t chunk) const override;
   const Table* ResidentTable() const override { return table_.get(); }
+  const ChunkColumnStats* chunk_column_stats(size_t chunk,
+                                             size_t col) const override;
 
  private:
   std::shared_ptr<const Table> table_;
@@ -106,6 +120,8 @@ class ChunkFileDataProvider : public DataProvider {
     return file_->entry(chunk).row_count;
   }
   Result<PinnedChunk> Pin(size_t chunk) const override;
+  const ChunkColumnStats* chunk_column_stats(size_t chunk,
+                                             size_t col) const override;
 
   const ChunkFile& file() const { return *file_; }
   const std::shared_ptr<BufferManager>& buffers() const { return buffers_; }
@@ -134,6 +150,8 @@ class ConcatDataProvider : public DataProvider {
   size_t chunk_row_begin(size_t chunk) const override;
   size_t chunk_rows(size_t chunk) const override;
   Result<PinnedChunk> Pin(size_t chunk) const override;
+  const ChunkColumnStats* chunk_column_stats(size_t chunk,
+                                             size_t col) const override;
 
  private:
   struct ChunkRef {

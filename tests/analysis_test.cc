@@ -148,5 +148,34 @@ TEST(AnalysisTest, DisjunctionDoesNotEntail) {
   EXPECT_FALSE(EntailsEquality(theta, "b", "b"));
 }
 
+TEST(AnalysisTest, SelectivityUsesColumnRangeHints) {
+  auto range = [](const std::string& column) -> std::optional<Interval> {
+    if (column == "v") return Interval{0.0, 100.0};
+    return std::nullopt;
+  };
+  // v > 75 accepts the top quarter of [0, 100]; without range knowledge
+  // the comparison falls back to the fixed heuristic.
+  ExprPtr top_quarter = Gt(RCol("v"), Lit(Value(75.0)));
+  EXPECT_NEAR(EstimateConjunctSelectivity(top_quarter, range), 0.25, 0.01);
+  EXPECT_NEAR(EstimateConjunctSelectivity(top_quarter, nullptr), 0.33, 0.01);
+  // Ordering: the narrow conjunct must sort before the wide one.
+  ExprPtr wide = Le(RCol("v"), Lit(Value(90.0)));
+  EXPECT_LT(EstimateConjunctSelectivity(top_quarter, range),
+            EstimateConjunctSelectivity(wide, range));
+  // Unknown columns degrade to the heuristic, never throw.
+  EXPECT_NEAR(
+      EstimateConjunctSelectivity(Gt(RCol("unknown"), Lit(Value(1))), range),
+      0.33, 0.01);
+}
+
+TEST(AnalysisTest, NotInvertsSelectivity) {
+  auto range = [](const std::string&) -> std::optional<Interval> {
+    return Interval{0.0, 10.0};
+  };
+  ExprPtr low = Lt(RCol("v"), Lit(Value(1.0)));
+  const double sel = EstimateConjunctSelectivity(low, range);
+  EXPECT_NEAR(EstimateConjunctSelectivity(Not(low), range), 1.0 - sel, 1e-9);
+}
+
 }  // namespace
 }  // namespace skalla

@@ -1,15 +1,19 @@
 // Columnar storage and the vectorized GMDJ evaluator: exact agreement
-// with the row engine across random data (including NULLs), eligibility
-// detection, and end-to-end distributed execution on columnar sites.
+// with the row engine across random data (including NULLs), engine
+// routing through core::EvaluateGmdj, and end-to-end distributed
+// execution on columnar sites.
 
 #include <gtest/gtest.h>
 
 #include "columnar/column_table.h"
+#include "columnar/predicate_eval.h"
 #include "columnar/vector_eval.h"
 #include "common/random.h"
+#include "core/evaluate.h"
 #include "dist/warehouse.h"
 #include "expr/builder.h"
 #include "relalg/operators.h"
+#include "storage/catalog.h"
 
 namespace skalla {
 namespace {
@@ -87,24 +91,53 @@ TEST(ColumnTableTest, RejectsUntypedColumns) {
   EXPECT_TRUE(ColumnTable::FromRowTable(t).status().IsTypeError());
 }
 
-TEST(VectorEvalTest, Eligibility) {
-  GmdjOp pure;
-  pure.detail_table = "d";
-  pure.blocks.push_back(GmdjBlock{
-      {{AggKind::kCountStar, "", "c"}},
-      And(Eq(RCol("g"), BCol("g")), Eq(RCol("h"), BCol("h")))});
-  EXPECT_TRUE(ColumnarEligible(pure));
+TEST(EvaluateGmdjTest, EngineRoutingAndReporting) {
+  Table detail = MakeDetail(5, 120);
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  Catalog catalog;
+  catalog.Register("d", detail);
+  GmdjOp op;
+  op.detail_table = "d";
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c"}, {AggKind::kSum, "iv", "s"}},
+      And(Eq(RCol("g"), BCol("g")), Gt(RCol("iv"), Lit(Value(0))))});
 
-  GmdjOp residual = pure;
-  residual.blocks[0].theta =
-      And(Eq(RCol("g"), BCol("g")), Gt(RCol("iv"), Lit(Value(0))));
-  EXPECT_FALSE(ColumnarEligible(residual));
+  auto run = [&](EvalEngine engine, bool use_index) {
+    EvalProfile profile;
+    EvalContext context;
+    context.engine = engine;
+    context.use_index = use_index;
+    context.profile = &profile;
+    Table out = EvaluateGmdj(base, op, catalog, context).ValueOrDie();
+    return std::make_pair(std::move(out),
+                          profile.engines_used.load());
+  };
 
-  GmdjOp no_equi;
-  no_equi.detail_table = "d";
-  no_equi.blocks.push_back(
-      GmdjBlock{{{AggKind::kCountStar, "", "c"}}, Lit(Value(1))});
-  EXPECT_FALSE(ColumnarEligible(no_equi));
+  // kRow always runs the row engine; kColumnar the columnar kernels
+  // (over the provider's lazily built chunks — no warm needed).
+  auto [row_out, row_bits] = run(EvalEngine::kRow, true);
+  EXPECT_EQ(row_bits, kEngineBitRow);
+  auto [col_out, col_bits] = run(EvalEngine::kColumnar, true);
+  EXPECT_EQ(col_bits, kEngineBitColumnar);
+  EXPECT_TRUE(col_out.SameRows(row_out));
+
+  // kAuto on a resident, unwarmed relation keeps the row engine...
+  EXPECT_EQ(run(EvalEngine::kAuto, true).second, kEngineBitRow);
+  // ...and flips to columnar once the catalog is warmed.
+  catalog.WarmColumnar().Check();
+  ASSERT_NE(catalog.Columnar("d"), nullptr);
+  auto [auto_out, auto_bits] = run(EvalEngine::kAuto, true);
+  EXPECT_EQ(auto_bits, kEngineBitColumnar);
+  EXPECT_TRUE(auto_out.SameRows(row_out));
+
+  // use_index = false has no columnar mode: every engine setting falls
+  // back to the row engine transparently and reports it.
+  for (EvalEngine engine :
+       {EvalEngine::kAuto, EvalEngine::kRow, EvalEngine::kColumnar}) {
+    auto [oracle_out, oracle_bits] = run(engine, false);
+    EXPECT_EQ(oracle_bits, kEngineBitRow);
+    EXPECT_TRUE(oracle_out.SameRows(row_out));
+  }
 }
 
 class VectorEvalEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
@@ -153,7 +186,7 @@ TEST_P(VectorEvalEquivalenceTest, MatchesRowEngine) {
 INSTANTIATE_TEST_SUITE_P(Seeds, VectorEvalEquivalenceTest,
                          ::testing::Range(uint64_t{0}, uint64_t{10}));
 
-TEST(VectorEvalTest, RejectsIneligibleOperators) {
+TEST(VectorEvalTest, ResidualConjunctsMatchRowEngine) {
   Table detail = MakeDetail(3, 50);
   ColumnTable columnar = ColumnTable::FromRowTable(detail).ValueOrDie();
   Table base = Project(detail, {"g"}, true).ValueOrDie();
@@ -162,9 +195,62 @@ TEST(VectorEvalTest, RejectsIneligibleOperators) {
   op.blocks.push_back(GmdjBlock{
       {{AggKind::kCountStar, "", "c"}},
       And(Eq(RCol("g"), BCol("g")), Gt(RCol("iv"), Lit(Value(0))))});
-  auto result = EvalGmdjColumnar(base, columnar, op);
+  Table row_result = EvalGmdj(base, detail, op).ValueOrDie();
+  Table col_result = EvalGmdjColumnar(base, columnar, op).ValueOrDie();
+  EXPECT_TRUE(col_result.SameRows(row_result));
+}
+
+TEST(VectorEvalTest, RejectsNestedLoopOracleMode) {
+  // The direct kernel entry point has no nested-loop mode; only
+  // core::EvaluateGmdj performs the transparent row fallback.
+  Table detail = MakeDetail(3, 50);
+  ColumnTable columnar = ColumnTable::FromRowTable(detail).ValueOrDie();
+  Table base = Project(detail, {"g"}, true).ValueOrDie();
+  GmdjOp op;
+  op.detail_table = "d";
+  op.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "c"}},
+                                Eq(RCol("g"), BCol("g"))});
+  EvalContext context;
+  context.use_index = false;
+  auto result = EvalGmdjColumnar(base, columnar, op, context);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(PredicateCompileTest, PartitionInfoSuppliesRangeHints) {
+  // A site's ColumnDistribution [min, max] flows through
+  // ColRangeFromPartition into conjunct selectivity ordering.
+  PartitionInfo info(2);
+  ColumnDistribution iv;
+  iv.min = 0.0;
+  iv.max = 100.0;
+  info.SetDistribution(0, "iv", iv);
+  auto hints = ColRangeFromPartition(info, 0);
+  ASSERT_TRUE(hints("iv").has_value());
+  EXPECT_EQ(hints("iv")->lo, 0.0);
+  EXPECT_EQ(hints("iv")->hi, 100.0);
+  EXPECT_FALSE(hints("missing").has_value());
+  // Site 1 recorded nothing.
+  EXPECT_FALSE(ColRangeFromPartition(info, 1)("iv").has_value());
+
+  // With the hint, `iv > 95` (accepts 5%) must order before `iv > 10`
+  // (accepts 90%) in the compiled predicate.
+  SchemaPtr detail_schema = Schema::Make({{"g", ValueType::kInt64},
+                                          {"iv", ValueType::kInt64}})
+                                .ValueOrDie();
+  SchemaPtr base_schema =
+      Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  ExprPtr theta = And(And(Eq(RCol("g"), BCol("g")),
+                          Gt(RCol("iv"), Lit(Value(int64_t{10})))),
+                      Gt(RCol("iv"), Lit(Value(int64_t{95}))));
+  CompiledPredicate pred =
+      CompilePredicate(ClassifyCondition(theta), *base_schema, *detail_schema,
+                       hints)
+          .ValueOrDie();
+  ASSERT_EQ(pred.detail.size(), 2u);
+  EXPECT_EQ(pred.detail[0].ilit, 95);
+  EXPECT_EQ(pred.detail[1].ilit, 10);
+  EXPECT_LT(pred.detail[0].selectivity, pred.detail[1].selectivity);
 }
 
 TEST(ColumnarSitesTest, DistributedExecutionMatches) {
@@ -176,8 +262,8 @@ TEST(ColumnarSitesTest, DistributedExecutionMatches) {
   row_dw.AddTablePartitionedBy("d", detail, "g", {"h", "iv"}).Check();
   col_dw.AddTablePartitionedBy("d", detail, "g", {"h", "iv"}).Check();
 
-  // Mixed query: md1 pure equality (vectorized at sites), md2 correlated
-  // (falls back to the row engine).
+  // Mixed query: md1 pure equality (grouped kernels at the sites), md2
+  // correlated (candidate-filter kernels) — both vectorized now.
   GmdjExpr expr;
   expr.base = BaseQuery{"d", {"g"}, true, nullptr};
   GmdjOp md1;

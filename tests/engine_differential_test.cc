@@ -1,0 +1,289 @@
+// Row-vs-columnar differential test: the row engine is the oracle and
+// the columnar kernels must reproduce its output BYTE for byte across
+// randomized condition shapes (equality atoms, ranges, IN-sets, NOT,
+// mixed residual conjuncts, correlated comparisons, empty base/detail),
+// thread counts, buffer budgets, and chunk pruning on/off.
+//
+// All generated values are representation-matching (int64 columns get
+// int64 Values, float64 columns get doubles), the well-typed-table
+// contract both engines' byte-identity is defined over
+// (docs/KERNELS.md).
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "columnar/column_table.h"
+#include "columnar/vector_eval.h"
+#include "common/random.h"
+#include "core/local_eval.h"
+#include "expr/builder.h"
+#include "net/serde.h"
+#include "obs/obs.h"
+#include "relalg/operators.h"
+#include "storage/chunk_file.h"
+#include "storage/data_provider.h"
+#include "types/value_set.h"
+
+namespace skalla {
+namespace {
+
+std::vector<uint8_t> Bytes(const Table& t) {
+  std::vector<uint8_t> bytes;
+  WriteTable(t, &bytes);
+  return bytes;
+}
+
+// Random detail relation over the fixed differential schema. Values are
+// representation-matching per column type; iv and dv carry NULLs.
+Table MakeDetail(uint64_t seed, size_t rows) {
+  Random rng(seed);
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"h", ValueType::kString},
+                                   {"iv", ValueType::kInt64},
+                                   {"dv", ValueType::kFloat64}})
+                         .ValueOrDie();
+  const char* labels[] = {"x", "y", "z", "w"};
+  Table t(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    Row row = {Value(rng.UniformInt(0, 9)),
+               Value(std::string(labels[rng.Uniform(4)])),
+               Value(rng.UniformInt(-40, 40)),
+               Value(static_cast<double>(rng.UniformInt(-200, 200)) / 8.0)};
+    if (rng.Bernoulli(0.12)) row[2] = Value::Null();
+    if (rng.Bernoulli(0.12)) row[3] = Value::Null();
+    t.AppendUnchecked(std::move(row));
+  }
+  return t;
+}
+
+// One random conjunct over the detail side (and sometimes the base
+// side), drawn from every shape the predicate compiler classifies:
+// typed comparisons, IN-sets, NOT, arithmetic (kGeneric), correlated
+// comparisons, base-only gates.
+ExprPtr RandomConjunct(Random* rng) {
+  switch (rng->Uniform(9)) {
+    case 0:  // int range atom (prunable)
+      return Gt(RCol("iv"), Lit(Value(rng->UniformInt(-30, 30))));
+    case 1:  // double range atom (prunable)
+      return Le(RCol("dv"),
+                Lit(Value(static_cast<double>(rng->UniformInt(-20, 20)))));
+    case 2:  // equality atom on a measure (prunable)
+      return Eq(RCol("iv"), Lit(Value(rng->UniformInt(-10, 10))));
+    case 3: {  // IN-set over strings
+      auto set = std::make_shared<ValueSet>();
+      set->Insert(Value("x"));
+      if (rng->Bernoulli(0.5)) set->Insert(Value("z"));
+      return Expr::InSet(RCol("h"), std::move(set));
+    }
+    case 4: {  // IN-set over ints
+      auto set = std::make_shared<ValueSet>();
+      for (int k = 0; k < 3; ++k) set->Insert(Value(rng->UniformInt(-5, 5)));
+      return Expr::InSet(RCol("iv"), std::move(set));
+    }
+    case 5:  // NOT of a comparison (generic fallback)
+      return Not(Ge(RCol("iv"), Lit(Value(rng->UniformInt(-15, 15)))));
+    case 6:  // arithmetic on the detail side (generic fallback)
+      return Lt(Add(RCol("iv"), Lit(Value(int64_t{1}))),
+                Lit(Value(rng->UniformInt(-20, 20))));
+    case 7:  // not-equal (unprunable typed comparison)
+      return Ne(RCol("h"), Lit(Value("y")));
+    default:  // correlated comparison (candidates / scan paths)
+      return rng->Bernoulli(0.5) ? Ge(RCol("iv"), BCol("g"))
+                                 : Lt(RCol("dv"), BCol("bd"));
+  }
+}
+
+// A random θ: optionally equality atoms (exercising grouped/candidates
+// vs scan), plus 0-3 conjuncts of random shape, plus sometimes a
+// base-only gate.
+ExprPtr RandomTheta(Random* rng) {
+  ExprPtr theta;
+  auto conjoin = [&theta](ExprPtr c) {
+    theta = theta == nullptr ? std::move(c)
+                             : And(std::move(theta), std::move(c));
+  };
+  if (rng->Bernoulli(0.7)) conjoin(Eq(RCol("g"), BCol("g")));
+  if (rng->Bernoulli(0.25)) conjoin(Eq(RCol("h"), BCol("bh")));
+  const size_t extra = rng->Uniform(4);
+  for (size_t i = 0; i < extra; ++i) conjoin(RandomConjunct(rng));
+  if (rng->Bernoulli(0.2)) conjoin(Gt(BCol("g"), Lit(Value(int64_t{2}))));
+  if (theta == nullptr) theta = Lit(Value(int64_t{1}));  // cross product
+  return theta;
+}
+
+GmdjOp RandomOp(Random* rng) {
+  GmdjOp op;
+  op.detail_table = "d";
+  const size_t blocks = 1 + rng->Uniform(2);
+  for (size_t b = 0; b < blocks; ++b) {
+    op.blocks.push_back(GmdjBlock{{{AggKind::kCountStar, "", "c"},
+                                   {AggKind::kCount, "iv", "ci"},
+                                   {AggKind::kSum, "iv", "si"},
+                                   {AggKind::kSum, "dv", "sd"},
+                                   {AggKind::kAvg, "dv", "ad"},
+                                   {AggKind::kMin, "iv", "lo"},
+                                   {AggKind::kMax, "dv", "hi"},
+                                   {AggKind::kVarPop, "iv", "vp"}},
+                                  RandomTheta(rng)});
+    // Distinct output names per block.
+    for (AggSpec& agg : op.blocks.back().aggs) {
+      agg.output += std::to_string(b);
+    }
+  }
+  return op;
+}
+
+// Base relation: the distinct equality keys plus derived comparison
+// inputs (bd, bh) and one guaranteed-unmatched row.
+Table MakeBase(const Table& detail, Random* rng, bool empty_base) {
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"bh", ValueType::kString},
+                                   {"bd", ValueType::kFloat64}})
+                         .ValueOrDie();
+  Table base(schema);
+  if (empty_base) return base;
+  const char* labels[] = {"x", "y", "z", "w"};
+  for (int64_t g = 0; g <= 9; ++g) {
+    base.AppendUnchecked(
+        {Value(g), Value(std::string(labels[rng->Uniform(4)])),
+         Value(static_cast<double>(rng->UniformInt(-40, 40)) / 4.0)});
+  }
+  base.AppendUnchecked({Value(int64_t{999}), Value("none"), Value(0.75)});
+  (void)detail;
+  return base;
+}
+
+class EngineDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/skalla_engine_differential_test";
+    mkdir(dir_.c_str(), 0755);
+  }
+  std::string dir_;
+};
+
+TEST_P(EngineDifferentialTest, ColumnarMatchesRowOracleByteForByte) {
+  const uint64_t seed = GetParam();
+  Random rng(seed * 7919 + 1);
+  const bool empty_detail = seed % 7 == 3;
+  const bool empty_base = seed % 7 == 5;
+  Table detail = MakeDetail(seed, empty_detail ? 0 : 200 + seed * 37);
+  Table base = MakeBase(detail, &rng, empty_base);
+  ColumnTable columnar = ColumnTable::FromRowTable(detail).ValueOrDie();
+  GmdjOp op = RandomOp(&rng);
+
+  const std::string path =
+      dir_ + "/detail_" + std::to_string(seed) + ".skc";
+  WriteChunkFile(detail, path, /*chunk_rows=*/64).Check();
+
+  const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (bool sub : {false, true}) {
+    for (bool compute_rng : {false, true}) {
+      EvalContext context;
+      context.sub_aggregates = sub;
+      context.compute_rng = compute_rng;
+      context.morsel_rows = 96;
+      const std::string label =
+          "seed=" + std::to_string(seed) + " sub=" + std::to_string(sub) +
+          " rng=" + std::to_string(compute_rng);
+
+      Table oracle = EvalGmdj(base, detail, op, context).ValueOrDie();
+      const std::vector<uint8_t> expected = Bytes(oracle);
+
+      for (size_t threads : {size_t{1}, hw}) {
+        context.eval_threads = threads;
+
+        // Resident columnar.
+        Table resident =
+            EvalGmdjColumnar(base, columnar, op, context).ValueOrDie();
+        EXPECT_EQ(Bytes(resident), expected)
+            << label << " threads=" << threads << "\noracle:\n"
+            << oracle.ToString(30) << "columnar:\n"
+            << resident.ToString(30);
+
+        // Chunk-paged columnar at a tight and an unlimited buffer
+        // budget, pruning on and off.
+        for (uint64_t budget : {uint64_t{16} << 20, uint64_t{0}}) {
+          for (bool pruning : {true, false}) {
+            auto buffers = std::make_shared<BufferManager>(budget);
+            auto provider =
+                ChunkFileDataProvider::Open(path, buffers).ValueOrDie();
+            context.chunk_pruning = pruning;
+            Table chunked =
+                EvalGmdjColumnar(base, *provider, op, context).ValueOrDie();
+            EXPECT_EQ(Bytes(chunked), expected)
+                << label << " threads=" << threads << " budget=" << budget
+                << " pruning=" << pruning << "\noracle:\n"
+                << oracle.ToString(30) << "chunked:\n"
+                << chunked.ToString(30);
+          }
+          context.chunk_pruning = true;
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{14}));
+
+TEST(EnginePruningTest, StatsPruneChunksWithoutChangingBytes) {
+  // Clustered detail: chunk-sized runs of disjoint iv ranges, so a
+  // range conjunct disqualifies most chunks by min/max alone.
+  SchemaPtr schema = Schema::Make({{"g", ValueType::kInt64},
+                                   {"iv", ValueType::kInt64}})
+                         .ValueOrDie();
+  Table detail(schema);
+  for (int64_t c = 0; c < 8; ++c) {
+    for (int64_t i = 0; i < 64; ++i) {
+      detail.AppendUnchecked({Value(i % 4), Value(c * 1000 + i)});
+    }
+  }
+  const std::string path = "/tmp/skalla_engine_pruning_test.skc";
+  WriteChunkFile(detail, path, /*chunk_rows=*/64).Check();
+  auto buffers = std::make_shared<BufferManager>(0);
+  auto provider = ChunkFileDataProvider::Open(path, buffers).ValueOrDie();
+
+  SchemaPtr base_schema =
+      Schema::Make({{"g", ValueType::kInt64}}).ValueOrDie();
+  Table base(base_schema);
+  for (int64_t g = 0; g < 4; ++g) base.AppendUnchecked({Value(g)});
+
+  GmdjOp op;
+  op.detail_table = "d";
+  // Only the last chunk (iv >= 7000) can satisfy the range conjunct.
+  op.blocks.push_back(GmdjBlock{
+      {{AggKind::kCountStar, "", "c"}, {AggKind::kSum, "iv", "s"}},
+      And(Eq(RCol("g"), BCol("g")), Ge(RCol("iv"), Lit(Value(int64_t{7000}))))});
+
+  EvalContext context;
+  EvalProfile pruned_profile;
+  context.profile = &pruned_profile;
+  Table with_pruning =
+      EvalGmdjColumnar(base, *provider, op, context).ValueOrDie();
+  EXPECT_EQ(pruned_profile.chunks_pruned.load(), 7u);
+
+  EvalProfile full_profile;
+  context.profile = &full_profile;
+  context.chunk_pruning = false;
+  Table without_pruning =
+      EvalGmdjColumnar(base, *provider, op, context).ValueOrDie();
+  EXPECT_EQ(full_profile.chunks_pruned.load(), 0u);
+
+  EXPECT_EQ(Bytes(with_pruning), Bytes(without_pruning));
+  // And both agree with the row oracle.
+  Table oracle = EvalGmdj(base, detail, op).ValueOrDie();
+  EXPECT_EQ(Bytes(with_pruning), Bytes(oracle));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skalla

@@ -104,15 +104,14 @@ TEST(FrameTest, ForeignVersionIsTypedVersionMismatch) {
       << decoded.status().ToString();
 }
 
-TEST(FrameTest, ProtocolVersionIsV5) {
-  // v5: BeginPlan carries the query id, sites keep per-query round
-  // state so multiple coordinator queries multiplex one connection, and
-  // kEndPlan releases a query's site-side slot (docs/RPC.md). The
-  // version byte is the wire contract for all of that, so pin it
-  // explicitly.
-  EXPECT_EQ(kProtocolVersion, 5);
+TEST(FrameTest, ProtocolVersionIsV6) {
+  // v6: BeginPlan carries the plan's EvalContext::engine and
+  // RoundProfile reports the engines a round actually used
+  // (docs/RPC.md). The version byte is the wire contract for all of
+  // that, so pin it explicitly.
+  EXPECT_EQ(kProtocolVersion, 6);
   std::vector<uint8_t> wire = EncodeFrame(MessageType::kBaseRound, {});
-  EXPECT_EQ(wire[4], 5);
+  EXPECT_EQ(wire[4], 6);
 }
 
 TEST(FrameTest, V3PeerRejectedWithVersionMismatch) {

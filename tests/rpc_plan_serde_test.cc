@@ -156,16 +156,21 @@ TEST(PlanSerdeTest, BeginPlanRequestRoundTrips) {
   for (bool columnar : {false, true}) {
     for (size_t eval_threads : {size_t{0}, size_t{1}, size_t{8}}) {
       for (uint64_t query_id : {uint64_t{0}, uint64_t{7}, uint64_t{1} << 40}) {
-        BeginPlanRequest request;
-        request.columnar_sites = columnar;
-        request.eval_threads = eval_threads;
-        request.query_id = query_id;
-        BeginPlanRequest decoded =
-            DecodeBeginPlanRequest(EncodeBeginPlanRequest(request))
-                .ValueOrDie();
-        EXPECT_EQ(decoded.columnar_sites, columnar);
-        EXPECT_EQ(decoded.eval_threads, eval_threads);
-        EXPECT_EQ(decoded.query_id, query_id);
+        for (EvalEngine engine :
+             {EvalEngine::kAuto, EvalEngine::kRow, EvalEngine::kColumnar}) {
+          BeginPlanRequest request;
+          request.columnar_sites = columnar;
+          request.eval_threads = eval_threads;
+          request.query_id = query_id;
+          request.engine = engine;
+          BeginPlanRequest decoded =
+              DecodeBeginPlanRequest(EncodeBeginPlanRequest(request))
+                  .ValueOrDie();
+          EXPECT_EQ(decoded.columnar_sites, columnar);
+          EXPECT_EQ(decoded.eval_threads, eval_threads);
+          EXPECT_EQ(decoded.query_id, query_id);
+          EXPECT_EQ(decoded.engine, engine);
+        }
       }
     }
   }
@@ -178,6 +183,16 @@ TEST(PlanSerdeTest, EndPlanRequestRoundTrips) {
     EXPECT_EQ(decoded, query_id);
   }
   EXPECT_FALSE(DecodeEndPlanRequest({}).ok());
+}
+
+TEST(PlanSerdeTest, BeginPlanRequestRejectsUnknownEngine) {
+  // v6 appended the engine varint; values past kColumnar are foreign.
+  BeginPlanRequest request;
+  request.engine = EvalEngine::kColumnar;
+  std::vector<uint8_t> wire = EncodeBeginPlanRequest(request);
+  ASSERT_EQ(wire.back(), 2);  // kColumnar, single-byte varint.
+  wire.back() = 7;
+  EXPECT_FALSE(DecodeBeginPlanRequest(wire).ok());
 }
 
 TEST(PlanSerdeTest, BeginPlanRequestRejectsTruncatedPayload) {
@@ -363,6 +378,7 @@ RoundProfile ExampleProfile() {
   profile.result_rows = 21;
   profile.duplicate_rounds = 1;
   profile.chaos_faults = 2;
+  profile.engines_used = kEngineBitRow | kEngineBitColumnar;
   obs::TraceEvent span;
   span.name = "site.round:md1";
   span.category = "site";
@@ -395,6 +411,7 @@ void ExpectProfileEq(const RoundProfile& a, const RoundProfile& b) {
   EXPECT_EQ(a.result_rows, b.result_rows);
   EXPECT_EQ(a.duplicate_rounds, b.duplicate_rounds);
   EXPECT_EQ(a.chaos_faults, b.chaos_faults);
+  EXPECT_EQ(a.engines_used, b.engines_used);
   ASSERT_EQ(a.spans.size(), b.spans.size());
   for (size_t i = 0; i < a.spans.size(); ++i) {
     EXPECT_EQ(a.spans[i].name, b.spans[i].name);
